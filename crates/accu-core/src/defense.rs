@@ -1,0 +1,252 @@
+//! Defender-side analysis.
+//!
+//! The paper motivates ACCU as a tool for "future protection schemes":
+//! understanding the attacker's strategy reveals which users to protect.
+//! This module provides that defender view:
+//!
+//! * [`cautious_risk_scores`] — how easily each cautious user's
+//!   threshold can be crossed, from the model parameters alone;
+//! * [`gatekeeper_scores`] — which *reckless* users most enable cautious
+//!   compromise (the users ABM's indirect potential targets), the
+//!   natural candidates for defender-side education or rate-limiting;
+//! * [`simulate_exposure`] — Monte-Carlo measurement of per-user
+//!   compromise frequency under a given attack policy.
+
+use osn_graph::NodeId;
+use rand::Rng;
+
+use crate::{run_attack, AccuInstance, Policy, Realization};
+
+/// Risk score of every cautious user: the expected number of accepting
+/// neighbors (if each neighbor were requested once) divided by the
+/// threshold —
+/// `risk(v) = Σ_{u ∈ N(v)} p_uv · q_u / θ_v`.
+///
+/// Scores above 1 mean the attacker can expect to cross the threshold
+/// by simply requesting all of `v`'s neighbors; the higher the score,
+/// the cheaper the compromise. Reckless users get 0.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::{cautious_risk_scores, AccuInstanceBuilder, UserClass};
+/// use osn_graph::{GraphBuilder, NodeId};
+///
+/// let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)])?;
+/// let inst = AccuInstanceBuilder::new(g)
+///     .user_class(NodeId::new(1), UserClass::cautious(2))
+///     .build()?;
+/// let risk = cautious_risk_scores(&inst);
+/// assert_eq!(risk[0], 0.0);            // reckless
+/// assert!((risk[1] - 1.0).abs() < 1e-12); // 2 certain neighbors / θ=2
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn cautious_risk_scores(instance: &AccuInstance) -> Vec<f64> {
+    let g = instance.graph();
+    let mut scores = vec![0.0f64; g.node_count()];
+    for &v in instance.cautious_users() {
+        let theta = instance.threshold(v).expect("cautious user has threshold") as f64;
+        let expected_accepting: f64 = g
+            .neighbor_entries(v)
+            .map(|(u, e)| {
+                instance.edge_probability(e)
+                    * instance.acceptance_probability(u).unwrap_or(0.0)
+            })
+            .sum();
+        scores[v.index()] = expected_accepting / theta;
+    }
+    scores
+}
+
+/// Gatekeeper score of every reckless user: how much compromising them
+/// advances the attacker toward cautious targets —
+/// `gate(u) = q_u · Σ_{v ∈ N(u) ∩ V_C} p_uv · (B_f(v) − B_fof(v)) / θ_v`.
+///
+/// This mirrors ABM's indirect potential `P_I` under full uncertainty,
+/// so the defender's hardening priorities line up with the attacker's
+/// stepping stones. Cautious users get 0.
+pub fn gatekeeper_scores(instance: &AccuInstance) -> Vec<f64> {
+    let g = instance.graph();
+    let benefits = instance.benefits();
+    let mut scores = vec![0.0f64; g.node_count()];
+    for u in g.nodes() {
+        let Some(q) = instance.acceptance_probability(u) else { continue };
+        let mut gate = 0.0;
+        for (v, e) in g.neighbor_entries(u) {
+            if let Some(theta) = instance.threshold(v) {
+                gate += instance.edge_probability(e) * benefits.gap(v) / theta as f64;
+            }
+        }
+        scores[u.index()] = q * gate;
+    }
+    scores
+}
+
+/// Returns the `count` highest-scoring nodes (score, descending; ties
+/// toward lower ids) from a score vector, skipping zero scores.
+pub fn top_scored(scores: &[f64], count: usize) -> Vec<(NodeId, f64)> {
+    let mut ranked: Vec<(NodeId, f64)> = scores
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s > 0.0)
+        .map(|(i, &s)| (NodeId::from(i), s))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(count);
+    ranked
+}
+
+/// Per-user compromise frequencies under a policy, estimated by
+/// Monte-Carlo simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExposureReport {
+    /// Fraction of runs in which each user ended up a friend of the
+    /// attacker.
+    pub compromise_frequency: Vec<f64>,
+    /// Mean attacker benefit.
+    pub mean_benefit: f64,
+    /// Mean number of cautious users compromised.
+    pub mean_cautious_compromised: f64,
+    /// Runs simulated.
+    pub samples: usize,
+}
+
+impl ExposureReport {
+    /// The cautious users compromised in at least `threshold` fraction
+    /// of runs, sorted by frequency (descending).
+    pub fn at_risk_cautious(&self, instance: &AccuInstance, threshold: f64) -> Vec<(NodeId, f64)> {
+        let mut out: Vec<(NodeId, f64)> = instance
+            .cautious_users()
+            .iter()
+            .map(|&v| (v, self.compromise_frequency[v.index()]))
+            .filter(|&(_, f)| f >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Runs `policy` against `samples` sampled realizations and reports
+/// per-user compromise frequencies.
+pub fn simulate_exposure<R: Rng + ?Sized>(
+    instance: &AccuInstance,
+    policy: &mut dyn Policy,
+    k: usize,
+    samples: usize,
+    rng: &mut R,
+) -> ExposureReport {
+    let mut counts = vec![0usize; instance.node_count()];
+    let mut benefit = 0.0f64;
+    let mut cautious = 0usize;
+    for _ in 0..samples {
+        let realization = Realization::sample(instance, rng);
+        let outcome = run_attack(instance, &realization, policy, k);
+        benefit += outcome.total_benefit;
+        cautious += outcome.cautious_friends;
+        for f in &outcome.friends {
+            counts[f.index()] += 1;
+        }
+    }
+    let denom = samples.max(1) as f64;
+    ExposureReport {
+        compromise_frequency: counts.into_iter().map(|c| c as f64 / denom).collect(),
+        mean_benefit: benefit / denom,
+        mean_cautious_compromised: cautious as f64 / denom,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Abm, AbmWeights};
+    use crate::{AccuInstanceBuilder, UserClass};
+    use osn_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Star hub 0 with cautious leaves 2 (θ=1) and 3 (θ=2, also linked
+    /// to 1); node 1 links hub and cautious 3.
+    fn instance() -> AccuInstance {
+        let g = GraphBuilder::from_edges(
+            4,
+            [(0u32, 1u32), (0, 2), (0, 3), (1, 3)],
+        )
+        .unwrap();
+        AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(2), UserClass::cautious(1))
+            .user_class(NodeId::new(3), UserClass::cautious(2))
+            .benefits(NodeId::new(2), 10.0, 1.0)
+            .benefits(NodeId::new(3), 20.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn risk_scores_scale_inversely_with_threshold() {
+        let inst = instance();
+        let risk = cautious_risk_scores(&inst);
+        // v2: 1 certain neighbor / θ=1 = 1. v3: 2 neighbors / θ=2 = 1.
+        assert!((risk[2] - 1.0).abs() < 1e-12);
+        assert!((risk[3] - 1.0).abs() < 1e-12);
+        assert_eq!(risk[0], 0.0);
+        assert_eq!(risk[1], 0.0);
+    }
+
+    #[test]
+    fn gatekeepers_are_the_cautious_users_neighbors() {
+        let inst = instance();
+        let gate = gatekeeper_scores(&inst);
+        // Hub 0 gates both cautious users: 9/1 + 19/2 = 18.5.
+        assert!((gate[0] - 18.5).abs() < 1e-12);
+        // Node 1 gates only v3: 19/2 = 9.5.
+        assert!((gate[1] - 9.5).abs() < 1e-12);
+        assert_eq!(gate[2], 0.0);
+        let top = top_scored(&gate, 1);
+        assert_eq!(top, vec![(NodeId::new(0), 18.5)]);
+    }
+
+    #[test]
+    fn top_scored_skips_zeros_and_orders() {
+        let scores = vec![0.0, 3.0, 1.0, 3.0];
+        let top = top_scored(&scores, 10);
+        assert_eq!(
+            top,
+            vec![(NodeId::new(1), 3.0), (NodeId::new(3), 3.0), (NodeId::new(2), 1.0)]
+        );
+        assert_eq!(top_scored(&scores, 1).len(), 1);
+    }
+
+    #[test]
+    fn exposure_simulation_counts_compromises() {
+        let inst = instance();
+        let mut abm = Abm::new(AbmWeights::balanced());
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = simulate_exposure(&inst, &mut abm, 4, 20, &mut rng);
+        assert_eq!(report.samples, 20);
+        // Deterministic instance: everything certain → all users fall.
+        assert_eq!(report.compromise_frequency, vec![1.0; 4]);
+        assert_eq!(report.mean_cautious_compromised, 2.0);
+        let at_risk = report.at_risk_cautious(&inst, 0.5);
+        assert_eq!(at_risk.len(), 2);
+    }
+
+    #[test]
+    fn hardened_thresholds_reduce_exposure() {
+        // Same topology but θ(v3) raised beyond its support: v3 becomes
+        // uncompromisable.
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3), (1, 3)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(2), UserClass::cautious(1))
+            .user_class(NodeId::new(3), UserClass::cautious(3))
+            .benefits(NodeId::new(2), 10.0, 1.0)
+            .benefits(NodeId::new(3), 20.0, 1.0)
+            .build()
+            .unwrap();
+        let mut abm = Abm::new(AbmWeights::balanced());
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = simulate_exposure(&inst, &mut abm, 4, 10, &mut rng);
+        assert_eq!(report.compromise_frequency[3], 0.0);
+        assert_eq!(report.mean_cautious_compromised, 1.0);
+    }
+}

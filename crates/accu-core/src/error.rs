@@ -1,0 +1,113 @@
+//! Error types for ACCU instance construction and analysis.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use osn_graph::NodeId;
+
+/// Errors produced while building or analyzing an ACCU instance.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AccuError {
+    /// A probability (edge existence or acceptance) was outside `[0, 1]`.
+    InvalidProbability {
+        /// Which probability, e.g. `"edge existence"`.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A benefit assignment violated `B_f(u) >= B_fof(u) >= 0`.
+    InvalidBenefit {
+        /// The node whose benefits are inconsistent.
+        node: NodeId,
+        /// Friend benefit.
+        friend: f64,
+        /// Friend-of-friend benefit.
+        fof: f64,
+    },
+    /// A cautious threshold was zero (the model requires `θ_v ∈ Z⁺`).
+    ZeroThreshold {
+        /// The cautious node with threshold zero.
+        node: NodeId,
+    },
+    /// A per-node or per-edge attribute vector had the wrong length.
+    LengthMismatch {
+        /// Which attribute, e.g. `"edge probabilities"`.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// An operation requires exhaustive enumeration and the instance is
+    /// too large for it.
+    TooLargeForExhaustive {
+        /// Number of binary random variables that would be enumerated.
+        random_bits: usize,
+        /// The enumeration cap.
+        limit: usize,
+    },
+    /// A node id referenced a node outside the instance.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of users in the instance.
+        node_count: usize,
+    },
+}
+
+impl fmt::Display for AccuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccuError::InvalidProbability { what, value } => {
+                write!(f, "{what} probability {value} is outside [0, 1]")
+            }
+            AccuError::InvalidBenefit { node, friend, fof } => write!(
+                f,
+                "benefits of node {node} violate B_f >= B_fof >= 0 (B_f={friend}, B_fof={fof})"
+            ),
+            AccuError::ZeroThreshold { node } => {
+                write!(f, "cautious node {node} has threshold 0; the model requires θ >= 1")
+            }
+            AccuError::LengthMismatch { what, expected, actual } => {
+                write!(f, "{what} has length {actual}, expected {expected}")
+            }
+            AccuError::TooLargeForExhaustive { random_bits, limit } => write!(
+                f,
+                "exhaustive enumeration needs 2^{random_bits} realizations, above the 2^{limit} cap"
+            ),
+            AccuError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for instance with {node_count} users")
+            }
+        }
+    }
+}
+
+impl StdError for AccuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AccuError::InvalidProbability { what: "edge existence", value: 1.2 };
+        assert!(e.to_string().contains("edge existence"));
+        let e = AccuError::InvalidBenefit { node: NodeId::new(3), friend: 1.0, fof: 2.0 };
+        assert!(e.to_string().contains("node 3"));
+        let e = AccuError::ZeroThreshold { node: NodeId::new(0) };
+        assert!(e.to_string().contains("θ >= 1"));
+        let e = AccuError::LengthMismatch { what: "edge probabilities", expected: 4, actual: 2 };
+        assert!(e.to_string().contains("length 2"));
+        let e = AccuError::TooLargeForExhaustive { random_bits: 40, limit: 24 };
+        assert!(e.to_string().contains("2^40"));
+        let e = AccuError::NodeOutOfRange { node: NodeId::new(9), node_count: 4 };
+        assert!(e.to_string().contains("9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AccuError>();
+    }
+}

@@ -1,0 +1,143 @@
+//! Monte-Carlo estimation of a policy's expected benefit
+//! `E[f(π, Φ)]` (the ACCU objective, Eq. 2).
+
+use rand::Rng;
+
+use crate::{run_attack, AccuInstance, AttackOutcome, Policy, Realization};
+
+/// Summary statistics of a Monte-Carlo evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloStats {
+    /// Sample mean of the total benefit.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Standard error of the mean (`std_dev / sqrt(samples)`).
+    pub std_error: f64,
+    /// Number of sampled realizations.
+    pub samples: usize,
+}
+
+impl MonteCarloStats {
+    fn from_values(values: &[f64]) -> Self {
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n.max(1) as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        MonteCarloStats { mean, std_dev, std_error: std_dev / (n.max(1) as f64).sqrt(), samples: n }
+    }
+}
+
+/// Estimates `E[f(π, Φ)]` by running `policy` on `samples` independently
+/// sampled realizations with budget `k`.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::{expected_benefit, AccuInstanceBuilder, UserClass};
+/// use accu_core::policy::MaxDegree;
+/// use osn_graph::{GraphBuilder, NodeId};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let g = GraphBuilder::from_edges(2, [(0u32, 1u32)])?;
+/// let inst = AccuInstanceBuilder::new(g)
+///     .user_class(NodeId::new(0), UserClass::reckless(0.5))
+///     .build()?;
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let stats = expected_benefit(&inst, &mut MaxDegree::new(), 1, 2_000, &mut rng);
+/// // Request goes to node 0; accepted half the time for B_f + B_fof = 3.
+/// assert!((stats.mean - 1.5).abs() < 0.15);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn expected_benefit<R: Rng + ?Sized>(
+    instance: &AccuInstance,
+    policy: &mut dyn Policy,
+    k: usize,
+    samples: usize,
+    rng: &mut R,
+) -> MonteCarloStats {
+    let values: Vec<f64> = (0..samples)
+        .map(|_| {
+            let real = Realization::sample(instance, rng);
+            run_attack(instance, &real, policy, k).total_benefit
+        })
+        .collect();
+    MonteCarloStats::from_values(&values)
+}
+
+/// Runs `policy` on `samples` sampled realizations and returns every
+/// outcome, for callers that need full traces (figure generation).
+pub fn sample_outcomes<R: Rng + ?Sized>(
+    instance: &AccuInstance,
+    policy: &mut dyn Policy,
+    k: usize,
+    samples: usize,
+    rng: &mut R,
+) -> Vec<AttackOutcome> {
+    (0..samples)
+        .map(|_| {
+            let real = Realization::sample(instance, rng);
+            run_attack(instance, &real, policy, k)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MaxDegree;
+    use crate::{AccuInstanceBuilder, UserClass};
+    use osn_graph::{GraphBuilder, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_instance_has_zero_variance() {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let stats = expected_benefit(&inst, &mut MaxDegree::new(), 3, 50, &mut rng);
+        assert_eq!(stats.std_dev, 0.0);
+        assert_eq!(stats.std_error, 0.0);
+        assert_eq!(stats.samples, 50);
+        // All three friends: 3 * B_f = 6.
+        assert_eq!(stats.mean, 6.0);
+    }
+
+    #[test]
+    fn estimate_converges_to_analytic_value() {
+        // Single reckless user, q = 0.3, isolated: E = 0.3 * B_f = 0.6.
+        let g = GraphBuilder::new(1).build();
+        let inst = AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(0), UserClass::reckless(0.3))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let stats = expected_benefit(&inst, &mut MaxDegree::new(), 1, 20_000, &mut rng);
+        assert!((stats.mean - 0.6).abs() < 4.0 * stats.std_error.max(1e-3));
+    }
+
+    #[test]
+    fn sample_outcomes_returns_full_traces() {
+        let g = GraphBuilder::from_edges(2, [(0u32, 1u32)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let outs = sample_outcomes(&inst, &mut MaxDegree::new(), 2, 5, &mut rng);
+        assert_eq!(outs.len(), 5);
+        for o in outs {
+            assert_eq!(o.trace.len(), 2);
+        }
+    }
+
+    #[test]
+    fn stats_handle_single_sample() {
+        let s = MonteCarloStats::from_values(&[4.0]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.samples, 1);
+    }
+}

@@ -1,0 +1,381 @@
+//! Plain-text serialization of ACCU instances and attack traces.
+//!
+//! Instances round-trip through a line-based format (no external
+//! dependencies), so a sampled experiment network can be archived and
+//! re-analyzed exactly; attack traces export as CSV for plotting.
+//!
+//! ```text
+//! # accu instance v1
+//! nodes 4
+//! edge 0 1 0.5            # lo hi probability
+//! user 0 reckless 0.7 2 1 # id class params... B_f B_fof
+//! user 1 cautious 2 50 1
+//! user 2 hesitant 0.1 0.9 2 50 1
+//! user 3 linear 0.1 0.05 2 1
+//! ```
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use osn_graph::{GraphBuilder, NodeId};
+
+use crate::{AccuError, AccuInstance, AccuInstanceBuilder, AttackOutcome, UserClass};
+
+/// Errors produced while reading or writing instance files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum InstanceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The parsed data violated an instance invariant.
+    Invalid(AccuError),
+    /// The parsed data violated a graph invariant.
+    Graph(osn_graph::GraphError),
+}
+
+impl fmt::Display for InstanceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            InstanceIoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            InstanceIoError::Invalid(e) => write!(f, "invalid instance: {e}"),
+            InstanceIoError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl StdError for InstanceIoError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            InstanceIoError::Io(e) => Some(e),
+            InstanceIoError::Parse { .. } => None,
+            InstanceIoError::Invalid(e) => Some(e),
+            InstanceIoError::Graph(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for InstanceIoError {
+    fn from(e: std::io::Error) -> Self {
+        InstanceIoError::Io(e)
+    }
+}
+
+impl From<AccuError> for InstanceIoError {
+    fn from(e: AccuError) -> Self {
+        InstanceIoError::Invalid(e)
+    }
+}
+
+impl From<osn_graph::GraphError> for InstanceIoError {
+    fn from(e: osn_graph::GraphError) -> Self {
+        InstanceIoError::Graph(e)
+    }
+}
+
+/// Writes `instance` in the v1 text format.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::io::{read_instance, write_instance};
+/// use accu_core::AccuInstanceBuilder;
+/// use osn_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::from_edges(2, [(0u32, 1u32)])?;
+/// let inst = AccuInstanceBuilder::new(g).uniform_edge_probability(0.5).build()?;
+/// let mut buf = Vec::new();
+/// write_instance(&inst, &mut buf)?;
+/// let back = read_instance(&buf[..])?;
+/// assert_eq!(back.node_count(), 2);
+/// assert_eq!(back.edge_probability(osn_graph::EdgeId::new(0)), 0.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_instance<W: Write>(
+    instance: &AccuInstance,
+    mut writer: W,
+) -> Result<(), InstanceIoError> {
+    let g = instance.graph();
+    writeln!(writer, "# accu instance v1")?;
+    writeln!(writer, "nodes {}", g.node_count())?;
+    for (i, e) in g.edges().iter().enumerate() {
+        writeln!(
+            writer,
+            "edge {} {} {}",
+            e.lo(),
+            e.hi(),
+            instance.edge_probability(osn_graph::EdgeId::from(i))
+        )?;
+    }
+    for i in 0..g.node_count() {
+        let v = NodeId::from(i);
+        let b = instance.benefits();
+        match instance.user_class(v) {
+            UserClass::Reckless { acceptance } => writeln!(
+                writer,
+                "user {i} reckless {acceptance} {} {}",
+                b.friend(v),
+                b.friend_of_friend(v)
+            )?,
+            UserClass::Cautious { threshold } => writeln!(
+                writer,
+                "user {i} cautious {threshold} {} {}",
+                b.friend(v),
+                b.friend_of_friend(v)
+            )?,
+            UserClass::Hesitant { below, at_or_above, threshold } => writeln!(
+                writer,
+                "user {i} hesitant {below} {at_or_above} {threshold} {} {}",
+                b.friend(v),
+                b.friend_of_friend(v)
+            )?,
+            UserClass::MutualLinear { base, slope } => writeln!(
+                writer,
+                "user {i} linear {base} {slope} {} {}",
+                b.friend(v),
+                b.friend_of_friend(v)
+            )?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads an instance written by [`write_instance`].
+///
+/// # Errors
+///
+/// Returns [`InstanceIoError`] on malformed input or violated instance
+/// invariants.
+pub fn read_instance<R: Read>(reader: R) -> Result<AccuInstance, InstanceIoError> {
+    let reader = BufReader::new(reader);
+    let mut node_count: Option<usize> = None;
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    let mut users: Vec<(usize, UserClass, f64, f64)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| InstanceIoError::Parse { line: lineno + 1, message };
+        let mut tok = trimmed.split_whitespace();
+        match tok.next() {
+            Some("nodes") => {
+                let n = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("nodes expects a count".into()))?;
+                node_count = Some(n);
+            }
+            Some("edge") => {
+                let mut next = |what: &str| -> Result<f64, InstanceIoError> {
+                    tok.next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| InstanceIoError::Parse {
+                            line: lineno + 1,
+                            message: format!("edge expects {what}"),
+                        })
+                };
+                let lo = next("lo id")? as u32;
+                let hi = next("hi id")? as u32;
+                let p = next("a probability")?;
+                edges.push((lo, hi, p));
+            }
+            Some("user") => {
+                let id: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("user expects an id".into()))?;
+                let class_tok =
+                    tok.next().ok_or_else(|| err("user expects a class".into()))?;
+                let fields: Vec<f64> = tok
+                    .map(|t| t.parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| err("user expects numeric fields".into()))?;
+                let (class, bf, bfof) = match (class_tok, fields.as_slice()) {
+                    ("reckless", [q, bf, bfof]) => (UserClass::reckless(*q), *bf, *bfof),
+                    ("cautious", [theta, bf, bfof]) => {
+                        (UserClass::cautious(*theta as u32), *bf, *bfof)
+                    }
+                    ("hesitant", [q1, q2, theta, bf, bfof]) => {
+                        (UserClass::hesitant(*q1, *q2, *theta as u32), *bf, *bfof)
+                    }
+                    ("linear", [base, slope, bf, bfof]) => {
+                        (UserClass::mutual_linear(*base, *slope), *bf, *bfof)
+                    }
+                    _ => return Err(err(format!("bad user line for class {class_tok:?}"))),
+                };
+                users.push((id, class, bf, bfof));
+            }
+            Some(other) => return Err(err(format!("unknown directive {other:?}"))),
+            None => {}
+        }
+    }
+    let n = node_count.ok_or(InstanceIoError::Parse {
+        line: 0,
+        message: "missing `nodes` directive".into(),
+    })?;
+    let mut gb = GraphBuilder::with_edge_capacity(n, edges.len());
+    for &(lo, hi, _) in &edges {
+        gb.add_edge(NodeId::new(lo), NodeId::new(hi))?;
+    }
+    let graph = gb.build();
+    // Map probabilities through the canonical edge ids.
+    let mut probs = vec![1.0f64; graph.edge_count()];
+    for &(lo, hi, p) in &edges {
+        let id = graph
+            .edge_id(NodeId::new(lo), NodeId::new(hi))
+            .expect("edge was just inserted");
+        probs[id.index()] = p;
+    }
+    let mut builder = AccuInstanceBuilder::new(graph).edge_probabilities(probs);
+    for (id, class, bf, bfof) in users {
+        if id >= n {
+            return Err(InstanceIoError::Invalid(AccuError::NodeOutOfRange {
+                node: NodeId::from(id),
+                node_count: n,
+            }));
+        }
+        builder = builder.user_class(NodeId::from(id), class).benefits(
+            NodeId::from(id),
+            bf,
+            bfof,
+        );
+    }
+    Ok(builder.build()?)
+}
+
+/// Writes an attack trace as CSV
+/// (`step,target,cautious,accepted,gain_cautious,gain_reckless,cumulative`).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_trace_csv<W: Write>(
+    outcome: &AttackOutcome,
+    mut writer: W,
+) -> Result<(), InstanceIoError> {
+    writeln!(writer, "step,target,cautious,accepted,gain_cautious,gain_reckless,cumulative")?;
+    for r in &outcome.trace {
+        writeln!(
+            writer,
+            "{},{},{},{},{},{},{}",
+            r.step,
+            r.target,
+            r.cautious,
+            r.accepted,
+            r.gain.from_cautious,
+            r.gain.from_reckless,
+            r.cumulative_benefit
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Abm, AbmWeights};
+    use crate::{run_attack, Realization};
+    use osn_graph::EdgeId;
+
+    fn mixed_instance() -> AccuInstance {
+        let g = osn_graph::GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (1, 3)]).unwrap();
+        AccuInstanceBuilder::new(g)
+            .edge_probabilities(vec![0.25, 0.5, 1.0])
+            .user_class(NodeId::new(0), UserClass::reckless(0.75))
+            .user_class(NodeId::new(2), UserClass::cautious(1))
+            .user_class(NodeId::new(3), UserClass::hesitant(0.1, 0.9, 2))
+            .benefits(NodeId::new(2), 50.0, 1.0)
+            .benefits(NodeId::new(3), 25.0, 0.5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn instance_round_trips_exactly() {
+        let inst = mixed_instance();
+        let mut buf = Vec::new();
+        write_instance(&inst, &mut buf).unwrap();
+        let back = read_instance(&buf[..]).unwrap();
+        assert_eq!(back.node_count(), inst.node_count());
+        assert_eq!(back.graph().edges(), inst.graph().edges());
+        for i in 0..inst.graph().edge_count() {
+            assert_eq!(
+                back.edge_probability(EdgeId::from(i)),
+                inst.edge_probability(EdgeId::from(i))
+            );
+        }
+        for i in 0..inst.node_count() {
+            let v = NodeId::from(i);
+            assert_eq!(back.user_class(v), inst.user_class(v));
+            assert_eq!(back.benefits().friend(v), inst.benefits().friend(v));
+            assert_eq!(
+                back.benefits().friend_of_friend(v),
+                inst.benefits().friend_of_friend(v)
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let err = read_instance("nodes 2\nedge 0 oops\n".as_bytes()).unwrap_err();
+        match err {
+            InstanceIoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = read_instance("edge 0 1 0.5\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("nodes"));
+        let err = read_instance("nodes 1\nbogus\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn out_of_range_users_are_rejected() {
+        let err = read_instance("nodes 1\nuser 5 reckless 0.5 2 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, InstanceIoError::Invalid(AccuError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn invalid_probabilities_surface_as_instance_errors() {
+        let err =
+            read_instance("nodes 1\nuser 0 reckless 1.5 2 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, InstanceIoError::Invalid(AccuError::InvalidProbability { .. })));
+    }
+
+    #[test]
+    fn trace_csv_has_one_row_per_request() {
+        let inst = mixed_instance();
+        let real = Realization::from_parts(
+            &inst,
+            vec![true; 3],
+            vec![true; 4],
+        )
+        .unwrap();
+        let mut abm = Abm::new(AbmWeights::balanced());
+        let out = run_attack(&inst, &real, &mut abm, 3);
+        let mut buf = Vec::new();
+        write_trace_csv(&out, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1 + out.trace.len());
+        assert!(text.starts_with("step,target"));
+    }
+
+    #[test]
+    fn errors_are_send_sync_error() {
+        fn assert_err<T: StdError + Send + Sync>() {}
+        assert_err::<InstanceIoError>();
+    }
+}

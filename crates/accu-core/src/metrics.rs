@@ -1,0 +1,302 @@
+//! Trace aggregation for the paper's figures.
+//!
+//! The experiment harness runs a policy over many sampled networks and
+//! realizations; [`TraceAccumulator`] folds the traces into exactly the
+//! per-request series the paper plots:
+//!
+//! * Fig. 2 — average cumulative benefit after request `i`;
+//! * Fig. 3 — average marginal benefit of request `i`, split into the
+//!   cautious-user and reckless-user components;
+//! * Fig. 5 — the fraction of runs in which request `i` targeted a
+//!   cautious user;
+//! * Fig. 4 / Fig. 7 — average number of cautious friends.
+
+use crate::AttackOutcome;
+
+/// Streaming aggregator over attack traces.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::{run_attack, AccuInstanceBuilder, Realization, TraceAccumulator};
+/// use accu_core::policy::MaxDegree;
+/// use osn_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::from_edges(2, [(0u32, 1u32)])?;
+/// let inst = AccuInstanceBuilder::new(g).build()?;
+/// let real = Realization::from_parts(&inst, vec![true], vec![true, true])?;
+///
+/// let mut acc = TraceAccumulator::new(2);
+/// acc.add(&run_attack(&inst, &real, &mut MaxDegree::new(), 2));
+/// assert_eq!(acc.runs(), 1);
+/// assert_eq!(acc.mean_cumulative_benefit()[1], 4.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceAccumulator {
+    k: usize,
+    runs: usize,
+    /// Σ cumulative benefit after request i (carrying forward short runs).
+    cum_benefit: Vec<f64>,
+    /// Σ marginal gain of request i from cautious users.
+    marginal_cautious: Vec<f64>,
+    /// Σ marginal gain of request i from reckless users.
+    marginal_reckless: Vec<f64>,
+    /// # runs in which request i targeted a cautious user.
+    cautious_requests: Vec<usize>,
+    /// # runs in which request i was actually sent.
+    sent: Vec<usize>,
+    /// Σ final total benefit.
+    total_benefit: f64,
+    /// Σ squared final total benefit (for the standard error).
+    total_benefit_sq: f64,
+    /// Σ final cautious-friend count.
+    cautious_friends: usize,
+    /// Σ final friend count.
+    friends: usize,
+}
+
+impl TraceAccumulator {
+    /// Creates an accumulator for traces of up to `k` requests.
+    pub fn new(k: usize) -> Self {
+        TraceAccumulator {
+            k,
+            runs: 0,
+            cum_benefit: vec![0.0; k],
+            marginal_cautious: vec![0.0; k],
+            marginal_reckless: vec![0.0; k],
+            cautious_requests: vec![0; k],
+            sent: vec![0; k],
+            total_benefit: 0.0,
+            total_benefit_sq: 0.0,
+            cautious_friends: 0,
+            friends: 0,
+        }
+    }
+
+    /// Budget `k` the accumulator was sized for.
+    pub fn budget(&self) -> usize {
+        self.k
+    }
+
+    /// Number of traces folded in.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Folds one attack outcome into the aggregate.
+    ///
+    /// Traces shorter than `k` (early exhaustion) carry their final
+    /// benefit forward for the cumulative series and contribute zero
+    /// marginals afterwards.
+    pub fn add(&mut self, outcome: &AttackOutcome) {
+        self.runs += 1;
+        self.total_benefit += outcome.total_benefit;
+        self.total_benefit_sq += outcome.total_benefit * outcome.total_benefit;
+        self.cautious_friends += outcome.cautious_friends;
+        self.friends += outcome.friends.len();
+        let mut last = 0.0;
+        for i in 0..self.k {
+            if let Some(r) = outcome.trace.get(i) {
+                last = r.cumulative_benefit;
+                self.marginal_cautious[i] += r.gain.from_cautious;
+                self.marginal_reckless[i] += r.gain.from_reckless;
+                if r.cautious {
+                    self.cautious_requests[i] += 1;
+                }
+                self.sent[i] += 1;
+            }
+            self.cum_benefit[i] += last;
+        }
+    }
+
+    /// Fig. 2 series: mean cumulative benefit after request `i`.
+    pub fn mean_cumulative_benefit(&self) -> Vec<f64> {
+        self.cum_benefit.iter().map(|&s| s / self.runs.max(1) as f64).collect()
+    }
+
+    /// Fig. 3 series: mean marginal benefit of request `i` from cautious
+    /// users (averaged over all runs).
+    pub fn mean_marginal_from_cautious(&self) -> Vec<f64> {
+        self.marginal_cautious.iter().map(|&s| s / self.runs.max(1) as f64).collect()
+    }
+
+    /// Fig. 3 series: mean marginal benefit of request `i` from reckless
+    /// users.
+    pub fn mean_marginal_from_reckless(&self) -> Vec<f64> {
+        self.marginal_reckless.iter().map(|&s| s / self.runs.max(1) as f64).collect()
+    }
+
+    /// Fig. 5 series: fraction of runs in which request `i` went to a
+    /// cautious user.
+    pub fn cautious_request_fraction(&self) -> Vec<f64> {
+        self.cautious_requests
+            .iter()
+            .map(|&c| c as f64 / self.runs.max(1) as f64)
+            .collect()
+    }
+
+    /// Mean final benefit (Fig. 4 / Fig. 6 scalar).
+    pub fn mean_total_benefit(&self) -> f64 {
+        self.total_benefit / self.runs.max(1) as f64
+    }
+
+    /// Standard error of the mean final benefit (0 with fewer than two
+    /// runs) — the error bars for Fig. 2/4-style plots.
+    pub fn total_benefit_std_error(&self) -> f64 {
+        if self.runs < 2 {
+            return 0.0;
+        }
+        let n = self.runs as f64;
+        let mean = self.total_benefit / n;
+        let var = (self.total_benefit_sq / n - mean * mean).max(0.0) * n / (n - 1.0);
+        (var / n).sqrt()
+    }
+
+    /// Mean number of cautious friends (Fig. 4 / Fig. 7 scalar).
+    pub fn mean_cautious_friends(&self) -> f64 {
+        self.cautious_friends as f64 / self.runs.max(1) as f64
+    }
+
+    /// Mean number of friends of any class.
+    pub fn mean_friends(&self) -> f64 {
+        self.friends as f64 / self.runs.max(1) as f64
+    }
+
+    /// Merges another accumulator (e.g. from a worker thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budgets differ.
+    pub fn merge(&mut self, other: &TraceAccumulator) {
+        assert_eq!(self.k, other.k, "cannot merge accumulators with different budgets");
+        self.runs += other.runs;
+        self.total_benefit += other.total_benefit;
+        self.total_benefit_sq += other.total_benefit_sq;
+        self.cautious_friends += other.cautious_friends;
+        self.friends += other.friends;
+        for i in 0..self.k {
+            self.cum_benefit[i] += other.cum_benefit[i];
+            self.marginal_cautious[i] += other.marginal_cautious[i];
+            self.marginal_reckless[i] += other.marginal_reckless[i];
+            self.cautious_requests[i] += other.cautious_requests[i];
+            self.sent[i] += other.sent[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Abm, AbmWeights, MaxDegree};
+    use crate::{run_attack, AccuInstance, AccuInstanceBuilder, Realization, UserClass};
+    use osn_graph::{GraphBuilder, NodeId};
+
+    /// Star with cautious leaf 3 (θ=1, B_f=50).
+    fn star() -> AccuInstance {
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
+        AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(3), UserClass::cautious(1))
+            .benefits(NodeId::new(3), 50.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    fn full(inst: &AccuInstance) -> Realization {
+        Realization::from_parts(
+            inst,
+            vec![true; inst.graph().edge_count()],
+            vec![true; inst.node_count()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregates_single_run() {
+        let inst = star();
+        let real = full(&inst);
+        let mut abm = Abm::new(AbmWeights::balanced());
+        let out = run_attack(&inst, &real, &mut abm, 2);
+        let mut acc = TraceAccumulator::new(2);
+        acc.add(&out);
+        assert_eq!(acc.runs(), 1);
+        assert_eq!(acc.budget(), 2);
+        assert_eq!(acc.mean_cumulative_benefit(), vec![5.0, 54.0]);
+        // Second request (cautious user, upgrade +49) is all-cautious.
+        assert_eq!(acc.mean_marginal_from_cautious()[1], 49.0);
+        assert_eq!(acc.mean_marginal_from_reckless()[1], 0.0);
+        assert_eq!(acc.cautious_request_fraction(), vec![0.0, 1.0]);
+        assert_eq!(acc.mean_cautious_friends(), 1.0);
+        assert_eq!(acc.mean_friends(), 2.0);
+    }
+
+    #[test]
+    fn short_traces_carry_benefit_forward() {
+        let g = GraphBuilder::from_edges(1, std::iter::empty::<(u32, u32)>()).unwrap();
+        let inst = AccuInstanceBuilder::new(g).build().unwrap();
+        let real = full(&inst);
+        let out = run_attack(&inst, &real, &mut MaxDegree::new(), 3);
+        assert_eq!(out.trace.len(), 1);
+        let mut acc = TraceAccumulator::new(3);
+        acc.add(&out);
+        // Benefit 2 after the single request, carried to steps 2 and 3.
+        assert_eq!(acc.mean_cumulative_benefit(), vec![2.0, 2.0, 2.0]);
+        assert_eq!(acc.mean_marginal_from_reckless(), vec![2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_equals_sequential_adds() {
+        let inst = star();
+        let real = full(&inst);
+        let out1 = run_attack(&inst, &real, &mut MaxDegree::new(), 2);
+        let out2 = run_attack(&inst, &real, &mut Abm::new(AbmWeights::balanced()), 2);
+        let mut a = TraceAccumulator::new(2);
+        a.add(&out1);
+        a.add(&out2);
+        let mut b1 = TraceAccumulator::new(2);
+        b1.add(&out1);
+        let mut b2 = TraceAccumulator::new(2);
+        b2.add(&out2);
+        b1.merge(&b2);
+        assert_eq!(a.runs(), b1.runs());
+        assert_eq!(a.mean_cumulative_benefit(), b1.mean_cumulative_benefit());
+        assert_eq!(a.cautious_request_fraction(), b1.cautious_request_fraction());
+    }
+
+    #[test]
+    #[should_panic(expected = "different budgets")]
+    fn merge_rejects_budget_mismatch() {
+        let mut a = TraceAccumulator::new(2);
+        let b = TraceAccumulator::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn std_error_matches_direct_computation() {
+        let inst = star();
+        let real = full(&inst);
+        let mut acc = TraceAccumulator::new(2);
+        // Two runs with different policies → different totals.
+        acc.add(&run_attack(&inst, &real, &mut MaxDegree::new(), 2));
+        acc.add(&run_attack(&inst, &real, &mut Abm::new(AbmWeights::balanced()), 2));
+        let totals = [
+            run_attack(&inst, &real, &mut MaxDegree::new(), 2).total_benefit,
+            run_attack(&inst, &real, &mut Abm::new(AbmWeights::balanced()), 2).total_benefit,
+        ];
+        let mean = (totals[0] + totals[1]) / 2.0;
+        let var = totals.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / 1.0;
+        let expected = (var / 2.0).sqrt();
+        assert!((acc.total_benefit_std_error() - expected).abs() < 1e-9);
+        // A single run has no spread estimate.
+        let mut single = TraceAccumulator::new(2);
+        single.add(&run_attack(&inst, &real, &mut MaxDegree::new(), 2));
+        assert_eq!(single.total_benefit_std_error(), 0.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zeroed() {
+        let acc = TraceAccumulator::new(2);
+        assert_eq!(acc.mean_total_benefit(), 0.0);
+        assert_eq!(acc.mean_cumulative_benefit(), vec![0.0, 0.0]);
+    }
+}

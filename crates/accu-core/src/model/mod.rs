@@ -1,0 +1,9 @@
+//! The ACCU problem model: user classes, benefits, and instances.
+
+mod benefit;
+mod instance;
+mod user;
+
+pub use benefit::BenefitSchedule;
+pub use instance::{AccuInstance, AccuInstanceBuilder, AssumptionViolation};
+pub use user::UserClass;

@@ -1,0 +1,221 @@
+//! Clairvoyant reference attacks.
+//!
+//! [`run_omniscient_greedy`] plays greedy with full knowledge of the
+//! realization — which edges exist and who would accept — giving a cheap
+//! *upper reference line* for experiments (the exhaustive
+//! [`optimal_adaptive_benefit`](crate::theory::optimal_adaptive_benefit)
+//! is exact but only tractable on toy instances). The gap between a
+//! policy and the omniscient greedy bounds the value of information the
+//! policy failed to exploit.
+
+use osn_graph::NodeId;
+
+use crate::{
+    AccuInstance, AttackOutcome, BenefitState, MarginalGain, Observation, Realization,
+    RequestRecord,
+};
+
+impl BenefitState {
+    /// The marginal gain [`add_friend`](BenefitState::add_friend) *would*
+    /// return for `u`, without mutating the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is already a friend or out of range.
+    pub fn peek_gain(
+        &self,
+        instance: &AccuInstance,
+        realization: &Realization,
+        u: NodeId,
+    ) -> MarginalGain {
+        assert!(!self.is_friend(u), "node {u} is already a friend");
+        let benefits = instance.benefits();
+        let mut gain = MarginalGain::default();
+        let own = benefits.friend(u)
+            - if self.is_friend_of_friend(u) { benefits.friend_of_friend(u) } else { 0.0 };
+        if instance.is_cautious(u) {
+            gain.from_cautious += own;
+        } else {
+            gain.from_reckless += own;
+        }
+        for v in realization.realized_neighbors(instance, u) {
+            if !self.is_friend(v) && !self.is_friend_of_friend(v) && v != u {
+                let b = benefits.friend_of_friend(v);
+                if instance.is_cautious(v) {
+                    gain.from_cautious += b;
+                } else {
+                    gain.from_reckless += b;
+                }
+            }
+        }
+        gain
+    }
+}
+
+/// Runs the omniscient greedy attack: at each step, among the users who
+/// *would accept right now* (known from the realization), request the
+/// one with the largest true marginal gain. Stops early when nobody
+/// would accept — an omniscient attacker never wastes a request.
+///
+/// Note that this is a *myopic* clairvoyant: it never spends a request
+/// on a low-gain stepping stone to unlock a cautious user. Because the
+/// ACCU objective is non-submodular, ABM with an indirect weight can
+/// therefore **beat** it on cautious-heavy instances — a vivid
+/// demonstration of the paper's point that myopic gain maximization is
+/// insufficient here (see the `abm_can_beat_myopic_omniscience` test).
+/// It remains a useful reference: it dominates every *myopic* blind
+/// policy and never wastes budget on rejections.
+pub fn run_omniscient_greedy(
+    instance: &AccuInstance,
+    realization: &Realization,
+    k: usize,
+) -> AttackOutcome {
+    let mut observation = Observation::for_instance(instance);
+    let mut benefit = BenefitState::new(instance);
+    let mut trace = Vec::with_capacity(k);
+    for step in 0..k {
+        let mut best: Option<(f64, NodeId, MarginalGain)> = None;
+        for u in instance.graph().nodes() {
+            if observation.was_requested(u) {
+                continue;
+            }
+            if !realization.accepts_at(instance, u, observation.mutual_friends(u)) {
+                continue;
+            }
+            let gain = benefit.peek_gain(instance, realization, u);
+            let total = gain.total();
+            let better = match &best {
+                None => true,
+                Some((bt, bu, _)) => total > *bt + 1e-12 || (total >= *bt - 1e-12 && u < *bu),
+            };
+            if better {
+                best = Some((total, u, gain));
+            }
+        }
+        let Some((_, target, gain)) = best else { break };
+        observation.record_acceptance(target, instance, realization);
+        let applied = benefit.add_friend(instance, realization, target);
+        debug_assert!((applied.total() - gain.total()).abs() < 1e-9);
+        trace.push(RequestRecord {
+            step,
+            target,
+            cautious: instance.is_cautious(target),
+            accepted: true,
+            gain: applied,
+            cumulative_benefit: benefit.total(),
+        });
+    }
+    AttackOutcome {
+        trace,
+        total_benefit: benefit.total(),
+        friends: observation.friends().to_vec(),
+        cautious_friends: benefit.cautious_friend_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Abm, AbmWeights};
+    use crate::{run_attack, AccuInstanceBuilder, UserClass};
+    use osn_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star() -> AccuInstance {
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
+        AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(3), UserClass::cautious(1))
+            .benefits(NodeId::new(3), 50.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn peek_matches_add() {
+        let inst = star();
+        let real = Realization::from_parts(&inst, vec![true; 3], vec![true; 4]).unwrap();
+        let mut state = BenefitState::new(&inst);
+        for u in [NodeId::new(0), NodeId::new(3), NodeId::new(1)] {
+            let peeked = state.peek_gain(&inst, &real, u);
+            let applied = state.add_friend(&inst, &real, u);
+            assert_eq!(peeked, applied, "peek/add diverged at {u}");
+        }
+    }
+
+    #[test]
+    fn omniscient_never_wastes_requests() {
+        let inst = star();
+        // Every reckless user rejects.
+        let real = Realization::from_parts(&inst, vec![true; 3], vec![false; 4]).unwrap();
+        let out = run_omniscient_greedy(&inst, &real, 4);
+        assert!(out.trace.is_empty(), "no acceptor exists, so no request is worth sending");
+        assert_eq!(out.total_benefit, 0.0);
+    }
+
+    #[test]
+    fn omniscient_unlocks_cautious_users() {
+        let inst = star();
+        let real = Realization::from_parts(&inst, vec![true; 3], vec![true; 4]).unwrap();
+        let out = run_omniscient_greedy(&inst, &real, 2);
+        // Hub first (gain 5), then the unlocked cautious leaf (+49).
+        assert_eq!(out.total_benefit, 54.0);
+        assert_eq!(out.cautious_friends, 1);
+        assert!(out.trace.iter().all(|r| r.accepted));
+    }
+
+    fn random_instance(seed: u64) -> (AccuInstance, Realization) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = osn_graph::generators::barabasi_albert(80, 3, &mut rng).unwrap();
+        use rand::Rng;
+        let m = g.edge_count();
+        let mut builder = AccuInstanceBuilder::new(g)
+            .edge_probabilities((0..m).map(|_| rng.gen_range(0.2..1.0)).collect());
+        for i in 0..80usize {
+            let v = NodeId::from(i);
+            builder = if i % 13 == 5 {
+                builder.user_class(v, UserClass::cautious(2)).benefits(v, 50.0, 1.0)
+            } else {
+                builder.user_class(v, UserClass::reckless(rng.gen_range(0.1..1.0)))
+            };
+        }
+        let inst = builder.build().unwrap();
+        let real = Realization::sample(&inst, &mut rng);
+        (inst, real)
+    }
+
+    #[test]
+    fn omniscient_dominates_blind_myopic_greedy_on_average() {
+        // Myopic vs myopic: knowing the realization can only help.
+        let (mut omni_total, mut blind_total) = (0.0f64, 0.0f64);
+        for seed in 0..10u64 {
+            let (inst, real) = random_instance(seed);
+            omni_total += run_omniscient_greedy(&inst, &real, 20).total_benefit;
+            let mut greedy = crate::policy::pure_greedy();
+            blind_total += run_attack(&inst, &real, &mut greedy, 20).total_benefit;
+        }
+        assert!(
+            omni_total >= blind_total,
+            "omniscient myopic {omni_total} must beat blind myopic {blind_total} on average"
+        );
+    }
+
+    #[test]
+    fn abm_can_beat_myopic_omniscience() {
+        // The paper's core point, sharpened: with non-submodular gains,
+        // a blind policy that *invests* in unlocking cautious users can
+        // beat a clairvoyant policy that maximizes immediate gain. Seed
+        // 0 of the fixture exhibits the reversal.
+        let (inst, real) = random_instance(0);
+        let omni = run_omniscient_greedy(&inst, &real, 20);
+        let mut abm = Abm::new(AbmWeights::balanced());
+        let blind = run_attack(&inst, &real, &mut abm, 20);
+        assert!(
+            blind.total_benefit > omni.total_benefit,
+            "expected ABM ({}) to beat myopic omniscience ({}) on this instance",
+            blind.total_benefit,
+            omni.total_benefit
+        );
+        assert!(blind.cautious_friends > omni.cautious_friends);
+    }
+}

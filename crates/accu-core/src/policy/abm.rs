@@ -1,0 +1,470 @@
+//! Adaptive Benefit Maximization (paper Algorithm 1).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use osn_graph::NodeId;
+
+use crate::{AttackerView, Policy};
+
+/// The tunable weights of the ABM potential function
+/// `P(u|ω) = q(u)·(w_D·P_D + w_I·P_I)`.
+///
+/// The paper's experiments use `w_D = 1 − w_I`; `w_D = 1, w_I = 0` is the
+/// classical pure greedy covered by Theorem 1.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::policy::AbmWeights;
+///
+/// let w = AbmWeights::balanced();           // w_D = w_I = 0.5 (paper §IV-B)
+/// assert_eq!(w.direct(), 0.5);
+/// let w = AbmWeights::with_indirect(0.2);   // w_D = 0.8, w_I = 0.2
+/// assert_eq!(w.direct(), 0.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbmWeights {
+    direct: f64,
+    indirect: f64,
+}
+
+impl AbmWeights {
+    /// Creates weights `(w_D, w_I)`. Negative values are clamped to 0.
+    pub fn new(direct: f64, indirect: f64) -> Self {
+        AbmWeights { direct: direct.max(0.0), indirect: indirect.max(0.0) }
+    }
+
+    /// The paper's default for the main comparison: `w_D = w_I = 0.5`.
+    pub fn balanced() -> Self {
+        AbmWeights::new(0.5, 0.5)
+    }
+
+    /// The paper's sweep parameterization: `w_I = wi`, `w_D = 1 − wi`.
+    pub fn with_indirect(wi: f64) -> Self {
+        AbmWeights::new(1.0 - wi, wi)
+    }
+
+    /// Direct-gain weight `w_D`.
+    pub fn direct(&self) -> f64 {
+        self.direct
+    }
+
+    /// Indirect-gain weight `w_I`.
+    pub fn indirect(&self) -> f64 {
+        self.indirect
+    }
+}
+
+impl Default for AbmWeights {
+    fn default() -> Self {
+        AbmWeights::balanced()
+    }
+}
+
+/// Max-heap entry ordered by potential, ties broken toward the lowest
+/// node id for determinism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    potential: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.potential
+            .total_cmp(&other.potential)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The Adaptive Benefit Maximization policy (paper Algorithm 1).
+///
+/// Each step sends a request to the candidate maximizing the potential
+/// `P(u|ω) = q(u)·(w_D·P_D + w_I·P_I)` where:
+///
+/// * `q(u)` is the acceptance belief — `q_u` for reckless users, `1`/`0`
+///   for cautious users at/below their threshold;
+/// * `P_D` is the expected direct benefit: `B_f(u)` (minus `B_fof(u)` if
+///   `u` is already a friend-of-friend) plus the expected
+///   friend-of-friend benefit of `u`'s potential neighbors that are not
+///   friends and not already friends-of-friends;
+/// * `P_I` rewards `u` for moving its not-yet-befriendable cautious
+///   neighbors `v` closer to their thresholds:
+///   `Σ p_uv·(B_f(v) − B_fof(v)) / (θ_v − |N(s) ∩ N(v)|)`.
+///
+/// # Implementation notes
+///
+/// Potentials are cached and maintained *incrementally*: accepting `u`
+/// only changes the potentials of nodes within two hops of `u` (through
+/// realized edges), so only those are rescored. A lazy max-heap with
+/// stale-entry skipping yields the argmax; stale entries are recognized
+/// by comparing against the cache, which also handles potentials that
+/// *increase* (a cautious user's `q` flipping 0 → 1) — the reason
+/// classical lazy-greedy would be incorrect here.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::policy::{Abm, AbmWeights, Policy};
+///
+/// let abm = Abm::new(AbmWeights::balanced());
+/// assert_eq!(abm.name(), "ABM");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Abm {
+    weights: AbmWeights,
+    name: String,
+    potential: Vec<f64>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl Abm {
+    /// Creates an ABM policy with the given weights.
+    pub fn new(weights: AbmWeights) -> Self {
+        Abm::with_name(weights, "ABM")
+    }
+
+    /// Creates an ABM policy with a custom display name.
+    pub fn with_name(weights: AbmWeights, name: impl Into<String>) -> Self {
+        Abm { weights, name: name.into(), potential: Vec::new(), heap: BinaryHeap::new() }
+    }
+
+    /// The configured weights.
+    pub fn weights(&self) -> AbmWeights {
+        self.weights
+    }
+
+    /// Computes the potential `P(u|ω)` from scratch.
+    ///
+    /// Public so experiments and tests can inspect the scoring directly.
+    pub fn potential_of(&self, view: &AttackerView<'_>, u: NodeId) -> f64 {
+        potential(view, u, self.weights)
+    }
+
+    fn rescore(&mut self, view: &AttackerView<'_>, u: NodeId) {
+        if view.observation().was_requested(u) {
+            return;
+        }
+        let p = potential(view, u, self.weights);
+        if p != self.potential[u.index()] {
+            self.potential[u.index()] = p;
+            self.heap.push(HeapEntry { potential: p, node: u });
+        }
+    }
+}
+
+/// Evaluates the ABM potential of candidate `u`.
+fn potential(view: &AttackerView<'_>, u: NodeId, w: AbmWeights) -> f64 {
+    let obs = view.observation();
+    let inst = view.instance();
+    let benefits = inst.benefits();
+    let q = view.acceptance_belief(u);
+    if q == 0.0 {
+        return 0.0;
+    }
+    let mut direct = benefits.friend(u)
+        - if obs.is_friend_of_friend(u) { benefits.friend_of_friend(u) } else { 0.0 };
+    let mut indirect = 0.0;
+    for (v, e) in inst.graph().neighbor_entries(u) {
+        if obs.is_friend(v) {
+            continue; // v ∈ N(s): already delivers its benefit
+        }
+        let p = view.edge_belief(e);
+        if p == 0.0 {
+            continue;
+        }
+        if !obs.is_friend_of_friend(v) {
+            direct += p * benefits.friend_of_friend(v);
+        }
+        if w.indirect() > 0.0 {
+            if let Some(theta) = inst.threshold(v) {
+                // Skip cautious users that already rejected a request —
+                // without re-requests their friend benefit is forfeited,
+                // so pushing them toward the threshold has no value.
+                if obs.was_requested(v) {
+                    continue;
+                }
+                let mutual = obs.mutual_friends(v);
+                if theta > mutual {
+                    indirect += p * benefits.gap(v) / (theta - mutual) as f64;
+                }
+            }
+        }
+    }
+    q * (w.direct() * direct + w.indirect() * indirect)
+}
+
+impl Policy for Abm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn reset(&mut self, view: &AttackerView<'_>) {
+        let n = view.graph().node_count();
+        self.potential = vec![f64::NEG_INFINITY; n];
+        self.heap = BinaryHeap::with_capacity(n);
+        for u in view.candidates() {
+            let p = potential(view, u, self.weights);
+            self.potential[u.index()] = p;
+            self.heap.push(HeapEntry { potential: p, node: u });
+        }
+    }
+
+    fn select(&mut self, view: &AttackerView<'_>) -> Option<NodeId> {
+        let obs = view.observation();
+        while let Some(entry) = self.heap.pop() {
+            if obs.was_requested(entry.node) {
+                continue; // no longer a candidate
+            }
+            if entry.potential != self.potential[entry.node.index()] {
+                continue; // stale entry; a fresher one is in the heap
+            }
+            return Some(entry.node);
+        }
+        None
+    }
+
+    fn observe(
+        &mut self,
+        view: &AttackerView<'_>,
+        target: NodeId,
+        accepted: bool,
+        newly_revealed: &[NodeId],
+    ) {
+        if !accepted {
+            // A rejected cautious user stops contributing indirect value;
+            // its graph neighbors must be rescored. Rejected reckless
+            // users change nothing beyond leaving the candidate set.
+            if view.instance().is_cautious(target) && self.weights.indirect() > 0.0 {
+                let neighbors: Vec<NodeId> =
+                    view.graph().neighbors(target).to_vec();
+                for x in neighbors {
+                    self.rescore(view, x);
+                }
+            }
+            return;
+        }
+        // Dirty set: nodes whose potential terms reference the target
+        // (its graph neighbors — covers newly revealed absent edges too)
+        // plus the realized neighbors (fof/mutual changes) and *their*
+        // graph neighbors.
+        let mut dirty: Vec<NodeId> = view.graph().neighbors(target).to_vec();
+        for &v in newly_revealed {
+            dirty.push(v);
+            dirty.extend_from_slice(view.graph().neighbors(v));
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        for x in dirty {
+            self.rescore(view, x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        run_attack, AccuInstanceBuilder, AccuInstance, Observation, Realization, UserClass,
+    };
+    use osn_graph::{GraphBuilder, NodeId};
+
+    /// Star: hub 0, leaves 1..=3; leaf 3 cautious (θ=1, B_f=50).
+    fn star() -> AccuInstance {
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
+        AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(3), UserClass::cautious(1))
+            .benefits(NodeId::new(3), 50.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    fn full(inst: &AccuInstance) -> Realization {
+        Realization::from_parts(
+            inst,
+            vec![true; inst.graph().edge_count()],
+            vec![true; inst.node_count()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn weights_constructors() {
+        let w = AbmWeights::with_indirect(0.3);
+        assert!((w.direct() - 0.7).abs() < 1e-12);
+        assert!((w.indirect() - 0.3).abs() < 1e-12);
+        let w = AbmWeights::new(-1.0, 2.0);
+        assert_eq!(w.direct(), 0.0);
+        assert_eq!(w.indirect(), 2.0);
+        assert_eq!(AbmWeights::default(), AbmWeights::balanced());
+    }
+
+    #[test]
+    fn potential_matches_hand_computation() {
+        let inst = star();
+        let obs = Observation::for_instance(&inst);
+        let view = AttackerView::new(&inst, &obs);
+        let abm = Abm::new(AbmWeights::new(1.0, 1.0));
+        // Hub 0: q=1. P_D = B_f(0) + Σ_leaves B_fof = 2 + 3·1 = 5.
+        // P_I = gap(3)/θ = 49.
+        assert_eq!(abm.potential_of(&view, NodeId::new(0)), 54.0);
+        // Leaf 1: P_D = 2 + B_fof(0) = 3; P_I = 0 (no cautious neighbor).
+        assert_eq!(abm.potential_of(&view, NodeId::new(1)), 3.0);
+        // Cautious 3 below threshold: q = 0 → potential 0.
+        assert_eq!(abm.potential_of(&view, NodeId::new(3)), 0.0);
+    }
+
+    #[test]
+    fn potential_uses_edge_beliefs() {
+        let g = GraphBuilder::from_edges(2, [(0u32, 1u32)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .uniform_edge_probability(0.5)
+            .user_class(NodeId::new(0), UserClass::reckless(0.4))
+            .build()
+            .unwrap();
+        let obs = Observation::for_instance(&inst);
+        let view = AttackerView::new(&inst, &obs);
+        let abm = Abm::new(AbmWeights::new(1.0, 0.0));
+        // q(0)=0.4, P_D = 2 + 0.5·1 = 2.5 → 1.0
+        assert!((abm.potential_of(&view, NodeId::new(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abm_befriends_cautious_after_unlocking() {
+        let inst = star();
+        let real = full(&inst);
+        let mut abm = Abm::new(AbmWeights::balanced());
+        let outcome = run_attack(&inst, &real, &mut abm, 2);
+        // First pick: hub (highest potential). Second: cautious 3 with
+        // threshold met and B_f = 50.
+        let targets: Vec<NodeId> = outcome.trace.iter().map(|r| r.target).collect();
+        assert_eq!(targets, vec![NodeId::new(0), NodeId::new(3)]);
+        assert!(outcome.trace[1].accepted);
+        assert_eq!(outcome.cautious_friends, 1);
+        // 2 (hub) + 1+1+1 (fofs) + 49 (upgrade 3) = 54
+        assert_eq!(outcome.total_benefit, 54.0);
+    }
+
+    #[test]
+    fn pure_greedy_ignores_indirect_gain() {
+        // Two components: hub A (0) with cautious high-value neighbor,
+        // vs a slightly richer isolated reckless user.
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(1), UserClass::cautious(1))
+            .benefits(NodeId::new(1), 100.0, 1.0)
+            .benefits(NodeId::new(2), 4.0, 1.0)
+            .build()
+            .unwrap();
+        let obs = Observation::for_instance(&inst);
+        let view = AttackerView::new(&inst, &obs);
+        // Pure greedy scores 0 higher than 2? P_D(0) = 2 + 1 = 3 < 4.
+        let greedy = crate::policy::pure_greedy();
+        assert!(greedy.potential_of(&view, NodeId::new(2))
+            > greedy.potential_of(&view, NodeId::new(0)));
+        // Balanced ABM prefers 0 thanks to indirect gain 99/2... θ=1 → 99.
+        let abm = Abm::new(AbmWeights::balanced());
+        assert!(abm.potential_of(&view, NodeId::new(0)) > abm.potential_of(&view, NodeId::new(2)));
+    }
+
+    #[test]
+    fn incremental_rescoring_matches_fresh_policy() {
+        // After an acceptance, every cached potential must equal a
+        // from-scratch evaluation.
+        let inst = star();
+        let real = full(&inst);
+        let mut abm = Abm::new(AbmWeights::balanced());
+        let mut obs = Observation::for_instance(&inst);
+        {
+            let view = AttackerView::new(&inst, &obs);
+            abm.reset(&view);
+        }
+        let revealed = obs.record_acceptance(NodeId::new(0), &inst, &real);
+        let view = AttackerView::new(&inst, &obs);
+        abm.observe(&view, NodeId::new(0), true, &revealed);
+        for u in view.candidates() {
+            assert_eq!(
+                abm.potential[u.index()],
+                abm.potential_of(&view, u),
+                "cached potential of {u} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_naive_full_rescan() {
+        // The lazy-heap + dirty-set machinery is an optimization only:
+        // on a random-ish instance the selected sequence must equal a
+        // from-scratch argmax at every step.
+        struct NaiveAbm(Abm);
+        impl Policy for NaiveAbm {
+            fn name(&self) -> &str {
+                "NaiveABM"
+            }
+            fn reset(&mut self, _: &AttackerView<'_>) {}
+            fn select(&mut self, view: &AttackerView<'_>) -> Option<NodeId> {
+                view.candidates()
+                    .map(|u| (self.0.potential_of(view, u), u))
+                    .max_by(|a, b| a.0.total_cmp(&b.0).then_with(|| b.1.cmp(&a.1)))
+                    .map(|(_, u)| u)
+            }
+        }
+        use crate::AttackerView;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = osn_graph::generators::barabasi_albert(60, 3, &mut rng).unwrap();
+            let m = g.edge_count();
+            let mut builder = crate::AccuInstanceBuilder::new(g)
+                .edge_probabilities((0..m).map(|_| rng.gen_range(0.1..1.0)).collect());
+            for i in 0..60usize {
+                let v = NodeId::from(i);
+                if i % 11 == 3 {
+                    builder = builder
+                        .user_class(v, UserClass::cautious(rng.gen_range(1..3)))
+                        .benefits(v, 50.0, 1.0);
+                } else {
+                    builder =
+                        builder.user_class(v, UserClass::reckless(rng.gen_range(0.1..1.0)));
+                }
+            }
+            let inst = builder.build().unwrap();
+            let real = Realization::sample(&inst, &mut StdRng::seed_from_u64(seed + 100));
+            let weights = AbmWeights::balanced();
+            let fast = run_attack(&inst, &real, &mut Abm::new(weights), 25);
+            let slow = run_attack(&inst, &real, &mut NaiveAbm(Abm::new(weights)), 25);
+            let fast_targets: Vec<NodeId> = fast.trace.iter().map(|r| r.target).collect();
+            let slow_targets: Vec<NodeId> = slow.trace.iter().map(|r| r.target).collect();
+            assert_eq!(fast_targets, slow_targets, "seed {seed}: traces diverged");
+            assert_eq!(fast.total_benefit, slow.total_benefit);
+        }
+    }
+
+    #[test]
+    fn select_returns_none_when_exhausted() {
+        let g = GraphBuilder::from_edges(1, std::iter::empty::<(u32, u32)>()).unwrap();
+        let inst = AccuInstanceBuilder::new(g).build().unwrap();
+        let real = full(&inst);
+        let mut abm = Abm::new(AbmWeights::balanced());
+        let outcome = run_attack(&inst, &real, &mut abm, 5);
+        assert_eq!(outcome.trace.len(), 1); // only one candidate existed
+    }
+
+    #[test]
+    fn heap_entry_ordering_breaks_ties_by_id() {
+        let a = HeapEntry { potential: 1.0, node: NodeId::new(2) };
+        let b = HeapEntry { potential: 1.0, node: NodeId::new(1) };
+        assert!(b > a);
+        let c = HeapEntry { potential: 2.0, node: NodeId::new(9) };
+        assert!(c > b);
+    }
+}

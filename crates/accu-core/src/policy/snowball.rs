@@ -1,0 +1,154 @@
+//! A local-knowledge ("snowball") attacker.
+//!
+//! The paper's baselines (MaxDegree, PageRank) and ABM all read global
+//! topology and model parameters. A real socialbot often has neither: it
+//! sees only the neighborhoods revealed by accepted requests. This
+//! policy models that attacker — request the known friend-of-friend
+//! sharing the most mutual friends with the bot (triangle closing),
+//! falling back to a random stranger when no FOF is known. Comparing it
+//! against ABM quantifies how much of the attack's power comes from
+//! global knowledge.
+
+use osn_graph::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{AttackerView, Policy};
+
+/// Local-knowledge baseline: highest-mutual-count friend-of-friend
+/// first, random stranger otherwise.
+///
+/// Uses only observation-derived information (revealed neighborhoods and
+/// mutual counts) — never the global topology, probabilities or
+/// benefits.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::policy::{Policy, Snowball};
+/// assert_eq!(Snowball::new(7).name(), "Snowball");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Snowball {
+    seed: u64,
+    episode: u64,
+    rng: SmallRng,
+}
+
+impl Snowball {
+    /// Creates a snowball attacker with the given base seed (for the
+    /// random-stranger fallback).
+    pub fn new(seed: u64) -> Self {
+        Snowball { seed, episode: 0, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl Policy for Snowball {
+    fn name(&self) -> &str {
+        "Snowball"
+    }
+
+    fn reset(&mut self, _view: &AttackerView<'_>) {
+        self.episode += 1;
+        self.rng = SmallRng::seed_from_u64(
+            self.seed ^ self.episode.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+    }
+
+    fn select(&mut self, view: &AttackerView<'_>) -> Option<NodeId> {
+        let obs = view.observation();
+        // Best known friend-of-friend by observed mutual count.
+        let best_fof = view
+            .candidates()
+            .filter(|&u| obs.mutual_friends(u) > 0)
+            .max_by_key(|&u| (obs.mutual_friends(u), std::cmp::Reverse(u)));
+        if best_fof.is_some() {
+            return best_fof;
+        }
+        // Cold start / dead end: uniform random stranger.
+        let mut chosen = None;
+        for (seen, v) in view.candidates().enumerate() {
+            if self.rng.gen_range(0..=seen) == 0 {
+                chosen = Some(v);
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_attack, AccuInstance, AccuInstanceBuilder, Realization, UserClass};
+    use osn_graph::GraphBuilder;
+
+    /// Two triangles joined at node 2; node 5 isolated.
+    fn instance() -> AccuInstance {
+        let g = GraphBuilder::from_edges(
+            6,
+            [(0u32, 1u32), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4)],
+        )
+        .unwrap();
+        AccuInstanceBuilder::new(g).build().unwrap()
+    }
+
+    fn full(inst: &AccuInstance) -> Realization {
+        Realization::from_parts(
+            inst,
+            vec![true; inst.graph().edge_count()],
+            vec![true; inst.node_count()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snowball_expands_through_the_known_frontier() {
+        let inst = instance();
+        let real = full(&inst);
+        let mut p = Snowball::new(3);
+        let out = run_attack(&inst, &real, &mut p, 5);
+        assert_eq!(out.trace.len(), 5);
+        // After the random first request, every subsequent target (until
+        // the component is exhausted) must have been a known FOF.
+        let mut fof_phase = true;
+        for r in out.trace.iter().skip(1) {
+            if r.target == NodeId::new(5) {
+                fof_phase = false; // the isolated node is never a FOF
+            } else {
+                assert!(fof_phase, "stranger requested while FOFs remained");
+            }
+        }
+    }
+
+    #[test]
+    fn snowball_prefers_higher_mutual_counts() {
+        // Befriend 0 first by seeding; neighbors 1 and 2 both become
+        // FOFs with 1 mutual; after taking one, the triangle closure
+        // makes the remaining one a 2-mutual target.
+        let inst = instance();
+        let real = full(&inst);
+        for seed in 0..10 {
+            let mut p = Snowball::new(seed);
+            let out = run_attack(&inst, &real, &mut p, 6);
+            // All 6 users are eventually befriended (everything accepts).
+            assert_eq!(out.friends.len(), 6);
+        }
+    }
+
+    #[test]
+    fn snowball_never_uses_global_knowledge_on_cautious_users() {
+        // A cautious user below threshold still gets requested if it is
+        // the best FOF — the local attacker cannot know θ. This wastes a
+        // request, unlike ABM.
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(2), UserClass::cautious(2))
+            .build()
+            .unwrap();
+        let real = Realization::from_parts(&inst, vec![true; 2], vec![true; 3]).unwrap();
+        let mut p = Snowball::new(1);
+        let out = run_attack(&inst, &real, &mut p, 3);
+        let wasted = out.trace.iter().filter(|r| !r.accepted).count();
+        assert!(wasted >= 1, "the blind attacker should waste a request on the gated user");
+    }
+}

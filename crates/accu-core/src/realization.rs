@@ -1,0 +1,473 @@
+//! Realizations of the stochastic network state (paper §II-B).
+//!
+//! A realization `φ` fixes every random variable of the instance: the
+//! existence of every probabilistic edge (`X_uv`) and each user's
+//! acceptance behavior (`X_u`). Acceptance is represented by one
+//! **uniform draw per user** compared against the user's acceptance
+//! curve `q_u(mutual)` ([`UserClass::acceptance_probability_at`]): the
+//! user accepts iff `draw < q_u(mutual at request time)`. Since every
+//! class's curve is non-decreasing in the mutual-friend count, this is
+//! the *monotone coupling* — gaining mutual friends can only flip a
+//! rejection into an acceptance:
+//!
+//! * reckless users (`q` constant): a plain Bernoulli outcome;
+//! * cautious users (`0/1` at the threshold): deterministic;
+//! * hesitant users (`q₁/q₂`): the three joint outcomes with
+//!   probabilities `q₁, q₂−q₁, 1−q₂`;
+//! * linear users (`min(1, base + slope·m)`): one outcome per mutual
+//!   count band.
+
+use osn_graph::{EdgeId, NodeId};
+use rand::Rng;
+
+use crate::{AccuError, AccuInstance, UserClass};
+
+/// Sentinel draw forcing acceptance at every level (a zero-probability
+/// outcome unless the curve's minimum is positive).
+const ALWAYS: f64 = -1.0;
+/// Sentinel draw forcing rejection at every level.
+const NEVER: f64 = 2.0;
+
+/// A fully resolved random state of an ACCU instance.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::{AccuInstanceBuilder, Realization, UserClass};
+/// use osn_graph::{GraphBuilder, NodeId};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let g = GraphBuilder::from_edges(2, [(0u32, 1u32)])?;
+/// let inst = AccuInstanceBuilder::new(g)
+///     .uniform_edge_probability(0.5)
+///     .user_class(NodeId::new(0), UserClass::reckless(0.5))
+///     .build()?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let real = Realization::sample(&inst, &mut rng);
+/// let _exists = real.edge_exists(osn_graph::EdgeId::new(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Realization {
+    edge_exists: Vec<bool>,
+    /// Uniform acceptance draw per user; compared against the class's
+    /// acceptance curve at the request-time mutual count.
+    draw: Vec<f64>,
+}
+
+impl Realization {
+    /// Samples a realization: each edge exists with its probability,
+    /// each user receives an independent uniform acceptance draw.
+    pub fn sample<R: Rng + ?Sized>(instance: &AccuInstance, rng: &mut R) -> Self {
+        let g = instance.graph();
+        let edge_exists = (0..g.edge_count())
+            .map(|i| rng.gen_bool(instance.edge_probability(EdgeId::from(i))))
+            .collect();
+        let draw = (0..g.node_count()).map(|_| rng.gen::<f64>()).collect();
+        Realization { edge_exists, draw }
+    }
+
+    /// Builds a realization from explicit outcome vectors.
+    ///
+    /// `edge_exists` is indexed by [`EdgeId`]; `accepts` is indexed by
+    /// node and interpreted per class: for reckless users it fixes the
+    /// Bernoulli outcome; for cautious users it is ignored (their
+    /// behavior is deterministic); for hesitant and linear users it
+    /// forces accept-at-any-level / reject-at-any-level — use
+    /// [`from_parts_full`](Self::from_parts_full) for the intermediate
+    /// patterns. Forcing an outcome of probability zero (e.g. rejection
+    /// at `q = 1`) is allowed and yields [`probability`](Self::probability) 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccuError::LengthMismatch`] if a vector length does not
+    /// match the instance.
+    pub fn from_parts(
+        instance: &AccuInstance,
+        edge_exists: Vec<bool>,
+        accepts: Vec<bool>,
+    ) -> Result<Self, AccuError> {
+        if accepts.len() != instance.node_count() {
+            return Err(AccuError::LengthMismatch {
+                what: "acceptance outcomes",
+                expected: instance.node_count(),
+                actual: accepts.len(),
+            });
+        }
+        let low: Vec<bool> = accepts
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                !matches!(instance.user_class(NodeId::from(i)), UserClass::Cautious { .. }) && a
+            })
+            .collect();
+        let high: Vec<bool> = accepts
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                matches!(instance.user_class(NodeId::from(i)), UserClass::Cautious { .. }) || a
+            })
+            .collect();
+        Self::from_parts_full(instance, edge_exists, low, high)
+    }
+
+    /// Builds a realization from explicit edge outcomes and the
+    /// (minimum-level, maximum-level) acceptance pattern per user:
+    /// `accept_low[u]` forces acceptance even at the curve's minimum,
+    /// `accept_high[u]` controls acceptance at the curve's maximum.
+    ///
+    /// `(true, true)` = accepts at every level; `(false, true)` =
+    /// accepts only once the curve has risen above its minimum (for
+    /// threshold users: at the threshold); `(false, false)` = never
+    /// accepts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccuError::LengthMismatch`] on wrong vector lengths and
+    /// [`AccuError::InvalidProbability`] if some user has
+    /// `accept_low = true` with `accept_high = false` (forbidden by the
+    /// monotone coupling), or pattern `(false, true)` on a user whose
+    /// curve is constant (there is no intermediate level to accept at).
+    pub fn from_parts_full(
+        instance: &AccuInstance,
+        edge_exists: Vec<bool>,
+        accept_low: Vec<bool>,
+        accept_high: Vec<bool>,
+    ) -> Result<Self, AccuError> {
+        if edge_exists.len() != instance.graph().edge_count() {
+            return Err(AccuError::LengthMismatch {
+                what: "edge existence outcomes",
+                expected: instance.graph().edge_count(),
+                actual: edge_exists.len(),
+            });
+        }
+        for (what, v) in [("below-threshold outcomes", &accept_low),
+            ("at-threshold outcomes", &accept_high)]
+        {
+            if v.len() != instance.node_count() {
+                return Err(AccuError::LengthMismatch {
+                    what,
+                    expected: instance.node_count(),
+                    actual: v.len(),
+                });
+            }
+        }
+        let mut draw = Vec::with_capacity(accept_low.len());
+        for i in 0..accept_low.len() {
+            let (min_level, max_level) =
+                instance.user_class(NodeId::from(i)).acceptance_probabilities();
+            draw.push(match (accept_low[i], accept_high[i]) {
+                (true, false) => {
+                    return Err(AccuError::InvalidProbability {
+                        what: "acceptance coupling (accept below but not at threshold)",
+                        value: f64::NAN,
+                    })
+                }
+                (true, true) => {
+                    if min_level > 0.0 {
+                        min_level / 2.0
+                    } else {
+                        ALWAYS // zero-probability forced acceptance
+                    }
+                }
+                (false, true) => {
+                    if min_level < max_level {
+                        (min_level + max_level) / 2.0
+                    } else {
+                        return Err(AccuError::InvalidProbability {
+                            what: "acceptance pattern (rise to acceptance on a flat curve)",
+                            value: min_level,
+                        });
+                    }
+                }
+                (false, false) => {
+                    if max_level < 1.0 {
+                        (max_level + 1.0) / 2.0
+                    } else {
+                        NEVER // zero-probability forced rejection
+                    }
+                }
+            });
+        }
+        Ok(Realization { edge_exists, draw })
+    }
+
+    /// Whether edge `e` exists under this realization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn edge_exists(&self, e: EdgeId) -> bool {
+        self.edge_exists[e.index()]
+    }
+
+    /// The acceptance outcome of `u` when it currently shares `mutual`
+    /// friends with the attacker: `draw < q_u(mutual)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn accepts_at(&self, instance: &AccuInstance, u: NodeId, mutual: u32) -> bool {
+        self.draw[u.index()] < instance.user_class(u).acceptance_probability_at(mutual)
+    }
+
+    /// The raw uniform acceptance draw of `u` (sentinels outside `[0,1)`
+    /// encode forced outcomes from [`from_parts`](Self::from_parts)).
+    #[inline]
+    pub fn acceptance_draw(&self, u: NodeId) -> f64 {
+        self.draw[u.index()]
+    }
+
+    /// Builds a realization directly from raw outcome vectors (crate
+    /// internal; used by exhaustive enumeration).
+    pub(crate) fn from_raw(edge_exists: Vec<bool>, draw: Vec<f64>) -> Self {
+        Realization { edge_exists, draw }
+    }
+
+    /// Iterates over the realized (existing) neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn realized_neighbors<'a>(
+        &'a self,
+        instance: &'a AccuInstance,
+        v: NodeId,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        instance
+            .graph()
+            .neighbor_entries(v)
+            .filter(move |&(_, e)| self.edge_exists(e))
+            .map(|(w, _)| w)
+    }
+
+    /// Number of realized neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn realized_degree(&self, instance: &AccuInstance, v: NodeId) -> usize {
+        self.realized_neighbors(instance, v).count()
+    }
+
+    /// The distinct interior cut points of `u`'s acceptance curve — the
+    /// level values strictly inside `(0, 1)`, over the mutual counts
+    /// `0..=deg(u)` — sorted ascending. Draws within the same band
+    /// induce identical behavior.
+    pub(crate) fn acceptance_cuts(instance: &AccuInstance, u: NodeId) -> Vec<f64> {
+        let class = instance.user_class(u);
+        let deg = instance.graph().degree(u) as u32;
+        let mut cuts: Vec<f64> = (0..=deg)
+            .map(|m| class.acceptance_probability_at(m))
+            .filter(|&l| l > 0.0 && l < 1.0)
+            .collect();
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup();
+        cuts
+    }
+
+    /// Probability mass of this realization's *outcome class*: the
+    /// product of edge-outcome probabilities and, per user, the length
+    /// of the draw's behavioral band. Sentinel (forced, zero-mass)
+    /// outcomes contribute 0.
+    pub fn probability(&self, instance: &AccuInstance) -> f64 {
+        let mut p = 1.0f64;
+        for (i, &exists) in self.edge_exists.iter().enumerate() {
+            let pe = instance.edge_probability(EdgeId::from(i));
+            p *= if exists { pe } else { 1.0 - pe };
+        }
+        for i in 0..self.draw.len() {
+            let d = self.draw[i];
+            if !(0.0..1.0).contains(&d) {
+                return 0.0; // forced outcome with no probability mass
+            }
+            let cuts = Self::acceptance_cuts(instance, NodeId::from(i));
+            let lo = cuts.iter().rev().find(|&&c| c <= d).copied().unwrap_or(0.0);
+            let hi = cuts.iter().find(|&&c| c > d).copied().unwrap_or(1.0);
+            p *= hi - lo;
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccuInstanceBuilder;
+    use osn_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_path_instance(p: f64, q: f64) -> AccuInstance {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        AccuInstanceBuilder::new(g)
+            .uniform_edge_probability(p)
+            .user_classes(vec![
+                UserClass::reckless(q),
+                UserClass::reckless(q),
+                UserClass::cautious(1),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_instance_samples_deterministically() {
+        let inst = two_path_instance(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let real = Realization::sample(&inst, &mut rng);
+        assert!(real.edge_exists(EdgeId::new(0)));
+        assert!(real.edge_exists(EdgeId::new(1)));
+        assert!(real.accepts_at(&inst, NodeId::new(0), 0));
+        // Cautious users: reject below threshold, accept at it.
+        assert!(!real.accepts_at(&inst, NodeId::new(2), 0));
+        assert!(real.accepts_at(&inst, NodeId::new(2), 1));
+        assert!((real.probability(&inst) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        let inst = two_path_instance(0.5, 0.5);
+        assert!(Realization::from_parts(&inst, vec![true], vec![false; 3]).is_err());
+        assert!(Realization::from_parts(&inst, vec![true; 2], vec![false]).is_err());
+        let r = Realization::from_parts(&inst, vec![true, false], vec![true, false, false])
+            .unwrap();
+        assert!(r.edge_exists(EdgeId::new(0)));
+        assert!(!r.edge_exists(EdgeId::new(1)));
+        assert!(r.accepts_at(&inst, NodeId::new(0), 0));
+        assert!(!r.accepts_at(&inst, NodeId::new(1), 0));
+    }
+
+    #[test]
+    fn from_parts_full_rejects_anticoupled_outcomes() {
+        let inst = two_path_instance(0.5, 0.5);
+        let err = Realization::from_parts_full(
+            &inst,
+            vec![true; 2],
+            vec![true, false, false],
+            vec![false, true, true],
+        )
+        .unwrap_err();
+        assert!(matches!(err, AccuError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    fn forced_zero_probability_outcomes_are_representable() {
+        // Reckless q = 1 forced to reject: allowed, with probability 0.
+        let inst = two_path_instance(1.0, 1.0);
+        let r = Realization::from_parts(&inst, vec![true; 2], vec![false, true, true])
+            .unwrap();
+        assert!(!r.accepts_at(&inst, NodeId::new(0), 5));
+        assert_eq!(r.probability(&inst), 0.0);
+    }
+
+    #[test]
+    fn realized_neighbors_filter_missing_edges() {
+        let inst = two_path_instance(0.5, 0.5);
+        let r = Realization::from_parts(&inst, vec![true, false], vec![false; 3]).unwrap();
+        let n1: Vec<NodeId> = r.realized_neighbors(&inst, NodeId::new(1)).collect();
+        assert_eq!(n1, vec![NodeId::new(0)]);
+        assert_eq!(r.realized_degree(&inst, NodeId::new(2)), 0);
+        assert_eq!(r.realized_degree(&inst, NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn probability_is_product_of_marginals() {
+        let inst = two_path_instance(0.25, 0.5);
+        // Both edges exist, both reckless accept:
+        let r = Realization::from_parts(&inst, vec![true, true], vec![true, true, false])
+            .unwrap();
+        // 0.25 * 0.25 * 0.5 * 0.5 (cautious user contributes factor 1)
+        assert!((r.probability(&inst) - 0.015625).abs() < 1e-12);
+        // Opposite outcomes:
+        let r = Realization::from_parts(&inst, vec![false, false], vec![false, false, false])
+            .unwrap();
+        assert!((r.probability(&inst) - 0.75 * 0.75 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hesitant_outcomes_follow_the_coupled_distribution() {
+        let g = GraphBuilder::from_edges(2, [(0u32, 1u32)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(0), UserClass::hesitant(0.2, 0.7, 1))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 30_000;
+        let (mut both, mut high_only, mut neither) = (0usize, 0usize, 0usize);
+        for _ in 0..trials {
+            let r = Realization::sample(&inst, &mut rng);
+            match (r.accepts_at(&inst, NodeId::new(0), 0), r.accepts_at(&inst, NodeId::new(0), 1))
+            {
+                (true, true) => both += 1,
+                (false, true) => high_only += 1,
+                (false, false) => neither += 1,
+                (true, false) => panic!("anticoupled sample"),
+            }
+        }
+        let f = |c: usize| c as f64 / trials as f64;
+        assert!((f(both) - 0.2).abs() < 0.02, "P(1,1) = {}", f(both));
+        assert!((f(high_only) - 0.5).abs() < 0.02, "P(0,1) = {}", f(high_only));
+        assert!((f(neither) - 0.3).abs() < 0.02, "P(0,0) = {}", f(neither));
+    }
+
+    #[test]
+    fn hesitant_probability_patterns() {
+        let g = GraphBuilder::from_edges(2, [(0u32, 1u32)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(0), UserClass::hesitant(0.2, 0.7, 1))
+            .build()
+            .unwrap();
+        let p = |low, high| {
+            Realization::from_parts_full(&inst, vec![true], vec![low, true], vec![high, true])
+                .unwrap()
+                .probability(&inst)
+        };
+        assert!((p(true, true) - 0.2).abs() < 1e-12);
+        assert!((p(false, true) - 0.5).abs() < 1e-12);
+        assert!((p(false, false) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_acceptance_rises_with_mutual_friends() {
+        // q(m) = min(1, 0.2 + 0.3·m) on a degree-3 user.
+        let g =
+            GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(0), UserClass::mutual_linear(0.2, 0.3))
+            .build()
+            .unwrap();
+        // Pick a draw in [0.5, 0.8): rejects at m ≤ 1, accepts at m ≥ 2.
+        let mut real =
+            Realization::from_parts(&inst, vec![true; 3], vec![true; 4]).unwrap();
+        real.draw[0] = 0.6;
+        assert!(!real.accepts_at(&inst, NodeId::new(0), 0)); // q = 0.2
+        assert!(!real.accepts_at(&inst, NodeId::new(0), 1)); // q = 0.5
+        assert!(real.accepts_at(&inst, NodeId::new(0), 2)); // q = 0.8
+        assert!(real.accepts_at(&inst, NodeId::new(0), 3)); // q = 1 (capped)
+        // Its band is [0.5, 0.8) → mass 0.3.
+        assert!((real.probability(&inst) - 0.3).abs() < 1e-12);
+        // Cut points over mutual 0..=3: {0.2, 0.5, 0.8}.
+        assert_eq!(Realization::acceptance_cuts(&inst, NodeId::new(0)), vec![0.2, 0.5, 0.8]);
+    }
+
+    #[test]
+    fn sampling_frequency_tracks_probability() {
+        let inst = two_path_instance(0.3, 0.7);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 20_000;
+        let mut edge0 = 0usize;
+        let mut accept0 = 0usize;
+        for _ in 0..trials {
+            let r = Realization::sample(&inst, &mut rng);
+            edge0 += r.edge_exists(EdgeId::new(0)) as usize;
+            accept0 += r.accepts_at(&inst, NodeId::new(0), 0) as usize;
+        }
+        let fe = edge0 as f64 / trials as f64;
+        let fa = accept0 as f64 / trials as f64;
+        assert!((fe - 0.3).abs() < 0.02, "edge frequency {fe}");
+        assert!((fa - 0.7).abs() < 0.02, "acceptance frequency {fa}");
+    }
+}

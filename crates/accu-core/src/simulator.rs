@@ -1,0 +1,350 @@
+//! The adaptive attack simulator.
+//!
+//! Drives a [`Policy`] against a fixed [`Realization`]: each step the
+//! policy picks a target, the simulator resolves the request (sampled
+//! acceptance for reckless users, deterministic threshold check for
+//! cautious users), updates the observation and benefit state, and
+//! notifies the policy.
+
+use osn_graph::NodeId;
+
+use crate::{
+    AccuInstance, AttackerView, BenefitState, MarginalGain, Observation, Policy, Realization,
+};
+
+/// One request in an attack trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// 0-based request index.
+    pub step: usize,
+    /// The targeted user.
+    pub target: NodeId,
+    /// Whether the target is cautious.
+    pub cautious: bool,
+    /// Whether the request was accepted.
+    pub accepted: bool,
+    /// Marginal benefit of this request, split by source class.
+    pub gain: MarginalGain,
+    /// Benefit accumulated up to and including this request.
+    pub cumulative_benefit: f64,
+}
+
+/// Full result of one attack episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackOutcome {
+    /// Per-request records, in order.
+    pub trace: Vec<RequestRecord>,
+    /// Final total benefit `f(π, φ)`.
+    pub total_benefit: f64,
+    /// Users that accepted, in acceptance order.
+    pub friends: Vec<NodeId>,
+    /// Number of cautious users among the friends.
+    pub cautious_friends: usize,
+}
+
+impl AttackOutcome {
+    /// Number of requests actually sent.
+    pub fn requests_sent(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Cumulative benefit after each request (length = requests sent).
+    pub fn benefit_curve(&self) -> Vec<f64> {
+        self.trace.iter().map(|r| r.cumulative_benefit).collect()
+    }
+}
+
+/// Resolves a friend request to `target`: evaluates the realization's
+/// acceptance draw against the target's acceptance curve at the observed
+/// mutual-friend count (which by construction equals the true realized
+/// count `|N(v) ∩ N(s)|`).
+///
+/// Covers every user class uniformly: a constant curve for reckless
+/// users, the 0/1 threshold step for cautious users, the two-level step
+/// for hesitant users, and the rising line for linear-acceptance users.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn resolve_acceptance(
+    instance: &AccuInstance,
+    observation: &Observation,
+    realization: &Realization,
+    target: NodeId,
+) -> bool {
+    realization.accepts_at(instance, target, observation.mutual_friends(target))
+}
+
+/// Runs `policy` against `realization` with a budget of `k` requests.
+///
+/// Stops early if the policy returns `None` (e.g. every user has been
+/// requested). Cautious acceptances are resolved against the attacker's
+/// observed mutual-friend count, which by construction equals the true
+/// realized count `|N(v) ∩ N(s)|`.
+///
+/// # Panics
+///
+/// Panics if the policy selects an already-requested node.
+pub fn run_attack(
+    instance: &AccuInstance,
+    realization: &Realization,
+    policy: &mut dyn Policy,
+    k: usize,
+) -> AttackOutcome {
+    let mut observation = Observation::for_instance(instance);
+    let mut benefit = BenefitState::new(instance);
+    policy.reset(&AttackerView::new(instance, &observation));
+    let mut trace = Vec::with_capacity(k);
+    for step in 0..k {
+        let target = match policy.select(&AttackerView::new(instance, &observation)) {
+            Some(t) => t,
+            None => break,
+        };
+        assert!(
+            !observation.was_requested(target),
+            "policy {} re-selected node {target}",
+            policy.name()
+        );
+        let accepted = resolve_acceptance(instance, &observation, realization, target);
+        let (gain, newly_revealed) = if accepted {
+            let revealed = observation.record_acceptance(target, instance, realization);
+            (benefit.add_friend(instance, realization, target), revealed)
+        } else {
+            observation.record_rejection(target);
+            (MarginalGain::default(), Vec::new())
+        };
+        trace.push(RequestRecord {
+            step,
+            target,
+            cautious: instance.is_cautious(target),
+            accepted,
+            gain,
+            cumulative_benefit: benefit.total(),
+        });
+        policy.observe(
+            &AttackerView::new(instance, &observation),
+            target,
+            accepted,
+            &newly_revealed,
+        );
+    }
+    AttackOutcome {
+        trace,
+        total_benefit: benefit.total(),
+        friends: observation.friends().to_vec(),
+        cautious_friends: benefit.cautious_friend_count(),
+    }
+}
+
+/// Runs `policy` under *model mismatch*: the policy sees the `believed`
+/// instance (possibly wrong probabilities, thresholds or benefits) while
+/// requests are resolved and benefit is collected on the `truth`
+/// instance. Measures the robustness of knowledge-driven policies to
+/// estimation noise — the paper assumes exact parameter knowledge.
+///
+/// Both instances must share the same graph topology.
+///
+/// # Panics
+///
+/// Panics if the graphs differ, or the policy selects an
+/// already-requested node.
+pub fn run_attack_with_beliefs(
+    truth: &AccuInstance,
+    believed: &AccuInstance,
+    realization: &Realization,
+    policy: &mut dyn Policy,
+    k: usize,
+) -> AttackOutcome {
+    assert_eq!(
+        truth.graph(),
+        believed.graph(),
+        "truth and believed instances must share a topology"
+    );
+    let mut observation = Observation::for_instance(truth);
+    let mut benefit = BenefitState::new(truth);
+    policy.reset(&AttackerView::new(believed, &observation));
+    let mut trace = Vec::with_capacity(k);
+    for step in 0..k {
+        let target = match policy.select(&AttackerView::new(believed, &observation)) {
+            Some(t) => t,
+            None => break,
+        };
+        assert!(
+            !observation.was_requested(target),
+            "policy {} re-selected node {target}",
+            policy.name()
+        );
+        let accepted = resolve_acceptance(truth, &observation, realization, target);
+        let (gain, newly_revealed) = if accepted {
+            let revealed = observation.record_acceptance(target, truth, realization);
+            (benefit.add_friend(truth, realization, target), revealed)
+        } else {
+            observation.record_rejection(target);
+            (MarginalGain::default(), Vec::new())
+        };
+        trace.push(RequestRecord {
+            step,
+            target,
+            cautious: truth.is_cautious(target),
+            accepted,
+            gain,
+            cumulative_benefit: benefit.total(),
+        });
+        policy.observe(
+            &AttackerView::new(believed, &observation),
+            target,
+            accepted,
+            &newly_revealed,
+        );
+    }
+    AttackOutcome {
+        trace,
+        total_benefit: benefit.total(),
+        friends: observation.friends().to_vec(),
+        cautious_friends: benefit.cautious_friend_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Abm, AbmWeights, MaxDegree};
+    use crate::{AccuInstanceBuilder, UserClass};
+    use osn_graph::GraphBuilder;
+
+    /// Path 0 - 1 - 2; node 2 cautious with θ = 1, B_f = 10.
+    fn path_instance() -> AccuInstance {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(2), UserClass::cautious(1))
+            .benefits(NodeId::new(2), 10.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    fn full(inst: &AccuInstance) -> Realization {
+        Realization::from_parts(
+            inst,
+            vec![true; inst.graph().edge_count()],
+            vec![true; inst.node_count()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_is_consistent() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let mut abm = Abm::new(AbmWeights::balanced());
+        let out = run_attack(&inst, &real, &mut abm, 3);
+        assert_eq!(out.trace.len(), 3);
+        // Steps are sequential; cumulative benefit is non-decreasing and
+        // matches the sum of gains.
+        let mut acc = 0.0;
+        for (i, r) in out.trace.iter().enumerate() {
+            assert_eq!(r.step, i);
+            acc += r.gain.total();
+            assert!((r.cumulative_benefit - acc).abs() < 1e-12);
+        }
+        assert_eq!(out.total_benefit, acc);
+        assert_eq!(out.friends.len(), 3);
+    }
+
+    #[test]
+    fn cautious_rejected_below_threshold() {
+        let inst = path_instance();
+        let real = full(&inst);
+        // MaxDegree requests 1 first (degree 2)... then 0 and 2 (degree 1,
+        // tie toward lower id). Node 2's request comes when 1 is already a
+        // friend → accepted. Force rejection instead by giving node 2 no
+        // unlocked path: use budget 1 on a policy that targets 2 first.
+        struct Fixed(Vec<NodeId>);
+        impl Policy for Fixed {
+            fn name(&self) -> &str {
+                "Fixed"
+            }
+            fn reset(&mut self, _: &AttackerView<'_>) {}
+            fn select(&mut self, _: &AttackerView<'_>) -> Option<NodeId> {
+                self.0.pop()
+            }
+        }
+        let mut fixed = Fixed(vec![NodeId::new(2)]);
+        let out = run_attack(&inst, &real, &mut fixed, 1);
+        assert!(!out.trace[0].accepted);
+        assert_eq!(out.total_benefit, 0.0);
+        assert_eq!(out.cautious_friends, 0);
+    }
+
+    #[test]
+    fn reckless_rejections_follow_realization() {
+        let inst = path_instance();
+        let real =
+            Realization::from_parts(&inst, vec![true, true], vec![false, true, false]).unwrap();
+        let mut md = MaxDegree::new();
+        let out = run_attack(&inst, &real, &mut md, 3);
+        // Order: 1 (deg 2, accepts), 0 (deg 1, rejects), 2 (cautious,
+        // mutual = 1 ≥ θ, accepts).
+        assert!(out.trace[0].accepted);
+        assert!(!out.trace[1].accepted);
+        assert!(out.trace[2].accepted);
+        assert_eq!(out.cautious_friends, 1);
+        // Benefit: B_f(1)=2 + B_fof(0)+B_fof(2)=2, then upgrade 2: +9.
+        assert_eq!(out.total_benefit, 13.0);
+        assert_eq!(out.benefit_curve(), vec![4.0, 4.0, 13.0]);
+    }
+
+    #[test]
+    fn correct_beliefs_reproduce_the_plain_attack() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let mut abm1 = Abm::new(AbmWeights::balanced());
+        let mut abm2 = Abm::new(AbmWeights::balanced());
+        let plain = run_attack(&inst, &real, &mut abm1, 3);
+        let believed = run_attack_with_beliefs(&inst, &inst, &real, &mut abm2, 3);
+        assert_eq!(plain, believed);
+    }
+
+    #[test]
+    fn wrong_beliefs_change_decisions_but_not_ground_truth() {
+        // Believed: node 2's friend benefit is tiny, so ABM deprioritizes
+        // it; truth still pays the real B_f on acceptance.
+        let inst = path_instance();
+        let real = full(&inst);
+        let believed = AccuInstanceBuilder::new(inst.graph().clone())
+            .user_class(NodeId::new(2), UserClass::cautious(1))
+            .benefits(NodeId::new(2), 1.2, 1.0)
+            .build()
+            .unwrap();
+        let mut abm = Abm::new(AbmWeights::balanced());
+        let out = run_attack_with_beliefs(&inst, &believed, &real, &mut abm, 3);
+        // All three users still end up friends (budget covers everyone)
+        // and the collected benefit uses the TRUE value of node 2.
+        assert_eq!(out.friends.len(), 3);
+        assert_eq!(out.total_benefit, 2.0 + 2.0 + 10.0 + 0.0); // B_f sums; fofs upgraded
+    }
+
+    #[test]
+    #[should_panic(expected = "share a topology")]
+    fn mismatched_topologies_panic() {
+        let inst = path_instance();
+        let other = AccuInstanceBuilder::new(
+            GraphBuilder::from_edges(3, [(0u32, 1u32)]).unwrap(),
+        )
+        .build()
+        .unwrap();
+        let real = full(&inst);
+        let mut abm = Abm::new(AbmWeights::balanced());
+        run_attack_with_beliefs(&inst, &other, &real, &mut abm, 1);
+    }
+
+    #[test]
+    fn budget_zero_sends_nothing() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let mut md = MaxDegree::new();
+        let out = run_attack(&inst, &real, &mut md, 0);
+        assert!(out.trace.is_empty());
+        assert_eq!(out.total_benefit, 0.0);
+        assert_eq!(out.requests_sent(), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Adaptive total primal curvature (paper §III-B discussion).
+//!
+//! Earlier work bounded adaptive greedy for non-submodular objectives via
+//! the curvature `Γ(u|ω', ω) = Δ(u|ω') / Δ(u|ω)`: if some `δ` dominates
+//! every `Γ`, greedy achieves `1 − (1 − 1/(δk))^k`. The paper shows the
+//! deterministic threshold model makes `Γ` unbounded (`Δ(u|ω) = 0` while
+//! `Δ(u|ω') > 0`), but a generalized cautious model that accepts with
+//! probability `q₁ > 0` below the threshold and `q₂ ≥ q₁` at/above it
+//! recovers `δ = max q₂/q₁`.
+
+use osn_graph::NodeId;
+
+use crate::{AccuError, AccuInstance, Observation};
+
+use super::exact::exact_marginal_gain;
+
+/// Computes the adaptive total primal curvature
+/// `Γ(u | ω', ω) = Δ(u|ω') / Δ(u|ω)` exactly.
+///
+/// Returns `None` when `Δ(u|ω) = 0 < Δ(u|ω')` — the unbounded case the
+/// paper uses to rule this technique out for ACCU — and `Some(1.0)` when
+/// both marginals are zero.
+///
+/// # Errors
+///
+/// Propagates enumeration errors from [`exact_marginal_gain`].
+///
+/// # Panics
+///
+/// Panics if `u` was already requested in either observation.
+pub fn total_primal_curvature(
+    instance: &AccuInstance,
+    smaller: &Observation,
+    larger: &Observation,
+    u: NodeId,
+) -> Result<Option<f64>, AccuError> {
+    let d_small = exact_marginal_gain(instance, smaller, u)?;
+    let d_large = exact_marginal_gain(instance, larger, u)?;
+    if d_small <= 0.0 {
+        if d_large <= 0.0 {
+            return Ok(Some(1.0));
+        }
+        return Ok(None);
+    }
+    Ok(Some(d_large / d_small))
+}
+
+/// The curvature bound `δ = max_u q₂(u) / q₁(u)` of the generalized
+/// two-probability cautious model.
+///
+/// Each pair is `(q₁, q₂)`: the acceptance probability below the
+/// threshold and at/above it. Returns `None` (unbounded) if any
+/// `q₁ = 0` with `q₂ > 0` — in practice likely, as the paper notes:
+/// many users never accept requests from total strangers.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::theory::two_probability_delta;
+/// assert_eq!(two_probability_delta(&[(0.1, 1.0), (0.5, 1.0)]), Some(10.0));
+/// assert_eq!(two_probability_delta(&[(0.0, 1.0)]), None);
+/// ```
+pub fn two_probability_delta(pairs: &[(f64, f64)]) -> Option<f64> {
+    let mut delta = 1.0f64;
+    for &(q1, q2) in pairs {
+        if q2 <= 0.0 {
+            continue;
+        }
+        if q1 <= 0.0 {
+            return None;
+        }
+        delta = delta.max(q2 / q1);
+    }
+    Some(delta)
+}
+
+/// Derives the curvature bound `δ = max_u q₂(u)/q₁(u)` directly from an
+/// instance's user classes.
+///
+/// Returns `None` (unbounded) if any user can only be accepted at the
+/// threshold (`q₁ = 0 < q₂`) — in particular whenever a plain
+/// deterministic cautious user is present, which is the paper's argument
+/// that the curvature technique cannot bound ACCU. Instances whose
+/// threshold-gated users are all hesitant with `q₁ > 0` get a finite δ.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::theory::two_probability_delta_of;
+/// use accu_core::{AccuInstanceBuilder, UserClass};
+/// use osn_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::from_edges(2, [(0u32, 1u32)])?;
+/// let inst = AccuInstanceBuilder::new(g)
+///     .user_class(osn_graph::NodeId::new(0), UserClass::hesitant(0.1, 0.8, 1))
+///     .build()?;
+/// assert_eq!(two_probability_delta_of(&inst), Some(8.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn two_probability_delta_of(instance: &AccuInstance) -> Option<f64> {
+    let pairs: Vec<(f64, f64)> = instance
+        .graph()
+        .nodes()
+        .map(|u| instance.user_class(u).acceptance_probabilities())
+        .collect();
+    two_probability_delta(&pairs)
+}
+
+/// The approximation ratio `1 − (1 − 1/(δk))^k` that adaptive greedy
+/// achieves under curvature bound `δ` with budget `k` (ref. \[7\]).
+///
+/// # Examples
+///
+/// The paper's numeric example: `δ = 10, k = 20` gives ratio `≈ 0.095`.
+///
+/// ```
+/// use accu_core::theory::curvature_ratio;
+/// assert!((curvature_ratio(10.0, 20) - 0.095).abs() < 5e-4);
+/// ```
+pub fn curvature_ratio(delta: f64, k: usize) -> f64 {
+    if delta <= 0.0 || k == 0 {
+        return 0.0;
+    }
+    1.0 - (1.0 - 1.0 / (delta * k as f64)).powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccuInstanceBuilder, Realization, UserClass};
+    use osn_graph::GraphBuilder;
+
+    /// Fig. 1 style instance: cautious 0 (θ=1) adjacent to reckless 1.
+    fn fig1() -> AccuInstance {
+        let g = GraphBuilder::from_edges(2, [(0u32, 1u32)]).unwrap();
+        AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(0), UserClass::cautious(1))
+            .benefits(NodeId::new(0), 5.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn curvature_is_unbounded_for_threshold_model() {
+        // ω = ∅: Δ(v_c|ω) = 0. ω' = {v1 accepted}: Δ(v_c|ω') > 0.
+        let inst = fig1();
+        let empty = Observation::for_instance(&inst);
+        let real = Realization::from_parts(&inst, vec![true], vec![false, true]).unwrap();
+        let mut bigger = Observation::for_instance(&inst);
+        bigger.record_acceptance(NodeId::new(1), &inst, &real);
+        let gamma =
+            total_primal_curvature(&inst, &empty, &bigger, NodeId::new(0)).unwrap();
+        assert_eq!(gamma, None, "Γ must be unbounded (None)");
+    }
+
+    #[test]
+    fn curvature_finite_for_reckless_targets() {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .uniform_edge_probability(1.0)
+            .user_classes(vec![
+                UserClass::reckless(1.0),
+                UserClass::reckless(1.0),
+                UserClass::reckless(1.0),
+            ])
+            .build()
+            .unwrap();
+        let empty = Observation::for_instance(&inst);
+        let real = Realization::from_parts(&inst, vec![true; 2], vec![true; 3]).unwrap();
+        let mut bigger = Observation::for_instance(&inst);
+        bigger.record_acceptance(NodeId::new(1), &inst, &real);
+        // Submodular direction: Γ ≤ 1 for the reckless node 2.
+        let gamma = total_primal_curvature(&inst, &empty, &bigger, NodeId::new(2))
+            .unwrap()
+            .expect("finite");
+        assert!(gamma <= 1.0 + 1e-12, "Γ = {gamma}");
+    }
+
+    #[test]
+    fn both_zero_marginals_yield_unit_curvature() {
+        // Cautious user with θ = 1 but an isolated position can never be
+        // befriended; both marginals are 0.
+        let g = GraphBuilder::from_edges(3, [(1u32, 2u32)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(0), UserClass::cautious(1))
+            .build()
+            .unwrap();
+        let empty = Observation::for_instance(&inst);
+        let real = Realization::from_parts(&inst, vec![true], vec![false, true, true]).unwrap();
+        let mut bigger = Observation::for_instance(&inst);
+        bigger.record_acceptance(NodeId::new(1), &inst, &real);
+        let gamma =
+            total_primal_curvature(&inst, &empty, &bigger, NodeId::new(0)).unwrap();
+        assert_eq!(gamma, Some(1.0));
+    }
+
+    #[test]
+    fn two_probability_model_delta() {
+        assert_eq!(two_probability_delta(&[]), Some(1.0));
+        assert_eq!(two_probability_delta(&[(0.5, 0.5)]), Some(1.0));
+        assert_eq!(two_probability_delta(&[(0.2, 0.8), (0.1, 0.2)]), Some(4.0));
+        assert_eq!(two_probability_delta(&[(0.0, 0.5)]), None);
+        // q2 = 0 contributes nothing (that user never accepts at all).
+        assert_eq!(two_probability_delta(&[(0.0, 0.0), (0.5, 1.0)]), Some(2.0));
+    }
+
+    #[test]
+    fn instance_delta_reflects_user_classes() {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        // All reckless → δ = 1.
+        let inst = AccuInstanceBuilder::new(g.clone()).build().unwrap();
+        assert_eq!(two_probability_delta_of(&inst), Some(1.0));
+        // Hesitant users → finite δ from the worst ratio.
+        let inst = AccuInstanceBuilder::new(g.clone())
+            .user_class(NodeId::new(0), UserClass::hesitant(0.25, 1.0, 1))
+            .user_class(NodeId::new(2), UserClass::hesitant(0.5, 1.0, 2))
+            .build()
+            .unwrap();
+        assert_eq!(two_probability_delta_of(&inst), Some(4.0));
+        // A deterministic cautious user makes δ unbounded.
+        let inst = AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(0), UserClass::cautious(1))
+            .build()
+            .unwrap();
+        assert_eq!(two_probability_delta_of(&inst), None);
+    }
+
+    #[test]
+    fn hesitant_curvature_is_bounded_by_delta() {
+        // Γ(u|ω', ω) for a hesitant user flips q1 → q2, so it must not
+        // exceed δ = q2/q1.
+        let g = GraphBuilder::from_edges(2, [(0u32, 1u32)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(0), UserClass::hesitant(0.25, 1.0, 1))
+            .benefits(NodeId::new(0), 5.0, 1.0)
+            .build()
+            .unwrap();
+        let delta = two_probability_delta_of(&inst).expect("finite");
+        assert_eq!(delta, 4.0);
+        let empty = Observation::for_instance(&inst);
+        let real = Realization::from_parts(&inst, vec![true], vec![false, true]).unwrap();
+        let mut bigger = Observation::for_instance(&inst);
+        bigger.record_acceptance(NodeId::new(1), &inst, &real);
+        let gamma = total_primal_curvature(&inst, &empty, &bigger, NodeId::new(0))
+            .unwrap()
+            .expect("finite curvature under the two-probability model");
+        assert!(gamma <= delta + 1e-9, "Γ = {gamma} exceeds δ = {delta}");
+        assert!(gamma > 1.0, "the threshold flip must increase the gain");
+    }
+
+    #[test]
+    fn curvature_ratio_limits() {
+        assert_eq!(curvature_ratio(1.0, 0), 0.0);
+        assert_eq!(curvature_ratio(0.0, 10), 0.0);
+        // δ = 1 recovers the submodular-like 1 − (1 − 1/k)^k ≥ 1 − 1/e.
+        let r = curvature_ratio(1.0, 50);
+        assert!(r > 0.63 && r < 0.65);
+        // Larger δ → weaker ratio.
+        assert!(curvature_ratio(2.0, 20) < curvature_ratio(1.0, 20));
+        // Very large δ → ratio approaches 0 (the paper's point).
+        assert!(curvature_ratio(1e9, 20) < 1e-6);
+    }
+}

@@ -1,0 +1,39 @@
+//! The paper's approximation theory, made executable.
+//!
+//! Everything in §III of the paper is implemented here for instances
+//! small enough to enumerate:
+//!
+//! * [`exact`] — enumeration of realizations, exact conditional marginal
+//!   gains `Δ(u|ω)`, and the Fig. 1 non-submodularity counterexample
+//!   machinery;
+//! * [`ratio`] — the realization-specific adaptive submodular ratio
+//!   (RASR, Definition 4), the adaptive submodular ratio `λ`
+//!   (Definition 5) by brute force, the closed forms of Lemmas 4 and 5,
+//!   and the `1 − e^{−λ}` bound of Theorem 1;
+//! * [`curvature`] — the adaptive total primal curvature `Γ` of earlier
+//!   work, its unboundedness under the threshold model, and the
+//!   generalized two-probability cautious model with its
+//!   `1 − (1 − 1/(δk))^k` bound;
+//! * [`optimal`] — the exhaustively optimal adaptive policy, for
+//!   empirically validating the approximation guarantee.
+
+pub mod concat;
+pub mod curvature;
+pub mod exact;
+pub mod optimal;
+pub mod ratio;
+pub mod submodularity;
+
+pub use concat::concatenation_benefit;
+pub use curvature::{
+    curvature_ratio, total_primal_curvature, two_probability_delta, two_probability_delta_of,
+};
+pub use exact::{enumerate_realizations, exact_marginal_gain, RealizationEnsemble};
+pub use optimal::optimal_adaptive_benefit;
+pub use submodularity::{
+    check_strong_adaptive_monotonicity, find_submodularity_violation, SubmodularityViolation,
+};
+pub use ratio::{
+    adaptive_submodular_ratio, greedy_ratio, greedy_ratio_partial, lemma4_lambda, lemma5_bound,
+    rasr,
+};

@@ -1,0 +1,409 @@
+//! The (adaptive) submodular ratio — Definitions 4–5, Lemmas 1, 4, 5 and
+//! Theorem 1 of the paper.
+
+use osn_graph::{Graph, NodeId};
+
+use crate::{benefit_of_request_set, AccuError, AccuInstance, BenefitSchedule, Realization};
+
+use super::exact::enumerate_realizations;
+
+/// Cap on the node count for the brute-force subset enumeration (the
+/// ratio scans all `4^n` subset pairs).
+pub const MAX_BRUTE_FORCE_NODES: usize = 12;
+
+/// Computes the realization-specific adaptive submodular ratio
+/// `λ_φ` (RASR, Definition 4) by brute force.
+///
+/// On a single realization the benefit is the set function
+/// `f(S) = benefit_of_request_set(S)`; the RASR is the largest `λ` with
+///
+/// ```text
+/// Σ_{u ∈ T\S} [f(S ∪ {u}) − f(S)]  ≥  λ · [f(S ∪ T) − f(S)]   ∀ S, T ⊆ V
+/// ```
+///
+/// equivalently the minimum over all pairs with positive right-hand side
+/// of the left/right quotient. Returns `1.0` when no pair has a positive
+/// right-hand side (the ratio constraint is vacuous).
+///
+/// # Errors
+///
+/// Returns [`AccuError::TooLargeForExhaustive`] if the instance has more
+/// than [`MAX_BRUTE_FORCE_NODES`] nodes.
+pub fn rasr(instance: &AccuInstance, realization: &Realization) -> Result<f64, AccuError> {
+    let n = instance.node_count();
+    if n > MAX_BRUTE_FORCE_NODES {
+        return Err(AccuError::TooLargeForExhaustive {
+            random_bits: 2 * n,
+            limit: 2 * MAX_BRUTE_FORCE_NODES,
+        });
+    }
+    // f over all subsets, indexed by bitmask.
+    let mut f = vec![0.0f64; 1 << n];
+    let mut members = Vec::with_capacity(n);
+    for (mask, slot) in f.iter_mut().enumerate() {
+        members.clear();
+        for i in 0..n {
+            if mask >> i & 1 == 1 {
+                members.push(NodeId::from(i));
+            }
+        }
+        *slot = benefit_of_request_set(instance, realization, &members).benefit;
+    }
+    let mut lambda = 1.0f64;
+    for s in 0usize..(1 << n) {
+        for t in 0usize..(1 << n) {
+            let extra = t & !s;
+            if extra == 0 {
+                continue;
+            }
+            let rhs = f[s | t] - f[s];
+            if rhs <= 1e-12 {
+                continue;
+            }
+            let mut lhs = 0.0f64;
+            for i in 0..n {
+                if extra >> i & 1 == 1 {
+                    lhs += f[s | (1 << i)] - f[s];
+                }
+            }
+            lambda = lambda.min(lhs / rhs);
+        }
+    }
+    Ok(lambda)
+}
+
+/// Computes the adaptive submodular ratio `λ = min_φ λ_φ`
+/// (Definition 5) by enumerating all realizations and brute-forcing the
+/// RASR of each.
+///
+/// # Errors
+///
+/// Propagates the enumeration caps of [`enumerate_realizations`] and
+/// [`rasr`].
+pub fn adaptive_submodular_ratio(instance: &AccuInstance) -> Result<f64, AccuError> {
+    let ensemble = enumerate_realizations(instance)?;
+    let mut lambda = 1.0f64;
+    for (real, prob) in &ensemble {
+        if *prob == 0.0 {
+            continue;
+        }
+        lambda = lambda.min(rasr(instance, real)?);
+    }
+    Ok(lambda)
+}
+
+/// `B'(u)` from Lemma 4: `B_f(u)`, minus `B_fof(u)` when `u` has at
+/// least one neighbor besides the cautious user `v_c` (those neighbors
+/// can be put into `S`, making `u` a friend-of-friend beforehand).
+fn b_prime(graph: &Graph, benefits: &BenefitSchedule, u: NodeId, v_c: NodeId) -> f64 {
+    let has_other_neighbor = graph.neighbors(u).iter().any(|&w| w != v_c);
+    benefits.friend(u) - if has_other_neighbor { benefits.friend_of_friend(u) } else { 0.0 }
+}
+
+/// Closed-form adaptive submodular ratio for a deterministic graph with a
+/// single cautious user `v_c` (paper Lemma 4).
+///
+/// For `deg(v_c) = 1` with neighbor `u`:
+/// `λ = B'(u) / (B_f(v_c) + B'(u))`.
+///
+/// For `deg(v_c) > 1`, the minimum of
+///
+/// 1. `min_{U ⊆ N(v_c), |U| = θ}  ΣB'(U) / (B_f(v_c) + ΣB'(U))`
+///    — minimized by the `θ` smallest `B'` values, and
+/// 2. `min_{u* ∈ N(v_c)}  B'(u*) / (B'(v_c) + B'(u*))`.
+///
+/// # Accuracy
+///
+/// The paper's derivation neglects friend-of-friend cross-terms of order
+/// `B_fof`: e.g. befriending a neighbor `u` of `v_c` also makes `v_c` a
+/// friend-of-friend (adding `B_fof(v_c)` to the left-hand side of the
+/// ratio inequality), and befriending `v_c` makes its remaining
+/// neighbors friends-of-friends (adding to the right-hand side). The
+/// formula is therefore **exact when `B_fof ≡ 0`** and accurate up to
+/// `O(B_fof)` terms otherwise — see the tests comparing it against the
+/// brute-force [`rasr`].
+///
+/// # Panics
+///
+/// Panics if `v_c` is isolated or `theta` is 0 or exceeds `deg(v_c)`.
+pub fn lemma4_lambda(graph: &Graph, benefits: &BenefitSchedule, v_c: NodeId, theta: u32) -> f64 {
+    let neighbors = graph.neighbors(v_c);
+    assert!(!neighbors.is_empty(), "cautious user {v_c} is isolated");
+    assert!(
+        theta >= 1 && (theta as usize) <= neighbors.len(),
+        "threshold {theta} outside 1..=deg({v_c})"
+    );
+    if neighbors.len() == 1 {
+        let bu = b_prime(graph, benefits, neighbors[0], v_c);
+        return bu / (benefits.friend(v_c) + bu);
+    }
+    let mut primes: Vec<f64> =
+        neighbors.iter().map(|&u| b_prime(graph, benefits, u, v_c)).collect();
+    primes.sort_by(f64::total_cmp);
+    // Case 1: T = {v_c} ∪ (θ cheapest friends), S ∩ N(v_c) = ∅.
+    let sum_theta: f64 = primes.iter().take(theta as usize).sum();
+    let case1 = sum_theta / (benefits.friend(v_c) + sum_theta);
+    // Case 2: T = {v_c, u*}, S holds θ−1 friends of v_c (so v_c is
+    // already a friend-of-friend when θ ≥ 2).
+    let b_vc = benefits.friend(v_c)
+        - if theta >= 2 { benefits.friend_of_friend(v_c) } else { 0.0 };
+    let min_prime = primes[0];
+    let case2 = min_prime / (b_vc + min_prime);
+    case1.min(case2)
+}
+
+/// Lemma 5: when `u` is a shared friend of cautious users
+/// `v_c^1, …, v_c^r`, the adaptive submodular ratio is upper bounded by
+/// `B_f(u) / (Σ_i B'(v_c^i) + B_f(u))`.
+///
+/// As with [`lemma4_lambda`], the paper's bound neglects `O(B_fof)`
+/// cross-terms (befriending `u` already makes every `v_c^i` a
+/// friend-of-friend); it is exact for `B_fof ≡ 0`.
+///
+/// # Panics
+///
+/// Panics if `cautious` is empty or `u` is not adjacent to each of them.
+pub fn lemma5_bound(
+    graph: &Graph,
+    benefits: &BenefitSchedule,
+    u: NodeId,
+    cautious: &[NodeId],
+) -> f64 {
+    assert!(!cautious.is_empty(), "need at least one cautious user");
+    for &v in cautious {
+        assert!(graph.has_edge(u, v), "node {u} is not adjacent to cautious user {v}");
+    }
+    let bu = benefits.friend(u);
+    let sum: f64 = cautious
+        .iter()
+        .map(|&v| benefits.friend(v) - benefits.friend_of_friend(v))
+        .sum();
+    bu / (sum + bu)
+}
+
+/// Theorem 1's approximation ratio for the full-budget greedy:
+/// `1 − e^{−λ}`.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::theory::greedy_ratio;
+/// assert!((greedy_ratio(1.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// assert_eq!(greedy_ratio(0.0), 0.0);
+/// ```
+pub fn greedy_ratio(lambda: f64) -> f64 {
+    1.0 - (-lambda).exp()
+}
+
+/// Theorem 1's partial-budget form: greedy with `l` requests against the
+/// optimum with `k` requests achieves `1 − e^{−lλ/k}`.
+pub fn greedy_ratio_partial(l: usize, k: usize, lambda: f64) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    1.0 - (-(l as f64) * lambda / k as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccuInstanceBuilder, UserClass};
+    use osn_graph::GraphBuilder;
+
+    /// Deterministic instance: everything certain, so a single
+    /// realization exists and λ = λ_φ.
+    fn deterministic_instance(
+        edges: &[(u32, u32)],
+        n: usize,
+        cautious: &[(u32, u32)], // (node, θ)
+        benefits: &[(u32, f64, f64)],
+    ) -> AccuInstance {
+        let g = GraphBuilder::from_edges(n, edges.iter().copied()).unwrap();
+        let mut b = AccuInstanceBuilder::new(g);
+        for &(v, theta) in cautious {
+            b = b.user_class(NodeId::new(v), UserClass::cautious(theta));
+        }
+        for &(v, bf, bfof) in benefits {
+            b = b.benefits(NodeId::new(v), bf, bfof);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn no_cautious_users_means_lambda_one() {
+        // Observation 1: without cautious users the objective is
+        // submodular and λ = 1.
+        let inst =
+            deterministic_instance(&[(0, 1), (1, 2), (0, 2)], 3, &[], &[]);
+        let lambda = adaptive_submodular_ratio(&inst).unwrap();
+        assert_eq!(lambda, 1.0);
+    }
+
+    #[test]
+    fn stochastic_submodular_instance_keeps_lambda_one() {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .uniform_edge_probability(0.5)
+            .user_classes(vec![
+                UserClass::reckless(0.5),
+                UserClass::reckless(0.7),
+                UserClass::reckless(1.0),
+            ])
+            .build()
+            .unwrap();
+        let lambda = adaptive_submodular_ratio(&inst).unwrap();
+        assert!((lambda - 1.0).abs() < 1e-9, "λ = {lambda}");
+    }
+
+    #[test]
+    fn lemma4_degree_one_exact_without_fof_benefit() {
+        // With B_fof ≡ 0 the paper's formula is exact.
+        // u = 0 has another neighbor 2; B'(0) = B_f(0) = 3 (no B_fof to
+        // subtract). λ = 3 / (B_f(1) + 3) = 3/13.
+        let inst = deterministic_instance(
+            &[(0, 1), (0, 2)],
+            3,
+            &[(1, 1)],
+            &[(0, 3.0, 0.0), (1, 10.0, 0.0), (2, 2.0, 0.0)],
+        );
+        let closed = lemma4_lambda(inst.graph(), inst.benefits(), NodeId::new(1), 1);
+        assert!((closed - 3.0 / 13.0).abs() < 1e-12, "closed = {closed}");
+        let brute = adaptive_submodular_ratio(&inst).unwrap();
+        assert!((brute - closed).abs() < 1e-9, "brute {brute} vs closed {closed}");
+    }
+
+    #[test]
+    fn lemma4_degree_one_brute_force_differs_by_fof_cross_term() {
+        // With B_fof > 0 the exact ratio exceeds the paper's formula by
+        // exactly the neglected B_fof(v_c) term in the numerator:
+        // closed = B'(u)/(B_f(v_c)+B'(u)) = 1/11, exact = (1+1)/11.
+        let inst = deterministic_instance(
+            &[(0, 1), (0, 2)],
+            3,
+            &[(1, 1)],
+            &[(1, 10.0, 1.0)],
+        );
+        let closed = lemma4_lambda(inst.graph(), inst.benefits(), NodeId::new(1), 1);
+        assert!((closed - 1.0 / 11.0).abs() < 1e-12, "closed = {closed}");
+        let brute = adaptive_submodular_ratio(&inst).unwrap();
+        let expected_exact =
+            (1.0 + inst.benefits().friend_of_friend(NodeId::new(1))) / 11.0;
+        assert!(
+            (brute - expected_exact).abs() < 1e-9,
+            "brute {brute} vs corrected {expected_exact}"
+        );
+        assert!(brute >= closed, "the paper's formula is conservative here");
+    }
+
+    #[test]
+    fn lemma4_degree_one_no_other_neighbor() {
+        // u = 0 has only v_c as neighbor → B'(0) = B_f(0) = 2. Exact at
+        // B_fof ≡ 0: λ = 2/12.
+        let inst =
+            deterministic_instance(&[(0, 1)], 2, &[(1, 1)], &[(0, 2.0, 0.0), (1, 10.0, 0.0)]);
+        let closed = lemma4_lambda(inst.graph(), inst.benefits(), NodeId::new(1), 1);
+        assert!((closed - 2.0 / 12.0).abs() < 1e-12);
+        let brute = adaptive_submodular_ratio(&inst).unwrap();
+        assert!((brute - closed).abs() < 1e-9, "brute {brute} vs closed {closed}");
+    }
+
+    #[test]
+    fn lemma4_higher_degree_matches_brute_force() {
+        // v_c = 3 with neighbors 0, 1, 2 and θ = 2, B_fof ≡ 0 so the
+        // closed form is exact. B'(u) = B_f(u) = 2 for each neighbor.
+        let inst = deterministic_instance(
+            &[(0, 3), (1, 3), (2, 3), (0, 4), (1, 5), (2, 6)],
+            7,
+            &[(3, 2)],
+            &[
+                (0, 2.0, 0.0),
+                (1, 2.0, 0.0),
+                (2, 2.0, 0.0),
+                (3, 10.0, 0.0),
+                (4, 2.0, 0.0),
+                (5, 2.0, 0.0),
+                (6, 2.0, 0.0),
+            ],
+        );
+        let closed = lemma4_lambda(inst.graph(), inst.benefits(), NodeId::new(3), 2);
+        // Case 1: ΣB'(U) = 4 → 4/14. Case 2: B'(3) = 10, B'(u*) = 2 → 2/12.
+        assert!((closed - (4.0f64 / 14.0).min(2.0 / 12.0)).abs() < 1e-12);
+        let brute = adaptive_submodular_ratio(&inst).unwrap();
+        assert!(
+            (brute - closed).abs() < 1e-9,
+            "brute {brute} vs closed {closed}"
+        );
+    }
+
+    #[test]
+    fn lemma5_bound_dominates_brute_force() {
+        // Shared friend 0 of two cautious users 1, 2 (θ = 1 each);
+        // B_fof ≡ 0 makes the paper's bound exact (and attained).
+        let inst = deterministic_instance(
+            &[(0, 1), (0, 2)],
+            3,
+            &[(1, 1), (2, 1)],
+            &[(0, 2.0, 0.0), (1, 10.0, 0.0), (2, 10.0, 0.0)],
+        );
+        let bound = lemma5_bound(
+            inst.graph(),
+            inst.benefits(),
+            NodeId::new(0),
+            &[NodeId::new(1), NodeId::new(2)],
+        );
+        // B_f(0)=2, Σ B' = 20 → 2/22.
+        assert!((bound - 2.0 / 22.0).abs() < 1e-12);
+        let brute = adaptive_submodular_ratio(&inst).unwrap();
+        assert!(brute <= bound + 1e-9, "λ {brute} must respect the Lemma 5 bound {bound}");
+        assert!((brute - bound).abs() < 1e-9, "the bound is attained on this instance");
+    }
+
+    #[test]
+    fn lambda_positive_under_strict_gap() {
+        // Corollary 1: B_f − B_fof > 0 everywhere ⇒ λ > 0.
+        let inst = deterministic_instance(
+            &[(0, 1), (0, 2), (1, 3)],
+            4,
+            &[(2, 1)],
+            &[(2, 5.0, 1.0)],
+        );
+        assert!(inst.benefits().has_strict_gap());
+        let lambda = adaptive_submodular_ratio(&inst).unwrap();
+        assert!(lambda > 0.0);
+        assert!(lambda < 1.0, "cautious user must break submodularity: λ = {lambda}");
+    }
+
+    #[test]
+    fn lambda_can_vanish_without_strict_gap() {
+        // B_f = B_fof for the unlocking friend (and B_fof(v_c) = 0):
+        // with S = {2}, befriending 0 adds nothing — it is already a
+        // friend-of-friend and v_c carries no fof benefit — so the lhs of
+        // (6) is 0 while the rhs (which includes B_f(v_c)) is positive.
+        let inst = deterministic_instance(
+            &[(0, 1), (0, 2)],
+            3,
+            &[(1, 1)],
+            &[(0, 1.0, 1.0), (1, 10.0, 0.0)],
+        );
+        assert!(!inst.benefits().has_strict_gap());
+        let lambda = adaptive_submodular_ratio(&inst).unwrap();
+        assert!(lambda < 1e-9, "expected λ ≈ 0, got {lambda}");
+    }
+
+    #[test]
+    fn ratio_formulas() {
+        assert!((greedy_ratio(1.0) - 0.6321).abs() < 1e-4);
+        assert!(greedy_ratio(0.5) < greedy_ratio(1.0));
+        assert_eq!(greedy_ratio_partial(0, 10, 1.0), 0.0);
+        assert!((greedy_ratio_partial(10, 10, 1.0) - greedy_ratio(1.0)).abs() < 1e-12);
+        assert_eq!(greedy_ratio_partial(5, 0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn rasr_rejects_large_instances() {
+        let g = GraphBuilder::new(20).build();
+        let inst = AccuInstanceBuilder::new(g).build().unwrap();
+        let real = Realization::from_parts(&inst, vec![], vec![true; 20]).unwrap();
+        assert!(matches!(rasr(&inst, &real), Err(AccuError::TooLargeForExhaustive { .. })));
+    }
+}

@@ -1,0 +1,277 @@
+//! Checkers for the two properties behind the classical `1 − 1/e`
+//! guarantee (paper Definitions 2–3): strong adaptive monotonicity and
+//! adaptive submodularity, verified exhaustively over the reachable
+//! observation tree of a small instance.
+//!
+//! ACCU is strongly adaptive monotone but **not** adaptive submodular;
+//! [`find_submodularity_violation`] finds a concrete witness (the
+//! machine-checked generalization of the paper's Fig. 1).
+
+use osn_graph::NodeId;
+
+use crate::{AccuError, AccuInstance, Observation, Realization};
+
+use super::exact::{enumerate_realizations, exact_marginal_gain, is_consistent};
+
+/// A witnessed violation of adaptive submodularity:
+/// `Δ(node|larger) > Δ(node|smaller)` for nested observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmodularityViolation {
+    /// The node whose marginal gain increased.
+    pub node: NodeId,
+    /// Requests of the smaller observation `ω`.
+    pub smaller_requests: Vec<NodeId>,
+    /// Requests of the larger observation `ω' ⊇ ω`.
+    pub larger_requests: Vec<NodeId>,
+    /// `Δ(node|ω)`.
+    pub smaller_gain: f64,
+    /// `Δ(node|ω')`.
+    pub larger_gain: f64,
+}
+
+/// Enumerates the observations reachable by sending up to `depth`
+/// requests, as chains: each entry pairs an observation with the index
+/// of its parent (the observation it extends), `usize::MAX` for the
+/// root.
+fn reachable_observations(
+    instance: &AccuInstance,
+    ensemble: &[(Realization, f64)],
+    depth: usize,
+) -> Vec<(Observation, usize)> {
+    let mut out = vec![(Observation::for_instance(instance), usize::MAX)];
+    let mut frontier = vec![0usize];
+    for _ in 0..depth {
+        let mut next_frontier = Vec::new();
+        for &oi in &frontier {
+            let obs = out[oi].0.clone();
+            for u in instance.graph().nodes() {
+                if obs.was_requested(u) {
+                    continue;
+                }
+                // Group consistent realizations by the branch they
+                // produce when u is requested.
+                let mut seen_children: Vec<Observation> = Vec::new();
+                for (real, prob) in ensemble {
+                    if *prob == 0.0 || !is_consistent(instance, real, &obs) {
+                        continue;
+                    }
+                    let accepted = crate::resolve_acceptance(instance, &obs, real, u);
+                    let mut child = obs.clone();
+                    if accepted {
+                        child.record_acceptance(u, instance, real);
+                    } else {
+                        child.record_rejection(u);
+                    }
+                    if !seen_children.contains(&child) {
+                        seen_children.push(child);
+                    }
+                }
+                for child in seen_children {
+                    out.push((child, oi));
+                    next_frontier.push(out.len() - 1);
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+    out
+}
+
+/// Searches for an adaptive-submodularity violation among all
+/// ancestor–descendant pairs of observations reachable within `depth`
+/// requests.
+///
+/// Returns the worst witness (largest gain increase) or `None` if every
+/// checked pair satisfies `Δ(u|ω) ≥ Δ(u|ω')`. A returned violation is
+/// always genuine; `None` is conclusive only for the explored depth.
+///
+/// # Errors
+///
+/// Propagates the enumeration caps of [`enumerate_realizations`].
+pub fn find_submodularity_violation(
+    instance: &AccuInstance,
+    depth: usize,
+) -> Result<Option<SubmodularityViolation>, AccuError> {
+    let ensemble = enumerate_realizations(instance)?;
+    let tree = reachable_observations(instance, &ensemble, depth);
+    let mut worst: Option<SubmodularityViolation> = None;
+    for (ci, (child, parent0)) in tree.iter().enumerate() {
+        if ci == 0 {
+            continue;
+        }
+        // Walk up the ancestor chain.
+        let mut ancestor = *parent0;
+        loop {
+            let (anc_obs, anc_parent) = &tree[ancestor];
+            for u in instance.graph().nodes() {
+                if child.was_requested(u) || anc_obs.was_requested(u) {
+                    continue;
+                }
+                let small = exact_marginal_gain(instance, anc_obs, u)?;
+                let large = exact_marginal_gain(instance, child, u)?;
+                if large > small + 1e-9 {
+                    let delta = large - small;
+                    let better = worst
+                        .as_ref()
+                        .map(|w| delta > w.larger_gain - w.smaller_gain)
+                        .unwrap_or(true);
+                    if better {
+                        worst = Some(SubmodularityViolation {
+                            node: u,
+                            smaller_requests: anc_obs.requests().to_vec(),
+                            larger_requests: child.requests().to_vec(),
+                            smaller_gain: small,
+                            larger_gain: large,
+                        });
+                    }
+                }
+            }
+            if *anc_parent == usize::MAX {
+                break;
+            }
+            ancestor = *anc_parent;
+        }
+    }
+    Ok(worst)
+}
+
+/// Checks strong adaptive monotonicity (Definition 2) over every
+/// reachable observation within `depth` requests: conditioning on any
+/// single additional response never lowers the expected benefit.
+///
+/// Returns `Ok(true)` if no violation was found. ACCU satisfies this
+/// property (benefit is monotone in the friend set), so `false`
+/// indicates a modeling bug.
+///
+/// # Errors
+///
+/// Propagates the enumeration caps of [`enumerate_realizations`].
+pub fn check_strong_adaptive_monotonicity(
+    instance: &AccuInstance,
+    depth: usize,
+) -> Result<bool, AccuError> {
+    let ensemble = enumerate_realizations(instance)?;
+    let tree = reachable_observations(instance, &ensemble, depth);
+    for (obs, _) in &tree {
+        // E[f(dom(ω), Φ) | Φ ~ ω] with execution semantics: the benefit
+        // of the friends accumulated in ω.
+        let base = conditional_expected_benefit(instance, &ensemble, obs)?;
+        for u in instance.graph().nodes() {
+            if obs.was_requested(u) {
+                continue;
+            }
+            // Every observable outcome o of requesting u: condition on
+            // it and evaluate f(dom(ω) ∪ {u}) under that outcome.
+            for (real, prob) in &ensemble {
+                if *prob == 0.0 || !is_consistent(instance, real, obs) {
+                    continue;
+                }
+                let accepted = crate::resolve_acceptance(instance, obs, real, u);
+                let mut child = obs.clone();
+                if accepted {
+                    child.record_acceptance(u, instance, real);
+                } else {
+                    child.record_rejection(u);
+                }
+                let conditioned = conditional_expected_benefit(instance, &ensemble, &child)?;
+                if conditioned < base - 1e-9 {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// `E[f(friends(ω), Φ) | Φ ~ ω]` over the ensemble.
+fn conditional_expected_benefit(
+    instance: &AccuInstance,
+    ensemble: &[(Realization, f64)],
+    observation: &Observation,
+) -> Result<f64, AccuError> {
+    let friends: Vec<NodeId> = observation.friends().to_vec();
+    let mut total_prob = 0.0;
+    let mut total = 0.0;
+    for (real, prob) in ensemble {
+        if *prob == 0.0 || !is_consistent(instance, real, observation) {
+            continue;
+        }
+        total_prob += prob;
+        total += prob * crate::benefit_of_friend_set(instance, real, &friends);
+    }
+    if total_prob == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(total / total_prob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccuInstanceBuilder, UserClass};
+    use osn_graph::GraphBuilder;
+
+    fn fig1_instance() -> AccuInstance {
+        let g = GraphBuilder::from_edges(2, [(0u32, 1u32)]).unwrap();
+        AccuInstanceBuilder::new(g)
+            .user_class(NodeId::new(0), UserClass::cautious(1))
+            .benefits(NodeId::new(0), 2.0, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_the_fig1_violation() {
+        let inst = fig1_instance();
+        let v = find_submodularity_violation(&inst, 1)
+            .unwrap()
+            .expect("Fig. 1 instance must violate adaptive submodularity");
+        assert_eq!(v.node, NodeId::new(0));
+        assert_eq!(v.smaller_gain, 0.0);
+        assert_eq!(v.larger_gain, 1.0);
+        assert!(v.smaller_requests.is_empty());
+        assert_eq!(v.larger_requests, vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn no_violation_without_cautious_users() {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .uniform_edge_probability(0.5)
+            .user_classes(vec![
+                UserClass::reckless(0.5),
+                UserClass::reckless(1.0),
+                UserClass::reckless(0.7),
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(find_submodularity_violation(&inst, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn accu_is_strongly_adaptive_monotone() {
+        // Both with and without cautious users.
+        let inst = fig1_instance();
+        assert!(check_strong_adaptive_monotonicity(&inst, 2).unwrap());
+
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .uniform_edge_probability(0.5)
+            .user_classes(vec![
+                UserClass::reckless(0.5),
+                UserClass::reckless(0.8),
+                UserClass::cautious(1),
+            ])
+            .benefits(NodeId::new(2), 5.0, 1.0)
+            .build()
+            .unwrap();
+        assert!(check_strong_adaptive_monotonicity(&inst, 2).unwrap());
+    }
+
+    #[test]
+    fn violation_search_respects_depth() {
+        // At depth 0 only the root exists — no nested pair, no violation.
+        let inst = fig1_instance();
+        assert_eq!(find_submodularity_violation(&inst, 0).unwrap(), None);
+    }
+}

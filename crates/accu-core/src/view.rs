@@ -1,0 +1,181 @@
+//! The attacker's legal view of the world.
+//!
+//! Policies receive an [`AttackerView`] instead of the raw realization:
+//! they may read every *model parameter* (topology, probabilities,
+//! thresholds, benefits — public knowledge in the paper's experiments)
+//! and everything already *observed*, but never an unrevealed random
+//! outcome.
+
+use osn_graph::{EdgeId, Graph, NodeId};
+
+use crate::{AccuInstance, EdgeState, Observation};
+
+/// Read-only view combining the instance parameters with the current
+/// observation `ω`.
+///
+/// # Examples
+///
+/// ```
+/// use accu_core::{AccuInstanceBuilder, AttackerView, Observation};
+/// use osn_graph::{EdgeId, GraphBuilder, NodeId};
+///
+/// let g = GraphBuilder::from_edges(2, [(0u32, 1u32)])?;
+/// let inst = AccuInstanceBuilder::new(g).uniform_edge_probability(0.4).build()?;
+/// let obs = Observation::for_instance(&inst);
+/// let view = AttackerView::new(&inst, &obs);
+/// assert_eq!(view.edge_belief(EdgeId::new(0)), 0.4); // unrevealed: prior
+/// assert_eq!(view.candidates().count(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AttackerView<'a> {
+    instance: &'a AccuInstance,
+    observation: &'a Observation,
+}
+
+impl<'a> AttackerView<'a> {
+    /// Creates a view over `instance` and `observation`.
+    pub fn new(instance: &'a AccuInstance, observation: &'a Observation) -> Self {
+        AttackerView { instance, observation }
+    }
+
+    /// The instance parameters (public knowledge).
+    #[inline]
+    pub fn instance(&self) -> &'a AccuInstance {
+        self.instance
+    }
+
+    /// The current observation `ω`.
+    #[inline]
+    pub fn observation(&self) -> &'a Observation {
+        self.observation
+    }
+
+    /// The graph topology.
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.instance.graph()
+    }
+
+    /// The attacker's current belief that edge `e` exists: `1` if
+    /// revealed present, `0` if revealed absent, the prior `p_e`
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge_belief(&self, e: EdgeId) -> f64 {
+        match self.observation.edge_state(e) {
+            EdgeState::Present => 1.0,
+            EdgeState::Absent => 0.0,
+            EdgeState::Unknown => self.instance.edge_probability(e),
+        }
+    }
+
+    /// The attacker's belief that a request to `u` would be accepted
+    /// *right now*: `q_u` for reckless users; for threshold-gated users
+    /// the below/at-threshold probability selected by the observed
+    /// mutual-friend count (`0`/`1` for plain cautious users, `q₁`/`q₂`
+    /// for hesitant users).
+    ///
+    /// This is the `q(u)` factor of the ABM potential function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn acceptance_belief(&self, u: NodeId) -> f64 {
+        self.instance
+            .user_class(u)
+            .acceptance_probability_at(self.observation.mutual_friends(u))
+    }
+
+    /// Nodes that may still be targeted: never requested (friends and
+    /// rejected users are excluded).
+    pub fn candidates(&self) -> impl Iterator<Item = NodeId> + 'a {
+        let obs = self.observation;
+        self.instance.graph().nodes().filter(move |&u| !obs.was_requested(u))
+    }
+
+    /// Remaining mutual friends needed before cautious `u` would accept
+    /// (`None` for reckless users; `Some(0)` once the threshold is met).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn remaining_to_threshold(&self, u: NodeId) -> Option<u32> {
+        self.instance
+            .threshold(u)
+            .map(|theta| theta.saturating_sub(self.observation.mutual_friends(u)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccuInstanceBuilder, Realization, UserClass};
+    use osn_graph::GraphBuilder;
+
+    /// Path 0 - 1 - 2 with node 2 cautious (θ = 1).
+    fn setup() -> (AccuInstance, Realization) {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .uniform_edge_probability(0.25)
+            .user_class(NodeId::new(0), UserClass::reckless(0.8))
+            .user_class(NodeId::new(2), UserClass::cautious(1))
+            .build()
+            .unwrap();
+        let real = Realization::from_parts(&inst, vec![true, true], vec![true, true, false])
+            .unwrap();
+        (inst, real)
+    }
+
+    #[test]
+    fn edge_belief_tracks_observation() {
+        let (inst, real) = setup();
+        let mut obs = Observation::for_instance(&inst);
+        {
+            let view = AttackerView::new(&inst, &obs);
+            assert_eq!(view.edge_belief(EdgeId::new(0)), 0.25);
+        }
+        obs.record_acceptance(NodeId::new(1), &inst, &real);
+        let view = AttackerView::new(&inst, &obs);
+        assert_eq!(view.edge_belief(EdgeId::new(0)), 1.0);
+        assert_eq!(view.edge_belief(EdgeId::new(1)), 1.0);
+    }
+
+    #[test]
+    fn acceptance_belief_reckless_is_q() {
+        let (inst, _) = setup();
+        let obs = Observation::for_instance(&inst);
+        let view = AttackerView::new(&inst, &obs);
+        assert_eq!(view.acceptance_belief(NodeId::new(0)), 0.8);
+        assert_eq!(view.acceptance_belief(NodeId::new(1)), 1.0);
+    }
+
+    #[test]
+    fn acceptance_belief_cautious_flips_at_threshold() {
+        let (inst, real) = setup();
+        let mut obs = Observation::for_instance(&inst);
+        {
+            let view = AttackerView::new(&inst, &obs);
+            assert_eq!(view.acceptance_belief(NodeId::new(2)), 0.0);
+            assert_eq!(view.remaining_to_threshold(NodeId::new(2)), Some(1));
+            assert_eq!(view.remaining_to_threshold(NodeId::new(0)), None);
+        }
+        obs.record_acceptance(NodeId::new(1), &inst, &real);
+        let view = AttackerView::new(&inst, &obs);
+        assert_eq!(view.acceptance_belief(NodeId::new(2)), 1.0);
+        assert_eq!(view.remaining_to_threshold(NodeId::new(2)), Some(0));
+    }
+
+    #[test]
+    fn candidates_shrink_with_requests() {
+        let (inst, real) = setup();
+        let mut obs = Observation::for_instance(&inst);
+        obs.record_acceptance(NodeId::new(1), &inst, &real);
+        obs.record_rejection(NodeId::new(0));
+        let view = AttackerView::new(&inst, &obs);
+        let cands: Vec<NodeId> = view.candidates().collect();
+        assert_eq!(cands, vec![NodeId::new(2)]);
+    }
+}

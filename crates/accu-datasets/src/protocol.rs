@@ -1,0 +1,258 @@
+//! The paper's experiment parameter protocol (§IV-A).
+//!
+//! * Edge existence probabilities and reckless acceptance probabilities
+//!   are drawn uniformly from `[0, 1)`.
+//! * Benefits: `B_f = 2` for reckless users, `B_fof = 1` for everyone;
+//!   the cautious friend benefit is a parameter (50 in the main
+//!   comparison, swept in the sensitivity heat maps).
+//! * Cautious users: drawn from the degree band `[10, 100]`, pairwise
+//!   non-adjacent, 100 per network; each threshold is a fixed fraction of
+//!   the user's degree (30% in the main comparison).
+
+use accu_core::{AccuError, AccuInstance, AccuInstanceBuilder, UserClass};
+use osn_graph::algo::nodes_with_degree_in;
+use osn_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Parameters of the §IV-A experiment setup.
+///
+/// The [`Default`] matches the paper's main comparison: 100 cautious
+/// users from the `[10, 100]` degree band, thresholds at 30% of degree,
+/// cautious friend benefit 50.
+///
+/// # Examples
+///
+/// ```
+/// use accu_datasets::ProtocolConfig;
+///
+/// let cfg = ProtocolConfig::default();
+/// assert_eq!(cfg.cautious_count, 100);
+/// assert_eq!(cfg.threshold_fraction, 0.3);
+/// let small = ProtocolConfig { cautious_count: 10, ..ProtocolConfig::default() };
+/// assert_eq!(small.cautious_friend_benefit, 50.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolConfig {
+    /// Number of cautious users to select (paper: 100).
+    pub cautious_count: usize,
+    /// Inclusive degree band cautious users are drawn from (paper:
+    /// `[10, 100]`).
+    pub degree_band: (usize, usize),
+    /// Threshold as a fraction of the cautious user's degree (paper:
+    /// 0.3); rounded up, clamped to at least 1.
+    pub threshold_fraction: f64,
+    /// `B_f` of cautious users (paper: 50 in the main comparison).
+    pub cautious_friend_benefit: f64,
+    /// `B_f` of reckless users (paper: 2).
+    pub reckless_friend_benefit: f64,
+    /// `B_fof` of every user (paper: 1).
+    pub fof_benefit: f64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            cautious_count: 100,
+            degree_band: (10, 100),
+            threshold_fraction: 0.3,
+            cautious_friend_benefit: 50.0,
+            reckless_friend_benefit: 2.0,
+            fof_benefit: 1.0,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// Scales the cautious-user count for a down-scaled network (e.g.
+    /// `0.1` for a 1/10th-size graph), keeping at least one.
+    pub fn scaled_cautious(mut self, factor: f64) -> Self {
+        self.cautious_count = ((self.cautious_count as f64 * factor) as usize).max(1);
+        self
+    }
+
+    /// Computes the threshold for a cautious user of the given degree:
+    /// `max(1, ceil(threshold_fraction · degree))`.
+    pub fn threshold_for_degree(&self, degree: usize) -> u32 {
+        ((self.threshold_fraction * degree as f64).ceil() as u32).max(1)
+    }
+}
+
+/// Selects cautious users per the paper's procedure: shuffle the degree
+/// band, then greedily keep nodes that are not adjacent to any already
+/// selected node, until `count` users are chosen or candidates run out.
+///
+/// Returns the selected nodes, sorted by id.
+pub fn select_cautious_users<R: Rng + ?Sized>(
+    graph: &Graph,
+    band: (usize, usize),
+    count: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut candidates = nodes_with_degree_in(graph, band.0, band.1);
+    // Fisher–Yates shuffle for an unbiased selection order.
+    for i in (1..candidates.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        candidates.swap(i, j);
+    }
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(count);
+    let mut blocked = vec![false; graph.node_count()];
+    for v in candidates {
+        if chosen.len() == count {
+            break;
+        }
+        if blocked[v.index()] {
+            continue;
+        }
+        chosen.push(v);
+        blocked[v.index()] = true;
+        for &w in graph.neighbors(v) {
+            blocked[w.index()] = true;
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Builds a full ACCU instance from a graph using the paper's protocol:
+/// random parameters, cautious-user selection, thresholds, and benefits.
+///
+/// # Errors
+///
+/// Propagates [`AccuError`] from instance validation (unreachable with
+/// in-range config values).
+///
+/// # Examples
+///
+/// ```
+/// use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let g = DatasetSpec::facebook().scaled(0.1).generate(&mut rng)?;
+/// let cfg = ProtocolConfig { cautious_count: 10, ..ProtocolConfig::default() };
+/// let inst = apply_protocol(g, &cfg, &mut rng)?;
+/// assert_eq!(inst.cautious_users().len(), 10);
+/// assert!(inst.check_paper_assumptions().is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn apply_protocol<R: Rng + ?Sized>(
+    graph: Graph,
+    config: &ProtocolConfig,
+    rng: &mut R,
+) -> Result<AccuInstance, AccuError> {
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let cautious = select_cautious_users(&graph, config.degree_band, config.cautious_count, rng);
+    let edge_probs: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut classes: Vec<UserClass> =
+        (0..n).map(|_| UserClass::reckless(rng.gen_range(0.0..1.0))).collect();
+    let mut friend_benefits = vec![config.reckless_friend_benefit; n];
+    for &v in &cautious {
+        classes[v.index()] =
+            UserClass::cautious(config.threshold_for_degree(graph.degree(v)));
+        friend_benefits[v.index()] = config.cautious_friend_benefit;
+    }
+    let mut builder = AccuInstanceBuilder::new(graph)
+        .edge_probabilities(edge_probs)
+        .user_classes(classes);
+    for (i, &bf) in friend_benefits.iter().enumerate() {
+        builder = builder.benefits(NodeId::from(i), bf, config.fof_benefit);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetSpec;
+    use osn_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn threshold_rounding() {
+        let cfg = ProtocolConfig::default();
+        assert_eq!(cfg.threshold_for_degree(10), 3);
+        assert_eq!(cfg.threshold_for_degree(11), 4); // ceil(3.3)
+        assert_eq!(cfg.threshold_for_degree(1), 1);
+        assert_eq!(cfg.threshold_for_degree(0), 1); // clamped
+        let tight = ProtocolConfig { threshold_fraction: 0.9, ..ProtocolConfig::default() };
+        assert_eq!(tight.threshold_for_degree(10), 9);
+    }
+
+    #[test]
+    fn scaled_cautious_keeps_at_least_one() {
+        let cfg = ProtocolConfig::default().scaled_cautious(0.001);
+        assert_eq!(cfg.cautious_count, 1);
+        let cfg = ProtocolConfig::default().scaled_cautious(0.25);
+        assert_eq!(cfg.cautious_count, 25);
+    }
+
+    #[test]
+    fn cautious_selection_is_an_independent_set_in_band() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = DatasetSpec::facebook().scaled(0.2).generate(&mut rng).unwrap();
+        let chosen = select_cautious_users(&g, (10, 100), 30, &mut rng);
+        assert!(!chosen.is_empty());
+        for &v in &chosen {
+            assert!((10..=100).contains(&g.degree(v)), "degree {} out of band", g.degree(v));
+        }
+        for (i, &a) in chosen.iter().enumerate() {
+            for &b in &chosen[i + 1..] {
+                assert!(!g.has_edge(a, b), "cautious users {a}, {b} adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_exhausts_gracefully() {
+        // A triangle: once one node is picked, the rest are adjacent.
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2), (2, 0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let chosen = select_cautious_users(&g, (1, 10), 3, &mut rng);
+        assert_eq!(chosen.len(), 1);
+        // Empty band:
+        let chosen = select_cautious_users(&g, (5, 10), 3, &mut rng);
+        assert!(chosen.is_empty());
+    }
+
+    #[test]
+    fn protocol_instance_matches_paper_setup() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = DatasetSpec::facebook().scaled(0.2).generate(&mut rng).unwrap();
+        let cfg = ProtocolConfig { cautious_count: 20, ..ProtocolConfig::default() };
+        let inst = apply_protocol(g, &cfg, &mut rng).unwrap();
+        assert_eq!(inst.cautious_users().len(), 20);
+        assert!(inst.check_paper_assumptions().is_empty());
+        for v in inst.graph().nodes() {
+            let b = inst.benefits();
+            if inst.is_cautious(v) {
+                assert_eq!(b.friend(v), 50.0);
+                let theta = inst.threshold(v).unwrap();
+                assert_eq!(theta, cfg.threshold_for_degree(inst.graph().degree(v)));
+            } else {
+                assert_eq!(b.friend(v), 2.0);
+                let q = inst.acceptance_probability(v).unwrap();
+                assert!((0.0..1.0).contains(&q));
+            }
+            assert_eq!(b.friend_of_friend(v), 1.0);
+        }
+    }
+
+    #[test]
+    fn protocol_is_deterministic_per_seed() {
+        let make = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = DatasetSpec::facebook().scaled(0.1).generate(&mut rng).unwrap();
+            apply_protocol(g, &ProtocolConfig { cautious_count: 5, ..Default::default() }, &mut rng)
+                .unwrap()
+        };
+        let a = make(5);
+        let b = make(5);
+        assert_eq!(a.cautious_users(), b.cautious_users());
+        assert_eq!(
+            a.edge_probability(osn_graph::EdgeId::new(0)),
+            b.edge_probability(osn_graph::EdgeId::new(0))
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 6** — heat map of the total benefit collected by
+//! ABM on Twitter, varying the cautious friend benefit `B_f` (rows) and
+//! the acceptance-threshold fraction (columns).
+//!
+//! The paper's findings: benefit generally grows with higher `B_f` and
+//! lower thresholds; the exception is low `B_f` (20), where *harder*
+//! thresholds can help — ABM stops over-investing in cautious users that
+//! are not worth the detour.
+
+use accu_experiments::heatmap::{paper_axes, run_heatmap};
+use accu_experiments::{Cli, ExperimentScale};
+
+fn main() {
+    let cli = Cli::parse();
+    let scale = ExperimentScale::from_cli(&cli);
+    println!("Fig. 6: benefit heat map (Twitter, ABM w_D=w_I=0.5, {})", scale.describe());
+    let (benefits, thresholds) = paper_axes();
+    let hm = run_heatmap(&scale, &benefits, &thresholds);
+    println!();
+    let table = hm.benefit_table();
+    table.print();
+    match table.write_csv("fig6_twitter") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+
+    // Shape checks the paper calls out.
+    let rows = hm.benefit.len();
+    let cols = hm.benefit[0].len();
+    let top_row_trend = hm.benefit[rows - 1][0] >= hm.benefit[rows - 1][cols - 1];
+    println!(
+        "\nhigh B_f row: benefit {} from loose (10%) to tight (50%) thresholds",
+        if top_row_trend { "decreases" } else { "increases (unexpected)" }
+    );
+    let col_trend = hm.benefit[rows - 1][0] >= hm.benefit[0][0];
+    println!(
+        "loose-threshold column: benefit {} with higher cautious B_f",
+        if col_trend { "increases" } else { "decreases (unexpected)" }
+    );
+}

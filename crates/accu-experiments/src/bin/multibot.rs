@@ -1,0 +1,68 @@
+//! Extension experiment: collaborative multi-bot campaigns under a
+//! fixed *total* budget — how does splitting the budget across
+//! rate-limited bots change the attack?
+//!
+//! Key effect: bots pool knowledge but mutual-friend thresholds are
+//! per-bot, so splitting starves cautious-user unlocking while leaving
+//! the reckless haul intact.
+
+use accu_core::policy::{run_multi_bot_abm, AbmWeights, MultiBotConfig};
+use accu_core::Realization;
+use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
+use accu_experiments::output::{fnum, Table};
+use accu_experiments::Cli;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cli = Cli::parse();
+    let total_budget = cli.budget.unwrap_or(120);
+    let runs = cli.runs.unwrap_or(6);
+    let mut rng = StdRng::seed_from_u64(cli.seed);
+    let graph = DatasetSpec::slashdot()
+        .scaled(cli.scale.unwrap_or(0.02))
+        .generate(&mut rng)
+        .expect("generation");
+    let protocol = ProtocolConfig { cautious_count: 20, ..ProtocolConfig::default() };
+    let instance = apply_protocol(graph, &protocol, &mut rng).expect("protocol");
+    println!(
+        "Multi-bot campaigns: {} users ({} cautious), total budget {total_budget}, {runs} realizations\n",
+        instance.node_count(),
+        instance.cautious_users().len()
+    );
+
+    let realizations: Vec<Realization> =
+        (0..runs).map(|_| Realization::sample(&instance, &mut rng)).collect();
+
+    let mut table =
+        Table::new(["bots", "per-bot cap", "E[benefit]", "E[cautious]", "requests"]);
+    for bots in [1usize, 2, 4, 8] {
+        let per_bot = total_budget / bots;
+        let cfg = MultiBotConfig { bots, per_bot_budget: per_bot, weights: AbmWeights::balanced() };
+        let mut benefit = 0.0;
+        let mut cautious = 0.0;
+        let mut requests = 0usize;
+        for real in &realizations {
+            let out = run_multi_bot_abm(&instance, real, cfg);
+            benefit += out.total_benefit;
+            cautious += out.cautious_compromised as f64;
+            requests = out.trace.len();
+        }
+        table.row([
+            bots.to_string(),
+            per_bot.to_string(),
+            fnum(benefit / runs as f64),
+            fnum(cautious / runs as f64),
+            requests.to_string(),
+        ]);
+    }
+    table.print();
+    match table.write_csv("multibot") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+    println!(
+        "\n(knowledge is pooled across bots, but cautious thresholds count mutual friends\n\
+         per bot — fragmentation protects the high-value users)"
+    );
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Table I** — statistics of the data sets.
+//!
+//! Prints the paper's target node/edge counts next to the measured
+//! statistics of the synthetic stand-ins, plus the size of the
+//! `[10, 100]` degree band cautious users are drawn from.
+
+use accu_experiments::output::{fnum, Table};
+use accu_experiments::{Cli, ExperimentScale};
+use accu_datasets::DatasetSpec;
+use osn_graph::algo::{
+    degree_assortativity, double_sweep_diameter, global_clustering_coefficient,
+    nodes_with_degree_in, DegreeStats,
+};
+use osn_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cli = Cli::parse();
+    let scale = ExperimentScale::from_cli(&cli);
+    println!("Table I: statistics of the data sets ({})", scale.describe());
+    println!();
+    let paper_targets = [
+        ("Facebook", 4_000usize, 88_000usize),
+        ("Slashdot", 77_000, 905_000),
+        ("Twitter", 81_000, 1_770_000),
+        ("DBLP", 317_000, 1_050_000),
+    ];
+    let mut table = Table::new([
+        "Network",
+        "Kind",
+        "Paper nodes",
+        "Paper edges",
+        "Nodes",
+        "Edges",
+        "AvgDeg",
+        "MaxDeg",
+        "Band[10,100]",
+        "Clustering",
+        "Assort.",
+        "Diam≥",
+    ]);
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    for spec in DatasetSpec::all_paper_datasets() {
+        let factor = scale.default_graph_scale(&spec);
+        let scaled = spec.clone().scaled(factor);
+        let g = scaled.generate(&mut rng).expect("generation failed");
+        let stats = DegreeStats::of(&g);
+        let band = nodes_with_degree_in(&g, 10, 100).len();
+        let diameter = double_sweep_diameter(&g, NodeId::new(0));
+        let (pn, pe) = paper_targets
+            .iter()
+            .find(|(n, _, _)| *n == spec.name())
+            .map(|&(_, n, e)| (n, e))
+            .unwrap_or((0, 0));
+        table.row([
+            spec.name().to_string(),
+            spec.kind().to_string(),
+            pn.to_string(),
+            pe.to_string(),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+            fnum(stats.mean),
+            stats.max.to_string(),
+            band.to_string(),
+            fnum(global_clustering_coefficient(&g)),
+            fnum(degree_assortativity(&g)),
+            diameter.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    table.print();
+    match table.write_csv("table1") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

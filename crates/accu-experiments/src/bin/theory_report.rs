@@ -1,0 +1,133 @@
+//! Theory report: the paper's §III quantities, computed exactly on a
+//! family of small instances.
+//!
+//! For each instance: the adaptive submodular ratio λ (brute force), the
+//! Lemma 4/5 closed forms where applicable, the Theorem 1 bound
+//! `1 − e^{−λ}`, the exhaustively optimal adaptive value, the exact
+//! greedy value, and the realized greedy/OPT ratio — demonstrating how
+//! conservative the bound is in practice.
+
+use accu_core::policy::pure_greedy;
+use accu_core::theory::{
+    adaptive_submodular_ratio, check_strong_adaptive_monotonicity, enumerate_realizations,
+    find_submodularity_violation, greedy_ratio, lemma4_lambda, optimal_adaptive_benefit,
+};
+use accu_core::{run_attack, AccuInstance, AccuInstanceBuilder, UserClass};
+use accu_experiments::output::{fnum, Table};
+use osn_graph::{GraphBuilder, NodeId};
+
+/// Exact expected greedy value by realization enumeration.
+fn exact_greedy(inst: &AccuInstance, k: usize) -> f64 {
+    enumerate_realizations(inst)
+        .unwrap()
+        .iter()
+        .map(|(real, prob)| {
+            let mut g = pure_greedy();
+            prob * run_attack(inst, real, &mut g, k).total_benefit
+        })
+        .sum()
+}
+
+/// An instance plus its optional Lemma 4 parameters `(v_c, θ)`.
+type NamedInstance = (&'static str, AccuInstance, Option<(NodeId, u32)>);
+
+fn instances() -> Vec<NamedInstance> {
+    let mut out = Vec::new();
+    // 1. Pendant cautious user (Lemma 4, d=1), B_fof = 0 → closed form exact.
+    let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (0, 2)]).unwrap();
+    let inst = AccuInstanceBuilder::new(g)
+        .user_class(NodeId::new(1), UserClass::cautious(1))
+        .benefits(NodeId::new(0), 3.0, 0.0)
+        .benefits(NodeId::new(1), 10.0, 0.0)
+        .benefits(NodeId::new(2), 2.0, 0.0)
+        .build()
+        .unwrap();
+    out.push(("pendant cautious (θ=1)", inst, Some((NodeId::new(1), 1))));
+    // 2. Cautious hub with θ=2 among three reckless friends.
+    let g = GraphBuilder::from_edges(4, [(0u32, 3u32), (1, 3), (2, 3)]).unwrap();
+    let inst = AccuInstanceBuilder::new(g)
+        .user_class(NodeId::new(3), UserClass::cautious(2))
+        .benefits(NodeId::new(3), 12.0, 0.0)
+        .benefits(NodeId::new(0), 2.0, 0.0)
+        .benefits(NodeId::new(1), 2.0, 0.0)
+        .benefits(NodeId::new(2), 2.0, 0.0)
+        .build()
+        .unwrap();
+    out.push(("cautious hub (θ=2)", inst, Some((NodeId::new(3), 2))));
+    // 3. Probabilistic, no cautious users (λ must be 1).
+    let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
+    let inst = AccuInstanceBuilder::new(g)
+        .uniform_edge_probability(0.5)
+        .user_classes(vec![
+            UserClass::reckless(0.5),
+            UserClass::reckless(1.0),
+            UserClass::reckless(0.8),
+            UserClass::reckless(1.0),
+        ])
+        .build()
+        .unwrap();
+    out.push(("no cautious users", inst, None));
+    // 4. Probabilistic edges + cautious user.
+    let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
+    let inst = AccuInstanceBuilder::new(g)
+        .uniform_edge_probability(0.5)
+        .user_class(NodeId::new(3), UserClass::cautious(1))
+        .benefits(NodeId::new(3), 8.0, 1.0)
+        .user_class(NodeId::new(1), UserClass::reckless(0.5))
+        .build()
+        .unwrap();
+    out.push(("stochastic + cautious", inst, None));
+    out
+}
+
+fn main() {
+    println!("Theory report: §III quantities on small instances (exact computations)\n");
+    let k = 3;
+    let mut table = Table::new([
+        "Instance",
+        "λ (brute)",
+        "Lemma 4",
+        "1-e^-λ",
+        "OPT(k=3)",
+        "Greedy",
+        "Greedy/OPT",
+        "AdSub?",
+        "Monotone?",
+    ]);
+    for (name, inst, lemma4) in instances() {
+        let lambda = adaptive_submodular_ratio(&inst).expect("small instance");
+        let closed = lemma4
+            .map(|(v, theta)| fnum(lemma4_lambda(inst.graph(), inst.benefits(), v, theta)))
+            .unwrap_or_else(|| "-".into());
+        let opt = optimal_adaptive_benefit(&inst, k).expect("small instance");
+        let greedy = exact_greedy(&inst, k);
+        let violation = find_submodularity_violation(&inst, 1).expect("small instance");
+        let monotone = check_strong_adaptive_monotonicity(&inst, 1).expect("small instance");
+        let ratio = if opt > 0.0 { greedy / opt } else { 1.0 };
+        assert!(
+            ratio + 1e-9 >= greedy_ratio(lambda),
+            "{name}: Theorem 1 violated (ratio {ratio} < bound {})",
+            greedy_ratio(lambda)
+        );
+        table.row([
+            name.to_string(),
+            fnum(lambda),
+            closed,
+            fnum(greedy_ratio(lambda)),
+            fnum(opt),
+            fnum(greedy),
+            fnum(ratio),
+            if violation.is_some() { "violated".into() } else { "holds".to_string() },
+            if monotone { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    table.print();
+    match table.write_csv("theory_report") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+    println!(
+        "\nEvery row satisfies Theorem 1 (asserted); the realized Greedy/OPT ratio is far\n\
+         above the worst-case 1 − e^{{-λ}} bound, as expected for non-adversarial instances."
+    );
+}

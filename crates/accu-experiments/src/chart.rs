@@ -1,0 +1,221 @@
+//! Terminal line charts for the figure binaries.
+//!
+//! Renders multi-series line charts on a character grid so each binary
+//! can print an actual *figure*, not just a table. Series are drawn with
+//! distinct glyphs and a legend; axes are labeled with numeric ranges.
+
+/// A renderable chart of one or more `(x, y)` series over a shared x
+/// grid.
+///
+/// # Examples
+///
+/// ```
+/// use accu_experiments::chart::Chart;
+///
+/// let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+/// let rendered = Chart::new(&xs)
+///     .series("quadratic", &ys)
+///     .size(40, 10)
+///     .render();
+/// assert!(rendered.contains("quadratic"));
+/// assert!(rendered.lines().count() > 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    xs: Vec<f64>,
+    series: Vec<(String, Vec<f64>)>,
+    width: usize,
+    height: usize,
+    x_label: String,
+    y_label: String,
+}
+
+/// Glyphs used for the series, in order.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+impl Chart {
+    /// Creates a chart over the given x positions.
+    pub fn new(xs: &[f64]) -> Self {
+        Chart {
+            xs: xs.to_vec(),
+            series: Vec::new(),
+            width: 64,
+            height: 16,
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+
+    /// Adds a named series (must have the same length as the x grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the x grid.
+    pub fn series(mut self, name: &str, ys: &[f64]) -> Self {
+        assert_eq!(ys.len(), self.xs.len(), "series {name} length mismatch");
+        self.series.push((name.to_string(), ys.to_vec()));
+        self
+    }
+
+    /// Sets the plot area size in characters.
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        self.width = width.max(8);
+        self.height = height.max(4);
+        self
+    }
+
+    /// Sets the axis labels.
+    pub fn labels(mut self, x: &str, y: &str) -> Self {
+        self.x_label = x.to_string();
+        self.y_label = y.to_string();
+        self
+    }
+
+    /// Renders the chart to a string.
+    pub fn render(&self) -> String {
+        if self.xs.is_empty() || self.series.is_empty() {
+            return String::from("(empty chart)\n");
+        }
+        let (xmin, xmax) = bounds(&self.xs);
+        let all_y: Vec<f64> =
+            self.series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+        let (ymin, ymax) = bounds(&all_y);
+        let yspan = (ymax - ymin).max(1e-12);
+        let xspan = (xmax - xmin).max(1e-12);
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, (_, ys)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (&x, &y) in self.xs.iter().zip(ys) {
+                let col = ((x - xmin) / xspan * (self.width - 1) as f64).round() as usize;
+                let row = ((ymax - y) / yspan * (self.height - 1) as f64).round() as usize;
+                let cell = &mut grid[row.min(self.height - 1)][col.min(self.width - 1)];
+                // Later series overwrite blanks only; collisions show the
+                // earlier glyph to keep lines readable.
+                if *cell == ' ' {
+                    *cell = glyph;
+                }
+            }
+        }
+        let ylab_width = 10usize;
+        let mut out = String::new();
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("{:>ylab_width$} {}\n", "", self.y_label));
+        }
+        for (r, row) in grid.iter().enumerate() {
+            let yv = ymax - yspan * r as f64 / (self.height - 1) as f64;
+            let label = if r == 0 || r == self.height - 1 || r == self.height / 2 {
+                format!("{yv:>ylab_width$.1}")
+            } else {
+                " ".repeat(ylab_width)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(ylab_width));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        let left = format!("{xmin:.0}");
+        let right = format!("{xmax:.0}");
+        let pad = self.width.saturating_sub(left.len() + right.len());
+        out.push_str(&" ".repeat(ylab_width + 1));
+        out.push_str(&left);
+        out.push_str(&" ".repeat(pad));
+        out.push_str(&right);
+        if !self.x_label.is_empty() {
+            out.push_str(&format!("  ({})", self.x_label));
+        }
+        out.push('\n');
+        // Legend.
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>ylab_width$} {} {}\n",
+                "",
+                GLYPHS[si % GLYPHS.len()],
+                name
+            ));
+        }
+        out
+    }
+
+    /// Prints the rendered chart to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        (0.0, 1.0)
+    } else if min == max {
+        (min - 0.5, max + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_monotone_series_descending_rows() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.clone();
+        let s = Chart::new(&xs).series("lin", &ys).size(20, 10).render();
+        let lines: Vec<&str> = s.lines().collect();
+        // First plotted row holds the max (rightmost glyph), last row the
+        // min (leftmost glyph).
+        assert!(lines[0].trim_end().ends_with('*'));
+        assert!(lines[9].contains("|*"));
+        assert!(s.contains("lin"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let xs = [0.0, 1.0, 2.0];
+        let a = [0.0, 1.0, 2.0];
+        let b = [2.0, 1.0, 0.0];
+        let s = Chart::new(&xs).series("up", &a).series("down", &b).render();
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("up") && s.contains("down"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let xs = [0.0, 1.0];
+        let ys = [3.0, 3.0];
+        let s = Chart::new(&xs).series("flat", &ys).render();
+        assert!(s.contains("flat"));
+    }
+
+    #[test]
+    fn empty_chart_is_explicit() {
+        assert_eq!(Chart::new(&[]).render(), "(empty chart)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = Chart::new(&[0.0, 1.0]).series("bad", &[1.0]);
+    }
+
+    #[test]
+    fn labels_appear() {
+        let s = Chart::new(&[0.0, 1.0])
+            .series("s", &[0.0, 1.0])
+            .labels("requests", "benefit")
+            .render();
+        assert!(s.contains("(requests)"));
+        assert!(s.contains("benefit"));
+    }
+}

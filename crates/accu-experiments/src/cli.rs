@@ -1,0 +1,161 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! Every figure/table binary accepts:
+//!
+//! * `--paper` — run at the paper's full scale (Table I network sizes,
+//!   100 sample networks × 30 runs, k = 500); the default is a
+//!   laptop-scale configuration that preserves the figures' shapes;
+//! * `--seed <u64>` — master RNG seed (default 42);
+//! * `--samples <n>` / `--runs <n>` / `--budget <k>` — override the
+//!   number of sampled networks, runs per network, and request budget;
+//! * `--scale <f>` — override the graph down-scaling factor.
+
+use std::fmt;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Run at full paper scale.
+    pub paper: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Override: sampled networks per dataset.
+    pub samples: Option<usize>,
+    /// Override: attack runs per sampled network.
+    pub runs: Option<usize>,
+    /// Override: request budget `k`.
+    pub budget: Option<usize>,
+    /// Override: graph scaling factor.
+    pub scale: Option<f64>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli { paper: false, seed: 42, samples: None, runs: None, budget: None, scale: None }
+    }
+}
+
+/// Error produced by [`Cli::parse_from`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Cli {
+    /// Parses from `std::env::args`, exiting with a usage message on
+    /// error (the behavior every experiment binary wants).
+    pub fn parse() -> Cli {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: [--paper] [--seed N] [--samples N] [--runs N] [--budget K] [--scale F]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses from an explicit argument iterator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] on unknown flags or malformed values.
+    pub fn parse_from<I, S>(args: I) -> Result<Cli, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut cli = Cli::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            let mut value = |name: &str| -> Result<String, CliError> {
+                iter.next()
+                    .map(|v| v.as_ref().to_string())
+                    .ok_or_else(|| CliError(format!("{name} needs a value")))
+            };
+            match arg {
+                "--paper" => cli.paper = true,
+                "--seed" => {
+                    cli.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| CliError("--seed expects a u64".into()))?;
+                }
+                "--samples" => {
+                    cli.samples = Some(
+                        value("--samples")?
+                            .parse()
+                            .map_err(|_| CliError("--samples expects a count".into()))?,
+                    );
+                }
+                "--runs" => {
+                    cli.runs = Some(
+                        value("--runs")?
+                            .parse()
+                            .map_err(|_| CliError("--runs expects a count".into()))?,
+                    );
+                }
+                "--budget" => {
+                    cli.budget = Some(
+                        value("--budget")?
+                            .parse()
+                            .map_err(|_| CliError("--budget expects a count".into()))?,
+                    );
+                }
+                "--scale" => {
+                    cli.scale = Some(
+                        value("--scale")?
+                            .parse()
+                            .map_err(|_| CliError("--scale expects a float".into()))?,
+                    );
+                }
+                other => return Err(CliError(format!("unknown flag {other:?}"))),
+            }
+        }
+        Ok(cli)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let cli = Cli::parse_from(Vec::<String>::new()).unwrap();
+        assert_eq!(cli, Cli::default());
+        assert!(!cli.paper);
+        assert_eq!(cli.seed, 42);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let cli = Cli::parse_from(
+            ["--paper", "--seed", "7", "--samples", "3", "--runs", "9", "--budget", "100",
+             "--scale", "0.5"],
+        )
+        .unwrap();
+        assert!(cli.paper);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.samples, Some(3));
+        assert_eq!(cli.runs, Some(9));
+        assert_eq!(cli.budget, Some(100));
+        assert_eq!(cli.scale, Some(0.5));
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(Cli::parse_from(["--bogus"]).is_err());
+        assert!(Cli::parse_from(["--seed"]).is_err());
+        assert!(Cli::parse_from(["--seed", "abc"]).is_err());
+        assert!(Cli::parse_from(["--scale", "x"]).is_err());
+    }
+}

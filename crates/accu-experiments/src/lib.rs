@@ -1,0 +1,47 @@
+//! # accu-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! ACCU paper. The library provides the shared machinery (CLI parsing,
+//! scaling, the parallel runner, table/CSV output); one binary per
+//! experiment id lives under `src/bin/`:
+//!
+//! | Binary                | Paper artifact |
+//! |-----------------------|----------------|
+//! | `table1`              | Table I — dataset statistics |
+//! | `fig1_counterexample` | Fig. 1 — non-submodularity example |
+//! | `fig2`                | Fig. 2 — benefit vs number of requests |
+//! | `fig3`                | Fig. 3 — marginal benefit split by user class |
+//! | `fig4`                | Fig. 4 — benefit and #cautious friends vs `w_I` |
+//! | `fig5`                | Fig. 5 — fraction of requests sent to cautious users |
+//! | `fig6`                | Fig. 6 — benefit heat map (benefit × threshold) |
+//! | `fig7`                | Fig. 7 — #cautious-friends heat map |
+//!
+//! Extension experiments beyond the paper:
+//!
+//! | Binary            | Extension |
+//! |-------------------|-----------|
+//! | `extra_baselines` | Fig. 2 with pure greedy + betweenness/closeness/eigenvector baselines |
+//! | `theory_report`   | λ, Lemma 4, Theorem 1 bound, OPT vs greedy on small instances |
+//! | `defense_report`  | at-risk cautious users, gatekeepers, risk-vs-exposure correlation |
+//! | `multibot`        | rate-limited collaborative bots under a fixed total budget |
+//! | `hesitant`        | the §III-B two-probability cautious model: benefit + finite curvature bound vs `q₁` |
+//! | `noise_ablation`  | robustness of ABM to noisy probability knowledge (belief-mismatch simulation) |
+//! | `selection_ablation` | cautious-user placement: degree band vs inner k-core vs uniform |
+//! | `acceptance_models` | threshold vs hesitant vs linear acceptance: how much harder the paper's model makes the attack |
+//!
+//! Every binary accepts `--paper` for the full-scale configuration and
+//! writes CSV output under `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod chart;
+mod cli;
+pub mod heatmap;
+pub mod output;
+mod runner;
+mod scale;
+
+pub use cli::{Cli, CliError};
+pub use runner::{run_policy, FigureRun, PolicyKind};
+pub use scale::ExperimentScale;

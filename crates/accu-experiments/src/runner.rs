@@ -1,0 +1,287 @@
+//! The experiment runner: sampled networks × repeated attacks,
+//! parallelized over CPU cores, folded into [`TraceAccumulator`]s.
+
+use accu_core::policy::{
+    Abm, AbmWeights, CentralityKind, CentralityPolicy, MaxDegree, PageRankPolicy, Random,
+    Snowball,
+};
+use accu_core::{run_attack, Policy, Realization, TraceAccumulator};
+use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which policy to run — a cloneable, thread-shippable policy recipe.
+///
+/// # Examples
+///
+/// ```
+/// use accu_experiments::PolicyKind;
+/// assert_eq!(PolicyKind::MaxDegree.name(), "MaxDegree");
+/// assert_eq!(PolicyKind::abm_balanced().name(), "ABM");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// ABM with explicit weights `(w_D, w_I)`.
+    Abm {
+        /// Direct-gain weight.
+        wd: f64,
+        /// Indirect-gain weight.
+        wi: f64,
+    },
+    /// Classical pure greedy (`w_D = 1, w_I = 0`).
+    Greedy,
+    /// Highest-degree-first baseline.
+    MaxDegree,
+    /// PageRank-order baseline.
+    PageRank,
+    /// Uniform random baseline.
+    Random,
+    /// Static-centrality baseline (betweenness / closeness /
+    /// eigenvector) — extensions beyond the paper's lineup.
+    Centrality(CentralityKind),
+    /// Local-knowledge snowball attacker (observation-only).
+    Snowball,
+}
+
+impl PolicyKind {
+    /// The paper's main ABM configuration, `w_D = w_I = 0.5`.
+    pub fn abm_balanced() -> Self {
+        PolicyKind::Abm { wd: 0.5, wi: 0.5 }
+    }
+
+    /// ABM parameterized by `w_I` with `w_D = 1 − w_I` (the Fig. 4/5
+    /// sweep).
+    pub fn abm_with_indirect(wi: f64) -> Self {
+        PolicyKind::Abm { wd: 1.0 - wi, wi }
+    }
+
+    /// Display name used in figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Abm { .. } => "ABM",
+            PolicyKind::Greedy => "Greedy",
+            PolicyKind::MaxDegree => "MaxDegree",
+            PolicyKind::PageRank => "PageRank",
+            PolicyKind::Random => "Random",
+            PolicyKind::Centrality(kind) => kind.name(),
+            PolicyKind::Snowball => "Snowball",
+        }
+    }
+
+    /// Instantiates the policy (Random gets the given seed).
+    pub fn instantiate(&self, seed: u64) -> Box<dyn Policy + Send> {
+        match *self {
+            PolicyKind::Abm { wd, wi } => Box::new(Abm::new(AbmWeights::new(wd, wi))),
+            PolicyKind::Greedy => Box::new(accu_core::policy::pure_greedy()),
+            PolicyKind::MaxDegree => Box::new(MaxDegree::new()),
+            PolicyKind::PageRank => Box::new(PageRankPolicy::new()),
+            PolicyKind::Random => Box::new(Random::new(seed)),
+            PolicyKind::Centrality(kind) => Box::new(CentralityPolicy::new(kind)),
+            PolicyKind::Snowball => Box::new(Snowball::new(seed)),
+        }
+    }
+
+    /// The extended lineup: the paper's four plus pure greedy and the
+    /// three extra centrality baselines.
+    pub fn extended_lineup() -> Vec<PolicyKind> {
+        let mut lineup = Self::paper_lineup();
+        lineup.insert(1, PolicyKind::Greedy);
+        lineup.extend([
+            PolicyKind::Centrality(CentralityKind::Eigenvector),
+            PolicyKind::Centrality(CentralityKind::Closeness),
+            PolicyKind::Centrality(CentralityKind::Betweenness),
+            PolicyKind::Snowball,
+        ]);
+        lineup
+    }
+
+    /// The four algorithms compared in the paper's Fig. 2.
+    pub fn paper_lineup() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::abm_balanced(),
+            PolicyKind::PageRank,
+            PolicyKind::MaxDegree,
+            PolicyKind::Random,
+        ]
+    }
+}
+
+/// One experiment cell: a dataset, the parameter protocol, the budget,
+/// and the repetition counts.
+#[derive(Debug, Clone)]
+pub struct FigureRun {
+    /// Dataset (possibly scaled).
+    pub dataset: DatasetSpec,
+    /// Parameter-assignment protocol.
+    pub protocol: ProtocolConfig,
+    /// Request budget `k`.
+    pub budget: usize,
+    /// Number of independently sampled networks (paper: 100).
+    pub network_samples: usize,
+    /// Attack runs per sampled network (paper: 30).
+    pub runs_per_network: usize,
+    /// Master seed; every (network, run) derives its own stream.
+    pub seed: u64,
+}
+
+impl FigureRun {
+    /// Total attack episodes this run will simulate.
+    pub fn episodes(&self) -> usize {
+        self.network_samples * self.runs_per_network
+    }
+}
+
+/// Runs `policy` over all sampled networks and repetitions of `figure`,
+/// in parallel across available cores, and returns the aggregated trace
+/// statistics.
+///
+/// Deterministic given `figure.seed`: network `i` always uses the same
+/// derived RNG stream regardless of thread scheduling. The same seed is
+/// used across policies so every policy faces identical networks and
+/// realizations (paired comparison, variance reduction — and the paper's
+/// setup of evaluating all algorithms on the same sample networks).
+pub fn run_policy(figure: &FigureRun, policy: PolicyKind) -> TraceAccumulator {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = threads.min(figure.network_samples.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut accumulators: Vec<TraceAccumulator> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let next = &next;
+            let figure = &figure;
+            handles.push(scope.spawn(move || {
+                let mut acc = TraceAccumulator::new(figure.budget);
+                let mut policy_impl =
+                    policy.instantiate(figure.seed ^ (worker as u64).wrapping_mul(0xA5A5));
+                loop {
+                    let net = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if net >= figure.network_samples {
+                        break;
+                    }
+                    run_network(figure, net, policy_impl.as_mut(), &mut acc);
+                }
+                acc
+            }));
+        }
+        for h in handles {
+            accumulators.push(h.join().expect("experiment worker panicked"));
+        }
+    });
+    let mut total = TraceAccumulator::new(figure.budget);
+    for acc in &accumulators {
+        total.merge(acc);
+    }
+    total
+}
+
+/// Runs all repetitions on one sampled network.
+fn run_network(
+    figure: &FigureRun,
+    net_index: usize,
+    policy: &mut dyn Policy,
+    acc: &mut TraceAccumulator,
+) {
+    // Derive a per-network stream so results do not depend on thread
+    // scheduling.
+    let mut net_rng = StdRng::seed_from_u64(
+        figure.seed.wrapping_add((net_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    let graph = figure
+        .dataset
+        .generate(&mut net_rng)
+        .expect("dataset generation failed");
+    let instance =
+        apply_protocol(graph, &figure.protocol, &mut net_rng).expect("protocol failed");
+    for _ in 0..figure.runs_per_network {
+        let run_seed: u64 = net_rng.gen();
+        let mut run_rng = StdRng::seed_from_u64(run_seed);
+        let realization = Realization::sample(&instance, &mut run_rng);
+        let outcome = run_attack(&instance, &realization, policy, figure.budget);
+        acc.add(&outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_figure() -> FigureRun {
+        FigureRun {
+            dataset: DatasetSpec::facebook().scaled(0.02), // 80 nodes
+            protocol: ProtocolConfig {
+                cautious_count: 2,
+                degree_band: (5, 80),
+                ..ProtocolConfig::default()
+            },
+            budget: 10,
+            network_samples: 3,
+            runs_per_network: 2,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn runner_aggregates_all_episodes() {
+        let fig = tiny_figure();
+        let acc = run_policy(&fig, PolicyKind::MaxDegree);
+        assert_eq!(acc.runs(), fig.episodes());
+        assert_eq!(acc.budget(), 10);
+        assert!(acc.mean_total_benefit() > 0.0);
+    }
+
+    #[test]
+    fn runner_is_deterministic_across_invocations() {
+        let fig = tiny_figure();
+        let a = run_policy(&fig, PolicyKind::abm_balanced());
+        let b = run_policy(&fig, PolicyKind::abm_balanced());
+        assert_eq!(a.mean_cumulative_benefit(), b.mean_cumulative_benefit());
+        assert_eq!(a.mean_cautious_friends(), b.mean_cautious_friends());
+    }
+
+    #[test]
+    fn abm_beats_random_on_average() {
+        let fig = tiny_figure();
+        let abm = run_policy(&fig, PolicyKind::abm_balanced());
+        let random = run_policy(&fig, PolicyKind::Random);
+        assert!(
+            abm.mean_total_benefit() > random.mean_total_benefit(),
+            "ABM {} vs Random {}",
+            abm.mean_total_benefit(),
+            random.mean_total_benefit()
+        );
+    }
+
+    #[test]
+    fn lineup_has_paper_order() {
+        let names: Vec<&str> = PolicyKind::paper_lineup().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["ABM", "PageRank", "MaxDegree", "Random"]);
+    }
+
+    #[test]
+    fn extended_lineup_names_are_distinct() {
+        let lineup = PolicyKind::extended_lineup();
+        assert_eq!(lineup.len(), 9);
+        let names: std::collections::HashSet<&str> =
+            lineup.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn centrality_policies_run_through_the_runner() {
+        let fig = tiny_figure();
+        let acc = run_policy(&fig, PolicyKind::Centrality(CentralityKind::Eigenvector));
+        assert_eq!(acc.runs(), fig.episodes());
+        assert!(acc.mean_total_benefit() > 0.0);
+    }
+
+    #[test]
+    fn abm_with_indirect_sets_complementary_weights() {
+        if let PolicyKind::Abm { wd, wi } = PolicyKind::abm_with_indirect(0.2) {
+            assert!((wd - 0.8).abs() < 1e-12);
+            assert!((wi - 0.2).abs() < 1e-12);
+        } else {
+            panic!("expected ABM variant");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Mapping from command-line options to concrete experiment sizes.
+
+use accu_datasets::{DatasetSpec, ProtocolConfig};
+
+use crate::{Cli, FigureRun};
+
+/// Resolved experiment scale.
+///
+/// * **Quick** (default): graphs are down-scaled to a few thousand nodes
+///   (Facebook is already small and stays full size), 3 sampled networks
+///   × 3 runs, budget 300. Preserves every figure's shape at interactive
+///   wall-clock cost.
+/// * **Paper** (`--paper`): Table I sizes, 100 × 30 repetitions,
+///   budget 500 — the paper's exact counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// Sampled networks per dataset.
+    pub network_samples: usize,
+    /// Attack runs per network.
+    pub runs_per_network: usize,
+    /// Request budget `k`.
+    pub budget: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Graph scaling override (`None` = per-dataset default).
+    pub graph_scale: Option<f64>,
+    /// Whether paper scale was requested.
+    pub paper: bool,
+}
+
+impl ExperimentScale {
+    /// Resolves the scale from parsed command-line options.
+    pub fn from_cli(cli: &Cli) -> Self {
+        let (samples, runs, budget) = if cli.paper { (100, 30, 500) } else { (3, 3, 300) };
+        ExperimentScale {
+            network_samples: cli.samples.unwrap_or(samples),
+            runs_per_network: cli.runs.unwrap_or(runs),
+            budget: cli.budget.unwrap_or(budget),
+            seed: cli.seed,
+            graph_scale: cli.scale,
+            paper: cli.paper,
+        }
+    }
+
+    /// The default quick-mode down-scaling factor for a dataset, chosen
+    /// so every network lands at a few thousand nodes.
+    pub fn default_graph_scale(&self, dataset: &DatasetSpec) -> f64 {
+        if self.paper {
+            return 1.0;
+        }
+        match dataset.name() {
+            "Facebook" => 1.0,  // 4k nodes already
+            "Slashdot" => 0.05, // ~3.9k
+            "Twitter" => 0.05,  // ~4k
+            "DBLP" => 0.02,     // ~6.3k
+            _ => 1.0,
+        }
+    }
+
+    /// Builds the [`FigureRun`] for a dataset with the given protocol.
+    pub fn figure_run(&self, dataset: DatasetSpec, protocol: ProtocolConfig) -> FigureRun {
+        let factor = self.graph_scale.unwrap_or_else(|| self.default_graph_scale(&dataset));
+        FigureRun {
+            dataset: dataset.scaled(factor),
+            protocol,
+            budget: self.budget,
+            network_samples: self.network_samples,
+            runs_per_network: self.runs_per_network,
+            seed: self.seed,
+        }
+    }
+
+    /// A one-line description printed at the top of each experiment.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} scale: {} networks x {} runs, budget k={}, seed {}",
+            if self.paper { "paper" } else { "quick" },
+            self.network_samples,
+            self.runs_per_network,
+            self.budget,
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_defaults() {
+        let s = ExperimentScale::from_cli(&Cli::default());
+        assert_eq!(s.network_samples, 3);
+        assert_eq!(s.runs_per_network, 3);
+        assert_eq!(s.budget, 300);
+        assert!(!s.paper);
+        assert!(s.describe().contains("quick"));
+    }
+
+    #[test]
+    fn paper_scale() {
+        let cli = Cli { paper: true, ..Cli::default() };
+        let s = ExperimentScale::from_cli(&cli);
+        assert_eq!(s.network_samples, 100);
+        assert_eq!(s.runs_per_network, 30);
+        assert_eq!(s.budget, 500);
+        assert_eq!(s.default_graph_scale(&DatasetSpec::twitter()), 1.0);
+    }
+
+    #[test]
+    fn overrides_win() {
+        let cli = Cli {
+            paper: true,
+            samples: Some(5),
+            runs: Some(2),
+            budget: Some(50),
+            scale: Some(0.1),
+            ..Cli::default()
+        };
+        let s = ExperimentScale::from_cli(&cli);
+        assert_eq!(s.network_samples, 5);
+        assert_eq!(s.budget, 50);
+        let run = s.figure_run(DatasetSpec::twitter(), ProtocolConfig::default());
+        assert_eq!(run.dataset.node_count(), 8_100);
+        assert_eq!(run.budget, 50);
+    }
+
+    #[test]
+    fn quick_scales_large_datasets_down() {
+        let s = ExperimentScale::from_cli(&Cli::default());
+        let run = s.figure_run(DatasetSpec::twitter(), ProtocolConfig::default());
+        assert!(run.dataset.node_count() < 5_000);
+        let run = s.figure_run(DatasetSpec::facebook(), ProtocolConfig::default());
+        assert_eq!(run.dataset.node_count(), 4_000);
+    }
+}

@@ -1,0 +1,194 @@
+//! Benchmarks of the graph substrate, including the two DESIGN.md
+//! storage ablations: binary-search adjacency vs hash-set membership,
+//! and sorted-merge vs flag-array mutual-friend counting.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_graph::algo::{
+    betweenness_centrality, closeness_centrality, eigenvector_centrality, mutual_friend_count,
+    pagerank, PageRankConfig,
+};
+use osn_graph::generators::{barabasi_albert, erdos_renyi_gnp, powerlaw_configuration, rmat, RmatParams};
+use osn_graph::sampling::{bfs_sample, uniform_node_sample};
+use osn_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("barabasi_albert_m8", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(barabasi_albert(n, 8, &mut rng).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("erdos_renyi_gnp", n), &n, |b, &n| {
+            let p = 16.0 / n as f64;
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(erdos_renyi_gnp(n, p, &mut rng).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("powerlaw_config", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(powerlaw_configuration(n, 2.5, 2, 100, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn test_graph() -> Graph {
+    let mut rng = StdRng::seed_from_u64(7);
+    barabasi_albert(10_000, 10, &mut rng).unwrap()
+}
+
+/// Ablation: CSR binary-search `has_edge` vs a HashSet of edges.
+fn bench_adjacency(c: &mut Criterion) {
+    let g = test_graph();
+    let mut rng = StdRng::seed_from_u64(3);
+    let queries: Vec<(NodeId, NodeId)> = (0..1_000)
+        .map(|_| {
+            (
+                NodeId::new(rng.gen_range(0..g.node_count() as u32)),
+                NodeId::new(rng.gen_range(0..g.node_count() as u32)),
+            )
+        })
+        .collect();
+    let hashset: HashSet<(u32, u32)> = g
+        .edges()
+        .iter()
+        .map(|e| (e.lo().as_u32(), e.hi().as_u32()))
+        .collect();
+
+    let mut group = c.benchmark_group("adjacency_ablation");
+    group.bench_function("csr_binary_search", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(a, v) in &queries {
+                if a != v && g.has_edge(a, v) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("hashset_lookup", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(a, v) in &queries {
+                let key = if a <= v { (a.as_u32(), v.as_u32()) } else { (v.as_u32(), a.as_u32()) };
+                if a != v && hashset.contains(&key) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+/// Ablation: sorted-merge mutual-friend counting vs flag-array
+/// intersection.
+fn bench_mutual(c: &mut Criterion) {
+    let g = test_graph();
+    let mut rng = StdRng::seed_from_u64(5);
+    let pairs: Vec<(NodeId, NodeId)> = (0..500)
+        .map(|_| {
+            (
+                NodeId::new(rng.gen_range(0..g.node_count() as u32)),
+                NodeId::new(rng.gen_range(0..g.node_count() as u32)),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("mutual_friends_ablation");
+    group.bench_function("sorted_merge", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &(a, v) in &pairs {
+                total += mutual_friend_count(&g, a, v);
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("flag_array", |b| {
+        let mut flags = vec![false; g.node_count()];
+        b.iter(|| {
+            let mut total = 0usize;
+            for &(a, v) in &pairs {
+                for &w in g.neighbors(a) {
+                    flags[w.index()] = true;
+                }
+                total += g.neighbors(v).iter().filter(|w| flags[w.index()]).count();
+                for &w in g.neighbors(a) {
+                    flags[w.index()] = false;
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let g = test_graph();
+    c.bench_function("pagerank_10k_nodes", |b| {
+        b.iter(|| black_box(pagerank(&g, &PageRankConfig::new().max_iterations(30))))
+    });
+}
+
+fn bench_centrality(c: &mut Criterion) {
+    // Smaller graph: Brandes is O(n·m).
+    let mut rng = StdRng::seed_from_u64(13);
+    let g = barabasi_albert(1_000, 8, &mut rng).unwrap();
+    let mut group = c.benchmark_group("centrality_1k_nodes");
+    group.sample_size(10);
+    group.bench_function("betweenness", |b| b.iter(|| black_box(betweenness_centrality(&g))));
+    group.bench_function("closeness", |b| b.iter(|| black_box(closeness_centrality(&g))));
+    group.bench_function("eigenvector", |b| {
+        b.iter(|| black_box(eigenvector_centrality(&g, 50, 1e-9)))
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let g = test_graph();
+    let mut group = c.benchmark_group("sampling_10k_to_2k");
+    group.bench_function("bfs_snowball", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(bfs_sample(&g, 2_000, &mut rng).graph.edge_count())
+        })
+    });
+    group.bench_function("uniform_nodes", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(uniform_node_sample(&g, 2_000, &mut rng).graph.edge_count())
+        })
+    });
+    group.finish();
+}
+
+fn bench_rmat(c: &mut Criterion) {
+    c.bench_function("rmat_scale13_ef8", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            black_box(rmat(13, 8, RmatParams::classic(), &mut rng).unwrap().edge_count())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_adjacency,
+    bench_mutual,
+    bench_pagerank,
+    bench_centrality,
+    bench_sampling,
+    bench_rmat
+);
+criterion_main!(benches);

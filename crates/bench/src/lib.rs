@@ -1,0 +1,38 @@
+//! Shared fixtures for the ACCU benchmarks.
+
+#![forbid(unsafe_code)]
+
+use accu_core::AccuInstance;
+use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A reproducible benchmark instance: a scaled dataset with the paper's
+/// protocol applied.
+pub fn bench_instance(spec: DatasetSpec, scale: f64, cautious: usize, seed: u64) -> AccuInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = spec.scaled(scale).generate(&mut rng).expect("generation");
+    apply_protocol(
+        graph,
+        &ProtocolConfig { cautious_count: cautious, ..ProtocolConfig::default() },
+        &mut rng,
+    )
+    .expect("protocol")
+}
+
+/// The default benchmark network: a ~1.6k-node Twitter stand-in.
+pub fn default_instance() -> AccuInstance {
+    bench_instance(DatasetSpec::twitter(), 0.02, 20, 42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let inst = default_instance();
+        assert!(inst.node_count() > 1_000);
+        assert_eq!(inst.cautious_users().len(), 20);
+    }
+}

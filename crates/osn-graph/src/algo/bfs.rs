@@ -1,0 +1,105 @@
+//! Breadth-first search.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Distance marker for unreachable nodes in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Computes hop distances from `source` to every node.
+///
+/// Unreachable nodes get [`UNREACHABLE`] (`u32::MAX`).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{algo::bfs_distances, GraphBuilder, NodeId};
+///
+/// let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2)])?;
+/// let d = bfs_distances(&g, NodeId::new(0));
+/// assert_eq!(&d[..3], &[0, 1, 2]);
+/// assert_eq!(d[3], u32::MAX); // node 3 is isolated
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for &w in g.neighbors(v) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Returns the nodes reachable from `source` in BFS visitation order
+/// (including `source` itself, first).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_order(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = GraphBuilder::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(bfs_distances(&g, NodeId::new(0)), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, NodeId::new(2)), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32)]).unwrap();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn order_visits_levels_in_sequence() {
+        // Star: center first, then all leaves.
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
+        let order = bfs_order(&g, NodeId::new(0));
+        assert_eq!(order[0], NodeId::new(0));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn order_excludes_unreachable() {
+        let g = GraphBuilder::from_edges(5, [(0u32, 1u32), (3, 4)]).unwrap();
+        let order = bfs_order(&g, NodeId::new(3));
+        assert_eq!(order, vec![NodeId::new(3), NodeId::new(4)]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Centrality measures beyond PageRank.
+//!
+//! Used as additional target-selection baselines for the ACCU attacker
+//! and for the defender-side analysis of which users most enable
+//! cautious-user compromise.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Betweenness centrality by Brandes' algorithm — `O(n·m)` for
+/// unweighted graphs.
+///
+/// Returns the unnormalized scores for the undirected graph (each pair
+/// counted once, i.e. the directed accumulation divided by 2).
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{algo::betweenness_centrality, GraphBuilder};
+///
+/// // Path 0-1-2: the middle vertex lies on the single (0,2) shortest path.
+/// let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)])?;
+/// let b = betweenness_centrality(&g);
+/// assert_eq!(b, vec![0.0, 1.0, 0.0]);
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+pub fn betweenness_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut centrality = vec![0.0f64; n];
+    // Reusable per-source buffers.
+    let mut stack: Vec<NodeId> = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i64; n];
+    let mut delta = vec![0.0f64; n];
+    for s in g.nodes() {
+        stack.clear();
+        for p in preds.iter_mut() {
+            p.clear();
+        }
+        sigma.fill(0.0);
+        dist.fill(-1);
+        delta.fill(0.0);
+        sigma[s.index()] = 1.0;
+        dist[s.index()] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w in g.neighbors(v) {
+                if dist[w.index()] < 0 {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w.index()] == dist[v.index()] + 1 {
+                    sigma[w.index()] += sigma[v.index()];
+                    preds[w.index()].push(v);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w.index()] {
+                delta[v.index()] +=
+                    sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+            }
+            if w != s {
+                centrality[w.index()] += delta[w.index()];
+            }
+        }
+    }
+    // Each undirected pair was counted from both endpoints.
+    for c in centrality.iter_mut() {
+        *c /= 2.0;
+    }
+    centrality
+}
+
+/// Closeness centrality: `(reachable − 1) / Σ distances`, scaled by the
+/// reachable fraction (the Wasserman–Faust correction for disconnected
+/// graphs). Isolated nodes score 0.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{algo::closeness_centrality, GraphBuilder};
+///
+/// let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)])?;
+/// let c = closeness_centrality(&g);
+/// assert!(c[1] > c[0]); // the center is closest to everyone
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+pub fn closeness_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut scores = vec![0.0f64; n];
+    for v in g.nodes() {
+        let dist = super::bfs_distances(g, v);
+        let mut sum = 0u64;
+        let mut reachable = 0u64;
+        for &d in &dist {
+            if d != u32::MAX && d > 0 {
+                sum += d as u64;
+                reachable += 1;
+            }
+        }
+        if sum > 0 {
+            let r = reachable as f64;
+            scores[v.index()] = (r / sum as f64) * (r / (n.saturating_sub(1)) as f64);
+        }
+    }
+    scores
+}
+
+/// Eigenvector centrality by power iteration (L2-normalized).
+///
+/// Returns a vector of non-negative scores with unit L2 norm, or all
+/// zeros for an empty/edgeless graph.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{algo::eigenvector_centrality, GraphBuilder};
+///
+/// let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)])?;
+/// let e = eigenvector_centrality(&g, 100, 1e-9);
+/// assert!(e[0] > e[1]); // the hub dominates
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+pub fn eigenvector_centrality(g: &Graph, max_iterations: usize, tolerance: f64) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 || g.edge_count() == 0 {
+        return vec![0.0; n];
+    }
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iterations {
+        next.fill(0.0);
+        for v in g.nodes() {
+            let xv = x[v.index()];
+            // Iterate with A + I: same eigenvectors, but the dominant
+            // eigenvalue is strictly largest even on bipartite graphs
+            // (plain power iteration oscillates on, e.g., stars).
+            next[v.index()] += xv;
+            for &w in g.neighbors(v) {
+                next[w.index()] += xv;
+            }
+        }
+        let norm = next.iter().map(|a| a * a).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return vec![0.0; n];
+        }
+        for a in next.iter_mut() {
+            *a /= norm;
+        }
+        let delta: f64 = x.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut x, &mut next);
+        if delta < tolerance {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn star5() -> Graph {
+        GraphBuilder::from_edges(5, [(0u32, 1u32), (0, 2), (0, 3), (0, 4)]).unwrap()
+    }
+
+    #[test]
+    fn betweenness_of_star_concentrates_on_hub() {
+        let b = betweenness_centrality(&star5());
+        // The hub lies on all C(4,2) = 6 leaf pairs' shortest paths.
+        assert_eq!(b[0], 6.0);
+        for score in &b[1..5] {
+            assert_eq!(*score, 0.0);
+        }
+    }
+
+    #[test]
+    fn betweenness_of_cycle_is_uniform() {
+        let g = GraphBuilder::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)])
+            .unwrap();
+        let b = betweenness_centrality(&g);
+        for &x in &b {
+            assert!((x - b[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn betweenness_splits_across_parallel_paths() {
+        // Two disjoint 2-hop paths between 0 and 3: each midpoint gets
+        // half of the (0,3) pair.
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 3), (0, 2), (2, 3)]).unwrap();
+        let b = betweenness_centrality(&g);
+        assert!((b[1] - 0.5).abs() < 1e-12, "b = {b:?}");
+        assert!((b[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_handles_disconnection() {
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32)]).unwrap();
+        let c = closeness_centrality(&g);
+        assert!(c[0] > 0.0);
+        assert_eq!(c[2], 0.0);
+        // The correction penalizes small components: in a 4-node graph a
+        // node reaching only 1 neighbor scores 1 * (1/3).
+        assert!((c[0] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvector_is_normalized_and_hub_heavy() {
+        let e = eigenvector_centrality(&star5(), 200, 1e-12);
+        let norm: f64 = e.iter().map(|a| a * a).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-9);
+        assert!(e[0] > e[1]);
+        // Star eigenvector: hub = 1/√2, leaves = 1/(2·√... ) hub² = 0.5.
+        assert!((e[0] * e[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigenvector_of_edgeless_graph_is_zero() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(eigenvector_centrality(&g, 10, 1e-9), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn empty_graph_everywhere() {
+        let g = GraphBuilder::new(0).build();
+        assert!(betweenness_centrality(&g).is_empty());
+        assert!(closeness_centrality(&g).is_empty());
+        assert!(eigenvector_centrality(&g, 10, 1e-9).is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Connected components.
+
+use crate::{Graph, NodeId};
+
+use super::bfs_order;
+
+/// Result of [`connected_components`]: per-node component labels plus
+/// component sizes.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{algo::connected_components, GraphBuilder, NodeId};
+///
+/// let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (2, 3)])?;
+/// let cc = connected_components(&g);
+/// assert_eq!(cc.count(), 2);
+/// assert_eq!(cc.label(NodeId::new(0)), cc.label(NodeId::new(1)));
+/// assert_ne!(cc.label(NodeId::new(0)), cc.label(NodeId::new(2)));
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    labels: Vec<u32>,
+    sizes: Vec<usize>,
+}
+
+impl ComponentLabels {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component label of `v` (labels are dense, `0..count`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: NodeId) -> u32 {
+        self.labels[v.index()]
+    }
+
+    /// Sizes of the components, indexed by label.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Label of the largest component (ties broken by smallest label).
+    ///
+    /// Returns `None` for the empty graph.
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i as u32)
+    }
+}
+
+/// Labels the connected components of `g` by repeated BFS.
+pub fn connected_components(g: &Graph) -> ComponentLabels {
+    let n = g.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    for v in g.nodes() {
+        if labels[v.index()] != u32::MAX {
+            continue;
+        }
+        let label = sizes.len() as u32;
+        let members = bfs_order(g, v);
+        for w in &members {
+            labels[w.index()] = label;
+        }
+        sizes.push(members.len());
+    }
+    ComponentLabels { labels, sizes }
+}
+
+/// Returns the node set of the largest connected component, sorted by id.
+///
+/// Returns an empty vector for the empty graph.
+pub fn largest_component(g: &Graph) -> Vec<NodeId> {
+    let cc = connected_components(g);
+    match cc.largest() {
+        None => Vec::new(),
+        Some(l) => g.nodes().filter(|&v| cc.label(v) == l).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn single_component() {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 1);
+        assert_eq!(cc.sizes(), &[3]);
+        assert_eq!(cc.largest(), Some(0));
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let g = GraphBuilder::new(3).build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 3);
+        assert_eq!(cc.sizes(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = GraphBuilder::from_edges(6, [(0u32, 1u32), (1, 2), (4, 5)]).unwrap();
+        let big = largest_component(&g);
+        assert_eq!(big, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 0);
+        assert_eq!(cc.largest(), None);
+        assert!(largest_component(&g).is_empty());
+    }
+}

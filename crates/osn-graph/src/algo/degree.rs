@@ -1,0 +1,140 @@
+//! Degree statistics.
+//!
+//! The ACCU experiment setup selects cautious users from the degree band
+//! `[10, 100]`; Table I reports node/edge counts per dataset. Both come
+//! from these helpers.
+
+use crate::{Graph, NodeId};
+
+/// Summary statistics of a graph's degree sequence.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{algo::DegreeStats, GraphBuilder};
+///
+/// let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)])?;
+/// let s = DegreeStats::of(&g);
+/// assert_eq!(s.max, 3);
+/// assert_eq!(s.min, 1);
+/// assert!((s.mean - 1.5).abs() < 1e-12);
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree (0 for the empty graph).
+    pub min: usize,
+    /// Maximum degree (0 for the empty graph).
+    pub max: usize,
+    /// Mean degree `2m/n` (0 for the empty graph).
+    pub mean: f64,
+    /// Median degree (0 for the empty graph).
+    pub median: usize,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics of `g`.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.node_count();
+        if n == 0 {
+            return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0 };
+        }
+        let mut degs: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        DegreeStats {
+            min: degs[0],
+            max: degs[n - 1],
+            mean: g.average_degree(),
+            median: degs[n / 2],
+        }
+    }
+}
+
+/// Histogram of node degrees: `hist[d]` is the number of nodes with
+/// degree `d`. The vector has length `max_degree + 1` (empty for the
+/// empty graph).
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{algo::degree_histogram, GraphBuilder};
+///
+/// let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)])?;
+/// assert_eq!(degree_histogram(&g), vec![0, 3, 0, 1]);
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    if g.node_count() == 0 {
+        return Vec::new();
+    }
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Returns all nodes whose degree lies in the inclusive band
+/// `[lo, hi]`, sorted by id.
+///
+/// This is the candidate pool from which the paper draws cautious users
+/// (band `[10, 100]`: "nodes with really high degrees are not likely to
+/// be cautious, while nodes with low degrees are usually not important").
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{algo::nodes_with_degree_in, GraphBuilder, NodeId};
+///
+/// let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)])?;
+/// assert_eq!(nodes_with_degree_in(&g, 2, 10), vec![NodeId::new(0)]);
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+pub fn nodes_with_degree_in(g: &Graph, lo: usize, hi: usize) -> Vec<NodeId> {
+    g.nodes().filter(|&v| (lo..=hi).contains(&g.degree(v))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_path() {
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert_eq!(s.median, 2);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, median: 0 });
+        assert!(degree_histogram(&g).is_empty());
+    }
+
+    #[test]
+    fn histogram_counts_every_node_once() {
+        let g = GraphBuilder::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 5);
+        assert_eq!(hist[1], 2); // the two path endpoints
+        assert_eq!(hist[2], 3);
+    }
+
+    #[test]
+    fn degree_band_filtering() {
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3), (1, 2)]).unwrap();
+        // degrees: 0 -> 3, 1 -> 2, 2 -> 2, 3 -> 1
+        assert_eq!(
+            nodes_with_degree_in(&g, 2, 2),
+            vec![NodeId::new(1), NodeId::new(2)]
+        );
+        assert!(nodes_with_degree_in(&g, 4, 9).is_empty());
+        assert_eq!(nodes_with_degree_in(&g, 0, 9).len(), 4);
+    }
+}

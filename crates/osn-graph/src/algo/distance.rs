@@ -1,0 +1,168 @@
+//! Distance-based graph characteristics.
+
+use rand::Rng;
+
+use crate::{Graph, NodeId};
+
+use super::bfs::{bfs_distances, UNREACHABLE};
+
+/// Lower-bounds the diameter by the double-sweep heuristic: BFS from a
+/// start node, then BFS again from the farthest node found. Exact on
+/// trees; a tight lower bound in practice on social networks.
+///
+/// Returns `None` for graphs where the start node is isolated (or the
+/// graph is empty).
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{algo::double_sweep_diameter, GraphBuilder, NodeId};
+///
+/// let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)])?;
+/// assert_eq!(double_sweep_diameter(&g, NodeId::new(1)), Some(3));
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+pub fn double_sweep_diameter(g: &Graph, start: NodeId) -> Option<u32> {
+    if g.node_count() == 0 || g.degree(start) == 0 {
+        return None;
+    }
+    let first = bfs_distances(g, start);
+    let (far, _) = first
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .max_by_key(|(_, &d)| d)?;
+    let second = bfs_distances(g, NodeId::from(far));
+    second.iter().filter(|&&d| d != UNREACHABLE).max().copied()
+}
+
+/// Estimates the mean shortest-path length by BFS from `samples` random
+/// source nodes, averaging over reachable pairs. Returns `None` if no
+/// finite distances were found.
+pub fn sampled_average_path_length<R: Rng + ?Sized>(
+    g: &Graph,
+    samples: usize,
+    rng: &mut R,
+) -> Option<f64> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for _ in 0..samples {
+        let src = NodeId::new(rng.gen_range(0..g.node_count() as u32));
+        for &d in &bfs_distances(g, src) {
+            if d != UNREACHABLE && d > 0 {
+                total += d as u64;
+                pairs += 1;
+            }
+        }
+    }
+    (pairs > 0).then(|| total as f64 / pairs as f64)
+}
+
+/// Degree assortativity: the Pearson correlation between the degrees of
+/// edge endpoints. Positive for social networks (hubs befriend hubs),
+/// negative for technological ones. Returns 0 for graphs whose degrees
+/// do not vary across edges.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{algo::degree_assortativity, GraphBuilder};
+///
+/// // A star is maximally disassortative: hubs only touch leaves.
+/// let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)])?;
+/// assert!(degree_assortativity(&g) < 0.0 || g.edge_count() == 0);
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let m = g.edge_count();
+    if m == 0 {
+        return 0.0;
+    }
+    // Standard edge-sample Pearson correlation, counting each edge in
+    // both orientations for symmetry.
+    let (mut sx, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64);
+    let n = (2 * m) as f64;
+    for e in g.edges() {
+        let a = g.degree(e.lo()) as f64;
+        let b = g.degree(e.hi()) as f64;
+        sx += a + b;
+        sxx += a * a + b * b;
+        sxy += 2.0 * a * b;
+    }
+    let mean = sx / n;
+    let var = sxx / n - mean * mean;
+    if var <= 1e-15 {
+        return 0.0;
+    }
+    (sxy / n - mean * mean) / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, watts_strogatz};
+    use crate::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        let path = GraphBuilder::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(double_sweep_diameter(&path, NodeId::new(2)), Some(4));
+        let cycle = GraphBuilder::from_edges(6, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+            .unwrap();
+        // Double sweep on a cycle finds the true diameter 3.
+        assert_eq!(double_sweep_diameter(&cycle, NodeId::new(0)), Some(3));
+    }
+
+    #[test]
+    fn diameter_of_isolated_start_is_none() {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32)]).unwrap();
+        assert_eq!(double_sweep_diameter(&g, NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn path_length_estimate_on_complete_graph_is_one() {
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = sampled_average_path_length(&g, 4, &mut rng).unwrap();
+        assert!((l - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_world_has_shorter_paths_than_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lattice = watts_strogatz(200, 6, 0.0, &mut rng).unwrap();
+        let rewired = watts_strogatz(200, 6, 0.3, &mut rng).unwrap();
+        let ll = sampled_average_path_length(&lattice, 10, &mut rng).unwrap();
+        let lr = sampled_average_path_length(&rewired, 10, &mut rng).unwrap();
+        assert!(lr < ll, "rewired {lr} should beat lattice {ll}");
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        let g = GraphBuilder::from_edges(5, [(0u32, 1u32), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(degree_assortativity(&g), -1.0);
+    }
+
+    #[test]
+    fn regular_graph_assortativity_is_degenerate_zero() {
+        let cycle =
+            GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(degree_assortativity(&cycle), 0.0);
+        let empty = GraphBuilder::new(3).build();
+        assert_eq!(degree_assortativity(&empty), 0.0);
+    }
+
+    #[test]
+    fn ba_graphs_are_not_strongly_assortative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(2_000, 4, &mut rng).unwrap();
+        let r = degree_assortativity(&g);
+        assert!((-0.5..=0.2).contains(&r), "BA assortativity {r} out of expected band");
+    }
+}

@@ -1,0 +1,201 @@
+//! k-core decomposition (Matula–Beck peeling).
+
+use crate::{Graph, NodeId};
+
+/// Computes the core number of every node: the largest `k` such that
+/// the node belongs to a subgraph where every node has degree ≥ `k`.
+///
+/// Linear-time bucket peeling. Core numbers characterize how deeply a
+/// user sits inside densely knit regions — an alternative axis for
+/// selecting "high-profile" cautious users.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{algo::core_numbers, GraphBuilder};
+///
+/// // Triangle with a pendant: the triangle is the 2-core.
+/// let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 0), (2, 3)])?;
+/// assert_eq!(core_numbers(&g), vec![2, 2, 2, 1]);
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = (0..n).map(|i| g.degree(NodeId::from(i))).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort nodes by degree.
+    let mut bin_start = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bin_start[d + 1] += 1;
+    }
+    for i in 1..bin_start.len() {
+        bin_start[i] += bin_start[i - 1];
+    }
+    let mut position = vec![0usize; n];
+    let mut ordered = vec![0usize; n];
+    {
+        let mut cursor = bin_start.clone();
+        for v in 0..n {
+            position[v] = cursor[degree[v]];
+            ordered[position[v]] = v;
+            cursor[degree[v]] += 1;
+        }
+    }
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = ordered[i];
+        core[v] = degree[v] as u32;
+        for &w in g.neighbors(NodeId::from(v)) {
+            let w = w.index();
+            if degree[w] > degree[v] {
+                // Move w one bucket down: swap it with the first node of
+                // its current bucket, then shrink the bucket boundary.
+                let dw = degree[w];
+                let pw = position[w];
+                let start = bin_start[dw];
+                let u = ordered[start];
+                if u != w {
+                    ordered.swap(start, pw);
+                    position[w] = start;
+                    position[u] = pw;
+                }
+                bin_start[dw] += 1;
+                degree[w] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Returns the nodes of the maximum k-core (the innermost shell),
+/// sorted by id, together with its `k`.
+///
+/// Returns `(0, all nodes)` for an edgeless graph.
+pub fn max_core(g: &Graph) -> (u32, Vec<NodeId>) {
+    let core = core_numbers(g);
+    let k = core.iter().copied().max().unwrap_or(0);
+    let members = (0..g.node_count())
+        .filter(|&i| core[i] == k)
+        .map(NodeId::from)
+        .collect();
+    (k, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::barabasi_albert;
+    use crate::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clique_core_is_degree() {
+        let g = GraphBuilder::from_edges(
+            4,
+            [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        assert_eq!(core_numbers(&g), vec![3; 4]);
+        let (k, members) = max_core(&g);
+        assert_eq!(k, 3);
+        assert_eq!(members.len(), 4);
+    }
+
+    #[test]
+    fn path_has_core_one() {
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(core_numbers(&g), vec![1; 4]);
+    }
+
+    #[test]
+    fn pendant_chain_peels_off() {
+        // K4 with a 2-chain hanging off node 0.
+        let g = GraphBuilder::from_edges(
+            6,
+            [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4), (4, 5)],
+        )
+        .unwrap();
+        let core = core_numbers(&g);
+        assert_eq!(&core[..4], &[3, 3, 3, 3]);
+        assert_eq!(core[4], 1);
+        assert_eq!(core[5], 1);
+    }
+
+    #[test]
+    fn isolated_nodes_are_zero_core() {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32)]).unwrap();
+        assert_eq!(core_numbers(&g), vec![1, 1, 0]);
+        let g = GraphBuilder::new(2).build();
+        assert_eq!(core_numbers(&g), vec![0, 0]);
+        let (k, members) = max_core(&g);
+        assert_eq!(k, 0);
+        assert_eq!(members.len(), 2);
+    }
+
+    /// Reference implementation: shell-by-shell peeling with full
+    /// rescans. A node removed while peeling shell `k` has core number
+    /// `k`.
+    fn naive_core_numbers(g: &Graph) -> Vec<u32> {
+        let n = g.node_count();
+        let mut alive = vec![true; n];
+        let mut core = vec![0u32; n];
+        for k in 0..=(g.max_degree() as u32) {
+            loop {
+                let mut removed = false;
+                for v in 0..n {
+                    if !alive[v] {
+                        continue;
+                    }
+                    let deg = g
+                        .neighbors(NodeId::from(v))
+                        .iter()
+                        .filter(|w| alive[w.index()])
+                        .count() as u32;
+                    if deg <= k {
+                        core[v] = k;
+                        alive[v] = false;
+                        removed = true;
+                    }
+                }
+                if !removed {
+                    break;
+                }
+            }
+        }
+        core
+    }
+
+    #[test]
+    fn matches_naive_peeling_on_random_graphs() {
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = barabasi_albert(60, 3, &mut rng).unwrap();
+            let fast = core_numbers(&g);
+            let naive = naive_core_numbers(&g);
+            assert_eq!(fast, naive, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn core_is_monotone_under_peeling_invariant() {
+        // Every node's core number is ≤ its degree, and within the
+        // subgraph of nodes with core ≥ c each node keeps ≥ c neighbors.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = barabasi_albert(200, 4, &mut rng).unwrap();
+        let core = core_numbers(&g);
+        for v in g.nodes() {
+            assert!(core[v.index()] as usize <= g.degree(v));
+            let c = core[v.index()];
+            let inside = g
+                .neighbors(v)
+                .iter()
+                .filter(|w| core[w.index()] >= c)
+                .count() as u32;
+            assert!(inside >= c, "node {v}: core {c} but only {inside} high-core neighbors");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Incremental construction of immutable [`Graph`]s.
+
+use std::collections::HashSet;
+
+use crate::{Edge, Graph, GraphError, NodeId};
+
+/// Builder that accumulates edges and produces an immutable [`Graph`].
+///
+/// The node count is fixed up front; nodes are the dense ids
+/// `0..node_count`. Duplicate edges are silently deduplicated (the insert
+/// reports whether the edge was new), self-loops and out-of-range
+/// endpoints are rejected.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(NodeId::new(0), NodeId::new(1))?;
+/// b.add_edge(NodeId::new(1), NodeId::new(2))?;
+/// // duplicates are fine; the second insert reports `false`:
+/// assert!(!b.add_edge(NodeId::new(2), NodeId::new(1))?);
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: HashSet<Edge>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `node_count` nodes and no edges.
+    pub fn new(node_count: usize) -> Self {
+        GraphBuilder { node_count, edges: HashSet::new() }
+    }
+
+    /// Creates a builder pre-sized for roughly `edge_hint` edges.
+    pub fn with_edge_capacity(node_count: usize, edge_hint: usize) -> Self {
+        GraphBuilder { node_count, edges: HashSet::with_capacity(edge_hint) }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `(a, b)`.
+    ///
+    /// Returns `Ok(true)` if the edge was new, `Ok(false)` if it was
+    /// already present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `a == b` and
+    /// [`GraphError::NodeOutOfRange`] if either endpoint is `>=
+    /// node_count`.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool, GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        for v in [a, b] {
+            if v.index() >= self.node_count {
+                return Err(GraphError::NodeOutOfRange { node: v, node_count: self.node_count });
+            }
+        }
+        Ok(self.edges.insert(Edge::new(a, b)))
+    }
+
+    /// Returns `true` if the edge `(a, b)` has been added.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.edges.contains(&Edge::new(a, b))
+    }
+
+    /// Builds the immutable CSR-backed [`Graph`].
+    ///
+    /// Edges are sorted into canonical order, so the same edge set always
+    /// produces the same graph regardless of insertion order.
+    pub fn build(self) -> Graph {
+        let mut edges: Vec<Edge> = self.edges.into_iter().collect();
+        edges.sort_unstable();
+        Graph::from_sorted_dedup_edges(self.node_count, edges)
+    }
+
+    /// Convenience: builds a graph directly from an edge iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GraphError`] from [`add_edge`](Self::add_edge).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use osn_graph::{Graph, GraphBuilder};
+    ///
+    /// let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)])?;
+    /// assert_eq!(g.edge_count(), 2);
+    /// # Ok::<(), osn_graph::GraphError>(())
+    /// ```
+    pub fn from_edges<I, E>(node_count: usize, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = E>,
+        E: Into<Edge>,
+    {
+        let mut b = GraphBuilder::new(node_count);
+        for e in edges {
+            let e = e.into();
+            b.add_edge(e.lo(), e.hi())?;
+        }
+        Ok(b.build())
+    }
+}
+
+impl Extend<Edge> for GraphBuilder {
+    /// Extends with edges, panicking on invalid ones.
+    ///
+    /// Use [`add_edge`](Self::add_edge) when inputs are untrusted.
+    fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
+        for e in iter {
+            self.add_edge(e.lo(), e.hi()).expect("invalid edge in Extend<Edge>");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(3);
+        let err = b.add_edge(NodeId::new(1), NodeId::new(1)).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(3);
+        let err = b.add_edge(NodeId::new(0), NodeId::new(3)).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: NodeId::new(3), node_count: 3 });
+    }
+
+    #[test]
+    fn dedups_edges_in_either_order() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(NodeId::new(0), NodeId::new(2)).unwrap());
+        assert!(!b.add_edge(NodeId::new(2), NodeId::new(0)).unwrap());
+        assert_eq!(b.edge_count(), 1);
+        assert!(b.has_edge(NodeId::new(2), NodeId::new(0)));
+    }
+
+    #[test]
+    fn build_is_insertion_order_independent() {
+        let g1 = GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)]).unwrap();
+        let g2 = GraphBuilder::from_edges(4, [(2u32, 3u32), (1, 0), (2, 1)]).unwrap();
+        assert_eq!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn extend_accepts_valid_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.extend([Edge::new(NodeId::new(0), NodeId::new(1))]);
+        assert_eq!(b.edge_count(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Error types for graph construction, algorithms and I/O.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io;
+
+use crate::NodeId;
+
+/// Errors produced while building or manipulating a graph.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{GraphBuilder, GraphError, NodeId};
+///
+/// let mut b = GraphBuilder::new(2);
+/// let err = b.add_edge(NodeId::new(0), NodeId::new(5)).unwrap_err();
+/// assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node outside `0..node_count`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; OSN friendships are irreflexive.
+    SelfLoop {
+        /// The node that would have been connected to itself.
+        node: NodeId,
+    },
+    /// A generator or algorithm received an invalid parameter.
+    InvalidParameter {
+        /// Parameter name, e.g. `"attachment degree m"`.
+        what: &'static str,
+        /// Human-readable description of the violated constraint.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed")
+            }
+            GraphError::InvalidParameter { what, requirement } => {
+                write!(f, "invalid parameter {what}: {requirement}")
+            }
+        }
+    }
+}
+
+impl StdError for GraphError {}
+
+/// Errors produced while reading or writing edge-list files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum IoError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed as an edge.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content (truncated).
+        content: String,
+    },
+    /// The parsed edges violated a graph invariant.
+    Graph(GraphError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "line {line}: cannot parse edge from {content:?}")
+            }
+            IoError::Graph(e) => write!(f, "invalid edge list: {e}"),
+        }
+    }
+}
+
+impl StdError for IoError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse { .. } => None,
+            IoError::Graph(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = GraphError::NodeOutOfRange { node: NodeId::new(9), node_count: 3 };
+        assert_eq!(e.to_string(), "node 9 out of range for graph with 3 nodes");
+        let e = GraphError::SelfLoop { node: NodeId::new(1) };
+        assert_eq!(e.to_string(), "self-loop on node 1 is not allowed");
+        let e = GraphError::InvalidParameter { what: "m", requirement: "must be >= 1" };
+        assert_eq!(e.to_string(), "invalid parameter m: must be >= 1");
+    }
+
+    #[test]
+    fn io_error_wraps_sources() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = IoError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+
+        let e = IoError::Parse { line: 4, content: "a b".into() };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("line 4"));
+
+        let e = IoError::from(GraphError::SelfLoop { node: NodeId::new(0) });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+        assert_send_sync::<IoError>();
+    }
+}

@@ -1,0 +1,198 @@
+//! Community-affiliation graph model (AGM-style) with overlapping
+//! communities.
+//!
+//! Collaboration networks like DBLP are built from *overlapping* groups
+//! (papers, labs, venues): authors belong to several, and each group is
+//! densely connected internally. The planted-partition model captures
+//! density but not overlap; this generator assigns every node a random
+//! number of community memberships (sizes drawn from a truncated power
+//! law) and connects members of each community independently, which
+//! reproduces the high clustering *and* the inter-community bridging by
+//! multi-membership hubs.
+
+use rand::Rng;
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// Parameters for [`community_affiliation`].
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::generators::{community_affiliation, AgmParams};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let params = AgmParams::new(2.0, 5, 60, 0.4)?;
+/// let g = community_affiliation(500, &params, &mut StdRng::seed_from_u64(1))?;
+/// assert_eq!(g.node_count(), 500);
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgmParams {
+    /// Mean community memberships per node (≥ 1 draws a `1 +
+    /// Poisson-like` count).
+    memberships_per_node: f64,
+    /// Smallest community size.
+    min_size: usize,
+    /// Largest community size.
+    max_size: usize,
+    /// Edge probability inside each community.
+    p_in: f64,
+}
+
+impl AgmParams {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if `memberships_per_node
+    /// < 1`, sizes are inverted or zero, or `p_in` is outside `[0, 1]`.
+    pub fn new(
+        memberships_per_node: f64,
+        min_size: usize,
+        max_size: usize,
+        p_in: f64,
+    ) -> Result<Self, GraphError> {
+        if memberships_per_node < 1.0 || !memberships_per_node.is_finite() {
+            return Err(GraphError::InvalidParameter {
+                what: "memberships per node",
+                requirement: "must be at least 1",
+            });
+        }
+        if min_size < 2 || min_size > max_size {
+            return Err(GraphError::InvalidParameter {
+                what: "community size bounds",
+                requirement: "need 2 <= min_size <= max_size",
+            });
+        }
+        if !(0.0..=1.0).contains(&p_in) {
+            return Err(GraphError::InvalidParameter {
+                what: "intra-community probability p_in",
+                requirement: "must be within [0, 1]",
+            });
+        }
+        Ok(AgmParams { memberships_per_node, min_size, max_size, p_in })
+    }
+
+    /// DBLP-flavored defaults: ~2 memberships per author, communities of
+    /// 5–60 with intra-density 0.4.
+    pub fn dblp_like() -> Self {
+        AgmParams { memberships_per_node: 2.0, min_size: 5, max_size: 60, p_in: 0.4 }
+    }
+}
+
+/// Samples an overlapping-community affiliation graph over `n` nodes.
+///
+/// Community sizes follow a power law (`∝ s^{-2}`) truncated to the
+/// configured band; communities draw members uniformly until every node
+/// has its target membership count (in expectation); each community's
+/// member pairs are connected independently with `p_in`.
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from construction (parameters are checked
+/// by [`AgmParams::new`]).
+pub fn community_affiliation<R: Rng + ?Sized>(
+    n: usize,
+    params: &AgmParams,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return Ok(b.build());
+    }
+    // Draw communities until the total membership mass reaches
+    // n · memberships_per_node.
+    let target_mass = (n as f64 * params.memberships_per_node) as usize;
+    let mut mass = 0usize;
+    // Cumulative weights for size ∝ s^{-2} on [min_size, max_size].
+    let sizes: Vec<usize> = (params.min_size..=params.max_size.min(n)).collect();
+    let weights: Vec<f64> = sizes.iter().map(|&s| (s as f64).powi(-2)).collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut members: Vec<u32> = Vec::new();
+    while mass < target_mass {
+        // Sample a community size.
+        let mut r = rng.gen_range(0.0..total_w);
+        let mut size = *sizes.last().expect("non-empty size band");
+        for (i, &w) in weights.iter().enumerate() {
+            if r < w {
+                size = sizes[i];
+                break;
+            }
+            r -= w;
+        }
+        // Draw distinct members uniformly.
+        members.clear();
+        while members.len() < size {
+            let v = rng.gen_range(0..n as u32);
+            if !members.contains(&v) {
+                members.push(v);
+            }
+        }
+        mass += size;
+        // Connect member pairs with p_in.
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if rng.gen_bool(params.p_in) {
+                    b.add_edge(NodeId::new(members[i]), NodeId::new(members[j]))?;
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::global_clustering_coefficient;
+    use crate::generators::erdos_renyi_gnm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_validate() {
+        assert!(AgmParams::new(0.5, 5, 60, 0.4).is_err());
+        assert!(AgmParams::new(2.0, 1, 60, 0.4).is_err());
+        assert!(AgmParams::new(2.0, 60, 5, 0.4).is_err());
+        assert!(AgmParams::new(2.0, 5, 60, 1.4).is_err());
+        assert!(AgmParams::new(2.0, 5, 60, 0.4).is_ok());
+    }
+
+    #[test]
+    fn generates_requested_node_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = community_affiliation(400, &AgmParams::dblp_like(), &mut rng).unwrap();
+        assert_eq!(g.node_count(), 400);
+        assert!(g.edge_count() > 400);
+    }
+
+    #[test]
+    fn clusters_far_more_than_er_at_equal_density() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = community_affiliation(600, &AgmParams::dblp_like(), &mut rng).unwrap();
+        let er = erdos_renyi_gnm(600, g.edge_count(), &mut rng).unwrap();
+        let c_agm = global_clustering_coefficient(&g);
+        let c_er = global_clustering_coefficient(&er);
+        assert!(
+            c_agm > 5.0 * c_er,
+            "AGM clustering {c_agm} should dwarf ER {c_er}"
+        );
+    }
+
+    #[test]
+    fn tiny_graphs_degenerate_gracefully() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = community_affiliation(1, &AgmParams::dblp_like(), &mut rng).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = AgmParams::dblp_like();
+        let g1 = community_affiliation(200, &p, &mut StdRng::seed_from_u64(7)).unwrap();
+        let g2 = community_affiliation(200, &p, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(g1.edges(), g2.edges());
+    }
+}

@@ -1,0 +1,27 @@
+//! Random-graph generators.
+//!
+//! These provide the synthetic stand-ins for the SNAP datasets used in the
+//! ACCU paper (Facebook / Slashdot / Twitter / DBLP): preferential
+//! attachment for heavy-tailed social networks, a power-law configuration
+//! model, small-world rewiring, Erdős–Rényi baselines, planted-partition
+//! and overlapping-community (AGM) models for collaboration networks,
+//! and R-MAT for Graph500-style benchmark graphs.
+//!
+//! All generators are deterministic given the RNG state, so experiments
+//! are reproducible from a seed.
+
+mod agm;
+mod ba;
+mod community;
+mod config_model;
+mod er;
+mod rmat;
+mod ws;
+
+pub use agm::{community_affiliation, AgmParams};
+pub use ba::barabasi_albert;
+pub use community::{planted_partition, PlantedPartition};
+pub use config_model::{powerlaw_configuration, powerlaw_degree_sequence};
+pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use rmat::{rmat, RmatParams};
+pub use ws::watts_strogatz;

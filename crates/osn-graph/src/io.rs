@@ -1,0 +1,171 @@
+//! Edge-list I/O in the SNAP text format.
+//!
+//! SNAP files are whitespace-separated `u v` pairs, one per line, with
+//! `#`-prefixed comment lines. [`read_edge_list`] accepts arbitrary
+//! (sparse) node ids and compacts them to dense `0..n` ids, returning the
+//! mapping; that lets the real Facebook/Slashdot/Twitter/DBLP downloads
+//! drop in for the synthetic stand-ins.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{Graph, GraphBuilder, IoError, NodeId};
+
+/// A graph read from an edge list, plus the original node labels.
+#[derive(Debug, Clone)]
+pub struct LabeledGraph {
+    /// The compacted graph with dense ids `0..n`.
+    pub graph: Graph,
+    /// `labels[i]` is the original id of dense node `i`, in first-seen order.
+    pub labels: Vec<u64>,
+}
+
+/// Reads a whitespace-separated edge list (SNAP format) from `reader`.
+///
+/// * Lines starting with `#` or `%` and blank lines are skipped.
+/// * Node ids may be arbitrary `u64`s; they are compacted densely.
+/// * Duplicate edges (in either direction) and self-loops are dropped —
+///   SNAP's directed datasets (Slashdot, Twitter) list both directions,
+///   and the ACCU model treats friendship as undirected.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] for malformed lines and [`IoError::Io`]
+/// for underlying read failures.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::io::read_edge_list;
+///
+/// let data = "# comment\n10 20\n20 30\n30 10\n10 10\n";
+/// let lg = read_edge_list(data.as_bytes())?;
+/// assert_eq!(lg.graph.node_count(), 3);
+/// assert_eq!(lg.graph.edge_count(), 3); // self-loop dropped
+/// assert_eq!(lg.labels, vec![10, 20, 30]);
+/// # Ok::<(), osn_graph::IoError>(())
+/// ```
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LabeledGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut ids: HashMap<u64, u32> = HashMap::new();
+    let mut labels: Vec<u64> = Vec::new();
+    let mut raw_edges: Vec<(u32, u32)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<u64> { tok.and_then(|t| t.parse().ok()) };
+        let (a, b) = match (parse(parts.next()), parse(parts.next())) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    content: trimmed.chars().take(80).collect(),
+                })
+            }
+        };
+        let mut dense = |label: u64| -> u32 {
+            *ids.entry(label).or_insert_with(|| {
+                labels.push(label);
+                (labels.len() - 1) as u32
+            })
+        };
+        let (da, db) = (dense(a), dense(b));
+        if da != db {
+            raw_edges.push((da, db));
+        }
+    }
+    let mut builder = GraphBuilder::with_edge_capacity(labels.len(), raw_edges.len());
+    for (a, b) in raw_edges {
+        builder.add_edge(NodeId::new(a), NodeId::new(b))?;
+    }
+    Ok(LabeledGraph { graph: builder.build(), labels })
+}
+
+/// Writes `g` as a SNAP-style edge list: one `lo hi` pair per line,
+/// canonical order, preceded by a comment header.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{io::{read_edge_list, write_edge_list}, GraphBuilder};
+///
+/// let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)])?;
+/// let mut buf = Vec::new();
+/// write_edge_list(&g, &mut buf)?;
+/// let back = read_edge_list(&buf[..])?;
+/// assert_eq!(back.graph.edge_count(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), IoError> {
+    writeln!(writer, "# osn-graph edge list: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    for e in g.edges() {
+        writeln!(writer, "{} {}", e.lo(), e.hi())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_comments_blanks_and_directed_duplicates() {
+        let data = "# header\n% other comment\n\n1 2\n2 1\n2 3\n";
+        let lg = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(lg.graph.node_count(), 3);
+        assert_eq!(lg.graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn compacts_sparse_ids_in_first_seen_order() {
+        let data = "1000 5\n5 77\n";
+        let lg = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(lg.labels, vec![1000, 5, 77]);
+        assert!(lg.graph.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(lg.graph.has_edge(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_location() {
+        let data = "1 2\noops\n";
+        let err = read_edge_list(data.as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "oops");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = GraphBuilder::from_edges(5, [(0u32, 3u32), (3, 4), (1, 2), (0, 1)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back.graph.edge_count(), g.edge_count());
+        assert_eq!(back.graph.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let lg = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(lg.graph.node_count(), 0);
+        assert_eq!(lg.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let lg = read_edge_list("7 7\n7 8\n".as_bytes()).unwrap();
+        assert_eq!(lg.graph.edge_count(), 1);
+    }
+}

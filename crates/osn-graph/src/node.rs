@@ -1,0 +1,287 @@
+//! Node identifiers.
+//!
+//! Nodes are dense indices in `0..n`. [`NodeId`] is a newtype over `u32`
+//! so that node identifiers cannot be confused with arbitrary counters or
+//! degrees at API boundaries, while staying `Copy` and 4 bytes wide (the
+//! paper's largest network, DBLP, has 317k nodes — far below `u32::MAX`).
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`](crate::Graph).
+///
+/// `NodeId` values are dense: a graph with `n` nodes has exactly the ids
+/// `0..n`. Construct one with [`NodeId::new`] or via `From<u32>` /
+/// `From<usize>`.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::NodeId;
+///
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(u32::from(v), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw `u32` index.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use osn_graph::NodeId;
+    /// assert_eq!(NodeId::new(3).index(), 3);
+    /// ```
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the id as a `usize` suitable for indexing slices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use osn_graph::NodeId;
+    /// let degrees = [0u32, 2, 5];
+    /// assert_eq!(degrees[NodeId::new(2).index()], 5);
+    /// ```
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<usize> for NodeId {
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[inline]
+    fn from(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.index()
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An undirected edge as an unordered pair of node ids.
+///
+/// The pair is stored in canonical (sorted) order, so `Edge::new(a, b) ==
+/// Edge::new(b, a)` and edges hash consistently regardless of the order
+/// the endpoints were supplied in.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{Edge, NodeId};
+///
+/// let e1 = Edge::new(NodeId::new(4), NodeId::new(1));
+/// let e2 = Edge::new(NodeId::new(1), NodeId::new(4));
+/// assert_eq!(e1, e2);
+/// assert_eq!(e1.lo(), NodeId::new(1));
+/// assert_eq!(e1.hi(), NodeId::new(4));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    lo: NodeId,
+    hi: NodeId,
+}
+
+impl Edge {
+    /// Creates the canonical edge between `a` and `b`.
+    ///
+    /// Self-loops are representable (`a == b`) but rejected by
+    /// [`GraphBuilder`](crate::GraphBuilder).
+    #[inline]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        if a <= b {
+            Edge { lo: a, hi: b }
+        } else {
+            Edge { lo: b, hi: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub const fn lo(self) -> NodeId {
+        self.lo
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub const fn hi(self) -> NodeId {
+        self.hi
+    }
+
+    /// Returns both endpoints as `(lo, hi)`.
+    #[inline]
+    pub const fn endpoints(self) -> (NodeId, NodeId) {
+        (self.lo, self.hi)
+    }
+
+    /// Returns `true` if `v` is one of the endpoints.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use osn_graph::{Edge, NodeId};
+    /// let e = Edge::new(NodeId::new(0), NodeId::new(2));
+    /// assert!(e.touches(NodeId::new(2)));
+    /// assert!(!e.touches(NodeId::new(1)));
+    /// ```
+    #[inline]
+    pub fn touches(self, v: NodeId) -> bool {
+        self.lo == v || self.hi == v
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// Returns `None` if `v` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(self, v: NodeId) -> Option<NodeId> {
+        if v == self.lo {
+            Some(self.hi)
+        } else if v == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if this edge is a self-loop.
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{})", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.lo, self.hi)
+    }
+}
+
+impl From<(NodeId, NodeId)> for Edge {
+    fn from((a, b): (NodeId, NodeId)) -> Self {
+        Edge::new(a, b)
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    fn from((a, b): (u32, u32)) -> Self {
+        Edge::new(NodeId::new(a), NodeId::new(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_conversions() {
+        let v = NodeId::new(42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(usize::from(v), 42);
+        assert_eq!(NodeId::from(42u32), v);
+        assert_eq!(NodeId::from(42usize), v);
+    }
+
+    #[test]
+    fn node_id_orders_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+
+    #[test]
+    fn node_id_debug_is_nonempty() {
+        assert_eq!(format!("{:?}", NodeId::new(3)), "n3");
+        assert_eq!(format!("{}", NodeId::new(3)), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn node_id_from_huge_usize_panics() {
+        let _ = NodeId::from(usize::MAX);
+    }
+
+    #[test]
+    fn edge_is_canonical() {
+        let e1 = Edge::new(NodeId::new(9), NodeId::new(3));
+        let e2 = Edge::new(NodeId::new(3), NodeId::new(9));
+        assert_eq!(e1, e2);
+        assert_eq!(e1.lo(), NodeId::new(3));
+        assert_eq!(e1.hi(), NodeId::new(9));
+        assert_eq!(e1.endpoints(), (NodeId::new(3), NodeId::new(9)));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(NodeId::new(1), NodeId::new(5));
+        assert_eq!(e.other(NodeId::new(1)), Some(NodeId::new(5)));
+        assert_eq!(e.other(NodeId::new(5)), Some(NodeId::new(1)));
+        assert_eq!(e.other(NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn edge_touches_and_loop() {
+        let e = Edge::new(NodeId::new(2), NodeId::new(2));
+        assert!(e.is_loop());
+        assert!(e.touches(NodeId::new(2)));
+        let e = Edge::from((0u32, 7u32));
+        assert!(!e.is_loop());
+        assert!(e.touches(NodeId::new(7)));
+        assert!(!e.touches(NodeId::new(6)));
+    }
+
+    #[test]
+    fn edge_display_and_debug() {
+        let e = Edge::new(NodeId::new(2), NodeId::new(1));
+        assert_eq!(format!("{e}"), "1-2");
+        assert_eq!(format!("{e:?}"), "(1-2)");
+    }
+}

@@ -1,0 +1,209 @@
+//! Graph sampling and subgraph extraction.
+//!
+//! When real SNAP datasets are available they are usually too large for
+//! laptop-scale ACCU experiments; these helpers cut density-faithful
+//! samples: induced subgraphs on arbitrary node sets, uniform node
+//! samples, and BFS (snowball) samples that preserve local structure —
+//! the right choice for mutual-friend-sensitive workloads.
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// A sampled subgraph with the mapping back to the original node ids.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The extracted graph with dense ids `0..k`.
+    pub graph: Graph,
+    /// `original[i]` is the id in the source graph of sampled node `i`.
+    pub original: Vec<NodeId>,
+}
+
+/// Extracts the subgraph induced by `nodes` (duplicates ignored).
+///
+/// # Panics
+///
+/// Panics if any node is out of range for `g`.
+///
+/// # Examples
+///
+/// ```
+/// use osn_graph::{sampling::induced_subgraph, GraphBuilder, NodeId};
+///
+/// let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3)])?;
+/// let sub = induced_subgraph(&g, &[NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+/// assert_eq!(sub.graph.node_count(), 3);
+/// assert_eq!(sub.graph.edge_count(), 2); // 1-2 and 2-3 survive
+/// # Ok::<(), osn_graph::GraphError>(())
+/// ```
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Subgraph {
+    let mut dense = vec![u32::MAX; g.node_count()];
+    let mut original = Vec::with_capacity(nodes.len());
+    for &v in nodes {
+        if dense[v.index()] == u32::MAX {
+            dense[v.index()] = original.len() as u32;
+            original.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(original.len());
+    for (i, &v) in original.iter().enumerate() {
+        for &w in g.neighbors(v) {
+            let dw = dense[w.index()];
+            if dw != u32::MAX && (dw as usize) > i {
+                b.add_edge(NodeId::from(i), NodeId::new(dw))
+                    .expect("induced edges are valid");
+            }
+        }
+    }
+    Subgraph { graph: b.build(), original }
+}
+
+/// Samples `count` distinct nodes uniformly and returns their induced
+/// subgraph. If `count >= n` the whole graph is returned.
+pub fn uniform_node_sample<R: Rng + ?Sized>(g: &Graph, count: usize, rng: &mut R) -> Subgraph {
+    let n = g.node_count();
+    let mut ids: Vec<NodeId> = g.nodes().collect();
+    let count = count.min(n);
+    // Partial Fisher–Yates.
+    for i in 0..count {
+        let j = rng.gen_range(i..n);
+        ids.swap(i, j);
+    }
+    ids.truncate(count);
+    ids.sort_unstable();
+    induced_subgraph(g, &ids)
+}
+
+/// BFS (snowball) sample: grows breadth-first from a random seed until
+/// `count` nodes are collected, restarting from fresh random seeds if a
+/// component is exhausted. Preserves local clustering and mutual-friend
+/// structure far better than uniform node sampling.
+pub fn bfs_sample<R: Rng + ?Sized>(g: &Graph, count: usize, rng: &mut R) -> Subgraph {
+    let n = g.node_count();
+    let count = count.min(n);
+    let mut taken = vec![false; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(count);
+    let mut queue = VecDeque::new();
+    while order.len() < count {
+        if queue.is_empty() {
+            // Restart from a random untaken node.
+            let remaining = n - order.len();
+            let mut pick = rng.gen_range(0..remaining);
+            let seed = g
+                .nodes()
+                .filter(|v| !taken[v.index()])
+                .find(|_| {
+                    if pick == 0 {
+                        true
+                    } else {
+                        pick -= 1;
+                        false
+                    }
+                })
+                .expect("an untaken node exists");
+            taken[seed.index()] = true;
+            order.push(seed);
+            queue.push_back(seed);
+            continue;
+        }
+        let v = queue.pop_front().expect("queue non-empty");
+        for &w in g.neighbors(v) {
+            if order.len() == count {
+                break;
+            }
+            if !taken[w.index()] {
+                taken[w.index()] = true;
+                order.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    order.sort_unstable();
+    induced_subgraph(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::barabasi_albert;
+    use crate::algo::global_clustering_coefficient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = GraphBuilder::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let sub = induced_subgraph(&g, &[NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(sub.graph.node_count(), 3);
+        assert_eq!(sub.graph.edge_count(), 1); // only 0-1
+        assert_eq!(sub.original, vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_nodes() {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32)]).unwrap();
+        let sub = induced_subgraph(&g, &[NodeId::new(1), NodeId::new(1), NodeId::new(0)]);
+        assert_eq!(sub.graph.node_count(), 2);
+        assert_eq!(sub.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn uniform_sample_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = barabasi_albert(200, 3, &mut rng).unwrap();
+        let sub = uniform_node_sample(&g, 50, &mut rng);
+        assert_eq!(sub.graph.node_count(), 50);
+        let sub = uniform_node_sample(&g, 1_000, &mut rng);
+        assert_eq!(sub.graph.node_count(), 200); // clamped
+    }
+
+    #[test]
+    fn bfs_sample_is_connected_enough() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = barabasi_albert(500, 4, &mut rng).unwrap();
+        let sub = bfs_sample(&g, 100, &mut rng);
+        assert_eq!(sub.graph.node_count(), 100);
+        // Snowball samples retain far more edges than uniform samples of
+        // the same size.
+        let uni = uniform_node_sample(&g, 100, &mut rng);
+        assert!(
+            sub.graph.edge_count() > 2 * uni.graph.edge_count(),
+            "bfs {} vs uniform {}",
+            sub.graph.edge_count(),
+            uni.graph.edge_count()
+        );
+    }
+
+    #[test]
+    fn bfs_sample_preserves_clustering_structure() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = crate::generators::watts_strogatz(400, 8, 0.05, &mut rng).unwrap();
+        let full_c = global_clustering_coefficient(&g);
+        let sub = bfs_sample(&g, 120, &mut rng);
+        let sub_c = global_clustering_coefficient(&sub.graph);
+        assert!(sub_c > 0.5 * full_c, "sample C {sub_c} vs full C {full_c}");
+    }
+
+    #[test]
+    fn bfs_sample_restarts_across_components() {
+        let g = GraphBuilder::from_edges(6, [(0u32, 1u32), (2, 3), (4, 5)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sub = bfs_sample(&g, 6, &mut rng);
+        assert_eq!(sub.graph.node_count(), 6);
+        assert_eq!(sub.graph.edge_count(), 3);
+    }
+
+    #[test]
+    fn mapping_round_trips_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = barabasi_albert(100, 3, &mut rng).unwrap();
+        let sub = bfs_sample(&g, 40, &mut rng);
+        for e in sub.graph.edges() {
+            let a = sub.original[e.lo().index()];
+            let b = sub.original[e.hi().index()];
+            assert!(g.has_edge(a, b), "sampled edge missing in source");
+        }
+    }
+}

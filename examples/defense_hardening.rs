@@ -1,0 +1,71 @@
+//! The defender's view: how much does cautiousness actually protect?
+//!
+//! The paper motivates cautious users as a *defense* against socialbot
+//! crawling. This example quantifies that defense on a Facebook-like
+//! network: it sweeps the mutual-friend threshold (as a fraction of
+//! degree) and measures how often the high-value users fall to an ABM
+//! attacker, plus the attacker's total haul.
+//!
+//! Run with `cargo run --release --example defense_hardening`.
+
+use accu::datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
+use accu::policy::{Abm, AbmWeights};
+use accu::{run_attack, Realization};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 150;
+    let runs = 8;
+    println!("defense analysis: ABM attacker vs increasingly cautious high-value users\n");
+    println!(
+        "{:>11}  {:>14}  {:>16}  {:>12}",
+        "θ fraction", "E[benefit]", "cautious falls", "exposure %"
+    );
+
+    let mut previous_falls = f64::INFINITY;
+    for tf in [0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
+        let mut rng = StdRng::seed_from_u64(99); // same worlds per setting
+        let graph = DatasetSpec::facebook().scaled(0.3).generate(&mut rng)?;
+        let protocol = ProtocolConfig {
+            cautious_count: 25,
+            threshold_fraction: tf,
+            ..ProtocolConfig::default()
+        };
+        let instance = apply_protocol(graph, &protocol, &mut rng)?;
+        let cautious_total = instance.cautious_users().len() as f64;
+
+        let mut benefit_sum = 0.0;
+        let mut falls_sum = 0.0;
+        let mut abm = Abm::new(AbmWeights::balanced());
+        for _ in 0..runs {
+            let realization = Realization::sample(&instance, &mut rng);
+            let outcome = run_attack(&instance, &realization, &mut abm, k);
+            benefit_sum += outcome.total_benefit;
+            falls_sum += outcome.cautious_friends as f64;
+        }
+        let mean_benefit = benefit_sum / runs as f64;
+        let mean_falls = falls_sum / runs as f64;
+        let exposure = 100.0 * mean_falls / cautious_total;
+        println!(
+            "{:>10.0}%  {:>14.1}  {:>16.2}  {:>11.1}%",
+            tf * 100.0,
+            mean_benefit,
+            mean_falls,
+            exposure
+        );
+        // Hardening should never *help* the attacker reach cautious users.
+        assert!(
+            mean_falls <= previous_falls + 1e-9,
+            "raising thresholds must not increase cautious compromises"
+        );
+        previous_falls = mean_falls;
+    }
+
+    println!(
+        "\ntakeaway: raising the mutual-friend threshold monotonically cuts the number of\n\
+         compromised high-value users; the attacker's residual benefit comes from the\n\
+         reckless population (cf. the paper's Fig. 6/7 sensitivity analysis)."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a tiny social network by hand, mark one high-value
+//! user as cautious, and watch ABM unlock them.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use accu::policy::{Abm, AbmWeights};
+use accu::{run_attack, AccuInstanceBuilder, GraphBuilder, NodeId, Realization, UserClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 6-user network: hub 0 connects leaves 1-4; user 5 is a cautious
+    // executive connected to 1, 2 and 3 who only accepts requests from
+    // someone sharing at least two mutual friends.
+    let graph = GraphBuilder::from_edges(
+        6,
+        [(0u32, 1u32), (0, 2), (0, 3), (0, 4), (5, 1), (5, 2), (5, 3)],
+    )?;
+    let executive = NodeId::new(5);
+    let instance = AccuInstanceBuilder::new(graph)
+        .uniform_edge_probability(0.9) // the attacker's map is slightly uncertain
+        .user_class(executive, UserClass::cautious(2))
+        .benefits(executive, 50.0, 1.0) // befriending the executive is the prize
+        .build()?;
+
+    println!("network: {:?}", instance);
+    println!("cautious users: {:?}", instance.cautious_users());
+
+    // Sample one world (which edges really exist, who would accept) and
+    // run the paper's ABM policy with a budget of 4 requests.
+    let mut rng = StdRng::seed_from_u64(7);
+    let realization = Realization::sample(&instance, &mut rng);
+    let mut abm = Abm::new(AbmWeights::balanced());
+    let outcome = run_attack(&instance, &realization, &mut abm, 4);
+
+    println!("\nattack trace:");
+    for r in &outcome.trace {
+        println!(
+            "  request {} -> user {} ({}) : {}  (marginal +{:.1}, total {:.1})",
+            r.step + 1,
+            r.target,
+            if r.cautious { "cautious" } else { "reckless" },
+            if r.accepted { "ACCEPTED" } else { "rejected" },
+            r.gain.total(),
+            r.cumulative_benefit,
+        );
+    }
+    println!(
+        "\ntotal benefit {:.1}; {} friends, {} of them cautious",
+        outcome.total_benefit,
+        outcome.friends.len(),
+        outcome.cautious_friends
+    );
+    if outcome.cautious_friends > 0 {
+        println!("the executive was unlocked by befriending their friends first ✓");
+    }
+    Ok(())
+}

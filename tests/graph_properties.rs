@@ -1,0 +1,154 @@
+//! Property-based tests for the graph substrate.
+
+use std::collections::HashSet;
+
+use osn_graph::algo::{
+    bfs_distances, common_neighbors, connected_components, degree_histogram,
+    global_clustering_coefficient, mutual_friend_count, pagerank, triangle_count, PageRankConfig,
+};
+use osn_graph::generators::{
+    barabasi_albert, erdos_renyi_gnm, erdos_renyi_gnp, powerlaw_configuration, watts_strogatz,
+};
+use osn_graph::{Edge, Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random simple graph as (node count, edge pairs).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..60).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (x, y) in pairs {
+                if x != y {
+                    b.add_edge(NodeId::new(x), NodeId::new(y)).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_sorted(g in arb_graph()) {
+        for v in g.nodes() {
+            let neigh = g.neighbors(v);
+            prop_assert!(neigh.windows(2).all(|w| w[0] < w[1]), "row must be strictly sorted");
+            for &w in neigh {
+                prop_assert!(g.neighbors(w).contains(&v), "symmetry violated");
+                prop_assert!(g.has_edge(v, w) && g.has_edge(w, v));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ids_are_a_bijection(g in arb_graph()) {
+        let mut seen = HashSet::new();
+        for e in g.edges() {
+            let id = g.edge_id(e.lo(), e.hi()).unwrap();
+            prop_assert!(seen.insert(id), "duplicate edge id");
+            prop_assert_eq!(g.edge(id), *e);
+        }
+        prop_assert_eq!(seen.len(), g.edge_count());
+    }
+
+    #[test]
+    fn mutual_friends_match_naive_intersection(g in arb_graph()) {
+        for a in g.nodes().take(6) {
+            for b in g.nodes().take(6) {
+                let na: HashSet<NodeId> = g.neighbors(a).iter().copied().collect();
+                let nb: HashSet<NodeId> = g.neighbors(b).iter().copied().collect();
+                let expected = na.intersection(&nb).count();
+                prop_assert_eq!(mutual_friend_count(&g, a, b), expected);
+                prop_assert_eq!(common_neighbors(&g, a, b).len(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_respect_edges(g in arb_graph()) {
+        let src = NodeId::new(0);
+        let d = bfs_distances(&g, src);
+        prop_assert_eq!(d[0], 0);
+        for e in g.edges() {
+            let (a, b) = (d[e.lo().index()], d[e.hi().index()]);
+            if a != u32::MAX && b != u32::MAX {
+                prop_assert!(a.abs_diff(b) <= 1, "adjacent distances differ by more than 1");
+            } else {
+                prop_assert_eq!(a, b, "one endpoint reachable, the other not");
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_nodes(g in arb_graph()) {
+        let cc = connected_components(&g);
+        prop_assert_eq!(cc.sizes().iter().sum::<usize>(), g.node_count());
+        for e in g.edges() {
+            prop_assert_eq!(cc.label(e.lo()), cc.label(e.hi()));
+        }
+    }
+
+    #[test]
+    fn histogram_counts_nodes(g in arb_graph()) {
+        let hist = degree_histogram(&g);
+        prop_assert_eq!(hist.iter().sum::<usize>(), g.node_count());
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution(g in arb_graph()) {
+        let pr = pagerank(&g, &PageRankConfig::new());
+        let sum: f64 = pr.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+        prop_assert!(pr.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn clustering_is_within_unit_interval(g in arb_graph()) {
+        let c = global_clustering_coefficient(&g);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+        let _ = triangle_count(&g);
+    }
+
+    #[test]
+    fn generators_produce_simple_graphs(seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graphs = vec![
+            erdos_renyi_gnp(40, 0.1, &mut rng).unwrap(),
+            erdos_renyi_gnm(40, 60, &mut rng).unwrap(),
+            barabasi_albert(40, 3, &mut rng).unwrap(),
+            watts_strogatz(40, 4, 0.3, &mut rng).unwrap(),
+            powerlaw_configuration(40, 2.5, 1, 10, &mut rng).unwrap(),
+        ];
+        for g in graphs {
+            // Simple: no self-loops, no duplicate edges.
+            let mut seen = HashSet::new();
+            for e in g.edges() {
+                prop_assert!(!e.is_loop());
+                prop_assert!(seen.insert(Edge::new(e.lo(), e.hi())));
+            }
+        }
+    }
+
+    #[test]
+    fn io_round_trip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        osn_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let back = osn_graph::io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(back.graph.edge_count(), g.edge_count());
+        // Round-tripped edges match modulo the dense relabeling (labels
+        // are original ids, first-seen order).
+        for e in back.graph.edges() {
+            let a = back.labels[e.lo().index()] as u32;
+            let b = back.labels[e.hi().index()] as u32;
+            prop_assert!(g.has_edge(NodeId::new(a), NodeId::new(b)));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end tests of the generalized two-probability ("hesitant")
+//! cautious model (paper §III-B) across the full stack.
+
+use accu::core::theory::{
+    adaptive_submodular_ratio, curvature_ratio, enumerate_realizations, optimal_adaptive_benefit,
+    two_probability_delta_of,
+};
+use accu::policy::{pure_greedy, Abm, AbmWeights};
+use accu::{
+    expected_benefit, run_attack, AccuInstance, AccuInstanceBuilder, AttackerView,
+    GraphBuilder, NodeId, Observation, Realization, UserClass,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Star: hub 0 (reckless, q=1), leaves 1-2 reckless, leaf 3 hesitant.
+fn star_with_hesitant(q1: f64, q2: f64) -> AccuInstance {
+    let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
+    AccuInstanceBuilder::new(g)
+        .user_class(NodeId::new(3), UserClass::hesitant(q1, q2, 1))
+        .benefits(NodeId::new(3), 20.0, 1.0)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn hesitant_below_threshold_acceptance_is_possible() {
+    // With q1 = 1 the hesitant user accepts even as a stranger.
+    let inst = star_with_hesitant(1.0, 1.0);
+    let real = Realization::from_parts_full(
+        &inst,
+        vec![true; 3],
+        vec![true; 4],
+        vec![true; 4],
+    )
+    .unwrap();
+    struct First;
+    impl accu::Policy for First {
+        fn name(&self) -> &str {
+            "First"
+        }
+        fn reset(&mut self, _: &AttackerView<'_>) {}
+        fn select(&mut self, view: &AttackerView<'_>) -> Option<NodeId> {
+            view.candidates().max_by_key(|v| v.index()) // node 3 first
+        }
+    }
+    let out = run_attack(&inst, &real, &mut First, 1);
+    assert!(out.trace[0].accepted, "q1 = 1 hesitant user must accept a stranger");
+    assert_eq!(out.cautious_friends, 1);
+}
+
+#[test]
+fn acceptance_belief_reflects_the_two_probabilities() {
+    let inst = star_with_hesitant(0.25, 0.75);
+    let mut obs = Observation::for_instance(&inst);
+    {
+        let view = AttackerView::new(&inst, &obs);
+        assert_eq!(view.acceptance_belief(NodeId::new(3)), 0.25);
+    }
+    // Befriend the hub; leaf 3 reaches its threshold of 1.
+    let real = Realization::from_parts(&inst, vec![true; 3], vec![true; 4]).unwrap();
+    obs.record_acceptance(NodeId::new(0), &inst, &real);
+    let view = AttackerView::new(&inst, &obs);
+    assert_eq!(view.acceptance_belief(NodeId::new(3)), 0.75);
+}
+
+#[test]
+fn abm_scores_hesitant_users_by_current_belief() {
+    let inst = star_with_hesitant(0.25, 0.75);
+    let obs = Observation::for_instance(&inst);
+    let view = AttackerView::new(&inst, &obs);
+    let abm = Abm::new(AbmWeights::new(1.0, 0.0));
+    // P_D(3) = B_f(3) + B_fof(0) = 21; potential = q1 · 21.
+    let p = abm.potential_of(&view, NodeId::new(3));
+    assert!((p - 0.25 * 21.0).abs() < 1e-9, "p = {p}");
+}
+
+#[test]
+fn monte_carlo_matches_analytic_single_user() {
+    // One isolated hesitant user with θ=1: it can never reach the
+    // threshold, so acceptance is always the q1 outcome.
+    let g = GraphBuilder::new(1).build();
+    let inst = AccuInstanceBuilder::new(g)
+        .user_class(NodeId::new(0), UserClass::hesitant(0.3, 0.9, 1))
+        .benefits(NodeId::new(0), 10.0, 0.0)
+        .build()
+        .unwrap();
+    let mut greedy = pure_greedy();
+    let mut rng = StdRng::seed_from_u64(3);
+    let stats = expected_benefit(&inst, &mut greedy, 1, 20_000, &mut rng);
+    assert!(
+        (stats.mean - 3.0).abs() < 4.0 * stats.std_error.max(1e-3),
+        "mean {} vs analytic 3.0",
+        stats.mean
+    );
+}
+
+#[test]
+fn enumeration_is_a_probability_distribution_with_hesitant_users() {
+    let inst = star_with_hesitant(0.2, 0.7);
+    let ens = enumerate_realizations(&inst).unwrap();
+    let total: f64 = ens.iter().map(|(_, p)| p).sum();
+    assert!((total - 1.0).abs() < 1e-12, "total = {total}");
+    // Hesitant user contributes three patterns → ensemble size 3 here
+    // (all other variables are certain).
+    assert_eq!(ens.len(), 3);
+    for (real, p) in &ens {
+        assert!(*p > 0.0);
+        // Coupling: accepting below the threshold implies accepting at it.
+        assert!(
+            !real.accepts_at(&inst, NodeId::new(3), 0)
+                || real.accepts_at(&inst, NodeId::new(3), 1)
+        );
+    }
+}
+
+#[test]
+fn positive_q1_restores_a_finite_curvature_guarantee() {
+    let det = star_with_hesitant(0.0, 1.0);
+    assert_eq!(two_probability_delta_of(&det), None);
+    let soft = star_with_hesitant(0.1, 1.0);
+    let delta = two_probability_delta_of(&soft).expect("finite");
+    assert_eq!(delta, 10.0);
+    assert!((curvature_ratio(delta, 20) - 0.095).abs() < 5e-4);
+}
+
+#[test]
+fn theorem1_still_holds_with_hesitant_users() {
+    // The adaptive submodular ratio and Theorem 1 are model-agnostic:
+    // verify greedy ≥ (1 − e^{−λ})·OPT on a hesitant instance.
+    let inst = star_with_hesitant(0.5, 1.0);
+    let lambda = adaptive_submodular_ratio(&inst).unwrap();
+    assert!(lambda > 0.0);
+    for k in 1..=3usize {
+        let opt = optimal_adaptive_benefit(&inst, k).unwrap();
+        let greedy: f64 = enumerate_realizations(&inst)
+            .unwrap()
+            .iter()
+            .map(|(real, prob)| {
+                let mut g = pure_greedy();
+                prob * run_attack(&inst, real, &mut g, k).total_benefit
+            })
+            .sum();
+        let bound = (1.0 - (-lambda).exp()) * opt;
+        assert!(
+            greedy + 1e-9 >= bound,
+            "k={k}: greedy {greedy} below bound {bound} (λ={lambda}, opt={opt})"
+        );
+    }
+}
+
+#[test]
+fn softer_thresholds_never_reduce_expected_benefit() {
+    // Raising q1 (weakly) increases the attacker's expected benefit
+    // under the same policy — checked by Monte Carlo with shared seeds.
+    let mut means = Vec::new();
+    for &q1 in &[0.0, 0.3, 0.8] {
+        let inst = star_with_hesitant(q1, 1.0);
+        let mut abm = Abm::new(AbmWeights::balanced());
+        let mut rng = StdRng::seed_from_u64(42);
+        means.push(expected_benefit(&inst, &mut abm, 2, 3_000, &mut rng).mean);
+    }
+    assert!(means[0] <= means[1] + 0.1, "{means:?}");
+    assert!(means[1] <= means[2] + 0.1, "{means:?}");
+}

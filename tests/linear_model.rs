@@ -1,0 +1,157 @@
+//! End-to-end tests of the empirical linear acceptance model
+//! (`q(u) = min(1, base + slope · mutual)`) — the probabilistic model of
+//! the earlier crawling papers the ACCU paper contrasts with.
+
+use accu::core::theory::{adaptive_submodular_ratio, enumerate_realizations};
+use accu::policy::{pure_greedy, Abm, AbmWeights};
+use accu::{
+    expected_benefit, run_attack, AccuInstance, AccuInstanceBuilder, AttackerView,
+    GraphBuilder, NodeId, Observation, Realization, UserClass,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Star: hub 0 plus leaves; leaf 3 uses the linear model.
+fn star_with_linear(base: f64, slope: f64) -> AccuInstance {
+    let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
+    AccuInstanceBuilder::new(g)
+        .user_class(NodeId::new(3), UserClass::mutual_linear(base, slope))
+        .benefits(NodeId::new(3), 20.0, 1.0)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn linear_users_are_not_cautious_class() {
+    let inst = star_with_linear(0.1, 0.4);
+    assert!(!inst.is_cautious(NodeId::new(3)));
+    assert!(inst.cautious_users().is_empty());
+    assert_eq!(inst.threshold(NodeId::new(3)), None);
+}
+
+#[test]
+fn acceptance_belief_rises_with_each_friend() {
+    let inst = star_with_linear(0.1, 0.4);
+    let real = Realization::from_parts(&inst, vec![true; 3], vec![true; 4]).unwrap();
+    let mut obs = Observation::for_instance(&inst);
+    {
+        let view = AttackerView::new(&inst, &obs);
+        assert!((view.acceptance_belief(NodeId::new(3)) - 0.1).abs() < 1e-12);
+    }
+    obs.record_acceptance(NodeId::new(0), &inst, &real);
+    let view = AttackerView::new(&inst, &obs);
+    assert!((view.acceptance_belief(NodeId::new(3)) - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn enumeration_partitions_by_mutual_band() {
+    // Leaf 3 has degree 1 → levels {0.1, 0.5} → 3 bands; everything else
+    // certain.
+    let inst = star_with_linear(0.1, 0.4);
+    let ens = enumerate_realizations(&inst).unwrap();
+    assert_eq!(ens.len(), 3);
+    let total: f64 = ens.iter().map(|(_, p)| p).sum();
+    assert!((total - 1.0).abs() < 1e-12);
+    // Masses are the band widths: 0.1, 0.4, 0.5.
+    let mut masses: Vec<f64> = ens.iter().map(|(_, p)| *p).collect();
+    masses.sort_by(f64::total_cmp);
+    assert!((masses[0] - 0.1).abs() < 1e-12);
+    assert!((masses[1] - 0.4).abs() < 1e-12);
+    assert!((masses[2] - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn monte_carlo_matches_analytic_two_step() {
+    // Request hub (q=1) then leaf 3: leaf has 1 mutual friend, so it
+    // accepts with 0.1 + 0.4 = 0.5.
+    // E[benefit] = B_f(0)=2 + 2·B_fof (leaves 1,2) + B_fof(3)=1
+    //              + 0.5·(B_f(3) − B_fof(3)) = 5 + 0.5·19 = 14.5.
+    struct HubThenLeaf;
+    impl accu::Policy for HubThenLeaf {
+        fn name(&self) -> &str {
+            "HubThenLeaf"
+        }
+        fn reset(&mut self, _: &AttackerView<'_>) {}
+        fn select(&mut self, view: &AttackerView<'_>) -> Option<NodeId> {
+            [NodeId::new(0), NodeId::new(3)]
+                .into_iter()
+                .find(|&u| !view.observation().was_requested(u))
+        }
+    }
+    let inst = star_with_linear(0.1, 0.4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let stats = expected_benefit(&inst, &mut HubThenLeaf, 2, 20_000, &mut rng);
+    assert!(
+        (stats.mean - 14.5).abs() < 4.0 * stats.std_error.max(1e-3),
+        "mean {} vs analytic 14.5",
+        stats.mean
+    );
+}
+
+#[test]
+fn linear_worst_case_lambda_matches_the_threshold_model() {
+    // Instructive subtlety: λ is a *minimum over realizations*, and the
+    // linear user's middle draw band ("reject at 0 mutual friends,
+    // accept at 1") behaves exactly like a deterministic θ=1 cautious
+    // user — so the worst-case adaptive submodular ratio is the same as
+    // the threshold model's. The smoothing helps the *expected*
+    // performance (see `greedy_value_monotone_in_slope`), not the
+    // worst-case guarantee.
+    let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (0, 2)]).unwrap();
+    let linear = AccuInstanceBuilder::new(g.clone())
+        .user_class(NodeId::new(1), UserClass::mutual_linear(0.5, 0.5))
+        .benefits(NodeId::new(1), 10.0, 1.0)
+        .build()
+        .unwrap();
+    let cautious = AccuInstanceBuilder::new(g)
+        .user_class(NodeId::new(1), UserClass::cautious(1))
+        .benefits(NodeId::new(1), 10.0, 1.0)
+        .build()
+        .unwrap();
+    let lambda_linear = adaptive_submodular_ratio(&linear).unwrap();
+    let lambda_cautious = adaptive_submodular_ratio(&cautious).unwrap();
+    assert!(
+        (lambda_linear - lambda_cautious).abs() < 1e-12,
+        "linear λ {lambda_linear} vs threshold λ {lambda_cautious}"
+    );
+    assert!(lambda_linear < 1.0, "the threshold-like band still breaks submodularity");
+}
+
+#[test]
+fn abm_still_runs_and_collects_on_linear_instances() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = osn_graph::generators::barabasi_albert(100, 4, &mut rng).unwrap();
+    use rand::Rng;
+    let mut builder = AccuInstanceBuilder::new(g);
+    for i in 0..100usize {
+        builder = builder.user_class(
+            NodeId::from(i),
+            UserClass::mutual_linear(rng.gen_range(0.05..0.3), 0.1),
+        );
+    }
+    let inst = builder.build().unwrap();
+    let real = Realization::sample(&inst, &mut rng);
+    let mut abm = Abm::new(AbmWeights::balanced());
+    let out = run_attack(&inst, &real, &mut abm, 40);
+    assert_eq!(out.requests_sent(), 40);
+    assert!(out.total_benefit > 0.0);
+    // No threshold users → no "cautious" friends by definition.
+    assert_eq!(out.cautious_friends, 0);
+    // Acceptance rate should exceed the base rate thanks to rising q.
+    let accepted = out.trace.iter().filter(|r| r.accepted).count();
+    assert!(accepted > 5, "only {accepted} acceptances");
+}
+
+#[test]
+fn greedy_value_monotone_in_slope() {
+    // Steeper acceptance growth can only help the attacker.
+    let mut means = Vec::new();
+    for &slope in &[0.0, 0.2, 0.6] {
+        let inst = star_with_linear(0.1, slope);
+        let mut greedy = pure_greedy();
+        let mut rng = StdRng::seed_from_u64(21);
+        means.push(expected_benefit(&inst, &mut greedy, 3, 4_000, &mut rng).mean);
+    }
+    assert!(means[0] <= means[1] + 0.2, "{means:?}");
+    assert!(means[1] <= means[2] + 0.2, "{means:?}");
+}
