@@ -49,8 +49,7 @@ pub fn cautious_risk_scores(instance: &AccuInstance) -> Vec<f64> {
         let expected_accepting: f64 = g
             .neighbor_entries(v)
             .map(|(u, e)| {
-                instance.edge_probability(e)
-                    * instance.acceptance_probability(u).unwrap_or(0.0)
+                instance.edge_probability(e) * instance.acceptance_probability(u).unwrap_or(0.0)
             })
             .sum();
         scores[v.index()] = expected_accepting / theta;
@@ -70,7 +69,9 @@ pub fn gatekeeper_scores(instance: &AccuInstance) -> Vec<f64> {
     let benefits = instance.benefits();
     let mut scores = vec![0.0f64; g.node_count()];
     for u in g.nodes() {
-        let Some(q) = instance.acceptance_probability(u) else { continue };
+        let Some(q) = instance.acceptance_probability(u) else {
+            continue;
+        };
         let mut gate = 0.0;
         for (v, e) in g.neighbor_entries(u) {
             if let Some(theta) = instance.threshold(v) {
@@ -168,11 +169,7 @@ mod tests {
     /// Star hub 0 with cautious leaves 2 (θ=1) and 3 (θ=2, also linked
     /// to 1); node 1 links hub and cautious 3.
     fn instance() -> AccuInstance {
-        let g = GraphBuilder::from_edges(
-            4,
-            [(0u32, 1u32), (0, 2), (0, 3), (1, 3)],
-        )
-        .unwrap();
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3), (1, 3)]).unwrap();
         AccuInstanceBuilder::new(g)
             .user_class(NodeId::new(2), UserClass::cautious(1))
             .user_class(NodeId::new(3), UserClass::cautious(2))
@@ -212,7 +209,11 @@ mod tests {
         let top = top_scored(&scores, 10);
         assert_eq!(
             top,
-            vec![(NodeId::new(1), 3.0), (NodeId::new(3), 3.0), (NodeId::new(2), 1.0)]
+            vec![
+                (NodeId::new(1), 3.0),
+                (NodeId::new(3), 3.0),
+                (NodeId::new(2), 1.0)
+            ]
         );
         assert_eq!(top_scored(&scores, 1).len(), 1);
     }

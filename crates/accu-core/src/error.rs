@@ -67,9 +67,16 @@ impl fmt::Display for AccuError {
                 "benefits of node {node} violate B_f >= B_fof >= 0 (B_f={friend}, B_fof={fof})"
             ),
             AccuError::ZeroThreshold { node } => {
-                write!(f, "cautious node {node} has threshold 0; the model requires θ >= 1")
+                write!(
+                    f,
+                    "cautious node {node} has threshold 0; the model requires θ >= 1"
+                )
             }
-            AccuError::LengthMismatch { what, expected, actual } => {
+            AccuError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what} has length {actual}, expected {expected}")
             }
             AccuError::TooLargeForExhaustive { random_bits, limit } => write!(
@@ -77,7 +84,10 @@ impl fmt::Display for AccuError {
                 "exhaustive enumeration needs 2^{random_bits} realizations, above the 2^{limit} cap"
             ),
             AccuError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for instance with {node_count} users")
+                write!(
+                    f,
+                    "node {node} out of range for instance with {node_count} users"
+                )
             }
         }
     }
@@ -91,17 +101,36 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = AccuError::InvalidProbability { what: "edge existence", value: 1.2 };
+        let e = AccuError::InvalidProbability {
+            what: "edge existence",
+            value: 1.2,
+        };
         assert!(e.to_string().contains("edge existence"));
-        let e = AccuError::InvalidBenefit { node: NodeId::new(3), friend: 1.0, fof: 2.0 };
+        let e = AccuError::InvalidBenefit {
+            node: NodeId::new(3),
+            friend: 1.0,
+            fof: 2.0,
+        };
         assert!(e.to_string().contains("node 3"));
-        let e = AccuError::ZeroThreshold { node: NodeId::new(0) };
+        let e = AccuError::ZeroThreshold {
+            node: NodeId::new(0),
+        };
         assert!(e.to_string().contains("θ >= 1"));
-        let e = AccuError::LengthMismatch { what: "edge probabilities", expected: 4, actual: 2 };
+        let e = AccuError::LengthMismatch {
+            what: "edge probabilities",
+            expected: 4,
+            actual: 2,
+        };
         assert!(e.to_string().contains("length 2"));
-        let e = AccuError::TooLargeForExhaustive { random_bits: 40, limit: 24 };
+        let e = AccuError::TooLargeForExhaustive {
+            random_bits: 40,
+            limit: 24,
+        };
         assert!(e.to_string().contains("2^40"));
-        let e = AccuError::NodeOutOfRange { node: NodeId::new(9), node_count: 4 };
+        let e = AccuError::NodeOutOfRange {
+            node: NodeId::new(9),
+            node_count: 4,
+        };
         assert!(e.to_string().contains("9"));
     }
 

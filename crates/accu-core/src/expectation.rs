@@ -28,7 +28,12 @@ impl MonteCarloStats {
             0.0
         };
         let std_dev = var.sqrt();
-        MonteCarloStats { mean, std_dev, std_error: std_dev / (n.max(1) as f64).sqrt(), samples: n }
+        MonteCarloStats {
+            mean,
+            std_dev,
+            std_error: std_dev / (n.max(1) as f64).sqrt(),
+            samples: n,
+        }
     }
 }
 

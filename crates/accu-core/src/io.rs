@@ -135,7 +135,11 @@ pub fn write_instance<W: Write>(
                 b.friend(v),
                 b.friend_of_friend(v)
             )?,
-            UserClass::Hesitant { below, at_or_above, threshold } => writeln!(
+            UserClass::Hesitant {
+                below,
+                at_or_above,
+                threshold,
+            } => writeln!(
                 writer,
                 "user {i} hesitant {below} {at_or_above} {threshold} {} {}",
                 b.friend(v),
@@ -169,7 +173,10 @@ pub fn read_instance<R: Read>(reader: R) -> Result<AccuInstance, InstanceIoError
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let err = |message: String| InstanceIoError::Parse { line: lineno + 1, message };
+        let err = |message: String| InstanceIoError::Parse {
+            line: lineno + 1,
+            message,
+        };
         let mut tok = trimmed.split_whitespace();
         match tok.next() {
             Some("nodes") => {
@@ -198,8 +205,9 @@ pub fn read_instance<R: Read>(reader: R) -> Result<AccuInstance, InstanceIoError
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| err("user expects an id".into()))?;
-                let class_tok =
-                    tok.next().ok_or_else(|| err("user expects a class".into()))?;
+                let class_tok = tok
+                    .next()
+                    .ok_or_else(|| err("user expects a class".into()))?;
                 let fields: Vec<f64> = tok
                     .map(|t| t.parse::<f64>())
                     .collect::<Result<_, _>>()
@@ -248,11 +256,9 @@ pub fn read_instance<R: Read>(reader: R) -> Result<AccuInstance, InstanceIoError
                 node_count: n,
             }));
         }
-        builder = builder.user_class(NodeId::from(id), class).benefits(
-            NodeId::from(id),
-            bf,
-            bfof,
-        );
+        builder = builder
+            .user_class(NodeId::from(id), class)
+            .benefits(NodeId::from(id), bf, bfof);
     }
     Ok(builder.build()?)
 }
@@ -267,7 +273,10 @@ pub fn write_trace_csv<W: Write>(
     outcome: &AttackOutcome,
     mut writer: W,
 ) -> Result<(), InstanceIoError> {
-    writeln!(writer, "step,target,cautious,accepted,gain_cautious,gain_reckless,cumulative")?;
+    writeln!(
+        writer,
+        "step,target,cautious,accepted,gain_cautious,gain_reckless,cumulative"
+    )?;
     for r in &outcome.trace {
         writeln!(
             writer,
@@ -345,25 +354,25 @@ mod tests {
     #[test]
     fn out_of_range_users_are_rejected() {
         let err = read_instance("nodes 1\nuser 5 reckless 0.5 2 1\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, InstanceIoError::Invalid(AccuError::NodeOutOfRange { .. })));
+        assert!(matches!(
+            err,
+            InstanceIoError::Invalid(AccuError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn invalid_probabilities_surface_as_instance_errors() {
-        let err =
-            read_instance("nodes 1\nuser 0 reckless 1.5 2 1\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, InstanceIoError::Invalid(AccuError::InvalidProbability { .. })));
+        let err = read_instance("nodes 1\nuser 0 reckless 1.5 2 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceIoError::Invalid(AccuError::InvalidProbability { .. })
+        ));
     }
 
     #[test]
     fn trace_csv_has_one_row_per_request() {
         let inst = mixed_instance();
-        let real = Realization::from_parts(
-            &inst,
-            vec![true; 3],
-            vec![true; 4],
-        )
-        .unwrap();
+        let real = Realization::from_parts(&inst, vec![true; 3], vec![true; 4]).unwrap();
         let mut abm = Abm::new(AbmWeights::balanced());
         let out = run_attack(&inst, &real, &mut abm, 3);
         let mut buf = Vec::new();

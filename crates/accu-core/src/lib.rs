@@ -75,7 +75,9 @@ pub use defense::{
 pub use error::AccuError;
 pub use expectation::{expected_benefit, sample_outcomes, MonteCarloStats};
 pub use metrics::TraceAccumulator;
-pub use model::{AccuInstance, AccuInstanceBuilder, AssumptionViolation, BenefitSchedule, UserClass};
+pub use model::{
+    AccuInstance, AccuInstanceBuilder, AssumptionViolation, BenefitSchedule, UserClass,
+};
 pub use objective::{
     benefit_of_friend_set, benefit_of_request_set, BenefitState, MarginalGain, RequestSetOutcome,
 };
@@ -84,6 +86,7 @@ pub use oracle::run_omniscient_greedy;
 pub use policy::Policy;
 pub use realization::Realization;
 pub use simulator::{
-    resolve_acceptance, run_attack, run_attack_with_beliefs, AttackOutcome, RequestRecord,
+    resolve_acceptance, run_attack, run_attack_recorded, run_attack_with_beliefs,
+    run_attack_with_beliefs_recorded, sim_metrics, AttackOutcome, RequestRecord,
 };
 pub use view::AttackerView;

@@ -112,19 +112,28 @@ impl TraceAccumulator {
 
     /// Fig. 2 series: mean cumulative benefit after request `i`.
     pub fn mean_cumulative_benefit(&self) -> Vec<f64> {
-        self.cum_benefit.iter().map(|&s| s / self.runs.max(1) as f64).collect()
+        self.cum_benefit
+            .iter()
+            .map(|&s| s / self.runs.max(1) as f64)
+            .collect()
     }
 
     /// Fig. 3 series: mean marginal benefit of request `i` from cautious
     /// users (averaged over all runs).
     pub fn mean_marginal_from_cautious(&self) -> Vec<f64> {
-        self.marginal_cautious.iter().map(|&s| s / self.runs.max(1) as f64).collect()
+        self.marginal_cautious
+            .iter()
+            .map(|&s| s / self.runs.max(1) as f64)
+            .collect()
     }
 
     /// Fig. 3 series: mean marginal benefit of request `i` from reckless
     /// users.
     pub fn mean_marginal_from_reckless(&self) -> Vec<f64> {
-        self.marginal_reckless.iter().map(|&s| s / self.runs.max(1) as f64).collect()
+        self.marginal_reckless
+            .iter()
+            .map(|&s| s / self.runs.max(1) as f64)
+            .collect()
     }
 
     /// Fig. 5 series: fraction of runs in which request `i` went to a
@@ -169,7 +178,10 @@ impl TraceAccumulator {
     ///
     /// Panics if the budgets differ.
     pub fn merge(&mut self, other: &TraceAccumulator) {
-        assert_eq!(self.k, other.k, "cannot merge accumulators with different budgets");
+        assert_eq!(
+            self.k, other.k,
+            "cannot merge accumulators with different budgets"
+        );
         self.runs += other.runs;
         self.total_benefit += other.total_benefit;
         self.total_benefit_sq += other.total_benefit_sq;
@@ -260,7 +272,10 @@ mod tests {
         b1.merge(&b2);
         assert_eq!(a.runs(), b1.runs());
         assert_eq!(a.mean_cumulative_benefit(), b1.mean_cumulative_benefit());
-        assert_eq!(a.cautious_request_fraction(), b1.cautious_request_fraction());
+        assert_eq!(
+            a.cautious_request_fraction(),
+            b1.cautious_request_fraction()
+        );
     }
 
     #[test]
@@ -278,7 +293,12 @@ mod tests {
         let mut acc = TraceAccumulator::new(2);
         // Two runs with different policies → different totals.
         acc.add(&run_attack(&inst, &real, &mut MaxDegree::new(), 2));
-        acc.add(&run_attack(&inst, &real, &mut Abm::new(AbmWeights::balanced()), 2));
+        acc.add(&run_attack(
+            &inst,
+            &real,
+            &mut Abm::new(AbmWeights::balanced()),
+            2,
+        ));
         let totals = [
             run_attack(&inst, &real, &mut MaxDegree::new(), 2).total_benefit,
             run_attack(&inst, &real, &mut Abm::new(AbmWeights::balanced()), 2).total_benefit,
@@ -296,7 +316,57 @@ mod tests {
     #[test]
     fn empty_accumulator_is_zeroed() {
         let acc = TraceAccumulator::new(2);
+        assert_eq!(acc.runs(), 0);
         assert_eq!(acc.mean_total_benefit(), 0.0);
         assert_eq!(acc.mean_cumulative_benefit(), vec![0.0, 0.0]);
+        assert_eq!(acc.mean_marginal_from_cautious(), vec![0.0, 0.0]);
+        assert_eq!(acc.mean_marginal_from_reckless(), vec![0.0, 0.0]);
+        assert_eq!(acc.cautious_request_fraction(), vec![0.0, 0.0]);
+        assert_eq!(acc.mean_cautious_friends(), 0.0);
+        assert_eq!(acc.mean_friends(), 0.0);
+        assert_eq!(acc.total_benefit_std_error(), 0.0);
+    }
+
+    #[test]
+    fn zero_budget_accumulator_produces_empty_series() {
+        let inst = star();
+        let real = full(&inst);
+        let out = run_attack(&inst, &real, &mut MaxDegree::new(), 0);
+        assert!(out.trace.is_empty());
+        let mut acc = TraceAccumulator::new(0);
+        acc.add(&out);
+        assert_eq!(acc.runs(), 1);
+        assert!(acc.mean_cumulative_benefit().is_empty());
+        assert!(acc.cautious_request_fraction().is_empty());
+    }
+
+    #[test]
+    fn telemetry_counters_match_accumulator_totals() {
+        use crate::run_attack_recorded;
+        use crate::simulator::sim_metrics;
+        use accu_telemetry::Recorder;
+
+        let inst = star();
+        let real = full(&inst);
+        let recorder = Recorder::enabled();
+        let mut acc = TraceAccumulator::new(2);
+        let mut requests_sent = 0u64;
+        for _ in 0..3 {
+            let mut abm = Abm::with_recorder(AbmWeights::balanced(), &recorder);
+            let out = run_attack_recorded(&inst, &real, &mut abm, 2, &recorder);
+            requests_sent += out.trace.len() as u64;
+            acc.add(&out);
+        }
+        let snap = recorder.snapshot("metrics-test").unwrap();
+        // The recorder and the accumulator observed the very same runs.
+        assert_eq!(snap.counter(sim_metrics::EPISODES), Some(acc.runs() as u64));
+        assert_eq!(snap.counter(sim_metrics::REQUESTS), Some(requests_sent));
+        // On this instance every run exhausts the budget, so the request
+        // counter is exactly runs × k.
+        assert_eq!(requests_sent, acc.runs() as u64 * acc.budget() as u64);
+        assert_eq!(
+            snap.counter(sim_metrics::CAUTIOUS_ACCEPTED),
+            Some(acc.cautious_friends as u64)
+        );
     }
 }

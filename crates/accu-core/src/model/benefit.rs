@@ -114,7 +114,10 @@ impl BenefitSchedule {
     /// a bad id.
     pub fn set_friend(&mut self, u: NodeId, bf: f64) -> Result<(), AccuError> {
         if u.index() >= self.friend.len() {
-            return Err(AccuError::NodeOutOfRange { node: u, node_count: self.friend.len() });
+            return Err(AccuError::NodeOutOfRange {
+                node: u,
+                node_count: self.friend.len(),
+            });
         }
         if !bf.is_finite() || bf < self.fof[u.index()] {
             return Err(AccuError::InvalidBenefit {
@@ -130,7 +133,10 @@ impl BenefitSchedule {
     /// Returns `true` if `B_f(u) − B_fof(u) > 0` for **every** user —
     /// the precondition of the paper's Lemma 1 / Theorem 1.
     pub fn has_strict_gap(&self) -> bool {
-        self.friend.iter().zip(&self.fof).all(|(bf, bfof)| bf - bfof > 0.0)
+        self.friend
+            .iter()
+            .zip(&self.fof)
+            .all(|(bf, bfof)| bf - bfof > 0.0)
     }
 }
 

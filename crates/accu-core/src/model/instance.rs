@@ -117,12 +117,14 @@ impl AccuInstance {
     /// 3 for hesitant, up to `degree + 2` for linear users). Governs the
     /// cost of exhaustive enumeration.
     pub fn random_bits(&self) -> usize {
-        let uncertain_edges =
-            self.edge_prob.iter().filter(|&&p| p > 0.0 && p < 1.0).count();
+        let uncertain_edges = self
+            .edge_prob
+            .iter()
+            .filter(|&&p| p > 0.0 && p < 1.0)
+            .count();
         let user_bits: usize = (0..self.node_count())
             .map(|i| {
-                let bands =
-                    crate::Realization::acceptance_cuts(self, NodeId::from(i)).len() + 1;
+                let bands = crate::Realization::acceptance_cuts(self, NodeId::from(i)).len() + 1;
                 bands.next_power_of_two().trailing_zeros() as usize
             })
             .sum();
@@ -214,14 +216,21 @@ impl fmt::Display for AssumptionViolation {
             AssumptionViolation::AdjacentCautiousUsers { a, b } => {
                 write!(f, "cautious users {a} and {b} are adjacent")
             }
-            AssumptionViolation::UnreachableCautiousUser { node, reckless_neighbors, threshold } => {
+            AssumptionViolation::UnreachableCautiousUser {
+                node,
+                reckless_neighbors,
+                threshold,
+            } => {
                 write!(
                     f,
                     "cautious user {node} has {reckless_neighbors} reckless neighbors, below θ={threshold}"
                 )
             }
             AssumptionViolation::NoStrictBenefitGap => {
-                write!(f, "some user has B_f = B_fof; Theorem 1 requires a strict gap")
+                write!(
+                    f,
+                    "some user has B_f = B_fof; Theorem 1 requires a strict gap"
+                )
             }
         }
     }
@@ -342,7 +351,10 @@ impl AccuInstanceBuilder {
         }
         for &p in &self.edge_prob {
             if !(0.0..=1.0).contains(&p) {
-                return Err(AccuError::InvalidProbability { what: "edge existence", value: p });
+                return Err(AccuError::InvalidProbability {
+                    what: "edge existence",
+                    value: p,
+                });
             }
         }
         for (i, c) in self.classes.iter().enumerate() {
@@ -357,12 +369,20 @@ impl AccuInstanceBuilder {
                 }
                 UserClass::Cautious { threshold } => {
                     if *threshold == 0 {
-                        return Err(AccuError::ZeroThreshold { node: NodeId::from(i) });
+                        return Err(AccuError::ZeroThreshold {
+                            node: NodeId::from(i),
+                        });
                     }
                 }
-                UserClass::Hesitant { below, at_or_above, threshold } => {
+                UserClass::Hesitant {
+                    below,
+                    at_or_above,
+                    threshold,
+                } => {
                     if *threshold == 0 {
-                        return Err(AccuError::ZeroThreshold { node: NodeId::from(i) });
+                        return Err(AccuError::ZeroThreshold {
+                            node: NodeId::from(i),
+                        });
                     }
                     for &q in [below, at_or_above] {
                         if !(0.0..=1.0).contains(&q) {
@@ -452,7 +472,12 @@ mod tests {
             .user_class(NodeId::new(2), UserClass::cautious(0))
             .build()
             .unwrap_err();
-        assert_eq!(err, AccuError::ZeroThreshold { node: NodeId::new(2) });
+        assert_eq!(
+            err,
+            AccuError::ZeroThreshold {
+                node: NodeId::new(2)
+            }
+        );
         let err = AccuInstanceBuilder::new(triangle())
             .edge_probabilities(vec![0.5; 2])
             .build()
@@ -512,7 +537,9 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| matches!(v, AssumptionViolation::UnreachableCautiousUser { .. })));
-        assert!(violations.iter().any(|v| matches!(v, AssumptionViolation::NoStrictBenefitGap)));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, AssumptionViolation::NoStrictBenefitGap)));
         // Adjacent pair is reported exactly once.
         let adjacent = violations
             .iter()

@@ -79,7 +79,11 @@ impl UserClass {
     /// Creates a two-probability (hesitant) user: accepts with `q1`
     /// below the threshold and `q2` at/above it.
     pub const fn hesitant(q1: f64, q2: f64, theta: u32) -> Self {
-        UserClass::Hesitant { below: q1, at_or_above: q2, threshold: theta }
+        UserClass::Hesitant {
+            below: q1,
+            at_or_above: q2,
+            threshold: theta,
+        }
     }
 
     /// Creates a user with the empirical linear acceptance function
@@ -92,7 +96,10 @@ impl UserClass {
     /// the "high-profile" population of the model. Linear-acceptance
     /// users belong to the probabilistic population like reckless ones.
     pub const fn is_cautious(&self) -> bool {
-        matches!(self, UserClass::Cautious { .. } | UserClass::Hesitant { .. })
+        matches!(
+            self,
+            UserClass::Cautious { .. } | UserClass::Hesitant { .. }
+        )
     }
 
     /// Acceptance probability for reckless users, `None` for every class
@@ -128,16 +135,18 @@ impl UserClass {
                     0.0
                 }
             }
-            UserClass::Hesitant { below, at_or_above, threshold } => {
+            UserClass::Hesitant {
+                below,
+                at_or_above,
+                threshold,
+            } => {
                 if mutual >= *threshold {
                     *at_or_above
                 } else {
                     *below
                 }
             }
-            UserClass::MutualLinear { base, slope } => {
-                (base + slope * mutual as f64).min(1.0)
-            }
+            UserClass::MutualLinear { base, slope } => (base + slope * mutual as f64).min(1.0),
         }
     }
 
@@ -149,7 +158,9 @@ impl UserClass {
         match self {
             UserClass::Reckless { acceptance } => (*acceptance, *acceptance),
             UserClass::Cautious { .. } => (0.0, 1.0),
-            UserClass::Hesitant { below, at_or_above, .. } => (*below, *at_or_above),
+            UserClass::Hesitant {
+                below, at_or_above, ..
+            } => (*below, *at_or_above),
             UserClass::MutualLinear { base, slope } => {
                 if *slope > 0.0 {
                     (*base, 1.0)
@@ -176,7 +187,11 @@ impl fmt::Display for UserClass {
         match self {
             UserClass::Reckless { acceptance } => write!(f, "reckless(q={acceptance})"),
             UserClass::Cautious { threshold } => write!(f, "cautious(θ={threshold})"),
-            UserClass::Hesitant { below, at_or_above, threshold } => {
+            UserClass::Hesitant {
+                below,
+                at_or_above,
+                threshold,
+            } => {
                 write!(f, "hesitant(q1={below}, q2={at_or_above}, θ={threshold})")
             }
             UserClass::MutualLinear { base, slope } => {
@@ -224,7 +239,13 @@ mod tests {
 
     #[test]
     fn probability_pairs_unify_the_classes() {
-        assert_eq!(UserClass::reckless(0.4).acceptance_probabilities(), (0.4, 0.4));
-        assert_eq!(UserClass::cautious(2).acceptance_probabilities(), (0.0, 1.0));
+        assert_eq!(
+            UserClass::reckless(0.4).acceptance_probabilities(),
+            (0.4, 0.4)
+        );
+        assert_eq!(
+            UserClass::cautious(2).acceptance_probabilities(),
+            (0.0, 1.0)
+        );
     }
 }

@@ -132,7 +132,11 @@ impl BenefitState {
         let mut gain = MarginalGain::default();
         let benefits = instance.benefits();
         let own = benefits.friend(u)
-            - if self.fof[u.index()] { benefits.friend_of_friend(u) } else { 0.0 };
+            - if self.fof[u.index()] {
+                benefits.friend_of_friend(u)
+            } else {
+                0.0
+            };
         if instance.is_cautious(u) {
             gain.from_cautious += own;
         } else {
@@ -307,8 +311,7 @@ mod tests {
     #[test]
     fn missing_edges_block_fof() {
         let inst = star_instance();
-        let real =
-            Realization::from_parts(&inst, vec![false; 3], vec![true; 4]).unwrap();
+        let real = Realization::from_parts(&inst, vec![false; 3], vec![true; 4]).unwrap();
         let b = benefit_of_friend_set(&inst, &real, &[NodeId::new(0)]);
         assert_eq!(b, 2.0); // no realized neighbors, no fof benefit
     }
@@ -371,8 +374,14 @@ mod tests {
 
     #[test]
     fn marginal_gain_arithmetic() {
-        let a = MarginalGain { from_cautious: 1.0, from_reckless: 2.0 };
-        let b = MarginalGain { from_cautious: 0.5, from_reckless: 0.25 };
+        let a = MarginalGain {
+            from_cautious: 1.0,
+            from_reckless: 2.0,
+        };
+        let b = MarginalGain {
+            from_cautious: 0.5,
+            from_reckless: 0.25,
+        };
         let c = a + b;
         assert_eq!(c.total(), 3.75);
         let mut d = MarginalGain::default();

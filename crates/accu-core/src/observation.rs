@@ -146,7 +146,11 @@ impl Observation {
     ///
     /// Panics if `u` is out of range or was already requested.
     pub fn record_rejection(&mut self, u: NodeId) {
-        assert_eq!(self.node_state[u.index()], NodeState::Unknown, "node {u} already requested");
+        assert_eq!(
+            self.node_state[u.index()],
+            NodeState::Unknown,
+            "node {u} already requested"
+        );
         self.node_state[u.index()] = NodeState::Rejected;
         self.mutual_at_request[u.index()] = self.mutual[u.index()];
         self.requests.push(u);
@@ -178,7 +182,11 @@ impl Observation {
         instance: &AccuInstance,
         realization: &Realization,
     ) -> Vec<NodeId> {
-        assert_eq!(self.node_state[u.index()], NodeState::Unknown, "node {u} already requested");
+        assert_eq!(
+            self.node_state[u.index()],
+            NodeState::Unknown,
+            "node {u} already requested"
+        );
         self.node_state[u.index()] = NodeState::Accepted;
         self.mutual_at_request[u.index()] = self.mutual[u.index()];
         self.requests.push(u);
@@ -190,8 +198,11 @@ impl Observation {
                 EdgeState::Absent => false,
                 EdgeState::Unknown => {
                     let exists = realization.edge_exists(e);
-                    self.edge_state[e.index()] =
-                        if exists { EdgeState::Present } else { EdgeState::Absent };
+                    self.edge_state[e.index()] = if exists {
+                        EdgeState::Present
+                    } else {
+                        EdgeState::Absent
+                    };
                     exists
                 }
             };
@@ -213,8 +224,7 @@ mod tests {
 
     /// Triangle 0-1-2 plus pendant 3 attached to 2.
     fn instance() -> AccuInstance {
-        let g =
-            GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 0), (2, 3)]).unwrap();
         AccuInstanceBuilder::new(g)
             .user_class(NodeId::new(3), UserClass::cautious(2))
             .build()
@@ -248,13 +258,19 @@ mod tests {
         let real = all_exists(&inst);
         let mut obs = Observation::for_instance(&inst);
         let revealed = obs.record_acceptance(NodeId::new(2), &inst, &real);
-        assert_eq!(revealed, vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(
+            revealed,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]
+        );
         assert!(obs.is_friend(NodeId::new(2)));
         assert_eq!(obs.mutual_friends(NodeId::new(0)), 1);
         assert_eq!(obs.mutual_friends(NodeId::new(3)), 1);
         assert!(obs.is_friend_of_friend(NodeId::new(3)));
         // All edges incident to 2 revealed; edge (0,1) still unknown.
-        let e01 = inst.graph().edge_id(NodeId::new(0), NodeId::new(1)).unwrap();
+        let e01 = inst
+            .graph()
+            .edge_id(NodeId::new(0), NodeId::new(1))
+            .unwrap();
         assert_eq!(obs.edge_state(e01), EdgeState::Unknown);
     }
 
@@ -276,7 +292,10 @@ mod tests {
     fn missing_edges_recorded_absent() {
         let inst = instance();
         // Only edge (1,2) exists.
-        let e12 = inst.graph().edge_id(NodeId::new(1), NodeId::new(2)).unwrap();
+        let e12 = inst
+            .graph()
+            .edge_id(NodeId::new(1), NodeId::new(2))
+            .unwrap();
         let mut exists = vec![false; inst.graph().edge_count()];
         exists[e12.index()] = true;
         let real = Realization::from_parts(&inst, exists, vec![true; 4]).unwrap();
@@ -285,7 +304,10 @@ mod tests {
         assert_eq!(revealed, vec![NodeId::new(1)]);
         assert_eq!(obs.mutual_friends(NodeId::new(0)), 0);
         assert_eq!(obs.mutual_friends(NodeId::new(3)), 0);
-        let e02 = inst.graph().edge_id(NodeId::new(0), NodeId::new(2)).unwrap();
+        let e02 = inst
+            .graph()
+            .edge_id(NodeId::new(0), NodeId::new(2))
+            .unwrap();
         assert_eq!(obs.edge_state(e02), EdgeState::Absent);
     }
 

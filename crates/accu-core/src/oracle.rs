@@ -32,7 +32,11 @@ impl BenefitState {
         let benefits = instance.benefits();
         let mut gain = MarginalGain::default();
         let own = benefits.friend(u)
-            - if self.is_friend_of_friend(u) { benefits.friend_of_friend(u) } else { 0.0 };
+            - if self.is_friend_of_friend(u) {
+                benefits.friend_of_friend(u)
+            } else {
+                0.0
+            };
         if instance.is_cautious(u) {
             gain.from_cautious += own;
         } else {
@@ -149,7 +153,10 @@ mod tests {
         // Every reckless user rejects.
         let real = Realization::from_parts(&inst, vec![true; 3], vec![false; 4]).unwrap();
         let out = run_omniscient_greedy(&inst, &real, 4);
-        assert!(out.trace.is_empty(), "no acceptor exists, so no request is worth sending");
+        assert!(
+            out.trace.is_empty(),
+            "no acceptor exists, so no request is worth sending"
+        );
         assert_eq!(out.total_benefit, 0.0);
     }
 
@@ -174,7 +181,9 @@ mod tests {
         for i in 0..80usize {
             let v = NodeId::from(i);
             builder = if i % 13 == 5 {
-                builder.user_class(v, UserClass::cautious(2)).benefits(v, 50.0, 1.0)
+                builder
+                    .user_class(v, UserClass::cautious(2))
+                    .benefits(v, 50.0, 1.0)
             } else {
                 builder.user_class(v, UserClass::reckless(rng.gen_range(0.1..1.0)))
             };

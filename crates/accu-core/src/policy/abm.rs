@@ -3,9 +3,57 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use accu_telemetry::{CounterHandle, Recorder};
 use osn_graph::NodeId;
 
 use crate::{AttackerView, Policy};
+
+/// Well-known ABM metric names (see [`Abm::attach_recorder`]).
+pub mod abm_metrics {
+    /// Entries pushed onto the lazy max-heap (resets + rescores).
+    pub const HEAP_PUSH: &str = "abm.heap_push";
+    /// Entries popped off the heap during `select`.
+    pub const HEAP_POP: &str = "abm.heap_pop";
+    /// Popped entries skipped because a fresher potential was cached
+    /// (the lazy-reevaluation miss path).
+    pub const STALE_SKIP: &str = "abm.stale_skip";
+    /// Popped entries skipped because the node was already requested.
+    pub const REQUESTED_SKIP: &str = "abm.requested_skip";
+    /// `select` calls that returned a target (= fresh pops; the
+    /// lazy-reevaluation hit rate is `selects / heap_pop`).
+    pub const SELECTS: &str = "abm.selects";
+    /// Candidate potential re-evaluations triggered by observations.
+    pub const RESCORES: &str = "abm.rescores";
+    /// Rescores whose potential actually changed (and were re-pushed).
+    pub const RESCORES_CHANGED: &str = "abm.rescores_changed";
+}
+
+/// Pre-fetched counter handles for the ABM hot paths; all no-ops until
+/// a recorder is attached.
+#[derive(Debug, Clone, Default)]
+struct AbmTelemetry {
+    heap_push: CounterHandle,
+    heap_pop: CounterHandle,
+    stale_skip: CounterHandle,
+    requested_skip: CounterHandle,
+    selects: CounterHandle,
+    rescores: CounterHandle,
+    rescores_changed: CounterHandle,
+}
+
+impl AbmTelemetry {
+    fn new(recorder: &Recorder) -> Self {
+        AbmTelemetry {
+            heap_push: recorder.counter(abm_metrics::HEAP_PUSH),
+            heap_pop: recorder.counter(abm_metrics::HEAP_POP),
+            stale_skip: recorder.counter(abm_metrics::STALE_SKIP),
+            requested_skip: recorder.counter(abm_metrics::REQUESTED_SKIP),
+            selects: recorder.counter(abm_metrics::SELECTS),
+            rescores: recorder.counter(abm_metrics::RESCORES),
+            rescores_changed: recorder.counter(abm_metrics::RESCORES_CHANGED),
+        }
+    }
+}
 
 /// The tunable weights of the ABM potential function
 /// `P(u|ω) = q(u)·(w_D·P_D + w_I·P_I)`.
@@ -32,7 +80,10 @@ pub struct AbmWeights {
 impl AbmWeights {
     /// Creates weights `(w_D, w_I)`. Negative values are clamped to 0.
     pub fn new(direct: f64, indirect: f64) -> Self {
-        AbmWeights { direct: direct.max(0.0), indirect: indirect.max(0.0) }
+        AbmWeights {
+            direct: direct.max(0.0),
+            indirect: indirect.max(0.0),
+        }
     }
 
     /// The paper's default for the main comparison: `w_D = w_I = 0.5`.
@@ -125,6 +176,7 @@ pub struct Abm {
     name: String,
     potential: Vec<f64>,
     heap: BinaryHeap<HeapEntry>,
+    tel: AbmTelemetry,
 }
 
 impl Abm {
@@ -135,7 +187,29 @@ impl Abm {
 
     /// Creates an ABM policy with a custom display name.
     pub fn with_name(weights: AbmWeights, name: impl Into<String>) -> Self {
-        Abm { weights, name: name.into(), potential: Vec::new(), heap: BinaryHeap::new() }
+        Abm {
+            weights,
+            name: name.into(),
+            potential: Vec::new(),
+            heap: BinaryHeap::new(),
+            tel: AbmTelemetry::default(),
+        }
+    }
+
+    /// Creates an ABM policy reporting heap and rescore telemetry into
+    /// `recorder` under the [`abm_metrics`] names.
+    pub fn with_recorder(weights: AbmWeights, recorder: &Recorder) -> Self {
+        let mut abm = Abm::new(weights);
+        abm.attach_recorder(recorder);
+        abm
+    }
+
+    /// Attaches a recorder: subsequent heap pushes/pops, lazy stale
+    /// skips and rescores are counted under the [`abm_metrics`] names.
+    /// Attaching a disabled recorder restores the zero-cost no-op
+    /// handles.
+    pub fn attach_recorder(&mut self, recorder: &Recorder) {
+        self.tel = AbmTelemetry::new(recorder);
     }
 
     /// The configured weights.
@@ -154,10 +228,16 @@ impl Abm {
         if view.observation().was_requested(u) {
             return;
         }
+        self.tel.rescores.incr();
         let p = potential(view, u, self.weights);
         if p != self.potential[u.index()] {
             self.potential[u.index()] = p;
-            self.heap.push(HeapEntry { potential: p, node: u });
+            self.heap.push(HeapEntry {
+                potential: p,
+                node: u,
+            });
+            self.tel.rescores_changed.incr();
+            self.tel.heap_push.incr();
         }
     }
 }
@@ -172,7 +252,11 @@ fn potential(view: &AttackerView<'_>, u: NodeId, w: AbmWeights) -> f64 {
         return 0.0;
     }
     let mut direct = benefits.friend(u)
-        - if obs.is_friend_of_friend(u) { benefits.friend_of_friend(u) } else { 0.0 };
+        - if obs.is_friend_of_friend(u) {
+            benefits.friend_of_friend(u)
+        } else {
+            0.0
+        };
     let mut indirect = 0.0;
     for (v, e) in inst.graph().neighbor_entries(u) {
         if obs.is_friend(v) {
@@ -215,19 +299,27 @@ impl Policy for Abm {
         for u in view.candidates() {
             let p = potential(view, u, self.weights);
             self.potential[u.index()] = p;
-            self.heap.push(HeapEntry { potential: p, node: u });
+            self.heap.push(HeapEntry {
+                potential: p,
+                node: u,
+            });
         }
+        self.tel.heap_push.add(self.heap.len() as u64);
     }
 
     fn select(&mut self, view: &AttackerView<'_>) -> Option<NodeId> {
         let obs = view.observation();
         while let Some(entry) = self.heap.pop() {
+            self.tel.heap_pop.incr();
             if obs.was_requested(entry.node) {
+                self.tel.requested_skip.incr();
                 continue; // no longer a candidate
             }
             if entry.potential != self.potential[entry.node.index()] {
+                self.tel.stale_skip.incr();
                 continue; // stale entry; a fresher one is in the heap
             }
+            self.tel.selects.incr();
             return Some(entry.node);
         }
         None
@@ -245,8 +337,7 @@ impl Policy for Abm {
             // its graph neighbors must be rescored. Rejected reckless
             // users change nothing beyond leaving the candidate set.
             if view.instance().is_cautious(target) && self.weights.indirect() > 0.0 {
-                let neighbors: Vec<NodeId> =
-                    view.graph().neighbors(target).to_vec();
+                let neighbors: Vec<NodeId> = view.graph().neighbors(target).to_vec();
                 for x in neighbors {
                     self.rescore(view, x);
                 }
@@ -274,7 +365,7 @@ impl Policy for Abm {
 mod tests {
     use super::*;
     use crate::{
-        run_attack, AccuInstanceBuilder, AccuInstance, Observation, Realization, UserClass,
+        run_attack, AccuInstance, AccuInstanceBuilder, Observation, Realization, UserClass,
     };
     use osn_graph::{GraphBuilder, NodeId};
 
@@ -369,8 +460,9 @@ mod tests {
         let view = AttackerView::new(&inst, &obs);
         // Pure greedy scores 0 higher than 2? P_D(0) = 2 + 1 = 3 < 4.
         let greedy = crate::policy::pure_greedy();
-        assert!(greedy.potential_of(&view, NodeId::new(2))
-            > greedy.potential_of(&view, NodeId::new(0)));
+        assert!(
+            greedy.potential_of(&view, NodeId::new(2)) > greedy.potential_of(&view, NodeId::new(0))
+        );
         // Balanced ABM prefers 0 thanks to indirect gain 99/2... θ=1 → 99.
         let abm = Abm::new(AbmWeights::balanced());
         assert!(abm.potential_of(&view, NodeId::new(0)) > abm.potential_of(&view, NodeId::new(2)));
@@ -433,8 +525,7 @@ mod tests {
                         .user_class(v, UserClass::cautious(rng.gen_range(1..3)))
                         .benefits(v, 50.0, 1.0);
                 } else {
-                    builder =
-                        builder.user_class(v, UserClass::reckless(rng.gen_range(0.1..1.0)));
+                    builder = builder.user_class(v, UserClass::reckless(rng.gen_range(0.1..1.0)));
                 }
             }
             let inst = builder.build().unwrap();
@@ -460,11 +551,73 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counters_are_consistent_with_heap_discipline() {
+        use crate::simulator::sim_metrics;
+        use accu_telemetry::Recorder;
+
+        let inst = star();
+        let real = full(&inst);
+        let recorder = Recorder::enabled();
+        let mut abm = Abm::with_recorder(AbmWeights::balanced(), &recorder);
+        let outcome = crate::run_attack_recorded(&inst, &real, &mut abm, 2, &recorder);
+        assert_eq!(outcome.requests_sent(), 2);
+
+        let snap = recorder.snapshot("abm-test").unwrap();
+        let count = |name: &str| {
+            snap.counter(name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+
+        // Every pop is either a select or one of the two skip kinds.
+        assert_eq!(
+            count(abm_metrics::HEAP_POP),
+            count(abm_metrics::SELECTS)
+                + count(abm_metrics::STALE_SKIP)
+                + count(abm_metrics::REQUESTED_SKIP)
+        );
+        // One select per request actually sent by the simulator.
+        assert_eq!(count(abm_metrics::SELECTS), count(sim_metrics::REQUESTS));
+        assert_eq!(count(abm_metrics::SELECTS), 2);
+        // reset() pushed all four candidates; rescoring only re-pushes
+        // entries whose potential actually changed.
+        assert!(count(abm_metrics::HEAP_PUSH) >= 4);
+        assert_eq!(
+            count(abm_metrics::HEAP_PUSH),
+            4 + count(abm_metrics::RESCORES_CHANGED)
+        );
+        assert!(count(abm_metrics::RESCORES) >= count(abm_metrics::RESCORES_CHANGED));
+    }
+
+    #[test]
+    fn detached_abm_runs_without_recorder() {
+        use accu_telemetry::Recorder;
+        // Default construction must behave identically with the no-op
+        // telemetry handles (covers the disabled fast path).
+        let inst = star();
+        let real = full(&inst);
+        let plain = run_attack(&inst, &real, &mut Abm::new(AbmWeights::balanced()), 2);
+        let recorder = Recorder::disabled();
+        let mut attached = Abm::with_recorder(AbmWeights::balanced(), &recorder);
+        let recorded = crate::run_attack_recorded(&inst, &real, &mut attached, 2, &recorder);
+        assert_eq!(plain.total_benefit, recorded.total_benefit);
+        assert!(recorder.snapshot("none").is_none());
+    }
+
+    #[test]
     fn heap_entry_ordering_breaks_ties_by_id() {
-        let a = HeapEntry { potential: 1.0, node: NodeId::new(2) };
-        let b = HeapEntry { potential: 1.0, node: NodeId::new(1) };
+        let a = HeapEntry {
+            potential: 1.0,
+            node: NodeId::new(2),
+        };
+        let b = HeapEntry {
+            potential: 1.0,
+            node: NodeId::new(1),
+        };
         assert!(b > a);
-        let c = HeapEntry { potential: 2.0, node: NodeId::new(9) };
+        let c = HeapEntry {
+            potential: 2.0,
+            node: NodeId::new(9),
+        };
         assert!(c > b);
     }
 }

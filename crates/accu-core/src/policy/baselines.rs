@@ -67,12 +67,18 @@ pub struct PageRankPolicy {
 impl PageRankPolicy {
     /// Creates a PageRank baseline with the conventional damping 0.85.
     pub fn new() -> Self {
-        PageRankPolicy { config: PageRankConfig::new(), order: Vec::new() }
+        PageRankPolicy {
+            config: PageRankConfig::new(),
+            order: Vec::new(),
+        }
     }
 
     /// Creates a PageRank baseline with a custom configuration.
     pub fn with_config(config: PageRankConfig) -> Self {
-        PageRankPolicy { config, order: Vec::new() }
+        PageRankPolicy {
+            config,
+            order: Vec::new(),
+        }
     }
 }
 
@@ -124,7 +130,11 @@ pub struct Random {
 impl Random {
     /// Creates a random baseline with the given base seed.
     pub fn new(seed: u64) -> Self {
-        Random { seed, episode: 0, rng: SmallRng::seed_from_u64(seed) }
+        Random {
+            seed,
+            episode: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -136,7 +146,10 @@ impl Policy for Random {
     fn reset(&mut self, _view: &AttackerView<'_>) {
         self.episode += 1;
         // Split off an independent per-episode stream.
-        self.rng = SmallRng::seed_from_u64(self.seed.wrapping_add(self.episode.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        self.rng = SmallRng::seed_from_u64(
+            self.seed
+                .wrapping_add(self.episode.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
     }
 
     fn select(&mut self, view: &AttackerView<'_>) -> Option<NodeId> {

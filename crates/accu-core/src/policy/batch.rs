@@ -9,8 +9,8 @@
 use osn_graph::NodeId;
 
 use crate::{
-    AttackerView, BenefitState, MarginalGain, Observation, Realization, AccuInstance,
     policy::{Abm, AbmWeights},
+    AccuInstance, AttackerView, BenefitState, MarginalGain, Observation, Realization,
 };
 
 /// Outcome of a batched ABM attack.
@@ -69,7 +69,11 @@ pub fn run_batched_abm(
                 .map(|u| (scorer.potential_of(&view, u), u))
                 .collect();
             scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-            scored.into_iter().take(round_size).map(|(_, u)| u).collect()
+            scored
+                .into_iter()
+                .take(round_size)
+                .map(|(_, u)| u)
+                .collect()
         };
         if batch.is_empty() {
             break;

@@ -51,7 +51,10 @@ pub struct CentralityPolicy {
 impl CentralityPolicy {
     /// Creates a centrality-ranked baseline.
     pub fn new(kind: CentralityKind) -> Self {
-        CentralityPolicy { kind, order: Vec::new() }
+        CentralityPolicy {
+            kind,
+            order: Vec::new(),
+        }
     }
 
     /// The configured centrality measure.
@@ -102,11 +105,8 @@ mod tests {
     /// Barbell: two triangles bridged through node 2 — 2 has the top
     /// betweenness but not the top degree.
     fn barbell() -> AccuInstance {
-        let g = GraphBuilder::from_edges(
-            5,
-            [(0u32, 1u32), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4)],
-        )
-        .unwrap();
+        let g = GraphBuilder::from_edges(5, [(0u32, 1u32), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4)])
+            .unwrap();
         AccuInstanceBuilder::new(g).build().unwrap()
     }
 

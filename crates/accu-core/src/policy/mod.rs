@@ -13,7 +13,7 @@ mod centrality;
 mod multi_bot;
 mod snowball;
 
-pub use abm::{Abm, AbmWeights};
+pub use abm::{abm_metrics, Abm, AbmWeights};
 pub use baselines::{MaxDegree, PageRankPolicy, Random};
 pub use batch::{run_batched_abm, BatchOutcome};
 pub use centrality::{CentralityKind, CentralityPolicy};

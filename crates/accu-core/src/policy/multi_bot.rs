@@ -12,8 +12,8 @@
 use osn_graph::NodeId;
 
 use crate::{
-    AccuInstance, AttackerView, BenefitState, MarginalGain, Observation, Realization,
     policy::{Abm, AbmWeights},
+    AccuInstance, AttackerView, BenefitState, MarginalGain, Observation, Realization,
 };
 
 /// Configuration of a multi-bot campaign.
@@ -85,8 +85,9 @@ pub fn run_multi_bot_abm(
 ) -> MultiBotOutcome {
     assert!(config.bots > 0, "need at least one bot");
     let scorer = Abm::new(config.weights);
-    let mut observations: Vec<Observation> =
-        (0..config.bots).map(|_| Observation::for_instance(instance)).collect();
+    let mut observations: Vec<Observation> = (0..config.bots)
+        .map(|_| Observation::for_instance(instance))
+        .collect();
     let mut budgets = vec![config.per_bot_budget; config.bots];
     // Union-level benefit state: who is a friend/fof of *some* bot.
     let mut union_benefit = BenefitState::new(instance);
@@ -105,15 +106,13 @@ pub fn run_multi_bot_abm(
                     // Another bot already collects B_f(u); only the
                     // indirect (mutual-count) value remains. Penalize by
                     // the direct component: rescore with w_D = 0.
-                    let indirect_only =
-                        Abm::new(AbmWeights::new(0.0, config.weights.indirect()));
+                    let indirect_only = Abm::new(AbmWeights::new(0.0, config.weights.indirect()));
                     p = indirect_only.potential_of(&view, u);
                 }
                 let better = match best {
                     None => true,
                     Some((bp, bb, bu)) => {
-                        p > bp + 1e-12
-                            || (p >= bp - 1e-12 && (b, u.index()) < (bb, bu.index()))
+                        p > bp + 1e-12 || (p >= bp - 1e-12 && (b, u.index()) < (bb, bu.index()))
                     }
                 };
                 if better {
@@ -123,8 +122,7 @@ pub fn run_multi_bot_abm(
         }
         let Some((_, bot, target)) = best else { break };
         budgets[bot] -= 1;
-        let accepted =
-            crate::resolve_acceptance(instance, &observations[bot], realization, target);
+        let accepted = crate::resolve_acceptance(instance, &observations[bot], realization, target);
         let gain = if accepted {
             observations[bot].record_acceptance(target, instance, realization);
             if union_benefit.is_friend(target) {
@@ -136,7 +134,12 @@ pub fn run_multi_bot_abm(
             observations[bot].record_rejection(target);
             MarginalGain::default()
         };
-        trace.push(BotRequest { bot, target, accepted, gain });
+        trace.push(BotRequest {
+            bot,
+            target,
+            accepted,
+            gain,
+        });
     }
     MultiBotOutcome {
         total_benefit: union_benefit.total(),
@@ -155,11 +158,8 @@ mod tests {
 
     /// Star with a cautious leaf needing two mutual friends.
     fn instance() -> AccuInstance {
-        let g = GraphBuilder::from_edges(
-            5,
-            [(0u32, 1u32), (0, 2), (0, 3), (4, 1), (4, 2)],
-        )
-        .unwrap();
+        let g =
+            GraphBuilder::from_edges(5, [(0u32, 1u32), (0, 2), (0, 3), (4, 1), (4, 2)]).unwrap();
         AccuInstanceBuilder::new(g)
             .user_class(NodeId::new(4), UserClass::cautious(2))
             .benefits(NodeId::new(4), 50.0, 1.0)
@@ -180,7 +180,11 @@ mod tests {
     fn single_bot_matches_sequential_abm() {
         let inst = instance();
         let real = full(&inst);
-        let cfg = MultiBotConfig { bots: 1, per_bot_budget: 5, weights: AbmWeights::balanced() };
+        let cfg = MultiBotConfig {
+            bots: 1,
+            per_bot_budget: 5,
+            weights: AbmWeights::balanced(),
+        };
         let multi = run_multi_bot_abm(&inst, &real, cfg);
         let mut abm = Abm::new(AbmWeights::balanced());
         let single = run_attack(&inst, &real, &mut abm, 5);
@@ -195,7 +199,11 @@ mod tests {
     fn budgets_are_respected_per_bot() {
         let inst = instance();
         let real = full(&inst);
-        let cfg = MultiBotConfig { bots: 2, per_bot_budget: 2, weights: AbmWeights::balanced() };
+        let cfg = MultiBotConfig {
+            bots: 2,
+            per_bot_budget: 2,
+            weights: AbmWeights::balanced(),
+        };
         assert_eq!(cfg.total_budget(), 4);
         let out = run_multi_bot_abm(&inst, &real, cfg);
         assert_eq!(out.trace.len(), 4);
@@ -215,12 +223,20 @@ mod tests {
         let one = run_multi_bot_abm(
             &inst,
             &real,
-            MultiBotConfig { bots: 1, per_bot_budget: 3, weights: AbmWeights::balanced() },
+            MultiBotConfig {
+                bots: 1,
+                per_bot_budget: 3,
+                weights: AbmWeights::balanced(),
+            },
         );
         let split = run_multi_bot_abm(
             &inst,
             &real,
-            MultiBotConfig { bots: 3, per_bot_budget: 1, weights: AbmWeights::balanced() },
+            MultiBotConfig {
+                bots: 3,
+                per_bot_budget: 1,
+                weights: AbmWeights::balanced(),
+            },
         );
         assert_eq!(one.cautious_compromised, 1, "{:?}", one.trace);
         assert_eq!(split.cautious_compromised, 0);
@@ -231,7 +247,11 @@ mod tests {
     fn union_benefit_counts_each_user_once() {
         let inst = instance();
         let real = full(&inst);
-        let cfg = MultiBotConfig { bots: 2, per_bot_budget: 5, weights: AbmWeights::balanced() };
+        let cfg = MultiBotConfig {
+            bots: 2,
+            per_bot_budget: 5,
+            weights: AbmWeights::balanced(),
+        };
         let out = run_multi_bot_abm(&inst, &real, cfg);
         // Benefit equals a from-scratch evaluation of the distinct
         // friend union.
@@ -250,7 +270,11 @@ mod tests {
         run_multi_bot_abm(
             &inst,
             &real,
-            MultiBotConfig { bots: 0, per_bot_budget: 1, weights: AbmWeights::balanced() },
+            MultiBotConfig {
+                bots: 0,
+                per_bot_budget: 1,
+                weights: AbmWeights::balanced(),
+            },
         );
     }
 

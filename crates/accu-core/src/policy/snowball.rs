@@ -39,7 +39,11 @@ impl Snowball {
     /// Creates a snowball attacker with the given base seed (for the
     /// random-stranger fallback).
     pub fn new(seed: u64) -> Self {
-        Snowball { seed, episode: 0, rng: SmallRng::seed_from_u64(seed) }
+        Snowball {
+            seed,
+            episode: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -50,9 +54,8 @@ impl Policy for Snowball {
 
     fn reset(&mut self, _view: &AttackerView<'_>) {
         self.episode += 1;
-        self.rng = SmallRng::seed_from_u64(
-            self.seed ^ self.episode.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        self.rng =
+            SmallRng::seed_from_u64(self.seed ^ self.episode.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     }
 
     fn select(&mut self, view: &AttackerView<'_>) -> Option<NodeId> {
@@ -84,11 +87,8 @@ mod tests {
 
     /// Two triangles joined at node 2; node 5 isolated.
     fn instance() -> AccuInstance {
-        let g = GraphBuilder::from_edges(
-            6,
-            [(0u32, 1u32), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4)],
-        )
-        .unwrap();
+        let g = GraphBuilder::from_edges(6, [(0u32, 1u32), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4)])
+            .unwrap();
         AccuInstanceBuilder::new(g).build().unwrap()
     }
 
@@ -149,6 +149,9 @@ mod tests {
         let mut p = Snowball::new(1);
         let out = run_attack(&inst, &real, &mut p, 3);
         let wasted = out.trace.iter().filter(|r| !r.accepted).count();
-        assert!(wasted >= 1, "the blind attacker should waste a request on the gated user");
+        assert!(
+            wasted >= 1,
+            "the blind attacker should waste a request on the gated user"
+        );
     }
 }

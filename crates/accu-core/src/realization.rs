@@ -98,14 +98,20 @@ impl Realization {
             .iter()
             .enumerate()
             .map(|(i, &a)| {
-                !matches!(instance.user_class(NodeId::from(i)), UserClass::Cautious { .. }) && a
+                !matches!(
+                    instance.user_class(NodeId::from(i)),
+                    UserClass::Cautious { .. }
+                ) && a
             })
             .collect();
         let high: Vec<bool> = accepts
             .iter()
             .enumerate()
             .map(|(i, &a)| {
-                matches!(instance.user_class(NodeId::from(i)), UserClass::Cautious { .. }) || a
+                matches!(
+                    instance.user_class(NodeId::from(i)),
+                    UserClass::Cautious { .. }
+                ) || a
             })
             .collect();
         Self::from_parts_full(instance, edge_exists, low, high)
@@ -141,9 +147,10 @@ impl Realization {
                 actual: edge_exists.len(),
             });
         }
-        for (what, v) in [("below-threshold outcomes", &accept_low),
-            ("at-threshold outcomes", &accept_high)]
-        {
+        for (what, v) in [
+            ("below-threshold outcomes", &accept_low),
+            ("at-threshold outcomes", &accept_high),
+        ] {
             if v.len() != instance.node_count() {
                 return Err(AccuError::LengthMismatch {
                     what,
@@ -154,8 +161,9 @@ impl Realization {
         }
         let mut draw = Vec::with_capacity(accept_low.len());
         for i in 0..accept_low.len() {
-            let (min_level, max_level) =
-                instance.user_class(NodeId::from(i)).acceptance_probabilities();
+            let (min_level, max_level) = instance
+                .user_class(NodeId::from(i))
+                .acceptance_probabilities();
             draw.push(match (accept_low[i], accept_high[i]) {
                 (true, false) => {
                     return Err(AccuError::InvalidProbability {
@@ -332,8 +340,8 @@ mod tests {
         let inst = two_path_instance(0.5, 0.5);
         assert!(Realization::from_parts(&inst, vec![true], vec![false; 3]).is_err());
         assert!(Realization::from_parts(&inst, vec![true; 2], vec![false]).is_err());
-        let r = Realization::from_parts(&inst, vec![true, false], vec![true, false, false])
-            .unwrap();
+        let r =
+            Realization::from_parts(&inst, vec![true, false], vec![true, false, false]).unwrap();
         assert!(r.edge_exists(EdgeId::new(0)));
         assert!(!r.edge_exists(EdgeId::new(1)));
         assert!(r.accepts_at(&inst, NodeId::new(0), 0));
@@ -357,8 +365,7 @@ mod tests {
     fn forced_zero_probability_outcomes_are_representable() {
         // Reckless q = 1 forced to reject: allowed, with probability 0.
         let inst = two_path_instance(1.0, 1.0);
-        let r = Realization::from_parts(&inst, vec![true; 2], vec![false, true, true])
-            .unwrap();
+        let r = Realization::from_parts(&inst, vec![true; 2], vec![false, true, true]).unwrap();
         assert!(!r.accepts_at(&inst, NodeId::new(0), 5));
         assert_eq!(r.probability(&inst), 0.0);
     }
@@ -377,13 +384,12 @@ mod tests {
     fn probability_is_product_of_marginals() {
         let inst = two_path_instance(0.25, 0.5);
         // Both edges exist, both reckless accept:
-        let r = Realization::from_parts(&inst, vec![true, true], vec![true, true, false])
-            .unwrap();
+        let r = Realization::from_parts(&inst, vec![true, true], vec![true, true, false]).unwrap();
         // 0.25 * 0.25 * 0.5 * 0.5 (cautious user contributes factor 1)
         assert!((r.probability(&inst) - 0.015625).abs() < 1e-12);
         // Opposite outcomes:
-        let r = Realization::from_parts(&inst, vec![false, false], vec![false, false, false])
-            .unwrap();
+        let r =
+            Realization::from_parts(&inst, vec![false, false], vec![false, false, false]).unwrap();
         assert!((r.probability(&inst) - 0.75 * 0.75 * 0.25).abs() < 1e-12);
     }
 
@@ -399,8 +405,10 @@ mod tests {
         let (mut both, mut high_only, mut neither) = (0usize, 0usize, 0usize);
         for _ in 0..trials {
             let r = Realization::sample(&inst, &mut rng);
-            match (r.accepts_at(&inst, NodeId::new(0), 0), r.accepts_at(&inst, NodeId::new(0), 1))
-            {
+            match (
+                r.accepts_at(&inst, NodeId::new(0), 0),
+                r.accepts_at(&inst, NodeId::new(0), 1),
+            ) {
                 (true, true) => both += 1,
                 (false, true) => high_only += 1,
                 (false, false) => neither += 1,
@@ -409,7 +417,11 @@ mod tests {
         }
         let f = |c: usize| c as f64 / trials as f64;
         assert!((f(both) - 0.2).abs() < 0.02, "P(1,1) = {}", f(both));
-        assert!((f(high_only) - 0.5).abs() < 0.02, "P(0,1) = {}", f(high_only));
+        assert!(
+            (f(high_only) - 0.5).abs() < 0.02,
+            "P(0,1) = {}",
+            f(high_only)
+        );
         assert!((f(neither) - 0.3).abs() < 0.02, "P(0,0) = {}", f(neither));
     }
 
@@ -433,24 +445,25 @@ mod tests {
     #[test]
     fn linear_acceptance_rises_with_mutual_friends() {
         // q(m) = min(1, 0.2 + 0.3·m) on a degree-3 user.
-        let g =
-            GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3)]).unwrap();
         let inst = AccuInstanceBuilder::new(g)
             .user_class(NodeId::new(0), UserClass::mutual_linear(0.2, 0.3))
             .build()
             .unwrap();
         // Pick a draw in [0.5, 0.8): rejects at m ≤ 1, accepts at m ≥ 2.
-        let mut real =
-            Realization::from_parts(&inst, vec![true; 3], vec![true; 4]).unwrap();
+        let mut real = Realization::from_parts(&inst, vec![true; 3], vec![true; 4]).unwrap();
         real.draw[0] = 0.6;
         assert!(!real.accepts_at(&inst, NodeId::new(0), 0)); // q = 0.2
         assert!(!real.accepts_at(&inst, NodeId::new(0), 1)); // q = 0.5
         assert!(real.accepts_at(&inst, NodeId::new(0), 2)); // q = 0.8
         assert!(real.accepts_at(&inst, NodeId::new(0), 3)); // q = 1 (capped)
-        // Its band is [0.5, 0.8) → mass 0.3.
+                                                            // Its band is [0.5, 0.8) → mass 0.3.
         assert!((real.probability(&inst) - 0.3).abs() < 1e-12);
         // Cut points over mutual 0..=3: {0.2, 0.5, 0.8}.
-        assert_eq!(Realization::acceptance_cuts(&inst, NodeId::new(0)), vec![0.2, 0.5, 0.8]);
+        assert_eq!(
+            Realization::acceptance_cuts(&inst, NodeId::new(0)),
+            vec![0.2, 0.5, 0.8]
+        );
     }
 
     #[test]

@@ -6,11 +6,69 @@
 //! cautious users), updates the observation and benefit state, and
 //! notifies the policy.
 
+use accu_telemetry::{CounterHandle, HistogramHandle, Recorder};
 use osn_graph::NodeId;
 
 use crate::{
     AccuInstance, AttackerView, BenefitState, MarginalGain, Observation, Policy, Realization,
 };
+
+/// Well-known simulator metric names (see [`run_attack_recorded`]).
+pub mod sim_metrics {
+    /// Episodes simulated.
+    pub const EPISODES: &str = "sim.episodes";
+    /// Requests sent (= trace length summed over episodes).
+    pub const REQUESTS: &str = "sim.requests";
+    /// Requests accepted.
+    pub const ACCEPTED: &str = "sim.accepted";
+    /// Requests rejected.
+    pub const REJECTED: &str = "sim.rejected";
+    /// Requests sent to cautious users.
+    pub const CAUTIOUS_REQUESTS: &str = "sim.cautious_requests";
+    /// Cautious users that accepted (the "cautious hit" counter).
+    pub const CAUTIOUS_ACCEPTED: &str = "sim.cautious_accepted";
+    /// Wall-clock nanoseconds spent in `Policy::select` per request.
+    pub const SELECT_NS: &str = "sim.select_ns";
+    /// Wall-clock nanoseconds resolving a request (acceptance draw,
+    /// observation and benefit update) per request.
+    pub const RESOLVE_NS: &str = "sim.resolve_ns";
+    /// Wall-clock nanoseconds spent in `Policy::observe` per request.
+    pub const NOTIFY_NS: &str = "sim.notify_ns";
+    /// Wall-clock nanoseconds per full episode.
+    pub const EPISODE_NS: &str = "sim.episode_ns";
+}
+
+/// Pre-fetched handles for the simulator's metrics; all no-ops when the
+/// recorder is disabled.
+struct SimTelemetry {
+    episodes: CounterHandle,
+    requests: CounterHandle,
+    accepted: CounterHandle,
+    rejected: CounterHandle,
+    cautious_requests: CounterHandle,
+    cautious_accepted: CounterHandle,
+    select_ns: HistogramHandle,
+    resolve_ns: HistogramHandle,
+    notify_ns: HistogramHandle,
+    episode_ns: HistogramHandle,
+}
+
+impl SimTelemetry {
+    fn new(recorder: &Recorder) -> Self {
+        SimTelemetry {
+            episodes: recorder.counter(sim_metrics::EPISODES),
+            requests: recorder.counter(sim_metrics::REQUESTS),
+            accepted: recorder.counter(sim_metrics::ACCEPTED),
+            rejected: recorder.counter(sim_metrics::REJECTED),
+            cautious_requests: recorder.counter(sim_metrics::CAUTIOUS_REQUESTS),
+            cautious_accepted: recorder.counter(sim_metrics::CAUTIOUS_ACCEPTED),
+            select_ns: recorder.histogram(sim_metrics::SELECT_NS),
+            resolve_ns: recorder.histogram(sim_metrics::RESOLVE_NS),
+            notify_ns: recorder.histogram(sim_metrics::NOTIFY_NS),
+            episode_ns: recorder.histogram(sim_metrics::EPISODE_NS),
+        }
+    }
+}
 
 /// One request in an attack trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,12 +149,59 @@ pub fn run_attack(
     policy: &mut dyn Policy,
     k: usize,
 ) -> AttackOutcome {
-    let mut observation = Observation::for_instance(instance);
-    let mut benefit = BenefitState::new(instance);
-    policy.reset(&AttackerView::new(instance, &observation));
+    attack_core(
+        instance,
+        instance,
+        realization,
+        policy,
+        k,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`run_attack`] with telemetry: per-request select/resolve/notify
+/// span timing and request/acceptance/cautious-hit counters recorded
+/// into `recorder` under the [`sim_metrics`] names.
+///
+/// With a disabled recorder this is exactly [`run_attack`]: every
+/// metric handle is a no-op and the clock is never read.
+///
+/// # Panics
+///
+/// Panics if the policy selects an already-requested node.
+pub fn run_attack_recorded(
+    instance: &AccuInstance,
+    realization: &Realization,
+    policy: &mut dyn Policy,
+    k: usize,
+    recorder: &Recorder,
+) -> AttackOutcome {
+    attack_core(instance, instance, realization, policy, k, recorder)
+}
+
+/// The shared attack loop: the policy sees `believed`, requests resolve
+/// and benefit accrues on `truth` (the two are the same instance for
+/// the plain attack).
+fn attack_core(
+    truth: &AccuInstance,
+    believed: &AccuInstance,
+    realization: &Realization,
+    policy: &mut dyn Policy,
+    k: usize,
+    recorder: &Recorder,
+) -> AttackOutcome {
+    let tel = SimTelemetry::new(recorder);
+    let episode_span = tel.episode_ns.span();
+    let mut observation = Observation::for_instance(truth);
+    let mut benefit = BenefitState::new(truth);
+    policy.reset(&AttackerView::new(believed, &observation));
     let mut trace = Vec::with_capacity(k);
     for step in 0..k {
-        let target = match policy.select(&AttackerView::new(instance, &observation)) {
+        let selected = {
+            let _span = tel.select_ns.span();
+            policy.select(&AttackerView::new(believed, &observation))
+        };
+        let target = match selected {
             Some(t) => t,
             None => break,
         };
@@ -105,29 +210,49 @@ pub fn run_attack(
             "policy {} re-selected node {target}",
             policy.name()
         );
-        let accepted = resolve_acceptance(instance, &observation, realization, target);
+        let resolve_span = tel.resolve_ns.span();
+        let accepted = resolve_acceptance(truth, &observation, realization, target);
         let (gain, newly_revealed) = if accepted {
-            let revealed = observation.record_acceptance(target, instance, realization);
-            (benefit.add_friend(instance, realization, target), revealed)
+            let revealed = observation.record_acceptance(target, truth, realization);
+            (benefit.add_friend(truth, realization, target), revealed)
         } else {
             observation.record_rejection(target);
             (MarginalGain::default(), Vec::new())
         };
+        resolve_span.finish();
+        let cautious = truth.is_cautious(target);
+        tel.requests.incr();
+        if cautious {
+            tel.cautious_requests.incr();
+        }
+        if accepted {
+            tel.accepted.incr();
+            if cautious {
+                tel.cautious_accepted.incr();
+            }
+        } else {
+            tel.rejected.incr();
+        }
         trace.push(RequestRecord {
             step,
             target,
-            cautious: instance.is_cautious(target),
+            cautious,
             accepted,
             gain,
             cumulative_benefit: benefit.total(),
         });
-        policy.observe(
-            &AttackerView::new(instance, &observation),
-            target,
-            accepted,
-            &newly_revealed,
-        );
+        {
+            let _span = tel.notify_ns.span();
+            policy.observe(
+                &AttackerView::new(believed, &observation),
+                target,
+                accepted,
+                &newly_revealed,
+            );
+        }
     }
+    tel.episodes.incr();
+    episode_span.finish();
     AttackOutcome {
         trace,
         total_benefit: benefit.total(),
@@ -155,54 +280,37 @@ pub fn run_attack_with_beliefs(
     policy: &mut dyn Policy,
     k: usize,
 ) -> AttackOutcome {
+    run_attack_with_beliefs_recorded(
+        truth,
+        believed,
+        realization,
+        policy,
+        k,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`run_attack_with_beliefs`] with telemetry recorded into `recorder`
+/// under the [`sim_metrics`] names.
+///
+/// # Panics
+///
+/// Panics if the graphs differ, or the policy selects an
+/// already-requested node.
+pub fn run_attack_with_beliefs_recorded(
+    truth: &AccuInstance,
+    believed: &AccuInstance,
+    realization: &Realization,
+    policy: &mut dyn Policy,
+    k: usize,
+    recorder: &Recorder,
+) -> AttackOutcome {
     assert_eq!(
         truth.graph(),
         believed.graph(),
         "truth and believed instances must share a topology"
     );
-    let mut observation = Observation::for_instance(truth);
-    let mut benefit = BenefitState::new(truth);
-    policy.reset(&AttackerView::new(believed, &observation));
-    let mut trace = Vec::with_capacity(k);
-    for step in 0..k {
-        let target = match policy.select(&AttackerView::new(believed, &observation)) {
-            Some(t) => t,
-            None => break,
-        };
-        assert!(
-            !observation.was_requested(target),
-            "policy {} re-selected node {target}",
-            policy.name()
-        );
-        let accepted = resolve_acceptance(truth, &observation, realization, target);
-        let (gain, newly_revealed) = if accepted {
-            let revealed = observation.record_acceptance(target, truth, realization);
-            (benefit.add_friend(truth, realization, target), revealed)
-        } else {
-            observation.record_rejection(target);
-            (MarginalGain::default(), Vec::new())
-        };
-        trace.push(RequestRecord {
-            step,
-            target,
-            cautious: truth.is_cautious(target),
-            accepted,
-            gain,
-            cumulative_benefit: benefit.total(),
-        });
-        policy.observe(
-            &AttackerView::new(believed, &observation),
-            target,
-            accepted,
-            &newly_revealed,
-        );
-    }
-    AttackOutcome {
-        trace,
-        total_benefit: benefit.total(),
-        friends: observation.friends().to_vec(),
-        cautious_friends: benefit.cautious_friend_count(),
-    }
+    attack_core(truth, believed, realization, policy, k, recorder)
 }
 
 #[cfg(test)]
@@ -327,14 +435,78 @@ mod tests {
     #[should_panic(expected = "share a topology")]
     fn mismatched_topologies_panic() {
         let inst = path_instance();
-        let other = AccuInstanceBuilder::new(
-            GraphBuilder::from_edges(3, [(0u32, 1u32)]).unwrap(),
-        )
-        .build()
-        .unwrap();
+        let other = AccuInstanceBuilder::new(GraphBuilder::from_edges(3, [(0u32, 1u32)]).unwrap())
+            .build()
+            .unwrap();
         let real = full(&inst);
         let mut abm = Abm::new(AbmWeights::balanced());
         run_attack_with_beliefs(&inst, &other, &real, &mut abm, 1);
+    }
+
+    #[test]
+    fn recorded_attack_matches_plain_and_counts_every_request() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let rec = Recorder::enabled();
+        let plain = run_attack(&inst, &real, &mut Abm::new(AbmWeights::balanced()), 3);
+        let recorded =
+            run_attack_recorded(&inst, &real, &mut Abm::new(AbmWeights::balanced()), 3, &rec);
+        assert_eq!(plain, recorded, "telemetry must not change behavior");
+        let snap = rec.snapshot("test").unwrap();
+        assert_eq!(snap.counter(sim_metrics::EPISODES), Some(1));
+        assert_eq!(snap.counter(sim_metrics::REQUESTS), Some(3));
+        assert_eq!(
+            snap.counter(sim_metrics::ACCEPTED),
+            Some(recorded.friends.len() as u64)
+        );
+        assert_eq!(
+            snap.counter(sim_metrics::REJECTED).unwrap()
+                + snap.counter(sim_metrics::ACCEPTED).unwrap(),
+            snap.counter(sim_metrics::REQUESTS).unwrap()
+        );
+        assert_eq!(
+            snap.counter(sim_metrics::CAUTIOUS_ACCEPTED),
+            Some(recorded.cautious_friends as u64)
+        );
+        // Every request was timed through all three stages.
+        for h in [
+            sim_metrics::SELECT_NS,
+            sim_metrics::RESOLVE_NS,
+            sim_metrics::NOTIFY_NS,
+        ] {
+            assert_eq!(snap.histogram(h).unwrap().count, 3, "{h} span count");
+        }
+        assert_eq!(snap.histogram(sim_metrics::EPISODE_NS).unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing_and_changes_nothing() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let rec = Recorder::disabled();
+        let out = run_attack_recorded(&inst, &real, &mut MaxDegree::new(), 3, &rec);
+        assert_eq!(out.trace.len(), 3);
+        assert!(rec.snapshot("x").is_none());
+    }
+
+    #[test]
+    fn recorded_beliefs_variant_counts_too() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let rec = Recorder::enabled();
+        let out = run_attack_with_beliefs_recorded(
+            &inst,
+            &inst,
+            &real,
+            &mut Abm::new(AbmWeights::balanced()),
+            2,
+            &rec,
+        );
+        let snap = rec.snapshot("beliefs").unwrap();
+        assert_eq!(
+            snap.counter(sim_metrics::REQUESTS),
+            Some(out.requests_sent() as u64)
+        );
     }
 
     #[test]

@@ -30,9 +30,11 @@ pub fn concatenation_benefit(
 ) -> f64 {
     let mut observation = Observation::for_instance(instance);
     let mut benefit = BenefitState::new(instance);
-    for &u in first.iter().chain(second.iter().filter(|u| !first.contains(u))) {
-        let accepted =
-            realization.accepts_at(instance, u, observation.mutual_friends(u));
+    for &u in first
+        .iter()
+        .chain(second.iter().filter(|u| !first.contains(u)))
+    {
+        let accepted = realization.accepts_at(instance, u, observation.mutual_friends(u));
         if accepted {
             observation.record_acceptance(u, instance, realization);
             benefit.add_friend(instance, realization, u);
@@ -61,7 +63,9 @@ mod tests {
         for i in 0..40usize {
             let v = NodeId::from(i);
             builder = if i % 9 == 4 {
-                builder.user_class(v, UserClass::cautious(2)).benefits(v, 30.0, 1.0)
+                builder
+                    .user_class(v, UserClass::cautious(2))
+                    .benefits(v, 30.0, 1.0)
             } else {
                 builder.user_class(v, UserClass::reckless(rng.gen_range(0.2..1.0)))
             };
@@ -110,8 +114,7 @@ mod tests {
             .benefits(NodeId::new(2), 10.0, 1.0)
             .build()
             .unwrap();
-        let real =
-            Realization::from_parts(&inst, vec![true; 2], vec![true; 3]).unwrap();
+        let real = Realization::from_parts(&inst, vec![true; 2], vec![true; 3]).unwrap();
         let bad = vec![NodeId::new(2)]; // requests the locked cautious user
         let good = vec![NodeId::new(1), NodeId::new(2)];
         let f_bad_first = concatenation_benefit(&inst, &real, &bad, &good);

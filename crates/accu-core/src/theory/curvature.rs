@@ -148,8 +148,7 @@ mod tests {
         let real = Realization::from_parts(&inst, vec![true], vec![false, true]).unwrap();
         let mut bigger = Observation::for_instance(&inst);
         bigger.record_acceptance(NodeId::new(1), &inst, &real);
-        let gamma =
-            total_primal_curvature(&inst, &empty, &bigger, NodeId::new(0)).unwrap();
+        let gamma = total_primal_curvature(&inst, &empty, &bigger, NodeId::new(0)).unwrap();
         assert_eq!(gamma, None, "Γ must be unbounded (None)");
     }
 
@@ -189,8 +188,7 @@ mod tests {
         let real = Realization::from_parts(&inst, vec![true], vec![false, true, true]).unwrap();
         let mut bigger = Observation::for_instance(&inst);
         bigger.record_acceptance(NodeId::new(1), &inst, &real);
-        let gamma =
-            total_primal_curvature(&inst, &empty, &bigger, NodeId::new(0)).unwrap();
+        let gamma = total_primal_curvature(&inst, &empty, &bigger, NodeId::new(0)).unwrap();
         assert_eq!(gamma, Some(1.0));
     }
 

@@ -3,8 +3,7 @@
 use osn_graph::{EdgeId, NodeId};
 
 use crate::{
-    benefit_of_friend_set, AccuError, AccuInstance, EdgeState, NodeState, Observation,
-    Realization,
+    benefit_of_friend_set, AccuError, AccuInstance, EdgeState, NodeState, Observation, Realization,
 };
 
 /// Hard cap on the number of binary random variables that exhaustive
@@ -43,7 +42,10 @@ pub type RealizationEnsemble = Vec<(Realization, f64)>;
 pub fn enumerate_realizations(instance: &AccuInstance) -> Result<RealizationEnsemble, AccuError> {
     let bits = instance.random_bits();
     if bits > MAX_RANDOM_BITS {
-        return Err(AccuError::TooLargeForExhaustive { random_bits: bits, limit: MAX_RANDOM_BITS });
+        return Err(AccuError::TooLargeForExhaustive {
+            random_bits: bits,
+            limit: MAX_RANDOM_BITS,
+        });
     }
     let g = instance.graph();
     // One variable per uncertain edge (two outcomes) and one per user
@@ -70,8 +72,9 @@ pub fn enumerate_realizations(instance: &AccuInstance) -> Result<RealizationEnse
                 .collect()
         })
         .collect();
-    let uncertain_users: Vec<usize> =
-        (0..g.node_count()).filter(|&i| user_bands[i].len() > 1).collect();
+    let uncertain_users: Vec<usize> = (0..g.node_count())
+        .filter(|&i| user_bands[i].len() > 1)
+        .collect();
     let base_edges: Vec<bool> = (0..g.edge_count())
         .map(|i| instance.edge_probability(EdgeId::from(i)) >= 1.0)
         .collect();
@@ -180,9 +183,15 @@ pub fn exact_marginal_gain(
     u: NodeId,
 ) -> Result<f64, AccuError> {
     if u.index() >= instance.node_count() {
-        return Err(AccuError::NodeOutOfRange { node: u, node_count: instance.node_count() });
+        return Err(AccuError::NodeOutOfRange {
+            node: u,
+            node_count: instance.node_count(),
+        });
     }
-    assert!(!observation.was_requested(u), "node {u} is already in dom(ω)");
+    assert!(
+        !observation.was_requested(u),
+        "node {u} is already in dom(ω)"
+    );
     let ensemble = enumerate_realizations(instance)?;
     let friends: Vec<NodeId> = observation.friends().to_vec();
     let mut friends_plus = friends.clone();
@@ -197,7 +206,10 @@ pub fn exact_marginal_gain(
         let mutual = friends
             .iter()
             .filter(|&&f| {
-                instance.graph().edge_id(f, u).is_some_and(|e| real.edge_exists(e))
+                instance
+                    .graph()
+                    .edge_id(f, u)
+                    .is_some_and(|e| real.edge_exists(e))
             })
             .count() as u32;
         let accepts = real.accepts_at(instance, u, mutual);
@@ -207,7 +219,10 @@ pub fn exact_marginal_gain(
             total_gain += prob * (after - before);
         }
     }
-    assert!(total_prob > 0.0, "observation is inconsistent with every realization");
+    assert!(
+        total_prob > 0.0,
+        "observation is inconsistent with every realization"
+    );
     Ok(total_gain / total_prob)
 }
 
@@ -261,7 +276,10 @@ mod tests {
             &mut rand::rngs::SmallRng::seed_from_u64(0),
         )
         .unwrap();
-        let inst = AccuInstanceBuilder::new(g).uniform_edge_probability(0.5).build().unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .uniform_edge_probability(0.5)
+            .build()
+            .unwrap();
         assert!(matches!(
             enumerate_realizations(&inst),
             Err(AccuError::TooLargeForExhaustive { .. })
@@ -278,8 +296,7 @@ mod tests {
         let d_empty = exact_marginal_gain(&inst, &empty, NodeId::new(0)).unwrap();
         assert_eq!(d_empty, 0.0);
 
-        let real =
-            Realization::from_parts(&inst, vec![true], vec![false, true]).unwrap();
+        let real = Realization::from_parts(&inst, vec![true], vec![false, true]).unwrap();
         let mut after = Observation::for_instance(&inst);
         after.record_acceptance(NodeId::new(1), &inst, &real);
         let d_after = exact_marginal_gain(&inst, &after, NodeId::new(0)).unwrap();
@@ -290,10 +307,8 @@ mod tests {
     #[test]
     fn consistency_filters_revealed_outcomes() {
         let inst = fig1_instance();
-        let real_yes =
-            Realization::from_parts(&inst, vec![true], vec![false, true]).unwrap();
-        let real_no =
-            Realization::from_parts(&inst, vec![false], vec![false, true]).unwrap();
+        let real_yes = Realization::from_parts(&inst, vec![true], vec![false, true]).unwrap();
+        let real_no = Realization::from_parts(&inst, vec![false], vec![false, true]).unwrap();
         let mut obs = Observation::for_instance(&inst);
         obs.record_acceptance(NodeId::new(1), &inst, &real_yes);
         assert!(is_consistent(&inst, &real_yes, &obs));
@@ -333,7 +348,10 @@ mod tests {
         // u (q=1) with one probabilistic neighbor (p=0.5):
         // Δ = B_f(u) + 0.5·B_fof(v) = 2.5.
         let g = GraphBuilder::from_edges(2, [(0u32, 1u32)]).unwrap();
-        let inst = AccuInstanceBuilder::new(g).uniform_edge_probability(0.5).build().unwrap();
+        let inst = AccuInstanceBuilder::new(g)
+            .uniform_edge_probability(0.5)
+            .build()
+            .unwrap();
         let obs = Observation::for_instance(&inst);
         let d = exact_marginal_gain(&inst, &obs, NodeId::new(0)).unwrap();
         assert!((d - 2.5).abs() < 1e-12);

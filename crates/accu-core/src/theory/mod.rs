@@ -30,10 +30,10 @@ pub use curvature::{
 };
 pub use exact::{enumerate_realizations, exact_marginal_gain, RealizationEnsemble};
 pub use optimal::optimal_adaptive_benefit;
-pub use submodularity::{
-    check_strong_adaptive_monotonicity, find_submodularity_violation, SubmodularityViolation,
-};
 pub use ratio::{
     adaptive_submodular_ratio, greedy_ratio, greedy_ratio_partial, lemma4_lambda, lemma5_bound,
     rasr,
+};
+pub use submodularity::{
+    check_strong_adaptive_monotonicity, find_submodularity_violation, SubmodularityViolation,
 };

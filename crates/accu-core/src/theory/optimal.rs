@@ -50,8 +50,7 @@ impl Search<'_> {
                 _ => {
                     // Friend-of-friend iff some Present edge leads to a friend.
                     let is_fof = g.neighbor_entries(v).any(|(w, e)| {
-                        nodes[w.index()] == NState::Accepted
-                            && edges[e.index()] == EState::Present
+                        nodes[w.index()] == NState::Accepted && edges[e.index()] == EState::Present
                     });
                     if is_fof {
                         total += b.friend_of_friend(v);
@@ -102,15 +101,19 @@ impl Search<'_> {
                 .instance
                 .user_class(u)
                 .acceptance_probability_at(self.mutual(nodes, edges, u));
-            let (accepting, rejecting): (Vec<usize>, Vec<usize>) =
-                consistent.iter().partition(|&&i| self.ensemble[i].draw[ui] < level);
+            let (accepting, rejecting): (Vec<usize>, Vec<usize>) = consistent
+                .iter()
+                .partition(|&&i| self.ensemble[i].draw[ui] < level);
             let mut v = 0.0;
             if !accepting.is_empty() {
                 v += self.accept_branch(nodes, edges, budget, &accepting, u, base);
             }
             if !rejecting.is_empty() {
                 nodes[ui] = NState::Rejected;
-                let w: f64 = rejecting.iter().map(|&i| self.ensemble[i].prob).sum::<f64>()
+                let w: f64 = rejecting
+                    .iter()
+                    .map(|&i| self.ensemble[i].prob)
+                    .sum::<f64>()
                     * self.best(nodes, edges, budget - 1, &rejecting);
                 nodes[ui] = NState::Unknown;
                 v += w;
@@ -154,8 +157,11 @@ impl Search<'_> {
         let mut value = 0.0f64;
         for (key, members) in groups {
             for (b, e) in unknown_incident.iter().enumerate() {
-                edges[e.index()] =
-                    if key >> b & 1 == 1 { EState::Present } else { EState::Absent };
+                edges[e.index()] = if key >> b & 1 == 1 {
+                    EState::Present
+                } else {
+                    EState::Absent
+                };
             }
             let gprob: f64 = members.iter().map(|&i| self.ensemble[i].prob).sum();
             let gain = self.benefit(nodes, edges) - base;
@@ -182,17 +188,25 @@ impl Search<'_> {
 pub fn optimal_adaptive_benefit(instance: &AccuInstance, k: usize) -> Result<f64, AccuError> {
     let n = instance.node_count();
     if n > MAX_OPTIMAL_NODES {
-        return Err(AccuError::TooLargeForExhaustive { random_bits: n, limit: MAX_OPTIMAL_NODES });
+        return Err(AccuError::TooLargeForExhaustive {
+            random_bits: n,
+            limit: MAX_OPTIMAL_NODES,
+        });
     }
     let ensemble = enumerate_realizations(instance)?;
     let g = instance.graph();
     let ensemble: Vec<EnsembleEntry> = ensemble
         .into_iter()
         .map(|(r, p)| {
-            let edge_exists: Vec<bool> =
-                (0..g.edge_count()).map(|i| r.edge_exists(EdgeId::from(i))).collect();
+            let edge_exists: Vec<bool> = (0..g.edge_count())
+                .map(|i| r.edge_exists(EdgeId::from(i)))
+                .collect();
             let draw: Vec<f64> = (0..n).map(|i| r.acceptance_draw(NodeId::from(i))).collect();
-            EnsembleEntry { edge_exists, draw, prob: p }
+            EnsembleEntry {
+                edge_exists,
+                draw,
+                prob: p,
+            }
         })
         .collect();
     let search = Search { instance, ensemble };

@@ -97,7 +97,12 @@ pub fn adaptive_submodular_ratio(instance: &AccuInstance) -> Result<f64, AccuErr
 /// can be put into `S`, making `u` a friend-of-friend beforehand).
 fn b_prime(graph: &Graph, benefits: &BenefitSchedule, u: NodeId, v_c: NodeId) -> f64 {
     let has_other_neighbor = graph.neighbors(u).iter().any(|&w| w != v_c);
-    benefits.friend(u) - if has_other_neighbor { benefits.friend_of_friend(u) } else { 0.0 }
+    benefits.friend(u)
+        - if has_other_neighbor {
+            benefits.friend_of_friend(u)
+        } else {
+            0.0
+        }
 }
 
 /// Closed-form adaptive submodular ratio for a deterministic graph with a
@@ -137,8 +142,10 @@ pub fn lemma4_lambda(graph: &Graph, benefits: &BenefitSchedule, v_c: NodeId, the
         let bu = b_prime(graph, benefits, neighbors[0], v_c);
         return bu / (benefits.friend(v_c) + bu);
     }
-    let mut primes: Vec<f64> =
-        neighbors.iter().map(|&u| b_prime(graph, benefits, u, v_c)).collect();
+    let mut primes: Vec<f64> = neighbors
+        .iter()
+        .map(|&u| b_prime(graph, benefits, u, v_c))
+        .collect();
     primes.sort_by(f64::total_cmp);
     // Case 1: T = {v_c} ∪ (θ cheapest friends), S ∩ N(v_c) = ∅.
     let sum_theta: f64 = primes.iter().take(theta as usize).sum();
@@ -146,7 +153,11 @@ pub fn lemma4_lambda(graph: &Graph, benefits: &BenefitSchedule, v_c: NodeId, the
     // Case 2: T = {v_c, u*}, S holds θ−1 friends of v_c (so v_c is
     // already a friend-of-friend when θ ≥ 2).
     let b_vc = benefits.friend(v_c)
-        - if theta >= 2 { benefits.friend_of_friend(v_c) } else { 0.0 };
+        - if theta >= 2 {
+            benefits.friend_of_friend(v_c)
+        } else {
+            0.0
+        };
     let min_prime = primes[0];
     let case2 = min_prime / (b_vc + min_prime);
     case1.min(case2)
@@ -171,7 +182,10 @@ pub fn lemma5_bound(
 ) -> f64 {
     assert!(!cautious.is_empty(), "need at least one cautious user");
     for &v in cautious {
-        assert!(graph.has_edge(u, v), "node {u} is not adjacent to cautious user {v}");
+        assert!(
+            graph.has_edge(u, v),
+            "node {u} is not adjacent to cautious user {v}"
+        );
     }
     let bu = benefits.friend(u);
     let sum: f64 = cautious
@@ -233,8 +247,7 @@ mod tests {
     fn no_cautious_users_means_lambda_one() {
         // Observation 1: without cautious users the objective is
         // submodular and λ = 1.
-        let inst =
-            deterministic_instance(&[(0, 1), (1, 2), (0, 2)], 3, &[], &[]);
+        let inst = deterministic_instance(&[(0, 1), (1, 2), (0, 2)], 3, &[], &[]);
         let lambda = adaptive_submodular_ratio(&inst).unwrap();
         assert_eq!(lambda, 1.0);
     }
@@ -269,7 +282,10 @@ mod tests {
         let closed = lemma4_lambda(inst.graph(), inst.benefits(), NodeId::new(1), 1);
         assert!((closed - 3.0 / 13.0).abs() < 1e-12, "closed = {closed}");
         let brute = adaptive_submodular_ratio(&inst).unwrap();
-        assert!((brute - closed).abs() < 1e-9, "brute {brute} vs closed {closed}");
+        assert!(
+            (brute - closed).abs() < 1e-9,
+            "brute {brute} vs closed {closed}"
+        );
     }
 
     #[test]
@@ -277,17 +293,11 @@ mod tests {
         // With B_fof > 0 the exact ratio exceeds the paper's formula by
         // exactly the neglected B_fof(v_c) term in the numerator:
         // closed = B'(u)/(B_f(v_c)+B'(u)) = 1/11, exact = (1+1)/11.
-        let inst = deterministic_instance(
-            &[(0, 1), (0, 2)],
-            3,
-            &[(1, 1)],
-            &[(1, 10.0, 1.0)],
-        );
+        let inst = deterministic_instance(&[(0, 1), (0, 2)], 3, &[(1, 1)], &[(1, 10.0, 1.0)]);
         let closed = lemma4_lambda(inst.graph(), inst.benefits(), NodeId::new(1), 1);
         assert!((closed - 1.0 / 11.0).abs() < 1e-12, "closed = {closed}");
         let brute = adaptive_submodular_ratio(&inst).unwrap();
-        let expected_exact =
-            (1.0 + inst.benefits().friend_of_friend(NodeId::new(1))) / 11.0;
+        let expected_exact = (1.0 + inst.benefits().friend_of_friend(NodeId::new(1))) / 11.0;
         assert!(
             (brute - expected_exact).abs() < 1e-9,
             "brute {brute} vs corrected {expected_exact}"
@@ -304,7 +314,10 @@ mod tests {
         let closed = lemma4_lambda(inst.graph(), inst.benefits(), NodeId::new(1), 1);
         assert!((closed - 2.0 / 12.0).abs() < 1e-12);
         let brute = adaptive_submodular_ratio(&inst).unwrap();
-        assert!((brute - closed).abs() < 1e-9, "brute {brute} vs closed {closed}");
+        assert!(
+            (brute - closed).abs() < 1e-9,
+            "brute {brute} vs closed {closed}"
+        );
     }
 
     #[test]
@@ -354,23 +367,28 @@ mod tests {
         // B_f(0)=2, Σ B' = 20 → 2/22.
         assert!((bound - 2.0 / 22.0).abs() < 1e-12);
         let brute = adaptive_submodular_ratio(&inst).unwrap();
-        assert!(brute <= bound + 1e-9, "λ {brute} must respect the Lemma 5 bound {bound}");
-        assert!((brute - bound).abs() < 1e-9, "the bound is attained on this instance");
+        assert!(
+            brute <= bound + 1e-9,
+            "λ {brute} must respect the Lemma 5 bound {bound}"
+        );
+        assert!(
+            (brute - bound).abs() < 1e-9,
+            "the bound is attained on this instance"
+        );
     }
 
     #[test]
     fn lambda_positive_under_strict_gap() {
         // Corollary 1: B_f − B_fof > 0 everywhere ⇒ λ > 0.
-        let inst = deterministic_instance(
-            &[(0, 1), (0, 2), (1, 3)],
-            4,
-            &[(2, 1)],
-            &[(2, 5.0, 1.0)],
-        );
+        let inst =
+            deterministic_instance(&[(0, 1), (0, 2), (1, 3)], 4, &[(2, 1)], &[(2, 5.0, 1.0)]);
         assert!(inst.benefits().has_strict_gap());
         let lambda = adaptive_submodular_ratio(&inst).unwrap();
         assert!(lambda > 0.0);
-        assert!(lambda < 1.0, "cautious user must break submodularity: λ = {lambda}");
+        assert!(
+            lambda < 1.0,
+            "cautious user must break submodularity: λ = {lambda}"
+        );
     }
 
     #[test]
@@ -404,6 +422,9 @@ mod tests {
         let g = GraphBuilder::new(20).build();
         let inst = AccuInstanceBuilder::new(g).build().unwrap();
         let real = Realization::from_parts(&inst, vec![], vec![true; 20]).unwrap();
-        assert!(matches!(rasr(&inst, &real), Err(AccuError::TooLargeForExhaustive { .. })));
+        assert!(matches!(
+            rasr(&inst, &real),
+            Err(AccuError::TooLargeForExhaustive { .. })
+        ));
     }
 }

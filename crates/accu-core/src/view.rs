@@ -36,7 +36,10 @@ pub struct AttackerView<'a> {
 impl<'a> AttackerView<'a> {
     /// Creates a view over `instance` and `observation`.
     pub fn new(instance: &'a AccuInstance, observation: &'a Observation) -> Self {
-        AttackerView { instance, observation }
+        AttackerView {
+            instance,
+            observation,
+        }
     }
 
     /// The instance parameters (public knowledge).
@@ -93,7 +96,10 @@ impl<'a> AttackerView<'a> {
     /// rejected users are excluded).
     pub fn candidates(&self) -> impl Iterator<Item = NodeId> + 'a {
         let obs = self.observation;
-        self.instance.graph().nodes().filter(move |&u| !obs.was_requested(u))
+        self.instance
+            .graph()
+            .nodes()
+            .filter(move |&u| !obs.was_requested(u))
     }
 
     /// Remaining mutual friends needed before cautious `u` would accept
@@ -124,8 +130,8 @@ mod tests {
             .user_class(NodeId::new(2), UserClass::cautious(1))
             .build()
             .unwrap();
-        let real = Realization::from_parts(&inst, vec![true, true], vec![true, true, false])
-            .unwrap();
+        let real =
+            Realization::from_parts(&inst, vec![true, true], vec![true, true, false]).unwrap();
         (inst, real)
     }
 

@@ -144,12 +144,12 @@ pub fn apply_protocol<R: Rng + ?Sized>(
     let m = graph.edge_count();
     let cautious = select_cautious_users(&graph, config.degree_band, config.cautious_count, rng);
     let edge_probs: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let mut classes: Vec<UserClass> =
-        (0..n).map(|_| UserClass::reckless(rng.gen_range(0.0..1.0))).collect();
+    let mut classes: Vec<UserClass> = (0..n)
+        .map(|_| UserClass::reckless(rng.gen_range(0.0..1.0)))
+        .collect();
     let mut friend_benefits = vec![config.reckless_friend_benefit; n];
     for &v in &cautious {
-        classes[v.index()] =
-            UserClass::cautious(config.threshold_for_degree(graph.degree(v)));
+        classes[v.index()] = UserClass::cautious(config.threshold_for_degree(graph.degree(v)));
         friend_benefits[v.index()] = config.cautious_friend_benefit;
     }
     let mut builder = AccuInstanceBuilder::new(graph)
@@ -176,7 +176,10 @@ mod tests {
         assert_eq!(cfg.threshold_for_degree(11), 4); // ceil(3.3)
         assert_eq!(cfg.threshold_for_degree(1), 1);
         assert_eq!(cfg.threshold_for_degree(0), 1); // clamped
-        let tight = ProtocolConfig { threshold_fraction: 0.9, ..ProtocolConfig::default() };
+        let tight = ProtocolConfig {
+            threshold_fraction: 0.9,
+            ..ProtocolConfig::default()
+        };
         assert_eq!(tight.threshold_for_degree(10), 9);
     }
 
@@ -191,11 +194,18 @@ mod tests {
     #[test]
     fn cautious_selection_is_an_independent_set_in_band() {
         let mut rng = StdRng::seed_from_u64(3);
-        let g = DatasetSpec::facebook().scaled(0.2).generate(&mut rng).unwrap();
+        let g = DatasetSpec::facebook()
+            .scaled(0.2)
+            .generate(&mut rng)
+            .unwrap();
         let chosen = select_cautious_users(&g, (10, 100), 30, &mut rng);
         assert!(!chosen.is_empty());
         for &v in &chosen {
-            assert!((10..=100).contains(&g.degree(v)), "degree {} out of band", g.degree(v));
+            assert!(
+                (10..=100).contains(&g.degree(v)),
+                "degree {} out of band",
+                g.degree(v)
+            );
         }
         for (i, &a) in chosen.iter().enumerate() {
             for &b in &chosen[i + 1..] {
@@ -219,8 +229,14 @@ mod tests {
     #[test]
     fn protocol_instance_matches_paper_setup() {
         let mut rng = StdRng::seed_from_u64(11);
-        let g = DatasetSpec::facebook().scaled(0.2).generate(&mut rng).unwrap();
-        let cfg = ProtocolConfig { cautious_count: 20, ..ProtocolConfig::default() };
+        let g = DatasetSpec::facebook()
+            .scaled(0.2)
+            .generate(&mut rng)
+            .unwrap();
+        let cfg = ProtocolConfig {
+            cautious_count: 20,
+            ..ProtocolConfig::default()
+        };
         let inst = apply_protocol(g, &cfg, &mut rng).unwrap();
         assert_eq!(inst.cautious_users().len(), 20);
         assert!(inst.check_paper_assumptions().is_empty());
@@ -243,9 +259,19 @@ mod tests {
     fn protocol_is_deterministic_per_seed() {
         let make = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let g = DatasetSpec::facebook().scaled(0.1).generate(&mut rng).unwrap();
-            apply_protocol(g, &ProtocolConfig { cautious_count: 5, ..Default::default() }, &mut rng)
-                .unwrap()
+            let g = DatasetSpec::facebook()
+                .scaled(0.1)
+                .generate(&mut rng)
+                .unwrap();
+            apply_protocol(
+                g,
+                &ProtocolConfig {
+                    cautious_count: 5,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .unwrap()
         };
         let a = make(5);
         let b = make(5);

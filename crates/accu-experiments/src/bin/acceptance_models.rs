@@ -16,10 +16,10 @@
 //! paper's model makes the attack.
 
 use accu_core::policy::{pure_greedy, Abm, AbmWeights, Policy};
-use accu_core::{run_attack, AccuInstance, AccuInstanceBuilder, Realization, UserClass};
+use accu_core::{run_attack_recorded, AccuInstance, AccuInstanceBuilder, Realization, UserClass};
 use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{fnum, Table};
-use accu_experiments::Cli;
+use accu_experiments::{Cli, Telemetry};
 use osn_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,7 +29,9 @@ use rand::SeedableRng;
 fn with_model(base: &AccuInstance, family: &str) -> AccuInstance {
     let m = base.graph().edge_count();
     let mut builder = AccuInstanceBuilder::new(base.graph().clone()).edge_probabilities(
-        (0..m).map(|i| base.edge_probability(osn_graph::EdgeId::from(i))).collect(),
+        (0..m)
+            .map(|i| base.edge_probability(osn_graph::EdgeId::from(i)))
+            .collect(),
     );
     for i in 0..base.node_count() {
         let v = NodeId::from(i);
@@ -53,6 +55,7 @@ fn with_model(base: &AccuInstance, family: &str) -> AccuInstance {
 
 fn main() {
     let cli = Cli::parse();
+    let tel = Telemetry::from_cli(&cli, "acceptance_models");
     let k = cli.budget.unwrap_or(150);
     let runs = cli.runs.unwrap_or(10);
     let mut rng = StdRng::seed_from_u64(cli.seed);
@@ -60,7 +63,10 @@ fn main() {
         .scaled(cli.scale.unwrap_or(0.2))
         .generate(&mut rng)
         .expect("generation");
-    let protocol = ProtocolConfig { cautious_count: 20, ..ProtocolConfig::default() };
+    let protocol = ProtocolConfig {
+        cautious_count: 20,
+        ..ProtocolConfig::default()
+    };
     let base = apply_protocol(graph, &protocol, &mut rng).expect("protocol");
     let high_value: Vec<NodeId> = base.cautious_users().to_vec();
     println!(
@@ -89,7 +95,7 @@ fn main() {
             let mut falls = 0.0;
             for _ in 0..runs {
                 let real = Realization::sample(&inst, &mut eval_rng);
-                let out = run_attack(&inst, &real, policy.as_mut(), k);
+                let out = run_attack_recorded(&inst, &real, policy.as_mut(), k, tel.recorder());
                 benefit += out.total_benefit;
                 falls += high_value
                     .iter()
@@ -111,4 +117,8 @@ fn main() {
          high-value population only falls via deliberate mutual-friend building, which is\n\
          where ABM's indirect potential earns its advantage over pure greedy)"
     );
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
+    }
 }

@@ -7,12 +7,13 @@ use accu_core::policy::{Abm, AbmWeights};
 use accu_core::{cautious_risk_scores, gatekeeper_scores, simulate_exposure, top_scored};
 use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{fnum, Table};
-use accu_experiments::Cli;
+use accu_experiments::{Cli, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let cli = Cli::parse();
+    let tel = Telemetry::from_cli(&cli, "defense_report");
     let samples = cli.runs.unwrap_or(20);
     let k = cli.budget.unwrap_or(150);
     let mut rng = StdRng::seed_from_u64(cli.seed);
@@ -20,7 +21,10 @@ fn main() {
         .scaled(cli.scale.unwrap_or(0.25))
         .generate(&mut rng)
         .expect("generation");
-    let protocol = ProtocolConfig { cautious_count: 25, ..ProtocolConfig::default() };
+    let protocol = ProtocolConfig {
+        cautious_count: 25,
+        ..ProtocolConfig::default()
+    };
     let instance = apply_protocol(graph, &protocol, &mut rng).expect("protocol");
     println!(
         "Defense report: {} users, {} cautious, ABM attacker with k={k}, {samples} runs\n",
@@ -30,8 +34,10 @@ fn main() {
 
     let risk = cautious_risk_scores(&instance);
     let gates = gatekeeper_scores(&instance);
-    let mut abm = Abm::new(AbmWeights::balanced());
+    let mut abm = Abm::with_recorder(AbmWeights::balanced(), tel.recorder());
+    let exposure_span = tel.recorder().histogram("defense.exposure_ns").span();
     let report = simulate_exposure(&instance, &mut abm, k, samples, &mut rng);
+    exposure_span.finish();
     println!(
         "mean attacker benefit {:.1}; mean cautious users compromised {:.2} of {}\n",
         report.mean_benefit,
@@ -51,7 +57,9 @@ fn main() {
         ]);
     }
     table.print();
-    let _ = table.write_csv("defense_at_risk");
+    if let Err(e) = table.write_csv("defense_at_risk") {
+        eprintln!("csv write failed: {e}");
+    }
 
     println!("\ntop gatekeepers (reckless users who most enable cautious compromise):");
     let mut table = Table::new(["user", "degree", "q", "gate score", "measured freq"]);
@@ -65,15 +73,26 @@ fn main() {
         ]);
     }
     table.print();
-    let _ = table.write_csv("defense_gatekeepers");
+    if let Err(e) = table.write_csv("defense_gatekeepers") {
+        eprintln!("csv write failed: {e}");
+    }
 
     // Correlation sanity: do model risk scores predict measured
     // compromise among cautious users?
     let cautious = instance.cautious_users();
     let xs: Vec<f64> = cautious.iter().map(|&v| risk[v.index()]).collect();
-    let ys: Vec<f64> =
-        cautious.iter().map(|&v| report.compromise_frequency[v.index()]).collect();
-    println!("\nrisk-score vs measured-compromise correlation: {:.3}", pearson(&xs, &ys));
+    let ys: Vec<f64> = cautious
+        .iter()
+        .map(|&v| report.compromise_frequency[v.index()])
+        .collect();
+    println!(
+        "\nrisk-score vs measured-compromise correlation: {:.3}",
+        pearson(&xs, &ys)
+    );
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
+    }
 }
 
 fn pearson(xs: &[f64], ys: &[f64]) -> f64 {

@@ -11,11 +11,12 @@
 
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{fnum, Table};
-use accu_experiments::{run_policy, Cli, ExperimentScale, PolicyKind};
+use accu_experiments::{run_policy_recorded, Cli, ExperimentScale, PolicyKind, Telemetry};
 
 fn main() {
     let cli = Cli::parse();
     let scale = ExperimentScale::from_cli(&cli);
+    let tel = Telemetry::from_cli(&cli, "extra_baselines");
     println!("Extension: extended baseline lineup ({})", scale.describe());
     println!();
 
@@ -29,7 +30,7 @@ fn main() {
         let mut row = vec![dataset.name().to_string()];
         let mut best: Option<(String, f64)> = None;
         for &policy in &lineup {
-            let acc = run_policy(&figure, policy);
+            let acc = run_policy_recorded(&figure, policy, tel.recorder());
             let mean = acc.mean_total_benefit();
             row.push(fnum(mean));
             if best.as_ref().map(|b| mean > b.1).unwrap_or(true) {
@@ -45,5 +46,9 @@ fn main() {
     match table.write_csv("extra_baselines") {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
+    }
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
     }
 }

@@ -13,9 +13,16 @@
 
 use accu_core::theory::{curvature_ratio, exact_marginal_gain, total_primal_curvature};
 use accu_core::{AccuInstanceBuilder, Observation, Realization, UserClass};
+use accu_experiments::{Cli, Telemetry};
 use osn_graph::{GraphBuilder, NodeId};
 
 fn main() {
+    let cli = Cli::parse();
+    let tel = Telemetry::from_cli(&cli, "fig1_counterexample");
+    let run_span = tel.recorder().histogram("fig1.total_ns").span();
+    let gains = tel.recorder().counter("fig1.marginal_gains");
+    let ratios = tel.recorder().counter("fig1.curvature_ratios");
+
     // Fig. 1: attacker s, cautious v1 (θ = 1), reckless v2 (q = 1),
     // certain edge (v1, v2), B_f(v1) > B_fof(v1) > 0.
     let g = GraphBuilder::from_edges(2, [(0u32, 1u32)]).expect("valid edges");
@@ -33,6 +40,7 @@ fn main() {
 
     let omega1 = Observation::for_instance(&instance);
     let d1 = exact_marginal_gain(&instance, &omega1, v1).expect("small instance");
+    gains.incr();
     println!("  ω1 = ∅ (no requests sent):        Δ(v1|ω1) = {d1}");
 
     let realization = Realization::from_parts(&instance, vec![true], vec![false, true])
@@ -40,8 +48,12 @@ fn main() {
     let mut omega2 = Observation::for_instance(&instance);
     omega2.record_acceptance(v2, &instance, &realization);
     let d2 = exact_marginal_gain(&instance, &omega2, v1).expect("small instance");
+    gains.incr();
     println!("  ω2 = {{v2 accepted, edge revealed}}: Δ(v1|ω2) = {d2}");
-    assert!(d2 > d1, "counterexample must violate adaptive submodularity");
+    assert!(
+        d2 > d1,
+        "counterexample must violate adaptive submodularity"
+    );
     println!("  Δ(v1|ω2) > Δ(v1|ω1) with ω1 ⊆ ω2 → NOT adaptive submodular ✗\n");
 
     println!("Adaptive total primal curvature Γ(v1 | ω2, ω1):");
@@ -54,7 +66,13 @@ fn main() {
     for (q1, q2, k) in [(0.1, 1.0, 20usize), (0.5, 1.0, 20), (0.1, 1.0, 100)] {
         let delta = q2 / q1;
         let ratio = curvature_ratio(delta, k);
+        ratios.incr();
         println!("  q1={q1}, q2={q2} → δ={delta:.0}, k={k}: ratio = {ratio:.3}");
     }
     println!("\n(The paper's example: δ=10, k=20 gives ratio ≈ 0.095.)");
+
+    run_span.finish();
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
+    }
 }

@@ -8,19 +8,23 @@
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::chart::Chart;
 use accu_experiments::output::{downsample_indices, series_table};
-use accu_experiments::{run_policy, Cli, ExperimentScale, PolicyKind};
+use accu_experiments::{run_policy_recorded, Cli, ExperimentScale, PolicyKind, Telemetry};
 
 fn main() {
     let cli = Cli::parse();
     let scale = ExperimentScale::from_cli(&cli);
-    println!("Fig. 2: benefit vs number of requests ({})", scale.describe());
+    let tel = Telemetry::from_cli(&cli, "fig2");
+    println!(
+        "Fig. 2: benefit vs number of requests ({})",
+        scale.describe()
+    );
 
     for dataset in DatasetSpec::all_paper_datasets() {
         let figure = scale.figure_run(dataset.clone(), ProtocolConfig::default());
         println!("\n=== {} ===", figure.dataset);
         let mut series = Vec::new();
         for policy in PolicyKind::paper_lineup() {
-            let acc = run_policy(&figure, policy);
+            let acc = run_policy_recorded(&figure, policy, tel.recorder());
             series.push((policy.name(), acc.mean_cumulative_benefit()));
         }
         let idx = downsample_indices(figure.budget, 64);
@@ -46,8 +50,7 @@ fn main() {
         // Full-resolution CSV for plotting.
         let full_idx: Vec<usize> = (0..figure.budget).collect();
         let full_xs: Vec<f64> = full_idx.iter().map(|&i| (i + 1) as f64).collect();
-        let full: Vec<(&str, Vec<f64>)> =
-            series.iter().map(|(n, ys)| (*n, ys.clone())).collect();
+        let full: Vec<(&str, Vec<f64>)> = series.iter().map(|(n, ys)| (*n, ys.clone())).collect();
         let csv_name = format!("fig2_{}", dataset.name().to_lowercase());
         match series_table("k", &full_xs, &full).write_csv(&csv_name) {
             Ok(path) => println!("wrote {}", path.display()),
@@ -55,9 +58,15 @@ fn main() {
         }
 
         // Headline check: final benefit ordering.
-        let finals: Vec<(&str, f64)> =
-            series.iter().map(|(n, ys)| (*n, *ys.last().unwrap_or(&0.0))).collect();
-        let best = finals.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        let finals: Vec<(&str, f64)> = series
+            .iter()
+            .map(|(n, ys)| (*n, *ys.last().unwrap_or(&0.0)))
+            .collect();
+        let best = finals
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
         println!(
             "final benefits: {}  (winner: {})",
             finals
@@ -67,5 +76,9 @@ fn main() {
                 .join(", "),
             best.0
         );
+    }
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
     }
 }

@@ -9,7 +9,7 @@
 
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{downsample_indices, series_table};
-use accu_experiments::{run_policy, Cli, ExperimentScale, PolicyKind};
+use accu_experiments::{run_policy_recorded, Cli, ExperimentScale, PolicyKind, Telemetry};
 
 /// Centered moving average for readability (the paper plots noisy
 /// per-request bars; a light smoothing keeps the shape visible in text).
@@ -27,6 +27,7 @@ fn smooth(ys: &[f64], window: usize) -> Vec<f64> {
 fn main() {
     let cli = Cli::parse();
     let scale = ExperimentScale::from_cli(&cli);
+    let tel = Telemetry::from_cli(&cli, "fig3");
     println!(
         "Fig. 3: average marginal benefit per request, cautious vs reckless ({})",
         scale.describe()
@@ -35,11 +36,10 @@ fn main() {
     for dataset in DatasetSpec::all_paper_datasets() {
         let figure = scale.figure_run(dataset.clone(), ProtocolConfig::default());
         println!("\n=== {} ===", figure.dataset);
-        let acc = run_policy(&figure, PolicyKind::abm_balanced());
+        let acc = run_policy_recorded(&figure, PolicyKind::abm_balanced(), tel.recorder());
         let cautious = acc.mean_marginal_from_cautious();
         let reckless = acc.mean_marginal_from_reckless();
-        let total: Vec<f64> =
-            cautious.iter().zip(&reckless).map(|(a, b)| a + b).collect();
+        let total: Vec<f64> = cautious.iter().zip(&reckless).map(|(a, b)| a + b).collect();
 
         let window = (figure.budget / 30).max(1);
         let sm_cautious = smooth(&cautious, window);
@@ -49,9 +49,18 @@ fn main() {
         let idx = downsample_indices(figure.budget, 20);
         let xs: Vec<f64> = idx.iter().map(|&i| (i + 1) as f64).collect();
         let sampled = vec![
-            ("total", idx.iter().map(|&i| sm_total[i]).collect::<Vec<_>>()),
-            ("from_cautious", idx.iter().map(|&i| sm_cautious[i]).collect()),
-            ("from_reckless", idx.iter().map(|&i| sm_reckless[i]).collect()),
+            (
+                "total",
+                idx.iter().map(|&i| sm_total[i]).collect::<Vec<_>>(),
+            ),
+            (
+                "from_cautious",
+                idx.iter().map(|&i| sm_cautious[i]).collect(),
+            ),
+            (
+                "from_reckless",
+                idx.iter().map(|&i| sm_reckless[i]).collect(),
+            ),
         ];
         series_table("request", &xs, &sampled).print();
 
@@ -80,5 +89,9 @@ fn main() {
             peak.1,
             cautious.iter().sum::<f64>()
         );
+    }
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
     }
 }

@@ -10,11 +10,12 @@
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::chart::Chart;
 use accu_experiments::output::series_table;
-use accu_experiments::{run_policy, Cli, ExperimentScale, PolicyKind};
+use accu_experiments::{run_policy_recorded, Cli, ExperimentScale, PolicyKind, Telemetry};
 
 fn main() {
     let cli = Cli::parse();
     let scale = ExperimentScale::from_cli(&cli);
+    let tel = Telemetry::from_cli(&cli, "fig4");
     println!(
         "Fig. 4: benefit and #cautious friends vs w_I (Twitter, {})",
         scale.describe()
@@ -25,7 +26,7 @@ fn main() {
     let mut cautious = Vec::with_capacity(wis.len());
     for &wi in &wis {
         let figure = scale.figure_run(DatasetSpec::twitter(), ProtocolConfig::default());
-        let acc = run_policy(&figure, PolicyKind::abm_with_indirect(wi));
+        let acc = run_policy_recorded(&figure, PolicyKind::abm_with_indirect(wi), tel.recorder());
         benefit.push(acc.mean_total_benefit());
         cautious.push(acc.mean_cautious_friends());
         println!(
@@ -45,7 +46,10 @@ fn main() {
     let table = series_table(
         "w_I",
         &wis,
-        &[("benefit", benefit.clone()), ("cautious_friends", cautious.clone())],
+        &[
+            ("benefit", benefit.clone()),
+            ("cautious_friends", cautious.clone()),
+        ],
     );
     table.print();
     match table.write_csv("fig4_twitter") {
@@ -66,6 +70,14 @@ fn main() {
     let monotone = cautious.windows(2).all(|w| w[1] >= w[0] - 1e-9);
     println!(
         "cautious friends grow monotonically with w_I: {}",
-        if monotone { "yes" } else { "no (noise at this scale)" }
+        if monotone {
+            "yes"
+        } else {
+            "no (noise at this scale)"
+        }
     );
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
+    }
 }

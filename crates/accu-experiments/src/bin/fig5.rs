@@ -7,11 +7,12 @@
 
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{downsample_indices, series_table};
-use accu_experiments::{run_policy, Cli, ExperimentScale, PolicyKind};
+use accu_experiments::{run_policy_recorded, Cli, ExperimentScale, PolicyKind, Telemetry};
 
 fn main() {
     let cli = Cli::parse();
     let scale = ExperimentScale::from_cli(&cli);
+    let tel = Telemetry::from_cli(&cli, "fig5");
     println!(
         "Fig. 5: fraction of requests sent to cautious users (Twitter, {})",
         scale.describe()
@@ -24,13 +25,17 @@ fn main() {
     for &wi in &wis {
         let figure = scale.figure_run(DatasetSpec::twitter(), ProtocolConfig::default());
         budget = figure.budget;
-        let acc = run_policy(&figure, PolicyKind::abm_with_indirect(wi));
+        let acc = run_policy_recorded(&figure, PolicyKind::abm_with_indirect(wi), tel.recorder());
         let frac = acc.cautious_request_fraction();
         // Center of mass of the cautious-request distribution: smaller
         // means cautious users are targeted earlier.
         let total: f64 = frac.iter().sum();
         let center = if total > 0.0 {
-            frac.iter().enumerate().map(|(i, f)| (i + 1) as f64 * f).sum::<f64>() / total
+            frac.iter()
+                .enumerate()
+                .map(|(i, f)| (i + 1) as f64 * f)
+                .sum::<f64>()
+                / total
         } else {
             0.0
         };
@@ -47,8 +52,10 @@ fn main() {
     series_table("request", &xs, &sampled).print();
 
     let full_xs: Vec<f64> = (0..budget).map(|i| (i + 1) as f64).collect();
-    let full: Vec<(&str, Vec<f64>)> =
-        fractions.iter().map(|(n, ys)| (n.as_str(), ys.clone())).collect();
+    let full: Vec<(&str, Vec<f64>)> = fractions
+        .iter()
+        .map(|(n, ys)| (n.as_str(), ys.clone()))
+        .collect();
     match series_table("request", &full_xs, &full).write_csv("fig5_twitter") {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
@@ -61,4 +68,8 @@ fn main() {
         );
     }
     println!("(higher w_I → more cautious requests, sent earlier)");
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
+    }
 }

@@ -7,15 +7,19 @@
 //! thresholds can help — ABM stops over-investing in cautious users that
 //! are not worth the detour.
 
-use accu_experiments::heatmap::{paper_axes, run_heatmap};
-use accu_experiments::{Cli, ExperimentScale};
+use accu_experiments::heatmap::{paper_axes, run_heatmap_recorded};
+use accu_experiments::{Cli, ExperimentScale, Telemetry};
 
 fn main() {
     let cli = Cli::parse();
     let scale = ExperimentScale::from_cli(&cli);
-    println!("Fig. 6: benefit heat map (Twitter, ABM w_D=w_I=0.5, {})", scale.describe());
+    let tel = Telemetry::from_cli(&cli, "fig6");
+    println!(
+        "Fig. 6: benefit heat map (Twitter, ABM w_D=w_I=0.5, {})",
+        scale.describe()
+    );
     let (benefits, thresholds) = paper_axes();
-    let hm = run_heatmap(&scale, &benefits, &thresholds);
+    let hm = run_heatmap_recorded(&scale, &benefits, &thresholds, tel.recorder());
     println!();
     let table = hm.benefit_table();
     table.print();
@@ -30,11 +34,23 @@ fn main() {
     let top_row_trend = hm.benefit[rows - 1][0] >= hm.benefit[rows - 1][cols - 1];
     println!(
         "\nhigh B_f row: benefit {} from loose (10%) to tight (50%) thresholds",
-        if top_row_trend { "decreases" } else { "increases (unexpected)" }
+        if top_row_trend {
+            "decreases"
+        } else {
+            "increases (unexpected)"
+        }
     );
     let col_trend = hm.benefit[rows - 1][0] >= hm.benefit[0][0];
     println!(
         "loose-threshold column: benefit {} with higher cautious B_f",
-        if col_trend { "increases" } else { "decreases (unexpected)" }
+        if col_trend {
+            "increases"
+        } else {
+            "decreases (unexpected)"
+        }
     );
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
+    }
 }

@@ -5,18 +5,19 @@
 //! The paper's finding: more cautious friends with higher `B_f`
 //! (stronger incentive) and lower thresholds (easier to unlock).
 
-use accu_experiments::heatmap::{paper_axes, run_heatmap};
-use accu_experiments::{Cli, ExperimentScale};
+use accu_experiments::heatmap::{paper_axes, run_heatmap_recorded};
+use accu_experiments::{Cli, ExperimentScale, Telemetry};
 
 fn main() {
     let cli = Cli::parse();
     let scale = ExperimentScale::from_cli(&cli);
+    let tel = Telemetry::from_cli(&cli, "fig7");
     println!(
         "Fig. 7: #cautious-friends heat map (Twitter, ABM w_D=w_I=0.5, {})",
         scale.describe()
     );
     let (benefits, thresholds) = paper_axes();
-    let hm = run_heatmap(&scale, &benefits, &thresholds);
+    let hm = run_heatmap_recorded(&scale, &benefits, &thresholds, tel.recorder());
     println!();
     let table = hm.cautious_table();
     table.print();
@@ -36,4 +37,8 @@ fn main() {
         hm.cautious[rows - 1][cols - 1]
     );
     println!("(expect the most cautious friends at high B_f + loose thresholds)");
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
+    }
 }

@@ -10,10 +10,10 @@
 
 use accu_core::policy::{Abm, AbmWeights};
 use accu_core::theory::{curvature_ratio, two_probability_delta_of};
-use accu_core::{run_attack, AccuInstance, Realization, UserClass};
+use accu_core::{run_attack_recorded, AccuInstance, Realization, UserClass};
 use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{fnum, Table};
-use accu_experiments::Cli;
+use accu_experiments::{Cli, Telemetry};
 use osn_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,11 +21,12 @@ use rand::SeedableRng;
 /// Rebuilds the instance with every cautious user converted to a
 /// hesitant user with below-threshold probability `q1`.
 fn with_hesitant(instance: &AccuInstance, q1: f64) -> AccuInstance {
-    let mut builder =
-        accu_core::AccuInstanceBuilder::new(instance.graph().clone());
+    let mut builder = accu_core::AccuInstanceBuilder::new(instance.graph().clone());
     let m = instance.graph().edge_count();
     builder = builder.edge_probabilities(
-        (0..m).map(|i| instance.edge_probability(osn_graph::EdgeId::from(i))).collect(),
+        (0..m)
+            .map(|i| instance.edge_probability(osn_graph::EdgeId::from(i)))
+            .collect(),
     );
     for i in 0..instance.node_count() {
         let v = NodeId::from(i);
@@ -44,6 +45,7 @@ fn with_hesitant(instance: &AccuInstance, q1: f64) -> AccuInstance {
 
 fn main() {
     let cli = Cli::parse();
+    let tel = Telemetry::from_cli(&cli, "hesitant");
     let k = cli.budget.unwrap_or(150);
     let runs = cli.runs.unwrap_or(8);
     let mut rng = StdRng::seed_from_u64(cli.seed);
@@ -51,7 +53,10 @@ fn main() {
         .scaled(cli.scale.unwrap_or(0.15))
         .generate(&mut rng)
         .expect("generation");
-    let protocol = ProtocolConfig { cautious_count: 20, ..ProtocolConfig::default() };
+    let protocol = ProtocolConfig {
+        cautious_count: 20,
+        ..ProtocolConfig::default()
+    };
     let base = apply_protocol(graph, &protocol, &mut rng).expect("protocol");
     println!(
         "Two-probability cautious model: {} users ({} threshold-gated), k={k}, {runs} runs\n",
@@ -59,19 +64,28 @@ fn main() {
         base.cautious_users().len()
     );
 
-    let mut table =
-        Table::new(["q1", "δ", "curvature ratio", "E[benefit]", "E[gated friends]"]);
+    let mut table = Table::new([
+        "q1",
+        "δ",
+        "curvature ratio",
+        "E[benefit]",
+        "E[gated friends]",
+    ]);
     for &q1 in &[0.0, 0.02, 0.05, 0.1, 0.2, 0.5] {
-        let inst = if q1 == 0.0 { base.clone() } else { with_hesitant(&base, q1) };
+        let inst = if q1 == 0.0 {
+            base.clone()
+        } else {
+            with_hesitant(&base, q1)
+        };
         let delta = two_probability_delta_of(&inst);
         let guarantee = delta.map(|d| curvature_ratio(d, k));
         let mut benefit = 0.0;
         let mut gated = 0.0;
         let mut eval_rng = StdRng::seed_from_u64(cli.seed ^ 0xABCD);
-        let mut abm = Abm::new(AbmWeights::balanced());
+        let mut abm = Abm::with_recorder(AbmWeights::balanced(), tel.recorder());
         for _ in 0..runs {
             let real = Realization::sample(&inst, &mut eval_rng);
-            let out = run_attack(&inst, &real, &mut abm, k);
+            let out = run_attack_recorded(&inst, &real, &mut abm, k, tel.recorder());
             benefit += out.total_benefit;
             gated += out.cautious_friends as f64;
         }
@@ -93,4 +107,8 @@ fn main() {
          small positive q1 already restores a nonzero guarantee and lets some gated users\n\
          fall to direct requests."
     );
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
+    }
 }

@@ -10,12 +10,13 @@ use accu_core::policy::{run_multi_bot_abm, AbmWeights, MultiBotConfig};
 use accu_core::Realization;
 use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{fnum, Table};
-use accu_experiments::Cli;
+use accu_experiments::{Cli, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let cli = Cli::parse();
+    let tel = Telemetry::from_cli(&cli, "multibot");
     let total_budget = cli.budget.unwrap_or(120);
     let runs = cli.runs.unwrap_or(6);
     let mut rng = StdRng::seed_from_u64(cli.seed);
@@ -23,7 +24,10 @@ fn main() {
         .scaled(cli.scale.unwrap_or(0.02))
         .generate(&mut rng)
         .expect("generation");
-    let protocol = ProtocolConfig { cautious_count: 20, ..ProtocolConfig::default() };
+    let protocol = ProtocolConfig {
+        cautious_count: 20,
+        ..ProtocolConfig::default()
+    };
     let instance = apply_protocol(graph, &protocol, &mut rng).expect("protocol");
     println!(
         "Multi-bot campaigns: {} users ({} cautious), total budget {total_budget}, {runs} realizations\n",
@@ -31,19 +35,34 @@ fn main() {
         instance.cautious_users().len()
     );
 
-    let realizations: Vec<Realization> =
-        (0..runs).map(|_| Realization::sample(&instance, &mut rng)).collect();
+    let realizations: Vec<Realization> = (0..runs)
+        .map(|_| Realization::sample(&instance, &mut rng))
+        .collect();
 
-    let mut table =
-        Table::new(["bots", "per-bot cap", "E[benefit]", "E[cautious]", "requests"]);
+    let mut table = Table::new([
+        "bots",
+        "per-bot cap",
+        "E[benefit]",
+        "E[cautious]",
+        "requests",
+    ]);
     for bots in [1usize, 2, 4, 8] {
         let per_bot = total_budget / bots;
-        let cfg = MultiBotConfig { bots, per_bot_budget: per_bot, weights: AbmWeights::balanced() };
+        let cfg = MultiBotConfig {
+            bots,
+            per_bot_budget: per_bot,
+            weights: AbmWeights::balanced(),
+        };
         let mut benefit = 0.0;
         let mut cautious = 0.0;
         let mut requests = 0usize;
+        let campaign_ns = tel.recorder().histogram("multibot.campaign_ns");
+        let campaigns = tel.recorder().counter("multibot.campaigns");
         for real in &realizations {
+            let span = campaign_ns.span();
             let out = run_multi_bot_abm(&instance, real, cfg);
+            span.finish();
+            campaigns.incr();
             benefit += out.total_benefit;
             cautious += out.cautious_compromised as f64;
             requests = out.trace.len();
@@ -65,4 +84,8 @@ fn main() {
         "\n(knowledge is pooled across bots, but cautious thresholds count mutual friends\n\
          per bot — fragmentation protects the high-value users)"
     );
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
+    }
 }

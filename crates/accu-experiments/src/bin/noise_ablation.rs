@@ -7,10 +7,10 @@
 //! the knowledge-free Random baseline.
 
 use accu_core::policy::{Abm, AbmWeights, Policy, Random};
-use accu_core::{run_attack_with_beliefs, AccuInstance, AccuInstanceBuilder, Realization};
+use accu_core::{run_attack_with_beliefs_recorded, AccuInstance, AccuInstanceBuilder, Realization};
 use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{fnum, Table};
-use accu_experiments::Cli;
+use accu_experiments::{Cli, Telemetry};
 use osn_graph::{EdgeId, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +46,7 @@ fn perturbed(truth: &AccuInstance, noise: f64, rng: &mut StdRng) -> AccuInstance
 
 fn main() {
     let cli = Cli::parse();
+    let tel = Telemetry::from_cli(&cli, "noise_ablation");
     let k = cli.budget.unwrap_or(150);
     let runs = cli.runs.unwrap_or(8);
     let mut rng = StdRng::seed_from_u64(cli.seed);
@@ -53,20 +54,25 @@ fn main() {
         .scaled(cli.scale.unwrap_or(0.02))
         .generate(&mut rng)
         .expect("generation");
-    let protocol = ProtocolConfig { cautious_count: 20, ..ProtocolConfig::default() };
+    let protocol = ProtocolConfig {
+        cautious_count: 20,
+        ..ProtocolConfig::default()
+    };
     let truth = apply_protocol(graph, &protocol, &mut rng).expect("protocol");
     println!(
         "Knowledge-noise ablation: {} users, k={k}, {runs} realizations per point\n",
         truth.node_count()
     );
 
-    let realizations: Vec<Realization> =
-        (0..runs).map(|_| Realization::sample(&truth, &mut rng)).collect();
+    let realizations: Vec<Realization> = (0..runs)
+        .map(|_| Realization::sample(&truth, &mut rng))
+        .collect();
     let evaluate = |believed: &AccuInstance, policy: &mut dyn Policy| -> f64 {
         realizations
             .iter()
             .map(|real| {
-                run_attack_with_beliefs(&truth, believed, real, policy, k).total_benefit
+                run_attack_with_beliefs_recorded(&truth, believed, real, policy, k, tel.recorder())
+                    .total_benefit
             })
             .sum::<f64>()
             / runs as f64
@@ -75,8 +81,11 @@ fn main() {
     let mut table = Table::new(["noise", "ABM", "vs exact", "Random"]);
     let exact = evaluate(&truth, &mut Abm::new(AbmWeights::balanced()));
     for &noise in &[0.0, 0.1, 0.25, 0.5, 1.0, 2.0] {
-        let believed =
-            if noise == 0.0 { truth.clone() } else { perturbed(&truth, noise, &mut rng) };
+        let believed = if noise == 0.0 {
+            truth.clone()
+        } else {
+            perturbed(&truth, noise, &mut rng)
+        };
         let abm = evaluate(&believed, &mut Abm::new(AbmWeights::balanced()));
         let random = evaluate(&believed, &mut Random::new(7));
         table.row([
@@ -95,4 +104,8 @@ fn main() {
         "\nABM degrades gracefully: even heavily distorted probability estimates keep it\n\
          far above the knowledge-free Random baseline (the ordering signal survives noise)."
     );
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
+    }
 }

@@ -14,10 +14,10 @@
 //! threshold itself.
 
 use accu_core::policy::{Abm, AbmWeights};
-use accu_core::{run_attack, AccuInstance, AccuInstanceBuilder, Realization, UserClass};
+use accu_core::{run_attack_recorded, AccuInstance, AccuInstanceBuilder, Realization, UserClass};
 use accu_datasets::{select_cautious_users, DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{fnum, Table};
-use accu_experiments::Cli;
+use accu_experiments::{Cli, Telemetry};
 use osn_graph::algo::core_numbers;
 use osn_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -36,10 +36,17 @@ fn instance_with_cautious(
     let m = graph.edge_count();
     let mut builder = AccuInstanceBuilder::new(graph)
         .edge_probabilities((0..m).map(|_| rng.gen_range(0.0..1.0)).collect())
-        .user_classes((0..n).map(|_| UserClass::reckless(rng.gen_range(0.0..1.0))).collect());
+        .user_classes(
+            (0..n)
+                .map(|_| UserClass::reckless(rng.gen_range(0.0..1.0)))
+                .collect(),
+        );
     for &v in cautious {
         builder = builder
-            .user_class(v, UserClass::cautious(cfg.threshold_for_degree(degrees[v.index()])))
+            .user_class(
+                v,
+                UserClass::cautious(cfg.threshold_for_degree(degrees[v.index()])),
+            )
             .benefits(v, cfg.cautious_friend_benefit, cfg.fof_benefit);
     }
     builder.build().expect("valid instance")
@@ -47,10 +54,14 @@ fn instance_with_cautious(
 
 fn main() {
     let cli = Cli::parse();
+    let tel = Telemetry::from_cli(&cli, "selection_ablation");
     let k = cli.budget.unwrap_or(150);
     let runs = cli.runs.unwrap_or(10);
     let count = 20usize;
-    let cfg = ProtocolConfig { cautious_count: count, ..ProtocolConfig::default() };
+    let cfg = ProtocolConfig {
+        cautious_count: count,
+        ..ProtocolConfig::default()
+    };
     let mut rng = StdRng::seed_from_u64(cli.seed);
     let graph = DatasetSpec::facebook()
         .scaled(cli.scale.unwrap_or(0.2))
@@ -84,17 +95,19 @@ fn main() {
         "E[cautious falls]",
         "exposure %",
     ]);
-    for (name, set) in
-        [("degree-band", &band), ("inner-core", &core_set), ("uniform", &uniform)]
-    {
+    for (name, set) in [
+        ("degree-band", &band),
+        ("inner-core", &core_set),
+        ("uniform", &uniform),
+    ] {
         let inst = instance_with_cautious(graph.clone(), &degrees, set, &cfg, &mut rng);
         let mut benefit = 0.0;
         let mut falls = 0.0;
-        let mut abm = Abm::new(AbmWeights::balanced());
+        let mut abm = Abm::with_recorder(AbmWeights::balanced(), tel.recorder());
         let mut eval_rng = StdRng::seed_from_u64(cli.seed ^ 0x5151);
         for _ in 0..runs {
             let real = Realization::sample(&inst, &mut eval_rng);
-            let out = run_attack(&inst, &real, &mut abm, k);
+            let out = run_attack_recorded(&inst, &real, &mut abm, k, tel.recorder());
             benefit += out.total_benefit;
             falls += out.cautious_friends as f64;
         }
@@ -108,13 +121,20 @@ fn main() {
             fnum(mean_core),
             fnum(benefit / runs as f64),
             fnum(falls / runs as f64),
-            format!("{:.0}%", 100.0 * falls / (runs as f64 * set.len().max(1) as f64)),
+            format!(
+                "{:.0}%",
+                100.0 * falls / (runs as f64 * set.len().max(1) as f64)
+            ),
         ]);
     }
     table.print();
     match table.write_csv("selection_ablation") {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
+    }
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
     }
 }
 

@@ -4,9 +4,9 @@
 //! statistics of the synthetic stand-ins, plus the size of the
 //! `[10, 100]` degree band cautious users are drawn from.
 
-use accu_experiments::output::{fnum, Table};
-use accu_experiments::{Cli, ExperimentScale};
 use accu_datasets::DatasetSpec;
+use accu_experiments::output::{fnum, Table};
+use accu_experiments::{Cli, ExperimentScale, Telemetry};
 use osn_graph::algo::{
     degree_assortativity, double_sweep_diameter, global_clustering_coefficient,
     nodes_with_degree_in, DegreeStats,
@@ -18,7 +18,11 @@ use rand::SeedableRng;
 fn main() {
     let cli = Cli::parse();
     let scale = ExperimentScale::from_cli(&cli);
-    println!("Table I: statistics of the data sets ({})", scale.describe());
+    let tel = Telemetry::from_cli(&cli, "table1");
+    println!(
+        "Table I: statistics of the data sets ({})",
+        scale.describe()
+    );
     println!();
     let paper_targets = [
         ("Facebook", 4_000usize, 88_000usize),
@@ -40,11 +44,15 @@ fn main() {
         "Assort.",
         "Diam≥",
     ]);
+    let gen_ns = tel.recorder().histogram("table1.generate_ns");
     let mut rng = StdRng::seed_from_u64(scale.seed);
     for spec in DatasetSpec::all_paper_datasets() {
         let factor = scale.default_graph_scale(&spec);
         let scaled = spec.clone().scaled(factor);
+        let gen_span = gen_ns.span();
         let g = scaled.generate(&mut rng).expect("generation failed");
+        gen_span.finish();
+        tel.recorder().counter("table1.datasets").incr();
         let stats = DegreeStats::of(&g);
         let band = nodes_with_degree_in(&g, 10, 100).len();
         let diameter = double_sweep_diameter(&g, NodeId::new(0));
@@ -65,12 +73,18 @@ fn main() {
             band.to_string(),
             fnum(global_clustering_coefficient(&g)),
             fnum(degree_assortativity(&g)),
-            diameter.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            diameter
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     table.print();
     match table.write_csv("table1") {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
+    }
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
     }
 }

@@ -14,6 +14,7 @@ use accu_core::theory::{
 };
 use accu_core::{run_attack, AccuInstance, AccuInstanceBuilder, UserClass};
 use accu_experiments::output::{fnum, Table};
+use accu_experiments::{Cli, Telemetry};
 use osn_graph::{GraphBuilder, NodeId};
 
 /// Exact expected greedy value by realization enumeration.
@@ -81,6 +82,9 @@ fn instances() -> Vec<NamedInstance> {
 }
 
 fn main() {
+    let cli = Cli::parse();
+    let tel = Telemetry::from_cli(&cli, "theory_report");
+    let instance_ns = tel.recorder().histogram("theory.instance_ns");
     println!("Theory report: §III quantities on small instances (exact computations)\n");
     let k = 3;
     let mut table = Table::new([
@@ -95,6 +99,8 @@ fn main() {
         "Monotone?",
     ]);
     for (name, inst, lemma4) in instances() {
+        let _span = instance_ns.span();
+        tel.recorder().counter("theory.instances").incr();
         let lambda = adaptive_submodular_ratio(&inst).expect("small instance");
         let closed = lemma4
             .map(|(v, theta)| fnum(lemma4_lambda(inst.graph(), inst.benefits(), v, theta)))
@@ -117,8 +123,16 @@ fn main() {
             fnum(opt),
             fnum(greedy),
             fnum(ratio),
-            if violation.is_some() { "violated".into() } else { "holds".to_string() },
-            if monotone { "yes".into() } else { "NO".to_string() },
+            if violation.is_some() {
+                "violated".into()
+            } else {
+                "holds".to_string()
+            },
+            if monotone {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     table.print();
@@ -130,4 +144,8 @@ fn main() {
         "\nEvery row satisfies Theorem 1 (asserted); the realized Greedy/OPT ratio is far\n\
          above the worst-case 1 − e^{{-λ}} bound, as expected for non-adversarial instances."
     );
+
+    if let Err(e) = tel.report() {
+        eprintln!("telemetry write failed: {e}");
+    }
 }

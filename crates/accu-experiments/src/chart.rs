@@ -78,8 +78,11 @@ impl Chart {
             return String::from("(empty chart)\n");
         }
         let (xmin, xmax) = bounds(&self.xs);
-        let all_y: Vec<f64> =
-            self.series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+        let all_y: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, ys)| ys.iter().copied())
+            .collect();
         let (ymin, ymax) = bounds(&all_y);
         let yspan = (ymax - ymin).max(1e-12);
         let xspan = (xmax - xmin).max(1e-12);

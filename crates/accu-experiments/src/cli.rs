@@ -27,11 +27,23 @@ pub struct Cli {
     pub budget: Option<usize>,
     /// Override: graph scaling factor.
     pub scale: Option<f64>,
+    /// Collect and report runtime telemetry (per-stage timing, policy
+    /// counters) and write a JSONL snapshot under
+    /// `target/experiments/telemetry/`.
+    pub telemetry: bool,
 }
 
 impl Default for Cli {
     fn default() -> Self {
-        Cli { paper: false, seed: 42, samples: None, runs: None, budget: None, scale: None }
+        Cli {
+            paper: false,
+            seed: 42,
+            samples: None,
+            runs: None,
+            budget: None,
+            scale: None,
+            telemetry: false,
+        }
     }
 }
 
@@ -56,7 +68,8 @@ impl Cli {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: [--paper] [--seed N] [--samples N] [--runs N] [--budget K] [--scale F]"
+                    "usage: [--paper] [--seed N] [--samples N] [--runs N] [--budget K] \
+                     [--scale F] [--telemetry]"
                 );
                 std::process::exit(2);
             }
@@ -84,6 +97,7 @@ impl Cli {
             };
             match arg {
                 "--paper" => cli.paper = true,
+                "--telemetry" => cli.telemetry = true,
                 "--seed" => {
                     cli.seed = value("--seed")?
                         .parse()
@@ -138,10 +152,20 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let cli = Cli::parse_from(
-            ["--paper", "--seed", "7", "--samples", "3", "--runs", "9", "--budget", "100",
-             "--scale", "0.5"],
-        )
+        let cli = Cli::parse_from([
+            "--paper",
+            "--seed",
+            "7",
+            "--samples",
+            "3",
+            "--runs",
+            "9",
+            "--budget",
+            "100",
+            "--scale",
+            "0.5",
+            "--telemetry",
+        ])
         .unwrap();
         assert!(cli.paper);
         assert_eq!(cli.seed, 7);
@@ -149,6 +173,13 @@ mod tests {
         assert_eq!(cli.runs, Some(9));
         assert_eq!(cli.budget, Some(100));
         assert_eq!(cli.scale, Some(0.5));
+        assert!(cli.telemetry);
+    }
+
+    #[test]
+    fn telemetry_defaults_off() {
+        let cli = Cli::parse_from(["--seed", "3"]).unwrap();
+        assert!(!cli.telemetry);
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! the number of cautious friends obtained (Fig. 7).
 
 use accu_datasets::{DatasetSpec, ProtocolConfig};
+use accu_telemetry::Recorder;
 
 use crate::output::{fnum, Table};
-use crate::{run_policy, ExperimentScale, PolicyKind};
+use crate::{run_policy_recorded, ExperimentScale, PolicyKind};
 
 /// Result of the two-parameter sensitivity sweep.
 #[derive(Debug, Clone)]
@@ -52,11 +53,26 @@ impl HeatMap {
 /// The paper's sweep axes: cautious `B_f ∈ {20, 30, 40, 50, 60}` and
 /// threshold fraction `∈ {10%, …, 50%}`.
 pub fn paper_axes() -> (Vec<f64>, Vec<f64>) {
-    ((2..=6).map(|i| 10.0 * i as f64).collect(), (1..=5).map(|i| i as f64 / 10.0).collect())
+    (
+        (2..=6).map(|i| 10.0 * i as f64).collect(),
+        (1..=5).map(|i| i as f64 / 10.0).collect(),
+    )
 }
 
 /// Runs the sweep on the Twitter stand-in with ABM (`w_D = w_I = 0.5`).
 pub fn run_heatmap(scale: &ExperimentScale, benefits: &[f64], thresholds: &[f64]) -> HeatMap {
+    run_heatmap_recorded(scale, benefits, thresholds, &Recorder::disabled())
+}
+
+/// [`run_heatmap`] with telemetry reported to `recorder`; one extra
+/// `heatmap.cells` counter tracks sweep progress.
+pub fn run_heatmap_recorded(
+    scale: &ExperimentScale,
+    benefits: &[f64],
+    thresholds: &[f64],
+    recorder: &Recorder,
+) -> HeatMap {
+    let cells = recorder.counter("heatmap.cells");
     let mut benefit = Vec::with_capacity(benefits.len());
     let mut cautious = Vec::with_capacity(benefits.len());
     for &bf in benefits {
@@ -69,9 +85,10 @@ pub fn run_heatmap(scale: &ExperimentScale, benefits: &[f64], thresholds: &[f64]
                 ..ProtocolConfig::default()
             };
             let figure = scale.figure_run(DatasetSpec::twitter(), protocol);
-            let acc = run_policy(&figure, PolicyKind::abm_balanced());
+            let acc = run_policy_recorded(&figure, PolicyKind::abm_balanced(), recorder);
             brow.push(acc.mean_total_benefit());
             crow.push(acc.mean_cautious_friends());
+            cells.incr();
         }
         benefit.push(brow);
         cautious.push(crow);

@@ -41,7 +41,9 @@ pub mod heatmap;
 pub mod output;
 mod runner;
 mod scale;
+pub mod telemetry;
 
 pub use cli::{Cli, CliError};
-pub use runner::{run_policy, FigureRun, PolicyKind};
+pub use runner::{run_policy, run_policy_recorded, runner_metrics, FigureRun, PolicyKind};
 pub use scale::ExperimentScale;
+pub use telemetry::Telemetry;

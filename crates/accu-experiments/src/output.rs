@@ -9,10 +9,17 @@ use std::path::PathBuf;
 
 /// Directory experiment CSVs are written to (`target/experiments`),
 /// created on demand.
-pub fn experiments_dir() -> PathBuf {
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory cannot be
+/// created — a failure here would otherwise surface only as every
+/// subsequent CSV/telemetry write failing with a confusing "no such
+/// directory".
+pub fn experiments_dir() -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("target").join("experiments");
-    let _ = fs::create_dir_all(&dir);
-    dir
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
 /// A simple column-aligned table that can be printed and exported.
@@ -40,7 +47,10 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -97,7 +107,7 @@ impl Table {
     ///
     /// Returns any underlying I/O error.
     pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
-        let path = experiments_dir().join(format!("{name}.csv"));
+        let path = experiments_dir()?.join(format!("{name}.csv"));
         let mut file = fs::File::create(&path)?;
         writeln!(file, "{}", csv_line(&self.headers))?;
         for row in &self.rows {
@@ -140,11 +150,7 @@ pub fn fnum(x: f64) -> String {
 /// # Panics
 ///
 /// Panics if a series length differs from `xs`.
-pub fn series_table(
-    x_name: &str,
-    xs: &[f64],
-    series: &[(&str, Vec<f64>)],
-) -> Table {
+pub fn series_table(x_name: &str, xs: &[f64], series: &[(&str, Vec<f64>)]) -> Table {
     let mut headers = vec![x_name.to_string()];
     headers.extend(series.iter().map(|(n, _)| n.to_string()));
     let mut t = Table::new(headers);
@@ -170,7 +176,9 @@ pub fn downsample_indices(len: usize, max_points: usize) -> Vec<usize> {
         return (0..len).collect();
     }
     let step = len as f64 / max_points as f64;
-    let mut idx: Vec<usize> = (0..max_points).map(|i| (i as f64 * step) as usize).collect();
+    let mut idx: Vec<usize> = (0..max_points)
+        .map(|i| (i as f64 * step) as usize)
+        .collect();
     if *idx.last().unwrap() != len - 1 {
         idx.push(len - 1);
     }

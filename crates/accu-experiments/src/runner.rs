@@ -2,13 +2,51 @@
 //! parallelized over CPU cores, folded into [`TraceAccumulator`]s.
 
 use accu_core::policy::{
-    Abm, AbmWeights, CentralityKind, CentralityPolicy, MaxDegree, PageRankPolicy, Random,
-    Snowball,
+    Abm, AbmWeights, CentralityKind, CentralityPolicy, MaxDegree, PageRankPolicy, Random, Snowball,
 };
-use accu_core::{run_attack, Policy, Realization, TraceAccumulator};
-use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
+use accu_core::{run_attack_recorded, Policy, Realization, TraceAccumulator};
+use accu_telemetry::{CounterHandle, HistogramHandle, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
+
+/// Metric names emitted by the experiment runner.
+pub mod runner_metrics {
+    /// Counter: sampled networks processed across all workers.
+    pub const NETWORKS: &str = "runner.networks";
+    /// Counter: attack episodes completed across all workers.
+    pub const EPISODES: &str = "runner.episodes";
+    /// Counter: worker threads spawned for the run.
+    pub const WORKERS: &str = "runner.workers";
+    /// Histogram: wall-clock nanoseconds per sampled network (graph
+    /// generation + protocol + all repetitions).
+    pub const NETWORK_NS: &str = "runner.network_ns";
+    /// Per-worker episode-throughput counter. Comparing these across
+    /// workers exposes queue imbalance (ideally near-equal).
+    pub fn worker_episodes(worker: usize) -> String {
+        format!("runner.worker.{worker}.episodes")
+    }
+}
+
+/// Telemetry handles for one runner worker, fetched once per thread.
+struct WorkerTelemetry {
+    networks: CounterHandle,
+    episodes: CounterHandle,
+    worker_episodes: CounterHandle,
+    network_ns: HistogramHandle,
+}
+
+impl WorkerTelemetry {
+    fn new(recorder: &Recorder, worker: usize) -> Self {
+        WorkerTelemetry {
+            networks: recorder.counter(runner_metrics::NETWORKS),
+            episodes: recorder.counter(runner_metrics::EPISODES),
+            worker_episodes: recorder.counter(runner_metrics::worker_episodes(worker)),
+            network_ns: recorder.histogram(runner_metrics::NETWORK_NS),
+        }
+    }
+}
 
 /// Which policy to run — a cloneable, thread-shippable policy recipe.
 ///
@@ -70,9 +108,23 @@ impl PolicyKind {
 
     /// Instantiates the policy (Random gets the given seed).
     pub fn instantiate(&self, seed: u64) -> Box<dyn Policy + Send> {
+        self.instantiate_recorded(seed, &Recorder::disabled())
+    }
+
+    /// Like [`PolicyKind::instantiate`], but heap-based policies (ABM,
+    /// Greedy) additionally report their internal counters to
+    /// `recorder`. A disabled recorder makes this identical to
+    /// [`PolicyKind::instantiate`].
+    pub fn instantiate_recorded(&self, seed: u64, recorder: &Recorder) -> Box<dyn Policy + Send> {
         match *self {
-            PolicyKind::Abm { wd, wi } => Box::new(Abm::new(AbmWeights::new(wd, wi))),
-            PolicyKind::Greedy => Box::new(accu_core::policy::pure_greedy()),
+            PolicyKind::Abm { wd, wi } => {
+                Box::new(Abm::with_recorder(AbmWeights::new(wd, wi), recorder))
+            }
+            PolicyKind::Greedy => {
+                let mut greedy = accu_core::policy::pure_greedy();
+                greedy.attach_recorder(recorder);
+                Box::new(greedy)
+            }
             PolicyKind::MaxDegree => Box::new(MaxDegree::new()),
             PolicyKind::PageRank => Box::new(PageRankPolicy::new()),
             PolicyKind::Random => Box::new(Random::new(seed)),
@@ -141,8 +193,25 @@ impl FigureRun {
 /// realizations (paired comparison, variance reduction — and the paper's
 /// setup of evaluating all algorithms on the same sample networks).
 pub fn run_policy(figure: &FigureRun, policy: PolicyKind) -> TraceAccumulator {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    run_policy_recorded(figure, policy, &Recorder::disabled())
+}
+
+/// [`run_policy`] with telemetry: per-worker episode throughput,
+/// per-network wall clock, and (for heap-based policies) the policy's
+/// own counters all land in `recorder`. A disabled recorder reduces
+/// this to [`run_policy`] at no measurable cost.
+pub fn run_policy_recorded(
+    figure: &FigureRun,
+    policy: PolicyKind,
+    recorder: &Recorder,
+) -> TraceAccumulator {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let threads = threads.min(figure.network_samples.max(1));
+    recorder
+        .counter(runner_metrics::WORKERS)
+        .add(threads as u64);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut accumulators: Vec<TraceAccumulator> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
@@ -151,15 +220,18 @@ pub fn run_policy(figure: &FigureRun, policy: PolicyKind) -> TraceAccumulator {
             let next = &next;
             let figure = &figure;
             handles.push(scope.spawn(move || {
+                let tel = WorkerTelemetry::new(recorder, worker);
                 let mut acc = TraceAccumulator::new(figure.budget);
-                let mut policy_impl =
-                    policy.instantiate(figure.seed ^ (worker as u64).wrapping_mul(0xA5A5));
+                let mut policy_impl = policy.instantiate_recorded(
+                    figure.seed ^ (worker as u64).wrapping_mul(0xA5A5),
+                    recorder,
+                );
                 loop {
                     let net = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if net >= figure.network_samples {
                         break;
                     }
-                    run_network(figure, net, policy_impl.as_mut(), &mut acc);
+                    run_network(figure, net, policy_impl.as_mut(), &mut acc, recorder, &tel);
                 }
                 acc
             }));
@@ -181,25 +253,32 @@ fn run_network(
     net_index: usize,
     policy: &mut dyn Policy,
     acc: &mut TraceAccumulator,
+    recorder: &Recorder,
+    tel: &WorkerTelemetry,
 ) {
+    let _net_span = tel.network_ns.span();
     // Derive a per-network stream so results do not depend on thread
     // scheduling.
     let mut net_rng = StdRng::seed_from_u64(
-        figure.seed.wrapping_add((net_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        figure
+            .seed
+            .wrapping_add((net_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
     );
     let graph = figure
         .dataset
         .generate(&mut net_rng)
         .expect("dataset generation failed");
-    let instance =
-        apply_protocol(graph, &figure.protocol, &mut net_rng).expect("protocol failed");
+    let instance = apply_protocol(graph, &figure.protocol, &mut net_rng).expect("protocol failed");
     for _ in 0..figure.runs_per_network {
         let run_seed: u64 = net_rng.gen();
         let mut run_rng = StdRng::seed_from_u64(run_seed);
         let realization = Realization::sample(&instance, &mut run_rng);
-        let outcome = run_attack(&instance, &realization, policy, figure.budget);
+        let outcome = run_attack_recorded(&instance, &realization, policy, figure.budget, recorder);
         acc.add(&outcome);
+        tel.episodes.incr();
+        tel.worker_episodes.incr();
     }
+    tel.networks.incr();
 }
 
 #[cfg(test)]
@@ -254,7 +333,10 @@ mod tests {
 
     #[test]
     fn lineup_has_paper_order() {
-        let names: Vec<&str> = PolicyKind::paper_lineup().iter().map(|p| p.name()).collect();
+        let names: Vec<&str> = PolicyKind::paper_lineup()
+            .iter()
+            .map(|p| p.name())
+            .collect();
         assert_eq!(names, vec!["ABM", "PageRank", "MaxDegree", "Random"]);
     }
 
@@ -262,8 +344,7 @@ mod tests {
     fn extended_lineup_names_are_distinct() {
         let lineup = PolicyKind::extended_lineup();
         assert_eq!(lineup.len(), 9);
-        let names: std::collections::HashSet<&str> =
-            lineup.iter().map(|p| p.name()).collect();
+        let names: std::collections::HashSet<&str> = lineup.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), 9);
     }
 
@@ -273,6 +354,48 @@ mod tests {
         let acc = run_policy(&fig, PolicyKind::Centrality(CentralityKind::Eigenvector));
         assert_eq!(acc.runs(), fig.episodes());
         assert!(acc.mean_total_benefit() > 0.0);
+    }
+
+    #[test]
+    fn recorded_runner_matches_plain_and_counts_episodes() {
+        use accu_core::sim_metrics;
+
+        let fig = tiny_figure();
+        let plain = run_policy(&fig, PolicyKind::abm_balanced());
+        let recorder = Recorder::enabled();
+        let acc = run_policy_recorded(&fig, PolicyKind::abm_balanced(), &recorder);
+        // Telemetry must not perturb the simulation.
+        assert_eq!(
+            plain.mean_cumulative_benefit(),
+            acc.mean_cumulative_benefit()
+        );
+
+        let snap = recorder.snapshot("runner-test").unwrap();
+        let episodes = acc.runs() as u64;
+        assert_eq!(snap.counter(runner_metrics::EPISODES), Some(episodes));
+        assert_eq!(snap.counter(sim_metrics::EPISODES), Some(episodes));
+        assert_eq!(
+            snap.counter(runner_metrics::NETWORKS),
+            Some(fig.network_samples as u64)
+        );
+        // Every episode on this instance exhausts the full budget, so
+        // the simulator's request counter is exactly runs × k.
+        assert_eq!(
+            snap.counter(sim_metrics::REQUESTS),
+            Some(episodes * fig.budget as u64)
+        );
+        // Per-worker throughput counters partition the episode total.
+        let worker_sum: u64 = snap
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("runner.worker."))
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(worker_sum, episodes);
+        // One wall-clock sample per sampled network.
+        let net_ns = snap.histogram(runner_metrics::NETWORK_NS).unwrap();
+        assert_eq!(net_ns.count, fig.network_samples as u64);
+        assert!(net_ns.sum > 0);
     }
 
     #[test]

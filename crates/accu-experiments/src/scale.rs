@@ -31,7 +31,11 @@ pub struct ExperimentScale {
 impl ExperimentScale {
     /// Resolves the scale from parsed command-line options.
     pub fn from_cli(cli: &Cli) -> Self {
-        let (samples, runs, budget) = if cli.paper { (100, 30, 500) } else { (3, 3, 300) };
+        let (samples, runs, budget) = if cli.paper {
+            (100, 30, 500)
+        } else {
+            (3, 3, 300)
+        };
         ExperimentScale {
             network_samples: cli.samples.unwrap_or(samples),
             runs_per_network: cli.runs.unwrap_or(runs),
@@ -59,7 +63,9 @@ impl ExperimentScale {
 
     /// Builds the [`FigureRun`] for a dataset with the given protocol.
     pub fn figure_run(&self, dataset: DatasetSpec, protocol: ProtocolConfig) -> FigureRun {
-        let factor = self.graph_scale.unwrap_or_else(|| self.default_graph_scale(&dataset));
+        let factor = self
+            .graph_scale
+            .unwrap_or_else(|| self.default_graph_scale(&dataset));
         FigureRun {
             dataset: dataset.scaled(factor),
             protocol,
@@ -99,7 +105,10 @@ mod tests {
 
     #[test]
     fn paper_scale() {
-        let cli = Cli { paper: true, ..Cli::default() };
+        let cli = Cli {
+            paper: true,
+            ..Cli::default()
+        };
         let s = ExperimentScale::from_cli(&cli);
         assert_eq!(s.network_samples, 100);
         assert_eq!(s.runs_per_network, 30);

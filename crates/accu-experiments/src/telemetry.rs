@@ -1,0 +1,281 @@
+//! `--telemetry` plumbing shared by the experiment binaries.
+//!
+//! Each binary builds a [`Telemetry`] handle from its parsed [`Cli`];
+//! the handle carries an [`accu_telemetry::Recorder`] (disabled unless
+//! `--telemetry` was passed) that is threaded into the runner and
+//! policies. At the end of the run, [`Telemetry::report`] prints a
+//! per-stage summary table and writes a machine-readable JSONL snapshot
+//! under `target/experiments/telemetry/<label>.jsonl`.
+
+use std::io;
+use std::path::PathBuf;
+
+use accu_core::policy::abm_metrics;
+use accu_core::sim_metrics;
+use accu_telemetry::{FieldValue, JsonlSink, Recorder, Snapshot};
+
+use crate::cli::Cli;
+use crate::output::{experiments_dir, fnum, Table};
+use crate::runner::runner_metrics;
+
+/// Directory telemetry JSONL snapshots are written to
+/// (`target/experiments/telemetry`), created on demand.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory cannot be created.
+pub fn telemetry_dir() -> io::Result<PathBuf> {
+    let dir = experiments_dir()?.join("telemetry");
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// A per-binary telemetry handle: a recorder plus the label snapshots
+/// are filed under.
+///
+/// # Examples
+///
+/// ```
+/// use accu_experiments::{Cli, Telemetry};
+///
+/// let cli = Cli::parse_from(["--telemetry"]).unwrap();
+/// let tel = Telemetry::from_cli(&cli, "doc-example");
+/// assert!(tel.is_enabled());
+/// tel.recorder().counter("sim.requests").add(3);
+/// assert_eq!(tel.snapshot().unwrap().counter("sim.requests"), Some(3));
+///
+/// let off = Telemetry::from_cli(&Cli::default(), "doc-example");
+/// assert!(off.snapshot().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    recorder: Recorder,
+    label: String,
+}
+
+impl Telemetry {
+    /// Builds a handle whose recorder is enabled iff `cli.telemetry`.
+    pub fn from_cli(cli: &Cli, label: &str) -> Self {
+        Telemetry {
+            recorder: Recorder::new(cli.telemetry),
+            label: label.to_string(),
+        }
+    }
+
+    /// The recorder to thread into `run_policy_recorded` and friends.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Whether telemetry collection is on.
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// Captures the current snapshot (None when disabled).
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.recorder.snapshot(&self.label)
+    }
+
+    /// Prints the summary tables and writes the JSONL snapshot, returning
+    /// the JSONL path. A disabled handle does nothing and returns
+    /// `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the JSONL file.
+    pub fn report(&self) -> io::Result<Option<PathBuf>> {
+        let Some(snapshot) = self.snapshot() else {
+            return Ok(None);
+        };
+        print_summary(&snapshot);
+        let path = telemetry_dir()?.join(format!("{}.jsonl", sanitize(&self.label)));
+        let mut sink = JsonlSink::create(&path)?;
+        sink.write_snapshot(&snapshot)?;
+        let derived: Vec<(&str, FieldValue)> = derived_metrics(&snapshot)
+            .iter()
+            .map(|(name, value)| (*name, FieldValue::F64(*value)))
+            .collect();
+        if !derived.is_empty() {
+            sink.write_event("derived", &derived)?;
+        }
+        sink.flush()?;
+        println!("telemetry snapshot written to {}", path.display());
+        Ok(Some(path))
+    }
+}
+
+/// Turns a snapshot label into a safe file stem.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Prints the counters, per-stage timing, and derived-rate tables.
+pub fn print_summary(snapshot: &Snapshot) {
+    println!("\n--- telemetry: {} ---", snapshot.label);
+    if !snapshot.counters.is_empty() {
+        let mut t = Table::new(["counter", "value"]);
+        for c in &snapshot.counters {
+            t.row([c.name.clone(), c.value.to_string()]);
+        }
+        t.print();
+    }
+    if !snapshot.histograms.is_empty() {
+        println!();
+        let mut t = Table::new(["stage", "count", "mean", "p50", "p90", "p99", "max"]);
+        for h in &snapshot.histograms {
+            t.row([
+                h.name.clone(),
+                h.count.to_string(),
+                fmt_ns(h.mean),
+                fmt_ns(h.p50 as f64),
+                fmt_ns(h.p90 as f64),
+                fmt_ns(h.p99 as f64),
+                fmt_ns(h.max as f64),
+            ]);
+        }
+        t.print();
+    }
+    let derived = derived_metrics(snapshot);
+    if !derived.is_empty() {
+        println!();
+        let mut t = Table::new(["derived", "value"]);
+        for (name, value) in derived {
+            t.row([name.to_string(), fnum(value)]);
+        }
+        t.print();
+    }
+}
+
+/// Rates computed from raw counters at report time: acceptance rates,
+/// the ABM lazy-reevaluation hit rate, and worker queue imbalance.
+pub fn derived_metrics(snapshot: &Snapshot) -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+    let ratio = |num: &str, den: &str| -> Option<f64> {
+        let d = snapshot.counter(den)?;
+        if d == 0 {
+            return None;
+        }
+        Some(snapshot.counter(num)? as f64 / d as f64)
+    };
+    if let Some(r) = ratio(sim_metrics::ACCEPTED, sim_metrics::REQUESTS) {
+        out.push(("acceptance_rate", r));
+    }
+    if let Some(r) = ratio(
+        sim_metrics::CAUTIOUS_ACCEPTED,
+        sim_metrics::CAUTIOUS_REQUESTS,
+    ) {
+        out.push(("cautious_acceptance_rate", r));
+    }
+    if let Some(r) = ratio(abm_metrics::SELECTS, abm_metrics::HEAP_POP) {
+        out.push(("abm_lazy_hit_rate", r));
+    }
+    // Queue imbalance: max over min per-worker episode counts. 1.0 is a
+    // perfectly balanced work queue.
+    let worker_counts: Vec<u64> = snapshot
+        .counters
+        .iter()
+        .filter(|c| c.name.starts_with("runner.worker.") && c.name.ends_with(".episodes"))
+        .map(|c| c.value)
+        .collect();
+    if worker_counts.len() > 1 {
+        let max = *worker_counts.iter().max().unwrap();
+        let min = *worker_counts.iter().min().unwrap();
+        if min > 0 {
+            out.push(("worker_queue_imbalance", max as f64 / min as f64));
+        }
+    }
+    if let Some(eps) = snapshot.counter(runner_metrics::EPISODES) {
+        if let Some(h) = snapshot.histogram(runner_metrics::NETWORK_NS) {
+            if h.sum > 0 {
+                // Episodes per wall-clock second of network processing,
+                // summed across workers (i.e. aggregate throughput).
+                out.push((
+                    "episodes_per_network_second",
+                    eps as f64 * 1e9 / h.sum as f64,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds into a human unit (ns/µs/ms/s).
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        return "-".to_string();
+    }
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_reports_nothing() {
+        let tel = Telemetry::from_cli(&Cli::default(), "off");
+        assert!(!tel.is_enabled());
+        assert!(tel.snapshot().is_none());
+        assert_eq!(tel.report().unwrap(), None);
+    }
+
+    #[test]
+    fn derived_rates_from_counters() {
+        let rec = Recorder::enabled();
+        rec.counter(sim_metrics::REQUESTS).add(10);
+        rec.counter(sim_metrics::ACCEPTED).add(4);
+        rec.counter(abm_metrics::HEAP_POP).add(8);
+        rec.counter(abm_metrics::SELECTS).add(6);
+        rec.counter(runner_metrics::worker_episodes(0)).add(10);
+        rec.counter(runner_metrics::worker_episodes(1)).add(5);
+        let snap = rec.snapshot("t").unwrap();
+        let derived = derived_metrics(&snap);
+        let get = |name: &str| {
+            derived
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing derived metric {name}"))
+        };
+        assert!((get("acceptance_rate") - 0.4).abs() < 1e-12);
+        assert!((get("abm_lazy_hit_rate") - 0.75).abs() < 1e-12);
+        assert!((get("worker_queue_imbalance") - 2.0).abs() < 1e-12);
+        // Zero-denominator rates are omitted, not NaN.
+        assert!(!derived
+            .iter()
+            .any(|(n, _)| *n == "cautious_acceptance_rate"));
+    }
+
+    #[test]
+    fn sanitize_keeps_names_filesystem_safe() {
+        assert_eq!(sanitize("fig2/ABM weights"), "fig2_ABM_weights");
+        assert_eq!(sanitize("bench-abm_1"), "bench-abm_1");
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12.0), "12ns");
+        assert_eq!(fmt_ns(1_500.0), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.5ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00s");
+        assert_eq!(fmt_ns(f64::NAN), "-");
+    }
+}

@@ -1,0 +1,128 @@
+//! Lock-free monotonic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing atomic counter.
+///
+/// Increments use relaxed ordering: counters are statistics, not
+/// synchronization primitives, and relaxed `fetch_add` keeps the
+/// instrumented hot paths at a single uncontended atomic instruction.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A possibly-no-op handle to a [`Counter`] in a recorder's registry.
+///
+/// Obtained from [`Recorder::counter`](crate::Recorder::counter); the
+/// caller is expected to fetch handles once (outside the hot loop) and
+/// increment through them. A handle from a disabled recorder holds no
+/// counter and its methods do nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(pub(crate) Option<Arc<Counter>>);
+
+impl CounterHandle {
+    /// A handle that ignores all increments.
+    pub fn noop() -> Self {
+        CounterHandle(None)
+    }
+
+    /// Whether increments are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` (no-op when disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.add(n);
+        }
+    }
+
+    /// Adds one (no-op when disabled).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_reads() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+    }
+
+    #[test]
+    fn noop_handle_ignores_everything() {
+        let h = CounterHandle::noop();
+        h.incr();
+        h.add(100);
+        assert_eq!(h.value(), 0);
+        assert!(!h.is_enabled());
+    }
+
+    #[test]
+    fn live_handle_shares_the_counter() {
+        let c = Arc::new(Counter::new());
+        let h1 = CounterHandle(Some(c.clone()));
+        let h2 = h1.clone();
+        h1.add(2);
+        h2.add(3);
+        assert_eq!(c.value(), 5);
+        assert_eq!(h1.value(), 5);
+        assert!(h1.is_enabled());
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 40_000);
+    }
+}

@@ -1,0 +1,279 @@
+//! Log-bucketed histograms and RAII span timers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of power-of-two buckets: bucket `i` holds values whose
+/// highest set bit is `i` (bucket 0 additionally holds 0), so the full
+/// `u64` range is covered.
+pub const BUCKETS: usize = 64;
+
+/// A lock-free histogram over `u64` samples (typically nanoseconds)
+/// with power-of-two buckets.
+///
+/// Recording is four relaxed atomic operations (bucket, count, sum,
+/// max) plus one conditional min update — cheap enough for per-request
+/// instrumentation. Quantiles are estimated from the bucket boundaries
+/// (at most 2× off, which is plenty for "where does the time go"
+/// profiling); `count`, `sum`, `mean`, `min` and `max` are exact.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket holding `value`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    (63 - (value | 1).leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the bucket
+    /// counts: the upper bound of the bucket containing the quantile
+    /// rank, clamped to the observed max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.buckets[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper edge of bucket i: 2^(i+1) − 1.
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Raw bucket counts (index `i` = values with highest bit `i`).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// A possibly-no-op handle to a [`Histogram`] in a recorder's registry.
+///
+/// Obtained from [`Recorder::histogram`](crate::Recorder::histogram).
+/// A handle from a disabled recorder records nothing and its
+/// [`span`](HistogramHandle::span) never reads the clock.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(pub(crate) Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    /// A handle that ignores all samples.
+    pub fn noop() -> Self {
+        HistogramHandle(None)
+    }
+
+    /// Whether samples are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one sample (no-op when disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.record(value);
+        }
+    }
+
+    /// Starts a span: the guard records the elapsed wall-clock
+    /// nanoseconds into this histogram when dropped. When the handle is
+    /// disabled the guard is inert and `Instant::now` is never called.
+    #[inline]
+    pub fn span(&self) -> SpanGuard {
+        SpanGuard {
+            inner: self.0.as_ref().map(|h| (Arc::clone(h), Instant::now())),
+        }
+    }
+
+    /// Number of recorded samples (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.count())
+    }
+
+    /// Sum of recorded samples (0 when disabled).
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.sum())
+    }
+}
+
+/// RAII timer from [`HistogramHandle::span`]; records nanoseconds
+/// elapsed between creation and drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl SpanGuard {
+    /// Stops the span early, recording now instead of at drop.
+    pub fn finish(mut self) {
+        self.record_now();
+    }
+
+    fn record_now(&mut self) {
+        if let Some((hist, start)) = self.inner.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            hist.record(nanos);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.record_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn exact_statistics() {
+        let h = Histogram::new();
+        for v in [5u64, 10, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 30);
+        assert_eq!(h.mean(), 10.0);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_bounded() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 3, upper edge 15
+        }
+        h.record(1000); // bucket 9, upper edge 1023
+        assert_eq!(h.quantile(0.5), 15);
+        // p100 lands in the top bucket but is clamped to the true max.
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(0.0), 15); // rank clamps to the first sample
+    }
+
+    #[test]
+    fn span_guard_records_once() {
+        let hist = Arc::new(Histogram::new());
+        let handle = HistogramHandle(Some(hist.clone()));
+        {
+            let _g = handle.span();
+            std::hint::black_box(0);
+        }
+        assert_eq!(hist.count(), 1);
+        handle.span().finish();
+        assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn noop_handle_records_nothing() {
+        let h = HistogramHandle::noop();
+        h.record(5);
+        let _g = h.span();
+        drop(_g);
+        assert_eq!(h.count(), 0);
+        assert!(!h.is_enabled());
+    }
+}

@@ -1,0 +1,334 @@
+//! Point-in-time metric snapshots and the JSONL sink.
+//!
+//! The workspace has no serde; snapshots serialize through a small
+//! hand-rolled JSON writer. The schema is one object per line:
+//!
+//! ```json
+//! {"type":"snapshot","label":"fig2/ABM","counters":{"sim.requests":900},
+//!  "histograms":{"sim.select_ns":{"count":900,"sum":12345,"mean":13.7,
+//!  "min":4,"p50":15,"p90":31,"p99":63,"max":214}}}
+//! {"type":"event","name":"episode_done","fields":{"worker":0,"benefit":54.0}}
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One histogram's summary at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u64,
+    /// Exact mean sample.
+    pub mean: f64,
+    /// Exact minimum sample.
+    pub min: u64,
+    /// Estimated median (bucket upper bound).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+}
+
+/// A labelled point-in-time capture of a recorder's registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Free-form label (experiment id, bench name, …).
+    pub label: String,
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serializes to a single JSON object (one JSONL line, no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"type\":\"snapshot\",\"label\":\"");
+        out.push_str(&json_escape(&self.label));
+        out.push_str("\",\"counters\":{");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(&c.name), c.value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"p50\":{},\
+                 \"p90\":{},\"p99\":{},\"max\":{}}}",
+                json_escape(&h.name),
+                h.count,
+                h.sum,
+                json_number(h.mean),
+                h.min,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.max
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A value in a JSONL event's field map.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (serialized as `null` if non-finite).
+    F64(f64),
+    /// A string (escaped).
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Escapes a string for inclusion inside JSON quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number (`null` for NaN/∞, which JSON
+/// cannot represent).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a decimal
+        // point or exponent, keeping the token unambiguous.
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An append-only JSONL file sink for snapshots and events.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: BufWriter<fs::File>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the sink file, creating parent directories
+    /// as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error — callers must surface it, not
+    /// swallow it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = fs::File::create(&path)?;
+        Ok(JsonlSink {
+            writer: BufWriter::new(file),
+            path,
+        })
+    }
+
+    /// The sink's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one snapshot line.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_snapshot(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        self.writer.write_all(snapshot.to_json().as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Appends one event line with the given fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_event(&mut self, name: &str, fields: &[(&str, FieldValue)]) -> io::Result<()> {
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"type\":\"event\",\"name\":\"");
+        line.push_str(&json_escape(name));
+        line.push_str("\",\"fields\":{");
+        for (i, (key, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "\"{}\":", json_escape(key));
+            match value {
+                FieldValue::U64(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                FieldValue::F64(v) => line.push_str(&json_number(*v)),
+                FieldValue::Str(v) => {
+                    let _ = write!(line, "\"{}\"", json_escape(v));
+                }
+            }
+        }
+        line.push_str("}}\n");
+        self.writer.write_all(line.as_bytes())
+    }
+
+    /// Flushes buffered lines to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn snapshot_json_shape() {
+        let rec = Recorder::enabled();
+        rec.counter("a.hits").add(3);
+        rec.histogram("a.lat").record(10);
+        let json = rec.snapshot("t/1").unwrap().to_json();
+        assert!(json.starts_with("{\"type\":\"snapshot\",\"label\":\"t/1\""));
+        assert!(json.contains("\"a.hits\":3"));
+        assert!(json.contains("\"a.lat\":{\"count\":1,\"sum\":10,\"mean\":10.0"));
+        assert!(json.ends_with("}}"));
+        // Exactly one line.
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn escaping_and_float_edge_cases() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(2.0), "2.0");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn sink_writes_snapshots_and_events() {
+        let dir = std::env::temp_dir().join("accu-telemetry-test");
+        let path = dir.join("out.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        let rec = Recorder::enabled();
+        rec.counter("n").incr();
+        sink.write_snapshot(&rec.snapshot("s").unwrap()).unwrap();
+        sink.write_event(
+            "done",
+            &[
+                ("worker", 3usize.into()),
+                ("benefit", 54.5.into()),
+                ("policy", "ABM".into()),
+            ],
+        )
+        .unwrap();
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"n\":1"));
+        assert!(lines[1].contains("\"worker\":3"));
+        assert!(lines[1].contains("\"benefit\":54.5"));
+        assert!(lines[1].contains("\"policy\":\"ABM\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let rec = Recorder::enabled();
+        rec.counter("x").add(7);
+        rec.histogram("y").record(1);
+        let snap = rec.snapshot("s").unwrap();
+        assert_eq!(snap.counter("x"), Some(7));
+        assert_eq!(snap.counter("missing"), None);
+        assert!(snap.histogram("y").is_some());
+        assert!(snap.histogram("missing").is_none());
+    }
+}

@@ -4,7 +4,8 @@
 
 use accu_bench::default_instance;
 use accu_core::policy::{Abm, AbmWeights, Policy};
-use accu_core::{run_attack, AttackerView, Observation, Realization};
+use accu_core::{run_attack, run_attack_recorded, AttackerView, Observation, Realization};
+use accu_telemetry::{JsonlSink, Recorder};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use osn_graph::NodeId;
 use rand::rngs::StdRng;
@@ -45,7 +46,9 @@ fn bench_full_attack(c: &mut Criterion) {
     });
     group.bench_function("naive_full_rescan", |b| {
         b.iter(|| {
-            let mut naive = NaiveAbm { inner: Abm::new(AbmWeights::balanced()) };
+            let mut naive = NaiveAbm {
+                inner: Abm::new(AbmWeights::balanced()),
+            };
             black_box(run_attack(&instance, &realization, &mut naive, 100).total_benefit)
         })
     });
@@ -98,11 +101,45 @@ fn bench_reset(c: &mut Criterion) {
     });
 }
 
+/// Not a timed benchmark: replays the k=100 attack once with an enabled
+/// recorder and writes the per-stage telemetry snapshot next to the
+/// bench results, so a profile accompanies every `cargo bench` run.
+fn emit_telemetry_snapshot(_c: &mut Criterion) {
+    let instance = default_instance();
+    let mut rng = StdRng::seed_from_u64(9);
+    let realization = Realization::sample(&instance, &mut rng);
+    let recorder = Recorder::enabled();
+    let mut abm = Abm::with_recorder(AbmWeights::balanced(), &recorder);
+    black_box(run_attack_recorded(
+        &instance,
+        &realization,
+        &mut abm,
+        100,
+        &recorder,
+    ));
+    let snapshot = recorder
+        .snapshot("bench/abm_attack_k100")
+        .expect("recorder is enabled");
+    // Benches run with the package dir as CWD; anchor to the workspace
+    // target dir so the snapshot lands next to the Criterion results.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments/telemetry/bench_abm.jsonl");
+    let write = JsonlSink::create(&path).and_then(|mut sink| {
+        sink.write_snapshot(&snapshot)?;
+        sink.flush()
+    });
+    match write {
+        Ok(()) => println!("telemetry snapshot written to {}", path.display()),
+        Err(e) => eprintln!("telemetry write failed: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_full_attack,
     bench_weight_sweep,
     bench_potential_evaluation,
-    bench_reset
+    bench_reset,
+    emit_telemetry_snapshot
 );
 criterion_main!(benches);

@@ -4,13 +4,12 @@
 //! suite. (Full-scale regeneration: `cargo run -p accu-experiments
 //! --bin figN --release [--paper]`.)
 
-use accu_core::theory::{
-    adaptive_submodular_ratio, curvature_ratio, exact_marginal_gain,
-};
+use accu_core::theory::{adaptive_submodular_ratio, curvature_ratio, exact_marginal_gain};
 use accu_core::{AccuInstanceBuilder, Observation, Realization, UserClass};
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::heatmap::run_heatmap;
-use accu_experiments::{run_policy, Cli, ExperimentScale, PolicyKind};
+use accu_experiments::{run_policy, run_policy_recorded, Cli, ExperimentScale, PolicyKind};
+use accu_telemetry::{JsonlSink, Recorder};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use osn_graph::algo::DegreeStats;
 use osn_graph::{GraphBuilder, NodeId};
@@ -32,7 +31,10 @@ fn bench_table1(c: &mut Criterion) {
     c.bench_function("table1_dataset_stats", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
-            let g = DatasetSpec::facebook().scaled(0.25).generate(&mut rng).unwrap();
+            let g = DatasetSpec::facebook()
+                .scaled(0.25)
+                .generate(&mut rng)
+                .unwrap();
             black_box((g.edge_count(), DegreeStats::of(&g)))
         })
     });
@@ -82,7 +84,10 @@ fn bench_fig3(c: &mut Criterion) {
         let figure = scale.figure_run(DatasetSpec::slashdot(), ProtocolConfig::default());
         b.iter(|| {
             let acc = run_policy(&figure, PolicyKind::abm_balanced());
-            black_box((acc.mean_marginal_from_cautious(), acc.mean_marginal_from_reckless()))
+            black_box((
+                acc.mean_marginal_from_cautious(),
+                acc.mean_marginal_from_reckless(),
+            ))
         })
     });
     group.finish();
@@ -121,6 +126,35 @@ fn bench_fig6_fig7(c: &mut Criterion) {
     group.finish();
 }
 
+/// Not a timed benchmark: runs the micro-scale Fig. 2 pipeline once
+/// with an enabled recorder and writes the telemetry snapshot next to
+/// the bench results.
+fn emit_telemetry_snapshot(_c: &mut Criterion) {
+    let scale = micro_scale();
+    let recorder = Recorder::enabled();
+    let figure = scale.figure_run(DatasetSpec::twitter(), ProtocolConfig::default());
+    black_box(run_policy_recorded(
+        &figure,
+        PolicyKind::abm_balanced(),
+        &recorder,
+    ));
+    let snapshot = recorder
+        .snapshot("bench/fig2_micro")
+        .expect("recorder is enabled");
+    // Benches run with the package dir as CWD; anchor to the workspace
+    // target dir so the snapshot lands next to the Criterion results.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments/telemetry/bench_figures.jsonl");
+    let write = JsonlSink::create(&path).and_then(|mut sink| {
+        sink.write_snapshot(&snapshot)?;
+        sink.flush()
+    });
+    match write {
+        Ok(()) => println!("telemetry snapshot written to {}", path.display()),
+        Err(e) => eprintln!("telemetry write failed: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_table1,
@@ -128,6 +162,7 @@ criterion_group!(
     bench_fig2,
     bench_fig3,
     bench_fig4_fig5,
-    bench_fig6_fig7
+    bench_fig6_fig7,
+    emit_telemetry_snapshot
 );
 criterion_main!(benches);

@@ -7,7 +7,9 @@ use osn_graph::algo::{
     betweenness_centrality, closeness_centrality, eigenvector_centrality, mutual_friend_count,
     pagerank, PageRankConfig,
 };
-use osn_graph::generators::{barabasi_albert, erdos_renyi_gnp, powerlaw_configuration, rmat, RmatParams};
+use osn_graph::generators::{
+    barabasi_albert, erdos_renyi_gnp, powerlaw_configuration, rmat, RmatParams,
+};
 use osn_graph::sampling::{bfs_sample, uniform_node_sample};
 use osn_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -79,7 +81,11 @@ fn bench_adjacency(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0usize;
             for &(a, v) in &queries {
-                let key = if a <= v { (a.as_u32(), v.as_u32()) } else { (v.as_u32(), a.as_u32()) };
+                let key = if a <= v {
+                    (a.as_u32(), v.as_u32())
+                } else {
+                    (v.as_u32(), a.as_u32())
+                };
                 if a != v && hashset.contains(&key) {
                     hits += 1;
                 }
@@ -146,8 +152,12 @@ fn bench_centrality(c: &mut Criterion) {
     let g = barabasi_albert(1_000, 8, &mut rng).unwrap();
     let mut group = c.benchmark_group("centrality_1k_nodes");
     group.sample_size(10);
-    group.bench_function("betweenness", |b| b.iter(|| black_box(betweenness_centrality(&g))));
-    group.bench_function("closeness", |b| b.iter(|| black_box(closeness_centrality(&g))));
+    group.bench_function("betweenness", |b| {
+        b.iter(|| black_box(betweenness_centrality(&g)))
+    });
+    group.bench_function("closeness", |b| {
+        b.iter(|| black_box(closeness_centrality(&g)))
+    });
     group.bench_function("eigenvector", |b| {
         b.iter(|| black_box(eigenvector_centrality(&g, 50, 1e-9)))
     });
@@ -176,7 +186,11 @@ fn bench_rmat(c: &mut Criterion) {
     c.bench_function("rmat_scale13_ef8", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(4);
-            black_box(rmat(13, 8, RmatParams::classic(), &mut rng).unwrap().edge_count())
+            black_box(
+                rmat(13, 8, RmatParams::classic(), &mut rng)
+                    .unwrap()
+                    .edge_count(),
+            )
         })
     });
 }

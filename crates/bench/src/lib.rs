@@ -14,7 +14,10 @@ pub fn bench_instance(spec: DatasetSpec, scale: f64, cautious: usize, seed: u64)
     let graph = spec.scaled(scale).generate(&mut rng).expect("generation");
     apply_protocol(
         graph,
-        &ProtocolConfig { cautious_count: cautious, ..ProtocolConfig::default() },
+        &ProtocolConfig {
+            cautious_count: cautious,
+            ..ProtocolConfig::default()
+        },
         &mut rng,
     )
     .expect("protocol")

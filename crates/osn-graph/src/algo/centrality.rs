@@ -61,8 +61,7 @@ pub fn betweenness_centrality(g: &Graph) -> Vec<f64> {
         }
         while let Some(w) = stack.pop() {
             for &v in &preds[w.index()] {
-                delta[v.index()] +=
-                    sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+                delta[v.index()] += sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
             }
             if w != s {
                 centrality[w.index()] += delta[w.index()];
@@ -182,8 +181,8 @@ mod tests {
 
     #[test]
     fn betweenness_of_cycle_is_uniform() {
-        let g = GraphBuilder::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)])
-            .unwrap();
+        let g =
+            GraphBuilder::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         let b = betweenness_centrality(&g);
         for &x in &b {
             assert!((x - b[0]).abs() < 1e-12);

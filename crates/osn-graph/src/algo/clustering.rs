@@ -84,11 +84,8 @@ mod tests {
 
     #[test]
     fn triangle_counting_on_k4() {
-        let g = GraphBuilder::from_edges(
-            4,
-            [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
         assert_eq!(triangle_count(&g), 4);
         assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
     }

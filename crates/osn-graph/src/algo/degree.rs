@@ -37,7 +37,12 @@ impl DegreeStats {
     pub fn of(g: &Graph) -> Self {
         let n = g.node_count();
         if n == 0 {
-            return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0 };
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+            };
         }
         let mut degs: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
         degs.sort_unstable();
@@ -91,7 +96,9 @@ pub fn degree_histogram(g: &Graph) -> Vec<usize> {
 /// # Ok::<(), osn_graph::GraphError>(())
 /// ```
 pub fn nodes_with_degree_in(g: &Graph, lo: usize, hi: usize) -> Vec<NodeId> {
-    g.nodes().filter(|&v| (lo..=hi).contains(&g.degree(v))).collect()
+    g.nodes()
+        .filter(|&v| (lo..=hi).contains(&g.degree(v)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -113,7 +120,15 @@ mod tests {
     fn stats_of_empty_graph() {
         let g = GraphBuilder::new(0).build();
         let s = DegreeStats::of(&g);
-        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, median: 0 });
+        assert_eq!(
+            s,
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0
+            }
+        );
         assert!(degree_histogram(&g).is_empty());
     }
 

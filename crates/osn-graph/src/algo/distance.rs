@@ -112,8 +112,9 @@ mod tests {
     fn diameter_of_path_and_cycle() {
         let path = GraphBuilder::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4)]).unwrap();
         assert_eq!(double_sweep_diameter(&path, NodeId::new(2)), Some(4));
-        let cycle = GraphBuilder::from_edges(6, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
-            .unwrap();
+        let cycle =
+            GraphBuilder::from_edges(6, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+                .unwrap();
         // Double sweep on a cycle finds the true diameter 3.
         assert_eq!(double_sweep_diameter(&cycle, NodeId::new(0)), Some(3));
     }
@@ -151,8 +152,7 @@ mod tests {
 
     #[test]
     fn regular_graph_assortativity_is_degenerate_zero() {
-        let cycle =
-            GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let cycle = GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3), (3, 0)]).unwrap();
         assert_eq!(degree_assortativity(&cycle), 0.0);
         let empty = GraphBuilder::new(3).build();
         assert_eq!(degree_assortativity(&empty), 0.0);
@@ -163,6 +163,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let g = barabasi_albert(2_000, 4, &mut rng).unwrap();
         let r = degree_assortativity(&g);
-        assert!((-0.5..=0.2).contains(&r), "BA assortativity {r} out of expected band");
+        assert!(
+            (-0.5..=0.2).contains(&r),
+            "BA assortativity {r} out of expected band"
+        );
     }
 }

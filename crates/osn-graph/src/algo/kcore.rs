@@ -94,11 +94,8 @@ mod tests {
 
     #[test]
     fn clique_core_is_degree() {
-        let g = GraphBuilder::from_edges(
-            4,
-            [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = GraphBuilder::from_edges(4, [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
         assert_eq!(core_numbers(&g), vec![3; 4]);
         let (k, members) = max_core(&g);
         assert_eq!(k, 3);
@@ -116,7 +113,16 @@ mod tests {
         // K4 with a 2-chain hanging off node 0.
         let g = GraphBuilder::from_edges(
             6,
-            [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4), (4, 5)],
+            [
+                (0u32, 1u32),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (0, 4),
+                (4, 5),
+            ],
         )
         .unwrap();
         let core = core_numbers(&g);
@@ -195,7 +201,10 @@ mod tests {
                 .iter()
                 .filter(|w| core[w.index()] >= c)
                 .count() as u32;
-            assert!(inside >= c, "node {v}: core {c} but only {inside} high-core neighbors");
+            assert!(
+                inside >= c,
+                "node {v}: core {c} but only {inside} high-core neighbors"
+            );
         }
     }
 }

@@ -27,7 +27,11 @@ impl PageRankConfig {
     /// Creates the conventional configuration: damping 0.85, at most 100
     /// iterations, L1 tolerance `1e-10`.
     pub fn new() -> Self {
-        PageRankConfig { damping: 0.85, max_iterations: 100, tolerance: 1e-10 }
+        PageRankConfig {
+            damping: 0.85,
+            max_iterations: 100,
+            tolerance: 1e-10,
+        }
     }
 
     /// Sets the damping factor (clamped to `[0, 1]`).
@@ -121,8 +125,8 @@ mod tests {
 
     #[test]
     fn scores_sum_to_one() {
-        let g = GraphBuilder::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)])
-            .unwrap();
+        let g =
+            GraphBuilder::from_edges(5, [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         let pr = pagerank(&g, &PageRankConfig::new());
         let sum: f64 = pr.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
@@ -140,8 +144,7 @@ mod tests {
 
     #[test]
     fn hub_dominates_star() {
-        let g =
-            GraphBuilder::from_edges(5, [(0u32, 1u32), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let g = GraphBuilder::from_edges(5, [(0u32, 1u32), (0, 2), (0, 3), (0, 4)]).unwrap();
         let pr = pagerank(&g, &PageRankConfig::new());
         for leaf in 1..5 {
             assert!(pr[0] > pr[leaf]);

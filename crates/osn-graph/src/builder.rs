@@ -35,12 +35,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `node_count` nodes and no edges.
     pub fn new(node_count: usize) -> Self {
-        GraphBuilder { node_count, edges: HashSet::new() }
+        GraphBuilder {
+            node_count,
+            edges: HashSet::new(),
+        }
     }
 
     /// Creates a builder pre-sized for roughly `edge_hint` edges.
     pub fn with_edge_capacity(node_count: usize, edge_hint: usize) -> Self {
-        GraphBuilder { node_count, edges: HashSet::with_capacity(edge_hint) }
+        GraphBuilder {
+            node_count,
+            edges: HashSet::with_capacity(edge_hint),
+        }
     }
 
     /// Number of nodes the built graph will have.
@@ -69,7 +75,10 @@ impl GraphBuilder {
         }
         for v in [a, b] {
             if v.index() >= self.node_count {
-                return Err(GraphError::NodeOutOfRange { node: v, node_count: self.node_count });
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    node_count: self.node_count,
+                });
             }
         }
         Ok(self.edges.insert(Edge::new(a, b)))
@@ -125,7 +134,8 @@ impl Extend<Edge> for GraphBuilder {
     /// Use [`add_edge`](Self::add_edge) when inputs are untrusted.
     fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
         for e in iter {
-            self.add_edge(e.lo(), e.hi()).expect("invalid edge in Extend<Edge>");
+            self.add_edge(e.lo(), e.hi())
+                .expect("invalid edge in Extend<Edge>");
         }
     }
 }
@@ -138,14 +148,25 @@ mod tests {
     fn rejects_self_loop() {
         let mut b = GraphBuilder::new(3);
         let err = b.add_edge(NodeId::new(1), NodeId::new(1)).unwrap_err();
-        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+        assert_eq!(
+            err,
+            GraphError::SelfLoop {
+                node: NodeId::new(1)
+            }
+        );
     }
 
     #[test]
     fn rejects_out_of_range() {
         let mut b = GraphBuilder::new(3);
         let err = b.add_edge(NodeId::new(0), NodeId::new(3)).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: NodeId::new(3), node_count: 3 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(3),
+                node_count: 3
+            }
+        );
     }
 
     #[test]

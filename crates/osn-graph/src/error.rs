@@ -45,7 +45,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} is not allowed")
@@ -116,11 +119,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_concise() {
-        let e = GraphError::NodeOutOfRange { node: NodeId::new(9), node_count: 3 };
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId::new(9),
+            node_count: 3,
+        };
         assert_eq!(e.to_string(), "node 9 out of range for graph with 3 nodes");
-        let e = GraphError::SelfLoop { node: NodeId::new(1) };
+        let e = GraphError::SelfLoop {
+            node: NodeId::new(1),
+        };
         assert_eq!(e.to_string(), "self-loop on node 1 is not allowed");
-        let e = GraphError::InvalidParameter { what: "m", requirement: "must be >= 1" };
+        let e = GraphError::InvalidParameter {
+            what: "m",
+            requirement: "must be >= 1",
+        };
         assert_eq!(e.to_string(), "invalid parameter m: must be >= 1");
     }
 
@@ -131,11 +142,16 @@ mod tests {
         assert!(e.source().is_some());
         assert!(e.to_string().contains("gone"));
 
-        let e = IoError::Parse { line: 4, content: "a b".into() };
+        let e = IoError::Parse {
+            line: 4,
+            content: "a b".into(),
+        };
         assert!(e.source().is_none());
         assert!(e.to_string().contains("line 4"));
 
-        let e = IoError::from(GraphError::SelfLoop { node: NodeId::new(0) });
+        let e = IoError::from(GraphError::SelfLoop {
+            node: NodeId::new(0),
+        });
         assert!(e.source().is_some());
     }
 

@@ -71,13 +71,23 @@ impl AgmParams {
                 requirement: "must be within [0, 1]",
             });
         }
-        Ok(AgmParams { memberships_per_node, min_size, max_size, p_in })
+        Ok(AgmParams {
+            memberships_per_node,
+            min_size,
+            max_size,
+            p_in,
+        })
     }
 
     /// DBLP-flavored defaults: ~2 memberships per author, communities of
     /// 5–60 with intra-density 0.4.
     pub fn dblp_like() -> Self {
-        AgmParams { memberships_per_node: 2.0, min_size: 5, max_size: 60, p_in: 0.4 }
+        AgmParams {
+            memberships_per_node: 2.0,
+            min_size: 5,
+            max_size: 60,
+            p_in: 0.4,
+        }
     }
 }
 

@@ -53,7 +53,12 @@ impl RmatParams {
 
     /// The classic skewed parameterization `(0.57, 0.19, 0.19, 0.05)`.
     pub fn classic() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
     }
 
     /// Quadrant probability `a` (top-left: hub-to-hub).
@@ -164,8 +169,13 @@ mod tests {
     fn classic_parameters_are_skewed() {
         let mut rng = StdRng::seed_from_u64(2);
         let skewed = rmat(10, 8, RmatParams::classic(), &mut rng).unwrap();
-        let uniform =
-            rmat(10, 8, RmatParams::new(0.25, 0.25, 0.25, 0.25).unwrap(), &mut rng).unwrap();
+        let uniform = rmat(
+            10,
+            8,
+            RmatParams::new(0.25, 0.25, 0.25, 0.25).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(
             skewed.max_degree() > 2 * uniform.max_degree(),
             "skewed max {} vs uniform max {}",

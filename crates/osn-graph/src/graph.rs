@@ -99,7 +99,10 @@ impl Graph {
     /// Callers outside the crate should use
     /// [`GraphBuilder`](crate::GraphBuilder) instead.
     pub(crate) fn from_sorted_dedup_edges(node_count: usize, edges: Vec<Edge>) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+dedup");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be sorted+dedup"
+        );
         let mut deg = vec![0usize; node_count];
         for e in &edges {
             deg[e.lo().index()] += 1;
@@ -145,7 +148,12 @@ impl Graph {
                 }
             }
         }
-        Graph { offsets, targets, target_edges, edges }
+        Graph {
+            offsets,
+            targets,
+            target_edges,
+            edges,
+        }
     }
 
     /// Number of nodes.
@@ -199,7 +207,10 @@ impl Graph {
     /// Panics if `v` is out of range.
     pub fn neighbor_entries(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
         let (s, e) = self.row(v);
-        self.targets[s..e].iter().copied().zip(self.target_edges[s..e].iter().copied())
+        self.targets[s..e]
+            .iter()
+            .copied()
+            .zip(self.target_edges[s..e].iter().copied())
     }
 
     /// Degree of `v`.
@@ -235,7 +246,11 @@ impl Graph {
             return None;
         }
         // Search in the smaller adjacency row.
-        let (v, w) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        let (v, w) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let (s, e) = self.row(v);
         let row = &self.targets[s..e];
         row.binary_search(&w).ok().map(|i| self.target_edges[s + i])
@@ -288,8 +303,14 @@ mod tests {
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 3);
         assert_eq!(g.neighbors(NodeId::new(0)), &[NodeId::new(1)]);
-        assert_eq!(g.neighbors(NodeId::new(1)), &[NodeId::new(0), NodeId::new(2)]);
-        assert_eq!(g.neighbors(NodeId::new(2)), &[NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(
+            g.neighbors(NodeId::new(1)),
+            &[NodeId::new(0), NodeId::new(2)]
+        );
+        assert_eq!(
+            g.neighbors(NodeId::new(2)),
+            &[NodeId::new(1), NodeId::new(3)]
+        );
         assert_eq!(g.degree(NodeId::new(1)), 2);
         assert_eq!(g.max_degree(), 2);
         assert!((g.average_degree() - 1.5).abs() < 1e-12);
@@ -331,12 +352,13 @@ mod tests {
     fn neighbors_are_sorted_in_star_graph() {
         // Star with center 5 inserted in scrambled order: exercises the
         // per-row sort fix-up path.
-        let g = GraphBuilder::from_edges(
-            6,
-            [(5u32, 3u32), (5, 0), (5, 4), (5, 1), (5, 2)],
-        )
-        .unwrap();
-        let n: Vec<u32> = g.neighbors(NodeId::new(5)).iter().map(|v| v.as_u32()).collect();
+        let g =
+            GraphBuilder::from_edges(6, [(5u32, 3u32), (5, 0), (5, 4), (5, 1), (5, 2)]).unwrap();
+        let n: Vec<u32> = g
+            .neighbors(NodeId::new(5))
+            .iter()
+            .map(|v| v.as_u32())
+            .collect();
         assert_eq!(n, vec![0, 1, 2, 3, 4]);
         assert_eq!(g.max_degree(), 5);
     }

@@ -82,7 +82,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LabeledGraph, IoError> {
     for (a, b) in raw_edges {
         builder.add_edge(NodeId::new(a), NodeId::new(b))?;
     }
-    Ok(LabeledGraph { graph: builder.build(), labels })
+    Ok(LabeledGraph {
+        graph: builder.build(),
+        labels,
+    })
 }
 
 /// Writes `g` as a SNAP-style edge list: one `lo hi` pair per line,
@@ -105,7 +108,12 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LabeledGraph, IoError> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), IoError> {
-    writeln!(writer, "# osn-graph edge list: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    writeln!(
+        writer,
+        "# osn-graph edge list: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    )?;
     for e in g.edges() {
         writeln!(writer, "{} {}", e.lo(), e.hi())?;
     }

@@ -57,7 +57,10 @@ pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Subgraph {
             }
         }
     }
-    Subgraph { graph: b.build(), original }
+    Subgraph {
+        graph: b.build(),
+        original,
+    }
 }
 
 /// Samples `count` distinct nodes uniformly and returns their induced
@@ -127,8 +130,8 @@ pub fn bfs_sample<R: Rng + ?Sized>(g: &Graph, count: usize, rng: &mut R) -> Subg
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::barabasi_albert;
     use crate::algo::global_clustering_coefficient;
+    use crate::generators::barabasi_albert;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -138,7 +141,10 @@ mod tests {
         let sub = induced_subgraph(&g, &[NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
         assert_eq!(sub.graph.node_count(), 3);
         assert_eq!(sub.graph.edge_count(), 1); // only 0-1
-        assert_eq!(sub.original, vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(
+            sub.original,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]
+        );
     }
 
     #[test]

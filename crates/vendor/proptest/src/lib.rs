@@ -1,0 +1,447 @@
+//! Offline vendored stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment has no network access, so this crate implements
+//! the subset of the proptest 1.x API that the ACCU workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `boxed`, range and tuple strategies, [`collection::vec`],
+//! [`strategy::Just`], [`any`], the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_oneof!`] macros, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Semantics differ from upstream in one deliberate way: failures panic
+//! immediately with the failing assertion (no shrinking, no persisted
+//! regressions). Case generation is deterministic — every run draws the
+//! same seeded sequence — so failures are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Strategy trait, adapters, and the concrete strategy types.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<W, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> W,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates an intermediate value, then draws from the strategy
+        /// `f` builds from it.
+        fn prop_flat_map<W, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            W: Strategy,
+            F: Fn(Self::Value) -> W,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, W> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> W,
+    {
+        type Value = W;
+
+        fn generate(&self, rng: &mut TestRng) -> W {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, W> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        W: Strategy,
+        F: Fn(S::Value) -> W,
+    {
+        type Value = W::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> W::Value {
+            let mid = self.inner.generate(rng);
+            (self.f)(mid).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among equally weighted boxed alternatives
+    /// (the [`prop_oneof!`](crate::prop_oneof) backend).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union").field("options", &self.options.len()).finish()
+        }
+    }
+
+    impl<V> Union<V> {
+        /// Creates a union over the given alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Full-range strategy for a primitive type (the [`crate::any`]
+    /// backend).
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: rand::Standardable> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen()
+        }
+    }
+
+    macro_rules! range_strategies {
+        (int: $($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategies!(int: u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// Collection strategies ([`collection::vec`]).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive-of-low, exclusive-of-high length range.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Creates a strategy generating vectors of `element` with a length
+    /// in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Test-runner configuration and the RNG driving generation.
+pub mod test_runner {
+    pub use rand::SeedableRng;
+
+    /// The generator used to drive strategies.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of cases generated per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the offline suite quick
+            // while still exploring a meaningful sample.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Full-range strategy for a primitive type.
+pub fn any<T: rand::Standardable>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `cases` seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases as u64 {
+                let mut __rng =
+                    <$crate::test_runner::TestRng as $crate::test_runner::SeedableRng>::
+                        seed_from_u64(0xACC0_7E57u64 ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; this
+/// vendored stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among alternative strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_vec_and_map() {
+        let mut rng = <crate::test_runner::TestRng as crate::test_runner::SeedableRng>::
+            seed_from_u64(1);
+        let s = (0u32..5, (0.0f64..=1.0).prop_map(|x| x * 2.0));
+        for _ in 0..100 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 5);
+            assert!((0.0..=2.0).contains(&b));
+        }
+        let v = collection::vec(0usize..10, 3usize).generate(&mut rng);
+        assert_eq!(v.len(), 3);
+        let v = collection::vec(0usize..10, 0..6).generate(&mut rng);
+        assert!(v.len() < 6);
+    }
+
+    #[test]
+    fn flat_map_threads_intermediate() {
+        let mut rng = <crate::test_runner::TestRng as crate::test_runner::SeedableRng>::
+            seed_from_u64(2);
+        let s = (1usize..4).prop_flat_map(|n| collection::vec(0usize..10, n));
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_just() {
+        let mut rng = <crate::test_runner::TestRng as crate::test_runner::SeedableRng>::
+            seed_from_u64(3);
+        let s = prop_oneof![Just(1usize), Just(2usize), (5usize..7)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2));
+        assert!(seen.iter().all(|&x| x == 1 || x == 2 || x == 5 || x == 6));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_cases(x in 0u32..10, v in collection::vec(any::<u64>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4, "len was {}", v.len());
+            prop_assert_eq!(x as u64 + 1, u64::from(x) + 1);
+        }
+    }
+}

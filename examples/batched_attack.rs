@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runs = 6;
     let mut rng = StdRng::seed_from_u64(17);
     let graph = DatasetSpec::slashdot().scaled(0.02).generate(&mut rng)?;
-    let protocol = ProtocolConfig { cautious_count: 20, ..ProtocolConfig::default() };
+    let protocol = ProtocolConfig {
+        cautious_count: 20,
+        ..ProtocolConfig::default()
+    };
     let instance = apply_protocol(graph, &protocol, &mut rng)?;
     println!(
         "batched ABM on {} users ({} cautious), budget {k}, {} realizations\n",
@@ -27,10 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runs
     );
 
-    let realizations: Vec<Realization> =
-        (0..runs).map(|_| Realization::sample(&instance, &mut rng)).collect();
+    let realizations: Vec<Realization> = (0..runs)
+        .map(|_| Realization::sample(&instance, &mut rng))
+        .collect();
 
-    println!("{:>6}  {:>10}  {:>16}  {:>8}", "batch", "E[benefit]", "cautious friends", "rounds");
+    println!(
+        "{:>6}  {:>10}  {:>16}  {:>8}",
+        "batch", "E[benefit]", "cautious friends", "rounds"
+    );
     let mut fully_adaptive = None;
     for batch in [1usize, 5, 25, 100] {
         let mut benefit = 0.0;

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let brute = adaptive_submodular_ratio(&inst)?;
     let closed = lemma4_lambda(inst.graph(), inst.benefits(), NodeId::new(1), 1);
     println!("2. adaptive submodular ratio λ: brute force {brute:.4}, Lemma 4 {closed:.4}");
-    println!("   Theorem 1 guarantee: greedy ≥ (1 − e^{{-λ}})·OPT = {:.4}·OPT\n", greedy_ratio(brute));
+    println!(
+        "   Theorem 1 guarantee: greedy ≥ (1 − e^{{-λ}})·OPT = {:.4}·OPT\n",
+        greedy_ratio(brute)
+    );
 
     // --- 3. validate the bound against the true optimum ----------------
     let ensemble = enumerate_realizations(&inst)?;
@@ -61,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bound = greedy_ratio(brute) * opt;
         println!(
             "3. k={k}: OPT = {opt:.3}, greedy = {greedy_value:.3}, bound = {bound:.3}  {}",
-            if greedy_value + 1e-9 >= bound { "✓ holds" } else { "✗ VIOLATED" }
+            if greedy_value + 1e-9 >= bound {
+                "✓ holds"
+            } else {
+                "✗ VIOLATED"
+            }
         );
         assert!(greedy_value + 1e-9 >= bound, "Theorem 1 must hold");
     }

@@ -24,7 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = DatasetSpec::facebook().scaled(0.5).generate(&mut rng)?;
     let edges_path = dir.join("facebook_combined.txt");
     write_edge_list(&full, File::create(&edges_path)?)?;
-    println!("wrote   {} ({} nodes, {} edges)", edges_path.display(), full.node_count(), full.edge_count());
+    println!(
+        "wrote   {} ({} nodes, {} edges)",
+        edges_path.display(),
+        full.node_count(),
+        full.edge_count()
+    );
 
     // 2. Load it the way a real study would: largest component, then a
     //    BFS sample at working size.
@@ -36,14 +41,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Apply the paper's experiment protocol and archive the instance.
-    let protocol = ProtocolConfig { cautious_count: 15, ..ProtocolConfig::default() };
+    let protocol = ProtocolConfig {
+        cautious_count: 15,
+        ..ProtocolConfig::default()
+    };
     let instance = apply_protocol(sampled, &protocol, &mut rng)?;
     let inst_path = dir.join("instance.accu");
     write_instance(&instance, File::create(&inst_path)?)?;
     let reloaded = read_instance(File::open(&inst_path)?)?;
     assert_eq!(reloaded.node_count(), instance.node_count());
     assert_eq!(reloaded.cautious_users(), instance.cautious_users());
-    println!("archived {} and verified the round trip", inst_path.display());
+    println!(
+        "archived {} and verified the round trip",
+        inst_path.display()
+    );
 
     // 4. Run one attack and export the trace.
     let realization = Realization::sample(&reloaded, &mut rng);

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.node_count(),
         graph.edge_count()
     );
-    let protocol = ProtocolConfig { cautious_count: 30, ..ProtocolConfig::default() };
+    let protocol = ProtocolConfig {
+        cautious_count: 30,
+        ..ProtocolConfig::default()
+    };
     let instance = apply_protocol(graph, &protocol, &mut rng)?;
     println!(
         "{} cautious users selected (degree band {:?}, thresholds at {:.0}% of degree)\n",
@@ -41,18 +44,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(Random::new(7)),
     ];
 
-    println!("{:>10}  {:>12}  {:>10}", "policy", "E[benefit]", "std error");
+    println!(
+        "{:>10}  {:>12}  {:>10}",
+        "policy", "E[benefit]", "std error"
+    );
     let mut results = Vec::new();
     for policy in policies.iter_mut() {
         // Same seed per policy: every policy faces identical worlds.
         let mut eval_rng = StdRng::seed_from_u64(555);
         let stats = expected_benefit(&instance, policy.as_mut(), k, samples, &mut eval_rng);
-        println!("{:>10}  {:>12.1}  {:>10.1}", policy.name(), stats.mean, stats.std_error);
+        println!(
+            "{:>10}  {:>12.1}  {:>10.1}",
+            policy.name(),
+            stats.mean,
+            stats.std_error
+        );
         results.push((policy.name().to_string(), stats.mean));
     }
 
     results.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("\nranking: {}", results.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(" > "));
+    println!(
+        "\nranking: {}",
+        results
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(" > ")
+    );
     assert_eq!(results[0].0, "ABM", "ABM should lead the ranking");
     println!("ABM leads, as in the paper's Fig. 2.");
     Ok(())

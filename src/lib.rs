@@ -48,7 +48,7 @@ pub use accu_core::{
     gatekeeper_scores, policy, resolve_acceptance, run_attack, run_attack_with_beliefs,
     run_omniscient_greedy, sample_outcomes, simulate_exposure, theory, AccuError, AccuInstance,
     AccuInstanceBuilder, AttackOutcome, AttackerView, BenefitSchedule, BenefitState,
-    ExposureReport, MarginalGain, MonteCarloStats, Observation, Policy, Realization,
-    RequestRecord, TraceAccumulator, UserClass,
+    ExposureReport, MarginalGain, MonteCarloStats, Observation, Policy, Realization, RequestRecord,
+    TraceAccumulator, UserClass,
 };
 pub use osn_graph::{Edge, EdgeId, Graph, GraphBuilder, GraphError, NodeId};

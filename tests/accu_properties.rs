@@ -3,9 +3,8 @@
 use accu::policy::{Abm, AbmWeights, MaxDegree, Random};
 use accu::theory::exact_marginal_gain;
 use accu::{
-    benefit_of_friend_set, benefit_of_request_set, run_attack, AccuInstance,
-    AccuInstanceBuilder, AttackerView, GraphBuilder, NodeId, Observation, Policy, Realization,
-    UserClass,
+    benefit_of_friend_set, benefit_of_request_set, run_attack, AccuInstance, AccuInstanceBuilder,
+    AttackerView, GraphBuilder, NodeId, Observation, Policy, Realization, UserClass,
 };
 use proptest::prelude::*;
 

@@ -3,18 +3,22 @@
 
 use accu::datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
 use accu::policy::{pure_greedy, Abm, AbmWeights, MaxDegree, PageRankPolicy, Random};
-use accu::{
-    expected_benefit, run_attack, AccuInstance, Policy, Realization, TraceAccumulator,
-};
+use accu::{expected_benefit, run_attack, AccuInstance, Policy, Realization, TraceAccumulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn small_instance(seed: u64) -> AccuInstance {
     let mut rng = StdRng::seed_from_u64(seed);
-    let graph = DatasetSpec::facebook().scaled(0.1).generate(&mut rng).unwrap();
+    let graph = DatasetSpec::facebook()
+        .scaled(0.1)
+        .generate(&mut rng)
+        .unwrap();
     apply_protocol(
         graph,
-        &ProtocolConfig { cautious_count: 10, ..ProtocolConfig::default() },
+        &ProtocolConfig {
+            cautious_count: 10,
+            ..ProtocolConfig::default()
+        },
         &mut rng,
     )
     .unwrap()
@@ -67,14 +71,20 @@ fn policies_rank_as_in_the_paper() {
     let random = means[3].1;
     assert!(abm > random, "ABM {abm} must beat Random {random}");
     // ABM must be at the top of the lineup.
-    assert!(means.iter().all(|(_, m)| *m <= abm + 1e-9), "ABM must lead: {means:?}");
+    assert!(
+        means.iter().all(|(_, m)| *m <= abm + 1e-9),
+        "ABM must lead: {means:?}"
+    );
 }
 
 #[test]
 fn balanced_abm_beats_pure_greedy_on_cautious_heavy_network() {
     // High-value cautious users make the indirect term matter.
     let mut rng = StdRng::seed_from_u64(8);
-    let graph = DatasetSpec::facebook().scaled(0.1).generate(&mut rng).unwrap();
+    let graph = DatasetSpec::facebook()
+        .scaled(0.1)
+        .generate(&mut rng)
+        .unwrap();
     let instance = apply_protocol(
         graph,
         &ProtocolConfig {
@@ -125,7 +135,10 @@ fn accumulator_statistics_are_coherent() {
         .sum();
     assert!((marginal_sum - acc.mean_total_benefit()).abs() < 1e-6);
     // Fractions are probabilities.
-    assert!(acc.cautious_request_fraction().iter().all(|f| (0.0..=1.0).contains(f)));
+    assert!(acc
+        .cautious_request_fraction()
+        .iter()
+        .all(|f| (0.0..=1.0).contains(f)));
 }
 
 #[test]

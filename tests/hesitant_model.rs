@@ -7,8 +7,8 @@ use accu::core::theory::{
 };
 use accu::policy::{pure_greedy, Abm, AbmWeights};
 use accu::{
-    expected_benefit, run_attack, AccuInstance, AccuInstanceBuilder, AttackerView,
-    GraphBuilder, NodeId, Observation, Realization, UserClass,
+    expected_benefit, run_attack, AccuInstance, AccuInstanceBuilder, AttackerView, GraphBuilder,
+    NodeId, Observation, Realization, UserClass,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,13 +27,8 @@ fn star_with_hesitant(q1: f64, q2: f64) -> AccuInstance {
 fn hesitant_below_threshold_acceptance_is_possible() {
     // With q1 = 1 the hesitant user accepts even as a stranger.
     let inst = star_with_hesitant(1.0, 1.0);
-    let real = Realization::from_parts_full(
-        &inst,
-        vec![true; 3],
-        vec![true; 4],
-        vec![true; 4],
-    )
-    .unwrap();
+    let real =
+        Realization::from_parts_full(&inst, vec![true; 3], vec![true; 4], vec![true; 4]).unwrap();
     struct First;
     impl accu::Policy for First {
         fn name(&self) -> &str {
@@ -45,7 +40,10 @@ fn hesitant_below_threshold_acceptance_is_possible() {
         }
     }
     let out = run_attack(&inst, &real, &mut First, 1);
-    assert!(out.trace[0].accepted, "q1 = 1 hesitant user must accept a stranger");
+    assert!(
+        out.trace[0].accepted,
+        "q1 = 1 hesitant user must accept a stranger"
+    );
     assert_eq!(out.cautious_friends, 1);
 }
 
@@ -108,8 +106,7 @@ fn enumeration_is_a_probability_distribution_with_hesitant_users() {
         assert!(*p > 0.0);
         // Coupling: accepting below the threshold implies accepting at it.
         assert!(
-            !real.accepts_at(&inst, NodeId::new(3), 0)
-                || real.accepts_at(&inst, NodeId::new(3), 1)
+            !real.accepts_at(&inst, NodeId::new(3), 0) || real.accepts_at(&inst, NodeId::new(3), 1)
         );
     }
 }

@@ -5,8 +5,8 @@
 use accu::core::theory::{adaptive_submodular_ratio, enumerate_realizations};
 use accu::policy::{pure_greedy, Abm, AbmWeights};
 use accu::{
-    expected_benefit, run_attack, AccuInstance, AccuInstanceBuilder, AttackerView,
-    GraphBuilder, NodeId, Observation, Realization, UserClass,
+    expected_benefit, run_attack, AccuInstance, AccuInstanceBuilder, AttackerView, GraphBuilder,
+    NodeId, Observation, Realization, UserClass,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,7 +114,10 @@ fn linear_worst_case_lambda_matches_the_threshold_model() {
         (lambda_linear - lambda_cautious).abs() < 1e-12,
         "linear λ {lambda_linear} vs threshold λ {lambda_cautious}"
     );
-    assert!(lambda_linear < 1.0, "the threshold-like band still breaks submodularity");
+    assert!(
+        lambda_linear < 1.0,
+        "the threshold-like band still breaks submodularity"
+    );
 }
 
 #[test]

@@ -7,9 +7,7 @@ use accu::theory::{
     adaptive_submodular_ratio, enumerate_realizations, greedy_ratio, lemma5_bound,
     optimal_adaptive_benefit,
 };
-use accu::{
-    run_attack, AccuInstance, AccuInstanceBuilder, GraphBuilder, NodeId, UserClass,
-};
+use accu::{run_attack, AccuInstance, AccuInstanceBuilder, GraphBuilder, NodeId, UserClass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -54,12 +52,16 @@ fn random_instance(rng: &mut StdRng) -> AccuInstance {
         for i in 0..n {
             let v = NodeId::from(i);
             if v == cautious {
-                builder = builder
-                    .user_class(v, UserClass::cautious(1))
-                    .benefits(v, rng.gen_range(5.0..20.0), 1.0);
+                builder = builder.user_class(v, UserClass::cautious(1)).benefits(
+                    v,
+                    rng.gen_range(5.0..20.0),
+                    1.0,
+                );
             } else {
                 let q = if rng.gen_bool(0.5) { 1.0 } else { 0.6 };
-                builder = builder.user_class(v, UserClass::reckless(q)).benefits(v, 2.0, 1.0);
+                builder = builder
+                    .user_class(v, UserClass::reckless(q))
+                    .benefits(v, 2.0, 1.0);
             }
         }
         return builder.build().unwrap();
@@ -73,7 +75,10 @@ fn theorem1_holds_on_random_instances() {
         let inst = random_instance(&mut rng);
         assert!(inst.benefits().has_strict_gap());
         let lambda = adaptive_submodular_ratio(&inst).unwrap();
-        assert!(lambda > 0.0, "Corollary 1: λ must be positive (trial {trial})");
+        assert!(
+            lambda > 0.0,
+            "Corollary 1: λ must be positive (trial {trial})"
+        );
         for k in 1..=3usize {
             let opt = optimal_adaptive_benefit(&inst, k).unwrap();
             let greedy = exact_greedy_value(&inst, k);
@@ -82,7 +87,10 @@ fn theorem1_holds_on_random_instances() {
                 greedy + 1e-9 >= bound,
                 "trial {trial}, k={k}: greedy {greedy} < bound {bound} (λ={lambda}, opt={opt})"
             );
-            assert!(opt + 1e-9 >= greedy, "trial {trial}, k={k}: optimal {opt} < greedy {greedy}");
+            assert!(
+                opt + 1e-9 >= greedy,
+                "trial {trial}, k={k}: optimal {opt} < greedy {greedy}"
+            );
         }
     }
 }
@@ -102,7 +110,11 @@ fn observation1_lambda_is_one_without_cautious_users() {
         }
         let m = b.edge_count();
         let inst = AccuInstanceBuilder::new(b.build())
-            .edge_probabilities((0..m).map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.5 }).collect())
+            .edge_probabilities(
+                (0..m)
+                    .map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.5 })
+                    .collect(),
+            )
             .build()
             .unwrap();
         let lambda = adaptive_submodular_ratio(&inst).unwrap();
@@ -131,9 +143,11 @@ fn lemma5_upper_bounds_lambda_with_zero_fof() {
         for i in 1..=r {
             let v = NodeId::from(i);
             cautious.push(v);
-            builder = builder
-                .user_class(v, UserClass::cautious(1))
-                .benefits(v, rng.gen_range(5.0..20.0), 0.0);
+            builder = builder.user_class(v, UserClass::cautious(1)).benefits(
+                v,
+                rng.gen_range(5.0..20.0),
+                0.0,
+            );
         }
         let inst = builder.build().unwrap();
         let bound = lemma5_bound(inst.graph(), inst.benefits(), NodeId::new(0), &cautious);
@@ -181,7 +195,9 @@ fn pure_greedy_potential_equals_exact_marginal_gain() {
                     );
                 }
             }
-            let Some(t) = order.select(&AttackerView::new(&inst, &obs)) else { break };
+            let Some(t) = order.select(&AttackerView::new(&inst, &obs)) else {
+                break;
+            };
             if resolve_acceptance(&inst, &obs, &real, t) {
                 obs.record_acceptance(t, &inst, &real);
             } else {
