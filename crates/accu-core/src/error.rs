@@ -54,6 +54,20 @@ pub enum AccuError {
         /// Number of users in the instance.
         node_count: usize,
     },
+    /// A belief-mismatch simulation was given truth and believed
+    /// instances with different graph topologies.
+    TopologyMismatch {
+        /// `(nodes, edges)` of the truth instance.
+        truth: (usize, usize),
+        /// `(nodes, edges)` of the believed instance.
+        believed: (usize, usize),
+    },
+    /// A serialized artifact (e.g. a checkpointed trace accumulator)
+    /// could not be decoded.
+    MalformedSnapshot {
+        /// What failed to parse.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AccuError {
@@ -88,6 +102,15 @@ impl fmt::Display for AccuError {
                     f,
                     "node {node} out of range for instance with {node_count} users"
                 )
+            }
+            AccuError::TopologyMismatch { truth, believed } => write!(
+                f,
+                "truth and believed instances must share a topology \
+                 (truth: {} nodes / {} edges, believed: {} nodes / {} edges)",
+                truth.0, truth.1, believed.0, believed.1
+            ),
+            AccuError::MalformedSnapshot { reason } => {
+                write!(f, "malformed snapshot: {reason}")
             }
         }
     }
@@ -132,6 +155,16 @@ mod tests {
             node_count: 4,
         };
         assert!(e.to_string().contains("9"));
+        let e = AccuError::TopologyMismatch {
+            truth: (3, 2),
+            believed: (3, 1),
+        };
+        assert!(e.to_string().contains("share a topology"));
+        assert!(e.to_string().contains("3 nodes / 1 edges"));
+        let e = AccuError::MalformedSnapshot {
+            reason: "missing key \"runs\"".into(),
+        };
+        assert!(e.to_string().contains("missing key"));
     }
 
     #[test]

@@ -57,6 +57,7 @@
 mod defense;
 mod error;
 mod expectation;
+pub mod fault;
 pub mod io;
 mod metrics;
 mod model;
@@ -74,6 +75,7 @@ pub use defense::{
 };
 pub use error::AccuError;
 pub use expectation::{expected_benefit, sample_outcomes, MonteCarloStats};
+pub use fault::{fault_metrics, FaultConfig, FaultPlan, FaultSummary, RateLimit, RetryPolicy};
 pub use metrics::TraceAccumulator;
 pub use model::{
     AccuInstance, AccuInstanceBuilder, AssumptionViolation, BenefitSchedule, UserClass,
@@ -86,7 +88,8 @@ pub use oracle::run_omniscient_greedy;
 pub use policy::Policy;
 pub use realization::Realization;
 pub use simulator::{
-    resolve_acceptance, run_attack, run_attack_recorded, run_attack_with_beliefs,
+    resolve_acceptance, run_attack, run_attack_faulted, run_attack_faulted_recorded,
+    run_attack_recorded, run_attack_with_beliefs, run_attack_with_beliefs_faulted_recorded,
     run_attack_with_beliefs_recorded, sim_metrics, AttackOutcome, RequestRecord,
 };
 pub use view::AttackerView;

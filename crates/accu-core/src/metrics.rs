@@ -11,7 +11,7 @@
 //!   cautious user;
 //! * Fig. 4 / Fig. 7 — average number of cautious friends.
 
-use crate::AttackOutcome;
+use crate::{AccuError, AttackOutcome};
 
 /// Streaming aggregator over attack traces.
 ///
@@ -32,7 +32,7 @@ use crate::AttackOutcome;
 /// assert_eq!(acc.mean_cumulative_benefit()[1], 4.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceAccumulator {
     k: usize,
     runs: usize,
@@ -54,6 +54,13 @@ pub struct TraceAccumulator {
     cautious_friends: usize,
     /// Σ final friend count.
     friends: usize,
+    /// Σ fault events over all runs (transient + dropped + rate-limited
+    /// + truncations), for degraded-mode reporting.
+    faults_seen: usize,
+    /// Σ budget units burned on retries over all runs.
+    retries_spent: usize,
+    /// # runs truncated by account suspension.
+    truncated_runs: usize,
 }
 
 impl TraceAccumulator {
@@ -71,6 +78,9 @@ impl TraceAccumulator {
             total_benefit_sq: 0.0,
             cautious_friends: 0,
             friends: 0,
+            faults_seen: 0,
+            retries_spent: 0,
+            truncated_runs: 0,
         }
     }
 
@@ -95,6 +105,9 @@ impl TraceAccumulator {
         self.total_benefit_sq += outcome.total_benefit * outcome.total_benefit;
         self.cautious_friends += outcome.cautious_friends;
         self.friends += outcome.friends.len();
+        self.faults_seen += outcome.faults.faults_seen();
+        self.retries_spent += outcome.faults.retries_spent;
+        self.truncated_runs += usize::from(outcome.faults.truncated_at.is_some());
         let mut last = 0.0;
         for i in 0..self.k {
             if let Some(r) = outcome.trace.get(i) {
@@ -172,6 +185,21 @@ impl TraceAccumulator {
         self.friends as f64 / self.runs.max(1) as f64
     }
 
+    /// Mean fault events per run (0 for fault-free sweeps).
+    pub fn mean_faults_seen(&self) -> f64 {
+        self.faults_seen as f64 / self.runs.max(1) as f64
+    }
+
+    /// Mean budget units burned on retries per run.
+    pub fn mean_retries_spent(&self) -> f64 {
+        self.retries_spent as f64 / self.runs.max(1) as f64
+    }
+
+    /// Fraction of runs truncated by account suspension.
+    pub fn truncated_run_fraction(&self) -> f64 {
+        self.truncated_runs as f64 / self.runs.max(1) as f64
+    }
+
     /// Merges another accumulator (e.g. from a worker thread).
     ///
     /// # Panics
@@ -187,6 +215,9 @@ impl TraceAccumulator {
         self.total_benefit_sq += other.total_benefit_sq;
         self.cautious_friends += other.cautious_friends;
         self.friends += other.friends;
+        self.faults_seen += other.faults_seen;
+        self.retries_spent += other.retries_spent;
+        self.truncated_runs += other.truncated_runs;
         for i in 0..self.k {
             self.cum_benefit[i] += other.cum_benefit[i];
             self.marginal_cautious[i] += other.marginal_cautious[i];
@@ -194,6 +225,319 @@ impl TraceAccumulator {
             self.cautious_requests[i] += other.cautious_requests[i];
             self.sent[i] += other.sent[i];
         }
+    }
+
+    /// Serializes the full accumulator state as a single JSON line.
+    ///
+    /// Floats are written in Rust's shortest round-trip form, so
+    /// [`from_json`](TraceAccumulator::to_json) restores the state
+    /// **bit-for-bit** — the property the checkpoint/resume path relies
+    /// on to make a resumed run indistinguishable from an uninterrupted
+    /// one.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64 + 16 * self.k);
+        s.push('{');
+        push_usize(&mut s, "k", self.k);
+        s.push(',');
+        push_usize(&mut s, "runs", self.runs);
+        s.push(',');
+        push_f64_array(&mut s, "cum_benefit", &self.cum_benefit);
+        s.push(',');
+        push_f64_array(&mut s, "marginal_cautious", &self.marginal_cautious);
+        s.push(',');
+        push_f64_array(&mut s, "marginal_reckless", &self.marginal_reckless);
+        s.push(',');
+        push_usize_array(&mut s, "cautious_requests", &self.cautious_requests);
+        s.push(',');
+        push_usize_array(&mut s, "sent", &self.sent);
+        s.push(',');
+        push_f64(&mut s, "total_benefit", self.total_benefit);
+        s.push(',');
+        push_f64(&mut s, "total_benefit_sq", self.total_benefit_sq);
+        s.push(',');
+        push_usize(&mut s, "cautious_friends", self.cautious_friends);
+        s.push(',');
+        push_usize(&mut s, "friends", self.friends);
+        s.push(',');
+        push_usize(&mut s, "faults_seen", self.faults_seen);
+        s.push(',');
+        push_usize(&mut s, "retries_spent", self.retries_spent);
+        s.push(',');
+        push_usize(&mut s, "truncated_runs", self.truncated_runs);
+        s.push('}');
+        s
+    }
+
+    /// Restores an accumulator from [`to_json`](TraceAccumulator::to_json)
+    /// output, exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccuError::MalformedSnapshot`] on any syntax error,
+    /// missing or duplicate key, or length mismatch between the series
+    /// and `k`.
+    pub fn from_json(s: &str) -> Result<Self, AccuError> {
+        let fields = parse_json_object(s)?;
+        let get = |key: &str| -> Result<&JsonValue, AccuError> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| AccuError::MalformedSnapshot {
+                    reason: format!("missing key \"{key}\""),
+                })
+        };
+        let acc = TraceAccumulator {
+            k: get("k")?.as_usize("k")?,
+            runs: get("runs")?.as_usize("runs")?,
+            cum_benefit: get("cum_benefit")?.as_f64_array("cum_benefit")?,
+            marginal_cautious: get("marginal_cautious")?.as_f64_array("marginal_cautious")?,
+            marginal_reckless: get("marginal_reckless")?.as_f64_array("marginal_reckless")?,
+            cautious_requests: get("cautious_requests")?.as_usize_array("cautious_requests")?,
+            sent: get("sent")?.as_usize_array("sent")?,
+            total_benefit: get("total_benefit")?.as_f64("total_benefit")?,
+            total_benefit_sq: get("total_benefit_sq")?.as_f64("total_benefit_sq")?,
+            cautious_friends: get("cautious_friends")?.as_usize("cautious_friends")?,
+            friends: get("friends")?.as_usize("friends")?,
+            faults_seen: get("faults_seen")?.as_usize("faults_seen")?,
+            retries_spent: get("retries_spent")?.as_usize("retries_spent")?,
+            truncated_runs: get("truncated_runs")?.as_usize("truncated_runs")?,
+        };
+        for (name, len) in [
+            ("cum_benefit", acc.cum_benefit.len()),
+            ("marginal_cautious", acc.marginal_cautious.len()),
+            ("marginal_reckless", acc.marginal_reckless.len()),
+            ("cautious_requests", acc.cautious_requests.len()),
+            ("sent", acc.sent.len()),
+        ] {
+            if len != acc.k {
+                return Err(AccuError::MalformedSnapshot {
+                    reason: format!("series \"{name}\" has length {len}, expected k = {}", acc.k),
+                });
+            }
+        }
+        Ok(acc)
+    }
+}
+
+fn push_f64(s: &mut String, key: &str, value: f64) {
+    use std::fmt::Write;
+    // `{:?}` is Rust's shortest round-trip float form: parsing it back
+    // with `str::parse::<f64>` recovers the identical bits.
+    let _ = write!(s, "\"{key}\":{value:?}");
+}
+
+fn push_usize(s: &mut String, key: &str, value: usize) {
+    use std::fmt::Write;
+    let _ = write!(s, "\"{key}\":{value}");
+}
+
+fn push_f64_array(s: &mut String, key: &str, values: &[f64]) {
+    use std::fmt::Write;
+    let _ = write!(s, "\"{key}\":[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{v:?}");
+    }
+    s.push(']');
+}
+
+fn push_usize_array(s: &mut String, key: &str, values: &[usize]) {
+    use std::fmt::Write;
+    let _ = write!(s, "\"{key}\":[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push(']');
+}
+
+/// A parsed value in the restricted JSON dialect the accumulator
+/// snapshot uses: numbers and flat arrays of numbers. Numbers are kept
+/// as their source text so each field converts to its exact target
+/// type.
+enum JsonValue {
+    Num(String),
+    Arr(Vec<String>),
+}
+
+impl JsonValue {
+    fn as_f64(&self, key: &str) -> Result<f64, AccuError> {
+        match self {
+            JsonValue::Num(t) => parse_f64(t, key),
+            JsonValue::Arr(_) => Err(malformed(format!("key \"{key}\": expected number"))),
+        }
+    }
+
+    fn as_usize(&self, key: &str) -> Result<usize, AccuError> {
+        match self {
+            JsonValue::Num(t) => parse_usize(t, key),
+            JsonValue::Arr(_) => Err(malformed(format!("key \"{key}\": expected number"))),
+        }
+    }
+
+    fn as_f64_array(&self, key: &str) -> Result<Vec<f64>, AccuError> {
+        match self {
+            JsonValue::Arr(items) => items.iter().map(|t| parse_f64(t, key)).collect(),
+            JsonValue::Num(_) => Err(malformed(format!("key \"{key}\": expected array"))),
+        }
+    }
+
+    fn as_usize_array(&self, key: &str) -> Result<Vec<usize>, AccuError> {
+        match self {
+            JsonValue::Arr(items) => items.iter().map(|t| parse_usize(t, key)).collect(),
+            JsonValue::Num(_) => Err(malformed(format!("key \"{key}\": expected array"))),
+        }
+    }
+}
+
+fn malformed(reason: String) -> AccuError {
+    AccuError::MalformedSnapshot { reason }
+}
+
+fn parse_f64(text: &str, key: &str) -> Result<f64, AccuError> {
+    text.parse::<f64>()
+        .map_err(|_| malformed(format!("key \"{key}\": invalid number {text:?}")))
+}
+
+fn parse_usize(text: &str, key: &str) -> Result<usize, AccuError> {
+    text.parse::<usize>()
+        .map_err(|_| malformed(format!("key \"{key}\": invalid integer {text:?}")))
+}
+
+/// Parses `{"key":<num|[num,...]>,...}` into key/value pairs, rejecting
+/// trailing garbage and duplicate keys.
+fn parse_json_object(s: &str) -> Result<Vec<(String, JsonValue)>, AccuError> {
+    let mut p = Cursor {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields: Vec<(String, JsonValue)> = Vec::new();
+    p.skip_ws();
+    if !p.eat(b'}') {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(malformed(format!("duplicate key \"{key}\"")));
+            }
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = if p.eat(b'[') {
+                let mut items = Vec::new();
+                p.skip_ws();
+                if !p.eat(b']') {
+                    loop {
+                        p.skip_ws();
+                        items.push(p.parse_number_token()?);
+                        p.skip_ws();
+                        if p.eat(b']') {
+                            break;
+                        }
+                        p.expect(b',')?;
+                    }
+                }
+                JsonValue::Arr(items)
+            } else {
+                JsonValue::Num(p.parse_number_token()?)
+            };
+            fields.push((key, value));
+            p.skip_ws();
+            if p.eat(b'}') {
+                break;
+            }
+            p.expect(b',')?;
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(malformed(format!(
+            "trailing data at byte {} of snapshot line",
+            p.pos
+        )));
+    }
+    Ok(fields)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), AccuError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(malformed(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, AccuError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let key = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| malformed("non-UTF-8 key".to_string()))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(key);
+            }
+            if b == b'\\' {
+                return Err(malformed("escape sequences are not supported".to_string()));
+            }
+            self.pos += 1;
+        }
+        Err(malformed("unterminated string".to_string()))
+    }
+
+    fn parse_number_token(&mut self) -> Result<String, AccuError> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| {
+            b.is_ascii_digit()
+                || matches!(
+                    b,
+                    b'-' | b'+' | b'.' | b'e' | b'E' | b'i' | b'n' | b'f' | b'N' | b'a'
+                )
+        }) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(malformed(format!("expected a number at byte {start}")));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number token is ASCII")
+            .to_string())
     }
 }
 
@@ -338,6 +682,102 @@ mod tests {
         assert_eq!(acc.runs(), 1);
         assert!(acc.mean_cumulative_benefit().is_empty());
         assert!(acc.cautious_request_fraction().is_empty());
+    }
+
+    #[test]
+    fn aggregates_fault_summaries() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        use crate::run_attack_faulted;
+
+        let inst = star();
+        let real = full(&inst);
+        let plan = FaultPlan::from_parts(vec![true, false, false], Vec::new(), Some(2), None);
+        let out = run_attack_faulted(
+            &inst,
+            &real,
+            &mut MaxDegree::new(),
+            3,
+            &plan,
+            &RetryPolicy::give_up(),
+        );
+        let mut acc = TraceAccumulator::new(3);
+        acc.add(&out);
+        acc.add(&run_attack(&inst, &real, &mut MaxDegree::new(), 3));
+        assert_eq!(
+            acc.mean_faults_seen(),
+            out.faults.faults_seen() as f64 / 2.0
+        );
+        assert_eq!(acc.truncated_run_fraction(), 0.5);
+        assert_eq!(acc.mean_retries_spent(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let inst = star();
+        let real = full(&inst);
+        let mut acc = TraceAccumulator::new(2);
+        acc.add(&run_attack(&inst, &real, &mut MaxDegree::new(), 2));
+        acc.add(&run_attack(
+            &inst,
+            &real,
+            &mut Abm::new(AbmWeights::balanced()),
+            2,
+        ));
+        let restored = TraceAccumulator::from_json(&acc.to_json()).unwrap();
+        assert_eq!(acc, restored);
+        // Bit-exactness survives awkward floats too.
+        let mut odd = TraceAccumulator::new(1);
+        odd.total_benefit = 0.1 + 0.2; // 0.30000000000000004
+        odd.total_benefit_sq = 1.0 / 3.0;
+        odd.cum_benefit[0] = f64::MIN_POSITIVE;
+        let restored = TraceAccumulator::from_json(&odd.to_json()).unwrap();
+        assert_eq!(
+            odd.total_benefit.to_bits(),
+            restored.total_benefit.to_bits()
+        );
+        assert_eq!(
+            odd.total_benefit_sq.to_bits(),
+            restored.total_benefit_sq.to_bits()
+        );
+        assert_eq!(
+            odd.cum_benefit[0].to_bits(),
+            restored.cum_benefit[0].to_bits()
+        );
+        // An empty accumulator round-trips as well.
+        let empty = TraceAccumulator::new(0);
+        assert_eq!(
+            TraceAccumulator::from_json(&empty.to_json()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_snapshots() {
+        use crate::AccuError;
+        let reason = |s: &str| match TraceAccumulator::from_json(s).unwrap_err() {
+            AccuError::MalformedSnapshot { reason } => reason,
+            other => panic!("unexpected error {other:?}"),
+        };
+        assert!(reason("").contains("expected '{'"));
+        assert!(reason("{\"k\":1").contains("expected"));
+        assert!(reason("{\"k\":1}").contains("missing key \"runs\""));
+        assert!(reason("{\"k\":1,\"k\":2}").contains("duplicate key"));
+        assert!(reason("{\"k\":[1]}").contains("expected number"));
+        // Truncated line, as a crash mid-append would leave behind.
+        let full_line = {
+            let mut acc = TraceAccumulator::new(2);
+            acc.add(&run_attack(
+                &star(),
+                &full(&star()),
+                &mut MaxDegree::new(),
+                2,
+            ));
+            acc.to_json()
+        };
+        assert!(TraceAccumulator::from_json(&full_line[..full_line.len() - 3]).is_err());
+        // Series length must match k.
+        let bad = full_line.replace("\"k\":2", "\"k\":3");
+        assert!(reason(&bad).contains("expected k = 3"));
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use osn_graph::NodeId;
 
 use crate::{
-    AccuInstance, AttackOutcome, BenefitState, MarginalGain, Observation, Realization,
-    RequestRecord,
+    AccuInstance, AttackOutcome, BenefitState, FaultSummary, MarginalGain, Observation,
+    Realization, RequestRecord,
 };
 
 impl BenefitState {
@@ -105,6 +105,7 @@ pub fn run_omniscient_greedy(
             target,
             cautious: instance.is_cautious(target),
             accepted: true,
+            faulted: false,
             gain: applied,
             cumulative_benefit: benefit.total(),
         });
@@ -114,6 +115,7 @@ pub fn run_omniscient_greedy(
         total_benefit: benefit.total(),
         friends: observation.friends().to_vec(),
         cautious_friends: benefit.cautious_friend_count(),
+        faults: FaultSummary::default(),
     }
 }
 

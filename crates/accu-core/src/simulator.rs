@@ -5,12 +5,20 @@
 //! acceptance for reckless users, deterministic threshold check for
 //! cautious users), updates the observation and benefit state, and
 //! notifies the policy.
+//!
+//! The faulted variants additionally run the episode under a
+//! pre-sampled [`FaultPlan`] — transient failures the attacker may
+//! retry under a [`RetryPolicy`], silent response drops, rate-limit
+//! windows and account suspension — while keeping the zero-fault path
+//! bit-for-bit identical to the plain simulator.
 
 use accu_telemetry::{CounterHandle, HistogramHandle, Recorder};
 use osn_graph::NodeId;
 
+use crate::fault::{fault_metrics, FaultPlan, FaultSummary, RetryPolicy};
 use crate::{
-    AccuInstance, AttackerView, BenefitState, MarginalGain, Observation, Policy, Realization,
+    AccuError, AccuInstance, AttackerView, BenefitState, MarginalGain, Observation, Policy,
+    Realization,
 };
 
 /// Well-known simulator metric names (see [`run_attack_recorded`]).
@@ -70,6 +78,42 @@ impl SimTelemetry {
     }
 }
 
+/// Handles for the fault counters, fetched only when the episode's
+/// plan can actually inject faults — a fault-free run never registers
+/// (or pays for) them.
+struct FaultTelemetry {
+    injected: CounterHandle,
+    transient: CounterHandle,
+    dropped: CounterHandle,
+    rate_limited: CounterHandle,
+    retry_budget: CounterHandle,
+    truncated: CounterHandle,
+}
+
+impl FaultTelemetry {
+    fn new(recorder: &Recorder) -> Self {
+        FaultTelemetry {
+            injected: recorder.counter(fault_metrics::INJECTED),
+            transient: recorder.counter(fault_metrics::TRANSIENT),
+            dropped: recorder.counter(fault_metrics::DROPPED),
+            rate_limited: recorder.counter(fault_metrics::RATE_LIMITED),
+            retry_budget: recorder.counter(fault_metrics::RETRY_BUDGET),
+            truncated: recorder.counter(fault_metrics::TRUNCATED),
+        }
+    }
+
+    fn record(&self, summary: &FaultSummary) {
+        self.injected.add(summary.faults_seen() as u64);
+        self.transient.add(summary.transient_failures as u64);
+        self.dropped.add(summary.dropped_responses as u64);
+        self.rate_limited.add(summary.rate_limited_slots as u64);
+        self.retry_budget.add(summary.retries_spent as u64);
+        if summary.truncated_at.is_some() {
+            self.truncated.incr();
+        }
+    }
+}
+
 /// One request in an attack trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestRecord {
@@ -81,6 +125,10 @@ pub struct RequestRecord {
     pub cautious: bool,
     /// Whether the request was accepted.
     pub accepted: bool,
+    /// Whether this request went unanswered because of an injected
+    /// fault (transient failures exhausted retries, or the response was
+    /// dropped). A faulted request is never `accepted`.
+    pub faulted: bool,
     /// Marginal benefit of this request, split by source class.
     pub gain: MarginalGain,
     /// Benefit accumulated up to and including this request.
@@ -98,6 +146,9 @@ pub struct AttackOutcome {
     pub friends: Vec<NodeId>,
     /// Number of cautious users among the friends.
     pub cautious_friends: usize,
+    /// Fault accounting for the episode (all-zero on the fault-free
+    /// path).
+    pub faults: FaultSummary,
 }
 
 impl AttackOutcome {
@@ -155,6 +206,8 @@ pub fn run_attack(
         realization,
         policy,
         k,
+        &FaultPlan::none(),
+        &RetryPolicy::give_up(),
         &Recorder::disabled(),
     )
 }
@@ -176,27 +229,131 @@ pub fn run_attack_recorded(
     k: usize,
     recorder: &Recorder,
 ) -> AttackOutcome {
-    attack_core(instance, instance, realization, policy, k, recorder)
+    attack_core(
+        instance,
+        instance,
+        realization,
+        policy,
+        k,
+        &FaultPlan::none(),
+        &RetryPolicy::give_up(),
+        recorder,
+    )
+}
+
+/// Runs `policy` under the fault realization `plan`: transient failures
+/// retried per `retry`, dropped responses, rate-limit waits and
+/// suspension truncation, all paid out of the same budget `k`.
+///
+/// With a trivial plan ([`FaultPlan::none`]) this is bit-for-bit
+/// [`run_attack`]. Because the plan is indexed by budget slot, every
+/// policy evaluated against the same plan faces the identical fault
+/// sequence — the paired-comparison property the experiments rely on.
+///
+/// # Panics
+///
+/// Panics if the policy selects an already-requested node.
+pub fn run_attack_faulted(
+    instance: &AccuInstance,
+    realization: &Realization,
+    policy: &mut dyn Policy,
+    k: usize,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+) -> AttackOutcome {
+    attack_core(
+        instance,
+        instance,
+        realization,
+        policy,
+        k,
+        plan,
+        retry,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`run_attack_faulted`] with telemetry: in addition to the
+/// [`sim_metrics`], fault events land in `recorder` under the
+/// [`fault_metrics`](crate::fault::fault_metrics) names.
+///
+/// # Panics
+///
+/// Panics if the policy selects an already-requested node.
+#[allow(clippy::too_many_arguments)]
+pub fn run_attack_faulted_recorded(
+    instance: &AccuInstance,
+    realization: &Realization,
+    policy: &mut dyn Policy,
+    k: usize,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    recorder: &Recorder,
+) -> AttackOutcome {
+    attack_core(
+        instance,
+        instance,
+        realization,
+        policy,
+        k,
+        plan,
+        retry,
+        recorder,
+    )
+}
+
+/// How a request attempt at one budget slot resolved.
+enum AttemptFate {
+    /// The request went through; resolve acceptance normally.
+    Resolved,
+    /// The request went unanswered (retries exhausted or response
+    /// dropped); the attacker writes the target off.
+    Unanswered,
+    /// Suspension struck while handling the target; episode over.
+    Suspended(usize),
 }
 
 /// The shared attack loop: the policy sees `believed`, requests resolve
 /// and benefit accrues on `truth` (the two are the same instance for
-/// the plain attack).
+/// the plain attack). Budget is consumed per *slot*: fault-free, one
+/// slot per request; under faults, failed attempts, backoff waits and
+/// rate-limit pauses burn slots too.
+#[allow(clippy::too_many_arguments)]
 fn attack_core(
     truth: &AccuInstance,
     believed: &AccuInstance,
     realization: &Realization,
     policy: &mut dyn Policy,
     k: usize,
+    faults: &FaultPlan,
+    retry: &RetryPolicy,
     recorder: &Recorder,
 ) -> AttackOutcome {
     let tel = SimTelemetry::new(recorder);
+    // Only register fault counters when faults can actually occur, so
+    // fault-free telemetry output is unchanged.
+    let ftel = if faults.is_trivial() {
+        None
+    } else {
+        Some(FaultTelemetry::new(recorder))
+    };
     let episode_span = tel.episode_ns.span();
     let mut observation = Observation::for_instance(truth);
     let mut benefit = BenefitState::new(truth);
     policy.reset(&AttackerView::new(believed, &observation));
     let mut trace = Vec::with_capacity(k);
-    for step in 0..k {
+    let mut summary = FaultSummary::default();
+    let mut slot = 0usize;
+    'episode: while slot < k {
+        if faults.suspended(slot) {
+            summary.truncated_at = Some(slot);
+            break;
+        }
+        if faults.rate_limited(slot) {
+            summary.rate_limited_slots += 1;
+            slot += 1;
+            continue;
+        }
         let selected = {
             let _span = tel.select_ns.span();
             policy.select(&AttackerView::new(believed, &observation))
@@ -210,16 +367,63 @@ fn attack_core(
             "policy {} re-selected node {target}",
             policy.name()
         );
-        let resolve_span = tel.resolve_ns.span();
-        let accepted = resolve_acceptance(truth, &observation, realization, target);
-        let (gain, newly_revealed) = if accepted {
-            let revealed = observation.record_acceptance(target, truth, realization);
-            (benefit.add_friend(truth, realization, target), revealed)
-        } else {
-            observation.record_rejection(target);
-            (MarginalGain::default(), Vec::new())
+        // Attempt loop: burn slots until the request resolves, goes
+        // unanswered, or the account dies. Fault-free this runs exactly
+        // once and consumes exactly one slot.
+        let mut attempt: u32 = 0;
+        let fate = loop {
+            if faults.suspended(slot) {
+                break AttemptFate::Suspended(slot);
+            }
+            if faults.transient(slot) {
+                summary.transient_failures += 1;
+                slot += 1; // the failed attempt consumed its slot
+                if attempt < retry.max_retries && slot < k {
+                    attempt += 1;
+                    let backoff = retry.backoff(attempt).min(k - slot);
+                    // The backoff wait plus the upcoming re-send are
+                    // budget spent purely on retrying.
+                    summary.retries_spent += backoff + 1;
+                    slot += backoff;
+                    continue;
+                }
+                break AttemptFate::Unanswered;
+            }
+            if faults.dropped(slot) {
+                summary.dropped_responses += 1;
+                slot += 1;
+                break AttemptFate::Unanswered;
+            }
+            slot += 1;
+            break AttemptFate::Resolved;
         };
-        resolve_span.finish();
+        let (accepted, faulted, gain, newly_revealed) = match fate {
+            AttemptFate::Suspended(s) => {
+                summary.truncated_at = Some(s);
+                break 'episode;
+            }
+            AttemptFate::Resolved => {
+                let resolve_span = tel.resolve_ns.span();
+                let accepted = resolve_acceptance(truth, &observation, realization, target);
+                let (gain, revealed) = if accepted {
+                    let revealed = observation.record_acceptance(target, truth, realization);
+                    (benefit.add_friend(truth, realization, target), revealed)
+                } else {
+                    observation.record_rejection(target);
+                    (MarginalGain::default(), Vec::new())
+                };
+                resolve_span.finish();
+                (accepted, false, gain, revealed)
+            }
+            // Unanswered: the target never (observably) decided. The
+            // attacker cannot distinguish silence from rejection and
+            // writes the target off; no benefit accrues and no resolve
+            // span is timed (nothing was resolved).
+            AttemptFate::Unanswered => {
+                observation.record_rejection(target);
+                (false, true, MarginalGain::default(), Vec::new())
+            }
+        };
         let cautious = truth.is_cautious(target);
         tel.requests.incr();
         if cautious {
@@ -234,10 +438,11 @@ fn attack_core(
             tel.rejected.incr();
         }
         trace.push(RequestRecord {
-            step,
+            step: trace.len(),
             target,
             cautious,
             accepted,
+            faulted,
             gain,
             cumulative_benefit: benefit.total(),
         });
@@ -252,12 +457,16 @@ fn attack_core(
         }
     }
     tel.episodes.incr();
+    if let Some(ftel) = &ftel {
+        ftel.record(&summary);
+    }
     episode_span.finish();
     AttackOutcome {
         trace,
         total_benefit: benefit.total(),
         friends: observation.friends().to_vec(),
         cautious_friends: benefit.cautious_friend_count(),
+        faults: summary,
     }
 }
 
@@ -267,19 +476,21 @@ fn attack_core(
 /// instance. Measures the robustness of knowledge-driven policies to
 /// estimation noise — the paper assumes exact parameter knowledge.
 ///
-/// Both instances must share the same graph topology.
+/// # Errors
+///
+/// Returns [`AccuError::TopologyMismatch`] if the two instances do not
+/// share a graph.
 ///
 /// # Panics
 ///
-/// Panics if the graphs differ, or the policy selects an
-/// already-requested node.
+/// Panics if the policy selects an already-requested node.
 pub fn run_attack_with_beliefs(
     truth: &AccuInstance,
     believed: &AccuInstance,
     realization: &Realization,
     policy: &mut dyn Policy,
     k: usize,
-) -> AttackOutcome {
+) -> Result<AttackOutcome, AccuError> {
     run_attack_with_beliefs_recorded(
         truth,
         believed,
@@ -293,10 +504,14 @@ pub fn run_attack_with_beliefs(
 /// [`run_attack_with_beliefs`] with telemetry recorded into `recorder`
 /// under the [`sim_metrics`] names.
 ///
+/// # Errors
+///
+/// Returns [`AccuError::TopologyMismatch`] if the two instances do not
+/// share a graph.
+///
 /// # Panics
 ///
-/// Panics if the graphs differ, or the policy selects an
-/// already-requested node.
+/// Panics if the policy selects an already-requested node.
 pub fn run_attack_with_beliefs_recorded(
     truth: &AccuInstance,
     believed: &AccuInstance,
@@ -304,20 +519,71 @@ pub fn run_attack_with_beliefs_recorded(
     policy: &mut dyn Policy,
     k: usize,
     recorder: &Recorder,
-) -> AttackOutcome {
-    assert_eq!(
-        truth.graph(),
-        believed.graph(),
-        "truth and believed instances must share a topology"
-    );
-    attack_core(truth, believed, realization, policy, k, recorder)
+) -> Result<AttackOutcome, AccuError> {
+    check_topology(truth, believed)?;
+    Ok(attack_core(
+        truth,
+        believed,
+        realization,
+        policy,
+        k,
+        &FaultPlan::none(),
+        &RetryPolicy::give_up(),
+        recorder,
+    ))
+}
+
+/// [`run_attack_with_beliefs_recorded`] under a fault realization —
+/// model mismatch and platform faults composed.
+///
+/// # Errors
+///
+/// Returns [`AccuError::TopologyMismatch`] if the two instances do not
+/// share a graph.
+///
+/// # Panics
+///
+/// Panics if the policy selects an already-requested node.
+#[allow(clippy::too_many_arguments)]
+pub fn run_attack_with_beliefs_faulted_recorded(
+    truth: &AccuInstance,
+    believed: &AccuInstance,
+    realization: &Realization,
+    policy: &mut dyn Policy,
+    k: usize,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    recorder: &Recorder,
+) -> Result<AttackOutcome, AccuError> {
+    check_topology(truth, believed)?;
+    Ok(attack_core(
+        truth,
+        believed,
+        realization,
+        policy,
+        k,
+        plan,
+        retry,
+        recorder,
+    ))
+}
+
+fn check_topology(truth: &AccuInstance, believed: &AccuInstance) -> Result<(), AccuError> {
+    if truth.graph() != believed.graph() {
+        return Err(AccuError::TopologyMismatch {
+            truth: (truth.node_count(), truth.graph().edge_count()),
+            believed: (believed.node_count(), believed.graph().edge_count()),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::RateLimit;
     use crate::policy::{Abm, AbmWeights, MaxDegree};
-    use crate::{AccuInstanceBuilder, UserClass};
+    use crate::{AccuInstanceBuilder, FaultConfig, UserClass};
     use osn_graph::GraphBuilder;
 
     /// Path 0 - 1 - 2; node 2 cautious with θ = 1, B_f = 10.
@@ -351,11 +617,13 @@ mod tests {
         let mut acc = 0.0;
         for (i, r) in out.trace.iter().enumerate() {
             assert_eq!(r.step, i);
+            assert!(!r.faulted);
             acc += r.gain.total();
             assert!((r.cumulative_benefit - acc).abs() < 1e-12);
         }
         assert_eq!(out.total_benefit, acc);
         assert_eq!(out.friends.len(), 3);
+        assert!(out.faults.is_clean());
     }
 
     #[test]
@@ -408,7 +676,7 @@ mod tests {
         let mut abm1 = Abm::new(AbmWeights::balanced());
         let mut abm2 = Abm::new(AbmWeights::balanced());
         let plain = run_attack(&inst, &real, &mut abm1, 3);
-        let believed = run_attack_with_beliefs(&inst, &inst, &real, &mut abm2, 3);
+        let believed = run_attack_with_beliefs(&inst, &inst, &real, &mut abm2, 3).unwrap();
         assert_eq!(plain, believed);
     }
 
@@ -424,7 +692,7 @@ mod tests {
             .build()
             .unwrap();
         let mut abm = Abm::new(AbmWeights::balanced());
-        let out = run_attack_with_beliefs(&inst, &believed, &real, &mut abm, 3);
+        let out = run_attack_with_beliefs(&inst, &believed, &real, &mut abm, 3).unwrap();
         // All three users still end up friends (budget covers everyone)
         // and the collected benefit uses the TRUE value of node 2.
         assert_eq!(out.friends.len(), 3);
@@ -432,15 +700,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "share a topology")]
-    fn mismatched_topologies_panic() {
+    fn mismatched_topologies_yield_typed_error() {
         let inst = path_instance();
         let other = AccuInstanceBuilder::new(GraphBuilder::from_edges(3, [(0u32, 1u32)]).unwrap())
             .build()
             .unwrap();
         let real = full(&inst);
         let mut abm = Abm::new(AbmWeights::balanced());
-        run_attack_with_beliefs(&inst, &other, &real, &mut abm, 1);
+        let err = run_attack_with_beliefs(&inst, &other, &real, &mut abm, 1).unwrap_err();
+        assert_eq!(
+            err,
+            AccuError::TopologyMismatch {
+                truth: (3, 2),
+                believed: (3, 1),
+            }
+        );
+        assert!(err.to_string().contains("share a topology"));
     }
 
     #[test]
@@ -477,6 +752,8 @@ mod tests {
             assert_eq!(snap.histogram(h).unwrap().count, 3, "{h} span count");
         }
         assert_eq!(snap.histogram(sim_metrics::EPISODE_NS).unwrap().count, 1);
+        // The fault-free path never registers fault counters.
+        assert_eq!(snap.counter(fault_metrics::INJECTED), None);
     }
 
     #[test]
@@ -501,7 +778,8 @@ mod tests {
             &mut Abm::new(AbmWeights::balanced()),
             2,
             &rec,
-        );
+        )
+        .unwrap();
         let snap = rec.snapshot("beliefs").unwrap();
         assert_eq!(
             snap.counter(sim_metrics::REQUESTS),
@@ -518,5 +796,205 @@ mod tests {
         assert!(out.trace.is_empty());
         assert_eq!(out.total_benefit, 0.0);
         assert_eq!(out.requests_sent(), 0);
+    }
+
+    #[test]
+    fn trivial_plan_reproduces_plain_attack_exactly() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let plain = run_attack(&inst, &real, &mut Abm::new(AbmWeights::balanced()), 3);
+        let faulted = run_attack_faulted(
+            &inst,
+            &real,
+            &mut Abm::new(AbmWeights::balanced()),
+            3,
+            &FaultPlan::none(),
+            &RetryPolicy::standard(),
+        );
+        assert_eq!(plain, faulted);
+        let sampled_trivial = FaultPlan::sample(&FaultConfig::none(), 7, 3);
+        let faulted2 = run_attack_faulted(
+            &inst,
+            &real,
+            &mut Abm::new(AbmWeights::balanced()),
+            3,
+            &sampled_trivial,
+            &RetryPolicy::standard(),
+        );
+        assert_eq!(plain, faulted2);
+    }
+
+    #[test]
+    fn transient_failure_retries_and_succeeds() {
+        let inst = path_instance();
+        let real = full(&inst);
+        // Slot 0 fails; retry with backoff 1 re-sends at slot 2, which
+        // succeeds. Budget 4 leaves one slot for a second request.
+        let plan = FaultPlan::from_parts(vec![true, false, false, false], Vec::new(), None, None);
+        let retry = RetryPolicy {
+            max_retries: 2,
+            backoff_base: 1,
+            backoff_cap: 4,
+        };
+        let out = run_attack_faulted(&inst, &real, &mut MaxDegree::new(), 4, &plan, &retry);
+        // MaxDegree targets node 1 first; the retry succeeds, then one
+        // more slot remains for node 0.
+        assert_eq!(out.trace.len(), 2);
+        assert!(out.trace[0].accepted);
+        assert!(!out.trace[0].faulted);
+        assert_eq!(out.faults.transient_failures, 1);
+        assert_eq!(out.faults.retries_spent, 2); // 1 backoff + 1 re-send
+        assert_eq!(out.faults.truncated_at, None);
+    }
+
+    #[test]
+    fn transient_failure_without_retry_writes_target_off() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let plan = FaultPlan::from_parts(vec![true, false, false], Vec::new(), None, None);
+        let out = run_attack_faulted(
+            &inst,
+            &real,
+            &mut MaxDegree::new(),
+            3,
+            &plan,
+            &RetryPolicy::give_up(),
+        );
+        // Node 1's request is lost; nodes 0 and 2 still get requested.
+        assert_eq!(out.trace.len(), 3);
+        assert!(out.trace[0].faulted);
+        assert!(!out.trace[0].accepted);
+        assert_eq!(out.trace[0].target, NodeId::new(1));
+        assert_eq!(out.faults.transient_failures, 1);
+        assert_eq!(out.faults.retries_spent, 0);
+        // Without the hub friend, the cautious node 2 has no mutual
+        // friends and rejects.
+        assert_eq!(out.cautious_friends, 0);
+    }
+
+    #[test]
+    fn dropped_response_consumes_budget_without_benefit() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let plan = FaultPlan::from_parts(Vec::new(), vec![true, false, false], None, None);
+        let out = run_attack_faulted(
+            &inst,
+            &real,
+            &mut MaxDegree::new(),
+            3,
+            &plan,
+            &RetryPolicy::standard(),
+        );
+        assert_eq!(out.trace.len(), 3);
+        assert!(out.trace[0].faulted);
+        assert!(!out.trace[0].accepted);
+        assert_eq!(out.faults.dropped_responses, 1);
+        // Drops are not retried: the attacker saw silence, not an error.
+        assert_eq!(out.faults.retries_spent, 0);
+        assert_eq!(out.trace[0].gain, MarginalGain::default());
+    }
+
+    #[test]
+    fn suspension_truncates_the_episode() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let plan = FaultPlan::from_parts(Vec::new(), Vec::new(), Some(2), None);
+        let out = run_attack_faulted(
+            &inst,
+            &real,
+            &mut MaxDegree::new(),
+            3,
+            &plan,
+            &RetryPolicy::standard(),
+        );
+        assert_eq!(out.trace.len(), 2);
+        assert_eq!(out.faults.truncated_at, Some(2));
+        assert_eq!(out.requests_sent(), 2);
+    }
+
+    #[test]
+    fn rate_limit_burns_slots() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let plan = FaultPlan::from_parts(
+            Vec::new(),
+            Vec::new(),
+            None,
+            Some(RateLimit {
+                window: 1,
+                pause: 1,
+            }),
+        );
+        // Budget 4, pattern: request, wait, request, wait.
+        let out = run_attack_faulted(
+            &inst,
+            &real,
+            &mut MaxDegree::new(),
+            4,
+            &plan,
+            &RetryPolicy::standard(),
+        );
+        assert_eq!(out.trace.len(), 2);
+        assert_eq!(out.faults.rate_limited_slots, 2);
+        assert_eq!(out.faults.faults_seen(), 2);
+    }
+
+    #[test]
+    fn faulted_recorded_counts_fault_events() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let rec = Recorder::enabled();
+        let plan =
+            FaultPlan::from_parts(vec![true, false, false, false], Vec::new(), Some(3), None);
+        let out = run_attack_faulted_recorded(
+            &inst,
+            &real,
+            &mut MaxDegree::new(),
+            4,
+            &plan,
+            &RetryPolicy::give_up(),
+            &rec,
+        );
+        let snap = rec.snapshot("faults").unwrap();
+        assert_eq!(
+            snap.counter(fault_metrics::TRANSIENT),
+            Some(out.faults.transient_failures as u64)
+        );
+        assert_eq!(snap.counter(fault_metrics::TRUNCATED), Some(1));
+        assert_eq!(
+            snap.counter(fault_metrics::INJECTED),
+            Some(out.faults.faults_seen() as u64)
+        );
+    }
+
+    #[test]
+    fn same_plan_for_every_policy_is_paired() {
+        let inst = path_instance();
+        let real = full(&inst);
+        let cfg = FaultConfig::scaled(1.0);
+        let plan = FaultPlan::sample(&cfg, 11, 6);
+        let a = run_attack_faulted(
+            &inst,
+            &real,
+            &mut MaxDegree::new(),
+            6,
+            &plan,
+            &RetryPolicy::standard(),
+        );
+        let b = run_attack_faulted(
+            &inst,
+            &real,
+            &mut Abm::new(AbmWeights::balanced()),
+            6,
+            &plan,
+            &RetryPolicy::standard(),
+        );
+        // Same fault realization: rate-limit and suspension slots agree
+        // regardless of the policy's choices.
+        assert_eq!(a.faults.rate_limited_slots, b.faults.rate_limited_slots);
+        assert_eq!(
+            a.faults.truncated_at.is_some(),
+            b.faults.truncated_at.is_some()
+        );
     }
 }

@@ -8,7 +8,9 @@
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::chart::Chart;
 use accu_experiments::output::{downsample_indices, series_table};
-use accu_experiments::{run_policy_recorded, Cli, ExperimentScale, PolicyKind, Telemetry};
+use accu_experiments::{
+    run_policy_checked, Checkpoint, Cli, ExperimentScale, PolicyKind, Telemetry,
+};
 
 fn main() {
     let cli = Cli::parse();
@@ -18,14 +20,43 @@ fn main() {
         "Fig. 2: benefit vs number of requests ({})",
         scale.describe()
     );
+    let mut checkpoint = cli.checkpoint.as_ref().map(|path| {
+        let ckpt = Checkpoint::open(path, cli.resume).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        if cli.resume && ckpt.loaded_entries() > 0 {
+            println!(
+                "resuming from {}: {} completed networks on file",
+                ckpt.path().display(),
+                ckpt.loaded_entries()
+            );
+        }
+        ckpt
+    });
 
     for dataset in DatasetSpec::all_paper_datasets() {
         let figure = scale.figure_run(dataset.clone(), ProtocolConfig::default());
         println!("\n=== {} ===", figure.dataset);
         let mut series = Vec::new();
         for policy in PolicyKind::paper_lineup() {
-            let acc = run_policy_recorded(&figure, policy, tel.recorder());
-            series.push((policy.name(), acc.mean_cumulative_benefit()));
+            let report = run_policy_checked(&figure, policy, tel.recorder(), checkpoint.as_mut())
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            for failure in &report.quarantined {
+                eprintln!("runner: {failure}");
+            }
+            if report.resumed_networks > 0 {
+                println!(
+                    "{}: resumed {} of {} networks from checkpoint",
+                    policy.name(),
+                    report.resumed_networks,
+                    figure.network_samples
+                );
+            }
+            series.push((policy.name(), report.accumulator.mean_cumulative_benefit()));
         }
         let idx = downsample_indices(figure.budget, 64);
         let xs: Vec<f64> = idx.iter().map(|&i| (i + 1) as f64).collect();

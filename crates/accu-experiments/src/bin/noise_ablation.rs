@@ -72,6 +72,7 @@ fn main() {
             .iter()
             .map(|real| {
                 run_attack_with_beliefs_recorded(&truth, believed, real, policy, k, tel.recorder())
+                    .expect("truth and beliefs share a topology by construction")
                     .total_benefit
             })
             .sum::<f64>()

@@ -1,0 +1,330 @@
+//! Crash-safe JSONL checkpoints for long figure runs.
+//!
+//! A checkpoint file holds one line per *completed sampled network*:
+//! the cell it belongs to (dataset × policy × full run configuration),
+//! the network index, and the network's [`TraceAccumulator`] serialized
+//! exactly (see [`TraceAccumulator::to_json`]). Lines are appended and
+//! flushed as networks finish, so a SIGKILLed run loses at most the
+//! network it was working on. On `--resume` the runner loads the file,
+//! skips every network already covered, and merges the checkpointed
+//! accumulators back in — producing an aggregate identical to an
+//! uninterrupted run.
+//!
+//! A truncated final line (the signature a crash mid-append leaves
+//! behind) is detected by the parser and simply dropped: that network
+//! is recomputed on resume.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use accu_core::TraceAccumulator;
+use accu_telemetry::json_escape;
+
+use crate::runner::RunnerError;
+
+/// Format-version marker written as the first line of every checkpoint.
+const HEADER: &str = "{\"accu_checkpoint\":1}";
+
+/// An open checkpoint file: previously completed work loaded into
+/// memory plus an append handle for new completions.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    file: File,
+    /// (cell, network) → serialized accumulator, as loaded at open time.
+    entries: BTreeMap<(String, usize), String>,
+    /// Lines dropped at load because they did not parse (a crashed
+    /// append leaves at most one).
+    skipped_lines: usize,
+}
+
+impl Checkpoint {
+    /// Opens a checkpoint for a fresh run: truncates any existing file
+    /// and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunnerError::Checkpoint`] on I/O failure.
+    pub fn create(path: impl AsRef<Path>) -> Result<Checkpoint, RunnerError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::create(&path).map_err(RunnerError::Checkpoint)?;
+        writeln!(file, "{HEADER}").map_err(RunnerError::Checkpoint)?;
+        file.flush().map_err(RunnerError::Checkpoint)?;
+        Ok(Checkpoint {
+            path,
+            file,
+            entries: BTreeMap::new(),
+            skipped_lines: 0,
+        })
+    }
+
+    /// Opens a checkpoint for `--resume`: loads every parseable entry
+    /// from an existing file (creating a fresh one if the path does not
+    /// exist) and appends from there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunnerError::Checkpoint`] on I/O failure. Unparseable
+    /// *lines* are not errors — they are dropped and counted in
+    /// [`skipped_lines`](Checkpoint::skipped_lines), because a crash
+    /// mid-append legitimately truncates the final line.
+    pub fn resume(path: impl AsRef<Path>) -> Result<Checkpoint, RunnerError> {
+        let path = path.as_ref().to_path_buf();
+        if !path.exists() {
+            return Self::create(path);
+        }
+        let mut entries = BTreeMap::new();
+        let mut skipped = 0usize;
+        let contents = std::fs::read_to_string(&path).map_err(RunnerError::Checkpoint)?;
+        let ends_with_newline = contents.is_empty() || contents.ends_with('\n');
+        for line in contents.lines() {
+            if line.trim().is_empty() || line == HEADER {
+                continue;
+            }
+            match parse_entry(line) {
+                Some((cell, net, acc_json)) => {
+                    entries.insert((cell, net), acc_json);
+                }
+                None => skipped += 1,
+            }
+        }
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(RunnerError::Checkpoint)?;
+        // A crash mid-append can leave the file without a trailing
+        // newline; terminate the torn line so new entries stay on lines
+        // of their own.
+        if !ends_with_newline {
+            writeln!(file).map_err(RunnerError::Checkpoint)?;
+        }
+        Ok(Checkpoint {
+            path,
+            file,
+            entries,
+            skipped_lines: skipped,
+        })
+    }
+
+    /// Opens per the CLI contract: `resume == false` starts fresh
+    /// (truncating), `resume == true` reloads prior progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunnerError::Checkpoint`] on I/O failure.
+    pub fn open(path: impl AsRef<Path>, resume: bool) -> Result<Checkpoint, RunnerError> {
+        if resume {
+            Self::resume(path)
+        } else {
+            Self::create(path)
+        }
+    }
+
+    /// The file this checkpoint appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of unparseable lines dropped at load time.
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// Number of completed-network entries loaded at open time.
+    pub fn loaded_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The completed networks recorded for `cell`, deserialized.
+    ///
+    /// Entries that fail to deserialize are dropped (treated like
+    /// truncated lines): their networks are simply recomputed.
+    pub fn completed(&self, cell: &str) -> BTreeMap<usize, TraceAccumulator> {
+        self.entries
+            .range((cell.to_string(), 0)..=(cell.to_string(), usize::MAX))
+            .filter_map(|((_, net), acc_json)| {
+                TraceAccumulator::from_json(acc_json)
+                    .ok()
+                    .map(|a| (*net, a))
+            })
+            .collect()
+    }
+
+    /// Appends one completed network and flushes, so the entry survives
+    /// an immediately following SIGKILL.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn record(
+        &mut self,
+        cell: &str,
+        net: usize,
+        acc: &TraceAccumulator,
+    ) -> std::io::Result<()> {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"cell\":\"{}\",\"net\":{net},\"acc\":{}}}",
+            json_escape(cell),
+            acc.to_json()
+        );
+        writeln!(self.file, "{line}")?;
+        self.file.flush()
+    }
+}
+
+/// Parses one entry line into `(cell, net, accumulator-json)`. Returns
+/// `None` on any malformation — the caller drops such lines.
+fn parse_entry(line: &str) -> Option<(String, usize, String)> {
+    let rest = line.strip_prefix("{\"cell\":\"")?;
+    // Cell labels are written through `json_escape`, but contain no
+    // characters that escape in practice; reject the line if any did.
+    let quote = rest.find('"')?;
+    let cell = &rest[..quote];
+    if cell.contains('\\') {
+        return None;
+    }
+    let rest = rest[quote + 1..].strip_prefix(",\"net\":")?;
+    let comma = rest.find(',')?;
+    let net: usize = rest[..comma].parse().ok()?;
+    let acc_json = rest[comma + 1..].strip_prefix("\"acc\":")?;
+    let acc_json = acc_json.strip_suffix('}')?;
+    // Validate eagerly so a truncated accumulator object is dropped at
+    // load time, not discovered later.
+    TraceAccumulator::from_json(acc_json).ok()?;
+    Some((cell.to_string(), net, acc_json.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accu_core::policy::MaxDegree;
+    use accu_core::{run_attack, AccuInstanceBuilder, Realization};
+    use osn_graph::GraphBuilder;
+
+    fn sample_acc() -> TraceAccumulator {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        let inst = AccuInstanceBuilder::new(g).build().unwrap();
+        let real = Realization::from_parts(&inst, vec![true, true], vec![true; 3]).unwrap();
+        let mut acc = TraceAccumulator::new(3);
+        acc.add(&run_attack(&inst, &real, &mut MaxDegree::new(), 3));
+        acc
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "accu-checkpoint-test-{name}-{}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn record_and_resume_round_trip() {
+        let path = temp_path("round-trip");
+        let acc = sample_acc();
+        {
+            let mut ckpt = Checkpoint::create(&path).unwrap();
+            ckpt.record("cellA", 0, &acc).unwrap();
+            ckpt.record("cellA", 2, &acc).unwrap();
+            ckpt.record("cellB", 1, &acc).unwrap();
+        }
+        let ckpt = Checkpoint::resume(&path).unwrap();
+        assert_eq!(ckpt.loaded_entries(), 3);
+        assert_eq!(ckpt.skipped_lines(), 0);
+        let a = ckpt.completed("cellA");
+        assert_eq!(a.keys().copied().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(a[&0], acc);
+        assert_eq!(ckpt.completed("cellB").len(), 1);
+        assert!(ckpt.completed("cellC").is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped() {
+        let path = temp_path("truncated");
+        let acc = sample_acc();
+        {
+            let mut ckpt = Checkpoint::create(&path).unwrap();
+            ckpt.record("cell", 0, &acc).unwrap();
+            ckpt.record("cell", 1, &acc).unwrap();
+        }
+        // Simulate a crash mid-append: chop the last line in half.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &contents[..contents.len() - 40]).unwrap();
+        let ckpt = Checkpoint::resume(&path).unwrap();
+        assert_eq!(ckpt.loaded_entries(), 1);
+        assert_eq!(ckpt.skipped_lines(), 1);
+        assert!(ckpt.completed("cell").contains_key(&0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_truncates_prior_progress() {
+        let path = temp_path("truncates");
+        {
+            let mut ckpt = Checkpoint::create(&path).unwrap();
+            ckpt.record("cell", 0, &sample_acc()).unwrap();
+        }
+        let ckpt = Checkpoint::open(&path, false).unwrap();
+        assert_eq!(ckpt.loaded_entries(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_on_missing_file_starts_fresh() {
+        let path = temp_path("missing");
+        std::fs::remove_file(&path).ok();
+        let ckpt = Checkpoint::open(&path, true).unwrap();
+        assert_eq!(ckpt.loaded_entries(), 0);
+        assert!(path.exists(), "resume on a missing path creates the file");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appending_after_a_torn_line_stays_on_fresh_lines() {
+        let path = temp_path("torn-append");
+        let acc = sample_acc();
+        {
+            let mut ckpt = Checkpoint::create(&path).unwrap();
+            ckpt.record("cell", 0, &acc).unwrap();
+            ckpt.record("cell", 1, &acc).unwrap();
+        }
+        // Crash signature: the final line is torn and unterminated.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &contents[..contents.len() - 40]).unwrap();
+        {
+            let mut ckpt = Checkpoint::resume(&path).unwrap();
+            assert_eq!(ckpt.skipped_lines(), 1);
+            ckpt.record("cell", 1, &acc).unwrap();
+            ckpt.record("cell", 2, &acc).unwrap();
+        }
+        // The re-appended entries must not have merged into the torn
+        // line: a fresh load sees all three networks.
+        let ckpt = Checkpoint::resume(&path).unwrap();
+        assert_eq!(ckpt.skipped_lines(), 1);
+        let done = ckpt.completed("cell");
+        assert_eq!(done.keys().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appending_after_resume_preserves_old_entries() {
+        let path = temp_path("append");
+        let acc = sample_acc();
+        {
+            let mut ckpt = Checkpoint::create(&path).unwrap();
+            ckpt.record("cell", 0, &acc).unwrap();
+        }
+        {
+            let mut ckpt = Checkpoint::resume(&path).unwrap();
+            ckpt.record("cell", 1, &acc).unwrap();
+        }
+        let ckpt = Checkpoint::resume(&path).unwrap();
+        assert_eq!(ckpt.completed("cell").len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

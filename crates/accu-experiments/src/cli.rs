@@ -8,7 +8,12 @@
 //! * `--seed <u64>` — master RNG seed (default 42);
 //! * `--samples <n>` / `--runs <n>` / `--budget <k>` — override the
 //!   number of sampled networks, runs per network, and request budget;
-//! * `--scale <f>` — override the graph down-scaling factor.
+//! * `--scale <f>` — override the graph down-scaling factor;
+//! * `--faults <f>` — run under the fault model at intensity `f` in
+//!   `[0, 1]` (0 = the paper's fault-free setting);
+//! * `--checkpoint <path>` / `--resume` — append per-network progress
+//!   to a JSONL checkpoint and, with `--resume`, skip work the file
+//!   already covers.
 
 use std::fmt;
 
@@ -31,6 +36,12 @@ pub struct Cli {
     /// counters) and write a JSONL snapshot under
     /// `target/experiments/telemetry/`.
     pub telemetry: bool,
+    /// Fault-model intensity in `[0, 1]` (`None` = fault-free).
+    pub faults: Option<f64>,
+    /// Checkpoint file to append per-network progress to.
+    pub checkpoint: Option<String>,
+    /// Resume from the checkpoint instead of starting fresh.
+    pub resume: bool,
 }
 
 impl Default for Cli {
@@ -43,6 +54,9 @@ impl Default for Cli {
             budget: None,
             scale: None,
             telemetry: false,
+            faults: None,
+            checkpoint: None,
+            resume: false,
         }
     }
 }
@@ -69,7 +83,7 @@ impl Cli {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--paper] [--seed N] [--samples N] [--runs N] [--budget K] \
-                     [--scale F] [--telemetry]"
+                     [--scale F] [--telemetry] [--faults F] [--checkpoint PATH] [--resume]"
                 );
                 std::process::exit(2);
             }
@@ -131,6 +145,17 @@ impl Cli {
                             .map_err(|_| CliError("--scale expects a float".into()))?,
                     );
                 }
+                "--faults" => {
+                    let f: f64 = value("--faults")?
+                        .parse()
+                        .map_err(|_| CliError("--faults expects a float".into()))?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(CliError("--faults expects an intensity in [0, 1]".into()));
+                    }
+                    cli.faults = Some(f);
+                }
+                "--checkpoint" => cli.checkpoint = Some(value("--checkpoint")?),
+                "--resume" => cli.resume = true,
                 other => return Err(CliError(format!("unknown flag {other:?}"))),
             }
         }
@@ -188,5 +213,29 @@ mod tests {
         assert!(Cli::parse_from(["--seed"]).is_err());
         assert!(Cli::parse_from(["--seed", "abc"]).is_err());
         assert!(Cli::parse_from(["--scale", "x"]).is_err());
+        assert!(Cli::parse_from(["--faults"]).is_err());
+        assert!(Cli::parse_from(["--faults", "nope"]).is_err());
+        assert!(Cli::parse_from(["--checkpoint"]).is_err());
+    }
+
+    #[test]
+    fn parses_robustness_flags() {
+        let cli =
+            Cli::parse_from(["--faults", "0.25", "--checkpoint", "run.jsonl", "--resume"]).unwrap();
+        assert_eq!(cli.faults, Some(0.25));
+        assert_eq!(cli.checkpoint.as_deref(), Some("run.jsonl"));
+        assert!(cli.resume);
+        let cli = Cli::parse_from(Vec::<String>::new()).unwrap();
+        assert_eq!(cli.faults, None);
+        assert!(cli.checkpoint.is_none());
+        assert!(!cli.resume);
+    }
+
+    #[test]
+    fn fault_intensity_must_be_a_probability() {
+        assert!(Cli::parse_from(["--faults", "1.5"]).is_err());
+        assert!(Cli::parse_from(["--faults", "-0.1"]).is_err());
+        assert!(Cli::parse_from(["--faults", "0.0"]).is_ok());
+        assert!(Cli::parse_from(["--faults", "1.0"]).is_ok());
     }
 }

@@ -28,6 +28,7 @@
 //! | `noise_ablation`  | robustness of ABM to noisy probability knowledge (belief-mismatch simulation) |
 //! | `selection_ablation` | cautious-user placement: degree band vs inner k-core vs uniform |
 //! | `acceptance_models` | threshold vs hesitant vs linear acceptance: how much harder the paper's model makes the attack |
+//! | `fault_ablation`  | Fig. 2's policy comparison under increasing platform-fault intensity |
 //!
 //! Every binary accepts `--paper` for the full-scale configuration and
 //! writes CSV output under `target/experiments/`.
@@ -36,6 +37,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod chart;
+mod checkpoint;
 mod cli;
 pub mod heatmap;
 pub mod output;
@@ -43,7 +45,11 @@ mod runner;
 mod scale;
 pub mod telemetry;
 
+pub use checkpoint::Checkpoint;
 pub use cli::{Cli, CliError};
-pub use runner::{run_policy, run_policy_recorded, runner_metrics, FigureRun, PolicyKind};
+pub use runner::{
+    run_policy, run_policy_checked, run_policy_recorded, runner_metrics, FigureRun, NetworkFailure,
+    PolicyKind, RunReport, RunnerError,
+};
 pub use scale::ExperimentScale;
 pub use telemetry::Telemetry;

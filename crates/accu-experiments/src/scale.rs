@@ -1,5 +1,6 @@
 //! Mapping from command-line options to concrete experiment sizes.
 
+use accu_core::{FaultConfig, RetryPolicy};
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 
 use crate::{Cli, FigureRun};
@@ -26,6 +27,9 @@ pub struct ExperimentScale {
     pub graph_scale: Option<f64>,
     /// Whether paper scale was requested.
     pub paper: bool,
+    /// Fault-model intensity in `[0, 1]` (0 = fault-free, the paper's
+    /// setting).
+    pub fault_intensity: f64,
 }
 
 impl ExperimentScale {
@@ -43,6 +47,7 @@ impl ExperimentScale {
             seed: cli.seed,
             graph_scale: cli.scale,
             paper: cli.paper,
+            fault_intensity: cli.faults.unwrap_or(0.0),
         }
     }
 
@@ -73,19 +78,25 @@ impl ExperimentScale {
             network_samples: self.network_samples,
             runs_per_network: self.runs_per_network,
             seed: self.seed,
+            faults: FaultConfig::scaled(self.fault_intensity),
+            retry: RetryPolicy::standard(),
         }
     }
 
     /// A one-line description printed at the top of each experiment.
     pub fn describe(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} scale: {} networks x {} runs, budget k={}, seed {}",
             if self.paper { "paper" } else { "quick" },
             self.network_samples,
             self.runs_per_network,
             self.budget,
             self.seed
-        )
+        );
+        if self.fault_intensity > 0.0 {
+            line.push_str(&format!(", fault intensity {}", self.fault_intensity));
+        }
+        line
     }
 }
 
@@ -101,6 +112,24 @@ mod tests {
         assert_eq!(s.budget, 300);
         assert!(!s.paper);
         assert!(s.describe().contains("quick"));
+        assert_eq!(s.fault_intensity, 0.0);
+        assert!(!s.describe().contains("fault"));
+        let run = s.figure_run(DatasetSpec::facebook(), ProtocolConfig::default());
+        assert!(run.faults.is_none(), "default runs are fault-free");
+    }
+
+    #[test]
+    fn fault_intensity_threads_through() {
+        let cli = Cli {
+            faults: Some(0.4),
+            ..Cli::default()
+        };
+        let s = ExperimentScale::from_cli(&cli);
+        assert_eq!(s.fault_intensity, 0.4);
+        assert!(s.describe().contains("fault intensity 0.4"));
+        let run = s.figure_run(DatasetSpec::facebook(), ProtocolConfig::default());
+        assert!(!run.faults.is_none());
+        assert!(run.faults.validate().is_ok());
     }
 
     #[test]

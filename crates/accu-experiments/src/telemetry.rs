@@ -11,7 +11,7 @@ use std::io;
 use std::path::PathBuf;
 
 use accu_core::policy::abm_metrics;
-use accu_core::sim_metrics;
+use accu_core::{fault_metrics, sim_metrics};
 use accu_telemetry::{FieldValue, JsonlSink, Recorder, Snapshot};
 
 use crate::cli::Cli;
@@ -179,6 +179,24 @@ pub fn derived_metrics(snapshot: &Snapshot) -> Vec<(&'static str, f64)> {
     if let Some(r) = ratio(abm_metrics::SELECTS, abm_metrics::HEAP_POP) {
         out.push(("abm_lazy_hit_rate", r));
     }
+    // Degraded-mode rates. These only appear when the fault layer or
+    // the quarantine actually fired — a clean run adds no noise here.
+    if let Some(r) = ratio(fault_metrics::INJECTED, sim_metrics::REQUESTS) {
+        out.push(("fault_rate", r));
+    }
+    if let Some(r) = ratio(fault_metrics::RETRY_BUDGET, sim_metrics::EPISODES) {
+        out.push(("retry_budget_per_episode", r));
+    }
+    if let Some(r) = ratio(fault_metrics::TRUNCATED, sim_metrics::EPISODES) {
+        out.push(("truncated_episode_fraction", r));
+    }
+    if let Some(q) = snapshot.counter(runner_metrics::QUARANTINED) {
+        let completed = snapshot.counter(runner_metrics::NETWORKS).unwrap_or(0);
+        let attempted = q + completed;
+        if attempted > 0 {
+            out.push(("quarantined_network_fraction", q as f64 / attempted as f64));
+        }
+    }
     // Queue imbalance: max over min per-worker episode counts. 1.0 is a
     // perfectly balanced work queue.
     let worker_counts: Vec<u64> = snapshot
@@ -262,6 +280,43 @@ mod tests {
         assert!(!derived
             .iter()
             .any(|(n, _)| *n == "cautious_acceptance_rate"));
+        // A fault-free run derives no degraded-mode rates at all.
+        for absent in [
+            "fault_rate",
+            "retry_budget_per_episode",
+            "truncated_episode_fraction",
+            "quarantined_network_fraction",
+        ] {
+            assert!(
+                !derived.iter().any(|(n, _)| *n == absent),
+                "{absent} must not appear without fault counters"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_fault_rates_from_counters() {
+        let rec = Recorder::enabled();
+        rec.counter(sim_metrics::REQUESTS).add(100);
+        rec.counter(sim_metrics::EPISODES).add(10);
+        rec.counter(fault_metrics::INJECTED).add(25);
+        rec.counter(fault_metrics::RETRY_BUDGET).add(30);
+        rec.counter(fault_metrics::TRUNCATED).add(2);
+        rec.counter(runner_metrics::QUARANTINED).add(1);
+        rec.counter(runner_metrics::NETWORKS).add(3);
+        let snap = rec.snapshot("faults").unwrap();
+        let derived = derived_metrics(&snap);
+        let get = |name: &str| {
+            derived
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing derived metric {name}"))
+        };
+        assert!((get("fault_rate") - 0.25).abs() < 1e-12);
+        assert!((get("retry_budget_per_episode") - 3.0).abs() < 1e-12);
+        assert!((get("truncated_episode_fraction") - 0.2).abs() < 1e-12);
+        assert!((get("quarantined_network_fraction") - 0.25).abs() < 1e-12);
     }
 
     #[test]
