@@ -14,6 +14,7 @@
 //! user 3 linear 0.1 0.05 2 1
 //! ```
 
+use std::collections::HashSet;
 use std::error::Error as StdError;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -39,6 +40,28 @@ pub enum InstanceIoError {
     Invalid(AccuError),
     /// The parsed data violated a graph invariant.
     Graph(osn_graph::GraphError),
+    /// A line exceeded the configured maximum length.
+    LineTooLong {
+        /// 1-based line number.
+        line: usize,
+        /// The configured byte limit.
+        limit: usize,
+    },
+    /// The file declared or accumulated more nodes/edges than the
+    /// configured cap.
+    LimitExceeded {
+        /// Which limit, e.g. `"node"` or `"edge"`.
+        what: &'static str,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The same edge appeared on two lines; instance files written by
+    /// [`write_instance`] never contain duplicates, so a repeat means
+    /// corruption (the probabilities could disagree silently).
+    DuplicateEdge {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+    },
 }
 
 impl fmt::Display for InstanceIoError {
@@ -48,6 +71,15 @@ impl fmt::Display for InstanceIoError {
             InstanceIoError::Parse { line, message } => write!(f, "line {line}: {message}"),
             InstanceIoError::Invalid(e) => write!(f, "invalid instance: {e}"),
             InstanceIoError::Graph(e) => write!(f, "invalid graph: {e}"),
+            InstanceIoError::LineTooLong { line, limit } => {
+                write!(f, "line {line}: longer than the {limit}-byte limit")
+            }
+            InstanceIoError::LimitExceeded { what, limit } => {
+                write!(f, "instance exceeds the {limit}-{what} limit")
+            }
+            InstanceIoError::DuplicateEdge { line } => {
+                write!(f, "line {line}: duplicate edge")
+            }
         }
     }
 }
@@ -56,9 +88,9 @@ impl StdError for InstanceIoError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             InstanceIoError::Io(e) => Some(e),
-            InstanceIoError::Parse { .. } => None,
             InstanceIoError::Invalid(e) => Some(e),
             InstanceIoError::Graph(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -156,48 +188,174 @@ pub fn write_instance<W: Write>(
     Ok(())
 }
 
-/// Reads an instance written by [`write_instance`].
+/// Bounds for [`read_instance_with`].
+///
+/// The defaults are generous enough for every experiment network but
+/// still bound memory against hostile or corrupt inputs: the `nodes`
+/// directive preallocates graph storage, so it must not be trusted
+/// unchecked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceReadOptions {
+    /// Maximum node count a file may declare.
+    pub max_nodes: usize,
+    /// Maximum number of `edge` lines accepted.
+    pub max_edges: usize,
+    /// Maximum line length in bytes, excluding the terminator.
+    pub max_line_len: usize,
+}
+
+impl Default for InstanceReadOptions {
+    fn default() -> Self {
+        InstanceReadOptions {
+            max_nodes: 1 << 24,
+            max_edges: 1 << 26,
+            max_line_len: 4096,
+        }
+    }
+}
+
+/// Reads one line into `buf` (terminator excluded) without ever
+/// buffering more than `max_line_len` bytes. Returns `Ok(false)` at EOF
+/// with nothing read.
+fn read_capped_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    max_line_len: usize,
+    lineno: usize,
+) -> Result<bool, InstanceIoError> {
+    buf.clear();
+    let mut saw_any = false;
+    loop {
+        let (done, used) = {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                (true, 0)
+            } else {
+                saw_any = true;
+                let pos = available.iter().position(|&b| b == b'\n');
+                let take = pos.unwrap_or(available.len());
+                if buf.len() + take > max_line_len {
+                    return Err(InstanceIoError::LineTooLong {
+                        line: lineno,
+                        limit: max_line_len,
+                    });
+                }
+                buf.extend_from_slice(&available[..take]);
+                match pos {
+                    Some(p) => (true, p + 1),
+                    None => (false, take),
+                }
+            }
+        };
+        reader.consume(used);
+        if done {
+            return Ok(saw_any);
+        }
+    }
+}
+
+/// Converts a parsed numeric field into a `u32` threshold, rejecting
+/// fractional, negative, non-finite, or overflowing values instead of
+/// silently truncating them through `as`.
+fn theta_field(x: f64, lineno: usize) -> Result<u32, InstanceIoError> {
+    if x.is_finite() && (0.0..=u32::MAX as f64).contains(&x) && x.fract() == 0.0 {
+        Ok(x as u32)
+    } else {
+        Err(InstanceIoError::Parse {
+            line: lineno,
+            message: format!("threshold {x} is not a non-negative integer"),
+        })
+    }
+}
+
+/// Reads an instance written by [`write_instance`] with default
+/// [`InstanceReadOptions`].
 ///
 /// # Errors
 ///
 /// Returns [`InstanceIoError`] on malformed input or violated instance
 /// invariants.
 pub fn read_instance<R: Read>(reader: R) -> Result<AccuInstance, InstanceIoError> {
-    let reader = BufReader::new(reader);
+    read_instance_with(reader, &InstanceReadOptions::default())
+}
+
+/// Reads an instance under explicit bounds.
+///
+/// The parse is streaming and never trusts declared sizes: node and
+/// edge counts are checked against `opts` before any proportional
+/// allocation, thresholds and node ids reject lossy conversions, CRLF
+/// endings are accepted, and duplicate `edge` lines are rejected
+/// (their probabilities could disagree silently).
+///
+/// # Errors
+///
+/// Returns [`InstanceIoError`] on malformed input, exceeded bounds, or
+/// violated instance invariants.
+pub fn read_instance_with<R: Read>(
+    reader: R,
+    opts: &InstanceReadOptions,
+) -> Result<AccuInstance, InstanceIoError> {
+    let mut reader = BufReader::new(reader);
     let mut node_count: Option<usize> = None;
     let mut edges: Vec<(u32, u32, f64)> = Vec::new();
     let mut users: Vec<(usize, UserClass, f64, f64)> = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+    let mut seen_edges: HashSet<(u32, u32)> = HashSet::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut lineno = 0usize;
+    loop {
+        lineno += 1;
+        if !read_capped_line(&mut reader, &mut buf, opts.max_line_len, lineno)? {
+            break;
+        }
+        let line = std::str::from_utf8(&buf).map_err(|_| InstanceIoError::Parse {
+            line: lineno,
+            message: "not valid UTF-8".into(),
+        })?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         let err = |message: String| InstanceIoError::Parse {
-            line: lineno + 1,
+            line: lineno,
             message,
         };
         let mut tok = trimmed.split_whitespace();
         match tok.next() {
             Some("nodes") => {
-                let n = tok
+                let n: usize = tok
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| err("nodes expects a count".into()))?;
+                if n > opts.max_nodes {
+                    return Err(InstanceIoError::LimitExceeded {
+                        what: "node",
+                        limit: opts.max_nodes,
+                    });
+                }
                 node_count = Some(n);
             }
             Some("edge") => {
-                let mut next = |what: &str| -> Result<f64, InstanceIoError> {
-                    tok.next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| InstanceIoError::Parse {
-                            line: lineno + 1,
-                            message: format!("edge expects {what}"),
-                        })
-                };
-                let lo = next("lo id")? as u32;
-                let hi = next("hi id")? as u32;
-                let p = next("a probability")?;
+                let lo: u32 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("edge expects lo id".into()))?;
+                let hi: u32 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("edge expects hi id".into()))?;
+                let p: f64 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("edge expects a probability".into()))?;
+                if edges.len() >= opts.max_edges {
+                    return Err(InstanceIoError::LimitExceeded {
+                        what: "edge",
+                        limit: opts.max_edges,
+                    });
+                }
+                if !seen_edges.insert((lo.min(hi), lo.max(hi))) {
+                    return Err(InstanceIoError::DuplicateEdge { line: lineno });
+                }
                 edges.push((lo, hi, p));
             }
             Some("user") => {
@@ -214,12 +372,16 @@ pub fn read_instance<R: Read>(reader: R) -> Result<AccuInstance, InstanceIoError
                     .map_err(|_| err("user expects numeric fields".into()))?;
                 let (class, bf, bfof) = match (class_tok, fields.as_slice()) {
                     ("reckless", [q, bf, bfof]) => (UserClass::reckless(*q), *bf, *bfof),
-                    ("cautious", [theta, bf, bfof]) => {
-                        (UserClass::cautious(*theta as u32), *bf, *bfof)
-                    }
-                    ("hesitant", [q1, q2, theta, bf, bfof]) => {
-                        (UserClass::hesitant(*q1, *q2, *theta as u32), *bf, *bfof)
-                    }
+                    ("cautious", [theta, bf, bfof]) => (
+                        UserClass::cautious(theta_field(*theta, lineno)?),
+                        *bf,
+                        *bfof,
+                    ),
+                    ("hesitant", [q1, q2, theta, bf, bfof]) => (
+                        UserClass::hesitant(*q1, *q2, theta_field(*theta, lineno)?),
+                        *bf,
+                        *bfof,
+                    ),
                     ("linear", [base, slope, bf, bfof]) => {
                         (UserClass::mutual_linear(*base, *slope), *bf, *bfof)
                     }
@@ -245,16 +407,28 @@ pub fn read_instance<R: Read>(reader: R) -> Result<AccuInstance, InstanceIoError
     for &(lo, hi, p) in &edges {
         let id = graph
             .edge_id(NodeId::new(lo), NodeId::new(hi))
-            .expect("edge was just inserted");
+            .ok_or_else(|| InstanceIoError::Parse {
+                line: 0,
+                message: "internal: edge id lookup failed after insertion".into(),
+            })?;
         probs[id.index()] = p;
     }
     let mut builder = AccuInstanceBuilder::new(graph).edge_probabilities(probs);
     for (id, class, bf, bfof) in users {
         if id >= n {
-            return Err(InstanceIoError::Invalid(AccuError::NodeOutOfRange {
-                node: NodeId::from(id),
-                node_count: n,
-            }));
+            // The id may not even fit in a NodeId, so it must not flow
+            // through the panicking usize conversion while we build the
+            // error for it.
+            return Err(match u32::try_from(id) {
+                Ok(node) => InstanceIoError::Invalid(AccuError::NodeOutOfRange {
+                    node: NodeId::new(node),
+                    node_count: n,
+                }),
+                Err(_) => InstanceIoError::Parse {
+                    line: 0,
+                    message: format!("user id {id} does not fit in a node id"),
+                },
+            });
         }
         builder = builder
             .user_class(NodeId::from(id), class)
@@ -386,5 +560,91 @@ mod tests {
     fn errors_are_send_sync_error() {
         fn assert_err<T: StdError + Send + Sync>() {}
         assert_err::<InstanceIoError>();
+    }
+
+    #[test]
+    fn duplicate_edge_lines_are_rejected() {
+        let data = "nodes 3\nedge 0 1 0.5\nedge 1 0 0.9\n";
+        let err = read_instance(data.as_bytes()).unwrap_err();
+        assert!(matches!(err, InstanceIoError::DuplicateEdge { line: 3 }));
+    }
+
+    #[test]
+    fn declared_node_count_is_capped() {
+        let opts = InstanceReadOptions {
+            max_nodes: 10,
+            ..InstanceReadOptions::default()
+        };
+        let err = read_instance_with("nodes 11\n".as_bytes(), &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceIoError::LimitExceeded {
+                what: "node",
+                limit: 10
+            }
+        ));
+        assert!(read_instance_with("nodes 10\n".as_bytes(), &opts).is_ok());
+    }
+
+    #[test]
+    fn edge_lines_are_capped() {
+        let opts = InstanceReadOptions {
+            max_edges: 1,
+            ..InstanceReadOptions::default()
+        };
+        let data = "nodes 3\nedge 0 1 1\nedge 1 2 1\n";
+        let err = read_instance_with(data.as_bytes(), &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceIoError::LimitExceeded { what: "edge", .. }
+        ));
+    }
+
+    #[test]
+    fn overlong_lines_are_rejected_without_buffering() {
+        let opts = InstanceReadOptions {
+            max_line_len: 64,
+            ..InstanceReadOptions::default()
+        };
+        let data = format!("nodes 1\n# {}\n", "x".repeat(1000));
+        let err = read_instance_with(data.as_bytes(), &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceIoError::LineTooLong { line: 2, limit: 64 }
+        ));
+    }
+
+    #[test]
+    fn lossy_threshold_fields_are_rejected() {
+        for bad in ["2.5", "-1", "NaN", "4294967296"] {
+            let data = format!("nodes 1\nuser 0 cautious {bad} 2 1\n");
+            let err = read_instance(data.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, InstanceIoError::Parse { line: 2, .. }),
+                "threshold {bad} must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_numeric_edge_ids_are_rejected() {
+        // Pre-hardening these parsed as f64 and truncated through `as`.
+        let err = read_instance("nodes 2\nedge 0.5 1 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, InstanceIoError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn crlf_and_truncated_final_line_are_accepted() {
+        let data = "nodes 2\r\nedge 0 1 0.5\r\nuser 0 reckless 0.7 2 1";
+        let inst = read_instance(data.as_bytes()).unwrap();
+        assert_eq!(inst.node_count(), 2);
+        assert_eq!(inst.acceptance_probability(NodeId::new(0)), Some(0.7));
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_parse_error() {
+        let data: &[u8] = b"nodes 1\n\xff\xfe\n";
+        let err = read_instance(data).unwrap_err();
+        assert!(matches!(err, InstanceIoError::Parse { line: 2, .. }));
     }
 }

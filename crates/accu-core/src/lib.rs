@@ -68,6 +68,7 @@ pub mod policy;
 mod realization;
 mod simulator;
 pub mod theory;
+mod validate;
 mod view;
 
 pub use defense::{
@@ -87,6 +88,11 @@ pub use observation::{EdgeState, NodeState, Observation};
 pub use oracle::run_omniscient_greedy;
 pub use policy::Policy;
 pub use realization::Realization;
+pub use validate::{
+    repair_instance, validate_instance, validate_metrics, InstanceReport, RepairMode, RepairReport,
+    ValidationMode, Violation,
+};
+
 pub use simulator::{
     resolve_acceptance, run_attack, run_attack_faulted, run_attack_faulted_recorded,
     run_attack_recorded, run_attack_with_beliefs, run_attack_with_beliefs_faulted_recorded,

@@ -28,8 +28,8 @@ use crate::AccuError;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenefitSchedule {
-    friend: Vec<f64>,
-    fof: Vec<f64>,
+    pub(crate) friend: Vec<f64>,
+    pub(crate) fof: Vec<f64>,
 }
 
 impl BenefitSchedule {

@@ -40,11 +40,11 @@ use crate::{AccuError, BenefitSchedule, UserClass};
 /// ```
 #[derive(Clone)]
 pub struct AccuInstance {
-    graph: Graph,
-    edge_prob: Vec<f64>,
-    classes: Vec<UserClass>,
-    benefits: BenefitSchedule,
-    cautious: Vec<NodeId>,
+    pub(crate) graph: Graph,
+    pub(crate) edge_prob: Vec<f64>,
+    pub(crate) classes: Vec<UserClass>,
+    pub(crate) benefits: BenefitSchedule,
+    pub(crate) cautious: Vec<NodeId>,
 }
 
 impl AccuInstance {
@@ -243,11 +243,11 @@ impl fmt::Display for AssumptionViolation {
 /// (the paper's reckless-user defaults).
 #[derive(Debug, Clone)]
 pub struct AccuInstanceBuilder {
-    graph: Graph,
-    edge_prob: Vec<f64>,
-    classes: Vec<UserClass>,
-    friend_benefit: Vec<f64>,
-    fof_benefit: Vec<f64>,
+    pub(crate) graph: Graph,
+    pub(crate) edge_prob: Vec<f64>,
+    pub(crate) classes: Vec<UserClass>,
+    pub(crate) friend_benefit: Vec<f64>,
+    pub(crate) fof_benefit: Vec<f64>,
 }
 
 impl AccuInstanceBuilder {

@@ -1,0 +1,160 @@
+//! Property tests for the paper-precondition sentinel: every violation
+//! class planted into an otherwise-clean instance is detected by
+//! `AccuInstanceBuilder::validate`, and the Lenient repair pass reaches
+//! a state that re-validates clean (the fixpoint property) — or, for
+//! fatal violations, rejects.
+
+use accu_core::{validate_instance, AccuInstanceBuilder, RepairMode, UserClass, Violation};
+use osn_graph::{EdgeId, Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// A cycle graph on `n` nodes (degree 2 everywhere).
+fn cycle(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    GraphBuilder::from_edges(n, edges).expect("cycle construction cannot fail")
+}
+
+/// A clean baseline builder: all-reckless cycle with valid
+/// probabilities and a strict benefit gap.
+fn clean_builder(n: usize, q: f64, p: f64) -> AccuInstanceBuilder {
+    let mut builder = AccuInstanceBuilder::new(cycle(n))
+        .uniform_edge_probability(p)
+        .uniform_benefits(2.0, 1.0);
+    for v in 0..n {
+        builder = builder.user_class(NodeId::from(v), UserClass::reckless(q));
+    }
+    builder
+}
+
+/// Asserts that `builder` reports a violation with `code` and that the
+/// Lenient repair pass converges to a clean instance.
+fn assert_detected_and_repaired(builder: AccuInstanceBuilder, code: &str) {
+    let codes: Vec<&str> = builder.validate().iter().map(|v| v.code()).collect();
+    assert!(
+        codes.contains(&code),
+        "planted {code}, builder reported {codes:?}"
+    );
+    let (repaired, report) = builder
+        .build_repaired(RepairMode::Lenient)
+        .unwrap_or_else(|v| panic!("planted {code} must be repairable, got rejection {v:?}"));
+    assert!(
+        !report.is_clean(),
+        "{code}: repair report must not be clean"
+    );
+    assert!(
+        report.lambda_guarantee_void(),
+        "{code}: λ-guarantee not voided"
+    );
+    assert!(report.repairs() > 0, "{code}: no repairs recorded");
+    assert!(
+        validate_instance(&repaired).is_ok(),
+        "{code}: repaired instance failed to re-validate clean"
+    );
+}
+
+/// Asserts that `builder` reports `code` and Lenient repair rejects.
+fn assert_detected_and_fatal(builder: AccuInstanceBuilder, code: &str) {
+    let codes: Vec<&str> = builder.validate().iter().map(|v| v.code()).collect();
+    assert!(
+        codes.contains(&code),
+        "planted {code}, builder reported {codes:?}"
+    );
+    let rejected = builder
+        .build_repaired(RepairMode::Lenient)
+        .err()
+        .unwrap_or_else(|| panic!("planted fatal {code} must reject"));
+    assert!(
+        rejected.iter().any(Violation::is_fatal),
+        "{code}: rejection list carries no fatal violation: {rejected:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn planted_probability_out_of_range_is_detected(n in 6usize..16, q in 0.1f64..0.9) {
+        for bad in [-0.5f64, 1.5, f64::NAN, f64::INFINITY] {
+            // On an edge probability.
+            let builder = clean_builder(n, q, 0.5).edge_probability(EdgeId::new(0), bad);
+            assert_detected_and_repaired(builder, "probability_out_of_range");
+            // On a reckless acceptance probability.
+            let builder = clean_builder(n, q, 0.5)
+                .user_class(NodeId::new(0), UserClass::reckless(bad));
+            assert_detected_and_repaired(builder, "probability_out_of_range");
+        }
+    }
+
+    #[test]
+    fn planted_benefit_out_of_range_is_detected(n in 6usize..16, q in 0.1f64..0.9) {
+        let builder = clean_builder(n, q, 0.5).benefits(NodeId::new(1), -5.0, -10.0);
+        assert_detected_and_repaired(builder, "benefit_out_of_range");
+    }
+
+    #[test]
+    fn planted_benefit_inversion_is_detected(n in 6usize..16, q in 0.1f64..0.9) {
+        let builder = clean_builder(n, q, 0.5).benefits(NodeId::new(1), 1.0, 2.0);
+        assert_detected_and_repaired(builder, "benefit_inversion");
+    }
+
+    #[test]
+    fn planted_benefit_gap_collapse_is_detected(n in 6usize..16, q in 0.1f64..0.9) {
+        let builder = clean_builder(n, q, 0.5).benefits(NodeId::new(2), 2.0, 2.0);
+        assert_detected_and_repaired(builder, "benefit_gap_collapsed");
+    }
+
+    #[test]
+    fn planted_zero_threshold_is_detected(n in 6usize..16, q in 0.1f64..0.9) {
+        let builder = clean_builder(n, q, 0.5)
+            .user_class(NodeId::new(1), UserClass::cautious(0));
+        assert_detected_and_repaired(builder, "zero_threshold");
+    }
+
+    #[test]
+    fn planted_cautious_adjacency_is_detected(n in 6usize..16, q in 0.1f64..0.9) {
+        // Nodes 0 and 1 are adjacent on the cycle.
+        let builder = clean_builder(n, q, 0.5)
+            .user_class(NodeId::new(0), UserClass::cautious(1))
+            .user_class(NodeId::new(1), UserClass::cautious(1));
+        assert_detected_and_repaired(builder, "cautious_adjacency");
+    }
+
+    #[test]
+    fn planted_unreachable_threshold_is_detected(n in 6usize..16, q in 0.1f64..0.9) {
+        // Cycle degree is 2, so θ = 5 can never be met.
+        let builder = clean_builder(n, q, 0.5)
+            .user_class(NodeId::new(3), UserClass::cautious(5));
+        assert_detected_and_repaired(builder, "threshold_unreachable");
+    }
+
+    #[test]
+    fn planted_isolated_source_is_fatal(n in 6usize..16) {
+        // Every user rejects at zero mutual friends: q = 0 everywhere.
+        let builder = clean_builder(n, 0.0, 0.5);
+        assert_detected_and_fatal(builder, "isolated_source");
+    }
+
+    #[test]
+    fn planted_attribute_length_mismatch_is_fatal(n in 6usize..16, q in 0.1f64..0.9) {
+        let builder = clean_builder(n, q, 0.5).edge_probabilities(vec![0.5; 2]);
+        assert_detected_and_fatal(builder, "attribute_length_mismatch");
+    }
+
+    /// Multiple simultaneous violations still converge to a clean
+    /// fixpoint under Lenient repair.
+    #[test]
+    fn compound_violations_reach_a_clean_fixpoint(n in 8usize..16, q in 0.1f64..0.9) {
+        let builder = clean_builder(n, q, 0.5)
+            .edge_probability(EdgeId::new(1), 1.5)
+            .benefits(NodeId::new(1), 1.0, 2.0)
+            .user_class(NodeId::new(3), UserClass::cautious(5))
+            .user_class(NodeId::new(5), UserClass::cautious(0));
+        let violations = builder.validate();
+        prop_assert!(violations.len() >= 4, "expected ≥4 violations, got {:?}", violations);
+        let (repaired, report) = builder
+            .build_repaired(RepairMode::Lenient)
+            .expect("compound repairable violations must repair");
+        prop_assert!(report.repairs() >= 4);
+        prop_assert!(validate_instance(&repaired).is_ok());
+    }
+}

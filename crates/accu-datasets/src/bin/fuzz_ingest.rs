@@ -1,0 +1,57 @@
+//! Seeded fuzzing harness for the ingestion pipeline.
+//!
+//! Runs `--iters` deterministic mutations of valid edge-list and
+//! instance corpora through every parser entry point; any panic or
+//! repair-fixpoint failure aborts the process with a non-zero exit.
+//!
+//! ```text
+//! fuzz_ingest [--iters N] [--seed S]
+//! ```
+
+use std::process::ExitCode;
+
+use accu_datasets::{run_fuzz, FuzzConfig};
+
+fn main() -> ExitCode {
+    let mut config = FuzzConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("{flag} expects an unsigned integer"))
+        };
+        match arg.as_str() {
+            "--iters" => match value(&mut args, "--iters") {
+                Ok(v) => config.iterations = v,
+                Err(e) => return usage(&e),
+            },
+            "--seed" => match value(&mut args, "--seed") {
+                Ok(v) => config.seed = v,
+                Err(e) => return usage(&e),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    eprintln!(
+        "fuzzing ingestion: {} iterations, seed {:#x}",
+        config.iterations, config.seed
+    );
+    let report = run_fuzz(&config);
+    println!("{report}");
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!("usage: fuzz_ingest [--iters N] [--seed S]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

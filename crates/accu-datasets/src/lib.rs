@@ -21,10 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod fuzz;
 mod protocol;
 mod snap;
 mod spec;
 
-pub use protocol::{apply_protocol, select_cautious_users, ProtocolConfig};
-pub use snap::{load_snap, load_snap_sampled};
+pub use fuzz::{run_fuzz, FuzzConfig, FuzzReport};
+pub use protocol::{apply_protocol, select_cautious_users, ProtocolConfig, ProtocolError};
+pub use snap::{load_snap, load_snap_reader, load_snap_sampled};
 pub use spec::{DatasetSpec, NetworkKind};

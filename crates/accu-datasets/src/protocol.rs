@@ -9,10 +9,64 @@
 //!   non-adjacent, 100 per network; each threshold is a fixed fraction of
 //!   the user's degree (30% in the main comparison).
 
+use std::error::Error as StdError;
+use std::fmt;
+
 use accu_core::{AccuError, AccuInstance, AccuInstanceBuilder, UserClass};
 use osn_graph::algo::nodes_with_degree_in;
 use osn_graph::{Graph, NodeId};
 use rand::Rng;
+
+/// Errors produced while applying the experiment protocol.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A [`ProtocolConfig`] field holds a degenerate value.
+    InvalidParameter {
+        /// The offending field, e.g. `"threshold_fraction"`.
+        what: &'static str,
+        /// The violated constraint, human-readable.
+        requirement: &'static str,
+        /// The value supplied.
+        value: f64,
+    },
+    /// The assembled instance failed its own validation (unreachable
+    /// with a config that passes [`ProtocolConfig::validate`]).
+    Instance(AccuError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::InvalidParameter {
+                what,
+                requirement,
+                value,
+            } => {
+                write!(
+                    f,
+                    "invalid protocol parameter {what} = {value}: {requirement}"
+                )
+            }
+            ProtocolError::Instance(e) => write!(f, "protocol produced an invalid instance: {e}"),
+        }
+    }
+}
+
+impl StdError for ProtocolError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ProtocolError::Instance(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AccuError> for ProtocolError {
+    fn from(e: AccuError) -> Self {
+        ProtocolError::Instance(e)
+    }
+}
 
 /// Parameters of the §IV-A experiment setup.
 ///
@@ -63,6 +117,69 @@ impl Default for ProtocolConfig {
 }
 
 impl ProtocolConfig {
+    /// Checks the config for degenerate parameters: a NaN, infinite or
+    /// negative `threshold_fraction`, a zero `cautious_count`, an
+    /// inverted degree band, or benefits violating `B_f ≥ B_fof ≥ 0`.
+    ///
+    /// [`apply_protocol`] calls this before touching the graph, so a bad
+    /// sweep value fails with a typed error naming the parameter instead
+    /// of surfacing as a confusing instance-builder failure (or, worse,
+    /// silently producing a degenerate experiment cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidParameter`] naming the first
+    /// offending field.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        if self.cautious_count == 0 {
+            return Err(ProtocolError::InvalidParameter {
+                what: "cautious_count",
+                requirement: "must be at least 1",
+                value: 0.0,
+            });
+        }
+        if self.degree_band.0 > self.degree_band.1 {
+            return Err(ProtocolError::InvalidParameter {
+                what: "degree_band",
+                requirement: "lower bound must not exceed upper bound",
+                value: self.degree_band.0 as f64,
+            });
+        }
+        if !self.threshold_fraction.is_finite() || self.threshold_fraction < 0.0 {
+            return Err(ProtocolError::InvalidParameter {
+                what: "threshold_fraction",
+                requirement: "must be finite and non-negative",
+                value: self.threshold_fraction,
+            });
+        }
+        if !self.fof_benefit.is_finite() || self.fof_benefit < 0.0 {
+            return Err(ProtocolError::InvalidParameter {
+                what: "fof_benefit",
+                requirement: "B_fof must be finite and non-negative",
+                value: self.fof_benefit,
+            });
+        }
+        if !self.reckless_friend_benefit.is_finite()
+            || self.reckless_friend_benefit < self.fof_benefit
+        {
+            return Err(ProtocolError::InvalidParameter {
+                what: "reckless_friend_benefit",
+                requirement: "B_f must be finite and ≥ B_fof",
+                value: self.reckless_friend_benefit,
+            });
+        }
+        if !self.cautious_friend_benefit.is_finite()
+            || self.cautious_friend_benefit < self.fof_benefit
+        {
+            return Err(ProtocolError::InvalidParameter {
+                what: "cautious_friend_benefit",
+                requirement: "B_f must be finite and ≥ B_fof",
+                value: self.cautious_friend_benefit,
+            });
+        }
+        Ok(())
+    }
+
     /// Scales the cautious-user count for a down-scaled network (e.g.
     /// `0.1` for a 1/10th-size graph), keeping at least one.
     pub fn scaled_cautious(mut self, factor: f64) -> Self {
@@ -118,8 +235,10 @@ pub fn select_cautious_users<R: Rng + ?Sized>(
 ///
 /// # Errors
 ///
-/// Propagates [`AccuError`] from instance validation (unreachable with
-/// in-range config values).
+/// Returns [`ProtocolError::InvalidParameter`] for a degenerate config
+/// (checked up front by [`ProtocolConfig::validate`]) and
+/// [`ProtocolError::Instance`] if instance assembly fails (unreachable
+/// with a validated config).
 ///
 /// # Examples
 ///
@@ -139,7 +258,8 @@ pub fn apply_protocol<R: Rng + ?Sized>(
     graph: Graph,
     config: &ProtocolConfig,
     rng: &mut R,
-) -> Result<AccuInstance, AccuError> {
+) -> Result<AccuInstance, ProtocolError> {
+    config.validate()?;
     let n = graph.node_count();
     let m = graph.edge_count();
     let cautious = select_cautious_users(&graph, config.degree_band, config.cautious_count, rng);
@@ -158,7 +278,7 @@ pub fn apply_protocol<R: Rng + ?Sized>(
     for (i, &bf) in friend_benefits.iter().enumerate() {
         builder = builder.benefits(NodeId::from(i), bf, config.fof_benefit);
     }
-    builder.build()
+    builder.build().map_err(ProtocolError::from)
 }
 
 #[cfg(test)]
@@ -280,5 +400,114 @@ mod tests {
             a.edge_probability(osn_graph::EdgeId::new(0)),
             b.edge_probability(osn_graph::EdgeId::new(0))
         );
+    }
+
+    #[test]
+    fn validate_accepts_default_and_paper_sweep_configs() {
+        ProtocolConfig::default().validate().unwrap();
+        // The fig6/fig7 heatmap axes: B_f in 20..=60, fraction in 0.1..=0.5.
+        for bf in [20.0, 30.0, 40.0, 50.0, 60.0] {
+            for tf in [0.1, 0.2, 0.3, 0.4, 0.5] {
+                ProtocolConfig {
+                    cautious_friend_benefit: bf,
+                    threshold_fraction: tf,
+                    ..Default::default()
+                }
+                .validate()
+                .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_parameters_with_typed_errors() {
+        let cases: [(ProtocolConfig, &str); 6] = [
+            (
+                ProtocolConfig {
+                    cautious_count: 0,
+                    ..Default::default()
+                },
+                "cautious_count",
+            ),
+            (
+                ProtocolConfig {
+                    degree_band: (100, 10),
+                    ..Default::default()
+                },
+                "degree_band",
+            ),
+            (
+                ProtocolConfig {
+                    threshold_fraction: f64::NAN,
+                    ..Default::default()
+                },
+                "threshold_fraction",
+            ),
+            (
+                ProtocolConfig {
+                    threshold_fraction: -0.3,
+                    ..Default::default()
+                },
+                "threshold_fraction",
+            ),
+            (
+                ProtocolConfig {
+                    fof_benefit: -1.0,
+                    ..Default::default()
+                },
+                "fof_benefit",
+            ),
+            (
+                ProtocolConfig {
+                    cautious_friend_benefit: 0.5, // below fof_benefit = 1.0
+                    ..Default::default()
+                },
+                "cautious_friend_benefit",
+            ),
+        ];
+        for (cfg, field) in cases {
+            match cfg.validate().unwrap_err() {
+                ProtocolError::InvalidParameter { what, .. } => assert_eq!(what, field),
+                other => panic!("expected InvalidParameter, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn benefit_parameter_errors_name_the_paper_symbol() {
+        // Downstream quarantine reporting keys off the B_f symbol, so the
+        // message must carry it.
+        let err = ProtocolConfig {
+            cautious_friend_benefit: 0.5,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("B_f"), "message: {err}");
+    }
+
+    #[test]
+    fn apply_protocol_rejects_bad_config_before_touching_the_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = DatasetSpec::facebook()
+            .scaled(0.05)
+            .generate(&mut rng)
+            .unwrap();
+        let err = apply_protocol(
+            g,
+            &ProtocolConfig {
+                threshold_fraction: f64::INFINITY,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::InvalidParameter {
+                what: "threshold_fraction",
+                ..
+            }
+        ));
     }
 }

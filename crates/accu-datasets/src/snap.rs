@@ -13,8 +13,10 @@ use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
 
+use std::io::BufRead;
+
 use osn_graph::algo::largest_component;
-use osn_graph::io::read_edge_list;
+use osn_graph::io::{read_edge_list_with, EdgeListOptions};
 use osn_graph::sampling::{bfs_sample, induced_subgraph};
 use osn_graph::{Graph, IoError};
 use rand::Rng;
@@ -37,7 +39,26 @@ use rand::Rng;
 /// ```
 pub fn load_snap<P: AsRef<Path>>(path: P) -> Result<Graph, IoError> {
     let file = File::open(path)?;
-    let labeled = read_edge_list(BufReader::new(file))?;
+    load_snap_reader(BufReader::new(file), &EdgeListOptions::default())
+}
+
+/// Loads a SNAP edge list from any [`BufRead`] source with explicit
+/// ingestion limits, restricted to its largest connected component.
+///
+/// This is the testable/fuzzable core of [`load_snap`]: it runs the same
+/// parse → largest-component → induced-subgraph pipeline without touching
+/// the filesystem, and the caller controls the node/edge/line caps and
+/// duplicate/self-loop policies via [`EdgeListOptions`].
+///
+/// # Errors
+///
+/// Returns [`IoError`] on malformed input or when a configured cap is
+/// exceeded.
+pub fn load_snap_reader<R: BufRead>(
+    reader: R,
+    options: &EdgeListOptions,
+) -> Result<Graph, IoError> {
+    let labeled = read_edge_list_with(reader, options)?;
     let core = largest_component(&labeled.graph);
     Ok(induced_subgraph(&labeled.graph, &core).graph)
 }
@@ -110,5 +131,75 @@ mod tests {
     fn missing_file_is_an_io_error() {
         let err = load_snap("/definitely/not/here.txt").unwrap_err();
         assert!(matches!(err, IoError::Io(_)));
+    }
+
+    fn reader_defaults(content: &str) -> Result<Graph, IoError> {
+        load_snap_reader(content.as_bytes(), &EdgeListOptions::default())
+    }
+
+    #[test]
+    fn reader_handles_crlf_comments_and_blank_lines() {
+        let g = reader_defaults("# comment\r\n\r\n1 2\r\n  \r\n2 3\r\n3 1\r\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn reader_dedups_duplicate_and_drops_self_edges_by_default() {
+        // 1-2 appears three times (once reversed) and 2-2 is a self-loop.
+        let g = reader_defaults("1 2\n2 1\n1 2\n2 2\n2 3\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn reader_strict_policy_rejects_duplicates() {
+        let err =
+            load_snap_reader("1 2\n2 1\n".as_bytes(), &EdgeListOptions::strict()).unwrap_err();
+        assert!(matches!(err, IoError::DuplicateEdge { line: 2, .. }));
+    }
+
+    #[test]
+    fn reader_rejects_overlong_lines_without_buffering_them() {
+        let mut content = String::from("1 2\n");
+        content.push_str(&"9".repeat(10_000));
+        content.push('\n');
+        let opts = EdgeListOptions {
+            max_line_len: 256,
+            ..EdgeListOptions::default()
+        };
+        let err = load_snap_reader(content.as_bytes(), &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            IoError::LineTooLong {
+                line: 2,
+                limit: 256
+            }
+        ));
+    }
+
+    #[test]
+    fn reader_accepts_truncated_final_line() {
+        // No trailing newline on the last record.
+        let g = reader_defaults("1 2\n2 3").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn reader_enforces_node_and_edge_caps() {
+        let opts = EdgeListOptions {
+            max_nodes: 2,
+            ..EdgeListOptions::default()
+        };
+        let err = load_snap_reader("1 2\n2 3\n".as_bytes(), &opts).unwrap_err();
+        assert!(matches!(err, IoError::LimitExceeded { what: "node", .. }));
+
+        let opts = EdgeListOptions {
+            max_edges: 1,
+            ..EdgeListOptions::default()
+        };
+        let err = load_snap_reader("1 2\n2 3\n".as_bytes(), &opts).unwrap_err();
+        assert!(matches!(err, IoError::LimitExceeded { what: "edge", .. }));
     }
 }

@@ -48,6 +48,29 @@ fn main() {
             for failure in &report.quarantined {
                 eprintln!("runner: {failure}");
             }
+            if report.repaired_networks > 0 {
+                println!(
+                    "{}: {} of {} networks violated a paper precondition and were \
+                     repaired (1 - e^-lambda guarantee void for their contribution)",
+                    policy.name(),
+                    report.repaired_networks,
+                    figure.network_samples
+                );
+            }
+            let rejected = report
+                .quarantined
+                .iter()
+                .filter(|f| f.stage == "validate")
+                .count();
+            if rejected > 0 {
+                println!(
+                    "{}: {} of {} networks rejected by --validate {}",
+                    policy.name(),
+                    rejected,
+                    figure.network_samples,
+                    figure.validation
+                );
+            }
             if report.resumed_networks > 0 {
                 println!(
                     "{}: resumed {} of {} networks from checkpoint",

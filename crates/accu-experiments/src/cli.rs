@@ -11,11 +11,17 @@
 //! * `--scale <f>` — override the graph down-scaling factor;
 //! * `--faults <f>` — run under the fault model at intensity `f` in
 //!   `[0, 1]` (0 = the paper's fault-free setting);
+//! * `--validate <mode>` — how sampled instances are checked against
+//!   the paper preconditions: `strict` rejects violating networks,
+//!   `lenient` (default) repairs them and flags the λ-guarantee void,
+//!   `off` skips validation entirely (pre-validation behavior);
 //! * `--checkpoint <path>` / `--resume` — append per-network progress
 //!   to a JSONL checkpoint and, with `--resume`, skip work the file
 //!   already covers.
 
 use std::fmt;
+
+use accu_core::ValidationMode;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +44,8 @@ pub struct Cli {
     pub telemetry: bool,
     /// Fault-model intensity in `[0, 1]` (`None` = fault-free).
     pub faults: Option<f64>,
+    /// Paper-precondition validation mode (default: lenient).
+    pub validate: ValidationMode,
     /// Checkpoint file to append per-network progress to.
     pub checkpoint: Option<String>,
     /// Resume from the checkpoint instead of starting fresh.
@@ -55,6 +63,7 @@ impl Default for Cli {
             scale: None,
             telemetry: false,
             faults: None,
+            validate: ValidationMode::default(),
             checkpoint: None,
             resume: false,
         }
@@ -83,7 +92,8 @@ impl Cli {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--paper] [--seed N] [--samples N] [--runs N] [--budget K] \
-                     [--scale F] [--telemetry] [--faults F] [--checkpoint PATH] [--resume]"
+                     [--scale F] [--telemetry] [--faults F] [--validate strict|lenient|off] \
+                     [--checkpoint PATH] [--resume]"
                 );
                 std::process::exit(2);
             }
@@ -153,6 +163,11 @@ impl Cli {
                         return Err(CliError("--faults expects an intensity in [0, 1]".into()));
                     }
                     cli.faults = Some(f);
+                }
+                "--validate" => {
+                    cli.validate = value("--validate")?
+                        .parse()
+                        .map_err(|e: String| CliError(format!("--validate: {e}")))?;
                 }
                 "--checkpoint" => cli.checkpoint = Some(value("--checkpoint")?),
                 "--resume" => cli.resume = true,
@@ -229,6 +244,18 @@ mod tests {
         assert_eq!(cli.faults, None);
         assert!(cli.checkpoint.is_none());
         assert!(!cli.resume);
+    }
+
+    #[test]
+    fn parses_validation_modes() {
+        let cli = Cli::parse_from(Vec::<String>::new()).unwrap();
+        assert_eq!(cli.validate, ValidationMode::Lenient);
+        let cli = Cli::parse_from(["--validate", "strict"]).unwrap();
+        assert_eq!(cli.validate, ValidationMode::Strict);
+        let cli = Cli::parse_from(["--validate", "off"]).unwrap();
+        assert_eq!(cli.validate, ValidationMode::Off);
+        assert!(Cli::parse_from(["--validate"]).is_err());
+        assert!(Cli::parse_from(["--validate", "paranoid"]).is_err());
     }
 
     #[test]

@@ -18,8 +18,8 @@ use accu_core::policy::{
     Abm, AbmWeights, CentralityKind, CentralityPolicy, MaxDegree, PageRankPolicy, Random, Snowball,
 };
 use accu_core::{
-    run_attack_faulted_recorded, AccuError, FaultConfig, FaultPlan, Policy, Realization,
-    RetryPolicy, TraceAccumulator,
+    repair_instance, run_attack_faulted_recorded, validate_metrics, AccuError, FaultConfig,
+    FaultPlan, Policy, Realization, RetryPolicy, TraceAccumulator, ValidationMode, Violation,
 };
 use accu_telemetry::{CounterHandle, HistogramHandle, Recorder};
 use rand::rngs::StdRng;
@@ -214,6 +214,12 @@ pub struct FigureRun {
     /// Attacker retry policy under transient failures (irrelevant when
     /// `faults` is none).
     pub retry: RetryPolicy,
+    /// How sampled instances are checked against the paper's
+    /// preconditions before any episode runs. [`ValidationMode::Off`]
+    /// reproduces pre-validation behavior bit-for-bit; the default
+    /// Lenient mode repairs violating instances deterministically and
+    /// flags the λ-guarantee as void in telemetry.
+    pub validation: ValidationMode,
 }
 
 impl FigureRun {
@@ -228,7 +234,7 @@ impl FigureRun {
     /// into this one.
     pub fn cell_label(&self, policy: PolicyKind) -> String {
         format!(
-            "{}@{}|{}|n{}r{}k{}s{}|{:?}|{:?}",
+            "{}@{}|{}|n{}r{}k{}s{}|{:?}|{:?}|v={}",
             self.dataset.name(),
             self.dataset.node_count(),
             policy.id(),
@@ -238,6 +244,7 @@ impl FigureRun {
             self.seed,
             self.faults,
             self.retry,
+            self.validation,
         )
     }
 }
@@ -248,7 +255,8 @@ impl FigureRun {
 pub struct NetworkFailure {
     /// Index of the failed network.
     pub network: usize,
-    /// Which stage failed: `"dataset"`, `"protocol"`, or `"episodes"`.
+    /// Which stage failed: `"dataset"`, `"protocol"`, `"validate"`, or
+    /// `"episodes"`.
     pub stage: &'static str,
     /// The error or panic message.
     pub message: String,
@@ -329,6 +337,11 @@ pub struct RunReport {
     pub resumed_networks: usize,
     /// Total networks contributing to the aggregate (resumed + fresh).
     pub completed_networks: usize,
+    /// Freshly computed networks that violated a paper precondition and
+    /// were repaired by the Lenient pass before running. A non-zero
+    /// count means the `1 − e^{−λ}` guarantee does not cover those
+    /// networks' contributions.
+    pub repaired_networks: usize,
 }
 
 /// Runs `policy` over all sampled networks and repetitions of `figure`,
@@ -436,6 +449,7 @@ pub fn run_policy_checked(
     let mut fresh: Vec<(usize, TraceAccumulator)> = Vec::new();
     let mut quarantined: Vec<NetworkFailure> = Vec::new();
     let mut panicked: Option<(usize, String)> = None;
+    let mut repaired_networks = 0usize;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for worker in 0..threads {
@@ -449,6 +463,7 @@ pub fn run_policy_checked(
                 let tel = WorkerTelemetry::new(recorder, worker);
                 let mut done: Vec<(usize, TraceAccumulator)> = Vec::new();
                 let mut failures: Vec<NetworkFailure> = Vec::new();
+                let mut repaired = 0usize;
                 loop {
                     let net = next.fetch_add(1, Ordering::Relaxed);
                     if net >= figure.network_samples {
@@ -458,7 +473,8 @@ pub fn run_policy_checked(
                         continue;
                     }
                     match run_network(figure, policy, net, recorder, &tel) {
-                        Ok(acc) => {
+                        Ok((acc, was_repaired)) => {
+                            repaired += usize::from(was_repaired);
                             let mut guard = ckpt_shared.lock().expect("checkpoint mutex poisoned");
                             if let Some(ckpt) = guard.as_mut() {
                                 if let Err(e) = ckpt.record(cell, net, &acc) {
@@ -475,14 +491,15 @@ pub fn run_policy_checked(
                         }
                     }
                 }
-                (done, failures)
+                (done, failures, repaired)
             }));
         }
         for (worker, h) in handles.into_iter().enumerate() {
             match h.join() {
-                Ok((done, failures)) => {
+                Ok((done, failures, repaired)) => {
                     fresh.extend(done);
                     quarantined.extend(failures);
+                    repaired_networks += repaired;
                 }
                 Err(payload) => {
                     if panicked.is_none() {
@@ -518,7 +535,28 @@ pub fn run_policy_checked(
         quarantined,
         resumed_networks,
         completed_networks: per_net.len(),
+        repaired_networks,
     })
+}
+
+/// Formats a violation list for a quarantine report: the count plus the
+/// first few concrete violations.
+fn violations_message(violations: &[Violation]) -> String {
+    const SHOWN: usize = 3;
+    let head: Vec<String> = violations
+        .iter()
+        .take(SHOWN)
+        .map(|v| v.to_string())
+        .collect();
+    let mut message = format!(
+        "{} paper-precondition violation(s): {}",
+        violations.len(),
+        head.join("; ")
+    );
+    if violations.len() > SHOWN {
+        message.push_str(&format!("; … and {} more", violations.len() - SHOWN));
+    }
+    message
 }
 
 /// Extracts a human-readable message from a panic payload.
@@ -533,16 +571,21 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Runs all repetitions on one sampled network, quarantining every
-/// failure mode: dataset and protocol errors become typed failures, and
-/// a panic anywhere in the episode loop (policy or simulator) is caught
-/// and reported instead of poisoning the worker.
+/// failure mode: dataset and protocol errors become typed failures, a
+/// paper-precondition violation is rejected (Strict) or repaired
+/// (Lenient) per `figure.validation`, and a panic anywhere in the
+/// episode loop (policy or simulator) is caught and reported instead of
+/// poisoning the worker.
+///
+/// Returns the per-network aggregate plus whether the Lenient pass had
+/// to repair the instance (always `false` in Off and Strict modes).
 fn run_network(
     figure: &FigureRun,
     policy: PolicyKind,
     net_index: usize,
     recorder: &Recorder,
     tel: &WorkerTelemetry,
-) -> Result<TraceAccumulator, NetworkFailure> {
+) -> Result<(TraceAccumulator, bool), NetworkFailure> {
     let fail = |stage: &'static str, message: String| NetworkFailure {
         network: net_index,
         stage,
@@ -562,6 +605,41 @@ fn run_network(
         .map_err(|e| fail("dataset", e.to_string()))?;
     let instance = apply_protocol(graph, &figure.protocol, &mut net_rng)
         .map_err(|e| fail("protocol", e.to_string()))?;
+    let (instance, was_repaired) = match figure.validation.repair_mode() {
+        None => (instance, false),
+        Some(mode) => match repair_instance(instance, mode) {
+            Ok((instance, report)) => {
+                if !report.is_clean() {
+                    recorder
+                        .counter(validate_metrics::VIOLATIONS)
+                        .add(report.violations.len() as u64);
+                    recorder.counter(validate_metrics::REPAIRED_NETWORKS).incr();
+                    recorder
+                        .counter(validate_metrics::CLAMPED_PROBABILITIES)
+                        .add(report.clamped_probabilities as u64);
+                    recorder
+                        .counter(validate_metrics::BENEFIT_FIXES)
+                        .add(report.benefit_fixes as u64);
+                    recorder
+                        .counter(validate_metrics::DEMOTED_USERS)
+                        .add(report.demoted_users as u64);
+                    if report.lambda_guarantee_void() {
+                        recorder
+                            .counter(validate_metrics::LAMBDA_GUARANTEE_VOID)
+                            .incr();
+                    }
+                }
+                (instance, !report.is_clean())
+            }
+            Err(violations) => {
+                recorder
+                    .counter(validate_metrics::VIOLATIONS)
+                    .add(violations.len() as u64);
+                recorder.counter(validate_metrics::REJECTED_NETWORKS).incr();
+                return Err(fail("validate", violations_message(&violations)));
+            }
+        },
+    };
     // Stateful policies (Random, Snowball) are seeded per network, so a
     // network's outcomes never depend on which worker picked it up —
     // the property checkpoint/resume relies on.
@@ -597,7 +675,7 @@ fn run_network(
     match episodes {
         Ok(acc) => {
             tel.networks.incr();
-            Ok(acc)
+            Ok((acc, was_repaired))
         }
         Err(payload) => Err(fail("episodes", panic_message(payload.as_ref()))),
     }
@@ -621,6 +699,7 @@ mod tests {
             seed: 99,
             faults: FaultConfig::none(),
             retry: RetryPolicy::standard(),
+            validation: ValidationMode::default(),
         }
     }
 
@@ -809,6 +888,111 @@ mod tests {
             snap.counter(runner_metrics::QUARANTINED),
             Some(fig.network_samples as u64)
         );
+    }
+
+    #[test]
+    fn validation_is_transparent_on_clean_instances() {
+        // Protocol-generated instances satisfy the paper preconditions
+        // by construction, so all three modes must agree bit-for-bit.
+        let reference = run_policy(&tiny_figure(), PolicyKind::abm_balanced());
+        for validation in [ValidationMode::Off, ValidationMode::Strict] {
+            let fig = FigureRun {
+                validation,
+                ..tiny_figure()
+            };
+            let acc = run_policy(&fig, PolicyKind::abm_balanced());
+            assert_eq!(acc, reference, "mode {validation} must not perturb results");
+        }
+    }
+
+    #[test]
+    fn strict_validation_passes_protocol_instances() {
+        let fig = FigureRun {
+            validation: ValidationMode::Strict,
+            ..tiny_figure()
+        };
+        let report =
+            run_policy_checked(&fig, PolicyKind::MaxDegree, &Recorder::disabled(), None).unwrap();
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.repaired_networks, 0);
+        assert_eq!(report.completed_networks, fig.network_samples);
+    }
+
+    /// A threshold fraction above 1 produces cautious users whose θ
+    /// exceeds their degree — legal at the protocol level (the sweep
+    /// axes only bound the paper's figures, not the API) but a
+    /// ThresholdUnreachable violation at the model level.
+    fn unreachable_figure(validation: ValidationMode) -> FigureRun {
+        FigureRun {
+            protocol: ProtocolConfig {
+                threshold_fraction: 5.0,
+                ..tiny_figure().protocol
+            },
+            validation,
+            ..tiny_figure()
+        }
+    }
+
+    #[test]
+    fn strict_validation_rejects_precondition_violations() {
+        let fig = unreachable_figure(ValidationMode::Strict);
+        let recorder = Recorder::enabled();
+        let report = run_policy_checked(&fig, PolicyKind::MaxDegree, &recorder, None).unwrap();
+        assert_eq!(report.quarantined.len(), fig.network_samples);
+        assert_eq!(report.completed_networks, 0);
+        assert_eq!(report.quarantined[0].stage, "validate");
+        assert!(
+            report.quarantined[0].message.contains("violation"),
+            "message: {}",
+            report.quarantined[0].message
+        );
+        let snap = recorder.snapshot("strict-reject").unwrap();
+        assert_eq!(
+            snap.counter(validate_metrics::REJECTED_NETWORKS),
+            Some(fig.network_samples as u64)
+        );
+        assert!(snap.counter(validate_metrics::VIOLATIONS).unwrap() > 0);
+    }
+
+    #[test]
+    fn lenient_validation_repairs_and_completes() {
+        let fig = unreachable_figure(ValidationMode::Lenient);
+        let recorder = Recorder::enabled();
+        let report = run_policy_checked(&fig, PolicyKind::MaxDegree, &recorder, None).unwrap();
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.completed_networks, fig.network_samples);
+        assert_eq!(report.repaired_networks, fig.network_samples);
+        assert_eq!(report.accumulator.runs(), fig.episodes());
+        let snap = recorder.snapshot("lenient-repair").unwrap();
+        assert_eq!(
+            snap.counter(validate_metrics::REPAIRED_NETWORKS),
+            Some(fig.network_samples as u64)
+        );
+        assert_eq!(
+            snap.counter(validate_metrics::LAMBDA_GUARANTEE_VOID),
+            Some(fig.network_samples as u64)
+        );
+        assert!(snap.counter(validate_metrics::DEMOTED_USERS).unwrap() > 0);
+        // Off mode happily runs the same degraded instances untouched.
+        let off = unreachable_figure(ValidationMode::Off);
+        let report =
+            run_policy_checked(&off, PolicyKind::MaxDegree, &Recorder::disabled(), None).unwrap();
+        assert_eq!(report.completed_networks, off.network_samples);
+        assert_eq!(report.repaired_networks, 0);
+    }
+
+    #[test]
+    fn violations_message_truncates_long_lists() {
+        let violations: Vec<Violation> = (0..5)
+            .map(|n| Violation::ZeroThreshold {
+                node: osn_graph::NodeId::new(n),
+            })
+            .collect();
+        let message = violations_message(&violations);
+        assert!(message.starts_with("5 paper-precondition violation(s):"));
+        assert!(message.contains("and 2 more"));
+        let short = violations_message(&violations[..1]);
+        assert!(!short.contains("more"));
     }
 
     #[test]

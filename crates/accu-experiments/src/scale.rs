@@ -1,6 +1,6 @@
 //! Mapping from command-line options to concrete experiment sizes.
 
-use accu_core::{FaultConfig, RetryPolicy};
+use accu_core::{FaultConfig, RetryPolicy, ValidationMode};
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 
 use crate::{Cli, FigureRun};
@@ -30,6 +30,8 @@ pub struct ExperimentScale {
     /// Fault-model intensity in `[0, 1]` (0 = fault-free, the paper's
     /// setting).
     pub fault_intensity: f64,
+    /// Paper-precondition validation mode.
+    pub validation: ValidationMode,
 }
 
 impl ExperimentScale {
@@ -48,6 +50,7 @@ impl ExperimentScale {
             graph_scale: cli.scale,
             paper: cli.paper,
             fault_intensity: cli.faults.unwrap_or(0.0),
+            validation: cli.validate,
         }
     }
 
@@ -80,6 +83,7 @@ impl ExperimentScale {
             seed: self.seed,
             faults: FaultConfig::scaled(self.fault_intensity),
             retry: RetryPolicy::standard(),
+            validation: self.validation,
         }
     }
 
@@ -95,6 +99,9 @@ impl ExperimentScale {
         );
         if self.fault_intensity > 0.0 {
             line.push_str(&format!(", fault intensity {}", self.fault_intensity));
+        }
+        if self.validation != ValidationMode::default() {
+            line.push_str(&format!(", validation {}", self.validation));
         }
         line
     }
@@ -130,6 +137,21 @@ mod tests {
         let run = s.figure_run(DatasetSpec::facebook(), ProtocolConfig::default());
         assert!(!run.faults.is_none());
         assert!(run.faults.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_mode_threads_through() {
+        let s = ExperimentScale::from_cli(&Cli::default());
+        assert_eq!(s.validation, ValidationMode::Lenient);
+        assert!(!s.describe().contains("validation"));
+        let cli = Cli {
+            validate: ValidationMode::Strict,
+            ..Cli::default()
+        };
+        let s = ExperimentScale::from_cli(&cli);
+        assert!(s.describe().contains("validation strict"));
+        let run = s.figure_run(DatasetSpec::facebook(), ProtocolConfig::default());
+        assert_eq!(run.validation, ValidationMode::Strict);
     }
 
     #[test]

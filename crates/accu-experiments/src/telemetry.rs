@@ -11,7 +11,7 @@ use std::io;
 use std::path::PathBuf;
 
 use accu_core::policy::abm_metrics;
-use accu_core::{fault_metrics, sim_metrics};
+use accu_core::{fault_metrics, sim_metrics, validate_metrics};
 use accu_telemetry::{FieldValue, JsonlSink, Recorder, Snapshot};
 
 use crate::cli::Cli;
@@ -197,6 +197,36 @@ pub fn derived_metrics(snapshot: &Snapshot) -> Vec<(&'static str, f64)> {
             out.push(("quarantined_network_fraction", q as f64 / attempted as f64));
         }
     }
+    // Validation rates: how much of the aggregate ran in degraded mode
+    // (repaired instances, λ-guarantee void) or was rejected outright.
+    // Clean runs register none of these counters.
+    if let Some(repaired) = snapshot.counter(validate_metrics::REPAIRED_NETWORKS) {
+        let completed = snapshot.counter(runner_metrics::NETWORKS).unwrap_or(0);
+        if completed > 0 {
+            out.push((
+                "repaired_network_fraction",
+                repaired as f64 / completed as f64,
+            ));
+        }
+        if let Some(v) = snapshot.counter(validate_metrics::VIOLATIONS) {
+            if repaired > 0 {
+                out.push((
+                    "violations_per_repaired_network",
+                    v as f64 / repaired as f64,
+                ));
+            }
+        }
+    }
+    if let Some(rejected) = snapshot.counter(validate_metrics::REJECTED_NETWORKS) {
+        let completed = snapshot.counter(runner_metrics::NETWORKS).unwrap_or(0);
+        let attempted = rejected + completed;
+        if attempted > 0 {
+            out.push((
+                "validation_rejected_fraction",
+                rejected as f64 / attempted as f64,
+            ));
+        }
+    }
     // Queue imbalance: max over min per-worker episode counts. 1.0 is a
     // perfectly balanced work queue.
     let worker_counts: Vec<u64> = snapshot
@@ -286,6 +316,8 @@ mod tests {
             "retry_budget_per_episode",
             "truncated_episode_fraction",
             "quarantined_network_fraction",
+            "repaired_network_fraction",
+            "validation_rejected_fraction",
         ] {
             assert!(
                 !derived.iter().any(|(n, _)| *n == absent),
@@ -317,6 +349,27 @@ mod tests {
         assert!((get("retry_budget_per_episode") - 3.0).abs() < 1e-12);
         assert!((get("truncated_episode_fraction") - 0.2).abs() < 1e-12);
         assert!((get("quarantined_network_fraction") - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_validation_rates_from_counters() {
+        let rec = Recorder::enabled();
+        rec.counter(runner_metrics::NETWORKS).add(8);
+        rec.counter(validate_metrics::REPAIRED_NETWORKS).add(2);
+        rec.counter(validate_metrics::VIOLATIONS).add(6);
+        rec.counter(validate_metrics::REJECTED_NETWORKS).add(2);
+        let snap = rec.snapshot("validation").unwrap();
+        let derived = derived_metrics(&snap);
+        let get = |name: &str| {
+            derived
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing derived metric {name}"))
+        };
+        assert!((get("repaired_network_fraction") - 0.25).abs() < 1e-12);
+        assert!((get("violations_per_repaired_network") - 3.0).abs() < 1e-12);
+        assert!((get("validation_rejected_fraction") - 0.2).abs() < 1e-12);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property tests for the robustness layer: fault-plan determinism,
 //! zero-fault transparency, and checkpoint/resume exactness.
 
-use accu_core::{run_attack, run_attack_faulted, FaultConfig, FaultPlan, RetryPolicy};
+use accu_core::{
+    run_attack, run_attack_faulted, FaultConfig, FaultPlan, RetryPolicy, ValidationMode,
+};
 use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
 use accu_experiments::{run_policy, run_policy_checked, Checkpoint, FigureRun, PolicyKind};
 use accu_telemetry::Recorder;
@@ -24,6 +26,7 @@ fn small_figure(seed: u64) -> FigureRun {
         seed,
         faults: FaultConfig::none(),
         retry: RetryPolicy::standard(),
+        validation: ValidationMode::default(),
     }
 }
 

@@ -30,6 +30,11 @@ use crate::{Edge, Graph, GraphError, NodeId};
 pub struct GraphBuilder {
     node_count: usize,
     edges: HashSet<Edge>,
+    /// First edge rejected by [`Extend::extend`], deferred so bulk
+    /// insertion stays panic-free; surfaced by [`try_build`](Self::try_build).
+    deferred: Option<GraphError>,
+    /// How many edges [`Extend::extend`] rejected in total.
+    rejected: usize,
 }
 
 impl GraphBuilder {
@@ -38,6 +43,8 @@ impl GraphBuilder {
         GraphBuilder {
             node_count,
             edges: HashSet::new(),
+            deferred: None,
+            rejected: 0,
         }
     }
 
@@ -46,6 +53,8 @@ impl GraphBuilder {
         GraphBuilder {
             node_count,
             edges: HashSet::with_capacity(edge_hint),
+            deferred: None,
+            rejected: 0,
         }
     }
 
@@ -89,14 +98,72 @@ impl GraphBuilder {
         self.edges.contains(&Edge::new(a, b))
     }
 
+    /// Fallible bulk insertion: adds edges until the first invalid one
+    /// and returns its [`GraphError`]. Edges added before the failure
+    /// stay in the builder. Use this instead of [`Extend::extend`] when
+    /// the input is untrusted and should be rejected, not degraded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GraphError`] from [`add_edge`](Self::add_edge).
+    pub fn try_extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) -> Result<(), GraphError> {
+        for e in iter {
+            self.add_edge(e.lo(), e.hi())?;
+        }
+        Ok(())
+    }
+
+    /// The first error [`Extend::extend`] deferred, if any.
+    pub fn deferred_error(&self) -> Option<&GraphError> {
+        self.deferred.as_ref()
+    }
+
+    /// How many edges [`Extend::extend`] rejected so far.
+    pub fn rejected_edges(&self) -> usize {
+        self.rejected
+    }
+
     /// Builds the immutable CSR-backed [`Graph`].
     ///
     /// Edges are sorted into canonical order, so the same edge set always
     /// produces the same graph regardless of insertion order.
+    ///
+    /// Edges rejected by [`Extend::extend`] are *dropped by policy*:
+    /// `build` returns the graph over the valid edges. Call
+    /// [`try_build`](Self::try_build) to treat any rejected edge as an
+    /// error instead.
     pub fn build(self) -> Graph {
         let mut edges: Vec<Edge> = self.edges.into_iter().collect();
         edges.sort_unstable();
         Graph::from_sorted_dedup_edges(self.node_count, edges)
+    }
+
+    /// Like [`build`](Self::build), but surfaces the error deferred by a
+    /// panic-free [`Extend::extend`] over invalid edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] recorded by `extend` if any edge
+    /// was rejected since the builder was created.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use osn_graph::{Edge, GraphBuilder, GraphError, NodeId};
+    ///
+    /// let mut b = GraphBuilder::new(2);
+    /// b.extend([Edge::new(NodeId::new(0), NodeId::new(5))]); // no panic
+    /// assert_eq!(b.rejected_edges(), 1);
+    /// assert!(matches!(
+    ///     b.try_build(),
+    ///     Err(GraphError::NodeOutOfRange { .. })
+    /// ));
+    /// ```
+    pub fn try_build(mut self) -> Result<Graph, GraphError> {
+        if let Some(e) = self.deferred.take() {
+            return Err(e);
+        }
+        Ok(self.build())
     }
 
     /// Convenience: builds a graph directly from an edge iterator.
@@ -129,13 +196,23 @@ impl GraphBuilder {
 }
 
 impl Extend<Edge> for GraphBuilder {
-    /// Extends with edges, panicking on invalid ones.
+    /// Extends with edges, never panicking: invalid edges are skipped
+    /// and the first rejection is deferred, to be surfaced by
+    /// [`try_build`](GraphBuilder::try_build) (or inspected via
+    /// [`deferred_error`](GraphBuilder::deferred_error) /
+    /// [`rejected_edges`](GraphBuilder::rejected_edges)).
+    /// [`build`](GraphBuilder::build) drops the rejected edges by policy.
     ///
-    /// Use [`add_edge`](Self::add_edge) when inputs are untrusted.
+    /// Use [`try_extend`](GraphBuilder::try_extend) to fail fast on
+    /// untrusted input instead.
     fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
         for e in iter {
-            self.add_edge(e.lo(), e.hi())
-                .expect("invalid edge in Extend<Edge>");
+            if let Err(err) = self.add_edge(e.lo(), e.hi()) {
+                if self.deferred.is_none() {
+                    self.deferred = Some(err);
+                }
+                self.rejected += 1;
+            }
         }
     }
 }
@@ -197,5 +274,52 @@ mod tests {
         let mut b = GraphBuilder::new(3);
         b.extend([Edge::new(NodeId::new(0), NodeId::new(1))]);
         assert_eq!(b.edge_count(), 1);
+        assert!(b.deferred_error().is_none());
+        assert_eq!(b.rejected_edges(), 0);
+        assert!(b.try_build().is_ok());
+    }
+
+    #[test]
+    fn extend_defers_errors_instead_of_panicking() {
+        let mut b = GraphBuilder::new(3);
+        b.extend([
+            Edge::new(NodeId::new(0), NodeId::new(1)),
+            Edge::new(NodeId::new(0), NodeId::new(9)), // out of range: deferred
+            Edge::new(NodeId::new(2), NodeId::new(2)), // self-loop: counted too
+            Edge::new(NodeId::new(1), NodeId::new(2)),
+        ]);
+        assert_eq!(b.edge_count(), 2);
+        assert_eq!(b.rejected_edges(), 2);
+        // The first rejection is the one surfaced.
+        assert!(matches!(
+            b.deferred_error(),
+            Some(GraphError::NodeOutOfRange { .. })
+        ));
+        // `build` drops rejected edges by policy...
+        let g = b.clone().build();
+        assert_eq!(g.edge_count(), 2);
+        // ...while `try_build` treats them as an error.
+        assert!(matches!(
+            b.try_build(),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn try_extend_fails_fast_on_first_invalid_edge() {
+        let mut b = GraphBuilder::new(3);
+        let err = b
+            .try_extend([
+                Edge::new(NodeId::new(0), NodeId::new(1)),
+                Edge::new(NodeId::new(1), NodeId::new(1)),
+                Edge::new(NodeId::new(1), NodeId::new(2)),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { .. }));
+        // Edges before the failure stay; the one after was never visited.
+        assert_eq!(b.edge_count(), 1);
+        // try_extend does not defer: build-by-policy is untainted.
+        assert!(b.deferred_error().is_none());
+        assert!(b.try_build().is_ok());
     }
 }

@@ -39,6 +39,13 @@ pub enum GraphError {
         /// Human-readable description of the violated constraint.
         requirement: &'static str,
     },
+    /// More distinct nodes than the dense `u32` id space (or a
+    /// configured cap) can address. Without this check, compaction past
+    /// the limit would silently alias distinct labels onto the same id.
+    TooManyNodes {
+        /// The node-count limit that was exceeded.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -55,6 +62,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidParameter { what, requirement } => {
                 write!(f, "invalid parameter {what}: {requirement}")
+            }
+            GraphError::TooManyNodes { limit } => {
+                write!(f, "graph exceeds the {limit}-node limit")
             }
         }
     }
@@ -77,6 +87,46 @@ pub enum IoError {
     },
     /// The parsed edges violated a graph invariant.
     Graph(GraphError),
+    /// A line exceeded the configured maximum length.
+    LineTooLong {
+        /// 1-based line number.
+        line: usize,
+        /// The configured byte limit.
+        limit: usize,
+    },
+    /// A line was not valid UTF-8.
+    InvalidUtf8 {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The input declared or accumulated more nodes/edges than the
+    /// configured cap.
+    LimitExceeded {
+        /// Which limit, e.g. `"nodes"` or `"edges"`.
+        what: &'static str,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A duplicate edge was found under [`DuplicatePolicy::Reject`].
+    ///
+    /// [`DuplicatePolicy::Reject`]: crate::io::DuplicatePolicy::Reject
+    DuplicateEdge {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// Original (label) endpoints of the edge.
+        a: u64,
+        /// Other endpoint.
+        b: u64,
+    },
+    /// A self-loop was found under [`SelfLoopPolicy::Reject`].
+    ///
+    /// [`SelfLoopPolicy::Reject`]: crate::io::SelfLoopPolicy::Reject
+    SelfLoopEdge {
+        /// 1-based line number.
+        line: usize,
+        /// The node (original label) looping onto itself.
+        node: u64,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -87,6 +137,21 @@ impl fmt::Display for IoError {
                 write!(f, "line {line}: cannot parse edge from {content:?}")
             }
             IoError::Graph(e) => write!(f, "invalid edge list: {e}"),
+            IoError::LineTooLong { line, limit } => {
+                write!(f, "line {line}: longer than the {limit}-byte limit")
+            }
+            IoError::InvalidUtf8 { line } => {
+                write!(f, "line {line}: not valid UTF-8")
+            }
+            IoError::LimitExceeded { what, limit } => {
+                write!(f, "edge list exceeds the {limit}-{what} limit")
+            }
+            IoError::DuplicateEdge { line, a, b } => {
+                write!(f, "line {line}: duplicate edge ({a}, {b})")
+            }
+            IoError::SelfLoopEdge { line, node } => {
+                write!(f, "line {line}: self-loop on node {node}")
+            }
         }
     }
 }
@@ -95,8 +160,8 @@ impl StdError for IoError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             IoError::Io(e) => Some(e),
-            IoError::Parse { .. } => None,
             IoError::Graph(e) => Some(e),
+            _ => None,
         }
     }
 }

@@ -34,18 +34,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id of the form `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// An id that is just the parameter, scoped by the group name.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { name: parameter.to_string() }
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { name: s.to_string() }
+        BenchmarkId {
+            name: s.to_string(),
+        }
     }
 }
 
@@ -111,7 +117,9 @@ impl Default for Criterion {
     fn default() -> Self {
         // Upstream defaults to 100 samples; 10 keeps the no-analysis
         // stand-in quick while median/min stay stable.
-        Criterion { default_sample_size: 10 }
+        Criterion {
+            default_sample_size: 10,
+        }
     }
 }
 
@@ -128,7 +136,10 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { sample_size: self.default_sample_size, samples: Vec::new() };
+        let mut b = Bencher {
+            sample_size: self.default_sample_size,
+            samples: Vec::new(),
+        };
         f(&mut b);
         b.report(&id.name);
         self
@@ -139,7 +150,11 @@ impl Criterion {
         let name = name.into();
         println!("group {name}");
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { _parent: self, name, sample_size }
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+        }
     }
 }
 
@@ -165,7 +180,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
         f(&mut b);
         b.report(&format!("{}/{}", self.name, id.name));
         self
@@ -182,7 +200,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut b = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
         f(&mut b, input);
         b.report(&format!("{}/{}", self.name, id.name));
         self

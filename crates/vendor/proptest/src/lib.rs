@@ -140,7 +140,9 @@ pub mod strategy {
 
     impl<V> std::fmt::Debug for Union<V> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            f.debug_struct("Union").field("options", &self.options.len()).finish()
+            f.debug_struct("Union")
+                .field("options", &self.options.len())
+                .finish()
         }
     }
 
@@ -151,7 +153,10 @@ pub mod strategy {
         ///
         /// Panics if `options` is empty.
         pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
-            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
             Union { options }
         }
     }
@@ -241,14 +246,20 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty vec size range");
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
@@ -272,7 +283,10 @@ pub mod collection {
     /// Creates a strategy generating vectors of `element` with a length
     /// in `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -396,8 +410,8 @@ mod tests {
 
     #[test]
     fn ranges_tuples_vec_and_map() {
-        let mut rng = <crate::test_runner::TestRng as crate::test_runner::SeedableRng>::
-            seed_from_u64(1);
+        let mut rng =
+            <crate::test_runner::TestRng as crate::test_runner::SeedableRng>::seed_from_u64(1);
         let s = (0u32..5, (0.0f64..=1.0).prop_map(|x| x * 2.0));
         for _ in 0..100 {
             let (a, b) = s.generate(&mut rng);
@@ -412,8 +426,8 @@ mod tests {
 
     #[test]
     fn flat_map_threads_intermediate() {
-        let mut rng = <crate::test_runner::TestRng as crate::test_runner::SeedableRng>::
-            seed_from_u64(2);
+        let mut rng =
+            <crate::test_runner::TestRng as crate::test_runner::SeedableRng>::seed_from_u64(2);
         let s = (1usize..4).prop_flat_map(|n| collection::vec(0usize..10, n));
         for _ in 0..50 {
             let v = s.generate(&mut rng);
@@ -423,8 +437,8 @@ mod tests {
 
     #[test]
     fn oneof_and_just() {
-        let mut rng = <crate::test_runner::TestRng as crate::test_runner::SeedableRng>::
-            seed_from_u64(3);
+        let mut rng =
+            <crate::test_runner::TestRng as crate::test_runner::SeedableRng>::seed_from_u64(3);
         let s = prop_oneof![Just(1usize), Just(2usize), (5usize..7)];
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {

@@ -162,7 +162,10 @@ pub trait Rng: RngCore {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         <f64 as Standardable>::draw(self) < p
     }
 }
@@ -233,10 +236,7 @@ pub mod rngs {
 
         fn step(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -332,7 +332,10 @@ mod tests {
                 trues += 1;
             }
         }
-        assert!((2_500..3_500).contains(&trues), "gen_bool(0.3) gave {trues}/10000");
+        assert!(
+            (2_500..3_500).contains(&trues),
+            "gen_bool(0.3) gave {trues}/10000"
+        );
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
     }
