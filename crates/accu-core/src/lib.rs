@@ -66,6 +66,7 @@ mod observation;
 mod oracle;
 pub mod policy;
 mod realization;
+mod scratch;
 mod simulator;
 pub mod theory;
 mod validate;
@@ -88,14 +89,16 @@ pub use observation::{EdgeState, NodeState, Observation};
 pub use oracle::run_omniscient_greedy;
 pub use policy::Policy;
 pub use realization::Realization;
+pub use scratch::{engine_metrics, EpisodeScratch};
 pub use validate::{
     repair_instance, validate_instance, validate_metrics, InstanceReport, RepairMode, RepairReport,
     ValidationMode, Violation,
 };
 
 pub use simulator::{
-    resolve_acceptance, run_attack, run_attack_faulted, run_attack_faulted_recorded,
-    run_attack_recorded, run_attack_with_beliefs, run_attack_with_beliefs_faulted_recorded,
-    run_attack_with_beliefs_recorded, sim_metrics, AttackOutcome, RequestRecord,
+    resolve_acceptance, run_attack, run_attack_episode, run_attack_faulted,
+    run_attack_faulted_recorded, run_attack_recorded, run_attack_with_beliefs,
+    run_attack_with_beliefs_faulted_recorded, run_attack_with_beliefs_recorded, sim_metrics,
+    AttackOutcome, RequestRecord,
 };
 pub use view::AttackerView;

@@ -1,10 +1,111 @@
 //! The ACCU problem instance (paper §II).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use osn_graph::{EdgeId, Graph, NodeId};
 
 use crate::{AccuError, BenefitSchedule, UserClass};
+
+/// Source of process-unique instance identities (see
+/// [`AccuInstance::instance_id`]). Starts at 1 so 0 can serve as a
+/// "no instance" sentinel in caches.
+static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One threshold-gated neighbor in the [`CautiousIndex`]: the neighbor,
+/// the connecting edge, and its cached threshold `θ` and benefit gap
+/// `B_f − B_fof` — everything ABM's indirect-potential term needs,
+/// laid out flat so the per-rescore scan touches no graph or class
+/// storage.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CautiousNeighbor {
+    /// The threshold-gated (cautious or hesitant) neighbor.
+    pub(crate) node: NodeId,
+    /// The edge connecting it to the row's owner.
+    pub(crate) edge: EdgeId,
+    /// The neighbor's mutual-friend threshold `θ`.
+    pub(crate) theta: u32,
+    /// The neighbor's benefit gap `B_f(v) − B_fof(v)`.
+    pub(crate) gap: f64,
+}
+
+/// CSR rows of threshold-gated neighbors, one row per node, entries in
+/// sorted adjacency order. Precomputed once per instance so the ABM
+/// potential's indirect term is a flat slice scan instead of a full
+/// neighbor walk that re-derives class and benefit data per entry.
+#[derive(Debug, Clone)]
+pub(crate) struct CautiousIndex {
+    row_start: Vec<usize>,
+    entries: Vec<CautiousNeighbor>,
+}
+
+impl CautiousIndex {
+    fn build(graph: &Graph, classes: &[UserClass], benefits: &BenefitSchedule) -> Self {
+        let n = graph.node_count();
+        let mut row_start = Vec::with_capacity(n + 1);
+        row_start.push(0);
+        let mut entries = Vec::new();
+        for i in 0..n {
+            for (v, e) in graph.neighbor_entries(NodeId::from(i)) {
+                if let Some(theta) = classes[v.index()].threshold() {
+                    entries.push(CautiousNeighbor {
+                        node: v,
+                        edge: e,
+                        theta,
+                        gap: benefits.gap(v),
+                    });
+                }
+            }
+            row_start.push(entries.len());
+        }
+        CautiousIndex { row_start, entries }
+    }
+
+    #[inline]
+    fn row(&self, u: NodeId) -> &[CautiousNeighbor] {
+        &self.entries[self.row_start[u.index()]..self.row_start[u.index() + 1]]
+    }
+}
+
+/// CSR of per-node acceptance-curve cut points: for each user, the
+/// distinct acceptance probabilities strictly inside `(0, 1)` reachable
+/// over mutual-friend counts `0..=degree`, sorted ascending.
+/// Precomputed once per instance so realization probability math never
+/// re-derives (or allocates) them.
+#[derive(Debug, Clone)]
+pub(crate) struct AcceptanceCuts {
+    row_start: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl AcceptanceCuts {
+    fn build(graph: &Graph, classes: &[UserClass]) -> Self {
+        let n = graph.node_count();
+        let mut row_start = Vec::with_capacity(n + 1);
+        row_start.push(0);
+        let mut values = Vec::new();
+        let mut scratch: Vec<f64> = Vec::new();
+        for (i, &class) in classes.iter().enumerate() {
+            let degree = graph.degree(NodeId::from(i)) as u32;
+            scratch.clear();
+            scratch.extend(
+                (0..=degree)
+                    .map(|m| class.acceptance_probability_at(m))
+                    .filter(|&q| q > 0.0 && q < 1.0),
+            );
+            scratch.sort_by(f64::total_cmp);
+            scratch.dedup();
+            values.extend_from_slice(&scratch);
+            row_start.push(values.len());
+        }
+        AcceptanceCuts { row_start, values }
+    }
+
+    #[inline]
+    fn row(&self, u: NodeId) -> &[f64] {
+        &self.values[self.row_start[u.index()]..self.row_start[u.index() + 1]]
+    }
+}
 
 /// A complete instance of the Adaptive Crawling with Cautious Users
 /// problem: the social graph, per-edge link-existence probabilities
@@ -45,9 +146,63 @@ pub struct AccuInstance {
     pub(crate) classes: Vec<UserClass>,
     pub(crate) benefits: BenefitSchedule,
     pub(crate) cautious: Vec<NodeId>,
+    cautious_index: CautiousIndex,
+    cuts: AcceptanceCuts,
+    instance_id: u64,
 }
 
 impl AccuInstance {
+    /// Assembles an instance from already-validated parts, computing
+    /// the derived read-only indexes (cautious-neighbor CSR,
+    /// acceptance-cut CSR) shared by every episode run on the instance.
+    pub(crate) fn from_parts(
+        graph: Graph,
+        edge_prob: Vec<f64>,
+        classes: Vec<UserClass>,
+        benefits: BenefitSchedule,
+        cautious: Vec<NodeId>,
+    ) -> Self {
+        let cautious_index = CautiousIndex::build(&graph, &classes, &benefits);
+        let cuts = AcceptanceCuts::build(&graph, &classes);
+        AccuInstance {
+            graph,
+            edge_prob,
+            classes,
+            benefits,
+            cautious,
+            cautious_index,
+            cuts,
+            instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// A process-unique identity for this instance's parameter set,
+    /// assigned at construction and shared by clones. Caches of
+    /// instance-derived state key on it: equal ids guarantee equal
+    /// parameters (clones of one build), while every fresh build gets
+    /// an id never used before, so stale entries can never collide.
+    #[inline]
+    pub(crate) fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
+    /// The precomputed threshold-gated-neighbor row of `u`: every
+    /// neighbor with a mutual-friend threshold, in sorted adjacency
+    /// order, with its connecting edge, cached `θ`, and benefit gap.
+    #[inline]
+    pub(crate) fn cautious_row(&self, u: NodeId) -> &[CautiousNeighbor] {
+        self.cautious_index.row(u)
+    }
+
+    /// The distinct interior cut points of `u`'s acceptance curve over
+    /// mutual-friend counts `0..=degree(u)`: every acceptance
+    /// probability strictly inside `(0, 1)`, sorted ascending.
+    /// Precomputed at build time; cautious users have no cuts (their
+    /// curve is a 0/1 step), reckless users at most one.
+    #[inline]
+    pub fn acceptance_cuts(&self, u: NodeId) -> &[f64] {
+        self.cuts.row(u)
+    }
     /// The social graph topology.
     #[inline]
     pub fn graph(&self) -> &Graph {
@@ -124,7 +279,7 @@ impl AccuInstance {
             .count();
         let user_bits: usize = (0..self.node_count())
             .map(|i| {
-                let bands = crate::Realization::acceptance_cuts(self, NodeId::from(i)).len() + 1;
+                let bands = self.acceptance_cuts(NodeId::from(i)).len() + 1;
                 bands.next_power_of_two().trailing_zeros() as usize
             })
             .sum();
@@ -423,13 +578,13 @@ impl AccuInstanceBuilder {
             .filter(|(_, c)| c.is_cautious())
             .map(|(i, _)| NodeId::from(i))
             .collect();
-        Ok(AccuInstance {
-            graph: self.graph,
-            edge_prob: self.edge_prob,
-            classes: self.classes,
+        Ok(AccuInstance::from_parts(
+            self.graph,
+            self.edge_prob,
+            self.classes,
             benefits,
             cautious,
-        })
+        ))
     }
 }
 

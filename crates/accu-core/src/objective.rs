@@ -75,13 +75,36 @@ pub struct BenefitState {
 impl BenefitState {
     /// Creates the empty state (no friends, benefit 0).
     pub fn new(instance: &AccuInstance) -> Self {
+        let mut state = BenefitState::empty();
+        state.reset_for(instance);
+        state
+    }
+
+    /// A state with no storage — to be sized by
+    /// [`reset_for`](Self::reset_for) before use.
+    pub fn empty() -> Self {
         BenefitState {
-            friend: vec![false; instance.node_count()],
-            fof: vec![false; instance.node_count()],
+            friend: Vec::new(),
+            fof: Vec::new(),
             total: 0.0,
             friend_count: 0,
             cautious_friend_count: 0,
         }
+    }
+
+    /// Rewinds this state to the empty friend set for `instance`,
+    /// reusing the existing buffers: equivalent to [`new`](Self::new)
+    /// but allocation-free once the buffers have grown to the
+    /// instance's size.
+    pub fn reset_for(&mut self, instance: &AccuInstance) {
+        let n = instance.node_count();
+        self.friend.clear();
+        self.friend.resize(n, false);
+        self.fof.clear();
+        self.fof.resize(n, false);
+        self.total = 0.0;
+        self.friend_count = 0;
+        self.cautious_friend_count = 0;
     }
 
     /// Current total benefit.

@@ -66,14 +66,41 @@ pub struct Observation {
 impl Observation {
     /// Creates the empty observation (`ω = ∅`) for an instance.
     pub fn for_instance(instance: &AccuInstance) -> Self {
+        let mut obs = Observation::empty();
+        obs.reset_for(instance);
+        obs
+    }
+
+    /// An observation with no storage at all — the scratch-arena
+    /// starting state, to be sized by [`reset_for`](Self::reset_for).
+    pub fn empty() -> Self {
         Observation {
-            node_state: vec![NodeState::Unknown; instance.node_count()],
-            edge_state: vec![EdgeState::Unknown; instance.graph().edge_count()],
+            node_state: Vec::new(),
+            edge_state: Vec::new(),
             requests: Vec::new(),
             friends: Vec::new(),
-            mutual: vec![0; instance.node_count()],
-            mutual_at_request: vec![u32::MAX; instance.node_count()],
+            mutual: Vec::new(),
+            mutual_at_request: Vec::new(),
         }
+    }
+
+    /// Rewinds this observation to `ω = ∅` for `instance`, reusing the
+    /// existing buffers: equivalent to
+    /// [`for_instance`](Self::for_instance) but allocation-free once
+    /// the buffers have grown to the instance's size.
+    pub fn reset_for(&mut self, instance: &AccuInstance) {
+        let n = instance.node_count();
+        let m = instance.graph().edge_count();
+        self.node_state.clear();
+        self.node_state.resize(n, NodeState::Unknown);
+        self.edge_state.clear();
+        self.edge_state.resize(m, EdgeState::Unknown);
+        self.requests.clear();
+        self.friends.clear();
+        self.mutual.clear();
+        self.mutual.resize(n, 0);
+        self.mutual_at_request.clear();
+        self.mutual_at_request.resize(n, u32::MAX);
     }
 
     /// Response state of `u`.
@@ -182,6 +209,22 @@ impl Observation {
         instance: &AccuInstance,
         realization: &Realization,
     ) -> Vec<NodeId> {
+        let mut realized = Vec::new();
+        self.record_acceptance_into(u, instance, realization, &mut realized);
+        realized
+    }
+
+    /// Allocation-free variant of
+    /// [`record_acceptance`](Self::record_acceptance): the revealed
+    /// friend-neighbors are appended to the caller's `realized` buffer
+    /// instead of a freshly allocated `Vec`.
+    pub fn record_acceptance_into(
+        &mut self,
+        u: NodeId,
+        instance: &AccuInstance,
+        realization: &Realization,
+        realized: &mut Vec<NodeId>,
+    ) {
         assert_eq!(
             self.node_state[u.index()],
             NodeState::Unknown,
@@ -191,7 +234,6 @@ impl Observation {
         self.mutual_at_request[u.index()] = self.mutual[u.index()];
         self.requests.push(u);
         self.friends.push(u);
-        let mut realized = Vec::new();
         for (w, e) in instance.graph().neighbor_entries(u) {
             let exists = match self.edge_state[e.index()] {
                 EdgeState::Present => true,
@@ -212,7 +254,6 @@ impl Observation {
                 realized.push(w);
             }
         }
-        realized
     }
 }
 

@@ -59,12 +59,38 @@ impl Realization {
     /// Samples a realization: each edge exists with its probability,
     /// each user receives an independent uniform acceptance draw.
     pub fn sample<R: Rng + ?Sized>(instance: &AccuInstance, rng: &mut R) -> Self {
+        let mut out = Realization {
+            edge_exists: Vec::new(),
+            draw: Vec::new(),
+        };
+        out.sample_into(instance, rng);
+        out
+    }
+
+    /// Resamples this realization in place, reusing the existing
+    /// buffers: identical draw order (all edges, then all nodes) and
+    /// therefore bit-identical results to [`sample`](Self::sample) for
+    /// the same RNG state, but allocation-free once the buffers have
+    /// grown to the instance's size.
+    pub fn sample_into<R: Rng + ?Sized>(&mut self, instance: &AccuInstance, rng: &mut R) {
         let g = instance.graph();
-        let edge_exists = (0..g.edge_count())
-            .map(|i| rng.gen_bool(instance.edge_probability(EdgeId::from(i))))
-            .collect();
-        let draw = (0..g.node_count()).map(|_| rng.gen::<f64>()).collect();
-        Realization { edge_exists, draw }
+        self.edge_exists.clear();
+        self.edge_exists.extend(
+            (0..g.edge_count()).map(|i| rng.gen_bool(instance.edge_probability(EdgeId::from(i)))),
+        );
+        self.draw.clear();
+        self.draw
+            .extend((0..g.node_count()).map(|_| rng.gen::<f64>()));
+    }
+
+    /// An empty realization to be filled by
+    /// [`sample_into`](Self::sample_into) — the scratch-arena starting
+    /// state.
+    pub fn empty() -> Self {
+        Realization {
+            edge_exists: Vec::new(),
+            draw: Vec::new(),
+        }
     }
 
     /// Builds a realization from explicit outcome vectors.
@@ -263,17 +289,12 @@ impl Realization {
     /// The distinct interior cut points of `u`'s acceptance curve — the
     /// level values strictly inside `(0, 1)`, over the mutual counts
     /// `0..=deg(u)` — sorted ascending. Draws within the same band
-    /// induce identical behavior.
+    /// induce identical behavior. Delegates to the per-instance CSR
+    /// precomputed at build time ([`AccuInstance::acceptance_cuts`]);
+    /// kept for callers that want an owned vector.
+    #[cfg(test)]
     pub(crate) fn acceptance_cuts(instance: &AccuInstance, u: NodeId) -> Vec<f64> {
-        let class = instance.user_class(u);
-        let deg = instance.graph().degree(u) as u32;
-        let mut cuts: Vec<f64> = (0..=deg)
-            .map(|m| class.acceptance_probability_at(m))
-            .filter(|&l| l > 0.0 && l < 1.0)
-            .collect();
-        cuts.sort_by(f64::total_cmp);
-        cuts.dedup();
-        cuts
+        instance.acceptance_cuts(u).to_vec()
     }
 
     /// Probability mass of this realization's *outcome class*: the
@@ -291,7 +312,7 @@ impl Realization {
             if !(0.0..1.0).contains(&d) {
                 return 0.0; // forced outcome with no probability mass
             }
-            let cuts = Self::acceptance_cuts(instance, NodeId::from(i));
+            let cuts = instance.acceptance_cuts(NodeId::from(i));
             let lo = cuts.iter().rev().find(|&&c| c <= d).copied().unwrap_or(0.0);
             let hi = cuts.iter().find(|&&c| c > d).copied().unwrap_or(1.0);
             p *= hi - lo;

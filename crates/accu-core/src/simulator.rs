@@ -16,9 +16,9 @@ use accu_telemetry::{CounterHandle, HistogramHandle, Recorder};
 use osn_graph::NodeId;
 
 use crate::fault::{fault_metrics, FaultPlan, FaultSummary, RetryPolicy};
+use crate::scratch::{EpisodeScratch, SimScratch};
 use crate::{
-    AccuError, AccuInstance, AttackerView, BenefitState, MarginalGain, Observation, Policy,
-    Realization,
+    AccuError, AccuInstance, AttackerView, MarginalGain, Observation, Policy, Realization,
 };
 
 /// Well-known simulator metric names (see [`run_attack_recorded`]).
@@ -313,11 +313,51 @@ enum AttemptFate {
     Suspended(usize),
 }
 
+/// Runs one attack episode entirely inside `scratch`: the caller
+/// samples `scratch.realization` first (see
+/// [`Realization::sample_into`]), then this reuses every per-episode
+/// buffer — observation, benefit state, revealed list, trace and
+/// friend list — so steady-state episodes allocate nothing.
+///
+/// Behaviorally identical (bit-for-bit, including telemetry) to
+/// [`run_attack_faulted_recorded`] on the same realization; the
+/// returned reference points at `scratch`'s outcome slot, valid until
+/// the next episode run in the same scratch.
+///
+/// # Panics
+///
+/// Panics if the policy selects an already-requested node.
+pub fn run_attack_episode<'s>(
+    instance: &AccuInstance,
+    policy: &mut dyn Policy,
+    k: usize,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    recorder: &Recorder,
+    scratch: &'s mut EpisodeScratch,
+) -> &'s AttackOutcome {
+    attack_core_into(
+        instance,
+        instance,
+        &scratch.realization,
+        policy,
+        k,
+        plan,
+        retry,
+        recorder,
+        &mut scratch.sim,
+    );
+    &scratch.sim.outcome
+}
+
 /// The shared attack loop: the policy sees `believed`, requests resolve
 /// and benefit accrues on `truth` (the two are the same instance for
 /// the plain attack). Budget is consumed per *slot*: fault-free, one
 /// slot per request; under faults, failed attempts, backoff waits and
 /// rate-limit pauses burn slots too.
+///
+/// Allocates a fresh scratch per call; the reuse path is
+/// [`run_attack_episode`].
 #[allow(clippy::too_many_arguments)]
 fn attack_core(
     truth: &AccuInstance,
@@ -329,6 +369,35 @@ fn attack_core(
     retry: &RetryPolicy,
     recorder: &Recorder,
 ) -> AttackOutcome {
+    let mut sim = SimScratch::new();
+    attack_core_into(
+        truth,
+        believed,
+        realization,
+        policy,
+        k,
+        faults,
+        retry,
+        recorder,
+        &mut sim,
+    );
+    sim.outcome
+}
+
+/// [`attack_core`] writing every episode artifact into `scratch`
+/// in place instead of allocating.
+#[allow(clippy::too_many_arguments)]
+fn attack_core_into(
+    truth: &AccuInstance,
+    believed: &AccuInstance,
+    realization: &Realization,
+    policy: &mut dyn Policy,
+    k: usize,
+    faults: &FaultPlan,
+    retry: &RetryPolicy,
+    recorder: &Recorder,
+    scratch: &mut SimScratch,
+) {
     let tel = SimTelemetry::new(recorder);
     // Only register fault counters when faults can actually occur, so
     // fault-free telemetry output is unchanged.
@@ -338,10 +407,18 @@ fn attack_core(
         Some(FaultTelemetry::new(recorder))
     };
     let episode_span = tel.episode_ns.span();
-    let mut observation = Observation::for_instance(truth);
-    let mut benefit = BenefitState::new(truth);
-    policy.reset(&AttackerView::new(believed, &observation));
-    let mut trace = Vec::with_capacity(k);
+    let SimScratch {
+        observation,
+        benefit,
+        revealed,
+        outcome,
+    } = scratch;
+    observation.reset_for(truth);
+    benefit.reset_for(truth);
+    policy.reset(&AttackerView::new(believed, observation));
+    let trace = &mut outcome.trace;
+    trace.clear();
+    trace.reserve(k);
     let mut summary = FaultSummary::default();
     let mut slot = 0usize;
     'episode: while slot < k {
@@ -356,7 +433,7 @@ fn attack_core(
         }
         let selected = {
             let _span = tel.select_ns.span();
-            policy.select(&AttackerView::new(believed, &observation))
+            policy.select(&AttackerView::new(believed, observation))
         };
         let target = match selected {
             Some(t) => t,
@@ -397,23 +474,24 @@ fn attack_core(
             slot += 1;
             break AttemptFate::Resolved;
         };
-        let (accepted, faulted, gain, newly_revealed) = match fate {
+        revealed.clear();
+        let (accepted, faulted, gain) = match fate {
             AttemptFate::Suspended(s) => {
                 summary.truncated_at = Some(s);
                 break 'episode;
             }
             AttemptFate::Resolved => {
                 let resolve_span = tel.resolve_ns.span();
-                let accepted = resolve_acceptance(truth, &observation, realization, target);
-                let (gain, revealed) = if accepted {
-                    let revealed = observation.record_acceptance(target, truth, realization);
-                    (benefit.add_friend(truth, realization, target), revealed)
+                let accepted = resolve_acceptance(truth, observation, realization, target);
+                let gain = if accepted {
+                    observation.record_acceptance_into(target, truth, realization, revealed);
+                    benefit.add_friend(truth, realization, target)
                 } else {
                     observation.record_rejection(target);
-                    (MarginalGain::default(), Vec::new())
+                    MarginalGain::default()
                 };
                 resolve_span.finish();
-                (accepted, false, gain, revealed)
+                (accepted, false, gain)
             }
             // Unanswered: the target never (observably) decided. The
             // attacker cannot distinguish silence from rejection and
@@ -421,7 +499,7 @@ fn attack_core(
             // span is timed (nothing was resolved).
             AttemptFate::Unanswered => {
                 observation.record_rejection(target);
-                (false, true, MarginalGain::default(), Vec::new())
+                (false, true, MarginalGain::default())
             }
         };
         let cautious = truth.is_cautious(target);
@@ -449,10 +527,10 @@ fn attack_core(
         {
             let _span = tel.notify_ns.span();
             policy.observe(
-                &AttackerView::new(believed, &observation),
+                &AttackerView::new(believed, observation),
                 target,
                 accepted,
-                &newly_revealed,
+                revealed,
             );
         }
     }
@@ -461,13 +539,11 @@ fn attack_core(
         ftel.record(&summary);
     }
     episode_span.finish();
-    AttackOutcome {
-        trace,
-        total_benefit: benefit.total(),
-        friends: observation.friends().to_vec(),
-        cautious_friends: benefit.cautious_friend_count(),
-        faults: summary,
-    }
+    outcome.total_benefit = benefit.total();
+    outcome.friends.clear();
+    outcome.friends.extend_from_slice(observation.friends());
+    outcome.cautious_friends = benefit.cautious_friend_count();
+    outcome.faults = summary;
 }
 
 /// Runs `policy` under *model mismatch*: the policy sees the `believed`

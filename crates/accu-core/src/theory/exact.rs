@@ -61,9 +61,9 @@ pub fn enumerate_realizations(instance: &AccuInstance) -> Result<RealizationEnse
     // (representative draw, mass) pairs.
     let user_bands: Vec<Vec<(f64, f64)>> = (0..g.node_count())
         .map(|i| {
-            let cuts = Realization::acceptance_cuts(instance, NodeId::from(i));
+            let cuts = instance.acceptance_cuts(NodeId::from(i));
             let mut bounds = vec![0.0f64];
-            bounds.extend(cuts);
+            bounds.extend_from_slice(cuts);
             bounds.push(1.0);
             bounds
                 .windows(2)

@@ -391,6 +391,7 @@ pub fn repair_instance(
         classes,
         benefits,
         cautious,
+        ..
     } = instance;
     let BenefitSchedule { friend, fof } = benefits;
     match repair_parts(graph, edge_prob, classes, friend, fof, mode) {
@@ -685,13 +686,13 @@ fn repair_parts(
         .map(|(i, _)| NodeId::from(i))
         .collect();
     Ok((
-        AccuInstance {
+        AccuInstance::from_parts(
             graph,
             edge_prob,
             classes,
-            benefits: BenefitSchedule { friend, fof },
+            BenefitSchedule { friend, fof },
             cautious,
-        },
+        ),
         report,
     ))
 }

@@ -48,8 +48,8 @@ pub mod telemetry;
 pub use checkpoint::Checkpoint;
 pub use cli::{Cli, CliError};
 pub use runner::{
-    run_policy, run_policy_checked, run_policy_recorded, runner_metrics, FigureRun, NetworkFailure,
-    PolicyKind, RunReport, RunnerError,
+    run_policy, run_policy_checked, run_policy_recorded, run_policy_tuned, runner_metrics,
+    FigureRun, NetworkFailure, PolicyKind, RunReport, RunnerError,
 };
 pub use scale::ExperimentScale;
 pub use telemetry::Telemetry;

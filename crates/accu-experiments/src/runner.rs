@@ -12,14 +12,16 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use accu_core::policy::{
     Abm, AbmWeights, CentralityKind, CentralityPolicy, MaxDegree, PageRankPolicy, Random, Snowball,
 };
 use accu_core::{
-    repair_instance, run_attack_faulted_recorded, validate_metrics, AccuError, FaultConfig,
-    FaultPlan, Policy, Realization, RetryPolicy, TraceAccumulator, ValidationMode, Violation,
+    engine_metrics, repair_instance, run_attack_episode, validate_metrics, AccuError, AccuInstance,
+    AttackOutcome, EpisodeScratch, FaultConfig, FaultPlan, Policy, RetryPolicy, TraceAccumulator,
+    ValidationMode, Violation,
 };
 use accu_telemetry::{CounterHandle, HistogramHandle, Recorder};
 use rand::rngs::StdRng;
@@ -178,6 +180,16 @@ impl PolicyKind {
             PolicyKind::Snowball,
         ]);
         lineup
+    }
+
+    /// Whether one network's episodes may be split into chunks served
+    /// by different workers: `true` when `reset` fully re-derives the
+    /// policy's state from the attacker view, so a fresh instance per
+    /// chunk behaves identically to one instance reused across the
+    /// whole network. Random and Snowball advance a per-network RNG
+    /// from episode to episode, so their networks run as one chunk.
+    pub fn chunkable(&self) -> bool {
+        !matches!(self, PolicyKind::Random | PolicyKind::Snowball)
     }
 
     /// The four algorithms compared in the paper's Fig. 2.
@@ -415,6 +427,29 @@ pub fn run_policy_checked(
     recorder: &Recorder,
     checkpoint: Option<&mut Checkpoint>,
 ) -> Result<RunReport, RunnerError> {
+    run_policy_tuned(figure, policy, recorder, checkpoint, None, None)
+}
+
+/// [`run_policy_checked`] with explicit scheduling knobs: `max_workers`
+/// caps the worker-thread count and `chunks_per_network` forces the
+/// episode-chunk granularity of the work queue (both default to the
+/// machine's available parallelism). Results are bit-identical across
+/// every knob setting — the knobs only change how work is scheduled —
+/// so this is primarily a benchmarking and testing seam. Non-chunkable
+/// policies (see [`PolicyKind::chunkable`]) always run whole networks
+/// as a single chunk regardless of the override.
+///
+/// # Errors
+///
+/// Exactly the error contract of [`run_policy_checked`].
+pub fn run_policy_tuned(
+    figure: &FigureRun,
+    policy: PolicyKind,
+    recorder: &Recorder,
+    checkpoint: Option<&mut Checkpoint>,
+    max_workers: Option<usize>,
+    chunks_per_network: Option<usize>,
+) -> Result<RunReport, RunnerError> {
     figure
         .faults
         .validate()
@@ -433,14 +468,39 @@ pub fn run_policy_checked(
             .counter(runner_metrics::RESUMED)
             .add(resumed.len() as u64);
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let threads = threads.min(figure.network_samples.max(1));
+    let base_threads = max_workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+    let chunks = if policy.chunkable() {
+        chunks_per_network
+            .unwrap_or(base_threads)
+            .clamp(1, figure.runs_per_network.max(1))
+    } else {
+        1
+    };
+    // The (network, episode-chunk) work queue over non-resumed
+    // networks. Chunks of one network are adjacent, so chunk 0 is
+    // always claimed first and its claimer initializes the shared
+    // per-network state; any later chunk claimed by a different worker
+    // is a steal.
+    let work: Vec<(usize, usize)> = (0..figure.network_samples)
+        .filter(|net| !resumed.contains_key(net))
+        .flat_map(|net| (0..chunks).map(move |c| (net, c)))
+        .collect();
+    // Spawn only as many workers as there are work items, and report
+    // the post-clamp count actually spawned.
+    let threads = base_threads.min(work.len());
     recorder
         .counter(runner_metrics::WORKERS)
         .add(threads as u64);
     let next = AtomicUsize::new(0);
+    let slots: Vec<NetworkSlot> = (0..figure.network_samples)
+        .map(|_| NetworkSlot::new())
+        .collect();
     // Workers append completed networks through this shared handle; a
     // failed append parks the error here and disables checkpointing for
     // the rest of the run.
@@ -455,51 +515,49 @@ pub fn run_policy_checked(
         for worker in 0..threads {
             let next = &next;
             let figure = &figure;
-            let resumed = &resumed;
+            let work = &work;
+            let slots = &slots;
             let cell = &cell;
             let ckpt_shared = &ckpt_shared;
             let ckpt_error = &ckpt_error;
             handles.push(scope.spawn(move || {
                 let tel = WorkerTelemetry::new(recorder, worker);
-                let mut done: Vec<(usize, TraceAccumulator)> = Vec::new();
-                let mut failures: Vec<NetworkFailure> = Vec::new();
-                let mut repaired = 0usize;
+                let etel = EngineTelemetry::new(recorder);
+                let mut scratch = EpisodeScratch::new();
+                let mut out = WorkerOutput::default();
                 loop {
-                    let net = next.fetch_add(1, Ordering::Relaxed);
-                    if net >= figure.network_samples {
+                    let item = next.fetch_add(1, Ordering::Relaxed);
+                    if item >= work.len() {
                         break;
                     }
-                    if resumed.contains_key(&net) {
-                        continue;
-                    }
-                    match run_network(figure, policy, net, recorder, &tel) {
-                        Ok((acc, was_repaired)) => {
-                            repaired += usize::from(was_repaired);
-                            let mut guard = ckpt_shared.lock().expect("checkpoint mutex poisoned");
-                            if let Some(ckpt) = guard.as_mut() {
-                                if let Err(e) = ckpt.record(cell, net, &acc) {
-                                    *ckpt_error.lock().expect("error mutex poisoned") = Some(e);
-                                    *guard = None;
-                                }
-                            }
-                            drop(guard);
-                            done.push((net, acc));
-                        }
-                        Err(failure) => {
-                            recorder.counter(runner_metrics::QUARANTINED).incr();
-                            failures.push(failure);
-                        }
-                    }
+                    let (net, chunk) = work[item];
+                    process_chunk(
+                        figure,
+                        policy,
+                        net,
+                        chunk,
+                        chunks,
+                        worker,
+                        &slots[net],
+                        recorder,
+                        &tel,
+                        &etel,
+                        &mut scratch,
+                        cell,
+                        ckpt_shared,
+                        ckpt_error,
+                        &mut out,
+                    );
                 }
-                (done, failures, repaired)
+                out
             }));
         }
         for (worker, h) in handles.into_iter().enumerate() {
             match h.join() {
-                Ok((done, failures, repaired)) => {
-                    fresh.extend(done);
-                    quarantined.extend(failures);
-                    repaired_networks += repaired;
+                Ok(out) => {
+                    fresh.extend(out.done);
+                    quarantined.extend(out.failures);
+                    repaired_networks += out.repaired;
                 }
                 Err(payload) => {
                     if panicked.is_none() {
@@ -570,28 +628,120 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs all repetitions on one sampled network, quarantining every
-/// failure mode: dataset and protocol errors become typed failures, a
-/// paper-precondition violation is rejected (Strict) or repaired
-/// (Lenient) per `figure.validation`, and a panic anywhere in the
-/// episode loop (policy or simulator) is caught and reported instead of
-/// poisoning the worker.
-///
-/// Returns the per-network aggregate plus whether the Lenient pass had
-/// to repair the instance (always `false` in Off and Strict modes).
-fn run_network(
+/// Per-worker handles for the episode-engine counters.
+struct EngineTelemetry {
+    scratch_reuses: CounterHandle,
+    scratch_allocs: CounterHandle,
+    steals: CounterHandle,
+    chunk_ns: HistogramHandle,
+}
+
+impl EngineTelemetry {
+    fn new(recorder: &Recorder) -> Self {
+        EngineTelemetry {
+            scratch_reuses: recorder.counter(engine_metrics::SCRATCH_REUSES),
+            scratch_allocs: recorder.counter(engine_metrics::SCRATCH_ALLOCS),
+            steals: recorder.counter(engine_metrics::STEALS),
+            chunk_ns: recorder.histogram(engine_metrics::CHUNK_NS),
+        }
+    }
+}
+
+/// What one worker brings home from the queue.
+#[derive(Default)]
+struct WorkerOutput {
+    done: Vec<(usize, TraceAccumulator)>,
+    failures: Vec<NetworkFailure>,
+    repaired: usize,
+}
+
+/// Immutable per-network state shared by that network's episode chunks.
+struct NetworkState {
+    instance: AccuInstance,
+    /// Episode seeds pre-drawn from the network stream in episode
+    /// order, so chunked scheduling reproduces the exact per-episode
+    /// RNG streams of sequential execution.
+    run_seeds: Vec<u64>,
+    policy_seed: u64,
+    was_repaired: bool,
+}
+
+/// Where a network is in its generate → run-chunks → fold lifecycle.
+enum SlotLifecycle {
+    /// No chunk of this network claimed yet.
+    Uninit,
+    /// A worker is generating the network; siblings wait on the
+    /// condvar.
+    Initializing,
+    /// Shared state ready for chunk execution.
+    Ready {
+        state: Arc<NetworkState>,
+        init_worker: usize,
+    },
+    /// Dataset / protocol / validation failed; the initializing chunk
+    /// already reported the quarantine and siblings skip silently.
+    Failed,
+    /// All chunks accounted and the instance memory released.
+    Retired,
+}
+
+/// Chunk bookkeeping for one network, folded by whichever worker
+/// completes the last chunk.
+struct SlotProgress {
+    started: Option<Instant>,
+    chunks_done: usize,
+    /// Episode outcomes in episode order; folded into the network's
+    /// accumulator sequentially at finalize so chunked and sequential
+    /// scheduling sum floats in the identical order.
+    outcomes: Vec<Option<AttackOutcome>>,
+    failure: Option<String>,
+}
+
+/// One entry of the per-network slot table.
+struct NetworkSlot {
+    lifecycle: Mutex<SlotLifecycle>,
+    ready: Condvar,
+    progress: Mutex<SlotProgress>,
+}
+
+impl NetworkSlot {
+    fn new() -> Self {
+        NetworkSlot {
+            lifecycle: Mutex::new(SlotLifecycle::Uninit),
+            ready: Condvar::new(),
+            progress: Mutex::new(SlotProgress {
+                started: None,
+                chunks_done: 0,
+                outcomes: Vec::new(),
+                failure: None,
+            }),
+        }
+    }
+}
+
+/// Contiguous balanced split of `runs` episodes into `chunks` chunks:
+/// chunk `c` covers episodes `[lo, hi)`.
+fn chunk_range(runs: usize, chunks: usize, c: usize) -> (usize, usize) {
+    let per = runs / chunks;
+    let rem = runs % chunks;
+    let lo = c * per + c.min(rem);
+    let hi = lo + per + usize::from(c < rem);
+    (lo, hi)
+}
+
+/// Generates, parameterizes, and (per `figure.validation`) repairs or
+/// rejects one sampled network, then pre-draws every episode seed from
+/// the network stream.
+fn init_network(
     figure: &FigureRun,
-    policy: PolicyKind,
     net_index: usize,
     recorder: &Recorder,
-    tel: &WorkerTelemetry,
-) -> Result<(TraceAccumulator, bool), NetworkFailure> {
+) -> Result<NetworkState, NetworkFailure> {
     let fail = |stage: &'static str, message: String| NetworkFailure {
         network: net_index,
         stage,
         message,
     };
-    let _net_span = tel.network_ns.span();
     // Derive a per-network stream so results do not depend on thread
     // scheduling.
     let mut net_rng = StdRng::seed_from_u64(
@@ -646,38 +796,190 @@ fn run_network(
     let policy_seed = figure
         .seed
         .wrapping_add((net_index as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    // Nothing else reads net_rng after validation, so drawing every
+    // episode seed up front is stream-identical to drawing them lazily
+    // inside a sequential episode loop.
+    let run_seeds: Vec<u64> = (0..figure.runs_per_network)
+        .map(|_| net_rng.gen())
+        .collect();
+    Ok(NetworkState {
+        instance,
+        run_seeds,
+        policy_seed,
+        was_repaired,
+    })
+}
+
+/// Claims one `(network, chunk)` work item: initializes (or waits for)
+/// the network's shared state, runs the chunk's episodes through the
+/// worker's [`EpisodeScratch`], and — when this was the network's last
+/// outstanding chunk — folds the outcomes in episode order,
+/// checkpoints, and retires the slot. Dataset/protocol/validation
+/// failures quarantine via the initializing chunk; an episode-loop
+/// panic quarantines the network at finalize.
+#[allow(clippy::too_many_arguments)]
+fn process_chunk(
+    figure: &FigureRun,
+    policy: PolicyKind,
+    net: usize,
+    chunk: usize,
+    chunks_per_network: usize,
+    worker: usize,
+    slot: &NetworkSlot,
+    recorder: &Recorder,
+    tel: &WorkerTelemetry,
+    etel: &EngineTelemetry,
+    scratch: &mut EpisodeScratch,
+    cell: &str,
+    ckpt_shared: &Mutex<Option<&mut Checkpoint>>,
+    ckpt_error: &Mutex<Option<std::io::Error>>,
+    out: &mut WorkerOutput,
+) {
+    let state: Arc<NetworkState> = {
+        let mut lc = slot.lifecycle.lock().expect("slot mutex poisoned");
+        loop {
+            match &*lc {
+                SlotLifecycle::Uninit => {
+                    *lc = SlotLifecycle::Initializing;
+                    drop(lc);
+                    let started = Instant::now();
+                    slot.progress
+                        .lock()
+                        .expect("progress mutex poisoned")
+                        .started = Some(started);
+                    let built = init_network(figure, net, recorder);
+                    lc = slot.lifecycle.lock().expect("slot mutex poisoned");
+                    match built {
+                        Ok(state) => {
+                            let state = Arc::new(state);
+                            *lc = SlotLifecycle::Ready {
+                                state: Arc::clone(&state),
+                                init_worker: worker,
+                            };
+                            slot.ready.notify_all();
+                            break state;
+                        }
+                        Err(failure) => {
+                            *lc = SlotLifecycle::Failed;
+                            slot.ready.notify_all();
+                            drop(lc);
+                            // Exactly-once reporting: only the
+                            // initializing chunk lands here.
+                            recorder.counter(runner_metrics::QUARANTINED).incr();
+                            tel.network_ns.record(started.elapsed().as_nanos() as u64);
+                            out.failures.push(failure);
+                            return;
+                        }
+                    }
+                }
+                SlotLifecycle::Initializing => {
+                    lc = slot.ready.wait(lc).expect("slot mutex poisoned");
+                }
+                SlotLifecycle::Ready { state, init_worker } => {
+                    if *init_worker != worker {
+                        etel.steals.incr();
+                    }
+                    break Arc::clone(state);
+                }
+                SlotLifecycle::Failed => return,
+                SlotLifecycle::Retired => unreachable!("chunk claimed after network retired"),
+            }
+        }
+    };
+    let (lo, hi) = chunk_range(figure.runs_per_network, chunks_per_network, chunk);
+    let chunk_span = etel.chunk_ns.span();
     let episodes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut policy_impl = policy.instantiate_recorded(policy_seed, recorder);
-        let mut acc = TraceAccumulator::new(figure.budget);
-        for _ in 0..figure.runs_per_network {
-            let run_seed: u64 = net_rng.gen();
+        let mut policy_impl = policy.instantiate_recorded(state.policy_seed, recorder);
+        let mut outcomes: Vec<AttackOutcome> = Vec::with_capacity(hi - lo);
+        for ep in lo..hi {
+            let run_seed = state.run_seeds[ep];
             let mut run_rng = StdRng::seed_from_u64(run_seed);
-            let realization = Realization::sample(&instance, &mut run_rng);
+            if scratch.prepare(&state.instance) {
+                etel.scratch_reuses.incr();
+            } else {
+                etel.scratch_allocs.incr();
+            }
+            scratch
+                .realization
+                .sample_into(&state.instance, &mut run_rng);
             // The plan is seeded by the episode, not the policy, so
             // paired comparisons face identical fault sequences; it is
             // trivial (and free) when figure.faults is none.
             let plan = FaultPlan::sample(&figure.faults, run_seed, figure.budget);
-            let outcome = run_attack_faulted_recorded(
-                &instance,
-                &realization,
+            let outcome = run_attack_episode(
+                &state.instance,
                 policy_impl.as_mut(),
                 figure.budget,
                 &plan,
                 &figure.retry,
                 recorder,
+                scratch,
             );
-            acc.add(&outcome);
+            outcomes.push(outcome.clone());
             tel.episodes.incr();
             tel.worker_episodes.incr();
         }
-        acc
+        outcomes
     }));
+    chunk_span.finish();
+    let mut progress = slot.progress.lock().expect("progress mutex poisoned");
     match episodes {
-        Ok(acc) => {
-            tel.networks.incr();
-            Ok((acc, was_repaired))
+        Ok(outcomes) => {
+            if progress.outcomes.is_empty() {
+                progress.outcomes = vec![None; figure.runs_per_network];
+            }
+            for (offset, outcome) in outcomes.into_iter().enumerate() {
+                progress.outcomes[lo + offset] = Some(outcome);
+            }
         }
-        Err(payload) => Err(fail("episodes", panic_message(payload.as_ref()))),
+        Err(payload) => {
+            if progress.failure.is_none() {
+                progress.failure = Some(panic_message(payload.as_ref()));
+            }
+        }
+    }
+    progress.chunks_done += 1;
+    if progress.chunks_done < chunks_per_network {
+        return;
+    }
+    let outcomes = std::mem::take(&mut progress.outcomes);
+    let failure = progress.failure.take();
+    let started = progress.started.take();
+    drop(progress);
+    // Last chunk: release the instance memory and account the network.
+    *slot.lifecycle.lock().expect("slot mutex poisoned") = SlotLifecycle::Retired;
+    if let Some(started) = started {
+        tel.network_ns.record(started.elapsed().as_nanos() as u64);
+    }
+    match failure {
+        Some(message) => {
+            recorder.counter(runner_metrics::QUARANTINED).incr();
+            out.failures.push(NetworkFailure {
+                network: net,
+                stage: "episodes",
+                message,
+            });
+        }
+        None => {
+            let mut acc = TraceAccumulator::new(figure.budget);
+            for outcome in &outcomes {
+                let outcome = outcome
+                    .as_ref()
+                    .expect("every episode of a clean network is accounted");
+                acc.add(outcome);
+            }
+            tel.networks.incr();
+            let mut guard = ckpt_shared.lock().expect("checkpoint mutex poisoned");
+            if let Some(ckpt) = guard.as_mut() {
+                if let Err(e) = ckpt.record(cell, net, &acc) {
+                    *ckpt_error.lock().expect("error mutex poisoned") = Some(e);
+                    *guard = None;
+                }
+            }
+            drop(guard);
+            out.repaired += usize::from(state.was_repaired);
+            out.done.push((net, acc));
+        }
     }
 }
 
@@ -1083,6 +1385,129 @@ mod tests {
             ..fig.clone()
         };
         assert_ne!(a, faulty.cell_label(PolicyKind::abm_balanced()));
+    }
+
+    #[test]
+    fn chunk_ranges_partition_episodes() {
+        for runs in [0usize, 1, 2, 5, 7, 30] {
+            for chunks in 1..=7usize {
+                let mut expect = 0usize;
+                for c in 0..chunks {
+                    let (lo, hi) = chunk_range(runs, chunks, c);
+                    assert_eq!(lo, expect, "runs={runs} chunks={chunks} c={c}");
+                    assert!(hi >= lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, runs, "runs={runs} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_scheduling_is_bit_identical_to_sequential() {
+        let fig = FigureRun {
+            runs_per_network: 4,
+            ..tiny_figure()
+        };
+        for policy in [
+            PolicyKind::abm_balanced(),
+            PolicyKind::Greedy,
+            PolicyKind::MaxDegree,
+            PolicyKind::PageRank,
+            PolicyKind::Centrality(CentralityKind::Closeness),
+            // Non-chunkable: the override must be ignored, not obeyed.
+            PolicyKind::Random,
+            PolicyKind::Snowball,
+        ] {
+            let sequential =
+                run_policy_tuned(&fig, policy, &Recorder::disabled(), None, Some(1), Some(1))
+                    .unwrap();
+            let chunked =
+                run_policy_tuned(&fig, policy, &Recorder::disabled(), None, Some(2), Some(3))
+                    .unwrap();
+            assert_eq!(
+                sequential.accumulator,
+                chunked.accumulator,
+                "{} must not depend on chunking",
+                policy.name()
+            );
+            assert_eq!(chunked.completed_networks, fig.network_samples);
+        }
+    }
+
+    #[test]
+    fn chunked_scheduling_matches_default_entry_point() {
+        let fig = FigureRun {
+            runs_per_network: 5,
+            ..tiny_figure()
+        };
+        let reference = run_policy(&fig, PolicyKind::abm_balanced());
+        let chunked = run_policy_tuned(
+            &fig,
+            PolicyKind::abm_balanced(),
+            &Recorder::disabled(),
+            None,
+            Some(4),
+            Some(4),
+        )
+        .unwrap();
+        assert_eq!(reference, chunked.accumulator);
+    }
+
+    #[test]
+    fn engine_counters_account_every_episode_and_chunk() {
+        let fig = FigureRun {
+            runs_per_network: 4,
+            ..tiny_figure()
+        };
+        let chunks = 2usize;
+        let recorder = Recorder::enabled();
+        let report = run_policy_tuned(
+            &fig,
+            PolicyKind::abm_balanced(),
+            &recorder,
+            None,
+            Some(2),
+            Some(chunks),
+        )
+        .unwrap();
+        assert!(report.quarantined.is_empty());
+        let snap = recorder.snapshot("engine").unwrap();
+        let episodes = fig.episodes() as u64;
+        let reuses = snap.counter(engine_metrics::SCRATCH_REUSES).unwrap_or(0);
+        let allocs = snap.counter(engine_metrics::SCRATCH_ALLOCS).unwrap();
+        // Every episode prepares the scratch exactly once; a worker
+        // only allocates when its high-water instance size grows, so at
+        // worst once per (worker, network) pair.
+        assert_eq!(reuses + allocs, episodes);
+        let worst = (2 * fig.network_samples) as u64;
+        assert!(allocs >= 1 && allocs <= worst, "allocs = {allocs}");
+        // Steals are scheduling-dependent but the counter must exist
+        // and stay within the number of non-initializing chunks.
+        let steals = snap.counter(engine_metrics::STEALS).unwrap_or(0);
+        let total_chunks = (fig.network_samples * chunks) as u64;
+        assert!(steals <= total_chunks - fig.network_samples as u64);
+        // One timing sample per claimed chunk on a clean run.
+        let chunk_ns = snap.histogram(engine_metrics::CHUNK_NS).unwrap();
+        assert_eq!(chunk_ns.count, total_chunks);
+    }
+
+    #[test]
+    fn workers_counter_reports_post_clamp_spawned_count() {
+        let fig = tiny_figure(); // 3 networks
+        let recorder = Recorder::enabled();
+        // 8 requested workers, 3 single-chunk work items → 3 spawned.
+        run_policy_tuned(
+            &fig,
+            PolicyKind::MaxDegree,
+            &recorder,
+            None,
+            Some(8),
+            Some(1),
+        )
+        .unwrap();
+        let snap = recorder.snapshot("workers").unwrap();
+        assert_eq!(snap.counter(runner_metrics::WORKERS), Some(3));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Property tests pinning the scratch-reuse episode engine to the
+//! allocating reference path: same seeds, same instances, same faults —
+//! bit-identical outcomes, at both the single-episode and the
+//! whole-figure level.
+
+use accu_core::{
+    run_attack_episode, run_attack_faulted, EpisodeScratch, FaultConfig, FaultPlan, Realization,
+    RetryPolicy, ValidationMode,
+};
+use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
+use accu_experiments::{run_policy, run_policy_tuned, FigureRun, PolicyKind};
+use accu_telemetry::Recorder;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_figure(seed: u64, intensity: f64, validation: ValidationMode) -> FigureRun {
+    FigureRun {
+        dataset: DatasetSpec::facebook().scaled(0.02), // 80 nodes
+        protocol: ProtocolConfig {
+            cautious_count: 2,
+            degree_band: (5, 80),
+            ..ProtocolConfig::default()
+        },
+        budget: 12,
+        network_samples: 3,
+        runs_per_network: 4,
+        seed,
+        faults: FaultConfig::scaled(intensity),
+        retry: RetryPolicy::standard(),
+        validation,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One `EpisodeScratch` + one policy instance reused across many
+    /// episodes must reproduce the allocating path (fresh realization,
+    /// fresh policy, fresh buffers) request-for-request, including the
+    /// fault trace.
+    #[test]
+    fn scratch_engine_episodes_match_allocating_path(
+        seed in 0u64..1_000,
+        intensity in 0.0f64..0.6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = DatasetSpec::facebook()
+            .scaled(0.02)
+            .generate(&mut rng)
+            .expect("generation");
+        let instance = apply_protocol(
+            graph,
+            &ProtocolConfig {
+                cautious_count: 2,
+                degree_band: (5, 80),
+                ..ProtocolConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("protocol");
+        let k = 12;
+        let faults = FaultConfig::scaled(intensity);
+        let retry = RetryPolicy::standard();
+        let recorder = Recorder::disabled();
+
+        for policy_kind in PolicyKind::extended_lineup() {
+            let mut scratch = EpisodeScratch::new();
+            // Two identical policy instances fed the same episode
+            // sequence: stateful policies (Random, Snowball) advance
+            // their RNG across episodes, so the reference must reuse
+            // its instance exactly like the engine does.
+            let mut reused = policy_kind.instantiate(seed ^ 0xA5A5);
+            let mut reference_policy = policy_kind.instantiate(seed ^ 0xA5A5);
+            let mut fresh_seed_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+            for episode in 0..4 {
+                let run_seed: u64 = fresh_seed_rng.gen();
+                let plan = FaultPlan::sample(&faults, run_seed, k);
+
+                // Allocating reference: fresh realization and buffers.
+                let reference_real =
+                    Realization::sample(&instance, &mut StdRng::seed_from_u64(run_seed));
+                let reference = run_attack_faulted(
+                    &instance,
+                    &reference_real,
+                    reference_policy.as_mut(),
+                    k,
+                    &plan,
+                    &retry,
+                );
+
+                // Scratch engine: shared buffers, shared policy.
+                scratch.prepare(&instance);
+                scratch
+                    .realization
+                    .sample_into(&instance, &mut StdRng::seed_from_u64(run_seed));
+                let outcome = run_attack_episode(
+                    &instance,
+                    reused.as_mut(),
+                    k,
+                    &plan,
+                    &retry,
+                    &recorder,
+                    &mut scratch,
+                );
+
+                prop_assert_eq!(
+                    outcome,
+                    &reference,
+                    "policy {} episode {} diverged",
+                    policy_kind.name(),
+                    episode
+                );
+            }
+        }
+    }
+
+    /// The chunked work-queue scheduler must aggregate to exactly the
+    /// sequential result for every policy in the extended lineup, under
+    /// faults and under both validation modes the figures ship with.
+    #[test]
+    fn chunked_runner_matches_sequential_runner(
+        seed in 0u64..1_000,
+        intensity in 0.0f64..0.5,
+        validate_off in any::<bool>(),
+    ) {
+        let validation = if validate_off {
+            ValidationMode::Off
+        } else {
+            ValidationMode::default()
+        };
+        let fig = small_figure(seed, intensity, validation);
+        for policy_kind in PolicyKind::extended_lineup() {
+            let sequential = run_policy(&fig, policy_kind);
+            let chunked = run_policy_tuned(
+                &fig,
+                policy_kind,
+                &Recorder::disabled(),
+                None,
+                Some(3),
+                Some(4),
+            )
+            .expect("chunked run");
+            prop_assert_eq!(
+                &sequential,
+                &chunked.accumulator,
+                "policy {} diverged under chunked scheduling",
+                policy_kind.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Steady-state episodes through the scratch engine must not allocate.
+//!
+//! The counting allocator lives here rather than in `accu-bench`'s
+//! library (which is `#![forbid(unsafe_code)]`); an integration test is
+//! its own crate, so the `GlobalAlloc` impl stays quarantined to the
+//! test binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use accu_core::policy::{Abm, AbmWeights};
+use accu_core::{
+    run_attack_episode, AccuInstanceBuilder, EpisodeScratch, FaultPlan, RetryPolicy, UserClass,
+};
+use accu_telemetry::Recorder;
+use osn_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_episodes_allocate_nothing() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let g = osn_graph::generators::barabasi_albert(120, 4, &mut rng).unwrap();
+    let mut b = AccuInstanceBuilder::new(g);
+    for i in 0..120u32 {
+        if i % 9 == 2 {
+            b = b.user_class(NodeId::new(i), UserClass::cautious(2));
+        }
+    }
+    let instance = b.build().unwrap();
+
+    let mut scratch = EpisodeScratch::new();
+    let mut policy = Abm::new(AbmWeights::balanced());
+    let plan = FaultPlan::none();
+    let retry = RetryPolicy::give_up();
+    let recorder = Recorder::disabled();
+    let k = 30;
+
+    let episode = |scratch: &mut EpisodeScratch, policy: &mut Abm, seed: u64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        scratch.prepare(&instance);
+        scratch.realization.sample_into(&instance, &mut rng);
+        run_attack_episode(&instance, policy, k, &plan, &retry, &recorder, scratch).total_benefit
+    };
+
+    // Warm pass: grow every buffer and per-instance cache to final size.
+    let mut seed_rng = StdRng::seed_from_u64(77);
+    let warm_seeds: Vec<u64> = (0..20).map(|_| seed_rng.gen()).collect();
+    let mut warm_total = 0.0;
+    for &s in &warm_seeds {
+        warm_total += episode(&mut scratch, &mut policy, s);
+    }
+
+    // Measured pass: identical seeds, so buffer high-water marks cannot
+    // move — any allocation here is an engine regression.
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let mut measured_total = 0.0;
+    for &s in &warm_seeds {
+        measured_total += episode(&mut scratch, &mut policy, s);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        warm_total.to_bits(),
+        measured_total.to_bits(),
+        "identical seeds must reproduce identical totals"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady-state scratch episodes must not touch the heap"
+    );
+}
