@@ -96,8 +96,8 @@ pub use validate::{
 };
 
 pub use simulator::{
-    resolve_acceptance, run_attack, run_attack_episode, run_attack_faulted,
-    run_attack_faulted_recorded, run_attack_recorded, run_attack_with_beliefs,
+    resolve_acceptance, run_attack, run_attack_episode, run_attack_episode_traced,
+    run_attack_faulted, run_attack_faulted_recorded, run_attack_recorded, run_attack_with_beliefs,
     run_attack_with_beliefs_faulted_recorded, run_attack_with_beliefs_recorded, sim_metrics,
     AttackOutcome, RequestRecord,
 };

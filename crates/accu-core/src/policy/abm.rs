@@ -3,7 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use accu_telemetry::{CounterHandle, Recorder};
+use accu_telemetry::{CounterHandle, Recorder, TraceTrack, TraceValue};
 use osn_graph::NodeId;
 
 use crate::{AttackerView, Policy};
@@ -177,6 +177,8 @@ pub struct Abm {
     potential: Vec<f64>,
     heap: BinaryHeap<HeapEntry>,
     tel: AbmTelemetry,
+    /// Decision-trace emission handle; a no-op until [`Abm::attach_tracer`].
+    trace: TraceTrack,
     /// Scratch buffer for the dirty set rebuilt on every observation;
     /// reused so steady-state episodes never allocate here.
     dirty: Vec<NodeId>,
@@ -209,6 +211,7 @@ impl Abm {
             potential: Vec::new(),
             heap: BinaryHeap::new(),
             tel: AbmTelemetry::default(),
+            trace: TraceTrack::disabled(),
             dirty: Vec::new(),
             init_cache: None,
         }
@@ -228,6 +231,16 @@ impl Abm {
     /// handles.
     pub fn attach_recorder(&mut self, recorder: &Recorder) {
         self.tel = AbmTelemetry::new(recorder);
+    }
+
+    /// Attaches a trace track: while the track's sampling gate is open,
+    /// every `select` emits a `decide` instant with the full potential
+    /// breakdown (`q`, `P_D`, `P_I`, the weights, the runner-up and the
+    /// margin, plus the lazy-heap pop/skip counts for the step) and
+    /// every `observe` emits an `abm_observe` instant with the dirty-set
+    /// size. Attaching a disabled track restores the zero-cost no-op.
+    pub fn attach_tracer(&mut self, track: &TraceTrack) {
+        self.trace = track.clone();
     }
 
     /// The configured weights.
@@ -258,6 +271,76 @@ impl Abm {
             self.tel.heap_push.incr();
         }
     }
+
+    /// Emits the `decide` trace instant for a fresh pop: the potential
+    /// breakdown of the picked node, the exact runner-up (a scan of the
+    /// potential cache — the heap top may be stale, so peeking it would
+    /// over-report), the margin between them, and the step's lazy-heap
+    /// skip counts. Only called while the track's gate is open, so the
+    /// untraced select path pays one relaxed load and nothing else.
+    fn emit_decide(
+        &self,
+        view: &AttackerView<'_>,
+        entry: HeapEntry,
+        stale_skips: u64,
+        requested_skips: u64,
+    ) {
+        let (q, p_d, p_i) = potential_parts(view, entry.node, self.weights);
+        let mut runner_up: Option<HeapEntry> = None;
+        for u in view.candidates() {
+            if u == entry.node {
+                continue;
+            }
+            let candidate = HeapEntry {
+                potential: self.potential[u.index()],
+                node: u,
+            };
+            if runner_up.as_ref().is_none_or(|best| candidate > *best) {
+                runner_up = Some(candidate);
+            }
+        }
+        self.trace.instant(
+            "decide",
+            &[
+                ("picked", TraceValue::U64(entry.node.index() as u64)),
+                ("potential", TraceValue::F64(entry.potential)),
+                ("q", TraceValue::F64(q)),
+                ("p_d", TraceValue::F64(p_d)),
+                ("p_i", TraceValue::F64(p_i)),
+                ("w_d", TraceValue::F64(self.weights.direct())),
+                ("w_i", TraceValue::F64(self.weights.indirect())),
+                (
+                    "runner_up",
+                    match &runner_up {
+                        Some(r) => TraceValue::I64(r.node.index() as i64),
+                        None => TraceValue::I64(-1),
+                    },
+                ),
+                (
+                    "margin",
+                    match &runner_up {
+                        Some(r) => TraceValue::F64(entry.potential - r.potential),
+                        None => TraceValue::F64(entry.potential),
+                    },
+                ),
+                ("stale_skips", TraceValue::U64(stale_skips)),
+                ("requested_skips", TraceValue::U64(requested_skips)),
+            ],
+        );
+    }
+
+    /// Emits the `abm_observe` trace instant: how large the incremental
+    /// dirty set was for this observation (the nodes actually rescored).
+    fn emit_observe(&self, target: NodeId, accepted: bool, dirty: usize) {
+        self.trace.instant(
+            "abm_observe",
+            &[
+                ("target", TraceValue::U64(target.index() as u64)),
+                ("accepted", TraceValue::Bool(accepted)),
+                ("dirty", TraceValue::U64(dirty as u64)),
+            ],
+        );
+    }
 }
 
 /// Evaluates the ABM potential of candidate `u`.
@@ -270,12 +353,25 @@ impl Abm {
 /// the same floating-point sums, in the same order, as the historical
 /// single fused loop.
 fn potential(view: &AttackerView<'_>, u: NodeId, w: AbmWeights) -> f64 {
+    let (q, direct, indirect) = potential_parts(view, u, w);
+    if q == 0.0 {
+        return 0.0;
+    }
+    q * (w.direct() * direct + w.indirect() * indirect)
+}
+
+/// The factors of the ABM potential, `(q, P_D, P_I)`, before the
+/// weighted combination — what the `decide` trace event reports.
+/// `(0, 0, 0)` when the acceptance belief is zero (the terms are never
+/// evaluated, mirroring [`potential`]'s early exit, so the combined
+/// value is bit-identical to the historical fused computation).
+fn potential_parts(view: &AttackerView<'_>, u: NodeId, w: AbmWeights) -> (f64, f64, f64) {
     let obs = view.observation();
     let inst = view.instance();
     let benefits = inst.benefits();
     let q = view.acceptance_belief(u);
     if q == 0.0 {
-        return 0.0;
+        return (0.0, 0.0, 0.0);
     }
     let mut direct = benefits.friend(u)
         - if obs.is_friend_of_friend(u) {
@@ -317,7 +413,7 @@ fn potential(view: &AttackerView<'_>, u: NodeId, w: AbmWeights) -> f64 {
             }
         }
     }
-    q * (w.direct() * direct + w.indirect() * indirect)
+    (q, direct, indirect)
 }
 
 impl Policy for Abm {
@@ -376,17 +472,24 @@ impl Policy for Abm {
 
     fn select(&mut self, view: &AttackerView<'_>) -> Option<NodeId> {
         let obs = view.observation();
+        let mut stale_skips = 0u64;
+        let mut requested_skips = 0u64;
         while let Some(entry) = self.heap.pop() {
             self.tel.heap_pop.incr();
             if obs.was_requested(entry.node) {
                 self.tel.requested_skip.incr();
+                requested_skips += 1;
                 continue; // no longer a candidate
             }
             if entry.potential != self.potential[entry.node.index()] {
                 self.tel.stale_skip.incr();
+                stale_skips += 1;
                 continue; // stale entry; a fresher one is in the heap
             }
             self.tel.selects.incr();
+            if self.trace.is_active() {
+                self.emit_decide(view, entry, stale_skips, requested_skips);
+            }
             return Some(entry.node);
         }
         None
@@ -413,6 +516,9 @@ impl Policy for Abm {
                 for &node in &dirty {
                     self.rescore(view, node);
                 }
+            }
+            if self.trace.is_active() {
+                self.emit_observe(target, accepted, dirty.len());
             }
             self.dirty = dirty;
             return;
@@ -447,6 +553,9 @@ impl Policy for Abm {
         dirty.dedup();
         for &node in &dirty {
             self.rescore(view, node);
+        }
+        if self.trace.is_active() {
+            self.emit_observe(target, accepted, dirty.len());
         }
         self.dirty = dirty;
     }

@@ -12,7 +12,7 @@
 //! windows and account suspension — while keeping the zero-fault path
 //! bit-for-bit identical to the plain simulator.
 
-use accu_telemetry::{CounterHandle, HistogramHandle, Recorder};
+use accu_telemetry::{CounterHandle, HistogramHandle, Recorder, TraceTrack, TraceValue};
 use osn_graph::NodeId;
 
 use crate::fault::{fault_metrics, FaultPlan, FaultSummary, RetryPolicy};
@@ -336,7 +336,46 @@ pub fn run_attack_episode<'s>(
     recorder: &Recorder,
     scratch: &'s mut EpisodeScratch,
 ) -> &'s AttackOutcome {
-    attack_core_into(
+    run_attack_episode_traced(
+        instance,
+        policy,
+        k,
+        plan,
+        retry,
+        recorder,
+        &TraceTrack::disabled(),
+        scratch,
+    )
+}
+
+/// [`run_attack_episode`] additionally emitting per-request trace
+/// events into `track` when its sampling gate is open:
+///
+/// * `request{step, target, cautious, theta, mutual, accepted, faulted,
+///   gain, cum_benefit}` after every resolved or written-off request;
+/// * `cautious_progress{node, mutual, theta}` for each threshold-gated
+///   user whose observed mutual-friend count an acceptance just bumped.
+///
+/// With a disabled (or gated-off) track this is exactly
+/// [`run_attack_episode`]: the guard is a branch on `None` plus one
+/// relaxed atomic load, with no allocation — the zero-alloc episode
+/// invariant holds (asserted by the `zero_alloc` bench test).
+///
+/// # Panics
+///
+/// Panics if the policy selects an already-requested node.
+#[allow(clippy::too_many_arguments)]
+pub fn run_attack_episode_traced<'s>(
+    instance: &AccuInstance,
+    policy: &mut dyn Policy,
+    k: usize,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    recorder: &Recorder,
+    track: &TraceTrack,
+    scratch: &'s mut EpisodeScratch,
+) -> &'s AttackOutcome {
+    attack_core_traced(
         instance,
         instance,
         &scratch.realization,
@@ -345,6 +384,7 @@ pub fn run_attack_episode<'s>(
         plan,
         retry,
         recorder,
+        track,
         &mut scratch.sim,
     );
     &scratch.sim.outcome
@@ -370,7 +410,7 @@ fn attack_core(
     recorder: &Recorder,
 ) -> AttackOutcome {
     let mut sim = SimScratch::new();
-    attack_core_into(
+    attack_core_traced(
         truth,
         believed,
         realization,
@@ -379,15 +419,17 @@ fn attack_core(
         faults,
         retry,
         recorder,
+        &TraceTrack::disabled(),
         &mut sim,
     );
     sim.outcome
 }
 
-/// [`attack_core`] writing every episode artifact into `scratch`
-/// in place instead of allocating.
+/// [`attack_core`] writing every episode artifact into `scratch` in
+/// place instead of allocating, and emitting per-request trace events
+/// into `track` when its sampling gate is open.
 #[allow(clippy::too_many_arguments)]
-fn attack_core_into(
+fn attack_core_traced(
     truth: &AccuInstance,
     believed: &AccuInstance,
     realization: &Realization,
@@ -396,6 +438,7 @@ fn attack_core_into(
     faults: &FaultPlan,
     retry: &RetryPolicy,
     recorder: &Recorder,
+    track: &TraceTrack,
     scratch: &mut SimScratch,
 ) {
     let tel = SimTelemetry::new(recorder);
@@ -524,6 +567,52 @@ fn attack_core_into(
             gain,
             cumulative_benefit: benefit.total(),
         });
+        // Causal trace: one `request` instant per record (the payload
+        // carries the exact cumulative benefit, so a replayer can
+        // reconstruct the episode's total bit-for-bit), plus a
+        // `cautious_progress` instant for every threshold-gated user an
+        // acceptance just moved closer to its threshold. Guarded so the
+        // untraced path does no extra work at all.
+        if track.is_active() {
+            track.instant(
+                "request",
+                &[
+                    ("step", TraceValue::U64((trace.len() - 1) as u64)),
+                    ("target", TraceValue::U64(target.index() as u64)),
+                    ("cautious", TraceValue::Bool(cautious)),
+                    (
+                        "theta",
+                        match truth.threshold(target) {
+                            Some(theta) => TraceValue::I64(i64::from(theta)),
+                            None => TraceValue::I64(-1),
+                        },
+                    ),
+                    (
+                        "mutual",
+                        TraceValue::U64(u64::from(observation.mutual_friends(target))),
+                    ),
+                    ("accepted", TraceValue::Bool(accepted)),
+                    ("faulted", TraceValue::Bool(faulted)),
+                    ("gain", TraceValue::F64(gain.total())),
+                    ("cum_benefit", TraceValue::F64(benefit.total())),
+                ],
+            );
+            for &v in revealed.iter() {
+                if let Some(theta) = truth.threshold(v) {
+                    track.instant(
+                        "cautious_progress",
+                        &[
+                            ("node", TraceValue::U64(v.index() as u64)),
+                            (
+                                "mutual",
+                                TraceValue::U64(u64::from(observation.mutual_friends(v))),
+                            ),
+                            ("theta", TraceValue::U64(u64::from(theta))),
+                        ],
+                    );
+                }
+            }
+        }
         {
             let _span = tel.notify_ns.span();
             policy.observe(

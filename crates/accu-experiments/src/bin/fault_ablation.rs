@@ -15,7 +15,7 @@ use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::chart::Chart;
 use accu_experiments::output::series_table;
 use accu_experiments::{
-    run_policy_checked, Checkpoint, Cli, ExperimentScale, FigureRun, PolicyKind, Telemetry,
+    run_policy_traced, Checkpoint, Cli, ExperimentScale, FigureRun, PolicyKind, Telemetry,
 };
 
 /// The swept fault intensities.
@@ -53,11 +53,17 @@ fn main() {
             ..base.clone()
         };
         for (i, &policy) in lineup.iter().enumerate() {
-            let report = run_policy_checked(&figure, policy, tel.recorder(), checkpoint.as_mut())
-                .unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
-                });
+            let report = run_policy_traced(
+                &figure,
+                policy,
+                tel.recorder(),
+                tel.tracer(),
+                checkpoint.as_mut(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
             for failure in &report.quarantined {
                 eprintln!("runner: {failure}");
             }

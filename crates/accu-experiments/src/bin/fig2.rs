@@ -9,7 +9,7 @@ use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::chart::Chart;
 use accu_experiments::output::{downsample_indices, series_table};
 use accu_experiments::{
-    run_policy_checked, Checkpoint, Cli, ExperimentScale, PolicyKind, Telemetry,
+    run_policy_traced, Checkpoint, Cli, ExperimentScale, PolicyKind, Telemetry,
 };
 
 fn main() {
@@ -40,11 +40,17 @@ fn main() {
         println!("\n=== {} ===", figure.dataset);
         let mut series = Vec::new();
         for policy in PolicyKind::paper_lineup() {
-            let report = run_policy_checked(&figure, policy, tel.recorder(), checkpoint.as_mut())
-                .unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
-                });
+            let report = run_policy_traced(
+                &figure,
+                policy,
+                tel.recorder(),
+                tel.tracer(),
+                checkpoint.as_mut(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
             for failure in &report.quarantined {
                 eprintln!("runner: {failure}");
             }

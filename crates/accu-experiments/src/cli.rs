@@ -17,11 +17,66 @@
 //!   `off` skips validation entirely (pre-validation behavior);
 //! * `--checkpoint <path>` / `--resume` — append per-network progress
 //!   to a JSONL checkpoint and, with `--resume`, skip work the file
-//!   already covers.
+//!   already covers;
+//! * `--trace <path>[:sample=N]` — export a Perfetto-compatible trace
+//!   (and a JSONL causal log next to it), recording every `N`-th
+//!   episode in full detail (default every episode). An empty path
+//!   (`--trace :sample=10`) uses the default location under
+//!   `target/experiments/trace/`.
 
 use std::fmt;
 
 use accu_core::ValidationMode;
+
+/// Parsed `--trace` argument: where to write the trace and how densely
+/// to sample episodes.
+///
+/// Syntax: `<path>[:sample=N]`. The path may be empty (`:sample=10`),
+/// meaning "default location"; `N` must be ≥ 1 and defaults to 1
+/// (trace every episode).
+///
+/// # Examples
+///
+/// ```
+/// use accu_experiments::TraceSpec;
+/// let spec: TraceSpec = "run.json:sample=25".parse().unwrap();
+/// assert_eq!(spec.path.as_deref(), Some("run.json"));
+/// assert_eq!(spec.sample, 25);
+/// let spec: TraceSpec = "run.json".parse().unwrap();
+/// assert_eq!(spec.sample, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Output path for the Chrome-format trace (`None` = default
+    /// location under `target/experiments/trace/`).
+    pub path: Option<String>,
+    /// Episode sampling period: every `sample`-th episode is traced in
+    /// full detail (1 = all).
+    pub sample: u64,
+}
+
+impl std::str::FromStr for TraceSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (path, sample) = match s.rfind(":sample=") {
+            Some(at) => {
+                let n: u64 = s[at + ":sample=".len()..]
+                    .parse()
+                    .map_err(|_| "sample expects a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("sample must be at least 1".to_string());
+                }
+                (&s[..at], n)
+            }
+            None => (s, 1),
+        };
+        Ok(TraceSpec {
+            path: (!path.is_empty()).then(|| path.to_string()),
+            sample,
+        })
+    }
+}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +105,8 @@ pub struct Cli {
     pub checkpoint: Option<String>,
     /// Resume from the checkpoint instead of starting fresh.
     pub resume: bool,
+    /// Causal-trace export (`None` = tracing off).
+    pub trace: Option<TraceSpec>,
 }
 
 impl Default for Cli {
@@ -66,6 +123,7 @@ impl Default for Cli {
             validate: ValidationMode::default(),
             checkpoint: None,
             resume: false,
+            trace: None,
         }
     }
 }
@@ -93,7 +151,7 @@ impl Cli {
                 eprintln!(
                     "usage: [--paper] [--seed N] [--samples N] [--runs N] [--budget K] \
                      [--scale F] [--telemetry] [--faults F] [--validate strict|lenient|off] \
-                     [--checkpoint PATH] [--resume]"
+                     [--checkpoint PATH] [--resume] [--trace PATH[:sample=N]]"
                 );
                 std::process::exit(2);
             }
@@ -171,6 +229,13 @@ impl Cli {
                 }
                 "--checkpoint" => cli.checkpoint = Some(value("--checkpoint")?),
                 "--resume" => cli.resume = true,
+                "--trace" => {
+                    cli.trace = Some(
+                        value("--trace")?
+                            .parse()
+                            .map_err(|e: String| CliError(format!("--trace: {e}")))?,
+                    );
+                }
                 other => return Err(CliError(format!("unknown flag {other:?}"))),
             }
         }
@@ -256,6 +321,49 @@ mod tests {
         assert_eq!(cli.validate, ValidationMode::Off);
         assert!(Cli::parse_from(["--validate"]).is_err());
         assert!(Cli::parse_from(["--validate", "paranoid"]).is_err());
+    }
+
+    #[test]
+    fn parses_trace_specs() {
+        let cli = Cli::parse_from(Vec::<String>::new()).unwrap();
+        assert!(cli.trace.is_none());
+        let cli = Cli::parse_from(["--trace", "out/run.json"]).unwrap();
+        assert_eq!(
+            cli.trace,
+            Some(TraceSpec {
+                path: Some("out/run.json".into()),
+                sample: 1,
+            })
+        );
+        let cli = Cli::parse_from(["--trace", "out/run.json:sample=25"]).unwrap();
+        assert_eq!(
+            cli.trace,
+            Some(TraceSpec {
+                path: Some("out/run.json".into()),
+                sample: 25,
+            })
+        );
+        // Empty path = default location; sampling still applies.
+        let cli = Cli::parse_from(["--trace", ":sample=10"]).unwrap();
+        assert_eq!(
+            cli.trace,
+            Some(TraceSpec {
+                path: None,
+                sample: 10,
+            })
+        );
+        // Windows-style / colon-bearing paths parse as plain paths.
+        let spec: TraceSpec = "dir:with:colons/t.json".parse().unwrap();
+        assert_eq!(spec.path.as_deref(), Some("dir:with:colons/t.json"));
+        assert_eq!(spec.sample, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_trace_specs() {
+        assert!(Cli::parse_from(["--trace"]).is_err());
+        assert!(Cli::parse_from(["--trace", "x.json:sample=0"]).is_err());
+        assert!(Cli::parse_from(["--trace", "x.json:sample=abc"]).is_err());
+        assert!(Cli::parse_from(["--trace", "x.json:sample=-3"]).is_err());
     }
 
     #[test]

@@ -41,15 +41,17 @@ mod checkpoint;
 mod cli;
 pub mod heatmap;
 pub mod output;
+pub mod replay;
 mod runner;
 mod scale;
 pub mod telemetry;
 
 pub use checkpoint::Checkpoint;
-pub use cli::{Cli, CliError};
+pub use cli::{Cli, CliError, TraceSpec};
 pub use runner::{
-    run_policy, run_policy_checked, run_policy_recorded, run_policy_tuned, runner_metrics,
-    FigureRun, NetworkFailure, PolicyKind, RunReport, RunnerError,
+    run_policy, run_policy_checked, run_policy_observed, run_policy_recorded, run_policy_traced,
+    run_policy_tuned, runner_metrics, FigureRun, NetworkFailure, PolicyKind, RunReport,
+    RunnerError,
 };
 pub use scale::ExperimentScale;
 pub use telemetry::Telemetry;

@@ -19,11 +19,11 @@ use accu_core::policy::{
     Abm, AbmWeights, CentralityKind, CentralityPolicy, MaxDegree, PageRankPolicy, Random, Snowball,
 };
 use accu_core::{
-    engine_metrics, repair_instance, run_attack_episode, validate_metrics, AccuError, AccuInstance,
-    AttackOutcome, EpisodeScratch, FaultConfig, FaultPlan, Policy, RetryPolicy, TraceAccumulator,
-    ValidationMode, Violation,
+    engine_metrics, repair_instance, run_attack_episode_traced, validate_metrics, AccuError,
+    AccuInstance, AttackOutcome, EpisodeScratch, FaultConfig, FaultPlan, Policy, RetryPolicy,
+    TraceAccumulator, ValidationMode, Violation,
 };
-use accu_telemetry::{CounterHandle, HistogramHandle, Recorder};
+use accu_telemetry::{CounterHandle, HistogramHandle, Recorder, TraceTrack, TraceValue, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -151,13 +151,30 @@ impl PolicyKind {
     /// `recorder`. A disabled recorder makes this identical to
     /// [`PolicyKind::instantiate`].
     pub fn instantiate_recorded(&self, seed: u64, recorder: &Recorder) -> Box<dyn Policy + Send> {
+        self.instantiate_instrumented(seed, recorder, &TraceTrack::disabled())
+    }
+
+    /// Like [`PolicyKind::instantiate_recorded`], but heap-based
+    /// policies (ABM, Greedy) additionally emit per-decision trace
+    /// events (`decide`, `abm_observe`) onto `track` whenever its
+    /// sampling gate is open. A disabled track makes this identical to
+    /// [`PolicyKind::instantiate_recorded`].
+    pub fn instantiate_instrumented(
+        &self,
+        seed: u64,
+        recorder: &Recorder,
+        track: &TraceTrack,
+    ) -> Box<dyn Policy + Send> {
         match *self {
             PolicyKind::Abm { wd, wi } => {
-                Box::new(Abm::with_recorder(AbmWeights::new(wd, wi), recorder))
+                let mut abm = Abm::with_recorder(AbmWeights::new(wd, wi), recorder);
+                abm.attach_tracer(track);
+                Box::new(abm)
             }
             PolicyKind::Greedy => {
                 let mut greedy = accu_core::policy::pure_greedy();
                 greedy.attach_recorder(recorder);
+                greedy.attach_tracer(track);
                 Box::new(greedy)
             }
             PolicyKind::MaxDegree => Box::new(MaxDegree::new()),
@@ -385,7 +402,20 @@ pub fn run_policy_recorded(
     policy: PolicyKind,
     recorder: &Recorder,
 ) -> TraceAccumulator {
-    match run_policy_checked(figure, policy, recorder, None) {
+    run_policy_observed(figure, policy, recorder, &Tracer::disabled())
+}
+
+/// [`run_policy_recorded`] with causal tracing (see
+/// [`run_policy_traced`] for what gets recorded): the
+/// degrade-don't-abort entry point for figure binaries that thread a
+/// [`Telemetry`](crate::Telemetry) handle's tracer through.
+pub fn run_policy_observed(
+    figure: &FigureRun,
+    policy: PolicyKind,
+    recorder: &Recorder,
+    tracer: &Tracer,
+) -> TraceAccumulator {
+    match run_policy_inner(figure, policy, recorder, tracer, None, None, None) {
         Ok(report) => {
             for failure in &report.quarantined {
                 eprintln!("runner: {failure}");
@@ -430,6 +460,31 @@ pub fn run_policy_checked(
     run_policy_tuned(figure, policy, recorder, checkpoint, None, None)
 }
 
+/// [`run_policy_checked`] with causal tracing: every worker gets its own
+/// [`TraceTrack`] (one Perfetto thread track per worker), stage spans
+/// cover network load/validate, episode chunks, the fold, and
+/// checkpoint appends, and — on episodes selected by the tracer's
+/// sampling period — the simulator and policy emit per-request and
+/// per-decision events bracketed by `episode_begin`/`episode_end`.
+///
+/// Results are bit-identical to the untraced entry points for every
+/// tracer configuration: tracing only observes, never steers. A
+/// disabled tracer reduces this to [`run_policy_checked`] — the
+/// per-event cost is one branch on a `None`.
+///
+/// # Errors
+///
+/// Exactly the error contract of [`run_policy_checked`].
+pub fn run_policy_traced(
+    figure: &FigureRun,
+    policy: PolicyKind,
+    recorder: &Recorder,
+    tracer: &Tracer,
+    checkpoint: Option<&mut Checkpoint>,
+) -> Result<RunReport, RunnerError> {
+    run_policy_inner(figure, policy, recorder, tracer, checkpoint, None, None)
+}
+
 /// [`run_policy_checked`] with explicit scheduling knobs: `max_workers`
 /// caps the worker-thread count and `chunks_per_network` forces the
 /// episode-chunk granularity of the work queue (both default to the
@@ -446,6 +501,27 @@ pub fn run_policy_tuned(
     figure: &FigureRun,
     policy: PolicyKind,
     recorder: &Recorder,
+    checkpoint: Option<&mut Checkpoint>,
+    max_workers: Option<usize>,
+    chunks_per_network: Option<usize>,
+) -> Result<RunReport, RunnerError> {
+    run_policy_inner(
+        figure,
+        policy,
+        recorder,
+        &Tracer::disabled(),
+        checkpoint,
+        max_workers,
+        chunks_per_network,
+    )
+}
+
+/// The shared body behind every `run_policy_*` entry point.
+fn run_policy_inner(
+    figure: &FigureRun,
+    policy: PolicyKind,
+    recorder: &Recorder,
+    tracer: &Tracer,
     checkpoint: Option<&mut Checkpoint>,
     max_workers: Option<usize>,
     chunks_per_network: Option<usize>,
@@ -523,6 +599,7 @@ pub fn run_policy_tuned(
             handles.push(scope.spawn(move || {
                 let tel = WorkerTelemetry::new(recorder, worker);
                 let etel = EngineTelemetry::new(recorder);
+                let track = tracer.track(&format!("worker-{worker}"));
                 let mut scratch = EpisodeScratch::new();
                 let mut out = WorkerOutput::default();
                 loop {
@@ -542,6 +619,8 @@ pub fn run_policy_tuned(
                         recorder,
                         &tel,
                         &etel,
+                        tracer,
+                        &track,
                         &mut scratch,
                         cell,
                         ckpt_shared,
@@ -731,11 +810,13 @@ fn chunk_range(runs: usize, chunks: usize, c: usize) -> (usize, usize) {
 
 /// Generates, parameterizes, and (per `figure.validation`) repairs or
 /// rejects one sampled network, then pre-draws every episode seed from
-/// the network stream.
+/// the network stream. Emits `load` and `validate` stage spans onto
+/// `track` when tracing is live.
 fn init_network(
     figure: &FigureRun,
     net_index: usize,
     recorder: &Recorder,
+    track: &TraceTrack,
 ) -> Result<NetworkState, NetworkFailure> {
     let fail = |stage: &'static str, message: String| NetworkFailure {
         network: net_index,
@@ -749,12 +830,15 @@ fn init_network(
             .seed
             .wrapping_add((net_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
     );
+    let load_span = track.span_with("load", &[("net", TraceValue::U64(net_index as u64))]);
     let graph = figure
         .dataset
         .generate(&mut net_rng)
         .map_err(|e| fail("dataset", e.to_string()))?;
     let instance = apply_protocol(graph, &figure.protocol, &mut net_rng)
         .map_err(|e| fail("protocol", e.to_string()))?;
+    drop(load_span);
+    let validate_span = track.span_with("validate", &[("net", TraceValue::U64(net_index as u64))]);
     let (instance, was_repaired) = match figure.validation.repair_mode() {
         None => (instance, false),
         Some(mode) => match repair_instance(instance, mode) {
@@ -790,6 +874,7 @@ fn init_network(
             }
         },
     };
+    drop(validate_span);
     // Stateful policies (Random, Snowball) are seeded per network, so a
     // network's outcomes never depend on which worker picked it up —
     // the property checkpoint/resume relies on.
@@ -817,6 +902,12 @@ fn init_network(
 /// checkpoints, and retires the slot. Dataset/protocol/validation
 /// failures quarantine via the initializing chunk; an episode-loop
 /// panic quarantines the network at finalize.
+///
+/// Tracing: the chunk and episode loop run under `chunk`/`episodes`
+/// spans on the worker's `track`; each episode toggles the track's
+/// sampling gate by its run-global index (`net × runs_per_network +
+/// ep`), so sampled episodes carry `episode_begin`/`episode_end`
+/// markers plus the simulator's and policy's per-step events.
 #[allow(clippy::too_many_arguments)]
 fn process_chunk(
     figure: &FigureRun,
@@ -829,6 +920,8 @@ fn process_chunk(
     recorder: &Recorder,
     tel: &WorkerTelemetry,
     etel: &EngineTelemetry,
+    tracer: &Tracer,
+    track: &TraceTrack,
     scratch: &mut EpisodeScratch,
     cell: &str,
     ckpt_shared: &Mutex<Option<&mut Checkpoint>>,
@@ -847,7 +940,7 @@ fn process_chunk(
                         .lock()
                         .expect("progress mutex poisoned")
                         .started = Some(started);
-                    let built = init_network(figure, net, recorder);
+                    let built = init_network(figure, net, recorder, track);
                     lc = slot.lifecycle.lock().expect("slot mutex poisoned");
                     match built {
                         Ok(state) => {
@@ -888,11 +981,45 @@ fn process_chunk(
     };
     let (lo, hi) = chunk_range(figure.runs_per_network, chunks_per_network, chunk);
     let chunk_span = etel.chunk_ns.span();
+    let chunk_trace = track.span_with(
+        "chunk",
+        &[
+            ("net", TraceValue::U64(net as u64)),
+            ("chunk", TraceValue::U64(chunk as u64)),
+        ],
+    );
     let episodes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut policy_impl = policy.instantiate_recorded(state.policy_seed, recorder);
+        let mut policy_impl = policy.instantiate_instrumented(state.policy_seed, recorder, track);
         let mut outcomes: Vec<AttackOutcome> = Vec::with_capacity(hi - lo);
+        let episodes_trace = track.span("episodes");
         for ep in lo..hi {
             let run_seed = state.run_seeds[ep];
+            // Episode indices are global across the run, so which
+            // episodes a sampling period selects is independent of
+            // chunking and thread count.
+            let global_ep = (net * figure.runs_per_network + ep) as u64;
+            if track.is_enabled() {
+                track.set_active(tracer.sample_hit(global_ep));
+            }
+            if track.is_active() {
+                track.instant(
+                    "episode_begin",
+                    &[
+                        ("net", TraceValue::U64(net as u64)),
+                        ("ep", TraceValue::U64(ep as u64)),
+                        ("global_ep", TraceValue::U64(global_ep)),
+                        ("policy", TraceValue::from(policy.name())),
+                        (
+                            "dataset",
+                            TraceValue::from(figure.dataset.name().to_string()),
+                        ),
+                        ("budget", TraceValue::U64(figure.budget as u64)),
+                        // As a string: u64 seeds above 2^53 do not
+                        // survive a round-trip through JSON doubles.
+                        ("seed", TraceValue::from(run_seed.to_string())),
+                    ],
+                );
+            }
             let mut run_rng = StdRng::seed_from_u64(run_seed);
             if scratch.prepare(&state.instance) {
                 etel.scratch_reuses.incr();
@@ -906,22 +1033,52 @@ fn process_chunk(
             // paired comparisons face identical fault sequences; it is
             // trivial (and free) when figure.faults is none.
             let plan = FaultPlan::sample(&figure.faults, run_seed, figure.budget);
-            let outcome = run_attack_episode(
+            let outcome = run_attack_episode_traced(
                 &state.instance,
                 policy_impl.as_mut(),
                 figure.budget,
                 &plan,
                 &figure.retry,
                 recorder,
+                track,
                 scratch,
             );
+            if track.is_active() {
+                track.instant(
+                    "episode_end",
+                    &[
+                        ("net", TraceValue::U64(net as u64)),
+                        ("ep", TraceValue::U64(ep as u64)),
+                        ("global_ep", TraceValue::U64(global_ep)),
+                        ("total_benefit", TraceValue::F64(outcome.total_benefit)),
+                        ("requests", TraceValue::U64(outcome.trace.len() as u64)),
+                        ("friends", TraceValue::U64(outcome.friends.len() as u64)),
+                        (
+                            "cautious_friends",
+                            TraceValue::U64(outcome.cautious_friends as u64),
+                        ),
+                        (
+                            "faults",
+                            TraceValue::U64(outcome.faults.faults_seen() as u64),
+                        ),
+                    ],
+                );
+            }
             outcomes.push(outcome.clone());
             tel.episodes.incr();
             tel.worker_episodes.incr();
         }
+        drop(episodes_trace);
         outcomes
     }));
     chunk_span.finish();
+    drop(chunk_trace);
+    // Re-open the gate so the stage spans below (fold, checkpoint, the
+    // next chunk's load) emit even when the last episode was unsampled
+    // — or when the loop panicked with the gate closed.
+    if track.is_enabled() {
+        track.set_active(true);
+    }
     let mut progress = slot.progress.lock().expect("progress mutex poisoned");
     match episodes {
         Ok(outcomes) => {
@@ -961,6 +1118,7 @@ fn process_chunk(
             });
         }
         None => {
+            let fold_span = track.span_with("fold", &[("net", TraceValue::U64(net as u64))]);
             let mut acc = TraceAccumulator::new(figure.budget);
             for outcome in &outcomes {
                 let outcome = outcome
@@ -968,7 +1126,9 @@ fn process_chunk(
                     .expect("every episode of a clean network is accounted");
                 acc.add(outcome);
             }
+            drop(fold_span);
             tel.networks.incr();
+            let ckpt_span = track.span_with("checkpoint", &[("net", TraceValue::U64(net as u64))]);
             let mut guard = ckpt_shared.lock().expect("checkpoint mutex poisoned");
             if let Some(ckpt) = guard.as_mut() {
                 if let Err(e) = ckpt.record(cell, net, &acc) {
@@ -977,6 +1137,7 @@ fn process_chunk(
                 }
             }
             drop(guard);
+            drop(ckpt_span);
             out.repaired += usize::from(state.was_repaired);
             out.done.push((net, acc));
         }

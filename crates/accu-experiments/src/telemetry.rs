@@ -12,7 +12,7 @@ use std::path::PathBuf;
 
 use accu_core::policy::abm_metrics;
 use accu_core::{fault_metrics, sim_metrics, validate_metrics};
-use accu_telemetry::{FieldValue, JsonlSink, Recorder, Snapshot};
+use accu_telemetry::{FieldValue, JsonlSink, Recorder, Snapshot, Tracer, DEFAULT_TRACK_CAPACITY};
 
 use crate::cli::Cli;
 use crate::output::{experiments_dir, fnum, Table};
@@ -26,6 +26,18 @@ use crate::runner::runner_metrics;
 /// Returns the underlying I/O error if the directory cannot be created.
 pub fn telemetry_dir() -> io::Result<PathBuf> {
     let dir = experiments_dir()?.join("telemetry");
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Directory trace exports default to (`target/experiments/trace`),
+/// created on demand.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory cannot be created.
+pub fn trace_dir() -> io::Result<PathBuf> {
+    let dir = experiments_dir()?.join("trace");
     std::fs::create_dir_all(&dir)?;
     Ok(dir)
 }
@@ -50,14 +62,27 @@ pub fn telemetry_dir() -> io::Result<PathBuf> {
 #[derive(Debug, Clone)]
 pub struct Telemetry {
     recorder: Recorder,
+    tracer: Tracer,
+    trace_path: Option<String>,
     label: String,
 }
 
 impl Telemetry {
-    /// Builds a handle whose recorder is enabled iff `cli.telemetry`.
+    /// Builds a handle whose recorder is enabled iff `cli.telemetry`
+    /// and whose tracer is enabled iff `--trace` was passed (the two
+    /// are independent).
     pub fn from_cli(cli: &Cli, label: &str) -> Self {
+        let (tracer, trace_path) = match &cli.trace {
+            Some(spec) => (
+                Tracer::with_config(spec.sample, DEFAULT_TRACK_CAPACITY),
+                spec.path.clone(),
+            ),
+            None => (Tracer::disabled(), None),
+        };
         Telemetry {
             recorder: Recorder::new(cli.telemetry),
+            tracer,
+            trace_path,
             label: label.to_string(),
         }
     }
@@ -67,24 +92,28 @@ impl Telemetry {
         &self.recorder
     }
 
+    /// The tracer to thread into
+    /// [`run_policy_traced`](crate::run_policy_traced) (disabled unless
+    /// `--trace` was passed).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Whether telemetry collection is on.
     pub fn is_enabled(&self) -> bool {
         self.recorder.is_enabled()
     }
 
-    /// Captures the current snapshot (None when disabled).
-    pub fn snapshot(&self) -> Option<Snapshot> {
-        self.recorder.snapshot(&self.label)
-    }
-
     /// Prints the summary tables and writes the JSONL snapshot, returning
     /// the JSONL path. A disabled handle does nothing and returns
-    /// `Ok(None)`.
+    /// `Ok(None)`. Trace files (when `--trace` was given) are written
+    /// regardless of `--telemetry`.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from creating or writing the JSONL file.
+    /// Returns any I/O error from creating or writing the output files.
     pub fn report(&self) -> io::Result<Option<PathBuf>> {
+        self.export_traces()?;
         let Some(snapshot) = self.snapshot() else {
             return Ok(None);
         };
@@ -103,6 +132,58 @@ impl Telemetry {
         println!("telemetry snapshot written to {}", path.display());
         Ok(Some(path))
     }
+
+    /// Captures the current snapshot (None when disabled).
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.recorder.snapshot(&self.label)
+    }
+
+    /// Writes the Chrome trace and the JSONL causal log (no-op when
+    /// tracing is off), returning the Chrome trace path. The causal log
+    /// lands next to the Chrome file with a `.causal.jsonl` suffix.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing either file.
+    pub fn export_traces(&self) -> io::Result<Option<PathBuf>> {
+        let (Some(chrome), Some(causal)) =
+            (self.tracer.export_chrome(), self.tracer.export_causal())
+        else {
+            return Ok(None);
+        };
+        let chrome_path = match &self.trace_path {
+            Some(path) => PathBuf::from(path),
+            None => trace_dir()?.join(format!("{}.json", sanitize(&self.label))),
+        };
+        if let Some(parent) = chrome_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let causal_path = causal_sibling(&chrome_path);
+        std::fs::write(&chrome_path, chrome)?;
+        std::fs::write(&causal_path, causal)?;
+        println!(
+            "trace written to {} ({} events, {} dropped; causal log {})",
+            chrome_path.display(),
+            self.tracer.event_count(),
+            self.tracer.total_dropped(),
+            causal_path.display()
+        );
+        Ok(Some(chrome_path))
+    }
+}
+
+/// The causal log's path for a given Chrome trace path: the `.json`
+/// extension (when present) replaced by `.causal.jsonl`, otherwise the
+/// suffix appended.
+fn causal_sibling(chrome_path: &std::path::Path) -> PathBuf {
+    let name = chrome_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let stem = name.strip_suffix(".json").unwrap_or(&name);
+    chrome_path.with_file_name(format!("{stem}.causal.jsonl"))
 }
 
 /// Turns a snapshot label into a safe file stem.
@@ -281,8 +362,50 @@ mod tests {
     fn disabled_handle_reports_nothing() {
         let tel = Telemetry::from_cli(&Cli::default(), "off");
         assert!(!tel.is_enabled());
+        assert!(!tel.tracer().is_enabled());
         assert!(tel.snapshot().is_none());
         assert_eq!(tel.report().unwrap(), None);
+        assert_eq!(tel.export_traces().unwrap(), None);
+    }
+
+    #[test]
+    fn trace_flag_enables_the_tracer_independently_of_telemetry() {
+        let cli = Cli::parse_from(["--trace", "t.json:sample=5"]).unwrap();
+        let tel = Telemetry::from_cli(&cli, "t");
+        assert!(!tel.is_enabled(), "--trace alone must not enable metrics");
+        assert!(tel.tracer().is_enabled());
+        assert_eq!(tel.tracer().sample_every(), 5);
+    }
+
+    #[test]
+    fn causal_sibling_paths() {
+        use std::path::Path;
+        assert_eq!(
+            causal_sibling(Path::new("out/run.json")),
+            Path::new("out/run.causal.jsonl")
+        );
+        assert_eq!(
+            causal_sibling(Path::new("plain")),
+            Path::new("plain.causal.jsonl")
+        );
+    }
+
+    #[test]
+    fn export_traces_writes_both_files() {
+        let dir = std::env::temp_dir().join("accu-trace-export-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let chrome = dir.join("run.json");
+        let cli = Cli::parse_from(["--trace", &format!("{}", chrome.display())]).unwrap();
+        let tel = Telemetry::from_cli(&cli, "export-test");
+        let track = tel.tracer().track("worker-0");
+        track.span("chunk").finish();
+        let written = tel.export_traces().unwrap().expect("trace enabled");
+        assert_eq!(written, chrome);
+        let text = std::fs::read_to_string(&chrome).unwrap();
+        accu_telemetry::validate_chrome_trace(&text).expect("valid Chrome trace");
+        let causal = std::fs::read_to_string(dir.join("run.causal.jsonl")).unwrap();
+        assert!(causal.lines().count() >= 2, "begin + end lines expected");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -38,7 +38,9 @@ impl Default for Histogram {
     }
 }
 
-/// Index of the bucket holding `value`.
+/// Index of the bucket holding `value`. Zero maps to bucket 0 (the
+/// `value | 1` below), so sub-resolution samples are counted, never
+/// dropped — a span shorter than the clock tick still shows up.
 #[inline]
 fn bucket_index(value: u64) -> usize {
     (63 - (value | 1).leading_zeros()) as usize
@@ -51,6 +53,10 @@ impl Histogram {
     }
 
     /// Records one sample.
+    ///
+    /// A `value` of 0 is a real sample (e.g. a span faster than the
+    /// clock's resolution): it lands in the first bucket and counts
+    /// toward `count`, `min` and the quantiles like any other value.
     #[inline]
     pub fn record(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
@@ -239,6 +245,30 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn zero_duration_samples_land_in_first_bucket() {
+        // Regression guard: a 0 ns sample (span shorter than the clock
+        // resolution) must be recorded into bucket 0, not dropped.
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(8);
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.count(), 3, "zero samples must count");
+        assert_eq!(h.sum(), 8);
+        assert_eq!(h.min(), 0, "zero is a real minimum, not 'empty'");
+        assert_eq!(h.max(), 8);
+        // Median rank 2 falls in bucket 0 (upper edge 1, clamped by
+        // nothing since max is 8).
+        assert_eq!(h.quantile(0.5), 1);
+        // All-zero histograms stay self-consistent too.
+        let z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.bucket_counts()[0], 1);
+        assert_eq!(z.count(), 1);
+        assert_eq!(z.quantile(1.0), 0); // clamped to the observed max
     }
 
     #[test]

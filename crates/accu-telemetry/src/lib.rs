@@ -46,6 +46,12 @@
 //! Snapshots serialize to a single JSON object per line (JSONL) via
 //! [`Snapshot::to_json`] and [`JsonlSink`], so bench and experiment
 //! runs can be diffed at counter granularity across commits.
+//!
+//! Aggregate metrics answer "how much"; the [`trace`] module answers
+//! "why": ring-buffered per-thread span/event collection ([`Tracer`] /
+//! [`TraceTrack`]) with Chrome trace-event JSON export (Perfetto,
+//! `chrome://tracing`) and a compact JSONL causal log replayable by the
+//! `trace_explain` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -54,10 +60,15 @@ mod counter;
 mod histogram;
 mod recorder;
 mod snapshot;
+pub mod trace;
 
 pub use counter::{Counter, CounterHandle};
 pub use histogram::{Histogram, HistogramHandle, SpanGuard};
 pub use recorder::Recorder;
 pub use snapshot::{
     json_escape, CounterSnapshot, FieldValue, HistogramSnapshot, JsonlSink, Snapshot,
+};
+pub use trace::{
+    parse_json, validate_chrome_trace, ChromeTraceStats, Json, TraceSpan, TraceTrack, TraceValue,
+    Tracer, DEFAULT_TRACK_CAPACITY,
 };

@@ -172,7 +172,7 @@ pub fn json_escape(s: &str) -> String {
 
 /// Formats a float as a JSON number (`null` for NaN/∞, which JSON
 /// cannot represent).
-fn json_number(x: f64) -> String {
+pub(crate) fn json_number(x: f64) -> String {
     if x.is_finite() {
         // `{:?}` round-trips f64 exactly and always includes a decimal
         // point or exponent, keeping the token unambiguous.
@@ -183,10 +183,28 @@ fn json_number(x: f64) -> String {
 }
 
 /// An append-only JSONL file sink for snapshots and events.
+///
+/// The sink flushes on drop — including during panic unwind — so lines
+/// buffered by a worker that dies mid-run (e.g. a quarantined network)
+/// still reach disk. A flush failure at drop time cannot be returned,
+/// so it is reported on stderr instead of being silently swallowed;
+/// callers that need the error should call [`JsonlSink::flush`]
+/// explicitly first.
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: BufWriter<fs::File>,
     path: PathBuf,
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Err(err) = self.writer.flush() {
+            eprintln!(
+                "accu-telemetry: failed to flush {} at drop: {err}",
+                self.path.display()
+            );
+        }
+    }
 }
 
 impl JsonlSink {
@@ -317,6 +335,26 @@ mod tests {
         assert!(lines[1].contains("\"worker\":3"));
         assert!(lines[1].contains("\"benefit\":54.5"));
         assert!(lines[1].contains("\"policy\":\"ABM\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sink_survives_panic_unwind_without_explicit_flush() {
+        // A quarantined worker panics with buffered lines still in the
+        // sink; the drop-flush during unwind must land them on disk.
+        let dir = std::env::temp_dir().join("accu-telemetry-panic-test");
+        let path = dir.join("unwound.jsonl");
+        let path_clone = path.clone();
+        let joined = std::thread::spawn(move || {
+            let mut sink = JsonlSink::create(&path_clone).unwrap();
+            sink.write_event("before_panic", &[("worker", 0usize.into())])
+                .unwrap();
+            panic!("simulated quarantined worker");
+        })
+        .join();
+        assert!(joined.is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"before_panic\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

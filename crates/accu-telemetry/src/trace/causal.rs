@@ -1,0 +1,95 @@
+//! Compact JSONL causal-log export.
+//!
+//! One event per line, grouped by track in per-track sequence order:
+//!
+//! ```json
+//! {"type":"trace","track":"worker-0","seq":41,"ts_ns":10250,
+//!  "kind":"instant","name":"request","args":{"target":12,"accepted":true}}
+//! ```
+//!
+//! Floats are serialized with shortest round-trip formatting, so a
+//! replayer that parses them back recovers bit-identical values — the
+//! property `trace_explain` relies on to verify each episode's
+//! `total_benefit` exactly.
+
+use std::fmt::Write as _;
+
+use super::chrome::render_value;
+use super::{EventKind, TrackSnapshot};
+use crate::snapshot::json_escape;
+
+pub(super) fn export(tracks: &[TrackSnapshot]) -> String {
+    let total: usize = tracks.iter().map(|t| t.events.len()).sum();
+    let mut out = String::with_capacity(total * 96);
+    for track in tracks {
+        if track.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"trace_drops\",\"track\":\"{}\",\"dropped\":{}}}",
+                json_escape(&track.name),
+                track.dropped
+            );
+        }
+        for event in &track.events {
+            let kind = match event.kind {
+                EventKind::Begin => "begin",
+                EventKind::End => "end",
+                EventKind::Instant => "instant",
+            };
+            let _ = write!(
+                out,
+                "{{\"type\":\"trace\",\"track\":\"{}\",\"seq\":{},\"ts_ns\":{},\
+                 \"kind\":\"{kind}\",\"name\":\"{}\",\"args\":{{",
+                json_escape(&track.name),
+                event.seq,
+                event.ts_ns,
+                json_escape(&event.name),
+            );
+            for (i, (key, value)) in event.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":", json_escape(key));
+                render_value(&mut out, value);
+            }
+            out.push_str("}}\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{parse_json, Tracer};
+
+    #[test]
+    fn every_line_is_valid_json_and_floats_round_trip() {
+        let tracer = Tracer::enabled();
+        let track = tracer.track("w");
+        let exact = 0.1f64 + 0.2f64; // not representable as a short decimal
+        track.instant("request", &[("gain", exact.into()), ("ok", true.into())]);
+        let log = tracer.export_causal().unwrap();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let parsed = parse_json(lines[0]).unwrap();
+        let args = parsed.get("args").unwrap();
+        let gain = args.get("gain").unwrap().as_f64().unwrap();
+        assert_eq!(gain.to_bits(), exact.to_bits());
+        assert_eq!(args.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("request"));
+    }
+
+    #[test]
+    fn drop_marker_line_reports_ring_overwrites() {
+        let tracer = Tracer::with_config(1, 2);
+        let track = tracer.track("w");
+        for _ in 0..5 {
+            track.instant("e", &[]);
+        }
+        let log = tracer.export_causal().unwrap();
+        let first = log.lines().next().unwrap();
+        let parsed = parse_json(first).unwrap();
+        assert_eq!(parsed.get("type").unwrap().as_str(), Some("trace_drops"));
+        assert_eq!(parsed.get("dropped").unwrap().as_u64(), Some(3));
+    }
+}

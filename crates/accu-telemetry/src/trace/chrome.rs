@@ -1,0 +1,190 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the `{"traceEvents":[...]}` object format understood by
+//! Perfetto and `chrome://tracing`: one `pid` for the process, one
+//! `tid` per track, a `thread_name` metadata record per track, `B`/`E`
+//! phase pairs for spans and `i` (thread-scoped) for instants, with
+//! timestamps in fractional microseconds.
+
+use std::fmt::Write as _;
+
+use super::{EventKind, TraceEvent, TraceValue, TrackSnapshot};
+use crate::snapshot::{json_escape, json_number};
+
+/// The single process id used for all tracks.
+const PID: u64 = 1;
+
+pub(super) fn export(tracks: &[TrackSnapshot]) -> String {
+    let total: usize = tracks.iter().map(|t| t.events.len()).sum();
+    let mut out = String::with_capacity(128 + total * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for track in tracks {
+        let mut emit = |line: &str| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(line);
+        };
+        emit(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.0,\"pid\":{PID},\
+             \"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            track.id,
+            json_escape(&track.name)
+        ));
+        for event in balanced(&track.events) {
+            emit(&render_event(&event, track.id));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Rebalances one track's begin/end sequence.
+///
+/// The ring buffer overwrites oldest-first, so the only unbalanced
+/// shapes are end events whose begin was overwritten (dropped here) and
+/// spans still open at export (closed here at the last timestamp).
+/// Defensively, an end whose name does not match the innermost open
+/// begin is also dropped, so the output nests properly no matter what
+/// was collected.
+fn balanced(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    let mut out: Vec<TraceEvent> = Vec::with_capacity(events.len());
+    let mut open: Vec<usize> = Vec::new(); // indices into `out`
+    for event in events {
+        match event.kind {
+            EventKind::Begin => {
+                open.push(out.len());
+                out.push(event.clone());
+            }
+            EventKind::End => {
+                let matches = open.last().is_some_and(|&i| out[i].name == event.name);
+                if matches {
+                    open.pop();
+                    out.push(event.clone());
+                }
+            }
+            EventKind::Instant => out.push(event.clone()),
+        }
+    }
+    let last_ts = events.last().map_or(0, |e| e.ts_ns);
+    let last_seq = events.last().map_or(0, |e| e.seq);
+    while let Some(i) = open.pop() {
+        let name = out[i].name.clone();
+        out.push(TraceEvent {
+            seq: last_seq,
+            ts_ns: last_ts,
+            kind: EventKind::End,
+            name,
+            args: Vec::new(),
+        });
+    }
+    out
+}
+
+fn render_event(event: &TraceEvent, tid: u64) -> String {
+    let ph = match event.kind {
+        EventKind::Begin => "B",
+        EventKind::End => "E",
+        EventKind::Instant => "i",
+    };
+    let ts_us = event.ts_ns as f64 / 1000.0;
+    let mut line = String::with_capacity(96);
+    let _ = write!(
+        line,
+        "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{PID},\"tid\":{tid}",
+        json_escape(&event.name),
+        json_number(ts_us),
+    );
+    if event.kind == EventKind::Instant {
+        line.push_str(",\"s\":\"t\"");
+    }
+    if !event.args.is_empty() {
+        line.push_str(",\"args\":{");
+        for (i, (key, value)) in event.args.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "\"{}\":", json_escape(key));
+            render_value(&mut line, value);
+        }
+        line.push('}');
+    }
+    line.push('}');
+    line
+}
+
+pub(super) fn render_value(out: &mut String, value: &TraceValue) {
+    match value {
+        TraceValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        TraceValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        TraceValue::F64(v) => out.push_str(&json_number(*v)),
+        TraceValue::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        TraceValue::Str(v) => {
+            let _ = write!(out, "\"{}\"", json_escape(v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{validate_chrome_trace, Tracer};
+
+    #[test]
+    fn export_is_valid_and_balanced() {
+        let tracer = Tracer::enabled();
+        let track = tracer.track("worker-0");
+        {
+            let _outer = track.span_with("chunk", &[("net", 0u64.into())]);
+            let _inner = track.span("episodes");
+            track.instant(
+                "request",
+                &[
+                    ("target", 12u64.into()),
+                    ("accepted", true.into()),
+                    ("gain", 4.5f64.into()),
+                    ("policy", "ABM".into()),
+                ],
+            );
+        }
+        let chrome = tracer.export_chrome().unwrap();
+        let stats = validate_chrome_trace(&chrome).unwrap();
+        assert_eq!(stats.tracks, 1);
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.instants, 1);
+    }
+
+    #[test]
+    fn open_spans_are_closed_at_export() {
+        let tracer = Tracer::enabled();
+        let track = tracer.track("w");
+        let _open = track.span("still-open");
+        track.instant("x", &[]);
+        let chrome = tracer.export_chrome().unwrap();
+        let stats = validate_chrome_trace(&chrome).unwrap();
+        assert_eq!(stats.spans, 1);
+    }
+
+    #[test]
+    fn orphaned_ends_from_ring_overwrite_are_dropped() {
+        // Capacity 3 with 2 leading begins: pushing enough events
+        // overwrites the begins, leaving orphaned ends in the ring.
+        let tracer = Tracer::with_config(1, 3);
+        let track = tracer.track("w");
+        let a = track.span("a");
+        let b = track.span("b");
+        track.instant("x", &[]);
+        b.finish();
+        a.finish();
+        assert!(tracer.total_dropped() > 0);
+        let chrome = tracer.export_chrome().unwrap();
+        validate_chrome_trace(&chrome).unwrap();
+    }
+}

@@ -1,0 +1,443 @@
+//! A minimal dependency-free JSON reader and the Chrome-trace
+//! structural validator.
+//!
+//! The workspace has no serde; CI and `trace_explain` validate exported
+//! traces through this ~200-line recursive-descent parser instead. It
+//! accepts exactly the JSON this crate emits (objects, arrays, strings
+//! with escapes, numbers, booleans, null) and keeps object keys in
+//! document order.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; `u64` accessors check integrality.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, keys in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a non-negative whole
+    /// number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is a whole number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(x) if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 => {
+                Some(*x as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+///
+/// # Errors
+///
+/// Returns a human-readable message with the byte offset of the first
+/// syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 128;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number token");
+    token
+        .parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {token:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| "non-ascii \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("invalid \\u escape {hex:?}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume the whole unescaped run in one go; validating
+                // per character would make parsing quadratic in the
+                // document size.
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| format!("invalid utf-8 at byte {start}"))?;
+                out.push_str(chunk);
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        let value = parse_value(bytes, pos, depth + 1)?;
+        items.push(value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+/// Summary returned by a successful [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChromeTraceStats {
+    /// Distinct `(pid, tid)` tracks seen.
+    pub tracks: usize,
+    /// Matched begin/end span pairs.
+    pub spans: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Metadata events.
+    pub metadata: usize,
+}
+
+/// Structurally validates a Chrome trace-event JSON document: well-formed
+/// JSON, a `traceEvents` array whose entries carry `name`/`ph`/`ts`/
+/// `pid`/`tid`, and — the span-balance invariant — properly nested,
+/// name-matched `B`/`E` pairs per `(pid, tid)` track with nothing left
+/// open at the end.
+///
+/// # Errors
+///
+/// Returns a message pinpointing the first structural violation.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or_else(|| "missing traceEvents field".to_string())?
+        .as_arr()
+        .ok_or_else(|| "traceEvents is not an array".to_string())?;
+    let mut stats = ChromeTraceStats::default();
+    // Per-track stack of open span names, keyed by (pid, tid).
+    let mut open: Vec<((u64, u64), Vec<String>)> = Vec::new();
+    let mut seen_tracks: Vec<(u64, u64)> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        event
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let pid = event
+            .get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        let tid = event
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        let key = (pid, tid);
+        if !seen_tracks.contains(&key) {
+            seen_tracks.push(key);
+        }
+        let stack = match open.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, stack)) => stack,
+            None => {
+                open.push((key, Vec::new()));
+                &mut open.last_mut().expect("just pushed").1
+            }
+        };
+        match ph {
+            "B" => stack.push(name.to_string()),
+            "E" => match stack.pop() {
+                Some(top) if top == name => stats.spans += 1,
+                Some(top) => {
+                    return Err(format!(
+                        "event {i}: end {name:?} does not match open span {top:?} \
+                         on track {key:?}"
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: end {name:?} with no open span on track {key:?}"
+                    ));
+                }
+            },
+            "i" | "I" => stats.instants += 1,
+            "M" => stats.metadata += 1,
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    for (key, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!("span {name:?} left open on track {key:?}"));
+        }
+    }
+    stats.tracks = seen_tracks.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_strings_and_nesting() {
+        let doc = parse_json(r#"{"a":[1,-2.5,1e3],"b":{"c":"x\nyA"},"d":null,"e":true}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[1].as_f64(),
+            Some(-2.5)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\nyA")
+        );
+        assert_eq!(doc.get("d"), Some(&Json::Null));
+        assert_eq!(doc.get("e").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("nul").is_err());
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse_json(&deep).is_err());
+    }
+
+    #[test]
+    fn integer_accessors_check_integrality() {
+        let doc = parse_json("[3, 3.5, -2]").unwrap();
+        let items = doc.as_arr().unwrap();
+        assert_eq!(items[0].as_u64(), Some(3));
+        assert_eq!(items[1].as_u64(), None);
+        assert_eq!(items[2].as_u64(), None);
+        assert_eq!(items[2].as_i64(), Some(-2));
+    }
+
+    #[test]
+    fn validator_accepts_balanced_and_rejects_unbalanced() {
+        let good = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1.0,"pid":1,"tid":1},
+            {"name":"x","ph":"i","ts":1.5,"pid":1,"tid":1,"s":"t"},
+            {"name":"a","ph":"E","ts":2.0,"pid":1,"tid":1}]}"#;
+        let stats = validate_chrome_trace(good).unwrap();
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.tracks, 1);
+
+        let open = r#"{"traceEvents":[{"name":"a","ph":"B","ts":1.0,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(open)
+            .unwrap_err()
+            .contains("left open"));
+
+        let orphan = r#"{"traceEvents":[{"name":"a","ph":"E","ts":1.0,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(orphan)
+            .unwrap_err()
+            .contains("no open span"));
+
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1.0,"pid":1,"tid":1},
+            {"name":"b","ph":"B","ts":2.0,"pid":1,"tid":1},
+            {"name":"a","ph":"E","ts":3.0,"pid":1,"tid":1},
+            {"name":"b","ph":"E","ts":4.0,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(crossed)
+            .unwrap_err()
+            .contains("does not match"));
+
+        // Same names on different tracks balance independently.
+        let two_tracks = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1.0,"pid":1,"tid":1},
+            {"name":"a","ph":"B","ts":1.0,"pid":1,"tid":2},
+            {"name":"a","ph":"E","ts":2.0,"pid":1,"tid":2},
+            {"name":"a","ph":"E","ts":2.0,"pid":1,"tid":1}]}"#;
+        assert_eq!(validate_chrome_trace(two_tracks).unwrap().tracks, 2);
+
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+    }
+}

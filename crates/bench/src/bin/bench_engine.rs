@@ -19,11 +19,16 @@
 //! `bench_engine` writes `BENCH_engine.json`; `bench_engine --check`
 //! re-measures and exits non-zero if throughput regressed more than
 //! `--max-regress` (default 0.25) against the committed file, or if a
-//! steady-state episode allocates.
+//! steady-state episode allocates. Every `--check` run also appends a
+//! dated entry to `BENCH_trajectory.jsonl` (next to the committed
+//! file), so the perf history stays machine-readable across PRs
+//! instead of only the latest snapshot surviving.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use accu_bench::default_instance;
 use accu_core::policy::{Abm, AbmWeights};
@@ -193,6 +198,57 @@ fn render_json(m: &Measurement) -> String {
     )
 }
 
+/// Renders a unix timestamp as a UTC `YYYY-MM-DD` date (civil-from-days
+/// conversion — no time-zone database, no dependency).
+fn utc_date(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+/// Appends one dated line to the trajectory log kept next to the
+/// committed snapshot. Best-effort: a read-only checkout must not turn
+/// a passing bench check into a failure.
+fn append_trajectory(out_path: &str, m: &Measurement, status: &str) {
+    let path = Path::new(out_path)
+        .parent()
+        .unwrap_or_else(|| Path::new(""))
+        .join("BENCH_trajectory.jsonl");
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"date\":\"{}\",\"bench\":\"engine\",\"fixture\":\"twitter_0.02/abm_balanced\",\
+         \"budget\":{BUDGET},\"episodes\":{MEASURED_EPISODES},\"eps_per_sec\":{:.2},\
+         \"ns_per_select\":{:.1},\"allocs_per_episode\":{:.3},\"total_benefit\":{:.1},\
+         \"speedup_vs_head\":{:.2},\"status\":\"{status}\"}}\n",
+        utc_date(secs),
+        m.eps_per_sec,
+        m.ns_per_select,
+        m.allocs_per_episode,
+        m.total_benefit,
+        m.eps_per_sec / HEAD_BASELINE_EPS,
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    match appended {
+        Ok(()) => println!("appended {status} entry to {}", path.display()),
+        Err(e) => eprintln!("bench-check: cannot append to {}: {e}", path.display()),
+    }
+}
+
 /// Pulls a numeric field out of the flat committed JSON without a
 /// parser dependency.
 fn json_field(text: &str, key: &str) -> Option<f64> {
@@ -274,6 +330,7 @@ fn main() {
             );
             failed = true;
         }
+        append_trajectory(&out_path, &m, if failed { "fail" } else { "ok" });
         if failed {
             std::process::exit(1);
         }
