@@ -11,7 +11,7 @@
 
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{fnum, Table};
-use accu_experiments::{run_policy_observed, Cli, ExperimentScale, PolicyKind, Telemetry};
+use accu_experiments::{Cli, ExperimentScale, PolicyKind, Telemetry};
 
 fn main() {
     let cli = Cli::parse();
@@ -30,7 +30,7 @@ fn main() {
         let mut row = vec![dataset.name().to_string()];
         let mut best: Option<(String, f64)> = None;
         for &policy in &lineup {
-            let acc = run_policy_observed(&figure, policy, tel.recorder(), tel.tracer());
+            let acc = tel.run(&figure, policy);
             let mean = acc.mean_total_benefit();
             row.push(fnum(mean));
             if best.as_ref().map(|b| mean > b.1).unwrap_or(true) {

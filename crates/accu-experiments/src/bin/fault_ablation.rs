@@ -15,7 +15,7 @@ use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::chart::Chart;
 use accu_experiments::output::series_table;
 use accu_experiments::{
-    run_policy_traced, Checkpoint, Cli, ExperimentScale, FigureRun, PolicyKind, Telemetry,
+    run_policy_with, Checkpoint, Cli, ExperimentScale, FigureRun, PolicyKind, RunOptions, Telemetry,
 };
 
 /// The swept fault intensities.
@@ -53,12 +53,13 @@ fn main() {
             ..base.clone()
         };
         for (i, &policy) in lineup.iter().enumerate() {
-            let report = run_policy_traced(
+            let report = run_policy_with(
                 &figure,
                 policy,
-                tel.recorder(),
-                tel.tracer(),
-                checkpoint.as_mut(),
+                RunOptions {
+                    checkpoint: checkpoint.as_mut(),
+                    ..tel.run_options()
+                },
             )
             .unwrap_or_else(|e| {
                 eprintln!("error: {e}");

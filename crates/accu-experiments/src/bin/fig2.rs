@@ -9,7 +9,7 @@ use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::chart::Chart;
 use accu_experiments::output::{downsample_indices, series_table};
 use accu_experiments::{
-    run_policy_traced, Checkpoint, Cli, ExperimentScale, PolicyKind, Telemetry,
+    run_policy_with, Checkpoint, Cli, ExperimentScale, PolicyKind, RunOptions, Telemetry,
 };
 
 fn main() {
@@ -40,12 +40,13 @@ fn main() {
         println!("\n=== {} ===", figure.dataset);
         let mut series = Vec::new();
         for policy in PolicyKind::paper_lineup() {
-            let report = run_policy_traced(
+            let report = run_policy_with(
                 &figure,
                 policy,
-                tel.recorder(),
-                tel.tracer(),
-                checkpoint.as_mut(),
+                RunOptions {
+                    checkpoint: checkpoint.as_mut(),
+                    ..tel.run_options()
+                },
             )
             .unwrap_or_else(|e| {
                 eprintln!("error: {e}");

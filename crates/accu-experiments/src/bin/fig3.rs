@@ -9,7 +9,7 @@
 
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{downsample_indices, series_table};
-use accu_experiments::{run_policy_observed, Cli, ExperimentScale, PolicyKind, Telemetry};
+use accu_experiments::{Cli, ExperimentScale, PolicyKind, Telemetry};
 
 /// Centered moving average for readability (the paper plots noisy
 /// per-request bars; a light smoothing keeps the shape visible in text).
@@ -36,12 +36,7 @@ fn main() {
     for dataset in DatasetSpec::all_paper_datasets() {
         let figure = scale.figure_run(dataset.clone(), ProtocolConfig::default());
         println!("\n=== {} ===", figure.dataset);
-        let acc = run_policy_observed(
-            &figure,
-            PolicyKind::abm_balanced(),
-            tel.recorder(),
-            tel.tracer(),
-        );
+        let acc = tel.run(&figure, PolicyKind::abm_balanced());
         let cautious = acc.mean_marginal_from_cautious();
         let reckless = acc.mean_marginal_from_reckless();
         let total: Vec<f64> = cautious.iter().zip(&reckless).map(|(a, b)| a + b).collect();

@@ -10,7 +10,7 @@
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::chart::Chart;
 use accu_experiments::output::series_table;
-use accu_experiments::{run_policy_observed, Cli, ExperimentScale, PolicyKind, Telemetry};
+use accu_experiments::{Cli, ExperimentScale, PolicyKind, Telemetry};
 
 fn main() {
     let cli = Cli::parse();
@@ -26,12 +26,7 @@ fn main() {
     let mut cautious = Vec::with_capacity(wis.len());
     for &wi in &wis {
         let figure = scale.figure_run(DatasetSpec::twitter(), ProtocolConfig::default());
-        let acc = run_policy_observed(
-            &figure,
-            PolicyKind::abm_with_indirect(wi),
-            tel.recorder(),
-            tel.tracer(),
-        );
+        let acc = tel.run(&figure, PolicyKind::abm_with_indirect(wi));
         benefit.push(acc.mean_total_benefit());
         cautious.push(acc.mean_cautious_friends());
         println!(

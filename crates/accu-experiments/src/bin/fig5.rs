@@ -7,7 +7,7 @@
 
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::output::{downsample_indices, series_table};
-use accu_experiments::{run_policy_observed, Cli, ExperimentScale, PolicyKind, Telemetry};
+use accu_experiments::{Cli, ExperimentScale, PolicyKind, Telemetry};
 
 fn main() {
     let cli = Cli::parse();
@@ -25,12 +25,7 @@ fn main() {
     for &wi in &wis {
         let figure = scale.figure_run(DatasetSpec::twitter(), ProtocolConfig::default());
         budget = figure.budget;
-        let acc = run_policy_observed(
-            &figure,
-            PolicyKind::abm_with_indirect(wi),
-            tel.recorder(),
-            tel.tracer(),
-        );
+        let acc = tel.run(&figure, PolicyKind::abm_with_indirect(wi));
         let frac = acc.cautious_request_fraction();
         // Center of mass of the cautious-request distribution: smaller
         // means cautious users are targeted earlier.

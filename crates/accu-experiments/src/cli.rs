@@ -22,11 +22,25 @@
 //!   (and a JSONL causal log next to it), recording every `N`-th
 //!   episode in full detail (default every episode). An empty path
 //!   (`--trace :sample=10`) uses the default location under
-//!   `target/experiments/trace/`.
+//!   `target/experiments/trace/`;
+//! * `--metrics-addr <addr>` — serve live Prometheus text-format
+//!   scrapes of the run's recorder on a local HTTP listener (e.g.
+//!   `127.0.0.1:9184`, port 0 for ephemeral);
+//! * `--progress[=path]` — stream run progress: a live console status
+//!   line on stderr, plus (with `=path`) a deterministic JSONL event
+//!   stream whose bytes do not depend on worker count;
+//! * `--watchdog[=spec]` — arm run watchdogs. `spec` is a
+//!   comma-separated list of `stall=SECS`, `floor=EPS`, `faults=RATE`,
+//!   `warmup=SECS`, and `strict` (exit nonzero if any alarm fired);
+//!   an absent spec uses the defaults. When no `floor` is given the
+//!   throughput floor is seeded from `BENCH_trajectory.jsonl`;
+//! * `--workers <n>` — cap the number of runner worker threads
+//!   (default: available parallelism).
 
 use std::fmt;
 
 use accu_core::ValidationMode;
+use accu_telemetry::obs::WatchdogConfig;
 
 /// Parsed `--trace` argument: where to write the trace and how densely
 /// to sample episodes.
@@ -107,6 +121,18 @@ pub struct Cli {
     pub resume: bool,
     /// Causal-trace export (`None` = tracing off).
     pub trace: Option<TraceSpec>,
+    /// Address for the live Prometheus metrics listener (`None` =
+    /// no listener).
+    pub metrics_addr: Option<String>,
+    /// Streaming progress: `None` = off, `Some(None)` = console line
+    /// only, `Some(Some(path))` = console line + JSONL stream at
+    /// `path`.
+    pub progress: Option<Option<String>>,
+    /// Watchdog spec (validated at parse time; `None` = watchdogs
+    /// off, `Some("")` = defaults).
+    pub watchdog: Option<String>,
+    /// Cap on runner worker threads (`None` = available parallelism).
+    pub workers: Option<usize>,
 }
 
 impl Default for Cli {
@@ -124,6 +150,10 @@ impl Default for Cli {
             checkpoint: None,
             resume: false,
             trace: None,
+            metrics_addr: None,
+            progress: None,
+            watchdog: None,
+            workers: None,
         }
     }
 }
@@ -151,7 +181,8 @@ impl Cli {
                 eprintln!(
                     "usage: [--paper] [--seed N] [--samples N] [--runs N] [--budget K] \
                      [--scale F] [--telemetry] [--faults F] [--validate strict|lenient|off] \
-                     [--checkpoint PATH] [--resume] [--trace PATH[:sample=N]]"
+                     [--checkpoint PATH] [--resume] [--trace PATH[:sample=N]] \
+                     [--metrics-addr ADDR] [--progress[=PATH]] [--watchdog[=SPEC]] [--workers N]"
                 );
                 std::process::exit(2);
             }
@@ -236,7 +267,36 @@ impl Cli {
                             .map_err(|e: String| CliError(format!("--trace: {e}")))?,
                     );
                 }
-                other => return Err(CliError(format!("unknown flag {other:?}"))),
+                "--metrics-addr" => cli.metrics_addr = Some(value("--metrics-addr")?),
+                "--progress" => cli.progress = Some(None),
+                "--watchdog" => {
+                    cli.watchdog = Some(String::new());
+                }
+                "--workers" => {
+                    let n: usize = value("--workers")?
+                        .parse()
+                        .map_err(|_| CliError("--workers expects a count".into()))?;
+                    if n == 0 {
+                        return Err(CliError("--workers must be at least 1".into()));
+                    }
+                    cli.workers = Some(n);
+                }
+                other => {
+                    // Flags whose value is optional use `=` syntax so a
+                    // bare `--progress` stays unambiguous.
+                    if let Some(path) = other.strip_prefix("--progress=") {
+                        if path.is_empty() {
+                            return Err(CliError("--progress= expects a path".into()));
+                        }
+                        cli.progress = Some(Some(path.to_string()));
+                    } else if let Some(spec) = other.strip_prefix("--watchdog=") {
+                        WatchdogConfig::parse(spec)
+                            .map_err(|e| CliError(format!("--watchdog: {e}")))?;
+                        cli.watchdog = Some(spec.to_string());
+                    } else {
+                        return Err(CliError(format!("unknown flag {other:?}")));
+                    }
+                }
             }
         }
         Ok(cli)
@@ -364,6 +424,43 @@ mod tests {
         assert!(Cli::parse_from(["--trace", "x.json:sample=0"]).is_err());
         assert!(Cli::parse_from(["--trace", "x.json:sample=abc"]).is_err());
         assert!(Cli::parse_from(["--trace", "x.json:sample=-3"]).is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cli = Cli::parse_from(Vec::<String>::new()).unwrap();
+        assert!(cli.metrics_addr.is_none());
+        assert!(cli.progress.is_none());
+        assert!(cli.watchdog.is_none());
+        assert!(cli.workers.is_none());
+
+        let cli = Cli::parse_from([
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--progress",
+            "--watchdog",
+            "--workers",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(cli.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cli.progress, Some(None));
+        assert_eq!(cli.watchdog.as_deref(), Some(""));
+        assert_eq!(cli.workers, Some(4));
+
+        let cli = Cli::parse_from(["--progress=run.jsonl", "--watchdog=strict,stall=10"]).unwrap();
+        assert_eq!(cli.progress, Some(Some("run.jsonl".into())));
+        assert_eq!(cli.watchdog.as_deref(), Some("strict,stall=10"));
+    }
+
+    #[test]
+    fn rejects_malformed_observability_flags() {
+        assert!(Cli::parse_from(["--metrics-addr"]).is_err());
+        assert!(Cli::parse_from(["--progress="]).is_err());
+        assert!(Cli::parse_from(["--watchdog=bogus=1"]).is_err());
+        assert!(Cli::parse_from(["--watchdog=stall=abc"]).is_err());
+        assert!(Cli::parse_from(["--workers", "0"]).is_err());
+        assert!(Cli::parse_from(["--workers", "x"]).is_err());
     }
 
     #[test]

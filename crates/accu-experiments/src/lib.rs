@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod analysis;
 pub mod chart;
 mod checkpoint;
 mod cli;
@@ -50,8 +51,8 @@ pub use checkpoint::Checkpoint;
 pub use cli::{Cli, CliError, TraceSpec};
 pub use runner::{
     run_policy, run_policy_checked, run_policy_observed, run_policy_recorded, run_policy_traced,
-    run_policy_tuned, runner_metrics, FigureRun, NetworkFailure, PolicyKind, RunReport,
-    RunnerError,
+    run_policy_tuned, run_policy_with, runner_metrics, FigureRun, NetworkFailure, PolicyKind,
+    RunOptions, RunReport, RunnerError,
 };
 pub use scale::ExperimentScale;
 pub use telemetry::Telemetry;

@@ -23,7 +23,10 @@ use accu_core::{
     AccuInstance, AttackOutcome, EpisodeScratch, FaultConfig, FaultPlan, Policy, RetryPolicy,
     TraceAccumulator, ValidationMode, Violation,
 };
-use accu_telemetry::{CounterHandle, HistogramHandle, Recorder, TraceTrack, TraceValue, Tracer};
+use accu_telemetry::obs::{NetworkStatus, Observer};
+use accu_telemetry::{
+    CounterHandle, GaugeHandle, HistogramHandle, Recorder, TraceTrack, TraceValue, Tracer,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -48,6 +51,9 @@ pub mod runner_metrics {
     /// Histogram: wall-clock nanoseconds per sampled network (graph
     /// generation + protocol + all repetitions).
     pub const NETWORK_NS: &str = "runner.network_ns";
+    /// Gauge: networks currently in flight (initialized but not yet
+    /// retired) — visible live on the `--metrics-addr` endpoint.
+    pub const NETWORKS_INFLIGHT: &str = "runner.networks_inflight";
     /// Per-worker episode-throughput counter. Comparing these across
     /// workers exposes queue imbalance (ideally near-equal).
     pub fn worker_episodes(worker: usize) -> String {
@@ -61,6 +67,7 @@ struct WorkerTelemetry {
     episodes: CounterHandle,
     worker_episodes: CounterHandle,
     network_ns: HistogramHandle,
+    networks_inflight: GaugeHandle,
 }
 
 impl WorkerTelemetry {
@@ -70,6 +77,7 @@ impl WorkerTelemetry {
             episodes: recorder.counter(runner_metrics::EPISODES),
             worker_episodes: recorder.counter(runner_metrics::worker_episodes(worker)),
             network_ns: recorder.histogram(runner_metrics::NETWORK_NS),
+            networks_inflight: recorder.gauge(runner_metrics::NETWORKS_INFLIGHT),
         }
     }
 }
@@ -353,6 +361,59 @@ impl std::error::Error for RunnerError {
     }
 }
 
+/// Everything a run can carry besides the figure and the policy: the
+/// instrumentation handles (recorder, tracer, progress observer), the
+/// checkpoint, and the scheduling knobs. All handles are cheap clones
+/// of `Arc` state; the disabled defaults make every piece a no-op.
+///
+/// This is the kitchen-sink seam behind [`run_policy_with`] — the
+/// positional `run_policy_*` entry points stay for the common cases.
+///
+/// # Examples
+///
+/// ```no_run
+/// use accu_experiments::{run_policy_with, PolicyKind, RunOptions};
+/// # let figure: accu_experiments::FigureRun = unimplemented!();
+/// let report = run_policy_with(
+///     &figure,
+///     PolicyKind::abm_balanced(),
+///     RunOptions {
+///         max_workers: Some(1),
+///         ..RunOptions::default()
+///     },
+/// )
+/// .unwrap();
+/// ```
+#[derive(Debug)]
+pub struct RunOptions<'a> {
+    /// Metrics sink (counters, gauges, histograms).
+    pub recorder: Recorder,
+    /// Causal-trace sink.
+    pub tracer: Tracer,
+    /// Streaming-progress observer; fed scheduling-independent
+    /// episode/network events as the run advances.
+    pub observer: Observer,
+    /// Checkpoint to append completed networks to (and resume from).
+    pub checkpoint: Option<&'a mut Checkpoint>,
+    /// Cap on worker threads (`None` = available parallelism).
+    pub max_workers: Option<usize>,
+    /// Episode-chunk granularity override (`None` = worker count).
+    pub chunks_per_network: Option<usize>,
+}
+
+impl Default for RunOptions<'_> {
+    fn default() -> Self {
+        RunOptions {
+            recorder: Recorder::disabled(),
+            tracer: Tracer::disabled(),
+            observer: Observer::disabled(),
+            checkpoint: None,
+            max_workers: None,
+            chunks_per_network: None,
+        }
+    }
+}
+
 /// The full result of a hardened run: the aggregate plus everything
 /// that went wrong or was skipped along the way.
 #[derive(Debug)]
@@ -415,7 +476,25 @@ pub fn run_policy_observed(
     recorder: &Recorder,
     tracer: &Tracer,
 ) -> TraceAccumulator {
-    match run_policy_inner(figure, policy, recorder, tracer, None, None, None) {
+    degrade_report(run_policy_inner(
+        figure,
+        policy,
+        recorder,
+        tracer,
+        &Observer::disabled(),
+        None,
+        None,
+        None,
+    ))
+}
+
+/// The degrade-don't-abort policy shared by [`run_policy_observed`]
+/// and [`Telemetry::run`](crate::Telemetry::run): quarantines land on
+/// stderr, a worker death salvages the partial aggregate, and anything
+/// else panics (no checkpoint is involved on these paths, so only the
+/// panic arm can fire).
+pub(crate) fn degrade_report(result: Result<RunReport, RunnerError>) -> TraceAccumulator {
+    match result {
         Ok(report) => {
             for failure in &report.quarantined {
                 eprintln!("runner: {failure}");
@@ -434,9 +513,6 @@ pub fn run_policy_observed(
             );
             *partial
         }
-        // No checkpoint is involved and the fault config came from a
-        // FigureRun the caller already built, so only the panic arm can
-        // fire; surface anything else loudly.
         Err(e) => panic!("runner failed: {e}"),
     }
 }
@@ -482,7 +558,47 @@ pub fn run_policy_traced(
     tracer: &Tracer,
     checkpoint: Option<&mut Checkpoint>,
 ) -> Result<RunReport, RunnerError> {
-    run_policy_inner(figure, policy, recorder, tracer, checkpoint, None, None)
+    run_policy_inner(
+        figure,
+        policy,
+        recorder,
+        tracer,
+        &Observer::disabled(),
+        checkpoint,
+        None,
+        None,
+    )
+}
+
+/// The everything entry point: [`run_policy_checked`] driven by a
+/// [`RunOptions`] bundle — recorder, tracer, progress observer,
+/// checkpoint, and scheduling knobs in one struct. Figure binaries that
+/// thread a [`Telemetry`](crate::Telemetry) handle's full
+/// instrumentation through use this.
+///
+/// The observer's JSONL progress stream is byte-identical across
+/// `max_workers` / `chunks_per_network` settings: every streamed field
+/// derives from the deterministic episode-order fold and lines are
+/// reordered to network-index order before they are written.
+///
+/// # Errors
+///
+/// Exactly the error contract of [`run_policy_checked`].
+pub fn run_policy_with(
+    figure: &FigureRun,
+    policy: PolicyKind,
+    opts: RunOptions<'_>,
+) -> Result<RunReport, RunnerError> {
+    run_policy_inner(
+        figure,
+        policy,
+        &opts.recorder,
+        &opts.tracer,
+        &opts.observer,
+        opts.checkpoint,
+        opts.max_workers,
+        opts.chunks_per_network,
+    )
 }
 
 /// [`run_policy_checked`] with explicit scheduling knobs: `max_workers`
@@ -510,6 +626,7 @@ pub fn run_policy_tuned(
         policy,
         recorder,
         &Tracer::disabled(),
+        &Observer::disabled(),
         checkpoint,
         max_workers,
         chunks_per_network,
@@ -517,11 +634,13 @@ pub fn run_policy_tuned(
 }
 
 /// The shared body behind every `run_policy_*` entry point.
+#[allow(clippy::too_many_arguments)]
 fn run_policy_inner(
     figure: &FigureRun,
     policy: PolicyKind,
     recorder: &Recorder,
     tracer: &Tracer,
+    observer: &Observer,
     checkpoint: Option<&mut Checkpoint>,
     max_workers: Option<usize>,
     chunks_per_network: Option<usize>,
@@ -543,6 +662,18 @@ fn run_policy_inner(
         recorder
             .counter(runner_metrics::RESUMED)
             .add(resumed.len() as u64);
+    }
+    observer.begin_run(&cell, figure.network_samples, figure.episodes() as u64);
+    // Resumed networks stream up front; the observer's reorder buffer
+    // interleaves them with freshly computed ones in index order.
+    for (net, acc) in &resumed {
+        observer.network_done(
+            *net,
+            NetworkStatus::Resumed {
+                episodes: acc.runs() as u64,
+                mean_benefit: acc.mean_total_benefit(),
+            },
+        );
     }
     let base_threads = max_workers
         .unwrap_or_else(|| {
@@ -617,6 +748,7 @@ fn run_policy_inner(
                         worker,
                         &slots[net],
                         recorder,
+                        observer,
                         &tel,
                         &etel,
                         tracer,
@@ -667,6 +799,10 @@ fn run_policy_inner(
     if let Some(e) = ckpt_error.into_inner().expect("error mutex poisoned") {
         return Err(RunnerError::Checkpoint(e));
     }
+    // A panicked or checkpoint-failed run deliberately leaves the
+    // stream without its run_end line: a truncated stream is the
+    // diagnosable signature of an abnormal exit.
+    observer.end_run(per_net.len(), quarantined.len());
     Ok(RunReport {
         accumulator: total,
         quarantined,
@@ -918,6 +1054,7 @@ fn process_chunk(
     worker: usize,
     slot: &NetworkSlot,
     recorder: &Recorder,
+    observer: &Observer,
     tel: &WorkerTelemetry,
     etel: &EngineTelemetry,
     tracer: &Tracer,
@@ -935,6 +1072,7 @@ fn process_chunk(
                 SlotLifecycle::Uninit => {
                     *lc = SlotLifecycle::Initializing;
                     drop(lc);
+                    tel.networks_inflight.add(1);
                     let started = Instant::now();
                     slot.progress
                         .lock()
@@ -959,7 +1097,15 @@ fn process_chunk(
                             // Exactly-once reporting: only the
                             // initializing chunk lands here.
                             recorder.counter(runner_metrics::QUARANTINED).incr();
+                            tel.networks_inflight.sub(1);
                             tel.network_ns.record(started.elapsed().as_nanos() as u64);
+                            observer.network_done(
+                                net,
+                                NetworkStatus::Quarantined {
+                                    stage: failure.stage.to_string(),
+                                    message: failure.message.clone(),
+                                },
+                            );
                             out.failures.push(failure);
                             return;
                         }
@@ -1067,6 +1213,7 @@ fn process_chunk(
             outcomes.push(outcome.clone());
             tel.episodes.incr();
             tel.worker_episodes.incr();
+            observer.episode_done(outcome.faults.faults_seen() as u64);
         }
         drop(episodes_trace);
         outcomes
@@ -1105,12 +1252,20 @@ fn process_chunk(
     drop(progress);
     // Last chunk: release the instance memory and account the network.
     *slot.lifecycle.lock().expect("slot mutex poisoned") = SlotLifecycle::Retired;
+    tel.networks_inflight.sub(1);
     if let Some(started) = started {
         tel.network_ns.record(started.elapsed().as_nanos() as u64);
     }
     match failure {
         Some(message) => {
             recorder.counter(runner_metrics::QUARANTINED).incr();
+            observer.network_done(
+                net,
+                NetworkStatus::Quarantined {
+                    stage: "episodes".to_string(),
+                    message: message.clone(),
+                },
+            );
             out.failures.push(NetworkFailure {
                 network: net,
                 stage: "episodes",
@@ -1138,6 +1293,15 @@ fn process_chunk(
             }
             drop(guard);
             drop(ckpt_span);
+            observer.network_done(
+                net,
+                NetworkStatus::Ok {
+                    episodes: acc.runs() as u64,
+                    mean_benefit: acc.mean_total_benefit(),
+                    faults_mean: acc.mean_faults_seen(),
+                    repaired: state.was_repaired,
+                },
+            );
             out.repaired += usize::from(state.was_repaired);
             out.done.push((net, acc));
         }

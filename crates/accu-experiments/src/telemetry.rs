@@ -1,22 +1,38 @@
-//! `--telemetry` plumbing shared by the experiment binaries.
+//! `--telemetry` / observability plumbing shared by the experiment
+//! binaries.
 //!
 //! Each binary builds a [`Telemetry`] handle from its parsed [`Cli`];
-//! the handle carries an [`accu_telemetry::Recorder`] (disabled unless
-//! `--telemetry` was passed) that is threaded into the runner and
-//! policies. At the end of the run, [`Telemetry::report`] prints a
-//! per-stage summary table and writes a machine-readable JSONL snapshot
-//! under `target/experiments/telemetry/<label>.jsonl`.
+//! the handle carries an [`accu_telemetry::Recorder`] (enabled by
+//! `--telemetry` or `--metrics-addr`) that is threaded into the runner
+//! and policies, plus the live-observability pieces of `accu-obs`: a
+//! streaming-progress [`Observer`] (`--progress`), a Prometheus
+//! [`MetricsServer`] (`--metrics-addr`), and a [`Watchdog`]
+//! (`--watchdog`). At the end of the run, [`Telemetry::report`] prints
+//! a per-stage summary table and writes a machine-readable JSONL
+//! snapshot under `target/experiments/telemetry/<label>.jsonl`.
 
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use accu_core::policy::abm_metrics;
 use accu_core::{fault_metrics, sim_metrics, validate_metrics};
+use accu_telemetry::obs::{
+    throughput_floor_from_trajectory, MetricsServer, Observer, Watchdog, WatchdogConfig,
+};
 use accu_telemetry::{FieldValue, JsonlSink, Recorder, Snapshot, Tracer, DEFAULT_TRACK_CAPACITY};
 
 use crate::cli::Cli;
 use crate::output::{experiments_dir, fnum, Table};
-use crate::runner::runner_metrics;
+use crate::runner::{runner_metrics, RunOptions};
+
+/// Where the bench trajectory lives relative to the working directory;
+/// `--watchdog` seeds its throughput floor from the last healthy entry
+/// here when the spec gives no explicit `floor=`.
+const TRAJECTORY_PATH: &str = "BENCH_trajectory.jsonl";
+
+/// Exit code used by `--watchdog=strict` when any alarm fired.
+pub const WATCHDOG_EXIT_CODE: i32 = 3;
 
 /// Directory telemetry JSONL snapshots are written to
 /// (`target/experiments/telemetry`), created on demand.
@@ -65,12 +81,34 @@ pub struct Telemetry {
     tracer: Tracer,
     trace_path: Option<String>,
     label: String,
+    observer: Observer,
+    /// Whether the end-of-run summary tables and JSONL snapshot are
+    /// wanted (`--telemetry`; `--metrics-addr` enables the recorder
+    /// without them).
+    summary: bool,
+    /// `--workers` cap, forwarded into [`Telemetry::run_options`].
+    workers: Option<usize>,
+    /// `--watchdog=strict`: [`Telemetry::report`] exits nonzero when
+    /// any alarm fired.
+    strict_watchdog: bool,
+    /// Held for their lifetime: the metrics listener thread and the
+    /// watchdog tick thread stop when the last handle drops.
+    server: Option<Arc<MetricsServer>>,
+    watchdog: Option<Arc<Watchdog>>,
 }
 
 impl Telemetry {
-    /// Builds a handle whose recorder is enabled iff `cli.telemetry`
-    /// and whose tracer is enabled iff `--trace` was passed (the two
-    /// are independent).
+    /// Builds a handle from the parsed CLI: the recorder is enabled by
+    /// `--telemetry` or `--metrics-addr`, the tracer by `--trace`, the
+    /// progress observer by `--progress` (and, counters-only, by
+    /// `--watchdog` / `--metrics-addr`), the metrics listener by
+    /// `--metrics-addr`, and the watchdog by `--watchdog`. Each piece
+    /// is independent; with none of the flags every part is a no-op.
+    ///
+    /// Exits with code 2 (the CLI-error convention) when a requested
+    /// progress path or metrics address cannot be opened — the user
+    /// explicitly asked for them, so silently dropping the stream would
+    /// be worse than stopping.
     pub fn from_cli(cli: &Cli, label: &str) -> Self {
         let (tracer, trace_path) = match &cli.trace {
             Some(spec) => (
@@ -79,11 +117,53 @@ impl Telemetry {
             ),
             None => (Tracer::disabled(), None),
         };
+        let fail = |what: &str, err: &dyn std::fmt::Display| -> ! {
+            eprintln!("error: {what}: {err}");
+            std::process::exit(2);
+        };
+        let observer = match &cli.progress {
+            Some(Some(path)) => {
+                Observer::to_path(path).unwrap_or_else(|e| fail(&format!("--progress={path}"), &e))
+            }
+            Some(None) => Observer::console(),
+            // Watchdogs and the metrics endpoint read run state through
+            // the observer, so give them a counters-only one.
+            None if cli.watchdog.is_some() || cli.metrics_addr.is_some() => Observer::quiet(),
+            None => Observer::disabled(),
+        };
+        let recorder = Recorder::new(cli.telemetry || cli.metrics_addr.is_some());
+        let server = cli.metrics_addr.as_ref().map(|addr| {
+            let server = MetricsServer::bind(addr, recorder.clone(), label, observer.clone())
+                .unwrap_or_else(|e| fail(&format!("--metrics-addr {addr}"), &e));
+            eprintln!("serving metrics on http://{}/metrics", server.addr());
+            Arc::new(server)
+        });
+        let mut strict_watchdog = false;
+        let watchdog = cli.watchdog.as_ref().map(|spec| {
+            let mut config = WatchdogConfig::parse(spec)
+                .unwrap_or_else(|e| fail(&format!("--watchdog={spec}"), &e));
+            if config.min_eps.is_none() {
+                config.min_eps = throughput_floor_from_trajectory(Path::new(TRAJECTORY_PATH));
+                if let Some(floor) = config.min_eps {
+                    eprintln!(
+                        "watchdog: throughput floor {floor:.1} eps/s (from {TRAJECTORY_PATH})"
+                    );
+                }
+            }
+            strict_watchdog = config.strict;
+            Arc::new(Watchdog::spawn(config, observer.clone()))
+        });
         Telemetry {
-            recorder: Recorder::new(cli.telemetry),
+            recorder,
             tracer,
             trace_path,
             label: label.to_string(),
+            observer,
+            summary: cli.telemetry,
+            workers: cli.workers,
+            strict_watchdog,
+            server,
+            watchdog,
         }
     }
 
@@ -104,33 +184,110 @@ impl Telemetry {
         self.recorder.is_enabled()
     }
 
+    /// The streaming-progress observer (disabled unless `--progress`,
+    /// `--watchdog`, or `--metrics-addr` was passed).
+    pub fn observer(&self) -> &Observer {
+        &self.observer
+    }
+
+    /// The bound address of the live metrics endpoint, when
+    /// `--metrics-addr` was passed (resolves port 0).
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(|s| s.addr())
+    }
+
+    /// Whether a `--watchdog` is armed on this handle.
+    pub fn watchdog_armed(&self) -> bool {
+        self.watchdog.is_some()
+    }
+
+    /// A [`RunOptions`] bundle carrying this handle's recorder, tracer,
+    /// observer, and `--workers` cap — ready for
+    /// [`run_policy_with`](crate::run_policy_with). Attach a checkpoint
+    /// with struct-update syntax:
+    ///
+    /// ```no_run
+    /// # use accu_experiments::{run_policy_with, PolicyKind, RunOptions, Telemetry, Cli};
+    /// # let tel = Telemetry::from_cli(&Cli::default(), "doc");
+    /// # let figure: accu_experiments::FigureRun = unimplemented!();
+    /// # let mut ckpt: Option<accu_experiments::Checkpoint> = None;
+    /// let report = run_policy_with(
+    ///     &figure,
+    ///     PolicyKind::abm_balanced(),
+    ///     RunOptions {
+    ///         checkpoint: ckpt.as_mut(),
+    ///         ..tel.run_options()
+    ///     },
+    /// );
+    /// ```
+    pub fn run_options(&self) -> RunOptions<'static> {
+        RunOptions {
+            recorder: self.recorder.clone(),
+            tracer: self.tracer.clone(),
+            observer: self.observer.clone(),
+            checkpoint: None,
+            max_workers: self.workers,
+            chunks_per_network: None,
+        }
+    }
+
+    /// Runs `policy` over `figure` with this handle's full
+    /// instrumentation — recorder, tracer, progress observer, and the
+    /// `--workers` cap — degrading like
+    /// [`run_policy_observed`](crate::run_policy_observed):
+    /// quarantines land on stderr and a worker death salvages the
+    /// partial aggregate. The one-call path for figure binaries
+    /// without a checkpoint; checkpointed binaries use
+    /// [`run_policy_with`](crate::run_policy_with) with
+    /// [`Telemetry::run_options`] directly.
+    pub fn run(
+        &self,
+        figure: &crate::FigureRun,
+        policy: crate::PolicyKind,
+    ) -> accu_core::TraceAccumulator {
+        crate::runner::degrade_report(crate::run_policy_with(figure, policy, self.run_options()))
+    }
+
     /// Prints the summary tables and writes the JSONL snapshot, returning
     /// the JSONL path. A disabled handle does nothing and returns
     /// `Ok(None)`. Trace files (when `--trace` was given) are written
-    /// regardless of `--telemetry`.
+    /// regardless of `--telemetry`, and a `--metrics-addr`-only handle
+    /// skips the summary (its recorder exists for the scrape endpoint).
+    ///
+    /// Under `--watchdog=strict`, exits the process with
+    /// [`WATCHDOG_EXIT_CODE`] after reporting when any alarm fired
+    /// during the run.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from creating or writing the output files.
     pub fn report(&self) -> io::Result<Option<PathBuf>> {
         self.export_traces()?;
-        let Some(snapshot) = self.snapshot() else {
-            return Ok(None);
+        let path = match self.snapshot().filter(|_| self.summary) {
+            None => None,
+            Some(snapshot) => {
+                print_summary(&snapshot);
+                let path = telemetry_dir()?.join(format!("{}.jsonl", sanitize(&self.label)));
+                let mut sink = JsonlSink::create(&path)?;
+                sink.write_snapshot(&snapshot)?;
+                let derived: Vec<(&str, FieldValue)> = derived_metrics(&snapshot)
+                    .iter()
+                    .map(|(name, value)| (*name, FieldValue::F64(*value)))
+                    .collect();
+                if !derived.is_empty() {
+                    sink.write_event("derived", &derived)?;
+                }
+                sink.flush()?;
+                println!("telemetry snapshot written to {}", path.display());
+                Some(path)
+            }
         };
-        print_summary(&snapshot);
-        let path = telemetry_dir()?.join(format!("{}.jsonl", sanitize(&self.label)));
-        let mut sink = JsonlSink::create(&path)?;
-        sink.write_snapshot(&snapshot)?;
-        let derived: Vec<(&str, FieldValue)> = derived_metrics(&snapshot)
-            .iter()
-            .map(|(name, value)| (*name, FieldValue::F64(*value)))
-            .collect();
-        if !derived.is_empty() {
-            sink.write_event("derived", &derived)?;
+        let alarms = self.observer.alarm_count();
+        if self.strict_watchdog && alarms > 0 {
+            eprintln!("watchdog: {alarms} alarm(s) fired; exiting with code {WATCHDOG_EXIT_CODE} (--watchdog=strict)");
+            std::process::exit(WATCHDOG_EXIT_CODE);
         }
-        sink.flush()?;
-        println!("telemetry snapshot written to {}", path.display());
-        Ok(Some(path))
+        Ok(path)
     }
 
     /// Captures the current snapshot (None when disabled).
@@ -375,6 +532,39 @@ mod tests {
         assert!(!tel.is_enabled(), "--trace alone must not enable metrics");
         assert!(tel.tracer().is_enabled());
         assert_eq!(tel.tracer().sample_every(), 5);
+    }
+
+    #[test]
+    fn metrics_addr_enables_recorder_without_summary() {
+        let cli = Cli::parse_from(["--metrics-addr", "127.0.0.1:0"]).unwrap();
+        let tel = Telemetry::from_cli(&cli, "obs-test");
+        assert!(tel.is_enabled(), "--metrics-addr needs a live recorder");
+        let addr = tel.metrics_addr().expect("listener bound");
+        assert_ne!(addr.port(), 0, "port 0 resolves to an ephemeral port");
+        assert!(tel.observer().is_enabled(), "scrapes carry obs gauges");
+        // No --telemetry: report prints no summary and writes no file.
+        assert_eq!(tel.report().unwrap(), None);
+    }
+
+    #[test]
+    fn run_options_carry_the_workers_cap() {
+        let cli = Cli::parse_from(["--workers", "3", "--telemetry"]).unwrap();
+        let tel = Telemetry::from_cli(&cli, "opts-test");
+        let opts = tel.run_options();
+        assert_eq!(opts.max_workers, Some(3));
+        assert!(opts.recorder.is_enabled());
+        assert!(!opts.observer.is_enabled());
+        assert!(opts.checkpoint.is_none());
+    }
+
+    #[test]
+    fn watchdog_flag_arms_a_quiet_observer() {
+        let cli = Cli::parse_from(["--watchdog=stall=60"]).unwrap();
+        let tel = Telemetry::from_cli(&cli, "wd-test");
+        assert!(tel.watchdog_armed());
+        assert!(tel.observer().is_enabled());
+        assert!(tel.observer().stream_path().is_none(), "quiet: no JSONL");
+        assert!(!tel.is_enabled(), "--watchdog alone enables no recorder");
     }
 
     #[test]

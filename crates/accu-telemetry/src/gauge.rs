@@ -1,0 +1,130 @@
+//! Lock-free gauges for in-flight state.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A settable signed gauge (last-write-wins), for in-flight state such
+/// as "episodes currently running" or "networks remaining".
+///
+/// Unlike a [`Counter`](crate::Counter), a gauge can move down as well
+/// as up; like a counter, every operation is a single relaxed atomic
+/// instruction, cheap enough for per-episode bookkeeping.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A possibly-no-op handle to a [`Gauge`] in a recorder's registry.
+///
+/// Obtained from [`Recorder::gauge`](crate::Recorder::gauge). A handle
+/// from a disabled recorder holds no gauge and its methods do nothing.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeHandle(pub(crate) Option<Arc<Gauge>>);
+
+impl GaugeHandle {
+    /// A handle that ignores all updates.
+    pub fn noop() -> Self {
+        GaugeHandle(None)
+    }
+
+    /// Whether updates are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Sets the gauge (no-op when disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.set(v);
+        }
+    }
+
+    /// Adds `n` (no-op when disabled).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.add(n);
+        }
+    }
+
+    /// Subtracts `n` (no-op when disabled).
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.sub(n);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn value(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moves_both_directions() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(7);
+        assert_eq!(g.value(), 8);
+        g.set(-3);
+        assert_eq!(g.value(), -3);
+    }
+
+    #[test]
+    fn noop_handle_ignores_everything() {
+        let h = GaugeHandle::noop();
+        h.set(9);
+        h.add(1);
+        h.sub(1);
+        assert_eq!(h.value(), 0);
+        assert!(!h.is_enabled());
+    }
+
+    #[test]
+    fn live_handle_shares_the_gauge() {
+        let g = Arc::new(Gauge::new());
+        let h1 = GaugeHandle(Some(g.clone()));
+        let h2 = h1.clone();
+        h1.add(2);
+        h2.sub(5);
+        assert_eq!(g.value(), -3);
+        assert!(h1.is_enabled());
+    }
+}

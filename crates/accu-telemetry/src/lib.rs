@@ -57,16 +57,19 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod counter;
+mod gauge;
 mod histogram;
+pub mod obs;
 mod recorder;
 mod snapshot;
 pub mod trace;
 
 pub use counter::{Counter, CounterHandle};
+pub use gauge::{Gauge, GaugeHandle};
 pub use histogram::{Histogram, HistogramHandle, SpanGuard};
 pub use recorder::Recorder;
 pub use snapshot::{
-    json_escape, CounterSnapshot, FieldValue, HistogramSnapshot, JsonlSink, Snapshot,
+    json_escape, CounterSnapshot, FieldValue, GaugeSnapshot, HistogramSnapshot, JsonlSink, Snapshot,
 };
 pub use trace::{
     parse_json, validate_chrome_trace, ChromeTraceStats, Json, TraceSpan, TraceTrack, TraceValue,

@@ -1,0 +1,37 @@
+//! # accu-obs: live observability over the telemetry registry
+//!
+//! Everything in [`crate`] outside this module is *post-hoc*: metrics
+//! accumulate silently and are snapshotted once at exit. This module
+//! makes a run observable **while it runs**, with four dependency-free
+//! pieces:
+//!
+//! * [`prometheus`] — a Prometheus-text-format (0.0.4) encoder over
+//!   [`Snapshot`](crate::Snapshot), plus a validator for tests and CI;
+//! * [`server`] — a background-thread TCP/HTTP listener serving live
+//!   scrapes of a [`Recorder`](crate::Recorder) (the `--metrics-addr`
+//!   flag, and the listener skeleton a future ACCU daemon reuses);
+//! * [`progress`] — a streaming progress [`Observer`] the experiment
+//!   runner feeds per episode and per network: console status line plus
+//!   a deterministic JSONL stream that is byte-identical across worker
+//!   counts (the `--progress` flag);
+//! * [`watchdog`] — rule-based monitors over the live observer state:
+//!   stall detection, a throughput floor seeded from
+//!   `BENCH_trajectory.jsonl`, and fault-rate spike alarms, emitting
+//!   structured `obs.alarm` events (the `--watchdog` flag).
+//!
+//! Cross-run analytics (`telemetry_diff`, `bench_report`) live in the
+//! experiments crate, which owns the JSONL artifacts they compare; the
+//! trajectory schema constants they share sit here so the bench writer
+//! and every reader agree on one version.
+
+pub mod progress;
+pub mod prometheus;
+pub mod server;
+pub mod watchdog;
+
+pub use progress::{NetworkStatus, Observer};
+pub use prometheus::{encode_prometheus, validate_prometheus, PromStats};
+pub use server::MetricsServer;
+pub use watchdog::{
+    throughput_floor_from_trajectory, Alarm, AlarmKind, Watchdog, WatchdogConfig, TRAJECTORY_SCHEMA,
+};

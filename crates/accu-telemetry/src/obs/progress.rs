@@ -1,0 +1,637 @@
+//! Streaming run progress: a thread-safe [`Observer`] the experiment
+//! runner feeds per episode and per network.
+//!
+//! Two outputs, with different determinism contracts:
+//!
+//! * **Console status line** (stderr): wall-clock rates, ETA — live,
+//!   throttled, and explicitly *not* deterministic.
+//! * **JSONL stream**: only scheduling-independent fields (episode
+//!   counts, per-network fold statistics, quarantine reasons), emitted
+//!   through a per-run reorder buffer keyed by network index — so the
+//!   file is **byte-identical across worker counts** for a fixed seed.
+//!   Watchdog alarms are the one exception (they are wall-clock events
+//!   by nature); a run that raises no alarms keeps the guarantee.
+
+use std::collections::BTreeMap;
+use std::io::{self, IsTerminal as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::snapshot::{json_escape, json_number, GaugeSnapshot, JsonlSink};
+
+/// How one network finished, as reported to [`Observer::network_done`].
+///
+/// Every numeric field must be derived from the deterministic
+/// episode-order fold (never from wall clocks or scheduling), because
+/// these values go verbatim into the byte-stable JSONL stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkStatus {
+    /// Freshly computed to completion.
+    Ok {
+        /// Episodes folded into the network's accumulator.
+        episodes: u64,
+        /// Mean total benefit over those episodes.
+        mean_benefit: f64,
+        /// Mean faults observed per episode.
+        faults_mean: f64,
+        /// Whether the Lenient validation pass repaired the instance.
+        repaired: bool,
+    },
+    /// Loaded from a checkpoint instead of recomputed.
+    Resumed {
+        /// Episodes covered by the checkpoint entry.
+        episodes: u64,
+        /// Mean total benefit recorded in the checkpoint.
+        mean_benefit: f64,
+    },
+    /// Dropped by the quarantine.
+    Quarantined {
+        /// Failing stage (`"dataset"`, `"protocol"`, `"validate"`,
+        /// `"episodes"`).
+        stage: String,
+        /// The error or panic message.
+        message: String,
+    },
+}
+
+/// JSONL sink plus the reorder buffer, under one lock so lines can
+/// never interleave out of order.
+struct StreamState {
+    sink: Option<JsonlSink>,
+    /// Next network index the stream is waiting for.
+    next: usize,
+    /// Lines for networks that finished ahead of `next`.
+    pending: BTreeMap<usize, String>,
+}
+
+impl StreamState {
+    fn write_line(&mut self, line: &str) {
+        if let Some(sink) = &mut self.sink {
+            if let Err(err) = sink.write_line(line) {
+                eprintln!("accu-obs: progress sink write failed: {err}");
+                self.sink = None;
+            }
+        }
+    }
+
+    /// Queues `line` for network `net` and drains every line that is
+    /// now in order.
+    fn push_network(&mut self, net: usize, line: String) {
+        self.pending.insert(net, line);
+        while let Some(line) = self.pending.remove(&self.next) {
+            self.write_line(&line);
+            self.next += 1;
+        }
+    }
+}
+
+/// Console rendering state (wall-clock side; throttled, stderr-only).
+struct ConsoleState {
+    last_render: Instant,
+    needs_newline: bool,
+}
+
+struct ObserverInner {
+    // Monotonic run counters (cumulative across cells in one process).
+    episodes_done: AtomicU64,
+    episodes_total: AtomicU64,
+    networks_done: AtomicU64,
+    networks_total: AtomicU64,
+    faults_seen: AtomicU64,
+    quarantined: AtomicU64,
+    repaired: AtomicU64,
+    resumed: AtomicU64,
+    alarms: AtomicU64,
+    /// Whether a run is between `begin_run` and `end_run`.
+    active: AtomicBool,
+    /// Nanoseconds since `started` of the most recent episode (or run
+    /// begin), for the stall watchdog.
+    last_progress_ns: AtomicU64,
+    started: Instant,
+    console: bool,
+    stderr_is_tty: bool,
+    cell: Mutex<String>,
+    stream: Mutex<StreamState>,
+    render: Mutex<ConsoleState>,
+}
+
+/// Point-in-time observer readings consumed by the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsStats {
+    /// A run is currently active (`begin_run` seen, `end_run` not).
+    pub active: bool,
+    /// Wall-clock time since the observer was created.
+    pub elapsed: Duration,
+    /// Wall-clock time since the last completed episode (or run begin).
+    pub since_last_progress: Duration,
+    /// Episodes completed so far (fresh + resumed).
+    pub episodes_done: u64,
+    /// Episodes announced via `begin_run` so far.
+    pub episodes_total: u64,
+    /// Faults observed across all completed episodes.
+    pub faults_seen: u64,
+}
+
+impl ObsStats {
+    /// Mean episodes per wall-clock second since the observer started.
+    pub fn eps_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.episodes_done as f64 / secs
+        }
+    }
+
+    /// Mean faults per completed episode (0 before the first episode).
+    pub fn fault_rate(&self) -> f64 {
+        if self.episodes_done == 0 {
+            0.0
+        } else {
+            self.faults_seen as f64 / self.episodes_done as f64
+        }
+    }
+}
+
+/// A streaming progress observer threaded through the experiment
+/// runner.
+///
+/// Like [`Recorder`](crate::Recorder), the observer is an `Option<Arc>`
+/// handle: [`Observer::disabled`] (the [`Default`]) makes every method
+/// a branch on `None`, so the runner can call the hooks unconditionally
+/// at no cost when `--progress` is off. Clones share state.
+#[derive(Clone, Default)]
+pub struct Observer(Option<Arc<ObserverInner>>);
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer")
+            .field("enabled", &self.0.is_some())
+            .finish()
+    }
+}
+
+/// Minimum wall-clock gap between console status renders.
+const RENDER_INTERVAL_TTY: Duration = Duration::from_millis(200);
+/// Non-tty stderr (CI logs) gets milestone lines, much less often.
+const RENDER_INTERVAL_PLAIN: Duration = Duration::from_secs(5);
+
+impl Observer {
+    /// An observer that ignores every hook.
+    pub fn disabled() -> Self {
+        Observer(None)
+    }
+
+    /// A console-only observer (status line on stderr, no JSONL).
+    pub fn console() -> Self {
+        Self::build(None, true)
+    }
+
+    /// An observer streaming deterministic JSONL to `path` in addition
+    /// to the console status line.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error creating the sink file.
+    pub fn to_path(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::build(Some(JsonlSink::create(path)?), true))
+    }
+
+    /// Like [`Observer::to_path`] but without the console line —
+    /// deterministic JSONL only, for tests comparing streams.
+    pub fn to_path_quiet(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::build(Some(JsonlSink::create(path)?), false))
+    }
+
+    /// A counters-only observer: no console line, no JSONL. This is
+    /// what watchdogs and the metrics endpoint run against when the
+    /// user did not ask for `--progress` — the hooks still track run
+    /// state, but nothing is rendered or written.
+    pub fn quiet() -> Self {
+        Self::build(None, false)
+    }
+
+    fn build(sink: Option<JsonlSink>, console: bool) -> Self {
+        Observer(Some(Arc::new(ObserverInner {
+            episodes_done: AtomicU64::new(0),
+            episodes_total: AtomicU64::new(0),
+            networks_done: AtomicU64::new(0),
+            networks_total: AtomicU64::new(0),
+            faults_seen: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            repaired: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
+            alarms: AtomicU64::new(0),
+            active: AtomicBool::new(false),
+            last_progress_ns: AtomicU64::new(0),
+            started: Instant::now(),
+            console,
+            stderr_is_tty: io::stderr().is_terminal(),
+            cell: Mutex::new(String::new()),
+            stream: Mutex::new(StreamState {
+                sink,
+                next: 0,
+                pending: BTreeMap::new(),
+            }),
+            render: Mutex::new(ConsoleState {
+                last_render: Instant::now(),
+                needs_newline: false,
+            }),
+        })))
+    }
+
+    /// Whether the hooks do anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Path of the JSONL stream, when one is attached.
+    pub fn stream_path(&self) -> Option<PathBuf> {
+        let inner = self.0.as_ref()?;
+        let stream = inner.stream.lock().expect("obs stream poisoned");
+        stream.sink.as_ref().map(|s| s.path().to_path_buf())
+    }
+
+    fn touch(inner: &ObserverInner) {
+        let ns = u64::try_from(inner.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        inner.last_progress_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Announces one experiment cell: `networks` sampled networks for a
+    /// total of `episodes` episodes. Resets the reorder buffer; every
+    /// network index of this cell must then be reported exactly once.
+    pub fn begin_run(&self, cell: &str, networks: usize, episodes: u64) {
+        let Some(inner) = &self.0 else { return };
+        inner
+            .networks_total
+            .fetch_add(networks as u64, Ordering::Relaxed);
+        inner.episodes_total.fetch_add(episodes, Ordering::Relaxed);
+        inner.active.store(true, Ordering::Relaxed);
+        Self::touch(inner);
+        *inner.cell.lock().expect("obs cell poisoned") = cell.to_string();
+        let mut stream = inner.stream.lock().expect("obs stream poisoned");
+        debug_assert!(stream.pending.is_empty(), "previous run left pending lines");
+        stream.next = 0;
+        let line = format!(
+            "{{\"type\":\"run_begin\",\"cell\":\"{}\",\"networks\":{networks},\"episodes\":{episodes}}}",
+            json_escape(cell)
+        );
+        stream.write_line(&line);
+    }
+
+    /// Records one completed episode with the faults it observed.
+    /// Called from worker threads; cheap (atomics plus an occasional
+    /// throttled console render).
+    pub fn episode_done(&self, faults: u64) {
+        let Some(inner) = &self.0 else { return };
+        inner.episodes_done.fetch_add(1, Ordering::Relaxed);
+        inner.faults_seen.fetch_add(faults, Ordering::Relaxed);
+        Self::touch(inner);
+        if inner.console {
+            self.maybe_render(inner);
+        }
+    }
+
+    /// Reports the final status of network `net`. Statuses buffer until
+    /// every lower-indexed network has reported, so the JSONL stream is
+    /// ordered by network index regardless of scheduling.
+    pub fn network_done(&self, net: usize, status: NetworkStatus) {
+        let Some(inner) = &self.0 else { return };
+        inner.networks_done.fetch_add(1, Ordering::Relaxed);
+        let line = match &status {
+            NetworkStatus::Ok {
+                episodes,
+                mean_benefit,
+                faults_mean,
+                repaired,
+            } => {
+                if *repaired {
+                    inner.repaired.fetch_add(1, Ordering::Relaxed);
+                }
+                format!(
+                    "{{\"type\":\"network\",\"net\":{net},\"status\":\"ok\",\"episodes\":{episodes},\
+                     \"mean_benefit\":{},\"faults_mean\":{},\"repaired\":{repaired}}}",
+                    json_number(*mean_benefit),
+                    json_number(*faults_mean),
+                )
+            }
+            NetworkStatus::Resumed {
+                episodes,
+                mean_benefit,
+            } => {
+                inner.resumed.fetch_add(1, Ordering::Relaxed);
+                inner.episodes_done.fetch_add(*episodes, Ordering::Relaxed);
+                format!(
+                    "{{\"type\":\"network\",\"net\":{net},\"status\":\"resumed\",\
+                     \"episodes\":{episodes},\"mean_benefit\":{}}}",
+                    json_number(*mean_benefit),
+                )
+            }
+            NetworkStatus::Quarantined { stage, message } => {
+                inner.quarantined.fetch_add(1, Ordering::Relaxed);
+                format!(
+                    "{{\"type\":\"network\",\"net\":{net},\"status\":\"quarantined\",\
+                     \"stage\":\"{}\",\"message\":\"{}\"}}",
+                    json_escape(stage),
+                    json_escape(message),
+                )
+            }
+        };
+        Self::touch(inner);
+        inner
+            .stream
+            .lock()
+            .expect("obs stream poisoned")
+            .push_network(net, line);
+    }
+
+    /// Closes the current cell's stream section and flushes the sink.
+    pub fn end_run(&self, completed: usize, quarantined: usize) {
+        let Some(inner) = &self.0 else { return };
+        inner.active.store(false, Ordering::Relaxed);
+        let cell = inner.cell.lock().expect("obs cell poisoned").clone();
+        let episodes_done = inner.episodes_done.load(Ordering::Relaxed);
+        let mut stream = inner.stream.lock().expect("obs stream poisoned");
+        debug_assert!(
+            stream.pending.is_empty(),
+            "end_run with unordered networks still pending"
+        );
+        let line = format!(
+            "{{\"type\":\"run_end\",\"cell\":\"{}\",\"completed\":{completed},\
+             \"quarantined\":{quarantined},\"episodes_done\":{episodes_done}}}",
+            json_escape(&cell)
+        );
+        stream.write_line(&line);
+        if let Some(sink) = &mut stream.sink {
+            if let Err(err) = sink.flush() {
+                eprintln!("accu-obs: progress sink flush failed: {err}");
+            }
+        }
+        drop(stream);
+        if inner.console {
+            self.finish_console_line(inner);
+        }
+    }
+
+    /// Counts a watchdog alarm and appends its structured event to the
+    /// JSONL stream (alarms are wall-clock events; see the module docs
+    /// for the determinism caveat).
+    pub fn record_alarm(&self, json_line: &str) {
+        let Some(inner) = &self.0 else { return };
+        inner.alarms.fetch_add(1, Ordering::Relaxed);
+        inner
+            .stream
+            .lock()
+            .expect("obs stream poisoned")
+            .write_line(json_line);
+    }
+
+    /// Number of watchdog alarms recorded (drives `--watchdog=strict`).
+    pub fn alarm_count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |i| i.alarms.load(Ordering::Relaxed))
+    }
+
+    /// Current readings for the watchdog.
+    pub fn stats(&self) -> ObsStats {
+        match &self.0 {
+            None => ObsStats {
+                active: false,
+                elapsed: Duration::ZERO,
+                since_last_progress: Duration::ZERO,
+                episodes_done: 0,
+                episodes_total: 0,
+                faults_seen: 0,
+            },
+            Some(inner) => {
+                let elapsed = inner.started.elapsed();
+                let last = Duration::from_nanos(inner.last_progress_ns.load(Ordering::Relaxed));
+                ObsStats {
+                    active: inner.active.load(Ordering::Relaxed),
+                    elapsed,
+                    since_last_progress: elapsed.saturating_sub(last),
+                    episodes_done: inner.episodes_done.load(Ordering::Relaxed),
+                    episodes_total: inner.episodes_total.load(Ordering::Relaxed),
+                    faults_seen: inner.faults_seen.load(Ordering::Relaxed),
+                }
+            }
+        }
+    }
+
+    /// Live observer state as gauge samples, merged into the metrics
+    /// server's scrape under `obs.*` names.
+    pub fn gauge_snapshots(&self) -> Vec<GaugeSnapshot> {
+        let Some(inner) = &self.0 else {
+            return Vec::new();
+        };
+        let g = |name: &str, value: u64| GaugeSnapshot {
+            name: name.to_string(),
+            value: i64::try_from(value).unwrap_or(i64::MAX),
+        };
+        vec![
+            g(
+                "obs.episodes_done",
+                inner.episodes_done.load(Ordering::Relaxed),
+            ),
+            g(
+                "obs.episodes_total",
+                inner.episodes_total.load(Ordering::Relaxed),
+            ),
+            g(
+                "obs.networks_done",
+                inner.networks_done.load(Ordering::Relaxed),
+            ),
+            g(
+                "obs.networks_total",
+                inner.networks_total.load(Ordering::Relaxed),
+            ),
+            g("obs.faults_seen", inner.faults_seen.load(Ordering::Relaxed)),
+            g("obs.quarantined", inner.quarantined.load(Ordering::Relaxed)),
+            g("obs.repaired", inner.repaired.load(Ordering::Relaxed)),
+            g("obs.resumed", inner.resumed.load(Ordering::Relaxed)),
+            g("obs.alarms", inner.alarms.load(Ordering::Relaxed)),
+        ]
+    }
+
+    /// Renders the status line if the throttle window has passed.
+    /// `try_lock` keeps workers from ever blocking on rendering.
+    fn maybe_render(&self, inner: &ObserverInner) {
+        let Ok(mut render) = inner.render.try_lock() else {
+            return;
+        };
+        let interval = if inner.stderr_is_tty {
+            RENDER_INTERVAL_TTY
+        } else {
+            RENDER_INTERVAL_PLAIN
+        };
+        if render.last_render.elapsed() < interval {
+            return;
+        }
+        render.last_render = Instant::now();
+        let stats = self.stats();
+        let cell = inner.cell.lock().expect("obs cell poisoned").clone();
+        let eps = stats.eps_per_sec();
+        let eta = if eps > 0.0 && stats.episodes_total > stats.episodes_done {
+            let secs = (stats.episodes_total - stats.episodes_done) as f64 / eps;
+            format!("{}s", secs.round() as u64)
+        } else {
+            "-".to_string()
+        };
+        let pct = if stats.episodes_total > 0 {
+            100.0 * stats.episodes_done as f64 / stats.episodes_total as f64
+        } else {
+            0.0
+        };
+        let line = format!(
+            "[{cell}] {}/{} episodes ({pct:.1}%) | {eps:.1} eps/s | ETA {eta} | nets {}/{} | faults {}",
+            stats.episodes_done,
+            stats.episodes_total,
+            inner.networks_done.load(Ordering::Relaxed),
+            inner.networks_total.load(Ordering::Relaxed),
+            stats.faults_seen,
+        );
+        if inner.stderr_is_tty {
+            eprint!("\r\x1b[2K{line}");
+            render.needs_newline = true;
+        } else {
+            eprintln!("{line}");
+        }
+    }
+
+    /// Terminates a `\r`-style status line so later output starts on a
+    /// fresh line.
+    fn finish_console_line(&self, inner: &ObserverInner) {
+        let mut render = inner.render.lock().expect("obs render poisoned");
+        if render.needs_newline {
+            eprintln!();
+            render.needs_newline = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("accu-obs-progress-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let obs = Observer::disabled();
+        obs.begin_run("cell", 3, 6);
+        obs.episode_done(1);
+        obs.network_done(
+            0,
+            NetworkStatus::Ok {
+                episodes: 2,
+                mean_benefit: 1.0,
+                faults_mean: 0.0,
+                repaired: false,
+            },
+        );
+        obs.end_run(3, 0);
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.stats().episodes_done, 0);
+        assert_eq!(obs.alarm_count(), 0);
+        assert!(obs.gauge_snapshots().is_empty());
+        assert!(obs.stream_path().is_none());
+    }
+
+    #[test]
+    fn out_of_order_networks_stream_in_index_order() {
+        let path = tmp("reorder.jsonl");
+        let obs = Observer::to_path_quiet(&path).unwrap();
+        obs.begin_run("cell-a", 3, 6);
+        // Workers finish 2, 0, 1 — the stream must still read 0, 1, 2.
+        obs.network_done(
+            2,
+            NetworkStatus::Quarantined {
+                stage: "protocol".into(),
+                message: "boom \"quoted\"".into(),
+            },
+        );
+        obs.network_done(
+            0,
+            NetworkStatus::Ok {
+                episodes: 2,
+                mean_benefit: 54.5,
+                faults_mean: 0.5,
+                repaired: true,
+            },
+        );
+        obs.network_done(
+            1,
+            NetworkStatus::Resumed {
+                episodes: 2,
+                mean_benefit: 50.0,
+            },
+        );
+        obs.end_run(2, 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("\"type\":\"run_begin\""));
+        assert!(lines[0].contains("\"cell\":\"cell-a\""));
+        assert!(lines[1].contains("\"net\":0"));
+        assert!(lines[1].contains("\"repaired\":true"));
+        assert!(lines[2].contains("\"net\":1"));
+        assert!(lines[2].contains("\"status\":\"resumed\""));
+        assert!(lines[3].contains("\"net\":2"));
+        assert!(lines[3].contains("\"message\":\"boom \\\"quoted\\\"\""));
+        assert!(lines[4].contains("\"type\":\"run_end\""));
+        assert!(lines[4].contains("\"quarantined\":1"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn counters_track_episodes_and_alarms() {
+        let path = tmp("counters.jsonl");
+        let obs = Observer::to_path_quiet(&path).unwrap();
+        obs.begin_run("c", 1, 4);
+        obs.episode_done(0);
+        obs.episode_done(3);
+        let stats = obs.stats();
+        assert!(stats.active);
+        assert_eq!(stats.episodes_done, 2);
+        assert_eq!(stats.episodes_total, 4);
+        assert_eq!(stats.faults_seen, 3);
+        assert!(stats.fault_rate() > 1.4 && stats.fault_rate() < 1.6);
+        obs.record_alarm("{\"type\":\"obs.alarm\",\"kind\":\"stall\"}");
+        assert_eq!(obs.alarm_count(), 1);
+        let gauges = obs.gauge_snapshots();
+        assert!(gauges
+            .iter()
+            .any(|g| g.name == "obs.episodes_done" && g.value == 2));
+        assert!(gauges
+            .iter()
+            .any(|g| g.name == "obs.alarms" && g.value == 1));
+        obs.network_done(
+            0,
+            NetworkStatus::Ok {
+                episodes: 4,
+                mean_benefit: 1.0,
+                faults_mean: 0.75,
+                repaired: false,
+            },
+        );
+        obs.end_run(1, 0);
+        assert!(!obs.stats().active);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"type\":\"obs.alarm\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Observer::console();
+        let clone = obs.clone();
+        obs.begin_run("c", 1, 2);
+        clone.episode_done(0);
+        assert_eq!(obs.stats().episodes_done, 1);
+    }
+}

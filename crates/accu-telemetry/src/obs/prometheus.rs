@@ -1,0 +1,389 @@
+//! Prometheus text-format (0.0.4) exposition over [`Snapshot`]s.
+//!
+//! Dependency-free by design: the encoder emits the subset of the text
+//! format that Prometheus, VictoriaMetrics, and `promtool check
+//! metrics` all accept — `# TYPE` headers, cumulative `_bucket{le=…}`
+//! series with `_sum`/`_count`, and label-value escaping — and
+//! [`validate_prometheus`] re-parses that subset strictly enough to
+//! catch a malformed scrape in tests and CI.
+
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use std::fmt::Write as _;
+
+/// Validation summary returned by [`validate_prometheus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromStats {
+    /// Number of `# TYPE` families declared.
+    pub families: usize,
+    /// Number of sample lines.
+    pub samples: usize,
+}
+
+/// Maps a dotted registry name (`runner.worker.0.episodes`) to a valid
+/// Prometheus metric name (`accu_runner_worker_0_episodes`): every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`, and the `accu_`
+/// prefix both namespaces the metric and guards against a leading
+/// digit.
+pub fn metric_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 5);
+    out.push_str("accu_");
+    for ch in raw.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be escaped; everything else passes through.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Upper edge of log-bucket `i` (`2^(i+1) − 1`), matching
+/// [`Histogram`](crate::Histogram)'s bucketing.
+fn bucket_upper_edge(i: u8) -> u64 {
+    if u32::from(i) + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+fn write_histogram(out: &mut String, h: &HistogramSnapshot, run_label: &str) {
+    let name = metric_name(&h.name);
+    let run_only = run_label.trim_end_matches(',');
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for &(idx, count) in &h.buckets {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{run_label}le=\"{}\"}} {cumulative}",
+            bucket_upper_edge(idx)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{{run_label}le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum{{{run_only}}} {}", h.sum);
+    let _ = writeln!(out, "{name}_count{{{run_only}}} {}", h.count);
+    // Derived quantiles cannot share the histogram family name (the
+    // format reserves its suffixes), so they form a sibling gauge
+    // family with the conventional `quantile` label.
+    let _ = writeln!(out, "# TYPE {name}_quantile gauge");
+    for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+        let _ = writeln!(out, "{name}_quantile{{{run_label}quantile=\"{q}\"}} {v}");
+    }
+}
+
+/// Encodes a snapshot as a Prometheus text-format scrape body.
+///
+/// The snapshot label becomes a `run="…"` label on every sample, so
+/// scrapes from different experiment cells stay distinguishable in one
+/// time-series database. The output always ends with a newline, as the
+/// format requires.
+pub fn encode_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    let run_label = if snap.label.is_empty() {
+        String::new()
+    } else {
+        format!("run=\"{}\",", escape_label_value(&snap.label))
+    };
+    // Bare-label positions (counters/gauges) drop the trailing comma.
+    let run_only = run_label.trim_end_matches(',');
+    for c in &snap.counters {
+        let name = metric_name(&c.name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name}{{{run_only}}} {}", c.value);
+    }
+    for g in &snap.gauges {
+        let name = metric_name(&g.name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name}{{{run_only}}} {}", g.value);
+    }
+    for h in &snap.histograms {
+        write_histogram(&mut out, h, &run_label);
+    }
+    out
+}
+
+/// Is `name` a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Is `name` a valid label name (`[a-zA-Z_][a-zA-Z0-9_]*`)?
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses one `{name="value",…}` label block; returns the rest of the
+/// line after the closing brace.
+fn parse_labels(s: &str, line_no: usize) -> Result<&str, String> {
+    let mut rest = &s[1..]; // past '{'
+    loop {
+        rest = rest.trim_start_matches(',');
+        if let Some(tail) = rest.strip_prefix('}') {
+            return Ok(tail);
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let label = &rest[..eq];
+        if !valid_label_name(label) {
+            return Err(format!("line {line_no}: invalid label name {label:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("line {line_no}: label value must be quoted"))?;
+        // Scan the quoted value honoring \\ \" \n escapes.
+        let mut chars = rest.char_indices();
+        let end = loop {
+            match chars.next() {
+                None => return Err(format!("line {line_no}: unterminated label value")),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '\\' | '"' | 'n')) => {}
+                    _ => return Err(format!("line {line_no}: bad escape in label value")),
+                },
+                Some((i, '"')) => break i,
+                Some(_) => {}
+            }
+        };
+        rest = &rest[end + 1..];
+    }
+}
+
+/// Strictly validates a Prometheus text-format scrape body.
+///
+/// Checks every `# TYPE` header, metric/label-name validity, label
+/// quoting and escapes, sample-value parseability, that every sample
+/// belongs to a declared family (allowing the histogram suffixes
+/// `_bucket`/`_sum`/`_count` only for `histogram` families), and the
+/// trailing newline the format requires.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_prometheus(text: &str) -> Result<PromStats, String> {
+    if text.is_empty() {
+        return Err("empty exposition".to_string());
+    }
+    if !text.ends_with('\n') {
+        return Err("exposition must end with a newline".to_string());
+    }
+    let mut families: std::collections::BTreeMap<String, String> = Default::default();
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(k), None) => (n, k),
+                _ => return Err(format!("line {line_no}: malformed TYPE line")),
+            };
+            if !valid_metric_name(name) {
+                return Err(format!("line {line_no}: invalid metric name {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {line_no}: unknown metric type {kind:?}"));
+            }
+            if families
+                .insert(name.to_string(), kind.to_string())
+                .is_some()
+            {
+                return Err(format!("line {line_no}: duplicate TYPE for {name:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free-form comment
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {line_no}: sample without value"))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {line_no}: invalid metric name {name:?}"));
+        }
+        let family_ok = families.contains_key(name)
+            || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                name.strip_suffix(suffix)
+                    .is_some_and(|base| families.get(base).map(String::as_str) == Some("histogram"))
+            });
+        if !family_ok {
+            return Err(format!(
+                "line {line_no}: sample {name:?} has no TYPE header"
+            ));
+        }
+        let rest = &line[name_end..];
+        let rest = if rest.starts_with('{') {
+            parse_labels(rest, line_no)?
+        } else {
+            rest
+        };
+        let mut tokens = rest.split_whitespace();
+        let value = tokens
+            .next()
+            .ok_or_else(|| format!("line {line_no}: missing sample value"))?;
+        let value_ok = value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "NaN");
+        if !value_ok {
+            return Err(format!("line {line_no}: unparseable value {value:?}"));
+        }
+        if let Some(ts) = tokens.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {line_no}: bad timestamp {ts:?}"));
+            }
+        }
+        if tokens.next().is_some() {
+            return Err(format!("line {line_no}: trailing garbage"));
+        }
+        samples += 1;
+    }
+    Ok(PromStats {
+        families: families.len(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn metric_names_are_sanitized_and_valid() {
+        assert_eq!(metric_name("sim.requests"), "accu_sim_requests");
+        assert_eq!(
+            metric_name("runner.worker.0.episodes"),
+            "accu_runner_worker_0_episodes"
+        );
+        assert_eq!(metric_name("weird-name!x"), "accu_weird_name_x");
+        for raw in ["sim.requests", "0leading", "a b", "α"] {
+            assert!(valid_metric_name(&metric_name(raw)), "{raw}");
+        }
+        assert!(!valid_metric_name("0bad"));
+        assert!(!valid_metric_name("has space"));
+        assert!(!valid_metric_name(""));
+    }
+
+    #[test]
+    fn label_values_escape_correctly() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("line\nbreak"), "line\\nbreak");
+        assert_eq!(escape_label_value("plain"), "plain");
+        // Escaped values round-trip through the validator.
+        let text = "# TYPE m counter\nm{run=\"a\\\"b\\\\c\\nd\"} 1\n";
+        let stats = validate_prometheus(text).unwrap();
+        assert_eq!(stats.samples, 1);
+    }
+
+    #[test]
+    fn golden_scrape_of_populated_recorder() {
+        let rec = Recorder::enabled();
+        rec.counter("sim.requests").add(900);
+        rec.counter("runner.episodes").add(30);
+        rec.gauge("runner.networks_inflight").set(4);
+        let h = rec.histogram("sim.select_ns");
+        h.record(10); // bucket 3 (edge 15)
+        h.record(10);
+        h.record(300); // bucket 8 (edge 511)
+        let snap = rec.snapshot("fig2/\"twitter\"").unwrap();
+        let text = encode_prometheus(&snap);
+        let expected = "\
+# TYPE accu_runner_episodes counter
+accu_runner_episodes{run=\"fig2/\\\"twitter\\\"\"} 30
+# TYPE accu_sim_requests counter
+accu_sim_requests{run=\"fig2/\\\"twitter\\\"\"} 900
+# TYPE accu_runner_networks_inflight gauge
+accu_runner_networks_inflight{run=\"fig2/\\\"twitter\\\"\"} 4
+# TYPE accu_sim_select_ns histogram
+accu_sim_select_ns_bucket{run=\"fig2/\\\"twitter\\\"\",le=\"15\"} 2
+accu_sim_select_ns_bucket{run=\"fig2/\\\"twitter\\\"\",le=\"511\"} 3
+accu_sim_select_ns_bucket{run=\"fig2/\\\"twitter\\\"\",le=\"+Inf\"} 3
+accu_sim_select_ns_sum{run=\"fig2/\\\"twitter\\\"\"} 320
+accu_sim_select_ns_count{run=\"fig2/\\\"twitter\\\"\"} 3
+# TYPE accu_sim_select_ns_quantile gauge
+accu_sim_select_ns_quantile{run=\"fig2/\\\"twitter\\\"\",quantile=\"0.5\"} 15
+accu_sim_select_ns_quantile{run=\"fig2/\\\"twitter\\\"\",quantile=\"0.9\"} 300
+accu_sim_select_ns_quantile{run=\"fig2/\\\"twitter\\\"\",quantile=\"0.99\"} 300
+";
+        assert_eq!(text, expected);
+        let stats = validate_prometheus(&text).unwrap();
+        assert_eq!(
+            stats,
+            PromStats {
+                families: 5,
+                samples: 11
+            }
+        );
+    }
+
+    #[test]
+    fn empty_label_snapshot_still_validates() {
+        let rec = Recorder::enabled();
+        rec.counter("n").incr();
+        rec.histogram("h").record(1);
+        let snap = rec.snapshot("").unwrap();
+        let text = encode_prometheus(&snap);
+        assert!(text.contains("accu_n{} 1\n"));
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        // Sample with no TYPE header.
+        assert!(validate_prometheus("orphan 1\n").is_err());
+        // Missing trailing newline.
+        assert!(validate_prometheus("# TYPE m counter\nm 1").is_err());
+        // Bad metric name in TYPE.
+        assert!(validate_prometheus("# TYPE 0bad counter\n").is_err());
+        // Unknown type keyword.
+        assert!(validate_prometheus("# TYPE m widget\n").is_err());
+        // Unquoted label value.
+        assert!(validate_prometheus("# TYPE m counter\nm{l=3} 1\n").is_err());
+        // Unterminated label value.
+        assert!(validate_prometheus("# TYPE m counter\nm{l=\"x} 1\n").is_err());
+        // Unparseable sample value.
+        assert!(validate_prometheus("# TYPE m counter\nm nope\n").is_err());
+        // Histogram suffixes only attach to histogram families.
+        assert!(validate_prometheus("# TYPE m counter\nm_bucket{le=\"1\"} 1\n").is_err());
+        let ok = "# TYPE m histogram\nm_bucket{le=\"+Inf\"} 1\nm_sum 1\nm_count 1\n";
+        assert_eq!(validate_prometheus(ok).unwrap().samples, 3);
+    }
+
+    #[test]
+    fn top_bucket_edge_is_u64_max() {
+        assert_eq!(bucket_upper_edge(63), u64::MAX);
+        assert_eq!(bucket_upper_edge(3), 15);
+        assert_eq!(bucket_upper_edge(0), 1);
+    }
+}

@@ -5,13 +5,15 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use crate::counter::{Counter, CounterHandle};
+use crate::gauge::{Gauge, GaugeHandle};
 use crate::histogram::{Histogram, HistogramHandle};
-use crate::snapshot::{CounterSnapshot, HistogramSnapshot, Snapshot};
+use crate::snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
 
 /// The shared registry behind an enabled recorder.
 #[derive(Debug, Default)]
 struct Registry {
     counters: Mutex<BTreeMap<Cow<'static, str>, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<Cow<'static, str>, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<Cow<'static, str>, Arc<Histogram>>>,
 }
 
@@ -73,6 +75,18 @@ impl Recorder {
         }
     }
 
+    /// Registers (or retrieves) the gauge `name` and returns a handle
+    /// to it.
+    pub fn gauge(&self, name: impl Into<Cow<'static, str>>) -> GaugeHandle {
+        match &self.inner {
+            None => GaugeHandle::noop(),
+            Some(reg) => {
+                let mut map = reg.gauges.lock().expect("telemetry registry poisoned");
+                GaugeHandle(Some(Arc::clone(map.entry(name.into()).or_default())))
+            }
+        }
+    }
+
     /// Registers (or retrieves) the histogram `name` and returns a
     /// handle to it.
     pub fn histogram(&self, name: impl Into<Cow<'static, str>>) -> HistogramHandle {
@@ -99,6 +113,16 @@ impl Recorder {
                 value: c.value(),
             })
             .collect();
+        let gauges = reg
+            .gauges
+            .lock()
+            .expect("telemetry registry poisoned")
+            .iter()
+            .map(|(name, g)| GaugeSnapshot {
+                name: name.to_string(),
+                value: g.value(),
+            })
+            .collect();
         let histograms = reg
             .histograms
             .lock()
@@ -114,11 +138,19 @@ impl Recorder {
                 p90: h.quantile(0.9),
                 p99: h.quantile(0.99),
                 max: h.max(),
+                buckets: h
+                    .bucket_counts()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &n)| n > 0)
+                    .map(|(i, &n)| (i as u8, n))
+                    .collect(),
             })
             .collect();
         Some(Snapshot {
             label: label.to_string(),
             counters,
+            gauges,
             histograms,
         })
     }
@@ -133,6 +165,7 @@ mod tests {
         let rec = Recorder::disabled();
         assert!(!rec.is_enabled());
         rec.counter("x").add(5);
+        rec.gauge("g").set(5);
         rec.histogram("y").record(5);
         assert!(rec.snapshot("s").is_none());
         assert!(!Recorder::default().is_enabled());
@@ -152,6 +185,17 @@ mod tests {
         let h = snap.histogram("lat").unwrap();
         assert_eq!(h.count, 2);
         assert_eq!(h.sum, 16);
+    }
+
+    #[test]
+    fn gauges_snapshot_and_lookup() {
+        let rec = Recorder::enabled();
+        rec.gauge("inflight").set(4);
+        rec.gauge("inflight").sub(1);
+        let snap = rec.snapshot("s").unwrap();
+        assert_eq!(snap.gauge("inflight"), Some(3));
+        assert_eq!(snap.gauge("missing"), None);
+        assert!(snap.to_json().contains("\"gauges\":{\"inflight\":3}"));
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //!
 //! ```json
 //! {"type":"snapshot","label":"fig2/ABM","counters":{"sim.requests":900},
+//!  "gauges":{"runner.inflight":4},
 //!  "histograms":{"sim.select_ns":{"count":900,"sum":12345,"mean":13.7,
-//!  "min":4,"p50":15,"p90":31,"p99":63,"max":214}}}
+//!  "min":4,"p50":15,"p90":31,"p99":63,"max":214,"buckets":[[2,450],[4,449],[7,1]]}}}
 //! {"type":"event","name":"episode_done","fields":{"worker":0,"benefit":54.0}}
 //! ```
 
@@ -22,6 +23,15 @@ pub struct CounterSnapshot {
     pub name: String,
     /// Counter value.
     pub value: u64,
+}
+
+/// One gauge's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value.
+    pub value: i64,
 }
 
 /// One histogram's summary at snapshot time.
@@ -45,6 +55,12 @@ pub struct HistogramSnapshot {
     pub p99: u64,
     /// Exact maximum sample.
     pub max: u64,
+    /// Non-empty power-of-two buckets as `(bucket index, count)` pairs,
+    /// sorted by index: bucket `i` holds samples whose highest set bit
+    /// is `i` (upper edge `2^(i+1) − 1`). This is the raw shape the
+    /// Prometheus exposition and `telemetry_diff`'s histogram-shift
+    /// analysis are computed from.
+    pub buckets: Vec<(u8, u64)>,
 }
 
 /// A labelled point-in-time capture of a recorder's registry.
@@ -54,6 +70,8 @@ pub struct Snapshot {
     pub label: String,
     /// All counters, sorted by name.
     pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
     /// All histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
 }
@@ -65,6 +83,11 @@ impl Snapshot {
             .iter()
             .find(|c| c.name == name)
             .map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
     }
 
     /// Looks up a histogram summary by name.
@@ -85,7 +108,20 @@ impl Snapshot {
             }
             let _ = write!(out, "\"{}\":{}", json_escape(&c.name), c.value);
         }
-        out.push_str("},\"histograms\":{");
+        out.push('}');
+        // Gauges joined the schema after the first release; omit the key
+        // entirely when empty so gauge-free snapshots keep the old shape.
+        if !self.gauges.is_empty() {
+            out.push_str(",\"gauges\":{");
+            for (i, g) in self.gauges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", json_escape(&g.name), g.value);
+            }
+            out.push('}');
+        }
+        out.push_str(",\"histograms\":{");
         for (i, h) in self.histograms.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -93,7 +129,7 @@ impl Snapshot {
             let _ = write!(
                 out,
                 "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"p50\":{},\
-                 \"p90\":{},\"p99\":{},\"max\":{}}}",
+                 \"p90\":{},\"p99\":{},\"max\":{}",
                 json_escape(&h.name),
                 h.count,
                 h.sum,
@@ -104,6 +140,17 @@ impl Snapshot {
                 h.p99,
                 h.max
             );
+            if !h.buckets.is_empty() {
+                out.push_str(",\"buckets\":[");
+                for (i, (idx, n)) in h.buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{idx},{n}]");
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         out.push_str("}}");
         out
@@ -242,6 +289,18 @@ impl JsonlSink {
         self.writer.write_all(b"\n")
     }
 
+    /// Appends one pre-serialized JSON line (the newline is added
+    /// here). Used by emitters that build their lines by hand, e.g. the
+    /// progress observer's reorder buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
     /// Appends one event line with the given fields.
     ///
     /// # Errors
@@ -295,6 +354,10 @@ mod tests {
         assert!(json.starts_with("{\"type\":\"snapshot\",\"label\":\"t/1\""));
         assert!(json.contains("\"a.hits\":3"));
         assert!(json.contains("\"a.lat\":{\"count\":1,\"sum\":10,\"mean\":10.0"));
+        // 10 has highest set bit 3, so it lands in bucket 3.
+        assert!(json.contains("\"buckets\":[[3,1]]"));
+        // No gauges were registered, so the key is omitted entirely.
+        assert!(!json.contains("\"gauges\""));
         assert!(json.ends_with("}}"));
         // Exactly one line.
         assert!(!json.contains('\n'));

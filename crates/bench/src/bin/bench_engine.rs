@@ -33,6 +33,7 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use accu_bench::default_instance;
 use accu_core::policy::{Abm, AbmWeights};
 use accu_core::{run_attack_episode, sim_metrics, EpisodeScratch, FaultPlan, RetryPolicy};
+use accu_telemetry::obs::TRAJECTORY_SCHEMA;
 use accu_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -214,9 +215,30 @@ fn utc_date(secs: u64) -> String {
     format!("{year:04}-{month:02}-{day:02}")
 }
 
+/// The git revision of the working tree, for trajectory provenance.
+/// Best-effort: builds from a tarball (no repo, no git binary) stamp
+/// `"unknown"`.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Appends one dated line to the trajectory log kept next to the
 /// committed snapshot. Best-effort: a read-only checkout must not turn
 /// a passing bench check into a failure.
+///
+/// Entries are stamped with the trajectory schema version
+/// ([`TRAJECTORY_SCHEMA`]) and the producing git revision, so
+/// cross-run analytics (`bench_report`, the `--watchdog` throughput
+/// floor) can tell comparable entries from foreign ones and trace any
+/// number back to its commit.
 fn append_trajectory(out_path: &str, m: &Measurement, status: &str) {
     let path = Path::new(out_path)
         .parent()
@@ -227,10 +249,12 @@ fn append_trajectory(out_path: &str, m: &Measurement, status: &str) {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let line = format!(
-        "{{\"date\":\"{}\",\"bench\":\"engine\",\"fixture\":\"twitter_0.02/abm_balanced\",\
+        "{{\"schema\":{TRAJECTORY_SCHEMA},\"git\":\"{}\",\"date\":\"{}\",\
+         \"bench\":\"engine\",\"fixture\":\"twitter_0.02/abm_balanced\",\
          \"budget\":{BUDGET},\"episodes\":{MEASURED_EPISODES},\"eps_per_sec\":{:.2},\
          \"ns_per_select\":{:.1},\"allocs_per_episode\":{:.3},\"total_benefit\":{:.1},\
          \"speedup_vs_head\":{:.2},\"status\":\"{status}\"}}\n",
+        git_revision(),
         utc_date(secs),
         m.eps_per_sec,
         m.ns_per_select,
