@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod chaos;
 mod defense;
 mod error;
 mod expectation;
@@ -72,6 +73,7 @@ pub mod theory;
 mod validate;
 mod view;
 
+pub use chaos::{chaos_metrics, ChaosConfig, ChaosPlan, IoFault, WorkerFault};
 pub use defense::{
     cautious_risk_scores, gatekeeper_scores, simulate_exposure, top_scored, ExposureReport,
 };

@@ -15,7 +15,7 @@ use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::chart::Chart;
 use accu_experiments::output::series_table;
 use accu_experiments::{
-    run_policy_with, Checkpoint, Cli, ExperimentScale, FigureRun, PolicyKind, RunOptions, Telemetry,
+    run_policy_with, Cli, ExperimentScale, FigureRun, PolicyKind, RunOptions, Telemetry,
 };
 
 /// The swept fault intensities.
@@ -32,7 +32,7 @@ fn main() {
         println!("note: --faults is ignored here; this binary sweeps its own intensities");
     }
     let mut checkpoint = cli.checkpoint.as_ref().map(|path| {
-        Checkpoint::open(path, cli.resume).unwrap_or_else(|e| {
+        tel.open_checkpoint(path, cli.resume).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(1);
         })

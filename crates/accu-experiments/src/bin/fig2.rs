@@ -7,10 +7,8 @@
 
 use accu_datasets::{DatasetSpec, ProtocolConfig};
 use accu_experiments::chart::Chart;
-use accu_experiments::output::{downsample_indices, series_table};
-use accu_experiments::{
-    run_policy_with, Checkpoint, Cli, ExperimentScale, PolicyKind, RunOptions, Telemetry,
-};
+use accu_experiments::output::{downsample_indices, fnum, series_table, Table};
+use accu_experiments::{run_policy_with, Cli, ExperimentScale, PolicyKind, RunOptions, Telemetry};
 
 fn main() {
     let cli = Cli::parse();
@@ -21,7 +19,7 @@ fn main() {
         scale.describe()
     );
     let mut checkpoint = cli.checkpoint.as_ref().map(|path| {
-        let ckpt = Checkpoint::open(path, cli.resume).unwrap_or_else(|e| {
+        let ckpt = tel.open_checkpoint(path, cli.resume).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(1);
         });
@@ -39,6 +37,18 @@ fn main() {
         let figure = scale.figure_run(dataset.clone(), ProtocolConfig::default());
         println!("\n=== {} ===", figure.dataset);
         let mut series = Vec::new();
+        let mut degraded = false;
+        // Per-policy partial-aggregate annotations, written alongside a
+        // degraded CSV so its episode counts and confidence intervals
+        // travel with the data.
+        let mut stats = Table::new([
+            "policy",
+            "episodes",
+            "networks",
+            "shed_networks",
+            "mean_benefit",
+            "ci_half_width",
+        ]);
         for policy in PolicyKind::paper_lineup() {
             let report = run_policy_with(
                 &figure,
@@ -86,6 +96,26 @@ fn main() {
                     figure.network_samples
                 );
             }
+            if report.degraded() {
+                degraded = true;
+                println!(
+                    "{}: deadline expired — shed {} of {} networks; partial aggregate \
+                     over {} episodes (95% CI half-width {:.3})",
+                    policy.name(),
+                    report.shed_networks,
+                    figure.network_samples,
+                    report.accumulator.runs(),
+                    report.ci_half_width()
+                );
+            }
+            stats.row([
+                policy.name().to_string(),
+                report.accumulator.runs().to_string(),
+                report.completed_networks.to_string(),
+                report.shed_networks.to_string(),
+                fnum(report.accumulator.mean_total_benefit()),
+                fnum(report.ci_half_width()),
+            ]);
             series.push((policy.name(), report.accumulator.mean_cumulative_benefit()));
         }
         let idx = downsample_indices(figure.budget, 64);
@@ -108,14 +138,27 @@ fn main() {
             .collect();
         series_table("k", &txs, &tsampled).print();
 
-        // Full-resolution CSV for plotting.
+        // Full-resolution CSV for plotting. A deadline-degraded run
+        // lands under a `_degraded` name (with a stats sidecar) so a
+        // partial aggregate can never be mistaken for the full figure.
         let full_idx: Vec<usize> = (0..figure.budget).collect();
         let full_xs: Vec<f64> = full_idx.iter().map(|&i| (i + 1) as f64).collect();
         let full: Vec<(&str, Vec<f64>)> = series.iter().map(|(n, ys)| (*n, ys.clone())).collect();
-        let csv_name = format!("fig2_{}", dataset.name().to_lowercase());
+        let ds = dataset.name().to_lowercase();
+        let csv_name = if degraded {
+            format!("fig2_{ds}_degraded")
+        } else {
+            format!("fig2_{ds}")
+        };
         match series_table("k", &full_xs, &full).write_csv(&csv_name) {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => eprintln!("csv write failed: {e}"),
+        }
+        if degraded {
+            match stats.write_csv(&format!("fig2_{ds}_degraded_stats")) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("csv write failed: {e}"),
+            }
         }
 
         // Headline check: final benefit ordering.

@@ -4,15 +4,30 @@
 //! the cell it belongs to (dataset × policy × full run configuration),
 //! the network index, and the network's [`TraceAccumulator`] serialized
 //! exactly (see [`TraceAccumulator::to_json`]). Lines are appended and
-//! flushed as networks finish, so a SIGKILLed run loses at most the
-//! network it was working on. On `--resume` the runner loads the file,
-//! skips every network already covered, and merges the checkpointed
-//! accumulators back in — producing an aggregate identical to an
-//! uninterrupted run.
+//! made durable as networks finish, so a SIGKILLed run loses at most
+//! the network it was working on. On `--resume` the runner loads the
+//! file, skips every network already covered, and merges the
+//! checkpointed accumulators back in — producing an aggregate identical
+//! to an uninterrupted run.
 //!
-//! A truncated final line (the signature a crash mid-append leaves
-//! behind) is detected by the parser and simply dropped: that network
-//! is recomputed on resume.
+//! ## Durability contract
+//!
+//! * [`Checkpoint::create`] builds the file via temp sibling + atomic
+//!   rename, with `sync_all` on both the file and its directory, so a
+//!   fresh checkpoint either exists with its header or not at all.
+//! * [`Checkpoint::record`] appends with `write_all` + `sync_all`
+//!   before returning: once `record` returns `Ok`, the entry survives
+//!   power failure, not just process death. (A bare `flush()` only
+//!   drains userspace buffers — acknowledged lines could still be lost
+//!   in the page cache.)
+//! * A truncated final line (the signature a crash mid-append leaves
+//!   behind) is detected by the parser and simply dropped: that network
+//!   is recomputed on resume.
+//!
+//! For chaos testing, [`Checkpoint::attach_chaos`] routes appends
+//! through the run's seeded failpoint schedule (site `"checkpoint"`)
+//! and arms the deterministic `kill-after` abort used by CI's
+//! kill-and-resume job.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -20,9 +35,10 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use accu_core::TraceAccumulator;
+use accu_core::{ChaosPlan, TraceAccumulator};
 use accu_telemetry::json_escape;
 
+use crate::chaosfs::{atomic_write, ChaosFile, ChaosSite};
 use crate::runner::RunnerError;
 
 /// Format-version marker written as the first line of every checkpoint.
@@ -39,25 +55,37 @@ pub struct Checkpoint {
     /// Lines dropped at load because they did not parse (a crashed
     /// append leaves at most one).
     skipped_lines: usize,
+    /// Seeded failpoint site for appends, when chaos is attached.
+    chaos: Option<ChaosSite>,
+    /// Durable appends completed so far (drives `kill_after`).
+    appends: u64,
+    /// Abort the process after this many durable appends (chaos).
+    kill_after: Option<u64>,
 }
 
 impl Checkpoint {
-    /// Opens a checkpoint for a fresh run: truncates any existing file
-    /// and writes the header.
+    /// Opens a checkpoint for a fresh run: durably replaces any
+    /// existing file with a fresh header (temp sibling + atomic rename,
+    /// `sync_all` on file and directory).
     ///
     /// # Errors
     ///
     /// Returns [`RunnerError::Checkpoint`] on I/O failure.
     pub fn create(path: impl AsRef<Path>) -> Result<Checkpoint, RunnerError> {
         let path = path.as_ref().to_path_buf();
-        let mut file = File::create(&path).map_err(RunnerError::Checkpoint)?;
-        writeln!(file, "{HEADER}").map_err(RunnerError::Checkpoint)?;
-        file.flush().map_err(RunnerError::Checkpoint)?;
+        atomic_write(&path, format!("{HEADER}\n").as_bytes()).map_err(RunnerError::Checkpoint)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(RunnerError::Checkpoint)?;
         Ok(Checkpoint {
             path,
             file,
             entries: BTreeMap::new(),
             skipped_lines: 0,
+            chaos: None,
+            appends: 0,
+            kill_after: None,
         })
     }
 
@@ -97,15 +125,19 @@ impl Checkpoint {
             .map_err(RunnerError::Checkpoint)?;
         // A crash mid-append can leave the file without a trailing
         // newline; terminate the torn line so new entries stay on lines
-        // of their own.
+        // of their own, and make the termination durable.
         if !ends_with_newline {
             writeln!(file).map_err(RunnerError::Checkpoint)?;
+            file.sync_all().map_err(RunnerError::Checkpoint)?;
         }
         Ok(Checkpoint {
             path,
             file,
             entries,
             skipped_lines: skipped,
+            chaos: None,
+            appends: 0,
+            kill_after: None,
         })
     }
 
@@ -126,6 +158,17 @@ impl Checkpoint {
     /// The file this checkpoint appends to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Routes subsequent appends through the run's seeded chaos
+    /// schedule (failpoint site `"checkpoint"`) and arms the
+    /// deterministic `kill-after` abort, if configured. A trivial plan
+    /// attaches nothing.
+    pub fn attach_chaos(&mut self, plan: &ChaosPlan) {
+        if !plan.is_trivial() {
+            self.chaos = Some(ChaosSite::new(*plan, "checkpoint"));
+        }
+        self.kill_after = plan.kill_after_appends();
     }
 
     /// Number of unparseable lines dropped at load time.
@@ -153,12 +196,19 @@ impl Checkpoint {
             .collect()
     }
 
-    /// Appends one completed network and flushes, so the entry survives
-    /// an immediately following SIGKILL.
+    /// Appends one completed network durably: `write_all` +
+    /// `sync_all`, so once this returns `Ok` the entry survives power
+    /// failure, not just SIGKILL.
+    ///
+    /// With chaos attached, the write is routed through the seeded
+    /// failpoint schedule (injected `EINTR` is retried transparently;
+    /// disk-full and torn writes surface as errors), and the process
+    /// aborts after the configured number of durable appends when
+    /// `kill-after` is armed.
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error.
+    /// Returns the underlying (or injected) I/O error.
     pub fn record(
         &mut self,
         cell: &str,
@@ -172,8 +222,25 @@ impl Checkpoint {
             json_escape(cell),
             acc.to_json()
         );
-        writeln!(self.file, "{line}")?;
-        self.file.flush()
+        line.push('\n');
+        match &self.chaos {
+            Some(site) => {
+                let mut writer = ChaosFile::new(&self.file, site.clone());
+                writer.write_all(line.as_bytes())?;
+            }
+            None => self.file.write_all(line.as_bytes())?,
+        }
+        self.file.sync_all()?;
+        self.appends += 1;
+        if let Some(kill_after) = self.kill_after {
+            if self.appends >= kill_after {
+                eprintln!(
+                    "chaos: aborting after {kill_after} durable checkpoint append(s) (kill-after)"
+                );
+                std::process::abort();
+            }
+        }
+        Ok(())
     }
 }
 
@@ -308,6 +375,66 @@ mod tests {
         assert_eq!(ckpt.skipped_lines(), 1);
         let done = ckpt.completed("cell");
         assert_eq!(done.keys().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_leaves_no_temp_sibling() {
+        let path = temp_path("durable-create");
+        let _ckpt = Checkpoint::create(&path).unwrap();
+        assert!(path.exists());
+        let mut tmp = path.file_name().unwrap().to_os_string();
+        tmp.push(".tmp");
+        assert!(!path.with_file_name(tmp).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_torn_append_is_recoverable_on_resume() {
+        use accu_core::{ChaosConfig, ChaosPlan};
+        let path = temp_path("chaos-torn");
+        let acc = sample_acc();
+        {
+            let mut ckpt = Checkpoint::create(&path).unwrap();
+            ckpt.record("cell", 0, &acc).unwrap();
+            ckpt.attach_chaos(&ChaosPlan::sample(&ChaosConfig {
+                torn_write: 1.0,
+                ..ChaosConfig::none()
+            }));
+            let err = ckpt.record("cell", 1, &acc).unwrap_err();
+            assert!(err.to_string().contains("torn"), "{err}");
+        }
+        // The torn half-line is dropped at resume; network 1 is simply
+        // recomputed and re-recorded on fresh lines.
+        let mut ckpt = Checkpoint::resume(&path).unwrap();
+        assert_eq!(ckpt.loaded_entries(), 1);
+        ckpt.record("cell", 1, &acc).unwrap();
+        let reloaded = Checkpoint::resume(&path).unwrap();
+        let done = reloaded.completed("cell");
+        assert_eq!(done.keys().copied().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(done[&1], acc);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_eintr_does_not_lose_appends() {
+        use accu_core::{ChaosConfig, ChaosPlan};
+        let path = temp_path("chaos-eintr");
+        let acc = sample_acc();
+        {
+            let mut ckpt = Checkpoint::create(&path).unwrap();
+            ckpt.attach_chaos(&ChaosPlan::sample(&ChaosConfig {
+                eintr: 0.5,
+                seed: 21,
+                ..ChaosConfig::none()
+            }));
+            for net in 0..8 {
+                ckpt.record("cell", net, &acc).unwrap();
+            }
+        }
+        let ckpt = Checkpoint::resume(&path).unwrap();
+        assert_eq!(ckpt.completed("cell").len(), 8);
+        assert_eq!(ckpt.skipped_lines(), 0);
         std::fs::remove_file(&path).ok();
     }
 

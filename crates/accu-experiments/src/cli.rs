@@ -11,6 +11,16 @@
 //! * `--scale <f>` — override the graph down-scaling factor;
 //! * `--faults <f>` — run under the fault model at intensity `f` in
 //!   `[0, 1]` (0 = the paper's fault-free setting);
+//! * `--chaos <spec>` — inject seeded *infrastructure* chaos on top of
+//!   the protocol-level `--faults`: either a bare intensity in
+//!   `[0, 1]` or comma-separated `key=value` pairs (`disk`, `eintr`,
+//!   `torn`, `panic`, `stall` probabilities; `stall-ms`, `kill-after`,
+//!   `seed` integers). The schedule is a pure function of the spec, so
+//!   every policy in a run faces identical chaos;
+//! * `--deadline <secs>` — soft deadline: once it expires, remaining
+//!   networks are shed in a deterministic, worker-count-independent
+//!   order and the partial aggregate is reported as degraded (the
+//!   binary still exits 0);
 //! * `--validate <mode>` — how sampled instances are checked against
 //!   the paper preconditions: `strict` rejects violating networks,
 //!   `lenient` (default) repairs them and flags the λ-guarantee void,
@@ -39,7 +49,7 @@
 
 use std::fmt;
 
-use accu_core::ValidationMode;
+use accu_core::{ChaosConfig, ValidationMode};
 use accu_telemetry::obs::WatchdogConfig;
 
 /// Parsed `--trace` argument: where to write the trace and how densely
@@ -113,6 +123,12 @@ pub struct Cli {
     pub telemetry: bool,
     /// Fault-model intensity in `[0, 1]` (`None` = fault-free).
     pub faults: Option<f64>,
+    /// Infrastructure-chaos schedule (`None` = chaos off), validated
+    /// at the CLI boundary by [`ChaosConfig::parse`].
+    pub chaos: Option<ChaosConfig>,
+    /// Soft deadline in seconds (`None` = none): past it, remaining
+    /// networks are shed and the run degrades gracefully.
+    pub deadline: Option<f64>,
     /// Paper-precondition validation mode (default: lenient).
     pub validate: ValidationMode,
     /// Checkpoint file to append per-network progress to.
@@ -146,6 +162,8 @@ impl Default for Cli {
             scale: None,
             telemetry: false,
             faults: None,
+            chaos: None,
+            deadline: None,
             validate: ValidationMode::default(),
             checkpoint: None,
             resume: false,
@@ -180,7 +198,8 @@ impl Cli {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--paper] [--seed N] [--samples N] [--runs N] [--budget K] \
-                     [--scale F] [--telemetry] [--faults F] [--validate strict|lenient|off] \
+                     [--scale F] [--telemetry] [--faults F] [--chaos SPEC] [--deadline SECS] \
+                     [--validate strict|lenient|off] \
                      [--checkpoint PATH] [--resume] [--trace PATH[:sample=N]] \
                      [--metrics-addr ADDR] [--progress[=PATH]] [--watchdog[=SPEC]] [--workers N]"
                 );
@@ -252,6 +271,23 @@ impl Cli {
                         return Err(CliError("--faults expects an intensity in [0, 1]".into()));
                     }
                     cli.faults = Some(f);
+                }
+                "--chaos" => {
+                    cli.chaos = Some(
+                        ChaosConfig::parse(&value("--chaos")?)
+                            .map_err(|e| CliError(format!("--chaos: {e}")))?,
+                    );
+                }
+                "--deadline" => {
+                    let secs: f64 = value("--deadline")?
+                        .parse()
+                        .map_err(|_| CliError("--deadline expects seconds".into()))?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err(CliError(
+                            "--deadline expects a nonnegative number of seconds".into(),
+                        ));
+                    }
+                    cli.deadline = Some(secs);
                 }
                 "--validate" => {
                     cli.validate = value("--validate")?
@@ -461,6 +497,31 @@ mod tests {
         assert!(Cli::parse_from(["--watchdog=stall=abc"]).is_err());
         assert!(Cli::parse_from(["--workers", "0"]).is_err());
         assert!(Cli::parse_from(["--workers", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_and_deadline_flags() {
+        let cli = Cli::parse_from(Vec::<String>::new()).unwrap();
+        assert!(cli.chaos.is_none());
+        assert!(cli.deadline.is_none());
+
+        let cli = Cli::parse_from(["--chaos", "0.1", "--deadline", "2.5"]).unwrap();
+        assert_eq!(cli.chaos, Some(ChaosConfig::scaled(0.1)));
+        assert_eq!(cli.deadline, Some(2.5));
+
+        let cli = Cli::parse_from(["--chaos", "panic=0.5,kill-after=3,seed=7"]).unwrap();
+        let chaos = cli.chaos.expect("chaos parsed");
+        assert!((chaos.worker_panic - 0.5).abs() < 1e-12);
+        assert_eq!(chaos.kill_after_appends, Some(3));
+        assert_eq!(chaos.seed, 7);
+
+        assert!(Cli::parse_from(["--chaos"]).is_err());
+        assert!(Cli::parse_from(["--chaos", "bogus=1"]).is_err());
+        assert!(Cli::parse_from(["--chaos", "1.5"]).is_err());
+        assert!(Cli::parse_from(["--deadline"]).is_err());
+        assert!(Cli::parse_from(["--deadline", "-1"]).is_err());
+        assert!(Cli::parse_from(["--deadline", "soon"]).is_err());
+        assert!(Cli::parse_from(["--deadline", "0"]).is_ok());
     }
 
     #[test]

@@ -4,7 +4,6 @@
 //! CSV under `target/experiments/` for plotting.
 
 use std::fs;
-use std::io::Write as _;
 use std::path::PathBuf;
 
 /// Directory experiment CSVs are written to (`target/experiments`),
@@ -100,19 +99,32 @@ impl Table {
         print!("{}", self.render());
     }
 
+    /// The table rendered as a CSV string (header line plus one line
+    /// per row) — what [`Table::write_csv`] puts on disk, exposed so
+    /// harnesses can compare results byte-for-byte without touching
+    /// the filesystem.
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv_line(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&csv_line(row));
+            out.push('\n');
+        }
+        out
+    }
+
     /// Writes the table as CSV into `target/experiments/<name>.csv` and
-    /// returns the path.
+    /// returns the path. The file is replaced atomically (temp sibling,
+    /// then rename and fsync), so a crash mid-write never leaves a torn
+    /// result CSV.
     ///
     /// # Errors
     ///
     /// Returns any underlying I/O error.
     pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
         let path = experiments_dir()?.join(format!("{name}.csv"));
-        let mut file = fs::File::create(&path)?;
-        writeln!(file, "{}", csv_line(&self.headers))?;
-        for row in &self.rows {
-            writeln!(file, "{}", csv_line(row))?;
-        }
+        crate::chaosfs::atomic_write(&path, self.to_csv_string().as_bytes())?;
         Ok(path)
     }
 }
@@ -206,6 +218,13 @@ mod tests {
     fn csv_escaping() {
         assert_eq!(csv_line(&["a".into(), "b,c".into()]), "a,\"b,c\"");
         assert_eq!(csv_line(&["say \"hi\"".into()]), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_string_matches_file_format() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1".to_string(), "x,y".to_string()]);
+        assert_eq!(t.to_csv_string(), "a,b\n1,\"x,y\"\n");
     }
 
     #[test]

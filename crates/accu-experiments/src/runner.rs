@@ -3,18 +3,38 @@
 //!
 //! The runner degrades gracefully rather than aborting: per-network
 //! panics and dataset/protocol errors are quarantined into a
-//! [`NetworkFailure`] report, a poisoned worker yields a typed
-//! [`RunnerError`] carrying the partial aggregate, and long runs can
-//! checkpoint each completed network to a JSONL file (see
+//! [`NetworkFailure`] report, and long runs can checkpoint each
+//! completed network to a JSONL file (see
 //! [`Checkpoint`](crate::Checkpoint)) so a killed run resumes without
 //! recomputing finished work.
+//!
+//! ## Supervision
+//!
+//! Workers are *supervised*: the scheduling thread watches per-worker
+//! heartbeats, restarts panicked workers with capped exponential
+//! backoff (reusing [`RetryPolicy`] semantics), speculatively requeues
+//! chunks held by stalled workers, and quarantines a network only after
+//! a chunk exhausts its retry budget ([`SupervisorConfig`]). Chunk
+//! completions fold **at most once** — duplicate completions from
+//! speculation are discarded — so the aggregate (and therefore every
+//! figure CSV) is byte-identical under any restart or stall schedule.
+//! Only when the restart budget itself is exhausted does the run return
+//! a typed [`RunnerError::WorkerPanicked`] carrying the partial
+//! aggregate.
+//!
+//! A soft [`Deadline`] turns overruns into *graceful degradation*:
+//! networks not yet started when the deadline passes are shed in
+//! ascending index order (the surviving set is a prefix, independent of
+//! worker count), reported as [`NetworkStatus::Shed`], and counted on
+//! the [`RunReport`] so binaries can tag their output as degraded.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use accu_core::chaos::{chaos_metrics, ChaosPlan, WorkerFault};
 use accu_core::policy::{
     Abm, AbmWeights, CentralityKind, CentralityPolicy, MaxDegree, PageRankPolicy, Random, Snowball,
 };
@@ -54,6 +74,16 @@ pub mod runner_metrics {
     /// Gauge: networks currently in flight (initialized but not yet
     /// retired) — visible live on the `--metrics-addr` endpoint.
     pub const NETWORKS_INFLIGHT: &str = "runner.networks_inflight";
+    /// Counter: worker threads restarted by the supervisor after a
+    /// panic (registered only when a restart happens).
+    pub const SUPERVISOR_RESTARTS: &str = "runner.supervisor.restarts";
+    /// Counter: worker panics the supervisor absorbed.
+    pub const SUPERVISOR_PANICS: &str = "runner.supervisor.worker_panics";
+    /// Counter: chunks speculatively requeued because their worker's
+    /// heartbeat went stale.
+    pub const SUPERVISOR_STALL_REQUEUES: &str = "runner.supervisor.stall_requeues";
+    /// Counter: networks shed by the soft deadline.
+    pub const SUPERVISOR_SHED: &str = "runner.supervisor.shed_networks";
     /// Per-worker episode-throughput counter. Comparing these across
     /// workers exposes queue imbalance (ideally near-equal).
     pub fn worker_episodes(worker: usize) -> String {
@@ -399,6 +429,15 @@ pub struct RunOptions<'a> {
     pub max_workers: Option<usize>,
     /// Episode-chunk granularity override (`None` = worker count).
     pub chunks_per_network: Option<usize>,
+    /// Infrastructure chaos schedule (worker panics / stalls injected at
+    /// chunk claim). The trivial default injects nothing at zero cost.
+    pub chaos: ChaosPlan,
+    /// Worker-supervision knobs: restart budget and backoff, per-chunk
+    /// attempt budget, stall timeout.
+    pub supervisor: SupervisorConfig,
+    /// Soft deadline; when it passes, not-yet-started networks are shed
+    /// instead of run (graceful degradation). `None` never sheds.
+    pub deadline: Option<Deadline>,
 }
 
 impl Default for RunOptions<'_> {
@@ -410,6 +449,86 @@ impl Default for RunOptions<'_> {
             checkpoint: None,
             max_workers: None,
             chunks_per_network: None,
+            chaos: ChaosPlan::none(),
+            supervisor: SupervisorConfig::default(),
+            deadline: None,
+        }
+    }
+}
+
+/// How the supervisor reacts to worker panics and stalls.
+///
+/// A panicked worker's in-flight chunk is requeued and a replacement
+/// thread spawned after a capped exponential pause
+/// (`backoff_unit × restart_backoff.backoff(n)` for the `n`-th
+/// restart). A chunk that loses its worker `max_chunk_attempts` times
+/// quarantines its whole network (stage `"supervisor"`); once
+/// `max_restarts` replacements have been spent, the next panic ends the
+/// run with [`RunnerError::WorkerPanicked`]. A worker whose heartbeat
+/// goes silent for `stall_timeout` has its chunk speculatively requeued
+/// — at-most-once folding discards whichever copy finishes second, so
+/// speculation never changes results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Times one chunk may lose its worker before its network is
+    /// quarantined.
+    pub max_chunk_attempts: u32,
+    /// Total replacement workers the supervisor may spawn in one run.
+    pub max_restarts: u32,
+    /// Backoff shape for restart pauses (reuses the attacker
+    /// [`RetryPolicy`] schedule: `min(base·2^(n−1), cap)` units).
+    pub restart_backoff: RetryPolicy,
+    /// Wall-clock length of one backoff unit.
+    pub backoff_unit: Duration,
+    /// Heartbeat silence after which a worker's chunk is speculatively
+    /// requeued.
+    pub stall_timeout: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_chunk_attempts: 3,
+            max_restarts: 32,
+            restart_backoff: RetryPolicy::standard(),
+            backoff_unit: Duration::from_millis(25),
+            stall_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Networks below this index are never shed: a degraded run always
+/// aggregates at least this many samples (clamped to the figure's
+/// `network_samples`), so confidence intervals stay computable.
+pub const DEADLINE_MIN_NETWORKS: usize = 2;
+
+/// A soft deadline for graceful degradation.
+///
+/// Networks are claimed in ascending index order, so once the deadline
+/// passes the surviving set is a *prefix* of the sample list — its
+/// statistics are identical to a fresh run over that many samples,
+/// independent of worker count or chunk granularity.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    /// The instant after which not-yet-started networks are shed.
+    pub at: Instant,
+    /// Floor on surviving networks (see [`DEADLINE_MIN_NETWORKS`]).
+    pub min_networks: usize,
+}
+
+impl Deadline {
+    /// A deadline `timeout` from now with the default survivor floor.
+    pub fn after(timeout: Duration) -> Self {
+        Self::until(Instant::now() + timeout)
+    }
+
+    /// A deadline at the absolute instant `at` with the default
+    /// survivor floor — what a multi-cell binary wants, so every cell
+    /// shares one wall-clock budget.
+    pub fn until(at: Instant) -> Self {
+        Deadline {
+            at,
+            min_networks: DEADLINE_MIN_NETWORKS,
         }
     }
 }
@@ -432,6 +551,27 @@ pub struct RunReport {
     /// count means the `1 − e^{−λ}` guarantee does not cover those
     /// networks' contributions.
     pub repaired_networks: usize,
+    /// Networks shed by the soft [`Deadline`] before any episode ran
+    /// (scheduling, not failure — they are not quarantined).
+    pub shed_networks: usize,
+    /// Replacement worker threads the supervisor spawned.
+    pub supervisor_restarts: usize,
+}
+
+impl RunReport {
+    /// Whether output derived from this run should be tagged as
+    /// degraded: the soft deadline shed at least one network, so the
+    /// aggregate covers fewer samples than requested.
+    pub fn degraded(&self) -> bool {
+        self.shed_networks > 0
+    }
+
+    /// 95% normal-approximation confidence half-width of the mean total
+    /// benefit (`1.96 × SE`; 0 below two episodes) — reported next to
+    /// per-cell episode counts when a degraded aggregate ships.
+    pub fn ci_half_width(&self) -> f64 {
+        1.96 * self.accumulator.total_benefit_std_error()
+    }
 }
 
 /// Runs `policy` over all sampled networks and repetitions of `figure`,
@@ -479,12 +619,11 @@ pub fn run_policy_observed(
     degrade_report(run_policy_inner(
         figure,
         policy,
-        recorder,
-        tracer,
-        &Observer::disabled(),
-        None,
-        None,
-        None,
+        RunOptions {
+            recorder: recorder.clone(),
+            tracer: tracer.clone(),
+            ..RunOptions::default()
+        },
     ))
 }
 
@@ -561,12 +700,12 @@ pub fn run_policy_traced(
     run_policy_inner(
         figure,
         policy,
-        recorder,
-        tracer,
-        &Observer::disabled(),
-        checkpoint,
-        None,
-        None,
+        RunOptions {
+            recorder: recorder.clone(),
+            tracer: tracer.clone(),
+            checkpoint,
+            ..RunOptions::default()
+        },
     )
 }
 
@@ -589,16 +728,7 @@ pub fn run_policy_with(
     policy: PolicyKind,
     opts: RunOptions<'_>,
 ) -> Result<RunReport, RunnerError> {
-    run_policy_inner(
-        figure,
-        policy,
-        &opts.recorder,
-        &opts.tracer,
-        &opts.observer,
-        opts.checkpoint,
-        opts.max_workers,
-        opts.chunks_per_network,
-    )
+    run_policy_inner(figure, policy, opts)
 }
 
 /// [`run_policy_checked`] with explicit scheduling knobs: `max_workers`
@@ -624,31 +754,40 @@ pub fn run_policy_tuned(
     run_policy_inner(
         figure,
         policy,
-        recorder,
-        &Tracer::disabled(),
-        &Observer::disabled(),
-        checkpoint,
-        max_workers,
-        chunks_per_network,
+        RunOptions {
+            recorder: recorder.clone(),
+            checkpoint,
+            max_workers,
+            chunks_per_network,
+            ..RunOptions::default()
+        },
     )
 }
 
-/// The shared body behind every `run_policy_*` entry point.
-#[allow(clippy::too_many_arguments)]
+/// The shared body behind every `run_policy_*` entry point: resumes
+/// from the checkpoint, seeds the chunk queue, and supervises the
+/// worker pool until every chunk is accounted — completed, quarantined,
+/// shed, or abandoned.
 fn run_policy_inner(
     figure: &FigureRun,
     policy: PolicyKind,
-    recorder: &Recorder,
-    tracer: &Tracer,
-    observer: &Observer,
-    checkpoint: Option<&mut Checkpoint>,
-    max_workers: Option<usize>,
-    chunks_per_network: Option<usize>,
+    opts: RunOptions<'_>,
 ) -> Result<RunReport, RunnerError> {
     figure
         .faults
         .validate()
         .map_err(RunnerError::InvalidFaults)?;
+    let RunOptions {
+        recorder,
+        tracer,
+        observer,
+        checkpoint,
+        max_workers,
+        chunks_per_network,
+        chaos,
+        supervisor,
+        deadline,
+    } = opts;
     let cell = figure.cell_label(policy);
     let resumed: BTreeMap<usize, TraceAccumulator> = match &checkpoint {
         Some(ckpt) => ckpt
@@ -699,85 +838,195 @@ fn run_policy_inner(
         .flat_map(|net| (0..chunks).map(move |c| (net, c)))
         .collect();
     // Spawn only as many workers as there are work items, and report
-    // the post-clamp count actually spawned.
+    // the post-clamp count actually spawned (replacement workers are
+    // counted on SUPERVISOR_RESTARTS, not here).
     let threads = base_threads.min(work.len());
     recorder
         .counter(runner_metrics::WORKERS)
         .add(threads as u64);
-    let next = AtomicUsize::new(0);
     let slots: Vec<NetworkSlot> = (0..figure.network_samples)
-        .map(|_| NetworkSlot::new())
+        .map(|_| NetworkSlot::new(chunks))
         .collect();
     // Workers append completed networks through this shared handle; a
     // failed append parks the error here and disables checkpointing for
     // the rest of the run.
     let ckpt_shared: Mutex<Option<&mut Checkpoint>> = Mutex::new(checkpoint);
     let ckpt_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
-    let mut fresh: Vec<(usize, TraceAccumulator)> = Vec::new();
-    let mut quarantined: Vec<NetworkFailure> = Vec::new();
+    let queue = WorkQueue::new(
+        work.iter()
+            .map(|&(net, chunk)| WorkItem {
+                net,
+                chunk,
+                attempt: 0,
+            })
+            .collect(),
+    );
+    let results = SharedResults::new(work.len());
+    let ctx = RunCtx {
+        figure,
+        policy,
+        chunks,
+        cell: &cell,
+        recorder: &recorder,
+        tracer: &tracer,
+        observer: &observer,
+        chaos,
+        deadline,
+        slots: &slots,
+        queue: &queue,
+        results: &results,
+        ckpt_shared: &ckpt_shared,
+        ckpt_error: &ckpt_error,
+        run_started: Instant::now(),
+    };
     let mut panicked: Option<(usize, String)> = None;
-    let mut repaired_networks = 0usize;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for worker in 0..threads {
-            let next = &next;
-            let figure = &figure;
-            let work = &work;
-            let slots = &slots;
-            let cell = &cell;
-            let ckpt_shared = &ckpt_shared;
-            let ckpt_error = &ckpt_error;
-            handles.push(scope.spawn(move || {
-                let tel = WorkerTelemetry::new(recorder, worker);
-                let etel = EngineTelemetry::new(recorder);
-                let track = tracer.track(&format!("worker-{worker}"));
-                let mut scratch = EpisodeScratch::new();
-                let mut out = WorkerOutput::default();
-                loop {
-                    let item = next.fetch_add(1, Ordering::Relaxed);
-                    if item >= work.len() {
-                        break;
-                    }
-                    let (net, chunk) = work[item];
-                    process_chunk(
-                        figure,
-                        policy,
-                        net,
-                        chunk,
-                        chunks,
+    let mut restarts = 0u32;
+    if threads > 0 {
+        // Slots for every worker this run could ever spawn, allocated up
+        // front so scoped threads can borrow them.
+        let worker_states: Vec<WorkerState> = (0..threads + supervisor.max_restarts as usize)
+            .map(|_| WorkerState::new())
+            .collect();
+        let ctx = &ctx;
+        let worker_states = &worker_states;
+        std::thread::scope(|scope| {
+            let mut active: Vec<(usize, std::thread::ScopedJoinHandle<'_, ()>)> = (0..threads)
+                .map(|worker| {
+                    let wstate = &worker_states[worker];
+                    (
                         worker,
-                        &slots[net],
-                        recorder,
-                        observer,
-                        &tel,
-                        &etel,
-                        tracer,
-                        &track,
-                        &mut scratch,
-                        cell,
-                        ckpt_shared,
-                        ckpt_error,
-                        &mut out,
+                        scope.spawn(move || worker_loop(ctx, worker, wstate)),
+                    )
+                })
+                .collect();
+            // Chunks already requeued once for a stalled holder, so a
+            // still-stalled worker is not speculated against twice.
+            let mut speculated: HashSet<(usize, usize, u32)> = HashSet::new();
+            // Supervise until every chunk is accounted or the restart
+            // budget is exhausted.
+            'supervise: while ctx.results.outstanding.load(Ordering::Acquire) > 0 {
+                let mut idx = 0;
+                while idx < active.len() {
+                    if !active[idx].1.is_finished() {
+                        idx += 1;
+                        continue;
+                    }
+                    let (wid, handle) = active.swap_remove(idx);
+                    let payload = match handle.join() {
+                        // Clean exits only happen once the queue closes;
+                        // tolerate (and drop) an early one.
+                        Ok(()) => continue,
+                        Err(payload) => payload,
+                    };
+                    let message = panic_message(payload.as_ref());
+                    recorder.counter(runner_metrics::SUPERVISOR_PANICS).incr();
+                    let item = worker_states[wid]
+                        .in_flight
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take();
+                    if let Some(item) = item {
+                        // A death mid-initialization leaves siblings
+                        // parked on the condvar; reset the slot so the
+                        // retried chunk (or a waiting sibling) re-runs
+                        // init_network.
+                        let slot = &ctx.slots[item.net];
+                        {
+                            let mut lc = slot.lifecycle.lock().unwrap_or_else(|e| e.into_inner());
+                            if matches!(*lc, SlotLifecycle::Initializing) {
+                                *lc = SlotLifecycle::Uninit;
+                                slot.ready.notify_all();
+                            }
+                        }
+                        if item.attempt + 1 >= supervisor.max_chunk_attempts {
+                            abandon_network(
+                                ctx,
+                                item.net,
+                                format!(
+                                    "chunk {} lost its worker {} time(s); last panic: {}",
+                                    item.chunk,
+                                    item.attempt + 1,
+                                    message
+                                ),
+                            );
+                        } else {
+                            ctx.queue.push(WorkItem {
+                                attempt: item.attempt + 1,
+                                ..item
+                            });
+                        }
+                    }
+                    if restarts >= supervisor.max_restarts {
+                        eprintln!(
+                            "runner: worker {wid} panicked ({message}) with the \
+                             restart budget exhausted; aborting the run"
+                        );
+                        panicked = Some((wid, message));
+                        break 'supervise;
+                    }
+                    restarts += 1;
+                    recorder.counter(runner_metrics::SUPERVISOR_RESTARTS).incr();
+                    eprintln!(
+                        "runner: worker {wid} panicked ({message}); restart {restarts}/{}",
+                        supervisor.max_restarts
                     );
+                    let units = supervisor.restart_backoff.backoff(restarts) as u32;
+                    let pause = supervisor.backoff_unit * units;
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    let worker = threads + restarts as usize - 1;
+                    let wstate = &worker_states[worker];
+                    active.push((
+                        worker,
+                        scope.spawn(move || worker_loop(ctx, worker, wstate)),
+                    ));
                 }
-                out
-            }));
-        }
-        for (worker, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Ok(out) => {
-                    fresh.extend(out.done);
-                    quarantined.extend(out.failures);
-                    repaired_networks += out.repaired;
+                if active.is_empty() {
+                    // Defensive: nobody left to make progress (should be
+                    // unreachable — exhausting restarts breaks above).
+                    break;
                 }
-                Err(payload) => {
+                // Stall speculation: requeue chunks whose holder shows
+                // no heartbeat for stall_timeout; at-most-once folding
+                // discards whichever copy finishes second.
+                let now_ns = elapsed_ns(ctx.run_started);
+                for (wid, _) in &active {
+                    let ws = &worker_states[*wid];
+                    let held = *ws.in_flight.lock().unwrap_or_else(|e| e.into_inner());
+                    let Some(item) = held else { continue };
+                    let age_ns = now_ns.saturating_sub(ws.heartbeat.load(Ordering::Relaxed));
+                    if Duration::from_nanos(age_ns) >= supervisor.stall_timeout
+                        && speculated.insert((item.net, item.chunk, item.attempt))
+                    {
+                        recorder
+                            .counter(runner_metrics::SUPERVISOR_STALL_REQUEUES)
+                            .incr();
+                        ctx.queue.push(WorkItem {
+                            attempt: item.attempt + 1,
+                            ..item
+                        });
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            ctx.queue.close();
+            for (wid, handle) in active {
+                if let Err(payload) = handle.join() {
+                    // A panic that raced the shutdown: keep the first.
+                    recorder.counter(runner_metrics::SUPERVISOR_PANICS).incr();
                     if panicked.is_none() {
-                        panicked = Some((worker, panic_message(payload.as_ref())));
+                        panicked = Some((wid, panic_message(payload.as_ref())));
                     }
                 }
             }
-        }
-    });
+        });
+    }
+    let fresh = std::mem::take(&mut *results.done.lock().expect("results mutex poisoned"));
+    let mut quarantined =
+        std::mem::take(&mut *results.failures.lock().expect("results mutex poisoned"));
+    let shed = std::mem::take(&mut *results.shed.lock().expect("results mutex poisoned"));
+    let repaired_networks = results.repaired.load(Ordering::Relaxed);
     // Merge in network order: independent of thread scheduling, and
     // identical whether a network was computed fresh or resumed.
     let mut per_net: BTreeMap<usize, TraceAccumulator> = resumed;
@@ -796,7 +1045,7 @@ fn run_policy_inner(
             partial: Box::new(total),
         });
     }
-    if let Some(e) = ckpt_error.into_inner().expect("error mutex poisoned") {
+    if let Some(e) = ckpt_error.lock().expect("error mutex poisoned").take() {
         return Err(RunnerError::Checkpoint(e));
     }
     // A panicked or checkpoint-failed run deliberately leaves the
@@ -809,6 +1058,8 @@ fn run_policy_inner(
         resumed_networks,
         completed_networks: per_net.len(),
         repaired_networks,
+        shed_networks: shed.len(),
+        supervisor_restarts: restarts as usize,
     })
 }
 
@@ -862,12 +1113,258 @@ impl EngineTelemetry {
     }
 }
 
-/// What one worker brings home from the queue.
-#[derive(Default)]
-struct WorkerOutput {
-    done: Vec<(usize, TraceAccumulator)>,
-    failures: Vec<NetworkFailure>,
-    repaired: usize,
+/// One claimable unit: an episode chunk of one network, with its retry
+/// generation (bumped every time the chunk is requeued after a worker
+/// death or stall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WorkItem {
+    net: usize,
+    chunk: usize,
+    attempt: u32,
+}
+
+/// The supervised chunk queue: workers block on `pop`, the supervisor
+/// requeues lost chunks with `push` and shuts the pool down with
+/// `close`.
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    items: VecDeque<WorkItem>,
+    closed: bool,
+}
+
+impl WorkQueue {
+    fn new(items: VecDeque<WorkItem>) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                items,
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Blocks until an item is available or the queue is closed.
+    fn pop(&self) -> Option<WorkItem> {
+        let mut st = self.state.lock().expect("work queue poisoned");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            let (guard, _) = self
+                .available
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("work queue poisoned");
+            st = guard;
+        }
+    }
+
+    fn push(&self, item: WorkItem) {
+        self.state
+            .lock()
+            .expect("work queue poisoned")
+            .items
+            .push_back(item);
+        self.available.notify_one();
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("work queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// Per-worker liveness state the supervisor reads: the last heartbeat
+/// (nanoseconds since run start) and the currently claimed item, so a
+/// dead or stalled worker's chunk can be requeued.
+struct WorkerState {
+    heartbeat: AtomicU64,
+    in_flight: Mutex<Option<WorkItem>>,
+}
+
+impl WorkerState {
+    fn new() -> Self {
+        WorkerState {
+            heartbeat: AtomicU64::new(0),
+            in_flight: Mutex::new(None),
+        }
+    }
+
+    fn beat(&self, run_started: Instant) {
+        self.heartbeat
+            .store(elapsed_ns(run_started), Ordering::Relaxed);
+    }
+}
+
+/// Nanoseconds since `start`, saturated into a `u64` heartbeat stamp.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Completion sinks shared by every worker, so a worker death never
+/// loses finished networks — only its in-flight chunk, which the
+/// supervisor requeues.
+struct SharedResults {
+    done: Mutex<Vec<(usize, TraceAccumulator)>>,
+    failures: Mutex<Vec<NetworkFailure>>,
+    shed: Mutex<Vec<usize>>,
+    repaired: AtomicUsize,
+    /// Chunks not yet accounted (completed, failed, shed, or
+    /// abandoned); the supervisor shuts the pool down when it hits 0.
+    outstanding: AtomicUsize,
+}
+
+impl SharedResults {
+    fn new(outstanding: usize) -> Self {
+        SharedResults {
+            done: Mutex::new(Vec::new()),
+            failures: Mutex::new(Vec::new()),
+            shed: Mutex::new(Vec::new()),
+            repaired: AtomicUsize::new(0),
+            outstanding: AtomicUsize::new(outstanding),
+        }
+    }
+}
+
+/// Everything workers and the supervisor share for one run, bundled so
+/// it crosses the `thread::scope` boundary as a single reference. `'ck`
+/// is the checkpoint borrow threaded through the shared append handle.
+struct RunCtx<'env, 'ck> {
+    figure: &'env FigureRun,
+    policy: PolicyKind,
+    chunks: usize,
+    cell: &'env str,
+    recorder: &'env Recorder,
+    tracer: &'env Tracer,
+    observer: &'env Observer,
+    chaos: ChaosPlan,
+    deadline: Option<Deadline>,
+    slots: &'env [NetworkSlot],
+    queue: &'env WorkQueue,
+    results: &'env SharedResults,
+    ckpt_shared: &'env Mutex<Option<&'ck mut Checkpoint>>,
+    ckpt_error: &'env Mutex<Option<std::io::Error>>,
+    run_started: Instant,
+}
+
+/// One supervised worker: drains the chunk queue, marking each claim in
+/// `wstate` so the supervisor can requeue the in-flight item if this
+/// thread dies or stalls. Injected chaos worker faults fire on a
+/// chunk's first attempt only, so the supervised retry always makes
+/// progress.
+fn worker_loop(ctx: &RunCtx<'_, '_>, worker: usize, wstate: &WorkerState) {
+    let tel = WorkerTelemetry::new(ctx.recorder, worker);
+    let etel = EngineTelemetry::new(ctx.recorder);
+    let track = ctx.tracer.track(&format!("worker-{worker}"));
+    let mut scratch = EpisodeScratch::new();
+    while let Some(item) = ctx.queue.pop() {
+        *wstate.in_flight.lock().expect("in-flight mutex poisoned") = Some(item);
+        wstate.beat(ctx.run_started);
+        ctx.observer.heartbeat();
+        if item.attempt == 0 {
+            match ctx.chaos.worker_fault(item.net, item.chunk) {
+                Some(WorkerFault::Panic) => {
+                    ctx.recorder.counter(chaos_metrics::WORKER_PANICS).incr();
+                    panic!(
+                        "chaos: injected worker panic (net {}, chunk {})",
+                        item.net, item.chunk
+                    );
+                }
+                Some(WorkerFault::Stall(pause)) => {
+                    ctx.recorder.counter(chaos_metrics::WORKER_STALLS).incr();
+                    std::thread::sleep(pause);
+                }
+                None => {}
+            }
+        }
+        process_chunk(ctx, item, worker, &tel, &etel, &track, &mut scratch, wstate);
+        *wstate.in_flight.lock().expect("in-flight mutex poisoned") = None;
+    }
+}
+
+/// Retires a never-started network under an expired deadline: accounts
+/// every outstanding chunk, streams [`NetworkStatus::Shed`], and
+/// records the shed on the report. The caller has already moved the
+/// lifecycle to `Retired`, so racing claimers of sibling chunks no-op.
+fn shed_network(ctx: &RunCtx<'_, '_>, net: usize) {
+    let newly = ctx.slots[net].fill_all_chunks(ctx.chunks);
+    ctx.results.outstanding.fetch_sub(newly, Ordering::AcqRel);
+    ctx.results
+        .shed
+        .lock()
+        .expect("results mutex poisoned")
+        .push(net);
+    ctx.recorder.counter(runner_metrics::SUPERVISOR_SHED).incr();
+    ctx.observer.network_done(net, NetworkStatus::Shed);
+}
+
+/// Supervisor-side quarantine: a chunk exhausted its attempt budget, so
+/// the whole network is dropped from the aggregate exactly as an
+/// episode panic would drop it. Accounts every outstanding chunk, wakes
+/// parked siblings, and reports the quarantine once — unless the
+/// network managed to finalize in the meantime, in which case nothing
+/// changes.
+fn abandon_network(ctx: &RunCtx<'_, '_>, net: usize, message: String) {
+    let slot = &ctx.slots[net];
+    {
+        let mut lc = slot.lifecycle.lock().unwrap_or_else(|e| e.into_inner());
+        *lc = SlotLifecycle::Retired;
+        slot.ready.notify_all();
+    }
+    let (newly, sealed_started) = {
+        let mut progress = slot.progress.lock().unwrap_or_else(|e| e.into_inner());
+        if progress.finalized {
+            (0, None)
+        } else {
+            let mut newly = 0;
+            for c in 0..ctx.chunks {
+                if !progress.chunk_filled[c] {
+                    progress.chunk_filled[c] = true;
+                    progress.filled += 1;
+                    newly += 1;
+                }
+            }
+            progress.finalized = true;
+            (newly, Some(progress.started.take()))
+        }
+    };
+    if newly > 0 {
+        ctx.results.outstanding.fetch_sub(newly, Ordering::AcqRel);
+    }
+    let Some(started) = sealed_started else {
+        return;
+    };
+    ctx.recorder.counter(runner_metrics::QUARANTINED).incr();
+    if let Some(started) = started {
+        // The network had been claimed: balance the in-flight gauge its
+        // initializer bumped and record its wall clock.
+        ctx.recorder.gauge(runner_metrics::NETWORKS_INFLIGHT).sub(1);
+        ctx.recorder
+            .histogram(runner_metrics::NETWORK_NS)
+            .record(started.elapsed().as_nanos() as u64);
+    }
+    ctx.observer.network_done(
+        net,
+        NetworkStatus::Quarantined {
+            stage: "supervisor".to_string(),
+            message: message.clone(),
+        },
+    );
+    ctx.results
+        .failures
+        .lock()
+        .expect("results mutex poisoned")
+        .push(NetworkFailure {
+            network: net,
+            stage: "supervisor",
+            message,
+        });
 }
 
 /// Immutable per-network state shared by that network's episode chunks.
@@ -894,9 +1391,12 @@ enum SlotLifecycle {
         init_worker: usize,
     },
     /// Dataset / protocol / validation failed; the initializing chunk
-    /// already reported the quarantine and siblings skip silently.
+    /// already reported the quarantine and accounted every chunk, so
+    /// siblings skip silently.
     Failed,
-    /// All chunks accounted and the instance memory released.
+    /// All chunks accounted (folded, quarantined, shed, or abandoned)
+    /// and the instance memory released. Late claimers — speculation
+    /// duplicates, requeues that raced the original — no-op here.
     Retired,
 }
 
@@ -904,7 +1404,15 @@ enum SlotLifecycle {
 /// completes the last chunk.
 struct SlotProgress {
     started: Option<Instant>,
-    chunks_done: usize,
+    /// Chunks accounted so far (completed, failed, shed, or abandoned).
+    filled: usize,
+    /// Per-chunk accounting bits backing the at-most-once fold:
+    /// duplicate completions from stall speculation find their bit
+    /// already set and discard their outcomes.
+    chunk_filled: Vec<bool>,
+    /// Set once the network's fate is sealed (folded, quarantined,
+    /// shed, or abandoned); later accounting passes become no-ops.
+    finalized: bool,
     /// Episode outcomes in episode order; folded into the network's
     /// accumulator sequentially at finalize so chunked and sequential
     /// scheduling sum floats in the identical order.
@@ -920,17 +1428,36 @@ struct NetworkSlot {
 }
 
 impl NetworkSlot {
-    fn new() -> Self {
+    fn new(chunks: usize) -> Self {
         NetworkSlot {
             lifecycle: Mutex::new(SlotLifecycle::Uninit),
             ready: Condvar::new(),
             progress: Mutex::new(SlotProgress {
                 started: None,
-                chunks_done: 0,
+                filled: 0,
+                chunk_filled: vec![false; chunks],
+                finalized: false,
                 outcomes: Vec::new(),
                 failure: None,
             }),
         }
+    }
+
+    /// Marks every not-yet-filled chunk as accounted and seals the
+    /// slot; returns how many chunks this newly accounted (the caller
+    /// owes that many `outstanding` decrements).
+    fn fill_all_chunks(&self, chunks: usize) -> usize {
+        let mut progress = self.progress.lock().unwrap_or_else(|e| e.into_inner());
+        let mut newly = 0;
+        for c in 0..chunks {
+            if !progress.chunk_filled[c] {
+                progress.chunk_filled[c] = true;
+                progress.filled += 1;
+                newly += 1;
+            }
+        }
+        progress.finalized = true;
+        newly
     }
 }
 
@@ -1046,30 +1573,35 @@ fn init_network(
 /// markers plus the simulator's and policy's per-step events.
 #[allow(clippy::too_many_arguments)]
 fn process_chunk(
-    figure: &FigureRun,
-    policy: PolicyKind,
-    net: usize,
-    chunk: usize,
-    chunks_per_network: usize,
+    ctx: &RunCtx<'_, '_>,
+    item: WorkItem,
     worker: usize,
-    slot: &NetworkSlot,
-    recorder: &Recorder,
-    observer: &Observer,
     tel: &WorkerTelemetry,
     etel: &EngineTelemetry,
-    tracer: &Tracer,
     track: &TraceTrack,
     scratch: &mut EpisodeScratch,
-    cell: &str,
-    ckpt_shared: &Mutex<Option<&mut Checkpoint>>,
-    ckpt_error: &Mutex<Option<std::io::Error>>,
-    out: &mut WorkerOutput,
+    wstate: &WorkerState,
 ) {
+    let WorkItem { net, chunk, .. } = item;
+    let figure = ctx.figure;
+    let slot = &ctx.slots[net];
     let state: Arc<NetworkState> = {
         let mut lc = slot.lifecycle.lock().expect("slot mutex poisoned");
         loop {
             match &*lc {
                 SlotLifecycle::Uninit => {
+                    // Soft deadline: shed a network nobody has started
+                    // yet. Claims pop in ascending network order, so
+                    // the survivors form a prefix of the sample list.
+                    if let Some(dl) = ctx.deadline {
+                        if net >= dl.min_networks && Instant::now() >= dl.at {
+                            *lc = SlotLifecycle::Retired;
+                            slot.ready.notify_all();
+                            drop(lc);
+                            shed_network(ctx, net);
+                            return;
+                        }
+                    }
                     *lc = SlotLifecycle::Initializing;
                     drop(lc);
                     tel.networks_inflight.add(1);
@@ -1078,7 +1610,7 @@ fn process_chunk(
                         .lock()
                         .expect("progress mutex poisoned")
                         .started = Some(started);
-                    let built = init_network(figure, net, recorder, track);
+                    let built = init_network(figure, net, ctx.recorder, track);
                     lc = slot.lifecycle.lock().expect("slot mutex poisoned");
                     match built {
                         Ok(state) => {
@@ -1095,18 +1627,26 @@ fn process_chunk(
                             slot.ready.notify_all();
                             drop(lc);
                             // Exactly-once reporting: only the
-                            // initializing chunk lands here.
-                            recorder.counter(runner_metrics::QUARANTINED).incr();
+                            // initializing chunk lands here. Account
+                            // every chunk of the failed network so the
+                            // supervisor sees them all resolved.
+                            let newly = slot.fill_all_chunks(ctx.chunks);
+                            ctx.results.outstanding.fetch_sub(newly, Ordering::AcqRel);
+                            ctx.recorder.counter(runner_metrics::QUARANTINED).incr();
                             tel.networks_inflight.sub(1);
                             tel.network_ns.record(started.elapsed().as_nanos() as u64);
-                            observer.network_done(
+                            ctx.observer.network_done(
                                 net,
                                 NetworkStatus::Quarantined {
                                     stage: failure.stage.to_string(),
                                     message: failure.message.clone(),
                                 },
                             );
-                            out.failures.push(failure);
+                            ctx.results
+                                .failures
+                                .lock()
+                                .expect("results mutex poisoned")
+                                .push(failure);
                             return;
                         }
                     }
@@ -1120,12 +1660,14 @@ fn process_chunk(
                     }
                     break Arc::clone(state);
                 }
-                SlotLifecycle::Failed => return,
-                SlotLifecycle::Retired => unreachable!("chunk claimed after network retired"),
+                // Both arms mean the network is already fully accounted
+                // (failed init, shed, abandoned, or retired before this
+                // duplicate arrived) — nothing left to do.
+                SlotLifecycle::Failed | SlotLifecycle::Retired => return,
             }
         }
     };
-    let (lo, hi) = chunk_range(figure.runs_per_network, chunks_per_network, chunk);
+    let (lo, hi) = chunk_range(figure.runs_per_network, ctx.chunks, chunk);
     let chunk_span = etel.chunk_ns.span();
     let chunk_trace = track.span_with(
         "chunk",
@@ -1135,7 +1677,9 @@ fn process_chunk(
         ],
     );
     let episodes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut policy_impl = policy.instantiate_instrumented(state.policy_seed, recorder, track);
+        let mut policy_impl =
+            ctx.policy
+                .instantiate_instrumented(state.policy_seed, ctx.recorder, track);
         let mut outcomes: Vec<AttackOutcome> = Vec::with_capacity(hi - lo);
         let episodes_trace = track.span("episodes");
         for ep in lo..hi {
@@ -1145,7 +1689,7 @@ fn process_chunk(
             // chunking and thread count.
             let global_ep = (net * figure.runs_per_network + ep) as u64;
             if track.is_enabled() {
-                track.set_active(tracer.sample_hit(global_ep));
+                track.set_active(ctx.tracer.sample_hit(global_ep));
             }
             if track.is_active() {
                 track.instant(
@@ -1154,7 +1698,7 @@ fn process_chunk(
                         ("net", TraceValue::U64(net as u64)),
                         ("ep", TraceValue::U64(ep as u64)),
                         ("global_ep", TraceValue::U64(global_ep)),
-                        ("policy", TraceValue::from(policy.name())),
+                        ("policy", TraceValue::from(ctx.policy.name())),
                         (
                             "dataset",
                             TraceValue::from(figure.dataset.name().to_string()),
@@ -1185,7 +1729,7 @@ fn process_chunk(
                 figure.budget,
                 &plan,
                 &figure.retry,
-                recorder,
+                ctx.recorder,
                 track,
                 scratch,
             );
@@ -1213,7 +1757,11 @@ fn process_chunk(
             outcomes.push(outcome.clone());
             tel.episodes.incr();
             tel.worker_episodes.incr();
-            observer.episode_done(outcome.faults.faults_seen() as u64);
+            // Heartbeats: both the worker's supervisor-facing stamp and
+            // the run-level stall watchdog advance per episode.
+            wstate.beat(ctx.run_started);
+            ctx.observer
+                .episode_done(outcome.faults.faults_seen() as u64);
         }
         drop(episodes_trace);
         outcomes
@@ -1227,6 +1775,14 @@ fn process_chunk(
         track.set_active(true);
     }
     let mut progress = slot.progress.lock().expect("progress mutex poisoned");
+    if progress.chunk_filled[chunk] {
+        // A duplicate completion (stall speculation, or a requeue that
+        // raced the original): at-most-once folding keeps the first
+        // copy and discards this one without touching `outstanding`.
+        return;
+    }
+    progress.chunk_filled[chunk] = true;
+    progress.filled += 1;
     match episodes {
         Ok(outcomes) => {
             if progress.outcomes.is_empty() {
@@ -1242,10 +1798,12 @@ fn process_chunk(
             }
         }
     }
-    progress.chunks_done += 1;
-    if progress.chunks_done < chunks_per_network {
+    if progress.filled < ctx.chunks || progress.finalized {
+        drop(progress);
+        ctx.results.outstanding.fetch_sub(1, Ordering::AcqRel);
         return;
     }
+    progress.finalized = true;
     let outcomes = std::mem::take(&mut progress.outcomes);
     let failure = progress.failure.take();
     let started = progress.started.take();
@@ -1258,19 +1816,23 @@ fn process_chunk(
     }
     match failure {
         Some(message) => {
-            recorder.counter(runner_metrics::QUARANTINED).incr();
-            observer.network_done(
+            ctx.recorder.counter(runner_metrics::QUARANTINED).incr();
+            ctx.observer.network_done(
                 net,
                 NetworkStatus::Quarantined {
                     stage: "episodes".to_string(),
                     message: message.clone(),
                 },
             );
-            out.failures.push(NetworkFailure {
-                network: net,
-                stage: "episodes",
-                message,
-            });
+            ctx.results
+                .failures
+                .lock()
+                .expect("results mutex poisoned")
+                .push(NetworkFailure {
+                    network: net,
+                    stage: "episodes",
+                    message,
+                });
         }
         None => {
             let fold_span = track.span_with("fold", &[("net", TraceValue::U64(net as u64))]);
@@ -1284,16 +1846,16 @@ fn process_chunk(
             drop(fold_span);
             tel.networks.incr();
             let ckpt_span = track.span_with("checkpoint", &[("net", TraceValue::U64(net as u64))]);
-            let mut guard = ckpt_shared.lock().expect("checkpoint mutex poisoned");
+            let mut guard = ctx.ckpt_shared.lock().expect("checkpoint mutex poisoned");
             if let Some(ckpt) = guard.as_mut() {
-                if let Err(e) = ckpt.record(cell, net, &acc) {
-                    *ckpt_error.lock().expect("error mutex poisoned") = Some(e);
+                if let Err(e) = ckpt.record(ctx.cell, net, &acc) {
+                    *ctx.ckpt_error.lock().expect("error mutex poisoned") = Some(e);
                     *guard = None;
                 }
             }
             drop(guard);
             drop(ckpt_span);
-            observer.network_done(
+            ctx.observer.network_done(
                 net,
                 NetworkStatus::Ok {
                     episodes: acc.runs() as u64,
@@ -1302,10 +1864,17 @@ fn process_chunk(
                     repaired: state.was_repaired,
                 },
             );
-            out.repaired += usize::from(state.was_repaired);
-            out.done.push((net, acc));
+            ctx.results
+                .repaired
+                .fetch_add(usize::from(state.was_repaired), Ordering::Relaxed);
+            ctx.results
+                .done
+                .lock()
+                .expect("results mutex poisoned")
+                .push((net, acc));
         }
     }
+    ctx.results.outstanding.fetch_sub(1, Ordering::AcqRel);
 }
 
 #[cfg(test)]
@@ -1833,6 +2402,179 @@ mod tests {
         .unwrap();
         let snap = recorder.snapshot("workers").unwrap();
         assert_eq!(snap.counter(runner_metrics::WORKERS), Some(3));
+    }
+
+    /// A supervisor tuned for tests: no restart pauses, so healing
+    /// storms of injected panics stays fast.
+    fn eager_supervisor() -> SupervisorConfig {
+        SupervisorConfig {
+            backoff_unit: Duration::ZERO,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn chaos_worker_panics_are_healed_by_supervisor() {
+        // panic=1.0 kills the worker on every first claim of every
+        // chunk; the requeued attempt-1 claim is fault-free, so the
+        // healed run must match the clean run bit-for-bit.
+        let fig = tiny_figure();
+        let reference = run_policy(&fig, PolicyKind::abm_balanced());
+        let chaos = ChaosPlan::sample(&accu_core::ChaosConfig {
+            worker_panic: 1.0,
+            ..accu_core::ChaosConfig::none()
+        });
+        let recorder = Recorder::enabled();
+        let report = run_policy_with(
+            &fig,
+            PolicyKind::abm_balanced(),
+            RunOptions {
+                recorder: recorder.clone(),
+                chaos,
+                max_workers: Some(2),
+                supervisor: eager_supervisor(),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            report.accumulator, reference,
+            "healed run must match the clean run exactly"
+        );
+        assert!(report.quarantined.is_empty());
+        assert!(report.supervisor_restarts > 0);
+        assert!(!report.degraded(), "healing is not degradation");
+        let snap = recorder.snapshot("chaos-heal").unwrap();
+        assert!(snap.counter(chaos_metrics::WORKER_PANICS).unwrap() > 0);
+        assert_eq!(
+            snap.counter(runner_metrics::SUPERVISOR_RESTARTS),
+            Some(report.supervisor_restarts as u64)
+        );
+        assert_eq!(
+            snap.counter(runner_metrics::SUPERVISOR_PANICS),
+            snap.counter(chaos_metrics::WORKER_PANICS)
+        );
+    }
+
+    #[test]
+    fn stalled_workers_are_speculatively_requeued() {
+        // Every first claim stalls far past the supervisor's stall
+        // timeout; speculation hands the chunk to a healthy worker and
+        // the duplicate completion is discarded, so results still match
+        // the clean run.
+        let fig = tiny_figure();
+        let reference = run_policy(&fig, PolicyKind::abm_balanced());
+        let chaos = ChaosPlan::sample(&accu_core::ChaosConfig {
+            worker_stall: 1.0,
+            stall_ms: 150,
+            ..accu_core::ChaosConfig::none()
+        });
+        let recorder = Recorder::enabled();
+        let report = run_policy_with(
+            &fig,
+            PolicyKind::abm_balanced(),
+            RunOptions {
+                recorder: recorder.clone(),
+                chaos,
+                max_workers: Some(2),
+                supervisor: SupervisorConfig {
+                    stall_timeout: Duration::from_millis(20),
+                    ..eager_supervisor()
+                },
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.accumulator, reference);
+        assert!(report.quarantined.is_empty());
+        let snap = recorder.snapshot("stall-heal").unwrap();
+        assert!(snap.counter(chaos_metrics::WORKER_STALLS).unwrap() > 0);
+        assert!(
+            snap.counter(runner_metrics::SUPERVISOR_STALL_REQUEUES)
+                .unwrap_or(0)
+                > 0,
+            "the supervisor must have speculated at least one stalled chunk"
+        );
+    }
+
+    #[test]
+    fn deadline_zero_sheds_everything_beyond_the_minimum() {
+        // An already-expired deadline sheds every network past the
+        // survivor floor. Networks are claimed in index order, so the
+        // survivors are the prefix [0, DEADLINE_MIN_NETWORKS) and the
+        // partial aggregate equals a fresh run over that many samples —
+        // at any worker count.
+        let fig = FigureRun {
+            network_samples: 4,
+            ..tiny_figure()
+        };
+        let prefix = FigureRun {
+            network_samples: DEADLINE_MIN_NETWORKS,
+            ..fig.clone()
+        };
+        let expected = run_policy(&prefix, PolicyKind::abm_balanced());
+        for workers in [1usize, 2, 4] {
+            let report = run_policy_with(
+                &fig,
+                PolicyKind::abm_balanced(),
+                RunOptions {
+                    max_workers: Some(workers),
+                    deadline: Some(Deadline::after(Duration::ZERO)),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(report.degraded());
+            assert_eq!(
+                report.shed_networks,
+                fig.network_samples - DEADLINE_MIN_NETWORKS,
+                "workers={workers}"
+            );
+            assert_eq!(report.completed_networks, DEADLINE_MIN_NETWORKS);
+            assert_eq!(
+                report.accumulator, expected,
+                "degraded aggregate must equal the {DEADLINE_MIN_NETWORKS}-sample run (workers={workers})"
+            );
+            assert!(report.quarantined.is_empty());
+            assert!(report.ci_half_width() > 0.0);
+        }
+    }
+
+    #[test]
+    fn exhausted_chunk_attempts_quarantine_with_supervisor_stage() {
+        // max_chunk_attempts=1 means the first injected panic abandons
+        // the whole network; with panic=1.0 every network dies, exactly
+        // once each despite the repeated panics on sibling chunks.
+        let fig = tiny_figure();
+        let chaos = ChaosPlan::sample(&accu_core::ChaosConfig {
+            worker_panic: 1.0,
+            ..accu_core::ChaosConfig::none()
+        });
+        let report = run_policy_with(
+            &fig,
+            PolicyKind::abm_balanced(),
+            RunOptions {
+                chaos,
+                max_workers: Some(1),
+                supervisor: SupervisorConfig {
+                    max_chunk_attempts: 1,
+                    ..eager_supervisor()
+                },
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.quarantined.len(), fig.network_samples);
+        assert!(report.quarantined.iter().all(|f| f.stage == "supervisor"));
+        assert_eq!(report.completed_networks, 0);
+        assert_eq!(report.accumulator.runs(), 0);
+        assert_eq!(report.shed_networks, 0);
+    }
+
+    #[test]
+    fn panic_message_handles_non_string_payloads() {
+        let payload = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -11,20 +11,22 @@
 //! a per-stage summary table and writes a machine-readable JSONL
 //! snapshot under `target/experiments/telemetry/<label>.jsonl`.
 
-use std::io;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use accu_core::chaos::chaos_metrics;
 use accu_core::policy::abm_metrics;
-use accu_core::{fault_metrics, sim_metrics, validate_metrics};
-use accu_telemetry::obs::{
-    throughput_floor_from_trajectory, MetricsServer, Observer, Watchdog, WatchdogConfig,
-};
+use accu_core::{fault_metrics, sim_metrics, validate_metrics, ChaosPlan};
+use accu_telemetry::obs::{throughput_floor, MetricsServer, Observer, Watchdog, WatchdogConfig};
 use accu_telemetry::{FieldValue, JsonlSink, Recorder, Snapshot, Tracer, DEFAULT_TRACK_CAPACITY};
 
+use crate::chaosfs::{atomic_write, atomic_write_chaos, ChaosFile, ChaosSite};
 use crate::cli::Cli;
 use crate::output::{experiments_dir, fnum, Table};
-use crate::runner::{runner_metrics, RunOptions};
+use crate::runner::{runner_metrics, Deadline, RunOptions, SupervisorConfig};
 
 /// Where the bench trajectory lives relative to the working directory;
 /// `--watchdog` seeds its throughput floor from the last healthy entry
@@ -91,6 +93,18 @@ pub struct Telemetry {
     /// `--watchdog=strict`: [`Telemetry::report`] exits nonzero when
     /// any alarm fired.
     strict_watchdog: bool,
+    /// The run's chaos plan (trivial without `--chaos`), forwarded
+    /// into [`Telemetry::run_options`] and every file sink the handle
+    /// owns so one seeded schedule covers the whole process.
+    chaos: ChaosPlan,
+    /// Absolute soft deadline, derived once from `--deadline` so every
+    /// cell of a multi-cell binary shares the same wall-clock budget.
+    deadline_at: Option<Instant>,
+    /// Chaos failpoint on the streaming-progress sink, kept for its
+    /// injected-fault counters.
+    progress_site: Option<ChaosSite>,
+    /// Chaos failpoint on trace export.
+    trace_site: Option<ChaosSite>,
     /// Held for their lifetime: the metrics listener thread and the
     /// watchdog tick thread stop when the last handle drops.
     server: Option<Arc<MetricsServer>>,
@@ -121,7 +135,22 @@ impl Telemetry {
             eprintln!("error: {what}: {err}");
             std::process::exit(2);
         };
+        let chaos = match &cli.chaos {
+            Some(config) => ChaosPlan::sample(config),
+            None => ChaosPlan::none(),
+        };
+        let mut progress_site = None;
         let observer = match &cli.progress {
+            // Under chaos the JSONL stream goes through a failpoint so
+            // injected EINTRs exercise the sink's retry path.
+            Some(Some(path)) if !chaos.is_trivial() => {
+                let site = ChaosSite::new(chaos, "progress");
+                progress_site = Some(site.clone());
+                let file = std::fs::File::create(path)
+                    .unwrap_or_else(|e| fail(&format!("--progress={path}"), &e));
+                let writer: Box<dyn Write + Send> = Box::new(ChaosFile::new(file, site));
+                Observer::with_sink(JsonlSink::from_writer(writer, path), true)
+            }
             Some(Some(path)) => {
                 Observer::to_path(path).unwrap_or_else(|e| fail(&format!("--progress={path}"), &e))
             }
@@ -143,16 +172,26 @@ impl Telemetry {
             let mut config = WatchdogConfig::parse(spec)
                 .unwrap_or_else(|e| fail(&format!("--watchdog={spec}"), &e));
             if config.min_eps.is_none() {
-                config.min_eps = throughput_floor_from_trajectory(Path::new(TRAJECTORY_PATH));
-                if let Some(floor) = config.min_eps {
-                    eprintln!(
-                        "watchdog: throughput floor {floor:.1} eps/s (from {TRAJECTORY_PATH})"
-                    );
+                // No explicit floor and no usable trajectory: warn once
+                // and run with the floor rule disabled rather than
+                // refusing to arm the other rules.
+                match throughput_floor(Path::new(TRAJECTORY_PATH)) {
+                    Ok(floor) => {
+                        config.min_eps = Some(floor);
+                        eprintln!(
+                            "watchdog: throughput floor {floor:.1} eps/s (from {TRAJECTORY_PATH})"
+                        );
+                    }
+                    Err(why) => {
+                        eprintln!("watchdog: throughput-floor rule disabled ({why})");
+                    }
                 }
             }
             strict_watchdog = config.strict;
             Arc::new(Watchdog::spawn(config, observer.clone()))
         });
+        let trace_site =
+            (tracer.is_enabled() && !chaos.is_trivial()).then(|| ChaosSite::new(chaos, "trace"));
         Telemetry {
             recorder,
             tracer,
@@ -161,6 +200,12 @@ impl Telemetry {
             observer,
             summary: cli.telemetry,
             workers: cli.workers,
+            chaos,
+            deadline_at: cli
+                .deadline
+                .map(|secs| Instant::now() + Duration::from_secs_f64(secs)),
+            progress_site,
+            trace_site,
             strict_watchdog,
             server,
             watchdog,
@@ -201,6 +246,28 @@ impl Telemetry {
         self.watchdog.is_some()
     }
 
+    /// The run's chaos plan (trivial unless `--chaos` was passed).
+    pub fn chaos(&self) -> &ChaosPlan {
+        &self.chaos
+    }
+
+    /// Opens (or, with `resume`, reopens) a checkpoint at `path` with
+    /// this handle's chaos schedule attached, so injected I/O faults
+    /// and `kill-after` schedules hit the checkpoint's append stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::RunnerError`] from [`crate::Checkpoint::open`].
+    pub fn open_checkpoint(
+        &self,
+        path: impl AsRef<Path>,
+        resume: bool,
+    ) -> Result<crate::Checkpoint, crate::RunnerError> {
+        let mut ckpt = crate::Checkpoint::open(path, resume)?;
+        ckpt.attach_chaos(&self.chaos);
+        Ok(ckpt)
+    }
+
     /// A [`RunOptions`] bundle carrying this handle's recorder, tracer,
     /// observer, and `--workers` cap — ready for
     /// [`run_policy_with`](crate::run_policy_with). Attach a checkpoint
@@ -228,6 +295,9 @@ impl Telemetry {
             checkpoint: None,
             max_workers: self.workers,
             chunks_per_network: None,
+            chaos: self.chaos,
+            supervisor: SupervisorConfig::default(),
+            deadline: self.deadline_at.map(Deadline::until),
         }
     }
 
@@ -263,6 +333,7 @@ impl Telemetry {
     /// Returns any I/O error from creating or writing the output files.
     pub fn report(&self) -> io::Result<Option<PathBuf>> {
         self.export_traces()?;
+        self.absorb_chaos_counters();
         let path = match self.snapshot().filter(|_| self.summary) {
             None => None,
             Some(snapshot) => {
@@ -295,13 +366,43 @@ impl Telemetry {
         self.recorder.snapshot(&self.label)
     }
 
+    /// Folds injected-fault counts from this handle's chaos failpoints
+    /// into the recorder, so the end-of-run snapshot carries them.
+    fn absorb_chaos_counters(&self) {
+        for site in [&self.progress_site, &self.trace_site]
+            .into_iter()
+            .flatten()
+        {
+            let counters = site.counters();
+            for (name, value) in [
+                (
+                    chaos_metrics::DISK_FULL,
+                    counters.disk_full.load(Ordering::Relaxed),
+                ),
+                (chaos_metrics::EINTR, counters.eintr.load(Ordering::Relaxed)),
+                (
+                    chaos_metrics::TORN_WRITES,
+                    counters.torn_writes.load(Ordering::Relaxed),
+                ),
+            ] {
+                if value > 0 {
+                    self.recorder.counter(name).add(value);
+                }
+            }
+        }
+    }
+
     /// Writes the Chrome trace and the JSONL causal log (no-op when
     /// tracing is off), returning the Chrome trace path. The causal log
     /// lands next to the Chrome file with a `.causal.jsonl` suffix.
+    /// Both files are replaced atomically (temp sibling + rename), and
+    /// a failed write — injected chaos included — degrades to a stderr
+    /// warning rather than failing the run: traces are diagnostics, not
+    /// results.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from writing either file.
+    /// Returns any I/O error from creating the output directory.
     pub fn export_traces(&self) -> io::Result<Option<PathBuf>> {
         let (Some(chrome), Some(causal)) =
             (self.tracer.export_chrome(), self.tracer.export_causal())
@@ -318,8 +419,20 @@ impl Telemetry {
             }
         }
         let causal_path = causal_sibling(&chrome_path);
-        std::fs::write(&chrome_path, chrome)?;
-        std::fs::write(&causal_path, causal)?;
+        let written = (|| match &self.trace_site {
+            Some(site) => {
+                atomic_write_chaos(&chrome_path, chrome.as_bytes(), site)?;
+                atomic_write_chaos(&causal_path, causal.as_bytes(), site)
+            }
+            None => {
+                atomic_write(&chrome_path, chrome.as_bytes())?;
+                atomic_write(&causal_path, causal.as_bytes())
+            }
+        })();
+        if let Err(e) = written {
+            eprintln!("warning: trace export failed ({e}); continuing without trace files");
+            return Ok(None);
+        }
         println!(
             "trace written to {} ({} events, {} dropped; causal log {})",
             chrome_path.display(),

@@ -49,11 +49,14 @@ pub enum NetworkStatus {
     /// Dropped by the quarantine.
     Quarantined {
         /// Failing stage (`"dataset"`, `"protocol"`, `"validate"`,
-        /// `"episodes"`).
+        /// `"episodes"`, `"supervisor"`).
         stage: String,
         /// The error or panic message.
         message: String,
     },
+    /// Shed by a soft deadline before any episode ran (graceful
+    /// degradation). Carries no statistics by construction.
+    Shed,
 }
 
 /// JSONL sink plus the reorder buffer, under one lock so lines can
@@ -213,6 +216,12 @@ impl Observer {
         Self::build(None, false)
     }
 
+    /// An observer over a caller-built sink (e.g. a chaos-wrapped
+    /// writer), with or without the console status line.
+    pub fn with_sink(sink: JsonlSink, console: bool) -> Self {
+        Self::build(Some(sink), console)
+    }
+
     fn build(sink: Option<JsonlSink>, console: bool) -> Self {
         Observer(Some(Arc::new(ObserverInner {
             episodes_done: AtomicU64::new(0),
@@ -257,6 +266,16 @@ impl Observer {
     fn touch(inner: &ObserverInner) {
         let ns = u64::try_from(inner.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         inner.last_progress_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Signals liveness without counting progress: the supervisor calls
+    /// this when a worker claims work, so the stall watchdog measures
+    /// from the last *sign of life* rather than the last completed
+    /// episode (which can legitimately be long on large networks).
+    pub fn heartbeat(&self) {
+        if let Some(inner) = &self.0 {
+            Self::touch(inner);
+        }
     }
 
     /// Announces one experiment cell: `networks` sampled networks for a
@@ -337,6 +356,9 @@ impl Observer {
                     json_escape(stage),
                     json_escape(message),
                 )
+            }
+            NetworkStatus::Shed => {
+                format!("{{\"type\":\"network\",\"net\":{net},\"status\":\"shed\"}}")
             }
         };
         Self::touch(inner);
@@ -624,6 +646,40 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"type\":\"obs.alarm\""));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shed_networks_stream_without_statistics() {
+        let path = tmp("shed.jsonl");
+        let obs = Observer::to_path_quiet(&path).unwrap();
+        obs.begin_run("c", 2, 4);
+        obs.network_done(
+            0,
+            NetworkStatus::Ok {
+                episodes: 2,
+                mean_benefit: 1.0,
+                faults_mean: 0.0,
+                repaired: false,
+            },
+        );
+        obs.network_done(1, NetworkStatus::Shed);
+        obs.end_run(1, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("{\"type\":\"network\",\"net\":1,\"status\":\"shed\"}"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn heartbeat_updates_liveness_without_progress() {
+        let obs = Observer::quiet();
+        obs.begin_run("c", 1, 100);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(obs.stats().since_last_progress >= Duration::from_millis(10));
+        obs.heartbeat();
+        assert!(obs.stats().since_last_progress < Duration::from_millis(10));
+        assert_eq!(obs.stats().episodes_done, 0, "heartbeat is not progress");
+        // Inert on a disabled observer.
+        Observer::disabled().heartbeat();
     }
 
     #[test]

@@ -271,21 +271,50 @@ impl Drop for Watchdog {
     }
 }
 
+/// Why [`throughput_floor`] could not derive a floor. Callers must
+/// *disable* the floor rule (warning once) rather than arm it with a
+/// guessed threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloorUnavailable {
+    /// The trajectory file does not exist or cannot be read.
+    Missing,
+    /// The file was read but holds no healthy (`status == "ok"`)
+    /// schema-v2 entry this reader can compare against.
+    NoHealthyEntries,
+}
+
+impl std::fmt::Display for FloorUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FloorUnavailable::Missing => write!(f, "trajectory file missing or unreadable"),
+            FloorUnavailable::NoHealthyEntries => {
+                write!(f, "no healthy v2 trajectory entries")
+            }
+        }
+    }
+}
+
 /// Derives a throughput floor (eps/s) from a `BENCH_trajectory.jsonl`
-/// file: one tenth of the most recent healthy (`status == "ok"`) entry
-/// whose schema this reader understands. Returns `None` when the file
-/// is missing, unreadable, or has no usable entry — callers fall back
-/// to no floor, never to a guessed one.
-pub fn throughput_floor_from_trajectory(path: &Path) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
+/// file: one tenth of the most recent healthy (`status == "ok"`)
+/// schema-v2 entry. Legacy v1 entries (no `schema` field) are ignored:
+/// they predate the fixture/git provenance stamps, so a floor derived
+/// from one is not comparable to the current benchmark. Schemas newer
+/// than this reader are skipped as incomparable.
+///
+/// # Errors
+///
+/// Returns [`FloorUnavailable`] naming why no floor exists, so callers
+/// can warn once and disable the rule instead of arming a meaningless
+/// threshold.
+pub fn throughput_floor(path: &Path) -> Result<f64, FloorUnavailable> {
+    let text = std::fs::read_to_string(path).map_err(|_| FloorUnavailable::Missing)?;
     let mut last_ok: Option<f64> = None;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let Ok(obj) = parse_json(line) else {
             continue;
         };
-        // Entries without a schema field are legacy v1; anything newer
-        // than this reader is skipped as incomparable.
-        if obj.get("schema").and_then(Json::as_u64).unwrap_or(1) > TRAJECTORY_SCHEMA {
+        let schema = obj.get("schema").and_then(Json::as_u64).unwrap_or(1);
+        if !(2..=TRAJECTORY_SCHEMA).contains(&schema) {
             continue;
         }
         if obj.get("status").and_then(Json::as_str) != Some("ok") {
@@ -297,7 +326,15 @@ pub fn throughput_floor_from_trajectory(path: &Path) -> Option<f64> {
             }
         }
     }
-    last_ok.map(|eps| eps * 0.1)
+    last_ok
+        .map(|eps| eps * 0.1)
+        .ok_or(FloorUnavailable::NoHealthyEntries)
+}
+
+/// [`throughput_floor`] with the reason discarded, for callers that
+/// only care whether a floor exists.
+pub fn throughput_floor_from_trajectory(path: &Path) -> Option<f64> {
+    throughput_floor(path).ok()
 }
 
 #[cfg(test)]
@@ -408,7 +445,8 @@ mod tests {
         std::fs::write(
             &path,
             concat!(
-                // Legacy v1 entry (no schema field): usable.
+                // Legacy v1 entry (no schema field): not comparable,
+                // skipped even though healthy.
                 "{\"date\":\"2026-08-01\",\"bench\":\"engine\",\"eps_per_sec\":40.0,\"status\":\"ok\"}\n",
                 // Regression entry: skipped by status.
                 "{\"schema\":2,\"eps_per_sec\":90.0,\"status\":\"regression\"}\n",
@@ -420,10 +458,37 @@ mod tests {
             ),
         )
         .unwrap();
-        let floor = throughput_floor_from_trajectory(&path).unwrap();
+        let floor = throughput_floor(&path).unwrap();
         assert!((floor - 6.0).abs() < 1e-9, "floor = {floor}");
-        // Missing file → None, not a guess.
+        // Missing file → a typed reason, never a guess.
+        assert_eq!(
+            throughput_floor(&dir.join("absent.jsonl")),
+            Err(FloorUnavailable::Missing)
+        );
         assert!(throughput_floor_from_trajectory(&dir.join("absent.jsonl")).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trajectory_floor_requires_healthy_v2_entries() {
+        let dir = std::env::temp_dir().join(format!("accu-obs-traj-v1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trajectory.jsonl");
+        // Only legacy v1 and unhealthy v2 entries: the rule must
+        // disable rather than arm a floor from incomparable data.
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"date\":\"2026-08-01\",\"bench\":\"engine\",\"eps_per_sec\":40.0,\"status\":\"ok\"}\n",
+                "{\"schema\":2,\"eps_per_sec\":90.0,\"status\":\"regression\"}\n",
+            ),
+        )
+        .unwrap();
+        assert_eq!(
+            throughput_floor(&path),
+            Err(FloorUnavailable::NoHealthyEntries)
+        );
+        assert_eq!(throughput_floor_from_trajectory(&path), None);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -11,9 +11,9 @@
 //! {"type":"event","name":"episode_done","fields":{"worker":0,"benefit":54.0}}
 //! ```
 
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 use std::fs;
-use std::io::{self, BufWriter, Write as _};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 /// One counter's value at snapshot time.
@@ -237,10 +237,17 @@ pub(crate) fn json_number(x: f64) -> String {
 /// so it is reported on stderr instead of being silently swallowed;
 /// callers that need the error should call [`JsonlSink::flush`]
 /// explicitly first.
-#[derive(Debug)]
 pub struct JsonlSink {
-    writer: BufWriter<fs::File>,
+    writer: BufWriter<Box<dyn Write + Send>>,
     path: PathBuf,
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Drop for JsonlSink {
@@ -269,9 +276,19 @@ impl JsonlSink {
         }
         let file = fs::File::create(&path)?;
         Ok(JsonlSink {
-            writer: BufWriter::new(file),
+            writer: BufWriter::new(Box::new(file)),
             path,
         })
+    }
+
+    /// Builds a sink over an arbitrary writer (e.g. a chaos-injecting
+    /// wrapper around a file). `path` is reporting-only: it names the
+    /// sink in flush-failure messages and [`JsonlSink::path`].
+    pub fn from_writer(writer: Box<dyn Write + Send>, path: impl AsRef<Path>) -> Self {
+        JsonlSink {
+            writer: BufWriter::new(writer),
+            path: path.as_ref().to_path_buf(),
+        }
     }
 
     /// The sink's file path.
