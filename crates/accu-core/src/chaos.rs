@@ -267,8 +267,11 @@ impl ChaosPlan {
     }
 
     /// The fault (if any) injected into operation number `op` at the
-    /// named sink `site` (e.g. `"checkpoint"`, `"progress"`,
-    /// `"trace"`). Deterministic in `(config, site, op)`.
+    /// named sink `site`. Sites are open-ended strings; the harness
+    /// currently draws from `"checkpoint"`, `"progress"`, `"trace"`,
+    /// and — for the service daemon — `"registry"` (job-registry
+    /// writes) and `"socket"` (response frames on the wire).
+    /// Deterministic in `(config, site, op)`.
     pub fn io_fault(&self, site: &str, op: u64) -> Option<IoFault> {
         let c = &self.config;
         if c.disk_full <= 0.0 && c.eintr <= 0.0 && c.torn_write <= 0.0 {

@@ -1,0 +1,217 @@
+//! `accu-cli` — client for the `accu-serve` daemon.
+//!
+//! ```text
+//! accu-cli <command> [--addr ADDR] [options]
+//!
+//! commands:
+//!   submit JOB [spec flags]   submit (idempotently) a job
+//!   status JOB                print the job's durable status
+//!   result JOB                print the finished job's result CSV
+//!   wait JOB [--limit-s S]    block until the job is terminal
+//!   watch JOB [--limit-s S]   stream progress lines until terminal
+//!   cancel JOB                cancel a queued job
+//!   ping                      liveness probe (prints the daemon pid)
+//!   shutdown                  ask the daemon to exit
+//!   run [spec flags]          run the spec locally (batch, no daemon)
+//!
+//! spec flags (defaults in parentheses):
+//!   --dataset NAME (facebook)   --scale F (0.02)    --policy NAME (abm)
+//!   --budget N (10)             --samples N (3)     --runs N (2)
+//!   --spec-seed N (42)          --faults F (0)      --cautious N (2)
+//!   --band LO:HI (5:80)
+//! ```
+//!
+//! `run` executes the same spec through the batch runner and prints the
+//! identical CSV a daemon job would produce — CI uses it to generate
+//! the reference for byte-identity checks against crash-recovered
+//! daemon results. All daemon commands retry transport failures with
+//! jittered backoff, so a daemon restart mid-command is invisible.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use accu_experiments::service::{ClientError, JobSpec, ServiceClient};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7411";
+
+const USAGE: &str = "usage: accu-cli <submit|status|result|wait|watch|cancel|ping|shutdown|run> \
+                     [JOB] [--addr ADDR] [--limit-s S] [spec flags; see --help]";
+
+fn fail(detail: &dyn std::fmt::Display) -> ExitCode {
+    eprintln!("accu-cli: {detail}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Everything after the command word, parsed in one pass.
+struct Args {
+    addr: String,
+    job: Option<String>,
+    limit: Duration,
+    spec: JobSpec,
+}
+
+fn parse_args(words: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        addr: DEFAULT_ADDR.to_string(),
+        job: None,
+        limit: Duration::from_secs(600),
+        spec: JobSpec::default(),
+    };
+    let mut iter = words.iter();
+    while let Some(word) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match word.as_str() {
+            "--addr" => parsed.addr = value("--addr")?,
+            "--limit-s" => {
+                let v: f64 = value("--limit-s")?
+                    .parse()
+                    .map_err(|e| format!("--limit-s: {e}"))?;
+                parsed.limit = Duration::from_secs_f64(v.max(0.0));
+            }
+            "--dataset" => parsed.spec.dataset = value("--dataset")?,
+            "--scale" => {
+                parsed.spec.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--policy" => parsed.spec.policy = value("--policy")?,
+            "--budget" => {
+                parsed.spec.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+            }
+            "--samples" => {
+                parsed.spec.samples = value("--samples")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?;
+            }
+            "--runs" => {
+                parsed.spec.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+            }
+            "--spec-seed" => {
+                parsed.spec.seed = value("--spec-seed")?
+                    .parse()
+                    .map_err(|e| format!("--spec-seed: {e}"))?;
+            }
+            "--faults" => {
+                parsed.spec.faults = value("--faults")?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?;
+            }
+            "--cautious" => {
+                parsed.spec.cautious = value("--cautious")?
+                    .parse()
+                    .map_err(|e| format!("--cautious: {e}"))?;
+            }
+            "--band" => {
+                let band = value("--band")?;
+                let (lo, hi) = band
+                    .split_once(':')
+                    .ok_or_else(|| format!("--band wants LO:HI, got {band:?}"))?;
+                parsed.spec.band_lo = lo.parse().map_err(|e| format!("--band: {e}"))?;
+                parsed.spec.band_hi = hi.parse().map_err(|e| format!("--band: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if !other.starts_with('-') && parsed.job.is_none() => {
+                parsed.job = Some(other.to_string());
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn require_job(args: &Args) -> Result<&str, String> {
+    args.job
+        .as_deref()
+        .ok_or_else(|| "this command needs a JOB id".to_string())
+}
+
+fn main() -> ExitCode {
+    let words: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = words.first().cloned() else {
+        return fail(&"missing command");
+    };
+    let args = match parse_args(&words[1..]) {
+        Ok(args) => args,
+        Err(e) => return fail(&e),
+    };
+    let client = ServiceClient::connect(&args.addr);
+    let outcome: Result<(), ClientError> = match command.as_str() {
+        "submit" => (|| {
+            let job = require_job(&args).map_err(ClientError::Server)?;
+            let (state, cached, attached) = client.submit(job, &args.spec)?;
+            let note = if cached {
+                " (cached result available)"
+            } else if attached {
+                " (attached to in-flight run)"
+            } else {
+                ""
+            };
+            println!("job {job}: {state}{note}");
+            Ok(())
+        })(),
+        "status" => (|| {
+            let job = require_job(&args).map_err(ClientError::Server)?;
+            let status = client.status(job)?;
+            print!("job {job}: {status}");
+            println!();
+            Ok(())
+        })(),
+        "result" => (|| {
+            let job = require_job(&args).map_err(ClientError::Server)?;
+            print!("{}", client.result_csv(job)?);
+            Ok(())
+        })(),
+        "wait" => (|| {
+            let job = require_job(&args).map_err(ClientError::Server)?;
+            let status = client.wait_done(job, args.limit)?;
+            println!("job {job}: {status}");
+            Ok(())
+        })(),
+        "watch" => (|| {
+            let job = require_job(&args).map_err(ClientError::Server)?;
+            let state = client.watch(job, args.limit, |seq, line| {
+                println!("[{seq}] {line}");
+            })?;
+            println!("job {job}: {state}");
+            Ok(())
+        })(),
+        "cancel" => (|| {
+            let job = require_job(&args).map_err(ClientError::Server)?;
+            let status = client.cancel(job)?;
+            println!("job {job}: {status}");
+            Ok(())
+        })(),
+        "ping" => client.ping().map(|pid| println!("pong from pid {pid}")),
+        "shutdown" => client.shutdown().map(|()| println!("shutdown requested")),
+        "run" => {
+            // Local batch execution: the byte-identity reference.
+            return match args.spec.run_batch() {
+                Ok(csv) => {
+                    print!("{csv}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("accu-cli: run failed: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        other => return fail(&format!("unknown command {other:?}")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("accu-cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

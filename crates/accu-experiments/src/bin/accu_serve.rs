@@ -1,0 +1,158 @@
+//! `accu-serve` — the crash-only ACCU experiment daemon.
+//!
+//! Binds a loopback TCP listener, opens (or creates) a file-locked job
+//! registry, adopts any orphaned jobs left by a previous incarnation,
+//! and serves `accu-cli` submissions until killed. There is no graceful
+//! shutdown to speak of: `kill -9` *is* the supported stop, and the
+//! next start resumes every interrupted job from its checkpoint.
+//!
+//! ```text
+//! accu-serve [--listen ADDR] [--registry DIR] [--max-jobs N]
+//!            [--queue-cap N] [--lease-ttl-ms MS] [--chaos SPEC]
+//!            [--kill-after-registry N] [--metrics-addr ADDR]
+//! ```
+//!
+//! `--chaos` takes the same spec grammar as the figure binaries
+//! (`torn=0.3,eintr=0.2,seed=7`, `kill-after=2`, ...) and injects it
+//! into checkpoint appends, registry writes, response frames, and the
+//! runner's workers. `--kill-after-registry N` aborts the process after
+//! N durable registry writes — the between-transitions crash channel
+//! used by the chaos soak and CI.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use accu_core::{ChaosConfig, ChaosPlan};
+use accu_experiments::output::experiments_dir;
+use accu_experiments::service::{Daemon, DaemonConfig};
+use accu_telemetry::obs::{MetricsServer, Observer};
+use accu_telemetry::Recorder;
+
+const USAGE: &str = "usage: accu-serve [--listen ADDR] [--registry DIR] [--max-jobs N] \
+                     [--queue-cap N] [--lease-ttl-ms MS] [--chaos SPEC] \
+                     [--kill-after-registry N] [--metrics-addr ADDR]";
+
+fn fail(what: &str, detail: &dyn std::fmt::Display) -> ExitCode {
+    eprintln!("accu-serve: {what}: {detail}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut listen = "127.0.0.1:7411".to_string();
+    let mut registry: Option<std::path::PathBuf> = None;
+    let mut max_jobs: usize = 2;
+    let mut queue_cap: usize = 16;
+    let mut lease_ttl_ms: u64 = 5_000;
+    let mut chaos = ChaosPlan::none();
+    let mut kill_after_registry: Option<u64> = None;
+    let mut metrics_addr: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--listen" => match value("--listen") {
+                Ok(v) => listen = v,
+                Err(e) => return fail("bad flag", &e),
+            },
+            "--registry" => match value("--registry") {
+                Ok(v) => registry = Some(v.into()),
+                Err(e) => return fail("bad flag", &e),
+            },
+            "--max-jobs" => match value("--max-jobs")
+                .and_then(|v| v.parse::<usize>().map_err(|e| format!("--max-jobs: {e}")))
+            {
+                Ok(v) => max_jobs = v,
+                Err(e) => return fail("bad flag", &e),
+            },
+            "--queue-cap" => match value("--queue-cap")
+                .and_then(|v| v.parse::<usize>().map_err(|e| format!("--queue-cap: {e}")))
+            {
+                Ok(v) => queue_cap = v,
+                Err(e) => return fail("bad flag", &e),
+            },
+            "--lease-ttl-ms" => match value("--lease-ttl-ms")
+                .and_then(|v| v.parse::<u64>().map_err(|e| format!("--lease-ttl-ms: {e}")))
+            {
+                Ok(v) => lease_ttl_ms = v.max(1),
+                Err(e) => return fail("bad flag", &e),
+            },
+            "--chaos" => match value("--chaos")
+                .and_then(|v| ChaosConfig::parse(&v).map_err(|e| format!("--chaos: {e}")))
+            {
+                Ok(config) => chaos = ChaosPlan::sample(&config),
+                Err(e) => return fail("bad flag", &e),
+            },
+            "--kill-after-registry" => match value("--kill-after-registry").and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("--kill-after-registry: {e}"))
+            }) {
+                Ok(v) => kill_after_registry = Some(v),
+                Err(e) => return fail("bad flag", &e),
+            },
+            "--metrics-addr" => match value("--metrics-addr") {
+                Ok(v) => metrics_addr = Some(v),
+                Err(e) => return fail("bad flag", &e),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail("unknown flag", &format!("{other:?}")),
+        }
+    }
+
+    let registry = match registry {
+        Some(dir) => dir,
+        None => match experiments_dir() {
+            Ok(dir) => dir.join("service"),
+            Err(e) => return fail("cannot resolve default registry dir", &e),
+        },
+    };
+
+    let recorder = if metrics_addr.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let _metrics = match metrics_addr {
+        Some(addr) => {
+            match MetricsServer::bind(&addr, recorder.clone(), "accu-serve", Observer::disabled()) {
+                Ok(server) => {
+                    eprintln!("accu-serve metrics on http://{}/metrics", server.addr());
+                    Some(server)
+                }
+                Err(e) => return fail("metrics server", &e),
+            }
+        }
+        None => None,
+    };
+
+    let daemon = match Daemon::start(DaemonConfig {
+        listen,
+        registry: registry.clone(),
+        max_jobs,
+        queue_cap,
+        lease_ttl: Duration::from_millis(lease_ttl_ms),
+        chaos,
+        kill_after_registry,
+        recorder,
+        ..DaemonConfig::new(&registry)
+    }) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("accu-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "accu-serve listening on {} (registry {}, pid {})",
+        daemon.addr(),
+        registry.display(),
+        std::process::id()
+    );
+    daemon.wait();
+    println!("accu-serve: shutdown requested, exiting");
+    ExitCode::SUCCESS
+}

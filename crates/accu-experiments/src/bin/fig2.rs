@@ -96,6 +96,14 @@ fn main() {
                     figure.network_samples
                 );
             }
+            if report.checkpoint_skipped_lines > 0 {
+                println!(
+                    "{}: recovered from torn checkpoint ({} unparseable line(s) \
+                     dropped; their networks recomputed)",
+                    policy.name(),
+                    report.checkpoint_skipped_lines
+                );
+            }
             if report.degraded() {
                 degraded = true;
                 println!(

@@ -68,6 +68,11 @@ impl ChaosSite {
         self.name
     }
 
+    /// The chaos plan this site draws from.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
     /// The injected-fault counters for this site.
     pub fn counters(&self) -> &Arc<ChaosCounters> {
         &self.counters

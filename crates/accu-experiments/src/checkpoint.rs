@@ -171,6 +171,17 @@ impl Checkpoint {
         self.kill_after = plan.kill_after_appends();
     }
 
+    /// Like [`Checkpoint::attach_chaos`], but shares an existing site
+    /// (and its operation counter) instead of starting a fresh stream.
+    /// A long-lived caller that re-opens checkpoints — the service
+    /// daemon retrying a job — needs this: with a fresh site every
+    /// open, a seed whose stream faults at operation 0 would replay
+    /// that same fault on every retry and the job could never converge.
+    pub fn attach_chaos_site(&mut self, site: &ChaosSite) {
+        self.chaos = Some(site.clone());
+        self.kill_after = site.plan().kill_after_appends();
+    }
+
     /// Number of unparseable lines dropped at load time.
     pub fn skipped_lines(&self) -> usize {
         self.skipped_lines

@@ -46,6 +46,7 @@ pub mod output;
 pub mod replay;
 mod runner;
 mod scale;
+pub mod service;
 pub mod telemetry;
 
 pub use checkpoint::Checkpoint;

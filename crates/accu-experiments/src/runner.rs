@@ -556,6 +556,13 @@ pub struct RunReport {
     pub shed_networks: usize,
     /// Replacement worker threads the supervisor spawned.
     pub supervisor_restarts: usize,
+    /// Unparseable lines the attached checkpoint dropped when it was
+    /// opened — the signature of a torn tail left by a crash
+    /// mid-append. Non-zero means this run recovered from a torn
+    /// checkpoint (the dropped networks were recomputed); a service
+    /// surfaces it as "recovered from torn checkpoint (N lines
+    /// dropped)" in job status. Zero when no checkpoint was attached.
+    pub checkpoint_skipped_lines: usize,
 }
 
 impl RunReport {
@@ -789,6 +796,7 @@ fn run_policy_inner(
         deadline,
     } = opts;
     let cell = figure.cell_label(policy);
+    let checkpoint_skipped_lines = checkpoint.as_ref().map_or(0, |c| c.skipped_lines());
     let resumed: BTreeMap<usize, TraceAccumulator> = match &checkpoint {
         Some(ckpt) => ckpt
             .completed(&cell)
@@ -1060,6 +1068,7 @@ fn run_policy_inner(
         repaired_networks,
         shed_networks: shed.len(),
         supervisor_restarts: restarts as usize,
+        checkpoint_skipped_lines,
     })
 }
 
@@ -2235,6 +2244,10 @@ mod tests {
         assert_eq!(report.resumed_networks, 1);
         assert_eq!(report.completed_networks, fig.network_samples);
         assert_eq!(
+            report.checkpoint_skipped_lines, 0,
+            "a clean checkpoint reports no dropped lines"
+        );
+        assert_eq!(
             report.accumulator, reference,
             "resumed aggregate must match the uninterrupted run exactly"
         );
@@ -2258,6 +2271,48 @@ mod tests {
         .unwrap();
         assert_eq!(report2.resumed_networks, fig.network_samples);
         assert_eq!(report2.accumulator, reference);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_checkpoint_tail_is_reported_in_the_run_report() {
+        use crate::checkpoint::Checkpoint;
+
+        let fig = tiny_figure();
+        let reference = run_policy(&fig, PolicyKind::abm_balanced());
+        let path = std::env::temp_dir().join(format!(
+            "accu-runner-torn-report-test-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let mut ckpt = Checkpoint::create(&path).unwrap();
+            let one = FigureRun {
+                network_samples: 1,
+                ..fig.clone()
+            };
+            let net0 = run_policy(&one, PolicyKind::abm_balanced());
+            ckpt.record(&fig.cell_label(PolicyKind::abm_balanced()), 0, &net0)
+                .unwrap();
+            ckpt.record(&fig.cell_label(PolicyKind::abm_balanced()), 1, &net0)
+                .unwrap();
+        }
+        // Crash signature: chop the final line in half.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &contents[..contents.len() - 30]).unwrap();
+        let mut ckpt = Checkpoint::resume(&path).unwrap();
+        let report = run_policy_checked(
+            &fig,
+            PolicyKind::abm_balanced(),
+            &Recorder::disabled(),
+            Some(&mut ckpt),
+        )
+        .unwrap();
+        assert_eq!(
+            report.checkpoint_skipped_lines, 1,
+            "the torn tail must surface in the report, not just telemetry"
+        );
+        assert_eq!(report.resumed_networks, 1, "the torn network is recomputed");
+        assert_eq!(report.accumulator, reference);
         std::fs::remove_file(&path).ok();
     }
 

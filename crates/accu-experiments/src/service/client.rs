@@ -1,0 +1,374 @@
+//! Robust client for the ACCU service daemon.
+//!
+//! Every request the daemon accepts is idempotent, so the client's job
+//! is simple: connect, send one frame, read the reply, and on *any*
+//! transport failure — refused connection while the daemon restarts,
+//! torn response frame from socket chaos, read timeout — retry the
+//! whole request with jittered exponential backoff. Server-side errors
+//! ([`ClientError::Server`], [`ClientError::Overloaded`]) are answers,
+//! not transport failures, and are never retried silently.
+//!
+//! The watch stream reconnects the same way: the client remembers the
+//! last event sequence it saw and re-subscribes `from` the next one, so
+//! a daemon crash mid-stream costs a reconnect, not lost lines.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use accu_core::RetryPolicy;
+
+use crate::service::protocol::{read_frame, write_frame, Request, Response};
+use crate::service::registry::{JobState, JobStatus};
+use crate::service::spec::JobSpec;
+
+/// Errors surfaced by [`ServiceClient`] calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failed and every retry was exhausted.
+    Io(io::Error),
+    /// The daemon replied, but with a frame this call cannot use.
+    Protocol(String),
+    /// The daemon rejected the request with a typed error message.
+    Server(String),
+    /// Admission control refused the submission; retry later.
+    Overloaded {
+        /// Jobs executing when the submission was refused.
+        running: usize,
+        /// Jobs queued when the submission was refused.
+        queued: usize,
+        /// The daemon's queue capacity.
+        cap: usize,
+    },
+    /// A wait/watch exceeded its deadline.
+    TimedOut(Duration),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failed after retries: {e}"),
+            ClientError::Protocol(msg) => write!(f, "unexpected response: {msg}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Overloaded {
+                running,
+                queued,
+                cap,
+            } => write!(
+                f,
+                "daemon overloaded ({running} running, {queued}/{cap} queued); retry later"
+            ),
+            ClientError::TimedOut(limit) => write!(f, "timed out after {limit:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Client for one daemon address. One connection per request: the
+/// protocol is cheap, and statelessness is what makes reconnect-retry
+/// trivially safe.
+#[derive(Debug, Clone)]
+pub struct ServiceClient {
+    addr: String,
+    retry: RetryPolicy,
+    /// Per-request socket timeout (connect, read, write).
+    timeout: Duration,
+    /// Base unit for one backoff step; multiplied by the (jittered)
+    /// exponential factor from [`RetryPolicy`].
+    backoff_unit: Duration,
+    /// Seed for deterministic backoff jitter.
+    seed: u64,
+}
+
+impl ServiceClient {
+    /// A client with the standard retry policy plus 50% backoff jitter,
+    /// 10-second request timeout, and 25 ms backoff unit.
+    pub fn connect(addr: impl Into<String>) -> ServiceClient {
+        ServiceClient {
+            addr: addr.into(),
+            retry: RetryPolicy::standard().with_jitter(50),
+            timeout: Duration::from_secs(10),
+            backoff_unit: Duration::from_millis(25),
+            seed: 0x5e ^ std::process::id() as u64,
+        }
+    }
+
+    /// Overrides the retry policy (attempt budget, backoff, jitter).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ServiceClient {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the per-request socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> ServiceClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Overrides the jitter seed (tests pin this for determinism).
+    pub fn with_seed(mut self, seed: u64) -> ServiceClient {
+        self.seed = seed;
+        self
+    }
+
+    /// The daemon address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One connect-send-receive exchange, no retries.
+    fn exchange(&self, request: &Request) -> io::Result<Response> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut stream = stream;
+        write_frame(&mut stream, &request.to_json())?;
+        let reply = read_frame(&mut stream)?;
+        Response::from_json(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends `request`, retrying transport failures with jittered
+    /// exponential backoff. Every daemon request is idempotent, so
+    /// retrying a request whose response was torn is always safe.
+    fn request(&self, request: &Request) -> Result<Response, ClientError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.exchange(request) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    if attempt >= self.retry.max_retries {
+                        return Err(ClientError::Io(e));
+                    }
+                    let factor = self.retry.backoff_jittered(attempt, self.seed) as u32;
+                    std::thread::sleep(self.backoff_unit * factor);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Health check; returns the daemon's pid.
+    pub fn ping(&self) -> Result<u32, ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { pid } => Ok(pid),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits (or idempotently re-submits) a job. Returns the accepted
+    /// state plus whether the daemon answered from cache (`cached`: the
+    /// job already finished) or attached to an in-flight run.
+    pub fn submit(&self, job: &str, spec: &JobSpec) -> Result<(JobState, bool, bool), ClientError> {
+        let request = Request::Submit {
+            job: job.to_string(),
+            spec: spec.clone(),
+        };
+        match self.request(&request)? {
+            Response::Accepted {
+                state,
+                cached,
+                attached,
+                ..
+            } => Ok((state, cached, attached)),
+            Response::Overloaded {
+                running,
+                queued,
+                cap,
+            } => Err(ClientError::Overloaded {
+                running,
+                queued,
+                cap,
+            }),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Reads the job's durable status record.
+    pub fn status(&self, job: &str) -> Result<JobStatus, ClientError> {
+        match self.request(&Request::Status {
+            job: job.to_string(),
+        })? {
+            Response::Status { status, .. } => Ok(status),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the result CSV of a finished job.
+    pub fn result_csv(&self, job: &str) -> Result<String, ClientError> {
+        match self.request(&Request::Result {
+            job: job.to_string(),
+        })? {
+            Response::ResultCsv { csv, .. } => Ok(csv),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Cancels a queued job; returns its (now terminal) status.
+    pub fn cancel(&self, job: &str) -> Result<JobStatus, ClientError> {
+        match self.request(&Request::Cancel {
+            job: job.to_string(),
+        })? {
+            Response::Status { status, .. } => Ok(status),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to stop accepting work and exit its loops.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Pong { .. } => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Polls until the job reaches a terminal state, tolerating daemon
+    /// restarts along the way (status polls retry like everything
+    /// else). Returns the terminal status.
+    pub fn wait_done(&self, job: &str, limit: Duration) -> Result<JobStatus, ClientError> {
+        let start = Instant::now();
+        loop {
+            match self.status(job) {
+                Ok(status) if status.state.is_terminal() => return Ok(status),
+                Ok(_) => {}
+                // "unknown job" can appear transiently if we race the
+                // first registry write of a submission; keep polling.
+                Err(ClientError::Server(_)) => {}
+                Err(e) => return Err(e),
+            }
+            if start.elapsed() > limit {
+                return Err(ClientError::TimedOut(limit));
+            }
+            std::thread::sleep(Duration::from_millis(40));
+        }
+    }
+
+    /// Streams progress lines, invoking `on_line(seq, line)` for each.
+    /// Reconnects after transport failures and re-subscribes from the
+    /// next unseen sequence, so daemon crashes mid-stream lose nothing
+    /// already durable. Returns the job's terminal state.
+    pub fn watch(
+        &self,
+        job: &str,
+        limit: Duration,
+        mut on_line: impl FnMut(u64, &str),
+    ) -> Result<JobState, ClientError> {
+        let start = Instant::now();
+        let mut from: u64 = 0;
+        let mut attempt: u32 = 0;
+        loop {
+            if start.elapsed() > limit {
+                return Err(ClientError::TimedOut(limit));
+            }
+            match self.watch_once(job, from, &mut on_line, start, limit) {
+                Ok(WatchEnd::Terminal(state)) => return Ok(state),
+                Ok(WatchEnd::Progressed(next)) => {
+                    // The stream advanced before breaking: reset the
+                    // backoff and resume from the first unseen line.
+                    from = next;
+                    attempt = 0;
+                }
+                Ok(WatchEnd::Stalled) | Err(_) => {
+                    if attempt >= self.retry.max_retries {
+                        // The daemon may be mid-restart; fall back to
+                        // durable status before giving up.
+                        let status = self.status(job)?;
+                        if status.state.is_terminal() {
+                            return Ok(status.state);
+                        }
+                        attempt = 0;
+                    }
+                    let factor = self.retry.backoff_jittered(attempt, self.seed) as u32;
+                    std::thread::sleep(self.backoff_unit * factor);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One watch subscription: streams events until `End`, a transport
+    /// error, or the deadline. Distinguishes "made progress" from
+    /// "stalled" so the caller can reset its backoff.
+    fn watch_once(
+        &self,
+        job: &str,
+        from: u64,
+        on_line: &mut impl FnMut(u64, &str),
+        start: Instant,
+        limit: Duration,
+    ) -> io::Result<WatchEnd> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut stream = stream;
+        write_frame(
+            &mut stream,
+            &Request::Watch {
+                job: job.to_string(),
+                from,
+            }
+            .to_json(),
+        )?;
+        let mut next = from;
+        loop {
+            if start.elapsed() > limit {
+                return Ok(if next > from {
+                    WatchEnd::Progressed(next)
+                } else {
+                    WatchEnd::Stalled
+                });
+            }
+            let frame = match read_frame(&mut stream) {
+                Ok(frame) => frame,
+                Err(_) if next > from => return Ok(WatchEnd::Progressed(next)),
+                Err(e) => return Err(e),
+            };
+            match Response::from_json(&frame)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            {
+                Response::Event { seq, line } => {
+                    // A daemon restart rewinds the stream (each attempt
+                    // rewrites progress from line 0); replay what the
+                    // new attempt produced rather than skipping it.
+                    on_line(seq, &line);
+                    next = seq + 1;
+                }
+                Response::End { state } => return Ok(WatchEnd::Terminal(state)),
+                Response::Err { message } => {
+                    return Err(io::Error::new(io::ErrorKind::NotFound, message))
+                }
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "bad watch frame",
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// How one watch subscription ended.
+enum WatchEnd {
+    /// The job reached this terminal state.
+    Terminal(JobState),
+    /// The stream broke after delivering lines; resume from this seq.
+    Progressed(u64),
+    /// The stream broke before delivering anything new.
+    Stalled,
+}
+
+fn unexpected(resp: &Response) -> ClientError {
+    ClientError::Protocol(format!("{resp:?}"))
+}

@@ -1,0 +1,432 @@
+//! Advisory job leases: at-most-once execution over a shared on-disk
+//! registry, built from two filesystem atomics and no `unsafe`.
+//!
+//! A lease is a single file (`<job>/lease`) holding the owner's pid, a
+//! monotonically increasing *epoch*, and the last heartbeat timestamp.
+//! Three operations cover the whole lifecycle, each arbitrated by an
+//! operation POSIX makes atomic:
+//!
+//! * **acquire** — write a complete temp sibling, then
+//!   `fs::hard_link(tmp, lease)`. Creating a link fails with
+//!   `AlreadyExists` when the name is taken, so exactly one of any
+//!   number of racing daemons obtains a free lease.
+//! * **renew** — the owner re-reads the file, bails if the epoch is no
+//!   longer its own (it has been fenced off), and otherwise replaces
+//!   the file via temp + `rename` with a fresh heartbeat.
+//! * **takeover** — a daemon that observes a *stale* lease (heartbeat
+//!   older than the TTL, or a provably dead owner pid) first *fences*
+//!   it: `rename(lease, lease.stale.<epoch>.<nonce>)`. Rename of a
+//!   missing source fails with `NotFound`, so exactly one of any number
+//!   of racing adopters wins the fence; the winner then acquires a
+//!   fresh lease at `epoch + 1`.
+//!
+//! The epoch is the fencing token: a zombie owner that wakes up after a
+//! takeover finds a different epoch on its next renew and must discard
+//! its work instead of publishing it. The daemon re-checks the epoch
+//! once more immediately before writing results, closing the window
+//! between the last heartbeat and the final write.
+//!
+//! ```text
+//!              acquire (hard_link wins)
+//!    FREE ────────────────────────────────▶ HELD(epoch=e)
+//!     ▲                                        │     ▲
+//!     │ release (epoch matches)          renew │     │ renew ok
+//!     │                                        ▼     │ (epoch = e)
+//!     └──────────────────────────────────── HELD(epoch=e)
+//!                                              │
+//!                                              │ TTL expires / owner dies
+//!                                              ▼
+//!                                           STALE(epoch=e)
+//!                                              │
+//!                                              │ takeover: rename fence
+//!                                              │ (one winner), re-acquire
+//!                                              ▼
+//!                                          HELD(epoch=e+1)
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Process-unique counter for temp-sibling names, so concurrent
+/// acquires within one process never collide on the temp file either.
+static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// The contents of a lease file: who holds the job, under which fencing
+/// epoch, and when they last proved liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Owner process id (informational plus, on Linux, a liveness
+    /// probe).
+    pub pid: u32,
+    /// Fencing token: strictly increases across takeovers.
+    pub epoch: u64,
+    /// Last heartbeat, in milliseconds since the Unix epoch.
+    pub beat_ms: u64,
+}
+
+impl Lease {
+    /// Serializes as single-line JSON.
+    fn to_json(self) -> String {
+        format!(
+            "{{\"pid\":{},\"epoch\":{},\"beat_ms\":{}}}",
+            self.pid, self.epoch, self.beat_ms
+        )
+    }
+
+    /// Parses the JSON form; any malformation yields `None` (callers
+    /// treat a corrupt lease as maximally stale rather than erroring).
+    fn from_json(text: &str) -> Option<Lease> {
+        let doc = accu_telemetry::parse_json(text).ok()?;
+        Some(Lease {
+            pid: doc.get("pid")?.as_u64()? as u32,
+            epoch: doc.get("epoch")?.as_u64()?,
+            beat_ms: doc.get("beat_ms")?.as_u64()?,
+        })
+    }
+
+    /// Whether this lease no longer proves liveness: the heartbeat is
+    /// older than `ttl_ms`, or (on Linux) the owner pid demonstrably no
+    /// longer exists. A corrupt lease parses as `beat_ms == 0` and is
+    /// therefore always stale.
+    pub fn is_stale(&self, ttl_ms: u64, now_ms: u64) -> bool {
+        if now_ms.saturating_sub(self.beat_ms) > ttl_ms {
+            return true;
+        }
+        #[cfg(target_os = "linux")]
+        {
+            if self.pid != 0
+                && self.pid != std::process::id()
+                && !Path::new(&format!("/proc/{}", self.pid)).exists()
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before 1970).
+pub fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Handle on one job's lease file.
+#[derive(Debug, Clone)]
+pub struct LeaseFile {
+    path: PathBuf,
+}
+
+impl LeaseFile {
+    /// The lease file inside job directory `dir`.
+    pub fn new(dir: &Path) -> Self {
+        LeaseFile {
+            path: dir.join("lease"),
+        }
+    }
+
+    /// The lease path (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads the current lease; `None` when the file does not exist. A
+    /// file that exists but does not parse is reported as an all-zero
+    /// lease (epoch 0, beat 0 — maximally stale), because a torn lease
+    /// write must be adoptable, not a wedge.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than `NotFound`.
+    pub fn read(&self) -> io::Result<Option<Lease>> {
+        match fs::read_to_string(&self.path) {
+            Ok(text) => Ok(Some(Lease::from_json(text.trim()).unwrap_or(Lease {
+                pid: 0,
+                epoch: 0,
+                beat_ms: 0,
+            }))),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Tries to acquire a *free* lease at `epoch`: writes a complete,
+    /// synced temp sibling and hard-links it into place. Returns the
+    /// granted lease, or `None` when another process holds the name
+    /// (the `AlreadyExists` losing side of the race).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than the lost race.
+    pub fn acquire(&self, epoch: u64) -> io::Result<Option<Lease>> {
+        let lease = Lease {
+            pid: std::process::id(),
+            epoch,
+            beat_ms: now_ms(),
+        };
+        let tmp = self.tmp_name();
+        {
+            let mut file = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut file, lease.to_json().as_bytes())?;
+            file.sync_all()?;
+        }
+        let outcome = match fs::hard_link(&tmp, &self.path) {
+            Ok(()) => Ok(Some(lease)),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(None),
+            Err(e) => Err(e),
+        };
+        let _ = fs::remove_file(&tmp);
+        outcome
+    }
+
+    /// Renews `lease`'s heartbeat. Returns `false` when the on-disk
+    /// epoch is no longer `lease.epoch` (or the file vanished): the
+    /// caller has been fenced off by a takeover and must stop
+    /// publishing results for this job.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error during the read or replacement.
+    pub fn renew(&self, lease: &Lease) -> io::Result<bool> {
+        match self.read()? {
+            Some(current) if current.epoch == lease.epoch => {}
+            _ => return Ok(false),
+        }
+        let fresh = Lease {
+            beat_ms: now_ms(),
+            ..*lease
+        };
+        let tmp = self.tmp_name();
+        {
+            let mut file = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut file, fresh.to_json().as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        Ok(true)
+    }
+
+    /// Releases `lease` if (and only if) the on-disk epoch still
+    /// matches — a fenced-off zombie releasing late must not destroy
+    /// its successor's lease.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error during the read or removal.
+    pub fn release(&self, lease: &Lease) -> io::Result<()> {
+        match self.read()? {
+            Some(current) if current.epoch == lease.epoch => match fs::remove_file(&self.path) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(e),
+            },
+            _ => Ok(()),
+        }
+    }
+
+    /// Attempts to take over `stale`: fences the old lease by renaming
+    /// it aside (exactly one racer's rename succeeds; losers see
+    /// `NotFound`), then acquires a fresh lease at `stale.epoch + 1`.
+    /// Returns the new lease, or `None` when the race was lost.
+    ///
+    /// Rename cannot compare-and-swap, so a racer that already finished
+    /// its takeover could be fenced by mistake; the fenced file's epoch
+    /// is therefore verified after the rename, and on mismatch the
+    /// live lease is restored (hard-link back) and the attempt
+    /// retreats. The restored owner may observe one spurious failed
+    /// renew in that window — it then discards its work and the job is
+    /// re-adopted after the TTL, so at-most-once publication holds
+    /// either way.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than a lost race.
+    pub fn takeover(&self, stale: &Lease) -> io::Result<Option<Lease>> {
+        // Cheap pre-check: the lease we were asked to adopt must still
+        // be the one on disk.
+        match self.read()? {
+            Some(current) if current.epoch == stale.epoch => {}
+            _ => return Ok(None),
+        }
+        let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+        let fence = self.path.with_file_name(format!(
+            "lease.stale.{}.{}.{nonce}",
+            stale.epoch,
+            std::process::id()
+        ));
+        match fs::rename(&self.path, &fence) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        // Post-fence verification: if the epoch moved between the
+        // pre-check and the rename, we fenced a successor's live lease.
+        let fenced = fs::read_to_string(&fence)
+            .ok()
+            .and_then(|t| Lease::from_json(t.trim()));
+        if fenced.is_some_and(|l| l.epoch != stale.epoch) {
+            let _ = fs::hard_link(&fence, &self.path);
+            let _ = fs::remove_file(&fence);
+            return Ok(None);
+        }
+        let acquired = self.acquire(stale.epoch + 1);
+        let _ = fs::remove_file(&fence);
+        acquired
+    }
+
+    /// A process-unique temp sibling for complete-before-visible lease
+    /// writes.
+    fn tmp_name(&self) -> PathBuf {
+        let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+        self.path
+            .with_file_name(format!("lease.tmp.{}.{nonce}", std::process::id()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_job_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "accu_lease_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn acquire_renew_release_round_trip() {
+        let dir = temp_job_dir("round");
+        let lf = LeaseFile::new(&dir);
+        assert_eq!(lf.read().unwrap(), None);
+        let lease = lf.acquire(1).unwrap().expect("free lease is granted");
+        assert_eq!(lease.epoch, 1);
+        assert_eq!(lf.read().unwrap().unwrap().epoch, 1);
+        assert!(lf.renew(&lease).unwrap());
+        lf.release(&lease).unwrap();
+        assert_eq!(lf.read().unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_acquire_loses_the_race() {
+        let dir = temp_job_dir("second");
+        let lf = LeaseFile::new(&dir);
+        assert!(lf.acquire(1).unwrap().is_some());
+        assert!(
+            lf.acquire(1).unwrap().is_none(),
+            "held lease is not re-granted"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn takeover_fences_the_old_epoch() {
+        let dir = temp_job_dir("fence");
+        let lf = LeaseFile::new(&dir);
+        let old = lf.acquire(3).unwrap().unwrap();
+        let new = lf
+            .takeover(&old)
+            .unwrap()
+            .expect("takeover of present lease");
+        assert_eq!(new.epoch, 4);
+        // The zombie's renew and release are both fenced off.
+        assert!(!lf.renew(&old).unwrap());
+        lf.release(&old).unwrap();
+        assert_eq!(
+            lf.read().unwrap().unwrap().epoch,
+            4,
+            "zombie release is a no-op"
+        );
+        // A second takeover attempt against the *old* lease loses: the
+        // pre-check sees epoch 4 on disk, not 3.
+        assert!(lf.takeover(&old).unwrap().is_none());
+        assert_eq!(lf.read().unwrap().unwrap().epoch, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_lease_reads_as_maximally_stale() {
+        let dir = temp_job_dir("corrupt");
+        let lf = LeaseFile::new(&dir);
+        fs::write(lf.path(), b"{\"pid\":12,\"epo").unwrap(); // torn write
+        let lease = lf.read().unwrap().unwrap();
+        assert_eq!(lease.beat_ms, 0);
+        assert!(lease.is_stale(60_000, now_ms()));
+        // And it is adoptable.
+        assert!(lf.takeover(&lease).unwrap().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn staleness_is_ttl_driven() {
+        let fresh = Lease {
+            pid: std::process::id(),
+            epoch: 1,
+            beat_ms: now_ms(),
+        };
+        assert!(!fresh.is_stale(5_000, now_ms()));
+        assert!(fresh.is_stale(5_000, now_ms() + 6_000));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn dead_owner_pid_is_stale_before_the_ttl() {
+        // Pid 4_000_000 is above the default pid_max; /proc/<pid> for a
+        // never-alive pid does not exist.
+        let dead = Lease {
+            pid: 4_000_000,
+            epoch: 1,
+            beat_ms: now_ms(),
+        };
+        assert!(dead.is_stale(3_600_000, now_ms()));
+    }
+
+    #[test]
+    fn racing_acquires_grant_exactly_one() {
+        let dir = temp_job_dir("race");
+        let winners: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let lf = LeaseFile::new(&dir);
+                    scope.spawn(move || lf.acquire(1).unwrap().is_some() as usize)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(winners, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn racing_takeovers_have_one_winner() {
+        let dir = temp_job_dir("race-takeover");
+        let lf = LeaseFile::new(&dir);
+        let stale = lf.acquire(7).unwrap().unwrap();
+        let winners: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let lf = LeaseFile::new(&dir);
+                    scope.spawn(move || lf.takeover(&stale).unwrap().is_some() as usize)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(winners, 1);
+        assert_eq!(lf.read().unwrap().unwrap().epoch, 8);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

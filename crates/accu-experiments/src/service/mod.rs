@@ -1,0 +1,52 @@
+//! Crash-only ACCU experiment service.
+//!
+//! This module turns the batch experiment runner into a long-lived,
+//! restartable daemon without adding any shutdown machinery — the
+//! crash-only discipline ([Candea & Fox, HotOS '03]) applied to the
+//! ACCU reproduction: the *only* stop mechanism is process death, and
+//! recovery is indistinguishable from a cold start.
+//!
+//! The pieces, bottom up:
+//!
+//! - [`spec`] — [`JobSpec`]: a canonically-serialized experiment
+//!   description whose hash keys idempotent submission.
+//! - [`lease`] — [`LeaseFile`]: epoch-fenced ownership of one job,
+//!   built from `hard_link`/`rename` atomicity (no flock, no unsafe),
+//!   with stale-lease takeover so any daemon can adopt a crashed
+//!   daemon's jobs.
+//! - [`registry`] — [`Registry`]: the durable job store; one directory
+//!   per job (`spec.json`, `lease`, `status.json`, `checkpoint.jsonl`,
+//!   `progress.jsonl`, `result.csv`), every write atomic-rename'd and
+//!   chaos-injectable at site `"registry"`.
+//! - [`protocol`] — length-prefixed JSON frames over loopback TCP;
+//!   every request idempotent, so torn frames are always retry-safe.
+//! - [`daemon`] — [`Daemon`]: accept loop, admission control, lease-
+//!   fenced workers, heartbeats, and the adoption sweeper.
+//! - [`client`] — [`ServiceClient`]: jittered-backoff retries and a
+//!   reconnect-resuming watch stream.
+//!
+//! The load-bearing invariants, each covered by tests:
+//!
+//! 1. **At-most-once execution per epoch**: two daemons sharing one
+//!    registry never double-run a job; result publication re-checks the
+//!    lease epoch so a fenced zombie cannot overwrite its successor.
+//! 2. **Byte-identical recovery**: a job resumed after `SIGKILL` (torn
+//!    checkpoint tail and all) produces a result CSV byte-identical to
+//!    an uninterrupted batch run of the same spec.
+//! 3. **Idempotent resubmission**: resubmitting a finished job returns
+//!    the cached result without re-execution; resubmitting an in-flight
+//!    job attaches to it.
+
+pub mod client;
+pub mod daemon;
+pub mod lease;
+pub mod protocol;
+pub mod registry;
+pub mod spec;
+
+pub use client::{ClientError, ServiceClient};
+pub use daemon::{Daemon, DaemonConfig};
+pub use lease::{now_ms, Lease, LeaseFile};
+pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
+pub use registry::{JobState, JobStatus, Registry, RegistryError, SubmitOutcome};
+pub use spec::{result_csv, validate_job_id, JobSpec};

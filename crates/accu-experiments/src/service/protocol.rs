@@ -1,0 +1,482 @@
+//! The loopback wire protocol between `accu-cli` and `accu-serve`:
+//! length-prefixed JSON frames over TCP.
+//!
+//! A frame is a little-endian `u32` byte length followed by exactly
+//! that many bytes of UTF-8 JSON. The length prefix makes torn frames
+//! *detectable*: a connection dropped (or chaos-torn) mid-frame leaves
+//! the reader with an `UnexpectedEof`, never a silently truncated
+//! document — which is what lets the client treat every transport error
+//! as retryable, because every request in the protocol is idempotent by
+//! construction (submission is keyed, reads are pure, cancel of a
+//! cancelled job is a no-op).
+
+use std::io::{self, Read, Write};
+
+use accu_telemetry::{json_escape, parse_json, Json};
+
+use crate::service::registry::{JobState, JobStatus};
+use crate::service::spec::JobSpec;
+
+/// Upper bound on one frame — far above any real request or CSV, low
+/// enough that a corrupt length prefix cannot trigger a huge
+/// allocation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Any underlying I/O error, or an oversized payload.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::other(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// `UnexpectedEof` for a connection closed mid-frame, an error for an
+/// oversized or non-UTF-8 frame, or any underlying I/O error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<String> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::other(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| io::Error::other("frame is not UTF-8"))
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Submit (idempotently) `spec` under the client-chosen id `job`.
+    Submit {
+        /// Client-chosen job id (`[A-Za-z0-9_-]{1,64}`).
+        job: String,
+        /// The experiment to run.
+        spec: JobSpec,
+    },
+    /// Read the job's status record.
+    Status {
+        /// Job id.
+        job: String,
+    },
+    /// Read the finished job's result CSV.
+    Result {
+        /// Job id.
+        job: String,
+    },
+    /// Stream the job's progress lines starting at sequence `from`,
+    /// ending with an [`Response::End`] once the job is terminal.
+    Watch {
+        /// Job id.
+        job: String,
+        /// First progress-line sequence number wanted (0-based).
+        from: u64,
+    },
+    /// Cancel a queued job.
+    Cancel {
+        /// Job id.
+        job: String,
+    },
+    /// Ask the daemon to stop accepting and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Wire encoding.
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Ping => "{\"type\":\"ping\"}".to_string(),
+            Request::Submit { job, spec } => format!(
+                "{{\"type\":\"submit\",\"job\":\"{}\",\"spec\":{}}}",
+                json_escape(job),
+                spec.to_json()
+            ),
+            Request::Status { job } => {
+                format!("{{\"type\":\"status\",\"job\":\"{}\"}}", json_escape(job))
+            }
+            Request::Result { job } => {
+                format!("{{\"type\":\"result\",\"job\":\"{}\"}}", json_escape(job))
+            }
+            Request::Watch { job, from } => format!(
+                "{{\"type\":\"watch\",\"job\":\"{}\",\"from\":{from}}}",
+                json_escape(job)
+            ),
+            Request::Cancel { job } => {
+                format!("{{\"type\":\"cancel\",\"job\":\"{}\"}}", json_escape(job))
+            }
+            Request::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
+        }
+    }
+
+    /// Parses the wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or an unknown type.
+    pub fn from_json(text: &str) -> Result<Request, String> {
+        let doc = parse_json(text)?;
+        let kind = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("request missing type")?;
+        let job = |doc: &Json| -> Result<String, String> {
+            doc.get("job")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| "request missing job id".to_string())
+        };
+        match kind {
+            "ping" => Ok(Request::Ping),
+            "submit" => {
+                let spec_json = doc.get("spec").ok_or("submit missing spec")?;
+                // Re-render the subtree so JobSpec::from_json can parse
+                // it with its own defaults.
+                Ok(Request::Submit {
+                    job: job(&doc)?,
+                    spec: JobSpec::from_json(&render(spec_json))?,
+                })
+            }
+            "status" => Ok(Request::Status { job: job(&doc)? }),
+            "result" => Ok(Request::Result { job: job(&doc)? }),
+            "watch" => Ok(Request::Watch {
+                job: job(&doc)?,
+                from: doc.get("from").and_then(Json::as_u64).unwrap_or(0),
+            }),
+            "cancel" => Ok(Request::Cancel { job: job(&doc)? }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type {other:?}")),
+        }
+    }
+}
+
+/// A daemon response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness reply with the daemon's pid.
+    Pong {
+        /// Daemon process id.
+        pid: u32,
+    },
+    /// Submission accepted (idempotently).
+    Accepted {
+        /// Job id.
+        job: String,
+        /// Current lifecycle state.
+        state: JobState,
+        /// The job had already finished; the result is served from the
+        /// registry without re-execution.
+        cached: bool,
+        /// The job was already queued or running; this submission
+        /// attached to it.
+        attached: bool,
+    },
+    /// Status record.
+    Status {
+        /// Job id.
+        job: String,
+        /// The durable status record.
+        status: JobStatus,
+    },
+    /// Finished result.
+    ResultCsv {
+        /// Job id.
+        job: String,
+        /// The result CSV, byte-identical to a batch run of the spec.
+        csv: String,
+    },
+    /// One progress line in a watch stream.
+    Event {
+        /// 0-based line sequence number (resume key for reconnects).
+        seq: u64,
+        /// The raw progress JSONL line.
+        line: String,
+    },
+    /// End of a watch stream: the job reached a terminal state.
+    End {
+        /// The terminal state.
+        state: JobState,
+    },
+    /// Admission control rejected the submission; retry later.
+    Overloaded {
+        /// Jobs currently executing.
+        running: usize,
+        /// Jobs waiting in the queue.
+        queued: usize,
+        /// The configured queue capacity.
+        cap: usize,
+    },
+    /// The request failed; `message` says why.
+    Err {
+        /// Human-readable failure reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Wire encoding.
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::Pong { pid } => format!("{{\"type\":\"pong\",\"pid\":{pid}}}"),
+            Response::Accepted {
+                job,
+                state,
+                cached,
+                attached,
+            } => format!(
+                "{{\"type\":\"accepted\",\"job\":\"{}\",\"state\":\"{}\",\
+                 \"cached\":{cached},\"attached\":{attached}}}",
+                json_escape(job),
+                state.as_str()
+            ),
+            Response::Status { job, status } => format!(
+                "{{\"type\":\"status\",\"job\":\"{}\",\"status\":{}}}",
+                json_escape(job),
+                status.to_json()
+            ),
+            Response::ResultCsv { job, csv } => format!(
+                "{{\"type\":\"result\",\"job\":\"{}\",\"csv\":\"{}\"}}",
+                json_escape(job),
+                json_escape(csv)
+            ),
+            Response::Event { seq, line } => format!(
+                "{{\"type\":\"event\",\"seq\":{seq},\"line\":\"{}\"}}",
+                json_escape(line)
+            ),
+            Response::End { state } => {
+                format!("{{\"type\":\"end\",\"state\":\"{}\"}}", state.as_str())
+            }
+            Response::Overloaded {
+                running,
+                queued,
+                cap,
+            } => format!(
+                "{{\"type\":\"overloaded\",\"running\":{running},\"queued\":{queued},\"cap\":{cap}}}"
+            ),
+            Response::Err { message } => {
+                format!("{{\"type\":\"err\",\"message\":\"{}\"}}", json_escape(message))
+            }
+        }
+    }
+
+    /// Parses the wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or an unknown type.
+    pub fn from_json(text: &str) -> Result<Response, String> {
+        let doc = parse_json(text)?;
+        let kind = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("response missing type")?;
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("response missing {key}"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("response missing {key}"))
+        };
+        match kind {
+            "pong" => Ok(Response::Pong {
+                pid: u64_field("pid")? as u32,
+            }),
+            "accepted" => Ok(Response::Accepted {
+                job: str_field("job")?,
+                state: JobState::parse(&str_field("state")?)?,
+                cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                attached: doc.get("attached").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            "status" => {
+                let status_json = doc.get("status").ok_or("response missing status")?;
+                Ok(Response::Status {
+                    job: str_field("job")?,
+                    status: JobStatus::from_json(&render(status_json))?,
+                })
+            }
+            "result" => Ok(Response::ResultCsv {
+                job: str_field("job")?,
+                csv: str_field("csv")?,
+            }),
+            "event" => Ok(Response::Event {
+                seq: u64_field("seq")?,
+                line: str_field("line")?,
+            }),
+            "end" => Ok(Response::End {
+                state: JobState::parse(&str_field("state")?)?,
+            }),
+            "overloaded" => Ok(Response::Overloaded {
+                running: u64_field("running")? as usize,
+                queued: u64_field("queued")? as usize,
+                cap: u64_field("cap")? as usize,
+            }),
+            "err" => Ok(Response::Err {
+                message: str_field("message")?,
+            }),
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+/// Re-renders a parsed [`Json`] subtree back to text, so nested
+/// documents (spec, status) can be handed to their own parsers.
+fn render(value: &Json) -> String {
+    match value {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(x) => {
+            if x.fract() == 0.0 && x.abs() < 9e15 {
+                format!("{}", *x as i64)
+            } else {
+                format!("{x}")
+            }
+        }
+        Json::Str(s) => format!("\"{}\"", json_escape(s)),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", json_escape(k), render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), "hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), "");
+    }
+
+    #[test]
+    fn torn_frame_reads_as_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "a longer payload").unwrap();
+        buf.truncate(buf.len() - 5); // torn mid-frame
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        let mut cursor = io::Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let all = [
+            Request::Ping,
+            Request::Submit {
+                job: "fig2-smoke".to_string(),
+                spec: JobSpec::default(),
+            },
+            Request::Status {
+                job: "j".to_string(),
+            },
+            Request::Result {
+                job: "j".to_string(),
+            },
+            Request::Watch {
+                job: "j".to_string(),
+                from: 17,
+            },
+            Request::Cancel {
+                job: "j".to_string(),
+            },
+            Request::Shutdown,
+        ];
+        for req in all {
+            assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let all = [
+            Response::Pong { pid: 42 },
+            Response::Accepted {
+                job: "j".to_string(),
+                state: JobState::Queued,
+                cached: false,
+                attached: true,
+            },
+            Response::Status {
+                job: "j".to_string(),
+                status: JobStatus {
+                    state: JobState::Done,
+                    detail: "recovered from torn checkpoint (2 lines dropped)".to_string(),
+                    recovered_lines: 2,
+                    resumed_networks: 1,
+                    epoch: 4,
+                },
+            },
+            Response::ResultCsv {
+                job: "j".to_string(),
+                csv: "k,ABM\n1,2.5\n".to_string(),
+            },
+            Response::Event {
+                seq: 3,
+                line: "{\"event\":\"network\"}".to_string(),
+            },
+            Response::End {
+                state: JobState::Done,
+            },
+            Response::Overloaded {
+                running: 2,
+                queued: 16,
+                cap: 16,
+            },
+            Response::Err {
+                message: "unknown job \"x\"".to_string(),
+            },
+        ];
+        for resp in all {
+            assert_eq!(Response::from_json(&resp.to_json()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_types_are_rejected() {
+        assert!(Request::from_json("{\"type\":\"warp\"}").is_err());
+        assert!(Response::from_json("{\"type\":\"warp\"}").is_err());
+    }
+}

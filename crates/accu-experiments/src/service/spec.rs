@@ -1,0 +1,393 @@
+//! The experiment specification a service job carries: a flat,
+//! JSON-round-trippable description of one [`FigureRun`] cell plus the
+//! policy to run over it.
+//!
+//! The spec is the *idempotency key* of the service: its canonical JSON
+//! encoding (fixed field order, integral floats printed exactly) is
+//! hashed with FNV-1a, and a resubmission of the same job id is only
+//! honored when the hash matches what the registry recorded at first
+//! submission. Two submissions that differ in any field are therefore
+//! different experiments and rejected rather than silently unified.
+
+use accu_core::{FaultConfig, RetryPolicy, ValidationMode};
+use accu_datasets::{DatasetSpec, ProtocolConfig};
+use accu_telemetry::parse_json;
+
+use crate::output::series_table;
+use crate::runner::{run_policy_with, FigureRun, PolicyKind, RunOptions};
+
+/// One submittable experiment: everything needed to reconstruct a
+/// [`FigureRun`] and a [`PolicyKind`] deterministically on any daemon.
+///
+/// # Examples
+///
+/// ```
+/// use accu_experiments::service::JobSpec;
+/// let spec = JobSpec::default();
+/// let round = JobSpec::from_json(&spec.to_json()).unwrap();
+/// assert_eq!(round, spec);
+/// assert_eq!(round.hash(), spec.hash());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Dataset name: `facebook`, `slashdot`, `twitter`, or `dblp`
+    /// (case-insensitive).
+    pub dataset: String,
+    /// Node-count scale factor applied to the dataset (1.0 = paper
+    /// size).
+    pub scale: f64,
+    /// Policy name: `abm`, `greedy`, `maxdegree`, `pagerank`, or
+    /// `random` (case-insensitive).
+    pub policy: String,
+    /// Request budget `k`.
+    pub budget: usize,
+    /// Independently sampled networks.
+    pub samples: usize,
+    /// Attack runs per sampled network.
+    pub runs: usize,
+    /// Master seed for the run.
+    pub seed: u64,
+    /// Per-slot transient-failure probability (0 = the paper's
+    /// fault-free environment).
+    pub faults: f64,
+    /// Number of cautious users the protocol plants.
+    pub cautious: usize,
+    /// Lower edge of the cautious-degree band.
+    pub band_lo: usize,
+    /// Upper edge of the cautious-degree band.
+    pub band_hi: usize,
+}
+
+impl Default for JobSpec {
+    /// A soak-sized cell (~80-node Facebook sample, 3×2 episodes):
+    /// small enough for tests and CI, large enough to checkpoint.
+    fn default() -> Self {
+        JobSpec {
+            dataset: "facebook".to_string(),
+            scale: 0.02,
+            policy: "abm".to_string(),
+            budget: 10,
+            samples: 3,
+            runs: 2,
+            seed: 42,
+            faults: 0.0,
+            cautious: 2,
+            band_lo: 5,
+            band_hi: 80,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Canonical JSON encoding: fixed field order, so equal specs
+    /// always serialize to equal bytes and [`hash`](JobSpec::hash) is
+    /// well defined.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\":\"{}\",\"scale\":{},\"policy\":\"{}\",\"budget\":{},\
+             \"samples\":{},\"runs\":{},\"seed\":{},\"faults\":{},\"cautious\":{},\
+             \"band_lo\":{},\"band_hi\":{}}}",
+            self.dataset.to_lowercase(),
+            fmt_f64(self.scale),
+            self.policy.to_lowercase(),
+            self.budget,
+            self.samples,
+            self.runs,
+            self.seed,
+            fmt_f64(self.faults),
+            self.cautious,
+            self.band_lo,
+            self.band_hi,
+        )
+    }
+
+    /// Parses a spec from JSON (missing fields take the defaults).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or wrong-typed fields.
+    pub fn from_json(text: &str) -> Result<JobSpec, String> {
+        let doc = parse_json(text)?;
+        let d = JobSpec::default();
+        let str_field = |key: &str, dflt: &str| -> Result<String, String> {
+            match doc.get(key) {
+                None => Ok(dflt.to_string()),
+                Some(v) => v
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("spec field {key} must be a string")),
+            }
+        };
+        let usize_field = |key: &str, dflt: usize| -> Result<usize, String> {
+            match doc.get(key) {
+                None => Ok(dflt),
+                Some(v) => v
+                    .as_u64()
+                    .map(|n| n as usize)
+                    .ok_or_else(|| format!("spec field {key} must be a non-negative integer")),
+            }
+        };
+        let f64_field = |key: &str, dflt: f64| -> Result<f64, String> {
+            match doc.get(key) {
+                None => Ok(dflt),
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| format!("spec field {key} must be a number")),
+            }
+        };
+        Ok(JobSpec {
+            dataset: str_field("dataset", &d.dataset)?,
+            scale: f64_field("scale", d.scale)?,
+            policy: str_field("policy", &d.policy)?,
+            budget: usize_field("budget", d.budget)?,
+            samples: usize_field("samples", d.samples)?,
+            runs: usize_field("runs", d.runs)?,
+            seed: doc
+                .get("seed")
+                .map_or(Ok(d.seed), |v| {
+                    v.as_u64().ok_or("spec field seed must be a u64")
+                })
+                .map_err(str::to_string)?,
+            faults: f64_field("faults", d.faults)?,
+            cautious: usize_field("cautious", d.cautious)?,
+            band_lo: usize_field("band_lo", d.band_lo)?,
+            band_hi: usize_field("band_hi", d.band_hi)?,
+        })
+    }
+
+    /// FNV-1a hash of the canonical encoding, as fixed-width hex — the
+    /// registry's idempotency fingerprint.
+    pub fn hash(&self) -> String {
+        format!("{:016x}", fnv1a64(self.to_json().as_bytes()))
+    }
+
+    /// The policy to run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown policy.
+    pub fn policy_kind(&self) -> Result<PolicyKind, String> {
+        match self.policy.to_lowercase().as_str() {
+            "abm" => Ok(PolicyKind::abm_balanced()),
+            "greedy" => Ok(PolicyKind::Greedy),
+            "maxdegree" => Ok(PolicyKind::MaxDegree),
+            "pagerank" => Ok(PolicyKind::PageRank),
+            "random" => Ok(PolicyKind::Random),
+            other => Err(format!(
+                "unknown policy {other:?} (expected abm, greedy, maxdegree, pagerank, or random)"
+            )),
+        }
+    }
+
+    /// The fully resolved experiment cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown dataset or an out-of-range
+    /// parameter.
+    pub fn figure(&self) -> Result<FigureRun, String> {
+        let dataset = match self.dataset.to_lowercase().as_str() {
+            "facebook" => DatasetSpec::facebook(),
+            "slashdot" => DatasetSpec::slashdot(),
+            "twitter" => DatasetSpec::twitter(),
+            "dblp" => DatasetSpec::dblp(),
+            other => {
+                return Err(format!(
+                    "unknown dataset {other:?} (expected facebook, slashdot, twitter, or dblp)"
+                ))
+            }
+        };
+        if !(self.scale > 0.0 && self.scale <= 1.0) {
+            return Err(format!("scale must be in (0, 1], got {}", self.scale));
+        }
+        if !(0.0..=1.0).contains(&self.faults) {
+            return Err(format!("faults must be in [0, 1], got {}", self.faults));
+        }
+        if self.budget == 0 || self.samples == 0 || self.runs == 0 {
+            return Err("budget, samples, and runs must all be positive".to_string());
+        }
+        let faults = if self.faults > 0.0 {
+            FaultConfig {
+                transient_failure: self.faults,
+                ..FaultConfig::none()
+            }
+        } else {
+            FaultConfig::none()
+        };
+        Ok(FigureRun {
+            dataset: dataset.scaled(self.scale),
+            protocol: ProtocolConfig {
+                cautious_count: self.cautious,
+                degree_band: (self.band_lo, self.band_hi),
+                ..ProtocolConfig::default()
+            },
+            budget: self.budget,
+            network_samples: self.samples,
+            runs_per_network: self.runs,
+            seed: self.seed,
+            faults,
+            retry: RetryPolicy::standard(),
+            validation: ValidationMode::default(),
+        })
+    }
+
+    /// Validates the spec without running it.
+    ///
+    /// # Errors
+    ///
+    /// The first problem found, as a message.
+    pub fn validate(&self) -> Result<(), String> {
+        self.policy_kind()?;
+        self.figure().map(|_| ())
+    }
+
+    /// Runs the spec to completion in-process (no daemon) and returns
+    /// the result CSV — the reference the service's output is compared
+    /// against byte-for-byte, and the body of `accu-cli run`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an invalid spec or a runner failure.
+    pub fn run_batch(&self) -> Result<String, String> {
+        let figure = self.figure()?;
+        let policy = self.policy_kind()?;
+        let report = run_policy_with(
+            &figure,
+            policy,
+            RunOptions {
+                max_workers: Some(2),
+                ..RunOptions::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(result_csv(&figure, policy, &report.accumulator))
+    }
+}
+
+/// Renders the service result CSV for one finished job: the same
+/// `k → mean cumulative benefit` series the figure binaries write, so
+/// a daemon-produced result is byte-comparable to a batch run.
+pub fn result_csv(
+    figure: &FigureRun,
+    policy: PolicyKind,
+    acc: &accu_core::TraceAccumulator,
+) -> String {
+    let xs: Vec<f64> = (0..figure.budget).map(|i| (i + 1) as f64).collect();
+    series_table("k", &xs, &[(policy.name(), acc.mean_cumulative_benefit())]).to_csv_string()
+}
+
+/// Prints a float the way Rust's `{}` does, with a trailing `.0`
+/// forced onto integral values so the canonical encoding never
+/// collides with the integer encoding of another field.
+fn fmt_f64(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// FNV-1a over `bytes` (64-bit offset basis / prime).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+/// Whether `id` is safe to embed in a registry path: 1–64 characters
+/// drawn from `[A-Za-z0-9_-]`.
+///
+/// # Errors
+///
+/// Returns a message describing the violation.
+pub fn validate_job_id(id: &str) -> Result<(), String> {
+    if id.is_empty() || id.len() > 64 {
+        return Err(format!("job id must be 1-64 characters, got {}", id.len()));
+    }
+    if let Some(bad) = id
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || *c == '_' || *c == '-'))
+    {
+        return Err(format!(
+            "job id may only contain [A-Za-z0-9_-], found {bad:?}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_json_round_trips_and_hash_is_stable() {
+        let spec = JobSpec {
+            dataset: "Facebook".to_string(), // case-normalized in the encoding
+            scale: 0.5,
+            seed: 7,
+            ..JobSpec::default()
+        };
+        let round = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(round.dataset, "facebook");
+        assert_eq!(round.hash(), spec.hash());
+        // Any field change changes the hash.
+        let other = JobSpec {
+            seed: 8,
+            ..spec.clone()
+        };
+        assert_ne!(other.hash(), spec.hash());
+    }
+
+    #[test]
+    fn missing_fields_fall_back_to_defaults() {
+        let spec = JobSpec::from_json("{\"budget\":5}").unwrap();
+        assert_eq!(spec.budget, 5);
+        assert_eq!(spec.dataset, JobSpec::default().dataset);
+        assert_eq!(spec.samples, JobSpec::default().samples);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_messages() {
+        assert!(JobSpec::from_json("{nope").is_err());
+        let bad_policy = JobSpec {
+            policy: "oracle".to_string(),
+            ..JobSpec::default()
+        };
+        assert!(bad_policy.validate().unwrap_err().contains("oracle"));
+        let bad_dataset = JobSpec {
+            dataset: "orkut".to_string(),
+            ..JobSpec::default()
+        };
+        assert!(bad_dataset.validate().unwrap_err().contains("orkut"));
+        let bad_scale = JobSpec {
+            scale: 0.0,
+            ..JobSpec::default()
+        };
+        assert!(bad_scale.validate().is_err());
+    }
+
+    #[test]
+    fn job_ids_must_be_path_safe() {
+        assert!(validate_job_id("fig2-smoke_01").is_ok());
+        assert!(validate_job_id("").is_err());
+        assert!(validate_job_id("../escape").is_err());
+        assert!(validate_job_id(&"x".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn batch_run_is_deterministic() {
+        let spec = JobSpec {
+            samples: 2,
+            runs: 1,
+            budget: 6,
+            ..JobSpec::default()
+        };
+        let a = spec.run_batch().unwrap();
+        let b = spec.run_batch().unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("k,"));
+    }
+}

@@ -162,8 +162,10 @@ impl Telemetry {
         };
         let recorder = Recorder::new(cli.telemetry || cli.metrics_addr.is_some());
         let server = cli.metrics_addr.as_ref().map(|addr| {
+            // BindError already names the requested address, so the
+            // failure message only adds the flag that asked for it.
             let server = MetricsServer::bind(addr, recorder.clone(), label, observer.clone())
-                .unwrap_or_else(|e| fail(&format!("--metrics-addr {addr}"), &e));
+                .unwrap_or_else(|e| fail("--metrics-addr", &e));
             eprintln!("serving metrics on http://{}/metrics", server.addr());
             Arc::new(server)
         });

@@ -85,6 +85,7 @@ proptest! {
             max_retries,
             backoff_base: 1,
             backoff_cap: 8,
+            jitter_pct: 0,
         };
         for kind in PolicyKind::extended_lineup() {
             let policy_seed = rng.gen();

@@ -31,7 +31,7 @@ pub mod watchdog;
 
 pub use progress::{NetworkStatus, Observer};
 pub use prometheus::{encode_prometheus, validate_prometheus, PromStats};
-pub use server::MetricsServer;
+pub use server::{BindError, MetricsServer};
 pub use watchdog::{
     throughput_floor, throughput_floor_from_trajectory, Alarm, AlarmKind, FloorUnavailable,
     Watchdog, WatchdogConfig, TRAJECTORY_SCHEMA,

@@ -23,6 +23,62 @@ use crate::{Recorder, Snapshot};
 /// response before the connection is dropped.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// A listener failed to bind, with the requested address attached.
+///
+/// A bare `io::Error` from a daemon start-up reads as "Address already
+/// in use (os error 98)" with no hint *which* address collided — fatal
+/// in CI logs where several listeners (metrics, service) start
+/// together. This error names the address; use
+/// [`is_addr_in_use`](BindError::is_addr_in_use) to branch on the
+/// collision case (e.g. retry on an ephemeral port).
+#[derive(Debug)]
+pub struct BindError {
+    addr: String,
+    source: io::Error,
+}
+
+impl BindError {
+    /// Wraps `source` with the address the bind was attempted on.
+    pub fn new(addr: impl Into<String>, source: io::Error) -> Self {
+        BindError {
+            addr: addr.into(),
+            source,
+        }
+    }
+
+    /// The address the failed bind was attempted on, as requested
+    /// (port 0 un-resolved).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the failure was an address-in-use collision — the case
+    /// a caller can fix by picking another port (or `:0`).
+    pub fn is_addr_in_use(&self) -> bool {
+        self.source.kind() == io::ErrorKind::AddrInUse
+    }
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_addr_in_use() {
+            write!(
+                f,
+                "cannot bind {}: address already in use (pick another port, or 0 for ephemeral)",
+                self.addr
+            )
+        } else {
+            write!(f, "cannot bind {}: {}", self.addr, self.source)
+        }
+    }
+}
+
+impl std::error::Error for BindError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// A live metrics endpoint: binds a local TCP listener and serves
 /// Prometheus text-format scrapes of a [`Recorder`] (plus the live
 /// gauges of an [`Observer`]) from a background thread until dropped.
@@ -48,17 +104,25 @@ impl MetricsServer {
     /// observer's live gauges are merged into every scrape; pass
     /// [`Observer::disabled`] when progress tracking is off.
     ///
+    /// `--metrics-addr 127.0.0.1:0` style ephemeral binds are
+    /// supported: [`addr`](MetricsServer::addr) reports the resolved
+    /// port, which callers should log for scrapers (and CI) to find.
+    ///
     /// # Errors
     ///
-    /// Returns the bind error (address in use, permission, parse).
+    /// Returns a [`BindError`] naming the requested address (address in
+    /// use, permission, parse).
     pub fn bind(
         addr: &str,
         recorder: Recorder,
         label: impl Into<String>,
         observer: Observer,
-    ) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
+    ) -> Result<Self, BindError> {
+        let requested = addr;
+        let listener = TcpListener::bind(addr).map_err(|e| BindError::new(requested, e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| BindError::new(requested, e))?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
         let label = label.into();
@@ -76,7 +140,8 @@ impl MetricsServer {
                     let body = render_scrape(&recorder, &label, &observer);
                     let _ = serve_one(stream, &body);
                 }
-            })?;
+            })
+            .map_err(|e| BindError::new(requested, e))?;
         Ok(MetricsServer {
             addr,
             stop,
@@ -208,6 +273,41 @@ mod tests {
         assert!(body.contains("accu_obs_episodes_done{run=\"merge\"} 1"));
         assert!(body.contains("accu_obs_episodes_total{run=\"merge\"} 4"));
         validate_prometheus(&body).unwrap();
+    }
+
+    #[test]
+    fn bind_collision_yields_typed_error_naming_the_address() {
+        let first = MetricsServer::bind(
+            "127.0.0.1:0",
+            Recorder::disabled(),
+            "first",
+            Observer::disabled(),
+        )
+        .unwrap();
+        let taken = first.addr().to_string();
+        let err = MetricsServer::bind(&taken, Recorder::disabled(), "second", Observer::disabled())
+            .expect_err("rebinding a live port must fail");
+        assert!(err.is_addr_in_use(), "kind: {err}");
+        assert_eq!(err.addr(), taken);
+        let message = err.to_string();
+        assert!(
+            message.contains(&taken) && message.contains("in use"),
+            "message must name the address: {message}"
+        );
+        // The error chains to the OS-level cause.
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn ephemeral_bind_resolves_port_zero() {
+        let server = MetricsServer::bind(
+            "127.0.0.1:0",
+            Recorder::disabled(),
+            "ephemeral",
+            Observer::disabled(),
+        )
+        .unwrap();
+        assert_ne!(server.addr().port(), 0, "port 0 resolves at bind time");
     }
 
     #[test]
