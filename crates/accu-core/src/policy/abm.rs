@@ -188,6 +188,20 @@ pub struct Abm {
     /// replayed instead of recomputed — keyed by the instance's
     /// process-unique id, which clones share and rebuilds never reuse.
     init_cache: Option<InitCache>,
+    /// Flat per-edge mirror of [`AttackerView::edge_belief`]: the prior
+    /// while the edge is unresolved, `1.0`/`0.0` once revealed. Indexed
+    /// by [`osn_graph::EdgeId`]; refilled on reset, patched in
+    /// `observe` when an acceptance reveals the target's incident
+    /// edges.
+    belief: Vec<f64>,
+    /// Flat per-node direct-term gain: `B_fof(v)` while `v` is neither
+    /// a friend nor a friend-of-friend, `0.0` afterwards. Folding the
+    /// friend/fof exclusions into the value makes the direct-term
+    /// accumulation branch-free — every excluded neighbor contributes
+    /// an exact `+0.0`, which leaves the running sum bit-identical
+    /// (benefits are validated finite and non-negative, so no term and
+    /// no partial sum can be `-0.0`).
+    fof_gain: Vec<f64>,
 }
 
 /// See [`Abm::init_cache`].
@@ -214,6 +228,8 @@ impl Abm {
             trace: TraceTrack::disabled(),
             dirty: Vec::new(),
             init_cache: None,
+            belief: Vec::new(),
+            fof_gain: Vec::new(),
         }
     }
 
@@ -255,12 +271,88 @@ impl Abm {
         potential(view, u, self.weights)
     }
 
+    /// Rebuilds the [`belief`](Self::belief)/[`fof_gain`](Self::fof_gain)
+    /// structure-of-arrays caches from the view. Fresh (empty)
+    /// observations take the bulk-copy path: every edge is unresolved
+    /// and no node is a friend or friend-of-friend, so the caches are
+    /// verbatim copies of the instance's prior and benefit arrays.
+    fn refill_soa(&mut self, view: &AttackerView<'_>) {
+        let inst = view.instance();
+        let obs = view.observation();
+        self.belief.clear();
+        self.fof_gain.clear();
+        if obs.requests().is_empty() {
+            self.belief.extend_from_slice(&inst.edge_prob);
+            self.fof_gain.extend_from_slice(&inst.benefits.fof);
+            return;
+        }
+        let benefits = inst.benefits();
+        self.belief.extend(
+            (0..inst.graph().edge_count()).map(|i| view.edge_belief(osn_graph::EdgeId::from(i))),
+        );
+        self.fof_gain.extend((0..inst.node_count()).map(|i| {
+            let v = NodeId::from(i);
+            if obs.is_friend(v) || obs.is_friend_of_friend(v) {
+                0.0
+            } else {
+                benefits.friend_of_friend(v)
+            }
+        }));
+    }
+
+    /// Evaluates the ABM potential of `u` through the SoA caches: the
+    /// direct-term walk over `u`'s adjacency row becomes a branch-free
+    /// two-array dot product. Bit-identical to [`potential`] — every
+    /// neighbor the scratch evaluation *skips* (friends,
+    /// friends-of-friends, `p = 0` edges) reads a `0.0` factor here, so
+    /// its contribution is an exact `+0.0` add, and `x + 0.0 == x`
+    /// bitwise for the non-negative partial sums this loop produces.
+    fn potential_cached(&self, view: &AttackerView<'_>, u: NodeId) -> f64 {
+        let obs = view.observation();
+        let inst = view.instance();
+        let benefits = inst.benefits();
+        let w = self.weights;
+        let q = view.acceptance_belief(u);
+        if q == 0.0 {
+            return 0.0;
+        }
+        let mut direct = benefits.friend(u)
+            - if obs.is_friend_of_friend(u) {
+                benefits.friend_of_friend(u)
+            } else {
+                0.0
+            };
+        for (v, e) in inst.graph().neighbor_entries(u) {
+            direct += self.belief[e.index()] * self.fof_gain[v.index()];
+        }
+        let mut indirect = 0.0;
+        if w.indirect() > 0.0 {
+            for entry in inst.cautious_row(u) {
+                if obs.is_friend(entry.node) {
+                    continue;
+                }
+                let p = self.belief[entry.edge.index()];
+                if p == 0.0 {
+                    continue;
+                }
+                if obs.was_requested(entry.node) {
+                    continue;
+                }
+                let mutual = obs.mutual_friends(entry.node);
+                if entry.theta > mutual {
+                    indirect += p * entry.gap / (entry.theta - mutual) as f64;
+                }
+            }
+        }
+        q * (w.direct() * direct + w.indirect() * indirect)
+    }
+
     fn rescore(&mut self, view: &AttackerView<'_>, u: NodeId) {
         if view.observation().was_requested(u) {
             return;
         }
         self.tel.rescores.incr();
-        let p = potential(view, u, self.weights);
+        let p = self.potential_cached(view, u);
         if p != self.potential[u.index()] {
             self.potential[u.index()] = p;
             self.heap.push(HeapEntry {
@@ -427,6 +519,7 @@ impl Policy for Abm {
         // reuse it instead of reallocating.
         let mut entries = std::mem::take(&mut self.heap).into_vec();
         entries.clear();
+        self.refill_soa(view);
         // Fresh-episode fast path: with no requests recorded yet every
         // node is a candidate and the potentials depend only on the
         // instance, so the first reset's scores are replayed verbatim.
@@ -449,7 +542,7 @@ impl Policy for Abm {
             self.potential.clear();
             self.potential.resize(n, f64::NEG_INFINITY);
             for u in view.candidates() {
-                let p = potential(view, u, self.weights);
+                let p = self.potential_cached(view, u);
                 self.potential[u.index()] = p;
                 entries.push(HeapEntry {
                     potential: p,
@@ -535,6 +628,17 @@ impl Policy for Abm {
         // the `rescores_changed`/heap telemetry — is unchanged.
         let obs = view.observation();
         let inst = view.instance();
+        // Patch the SoA caches before any rescore reads them: the
+        // target is now a friend (its direct-term gain drops to zero),
+        // its incident edges were just resolved to present/absent, and
+        // every newly revealed node is now a friend-of-friend.
+        self.fof_gain[target.index()] = 0.0;
+        for (_, e) in view.graph().neighbor_entries(target) {
+            self.belief[e.index()] = view.edge_belief(e);
+        }
+        for &v in newly_revealed {
+            self.fof_gain[v.index()] = 0.0;
+        }
         dirty.extend_from_slice(view.graph().neighbors(target));
         let indirect_on = self.weights.indirect() > 0.0;
         for &v in newly_revealed {

@@ -53,8 +53,9 @@ pub use checkpoint::Checkpoint;
 pub use cli::{Cli, CliError, TraceSpec};
 pub use runner::{
     run_policy, run_policy_checked, run_policy_observed, run_policy_recorded, run_policy_traced,
-    run_policy_tuned, run_policy_with, runner_metrics, Deadline, FigureRun, NetworkFailure,
-    PolicyKind, RunOptions, RunReport, RunnerError, SupervisorConfig, DEADLINE_MIN_NETWORKS,
+    run_policy_tuned, run_policy_with, runner_metrics, Deadline, EngineMode, FigureRun,
+    NetworkFailure, PolicyKind, RunOptions, RunReport, RunnerError, SupervisorConfig,
+    DEADLINE_MIN_NETWORKS,
 };
 pub use scale::ExperimentScale;
 pub use telemetry::Telemetry;

@@ -40,7 +40,7 @@ use accu_core::policy::{
 };
 use accu_core::{
     engine_metrics, repair_instance, run_attack_episode_traced, validate_metrics, AccuError,
-    AccuInstance, AttackOutcome, EpisodeScratch, FaultConfig, FaultPlan, Policy, RetryPolicy,
+    AccuInstance, AttackOutcome, BatchScratch, FaultConfig, FaultPlan, Policy, RetryPolicy,
     TraceAccumulator, ValidationMode, Violation,
 };
 use accu_telemetry::obs::{NetworkStatus, Observer};
@@ -438,6 +438,10 @@ pub struct RunOptions<'a> {
     /// Soft deadline; when it passes, not-yet-started networks are shed
     /// instead of run (graceful degradation). `None` never sheds.
     pub deadline: Option<Deadline>,
+    /// Episode-engine selection: scalar per-episode sampling, the SoA
+    /// batched sampler, or footprint-based auto-selection. Every mode
+    /// produces bit-identical results; this is a pure throughput knob.
+    pub engine: EngineMode,
 }
 
 impl Default for RunOptions<'_> {
@@ -452,6 +456,58 @@ impl Default for RunOptions<'_> {
             chaos: ChaosPlan::none(),
             supervisor: SupervisorConfig::default(),
             deadline: None,
+            engine: EngineMode::Auto,
+        }
+    }
+}
+
+/// How workers sample episode realizations.
+///
+/// The batched engine fills `lanes` independent realizations in one
+/// structure-of-arrays pass over the instance
+/// ([`BatchScratch::sample_lanes`]), reading each per-edge probability
+/// and per-node acceptance row once per block instead of once per
+/// episode. Every lane keeps its own RNG stream seeded exactly as the
+/// scalar path seeds its per-episode RNG, so **all modes produce
+/// bit-identical episodes, traces, and CSV output** — the mode only
+/// changes memory-access order during sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// One realization sampled at a time (the historical path; equal to
+    /// `Batched(1)`).
+    Scalar,
+    /// SoA batched sampling with this many episode lanes per block
+    /// (clamped to at least 1).
+    Batched(usize),
+    /// Pick per run: batched lanes for instances big enough that the
+    /// one-pass amortization pays for the lane buffers, scalar for
+    /// small ones.
+    Auto,
+}
+
+impl EngineMode {
+    /// Episode lanes per sampling block for a run over `nodes`-node
+    /// instances.
+    fn lanes(self, nodes: usize) -> usize {
+        /// Auto picks batching once the instance's parameter arrays
+        /// stop fitting comfortably in L2 (~a few hundred KB at ~100
+        /// bytes/node), which is when re-streaming them per episode
+        /// starts to dominate sampling.
+        const AUTO_MIN_NODES: usize = 4096;
+        /// Eight lanes keep the per-lane realization buffers (~17
+        /// bytes/node each) within the last-level cache alongside the
+        /// instance for the graphs the scale tier targets.
+        const AUTO_LANES: usize = 8;
+        match self {
+            EngineMode::Scalar => 1,
+            EngineMode::Batched(lanes) => lanes.max(1),
+            EngineMode::Auto => {
+                if nodes >= AUTO_MIN_NODES {
+                    AUTO_LANES
+                } else {
+                    1
+                }
+            }
         }
     }
 }
@@ -794,6 +850,7 @@ fn run_policy_inner(
         chaos,
         supervisor,
         deadline,
+        engine,
     } = opts;
     let cell = figure.cell_label(policy);
     let checkpoint_skipped_lines = checkpoint.as_ref().map_or(0, |c| c.skipped_lines());
@@ -831,11 +888,14 @@ fn run_policy_inner(
         .max(1);
     let chunks = if policy.chunkable() {
         chunks_per_network
-            .unwrap_or(base_threads)
+            .unwrap_or_else(|| footprint_chunks(base_threads, figure.dataset.node_count()))
             .clamp(1, figure.runs_per_network.max(1))
     } else {
         1
     };
+    let lanes = engine
+        .lanes(figure.dataset.node_count())
+        .min(figure.runs_per_network.max(1));
     // The (network, episode-chunk) work queue over non-resumed
     // networks. Chunks of one network are adjacent, so chunk 0 is
     // always claimed first and its claimer initializes the shared
@@ -874,6 +934,7 @@ fn run_policy_inner(
         figure,
         policy,
         chunks,
+        lanes,
         cell: &cell,
         recorder: &recorder,
         tracer: &tracer,
@@ -1248,6 +1309,9 @@ struct RunCtx<'env, 'ck> {
     figure: &'env FigureRun,
     policy: PolicyKind,
     chunks: usize,
+    /// Episode lanes per sampling block (resolved from
+    /// [`EngineMode`]; 1 = scalar sampling).
+    lanes: usize,
     cell: &'env str,
     recorder: &'env Recorder,
     tracer: &'env Tracer,
@@ -1271,7 +1335,7 @@ fn worker_loop(ctx: &RunCtx<'_, '_>, worker: usize, wstate: &WorkerState) {
     let tel = WorkerTelemetry::new(ctx.recorder, worker);
     let etel = EngineTelemetry::new(ctx.recorder);
     let track = ctx.tracer.track(&format!("worker-{worker}"));
-    let mut scratch = EpisodeScratch::new();
+    let mut scratch = BatchScratch::new(ctx.lanes);
     while let Some(item) = ctx.queue.pop() {
         *wstate.in_flight.lock().expect("in-flight mutex poisoned") = Some(item);
         wstate.beat(ctx.run_started);
@@ -1470,6 +1534,33 @@ impl NetworkSlot {
     }
 }
 
+/// Cache-aware default chunk granularity for one network's episodes.
+///
+/// Splitting a network across many workers makes every one of them
+/// stream the same instance; that is free while the instance fits in
+/// the last-level cache and ruinous once it does not (each worker then
+/// pulls the whole footprint from DRAM per episode). Above the LLC
+/// budget the default collapses to whole-network affinity — one chunk,
+/// one worker, one resident instance — and workers parallelize across
+/// networks instead. `chunks_per_network` overrides this, and the
+/// choice never affects results: episode seeds are pre-drawn in episode
+/// order and outcomes fold in episode order, so CSV output is
+/// byte-identical under any chunking.
+fn footprint_chunks(base_threads: usize, nodes: usize) -> usize {
+    /// Rough per-node instance footprint: CSR offsets + two adjacency
+    /// mirrors + per-node parameter rows (≈ 96 bytes at the scale
+    /// tier's average degree 8).
+    const APPROX_BYTES_PER_NODE: usize = 96;
+    /// Conservative shared-LLC budget; instances beyond it get
+    /// whole-network worker affinity.
+    const LLC_BUDGET: usize = 24 << 20;
+    if nodes.saturating_mul(APPROX_BYTES_PER_NODE) > LLC_BUDGET {
+        1
+    } else {
+        base_threads
+    }
+}
+
 /// Contiguous balanced split of `runs` episodes into `chunks` chunks:
 /// chunk `c` covers episodes `[lo, hi)`.
 fn chunk_range(runs: usize, chunks: usize, c: usize) -> (usize, usize) {
@@ -1569,7 +1660,8 @@ fn init_network(
 
 /// Claims one `(network, chunk)` work item: initializes (or waits for)
 /// the network's shared state, runs the chunk's episodes through the
-/// worker's [`EpisodeScratch`], and — when this was the network's last
+/// worker's [`BatchScratch`] in blocks of `ctx.lanes` (one SoA sampling
+/// pass per block), and — when this was the network's last
 /// outstanding chunk — folds the outcomes in episode order,
 /// checkpoints, and retires the slot. Dataset/protocol/validation
 /// failures quarantine via the initializing chunk; an episode-loop
@@ -1588,7 +1680,7 @@ fn process_chunk(
     tel: &WorkerTelemetry,
     etel: &EngineTelemetry,
     track: &TraceTrack,
-    scratch: &mut EpisodeScratch,
+    scratch: &mut BatchScratch,
     wstate: &WorkerState,
 ) {
     let WorkItem { net, chunk, .. } = item;
@@ -1691,86 +1783,90 @@ fn process_chunk(
                 .instantiate_instrumented(state.policy_seed, ctx.recorder, track);
         let mut outcomes: Vec<AttackOutcome> = Vec::with_capacity(hi - lo);
         let episodes_trace = track.span("episodes");
-        for ep in lo..hi {
-            let run_seed = state.run_seeds[ep];
-            // Episode indices are global across the run, so which
-            // episodes a sampling period selects is independent of
-            // chunking and thread count.
-            let global_ep = (net * figure.runs_per_network + ep) as u64;
-            if track.is_enabled() {
-                track.set_active(ctx.tracer.sample_hit(global_ep));
-            }
-            if track.is_active() {
-                track.instant(
-                    "episode_begin",
-                    &[
-                        ("net", TraceValue::U64(net as u64)),
-                        ("ep", TraceValue::U64(ep as u64)),
-                        ("global_ep", TraceValue::U64(global_ep)),
-                        ("policy", TraceValue::from(ctx.policy.name())),
-                        (
-                            "dataset",
-                            TraceValue::from(figure.dataset.name().to_string()),
-                        ),
-                        ("budget", TraceValue::U64(figure.budget as u64)),
-                        // As a string: u64 seeds above 2^53 do not
-                        // survive a round-trip through JSON doubles.
-                        ("seed", TraceValue::from(run_seed.to_string())),
-                    ],
+        let mut block_lo = lo;
+        while block_lo < hi {
+            let block_hi = (block_lo + ctx.lanes).min(hi);
+            // One SoA pass fills every lane's realization; each lane's
+            // stream comes only from its own episode seed, so the block
+            // is bit-identical to sampling the episodes one at a time
+            // (and collapses to exactly that when `lanes` is 1).
+            let seeds = &state.run_seeds[block_lo..block_hi];
+            let reuses = scratch.sample_lanes(&state.instance, seeds);
+            etel.scratch_reuses.add(reuses as u64);
+            etel.scratch_allocs.add((seeds.len() - reuses) as u64);
+            for (lane, ep) in (block_lo..block_hi).enumerate() {
+                let run_seed = state.run_seeds[ep];
+                // Episode indices are global across the run, so which
+                // episodes a sampling period selects is independent of
+                // chunking and thread count.
+                let global_ep = (net * figure.runs_per_network + ep) as u64;
+                if track.is_enabled() {
+                    track.set_active(ctx.tracer.sample_hit(global_ep));
+                }
+                if track.is_active() {
+                    track.instant(
+                        "episode_begin",
+                        &[
+                            ("net", TraceValue::U64(net as u64)),
+                            ("ep", TraceValue::U64(ep as u64)),
+                            ("global_ep", TraceValue::U64(global_ep)),
+                            ("policy", TraceValue::from(ctx.policy.name())),
+                            (
+                                "dataset",
+                                TraceValue::from(figure.dataset.name().to_string()),
+                            ),
+                            ("budget", TraceValue::U64(figure.budget as u64)),
+                            // As a string: u64 seeds above 2^53 do not
+                            // survive a round-trip through JSON doubles.
+                            ("seed", TraceValue::from(run_seed.to_string())),
+                        ],
+                    );
+                }
+                // The plan is seeded by the episode, not the policy, so
+                // paired comparisons face identical fault sequences; it is
+                // trivial (and free) when figure.faults is none.
+                let plan = FaultPlan::sample(&figure.faults, run_seed, figure.budget);
+                let outcome = run_attack_episode_traced(
+                    &state.instance,
+                    policy_impl.as_mut(),
+                    figure.budget,
+                    &plan,
+                    &figure.retry,
+                    ctx.recorder,
+                    track,
+                    scratch.lane(lane),
                 );
+                if track.is_active() {
+                    track.instant(
+                        "episode_end",
+                        &[
+                            ("net", TraceValue::U64(net as u64)),
+                            ("ep", TraceValue::U64(ep as u64)),
+                            ("global_ep", TraceValue::U64(global_ep)),
+                            ("total_benefit", TraceValue::F64(outcome.total_benefit)),
+                            ("requests", TraceValue::U64(outcome.trace.len() as u64)),
+                            ("friends", TraceValue::U64(outcome.friends.len() as u64)),
+                            (
+                                "cautious_friends",
+                                TraceValue::U64(outcome.cautious_friends as u64),
+                            ),
+                            (
+                                "faults",
+                                TraceValue::U64(outcome.faults.faults_seen() as u64),
+                            ),
+                        ],
+                    );
+                }
+                outcomes.push(outcome.clone());
+                tel.episodes.incr();
+                tel.worker_episodes.incr();
+                // Heartbeats: both the worker's supervisor-facing stamp and
+                // the run-level stall watchdog advance per episode.
+                wstate.beat(ctx.run_started);
+                ctx.observer
+                    .episode_done(outcome.faults.faults_seen() as u64);
             }
-            let mut run_rng = StdRng::seed_from_u64(run_seed);
-            if scratch.prepare(&state.instance) {
-                etel.scratch_reuses.incr();
-            } else {
-                etel.scratch_allocs.incr();
-            }
-            scratch
-                .realization
-                .sample_into(&state.instance, &mut run_rng);
-            // The plan is seeded by the episode, not the policy, so
-            // paired comparisons face identical fault sequences; it is
-            // trivial (and free) when figure.faults is none.
-            let plan = FaultPlan::sample(&figure.faults, run_seed, figure.budget);
-            let outcome = run_attack_episode_traced(
-                &state.instance,
-                policy_impl.as_mut(),
-                figure.budget,
-                &plan,
-                &figure.retry,
-                ctx.recorder,
-                track,
-                scratch,
-            );
-            if track.is_active() {
-                track.instant(
-                    "episode_end",
-                    &[
-                        ("net", TraceValue::U64(net as u64)),
-                        ("ep", TraceValue::U64(ep as u64)),
-                        ("global_ep", TraceValue::U64(global_ep)),
-                        ("total_benefit", TraceValue::F64(outcome.total_benefit)),
-                        ("requests", TraceValue::U64(outcome.trace.len() as u64)),
-                        ("friends", TraceValue::U64(outcome.friends.len() as u64)),
-                        (
-                            "cautious_friends",
-                            TraceValue::U64(outcome.cautious_friends as u64),
-                        ),
-                        (
-                            "faults",
-                            TraceValue::U64(outcome.faults.faults_seen() as u64),
-                        ),
-                    ],
-                );
-            }
-            outcomes.push(outcome.clone());
-            tel.episodes.incr();
-            tel.worker_episodes.incr();
-            // Heartbeats: both the worker's supervisor-facing stamp and
-            // the run-level stall watchdog advance per episode.
-            wstate.beat(ctx.run_started);
-            ctx.observer
-                .episode_done(outcome.faults.faults_seen() as u64);
+            block_lo = block_hi;
         }
         drop(episodes_trace);
         outcomes

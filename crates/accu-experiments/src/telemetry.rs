@@ -26,7 +26,7 @@ use accu_telemetry::{FieldValue, JsonlSink, Recorder, Snapshot, Tracer, DEFAULT_
 use crate::chaosfs::{atomic_write, atomic_write_chaos, ChaosFile, ChaosSite};
 use crate::cli::Cli;
 use crate::output::{experiments_dir, fnum, Table};
-use crate::runner::{runner_metrics, Deadline, RunOptions, SupervisorConfig};
+use crate::runner::{runner_metrics, Deadline, EngineMode, RunOptions, SupervisorConfig};
 
 /// Where the bench trajectory lives relative to the working directory;
 /// `--watchdog` seeds its throughput floor from the last healthy entry
@@ -300,6 +300,7 @@ impl Telemetry {
             chaos: self.chaos,
             supervisor: SupervisorConfig::default(),
             deadline: self.deadline_at.map(Deadline::until),
+            engine: EngineMode::Auto,
         }
     }
 

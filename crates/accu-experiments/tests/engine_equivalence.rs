@@ -1,14 +1,17 @@
-//! Property tests pinning the scratch-reuse episode engine to the
-//! allocating reference path: same seeds, same instances, same faults —
-//! bit-identical outcomes, at both the single-episode and the
-//! whole-figure level.
+//! Property tests pinning the scratch-reuse episode engine — and the
+//! SoA batched sampler layered on it — to the allocating reference
+//! path: same seeds, same instances, same faults — bit-identical
+//! outcomes, at the single-episode, batched-lane, and whole-figure
+//! level.
 
 use accu_core::{
-    run_attack_episode, run_attack_faulted, EpisodeScratch, FaultConfig, FaultPlan, Realization,
-    RetryPolicy, ValidationMode,
+    run_attack_episode, run_attack_faulted, BatchScratch, EpisodeScratch, FaultConfig, FaultPlan,
+    Realization, RetryPolicy, ValidationMode,
 };
 use accu_datasets::{apply_protocol, DatasetSpec, ProtocolConfig};
-use accu_experiments::{run_policy, run_policy_tuned, FigureRun, PolicyKind};
+use accu_experiments::{
+    run_policy, run_policy_tuned, run_policy_with, EngineMode, FigureRun, PolicyKind, RunOptions,
+};
 use accu_telemetry::Recorder;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -110,6 +113,129 @@ proptest! {
                     "policy {} episode {} diverged",
                     policy_kind.name(),
                     episode
+                );
+            }
+        }
+    }
+
+    /// The SoA batched sampler must reproduce the scalar scratch path
+    /// episode-for-episode for every policy in the extended lineup,
+    /// including the fault trace: each lane's realization comes only
+    /// from its own episode seed, so lane width must never matter.
+    #[test]
+    fn batched_lanes_match_scalar_episodes(
+        seed in 0u64..1_000,
+        intensity in 0.0f64..0.6,
+        lanes in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = DatasetSpec::facebook()
+            .scaled(0.02)
+            .generate(&mut rng)
+            .expect("generation");
+        let instance = apply_protocol(
+            graph,
+            &ProtocolConfig {
+                cautious_count: 2,
+                degree_band: (5, 80),
+                ..ProtocolConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("protocol");
+        let k = 12;
+        let faults = FaultConfig::scaled(intensity);
+        let retry = RetryPolicy::standard();
+        let recorder = Recorder::disabled();
+        let episodes = 6;
+        let mut seed_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let run_seeds: Vec<u64> = (0..episodes).map(|_| seed_rng.gen()).collect();
+
+        for policy_kind in PolicyKind::extended_lineup() {
+            let mut batch = BatchScratch::new(lanes);
+            let mut scratch = EpisodeScratch::new();
+            let mut batched_policy = policy_kind.instantiate(seed ^ 0x5A5A);
+            let mut scalar_policy = policy_kind.instantiate(seed ^ 0x5A5A);
+            for (block_index, block) in run_seeds.chunks(lanes).enumerate() {
+                batch.sample_lanes(&instance, block);
+                for (lane, &run_seed) in block.iter().enumerate() {
+                    let plan = FaultPlan::sample(&faults, run_seed, k);
+
+                    // Scalar reference: one-at-a-time sampling into a
+                    // dedicated scratch.
+                    scratch.prepare(&instance);
+                    scratch
+                        .realization
+                        .sample_into(&instance, &mut StdRng::seed_from_u64(run_seed));
+                    let reference = run_attack_episode(
+                        &instance,
+                        scalar_policy.as_mut(),
+                        k,
+                        &plan,
+                        &retry,
+                        &recorder,
+                        &mut scratch,
+                    )
+                    .clone();
+
+                    let outcome = run_attack_episode(
+                        &instance,
+                        batched_policy.as_mut(),
+                        k,
+                        &plan,
+                        &retry,
+                        &recorder,
+                        batch.lane(lane),
+                    );
+                    prop_assert_eq!(
+                        outcome,
+                        &reference,
+                        "policy {} block {} lane {} diverged",
+                        policy_kind.name(),
+                        block_index,
+                        lane
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every [`EngineMode`] must aggregate to the identical figure
+    /// result — the mode only changes sampling memory-access order,
+    /// never the streams — for the full extended lineup under faults.
+    #[test]
+    fn engine_modes_agree_on_whole_figures(
+        seed in 0u64..1_000,
+        intensity in 0.0f64..0.5,
+        lanes in 1usize..7,
+    ) {
+        let fig = small_figure(seed, intensity, ValidationMode::default());
+        for policy_kind in PolicyKind::extended_lineup() {
+            let scalar = run_policy_with(
+                &fig,
+                policy_kind,
+                RunOptions {
+                    engine: EngineMode::Scalar,
+                    ..RunOptions::default()
+                },
+            )
+            .expect("scalar run");
+            for engine in [EngineMode::Batched(lanes), EngineMode::Auto] {
+                let other = run_policy_with(
+                    &fig,
+                    policy_kind,
+                    RunOptions {
+                        engine,
+                        ..RunOptions::default()
+                    },
+                )
+                .expect("batched run");
+                prop_assert_eq!(
+                    &scalar.accumulator,
+                    &other.accumulator,
+                    "policy {} diverged under {:?}",
+                    policy_kind.name(),
+                    engine
                 );
             }
         }

@@ -30,7 +30,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use accu_bench::default_instance;
+use accu_bench::{default_instance, git_revision, host_cores, json_field, utc_date};
 use accu_core::policy::{Abm, AbmWeights};
 use accu_core::{run_attack_episode, sim_metrics, EpisodeScratch, FaultPlan, RetryPolicy};
 use accu_telemetry::obs::TRAJECTORY_SCHEMA;
@@ -199,37 +199,6 @@ fn render_json(m: &Measurement) -> String {
     )
 }
 
-/// Renders a unix timestamp as a UTC `YYYY-MM-DD` date (civil-from-days
-/// conversion — no time-zone database, no dependency).
-fn utc_date(secs: u64) -> String {
-    let days = (secs / 86_400) as i64;
-    let z = days + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let day = doy - (153 * mp + 2) / 5 + 1;
-    let month = if mp < 10 { mp + 3 } else { mp - 9 };
-    let year = yoe + era * 400 + i64::from(month <= 2);
-    format!("{year:04}-{month:02}-{day:02}")
-}
-
-/// The git revision of the working tree, for trajectory provenance.
-/// Best-effort: builds from a tarball (no repo, no git binary) stamp
-/// `"unknown"`.
-fn git_revision() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short=12", "HEAD"])
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|rev| rev.trim().to_string())
-        .filter(|rev| !rev.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 /// Appends one dated line to the trajectory log kept next to the
 /// committed snapshot. Best-effort: a read-only checkout must not turn
 /// a passing bench check into a failure.
@@ -251,11 +220,13 @@ fn append_trajectory(out_path: &str, m: &Measurement, status: &str) {
     let line = format!(
         "{{\"schema\":{TRAJECTORY_SCHEMA},\"git\":\"{}\",\"date\":\"{}\",\
          \"bench\":\"engine\",\"fixture\":\"twitter_0.02/abm_balanced\",\
+         \"cores\":{},\"workers\":1,\
          \"budget\":{BUDGET},\"episodes\":{MEASURED_EPISODES},\"eps_per_sec\":{:.2},\
          \"ns_per_select\":{:.1},\"allocs_per_episode\":{:.3},\"total_benefit\":{:.1},\
          \"speedup_vs_head\":{:.2},\"status\":\"{status}\"}}\n",
         git_revision(),
         utc_date(secs),
+        host_cores(),
         m.eps_per_sec,
         m.ns_per_select,
         m.allocs_per_episode,
@@ -271,18 +242,6 @@ fn append_trajectory(out_path: &str, m: &Measurement, status: &str) {
         Ok(()) => println!("appended {status} entry to {}", path.display()),
         Err(e) => eprintln!("bench-check: cannot append to {}: {e}", path.display()),
     }
-}
-
-/// Pulls a numeric field out of the flat committed JSON without a
-/// parser dependency.
-fn json_field(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = text.find(&needle)? + needle.len();
-    let rest = text[at..].trim_start();
-    let end = rest
-        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 fn main() {

@@ -1,0 +1,472 @@
+//! Scale-tier benchmark: pack → reload → batched episodes at 10⁵–10⁷
+//! nodes.
+//!
+//! For each requested node count the sweep:
+//!
+//! 1. **builds** a BA graph from scratch (timed — the cost the `.accg`
+//!    store amortizes away),
+//! 2. **packs** it to a versioned, checksummed `.accg` file
+//!    ([`osn_graph::store`]),
+//! 3. **reloads** it through the steady-state trusted loader (timed;
+//!    `amortization` = build time over load time),
+//! 4. applies the paper protocol and runs ABM episodes through the SoA
+//!    batched sampler ([`BatchScratch`]), reporting `eps_per_sec`,
+//!    `ns_per_select` (from a separate instrumented pass, as in
+//!    `bench_engine`), steady-state `allocs_per_episode`, and the
+//!    process peak RSS.
+//!
+//! Each tier appends one schema-stamped line to `BENCH_trajectory.jsonl`
+//! (next to `--out`), carrying the host context (`cores`, `workers`) so
+//! entries from differently-sized machines are never read as
+//! like-for-like. A snapshot of all tiers lands in `--out`
+//! (`BENCH_scale.json`).
+//!
+//! ```text
+//! scale_sweep [--nodes 100000,1000000] [--degree 8] [--budget 50]
+//!             [--episodes 4] [--lanes 4] [--seed 11] [--workers 1]
+//!             [--dir target/scale] [--out BENCH_scale.json]
+//!             [--assert-zero-alloc]
+//! ```
+//!
+//! `--assert-zero-alloc` (the CI gate) exits non-zero if any
+//! steady-state episode touches the heap.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use accu_bench::{git_revision, host_cores, peak_rss_mib, utc_date};
+use accu_core::policy::{Abm, AbmWeights};
+use accu_core::{
+    run_attack_episode, sim_metrics, AccuInstance, BatchScratch, FaultPlan, RetryPolicy,
+};
+use accu_datasets::{apply_protocol, ProtocolConfig};
+use accu_telemetry::obs::TRAJECTORY_SCHEMA;
+use accu_telemetry::Recorder;
+use osn_graph::{generators, store, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Pass-through allocator that counts allocations while armed.
+struct CountingAlloc;
+
+static ALLOCS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static ARMED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+use std::sync::atomic::Ordering;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+struct SweepConfig {
+    nodes: Vec<usize>,
+    degree: usize,
+    budget: usize,
+    episodes: usize,
+    lanes: usize,
+    seed: u64,
+    workers: usize,
+    dir: PathBuf,
+    out: String,
+    assert_zero_alloc: bool,
+}
+
+struct TierResult {
+    nodes: usize,
+    edges: usize,
+    build_ms: f64,
+    pack_ms: f64,
+    load_ms: f64,
+    amortization: f64,
+    eps_per_sec: f64,
+    ns_per_select: f64,
+    allocs_per_episode: f64,
+    total_benefit: f64,
+    peak_rss_mib: f64,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("scale_sweep: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_flags() -> SweepConfig {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = SweepConfig {
+        nodes: vec![100_000, 1_000_000],
+        degree: 8,
+        budget: 50,
+        episodes: 4,
+        lanes: 4,
+        seed: 11,
+        workers: 1,
+        dir: PathBuf::from("target").join("scale"),
+        out: "BENCH_scale.json".to_string(),
+        assert_zero_alloc: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--nodes" => {
+                cfg.nodes = take("--nodes")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("bad --nodes element {s:?}")))
+                    })
+                    .collect();
+                if cfg.nodes.is_empty() {
+                    fail("--nodes list is empty");
+                }
+            }
+            "--degree" => {
+                cfg.degree = take("--degree")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --degree"))
+            }
+            "--budget" => {
+                cfg.budget = take("--budget")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --budget"))
+            }
+            "--episodes" => {
+                cfg.episodes = take("--episodes")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --episodes"))
+            }
+            "--lanes" => {
+                cfg.lanes = take("--lanes")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --lanes"))
+            }
+            "--seed" => {
+                cfg.seed = take("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --seed"))
+            }
+            "--workers" => {
+                cfg.workers = take("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --workers"))
+            }
+            "--dir" => cfg.dir = PathBuf::from(take("--dir")),
+            "--out" => cfg.out = take("--out"),
+            "--assert-zero-alloc" => cfg.assert_zero_alloc = true,
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if cfg.lanes == 0 || cfg.episodes == 0 || cfg.budget == 0 {
+        fail("--lanes, --episodes, and --budget must be positive");
+    }
+    cfg
+}
+
+/// Builds the tier's instance from a loaded graph: paper protocol,
+/// deterministic per-tier stream.
+fn tier_instance(graph: Graph, seed: u64) -> AccuInstance {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_1234_8765);
+    apply_protocol(graph, &ProtocolConfig::default(), &mut rng)
+        .unwrap_or_else(|e| fail(&format!("protocol failed: {e}")))
+}
+
+/// One pass over `seeds` as batched episodes: `lanes`-wide SoA
+/// sampling blocks, the outcome benefits summed as the determinism
+/// witness. Seeds are pre-drawn by the caller so the armed
+/// (allocation-counting) pass touches no heap.
+fn run_batched_pass(
+    instance: &AccuInstance,
+    cfg: &SweepConfig,
+    seeds: &[u64],
+    batch: &mut BatchScratch,
+    policy: &mut Abm,
+    recorder: &Recorder,
+) -> (f64, std::time::Duration) {
+    let plan = FaultPlan::none();
+    let retry = RetryPolicy::give_up();
+    let mut total = 0.0f64;
+    let start = Instant::now();
+    for block in seeds.chunks(cfg.lanes) {
+        batch.sample_lanes(instance, block);
+        for lane in 0..block.len() {
+            total += run_attack_episode(
+                instance,
+                policy,
+                cfg.budget,
+                &plan,
+                &retry,
+                recorder,
+                batch.lane(lane),
+            )
+            .total_benefit;
+        }
+    }
+    (total, start.elapsed())
+}
+
+fn run_tier(cfg: &SweepConfig, nodes: usize) -> TierResult {
+    println!("--- tier: {nodes} nodes (BA, m = {}) ---", cfg.degree);
+
+    // Stage 1: build from scratch — the cost the store amortizes.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let t0 = Instant::now();
+    let graph = generators::barabasi_albert(nodes, cfg.degree, &mut rng)
+        .unwrap_or_else(|e| fail(&format!("generation failed: {e}")));
+    let build = t0.elapsed();
+
+    // Stage 2: pack.
+    std::fs::create_dir_all(&cfg.dir)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", cfg.dir.display())));
+    let accg = cfg.dir.join(format!("ba_{nodes}_d{}.accg", cfg.degree));
+    let t1 = Instant::now();
+    store::write_graph_file(&accg, &graph)
+        .unwrap_or_else(|e| fail(&format!("cannot pack {}: {e}", accg.display())));
+    let pack = t1.elapsed();
+
+    // Stage 3: steady-state reload (checksummed trusted path — what the
+    // runner and repeated sweeps pay after the first pack).
+    drop(graph);
+    let t2 = Instant::now();
+    let loaded = store::read_graph_file_trusted(&accg)
+        .unwrap_or_else(|e| fail(&format!("reload failed: {e}")));
+    let load = t2.elapsed();
+    let edges = loaded.edge_count();
+    println!(
+        "  build {:.1} ms · pack {:.1} ms · reload {:.1} ms · {:.1}x amortization",
+        build.as_secs_f64() * 1e3,
+        pack.as_secs_f64() * 1e3,
+        load.as_secs_f64() * 1e3,
+        build.as_secs_f64() / load.as_secs_f64().max(1e-9),
+    );
+
+    // Stage 4: batched episodes.
+    let instance = tier_instance(loaded, cfg.seed);
+    let mut batch = BatchScratch::new(cfg.lanes);
+    let mut policy = Abm::new(AbmWeights::balanced());
+    let disabled = Recorder::disabled();
+    let seeds: Vec<u64> = {
+        use rand::Rng;
+        let mut seed_rng = StdRng::seed_from_u64(cfg.seed);
+        (0..cfg.episodes).map(|_| seed_rng.gen()).collect()
+    };
+
+    // Warmup: size every lane and the policy's per-instance caches.
+    run_batched_pass(&instance, cfg, &seeds, &mut batch, &mut policy, &disabled);
+
+    // Throughput pass, with the counting allocator armed — warmed lanes
+    // must run allocation-free.
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let (benefit, elapsed) =
+        run_batched_pass(&instance, cfg, &seeds, &mut batch, &mut policy, &disabled);
+    ARMED.store(false, Ordering::SeqCst);
+    let allocs_per_episode = ALLOCS.load(Ordering::SeqCst) as f64 / cfg.episodes as f64;
+    let eps_per_sec = cfg.episodes as f64 / elapsed.as_secs_f64();
+
+    // Instrumented pass for select latency (identical seeds; a live
+    // recorder adds clock reads, so it gets its own pass).
+    let enabled = Recorder::enabled();
+    let (benefit2, _) = run_batched_pass(&instance, cfg, &seeds, &mut batch, &mut policy, &enabled);
+    assert_eq!(
+        benefit.to_bits(),
+        benefit2.to_bits(),
+        "same seeds must reproduce the same total benefit"
+    );
+    let snap = enabled.snapshot("scale_sweep").expect("enabled recorder");
+    let ns_per_select = snap
+        .histogram(sim_metrics::SELECT_NS)
+        .map(|h| h.mean)
+        .unwrap_or(f64::NAN);
+
+    let rss = peak_rss_mib().unwrap_or(f64::NAN);
+    println!(
+        "  {eps_per_sec:.3} eps/s ({} episodes, k = {}, {} lanes) · {ns_per_select:.1} ns/select \
+         · {allocs_per_episode:.3} allocs/episode · peak RSS {rss:.0} MiB",
+        cfg.episodes, cfg.budget, cfg.lanes,
+    );
+
+    TierResult {
+        nodes,
+        edges,
+        build_ms: build.as_secs_f64() * 1e3,
+        pack_ms: pack.as_secs_f64() * 1e3,
+        load_ms: load.as_secs_f64() * 1e3,
+        amortization: build.as_secs_f64() / load.as_secs_f64().max(1e-9),
+        eps_per_sec,
+        ns_per_select,
+        allocs_per_episode,
+        total_benefit: benefit,
+        peak_rss_mib: rss,
+    }
+}
+
+fn tier_json(cfg: &SweepConfig, t: &TierResult, indent: &str) -> String {
+    format!(
+        "{indent}{{\n\
+         {indent}  \"fixture\": \"ba_{}_d{}/abm_balanced\",\n\
+         {indent}  \"nodes\": {},\n\
+         {indent}  \"edges\": {},\n\
+         {indent}  \"budget\": {},\n\
+         {indent}  \"episodes\": {},\n\
+         {indent}  \"lanes\": {},\n\
+         {indent}  \"build_ms\": {:.1},\n\
+         {indent}  \"pack_ms\": {:.1},\n\
+         {indent}  \"load_ms\": {:.1},\n\
+         {indent}  \"amortization\": {:.2},\n\
+         {indent}  \"eps_per_sec\": {:.3},\n\
+         {indent}  \"ns_per_select\": {:.1},\n\
+         {indent}  \"allocs_per_episode\": {:.3},\n\
+         {indent}  \"total_benefit\": {:.1},\n\
+         {indent}  \"peak_rss_mib\": {:.1}\n\
+         {indent}}}",
+        t.nodes,
+        cfg.degree,
+        t.nodes,
+        t.edges,
+        cfg.budget,
+        cfg.episodes,
+        cfg.lanes,
+        t.build_ms,
+        t.pack_ms,
+        t.load_ms,
+        t.amortization,
+        t.eps_per_sec,
+        t.ns_per_select,
+        t.allocs_per_episode,
+        t.total_benefit,
+        t.peak_rss_mib,
+    )
+}
+
+/// Appends one schema-stamped line per tier to the trajectory log next
+/// to `--out`, carrying the host context. Best-effort, like
+/// `bench_engine`: a read-only checkout must not fail the sweep.
+fn append_trajectory(cfg: &SweepConfig, t: &TierResult, status: &str) {
+    let path = Path::new(&cfg.out)
+        .parent()
+        .unwrap_or_else(|| Path::new(""))
+        .join("BENCH_trajectory.jsonl");
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"schema\":{TRAJECTORY_SCHEMA},\"git\":\"{}\",\"date\":\"{}\",\
+         \"bench\":\"scale\",\"fixture\":\"ba_{}_d{}/abm_balanced\",\
+         \"cores\":{},\"workers\":{},\"nodes\":{},\"edges\":{},\
+         \"budget\":{},\"episodes\":{},\"lanes\":{},\
+         \"build_ms\":{:.1},\"pack_ms\":{:.1},\"load_ms\":{:.1},\"amortization\":{:.2},\
+         \"eps_per_sec\":{:.3},\"ns_per_select\":{:.1},\"allocs_per_episode\":{:.3},\
+         \"total_benefit\":{:.1},\"peak_rss_mib\":{:.1},\"status\":\"{status}\"}}\n",
+        git_revision(),
+        utc_date(secs),
+        t.nodes,
+        cfg.degree,
+        host_cores(),
+        cfg.workers,
+        t.nodes,
+        t.edges,
+        cfg.budget,
+        cfg.episodes,
+        cfg.lanes,
+        t.build_ms,
+        t.pack_ms,
+        t.load_ms,
+        t.amortization,
+        t.eps_per_sec,
+        t.ns_per_select,
+        t.allocs_per_episode,
+        t.total_benefit,
+        t.peak_rss_mib,
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    match appended {
+        Ok(()) => println!("  appended {status} entry to {}", path.display()),
+        Err(e) => eprintln!("scale_sweep: cannot append to {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let cfg = parse_flags();
+    println!(
+        "scale sweep: tiers {:?}, BA m = {}, k = {}, {} episodes x {} lanes, {} cores",
+        cfg.nodes,
+        cfg.degree,
+        cfg.budget,
+        cfg.episodes,
+        cfg.lanes,
+        host_cores(),
+    );
+    let mut tiers = Vec::new();
+    let mut alloc_violation = false;
+    for &nodes in &cfg.nodes {
+        let tier = run_tier(&cfg, nodes);
+        let leaked = tier.allocs_per_episode > 0.0;
+        alloc_violation |= leaked;
+        append_trajectory(
+            &cfg,
+            &tier,
+            if leaked && cfg.assert_zero_alloc {
+                "fail"
+            } else {
+                "ok"
+            },
+        );
+        tiers.push(tier);
+    }
+
+    let body: Vec<String> = tiers.iter().map(|t| tier_json(&cfg, t, "    ")).collect();
+    let snapshot = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"cores\": {},\n  \"workers\": {},\n  \
+         \"tiers\": [\n{}\n  ]\n}}\n",
+        host_cores(),
+        cfg.workers,
+        body.join(",\n"),
+    );
+    match std::fs::write(&cfg.out, &snapshot) {
+        Ok(()) => println!("wrote {}", cfg.out),
+        Err(e) => eprintln!("scale_sweep: cannot write {}: {e}", cfg.out),
+    }
+
+    if cfg.assert_zero_alloc && alloc_violation {
+        eprintln!("scale_sweep: FAIL — a steady-state episode allocated (expected 0)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Packs generated graphs into the `.accg` CSR store.
+//!
+//! Generating a 10⁶–10⁷-node graph takes seconds to minutes; loading a
+//! packed one takes milliseconds. This converter generates a graph from
+//! one of the scale-tier families (BA / WS / config-model / R-MAT),
+//! writes it as a versioned, checksummed `.accg` file, and reports the
+//! generate/pack/reload timings so the amortization is visible.
+//!
+//! ```text
+//! graph_pack --family ba     --nodes 1000000 [--degree 8] [--seed 42] --out g.accg
+//! graph_pack --family ws     --nodes 1000000 [--degree 8] [--beta 0.1] --out g.accg
+//! graph_pack --family config --nodes 1000000 [--gamma 2.5] [--min-deg 2] [--max-deg 300] --out g.accg
+//! graph_pack --family rmat   --nodes 1048576 [--edge-factor 8] --out g.accg
+//! graph_pack --info g.accg
+//! ```
+//!
+//! R-MAT node counts are rounded up to the next power of two. `--info`
+//! loads and re-validates an existing file and prints its stats.
+
+use std::process::exit;
+use std::time::Instant;
+
+use osn_graph::generators::{self, RmatParams};
+use osn_graph::{store, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const USAGE: &str = "usage: graph_pack --family <ba|ws|config|rmat> --nodes N \
+                     [--degree M] [--beta B] [--gamma G] [--min-deg D] [--max-deg D] \
+                     [--edge-factor F] [--seed S] --out FILE\n       graph_pack --info FILE";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("graph_pack: {msg}\n{USAGE}");
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    let raw = value.unwrap_or_else(|| fail(&format!("{flag} needs a value")));
+    raw.parse()
+        .unwrap_or_else(|_| fail(&format!("cannot parse {flag} value {raw:?}")))
+}
+
+fn print_stats(g: &Graph) {
+    println!(
+        "  nodes {} · edges {} · max degree {} · avg degree {:.2}",
+        g.node_count(),
+        g.edge_count(),
+        g.max_degree(),
+        g.average_degree()
+    );
+}
+
+fn info(path: &str) {
+    let t0 = Instant::now();
+    let g = store::read_graph_file(path).unwrap_or_else(|e| {
+        eprintln!("graph_pack: cannot load {path}: {e}");
+        exit(1);
+    });
+    let load = t0.elapsed();
+    println!("{path}: valid .accg (v{})", store::STORE_VERSION);
+    print_stats(&g);
+    println!("  loaded+validated in {:.1} ms", load.as_secs_f64() * 1e3);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        fail("no arguments");
+    }
+    let mut family = None::<String>;
+    let mut nodes = None::<usize>;
+    let mut degree = 8usize;
+    let mut beta = 0.1f64;
+    let mut gamma = 2.5f64;
+    let mut min_deg = 2usize;
+    let mut max_deg = 300usize;
+    let mut edge_factor = 8usize;
+    let mut seed = 42u64;
+    let mut out = None::<String>;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--info" => {
+                info(&parse::<String>("--info", it.next()));
+                return;
+            }
+            "--family" => family = Some(parse("--family", it.next())),
+            "--nodes" => nodes = Some(parse("--nodes", it.next())),
+            "--degree" => degree = parse("--degree", it.next()),
+            "--beta" => beta = parse("--beta", it.next()),
+            "--gamma" => gamma = parse("--gamma", it.next()),
+            "--min-deg" => min_deg = parse("--min-deg", it.next()),
+            "--max-deg" => max_deg = parse("--max-deg", it.next()),
+            "--edge-factor" => edge_factor = parse("--edge-factor", it.next()),
+            "--seed" => seed = parse("--seed", it.next()),
+            "--out" => out = Some(parse("--out", it.next())),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let family = family.unwrap_or_else(|| fail("--family is required"));
+    let n = nodes.unwrap_or_else(|| fail("--nodes is required"));
+    let out = out.unwrap_or_else(|| fail("--out is required"));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t0 = Instant::now();
+    let built = match family.as_str() {
+        "ba" => generators::barabasi_albert(n, degree, &mut rng),
+        "ws" => generators::watts_strogatz(n, degree, beta, &mut rng),
+        "config" => generators::powerlaw_configuration(n, gamma, min_deg, max_deg, &mut rng),
+        "rmat" => {
+            let scale = (n.max(2) as u64).next_power_of_two().trailing_zeros();
+            generators::rmat(scale, edge_factor, RmatParams::classic(), &mut rng)
+        }
+        other => fail(&format!("unknown family {other:?}")),
+    };
+    let g = built.unwrap_or_else(|e| {
+        eprintln!("graph_pack: generation failed: {e}");
+        exit(1);
+    });
+    let gen_t = t0.elapsed();
+
+    let t1 = Instant::now();
+    if let Err(e) = store::write_graph_file(&out, &g) {
+        eprintln!("graph_pack: cannot write {out}: {e}");
+        exit(1);
+    }
+    let pack_t = t1.elapsed();
+
+    // Steady-state reload path (checksum + bounds checks, as used by
+    // the scale benchmarks), timed; then the fully-validated loader,
+    // timed; then an untimed equality check against the generated
+    // graph, which proves both loads end-to-end.
+    let t2 = Instant::now();
+    let back = store::read_graph_file_trusted(&out).unwrap_or_else(|e| {
+        eprintln!("graph_pack: reload failed: {e}");
+        exit(1);
+    });
+    let load_t = t2.elapsed();
+    let t3 = Instant::now();
+    let verified = store::read_graph_file(&out).unwrap_or_else(|e| {
+        eprintln!("graph_pack: reload verification failed: {e}");
+        exit(1);
+    });
+    let verify_t = t3.elapsed();
+    if back != g || verified != g {
+        eprintln!("graph_pack: reload does not match the generated graph");
+        exit(1);
+    }
+
+    println!("packed {family} graph to {out}");
+    print_stats(&g);
+    println!(
+        "  generate {:.1} ms · pack {:.1} ms · reload {:.1} ms ({:.1}x reload speedup) · verified reload {:.1} ms",
+        gen_t.as_secs_f64() * 1e3,
+        pack_t.as_secs_f64() * 1e3,
+        load_t.as_secs_f64() * 1e3,
+        gen_t.as_secs_f64() / load_t.as_secs_f64().max(1e-9),
+        verify_t.as_secs_f64() * 1e3,
+    );
+}

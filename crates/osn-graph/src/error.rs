@@ -46,6 +46,15 @@ pub enum GraphError {
         /// The node-count limit that was exceeded.
         limit: usize,
     },
+    /// A generator was asked for more edges than the dense `u32`
+    /// [`EdgeId`](crate::EdgeId) space can address. Without this check,
+    /// id narrowing past the limit would silently truncate.
+    TooManyEdges {
+        /// The requested edge count.
+        requested: u128,
+        /// The edge-count limit that was exceeded.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -65,6 +74,12 @@ impl fmt::Display for GraphError {
             }
             GraphError::TooManyNodes { limit } => {
                 write!(f, "graph exceeds the {limit}-node limit")
+            }
+            GraphError::TooManyEdges { requested, limit } => {
+                write!(
+                    f,
+                    "requested {requested} edges, exceeding the {limit}-edge limit"
+                )
             }
         }
     }

@@ -49,19 +49,25 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
             requirement: "must be at least m + 1",
         });
     }
-    let mut b = GraphBuilder::with_edge_capacity(n, m * (m + 1) / 2 + (n - m - 1) * m);
+    let n32 = super::check_node_count(n)?;
+    let target = super::check_edge_count(
+        (m as u128) * (m as u128 + 1) / 2 + (n as u128 - m as u128 - 1) * m as u128,
+    )?;
+    // Exact narrowing: m < n ≤ u32::MAX, checked above.
+    let m32 = m as u32;
+    let mut b = GraphBuilder::with_edge_capacity(n, target);
     // `endpoints` holds every edge endpoint once; drawing a uniform
     // element is exactly degree-proportional sampling.
-    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * (m * (m + 1) / 2 + (n - m - 1) * m));
-    for i in 0..=(m as u32) {
-        for j in (i + 1)..=(m as u32) {
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * target);
+    for i in 0..=m32 {
+        for j in (i + 1)..=m32 {
             b.add_edge(NodeId::new(i), NodeId::new(j))?;
             endpoints.push(i);
             endpoints.push(j);
         }
     }
     let mut chosen: Vec<u32> = Vec::with_capacity(m);
-    for v in (m as u32 + 1)..n as u32 {
+    for v in (m32 + 1)..n32 {
         chosen.clear();
         // Draw m distinct targets by rejection; duplicates are rare
         // because m << current node count in all realistic settings.
@@ -125,6 +131,15 @@ mod tests {
         let g1 = barabasi_albert(100, 2, &mut StdRng::seed_from_u64(42)).unwrap();
         let g2 = barabasi_albert(100, 2, &mut StdRng::seed_from_u64(42)).unwrap();
         assert_eq!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn huge_edge_requests_fail_with_typed_error() {
+        // ~5·10¹² edges: far over the u32 edge-id space. Must fail
+        // before any generation work, not truncate ids.
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = barabasi_albert(500_000_000, 10_000, &mut rng).unwrap_err();
+        assert!(matches!(err, GraphError::TooManyEdges { .. }), "{err}");
     }
 
     #[test]

@@ -118,8 +118,12 @@ fn configuration_from_degrees<R: Rng + ?Sized>(
     degs: &[usize],
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
+    super::check_node_count(degs.len())?;
+    let stub_count: u128 = degs.iter().map(|&d| d as u128).sum();
+    super::check_edge_count(stub_count / 2)?;
     let mut stubs: Vec<u32> = Vec::with_capacity(degs.iter().sum());
     for (v, &d) in degs.iter().enumerate() {
+        // Exact narrowing: v < degs.len() ≤ u32::MAX, checked above.
         for _ in 0..d {
             stubs.push(v as u32);
         }

@@ -18,6 +18,30 @@ mod er;
 mod rmat;
 mod ws;
 
+use crate::GraphError;
+
+/// Guards a requested node count against the dense `u32` id space,
+/// returning the count as `u32` so callers narrow through a checked
+/// value instead of a silent `as` cast.
+pub(crate) fn check_node_count(n: usize) -> Result<u32, GraphError> {
+    u32::try_from(n).map_err(|_| GraphError::TooManyNodes {
+        limit: u32::MAX as usize,
+    })
+}
+
+/// Guards a requested edge count against the dense `u32`
+/// [`EdgeId`](crate::EdgeId) space: ≥4-billion-edge requests fail with
+/// a typed error instead of truncating during id assignment.
+pub(crate) fn check_edge_count(m: u128) -> Result<usize, GraphError> {
+    if m > u32::MAX as u128 {
+        return Err(GraphError::TooManyEdges {
+            requested: m,
+            limit: u32::MAX as usize,
+        });
+    }
+    Ok(m as usize)
+}
+
 pub use agm::{community_affiliation, AgmParams};
 pub use ba::barabasi_albert;
 pub use community::{planted_partition, PlantedPartition};

@@ -104,7 +104,7 @@ pub fn rmat<R: Rng + ?Sized>(
         });
     }
     let n = 1usize << scale;
-    let target = edge_factor * n;
+    let target = super::check_edge_count((edge_factor as u128) * (n as u128))?;
     let mut builder = GraphBuilder::with_edge_capacity(n, target);
     let ab = params.a + params.b;
     let a_frac = params.a / ab;
@@ -182,6 +182,14 @@ mod tests {
             skewed.max_degree(),
             uniform.max_degree()
         );
+    }
+
+    #[test]
+    fn huge_edge_requests_fail_with_typed_error() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // 2³⁰ nodes × 5000 ≈ 5.4·10¹² edges: over the u32 id space.
+        let err = rmat(30, 5_000, RmatParams::classic(), &mut rng).unwrap_err();
+        assert!(matches!(err, GraphError::TooManyEdges { .. }), "{err}");
     }
 
     #[test]

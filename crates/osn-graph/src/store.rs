@@ -1,0 +1,1031 @@
+//! Versioned, checksummed on-disk CSR graph store (`.accg`).
+//!
+//! Serializes a [`Graph`]'s CSR arrays verbatim so that multi-million-
+//! node generated graphs can be packed once and reloaded in milliseconds
+//! instead of regenerated per run. Layout (all integers little-endian):
+//!
+//! | bytes  | field                                                     |
+//! |--------|-----------------------------------------------------------|
+//! | 0..8   | magic `"ACCGRPH\0"`                                       |
+//! | 8..12  | format version (`u32`, currently 1)                       |
+//! | 12..16 | reserved (must be 0)                                      |
+//! | 16..24 | node count `n` (`u64`)                                    |
+//! | 24..32 | edge count `m` (`u64`)                                    |
+//! | 32..40 | payload checksum (`u64`)                                  |
+//! | 40..   | offsets `(n+1)×u64` · targets `2m×u32` · edge ids `2m×u32`|
+//!
+//! The canonical edge list is *not* stored: [`load_graph_bytes`]
+//! re-derives it while validating the adjacency, proving every CSR
+//! invariant the crate's kernels rely on — monotone offsets, strictly
+//! sorted rows, no self-loops, symmetric entries, and edge ids in
+//! canonical `(lo, hi)` order. A file that decodes successfully is
+//! therefore indistinguishable from the same graph built through
+//! [`GraphBuilder`](crate::GraphBuilder).
+//!
+//! The checksum is a four-lane interleaved splitmix64 fold of the
+//! payload seeded with the counts, so corruption detection runs near
+//! memory bandwidth instead of being serialized on the mixer's latency
+//! chain. The loader is byte-slice backed; the crate forbids `unsafe`,
+//! so arrays are decoded, never reinterpreted in place — each array in
+//! a tight branch-free pass followed by separate validation scans.
+//! [`load_graph_bytes_trusted`] skips only the structural
+//! cross-consistency scan (checksum and bounds checks always run) for
+//! the steady-state reload of files the caller packed itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use osn_graph::{store, GraphBuilder};
+//!
+//! let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)])?;
+//! let bytes = store::pack_graph(&g);
+//! let back = store::load_graph_bytes(&bytes)?;
+//! assert_eq!(g, back);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::{Edge, EdgeId, Graph, NodeId};
+
+/// The 8-byte magic prefix of every `.accg` file.
+pub const STORE_MAGIC: [u8; 8] = *b"ACCGRPH\0";
+
+/// The current (and only) supported format version.
+pub const STORE_VERSION: u32 = 1;
+
+/// Conventional file extension for packed graphs.
+pub const STORE_EXTENSION: &str = "accg";
+
+const HEADER_LEN: usize = 40;
+/// Node and edge counts are capped at the dense `u32` id space.
+const ID_LIMIT: u64 = u32::MAX as u64;
+
+/// Errors produced while packing or loading `.accg` graph stores.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying file-system failure.
+    Io(io::Error),
+    /// The input does not start with [`STORE_MAGIC`].
+    BadMagic,
+    /// The input declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+    /// The input is shorter than its header-declared size.
+    Truncated {
+        /// Bytes the header implies.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// The payload violates a CSR invariant (details in `what`).
+    Corrupt {
+        /// Human-readable description of the violated invariant.
+        what: &'static str,
+    },
+    /// A declared count exceeds the dense `u32` id space.
+    TooLarge {
+        /// Which count, e.g. `"node count"`.
+        what: &'static str,
+        /// The declared value.
+        value: u64,
+        /// The maximum representable value.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not an .accg graph store (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "format version {found} unsupported (max {supported})")
+            }
+            StoreError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated store: {actual} bytes, header implies {expected}"
+                )
+            }
+            StoreError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: header {stored:#018x}, payload {computed:#018x}"
+                )
+            }
+            StoreError::Corrupt { what } => write!(f, "corrupt store: {what}"),
+            StoreError::TooLarge { what, value, limit } => {
+                write!(f, "{what} {value} exceeds the {limit} id-space limit")
+            }
+        }
+    }
+}
+
+impl StdError for StoreError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// splitmix64 finalizer — the word mixer of the payload checksum.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Word-wise checksum over the payload, seeded with the header counts
+/// so count/payload mismatches cannot cancel. Four interleaved lanes
+/// hide the mixer's latency chain (a single serial fold runs ~4× slower
+/// than memory bandwidth); every word still lands in exactly one lane
+/// position, so any bit flip changes the digest. The trailing partial
+/// word (if any) is zero-padded — unambiguous because the payload
+/// length is itself determined by the mixed-in counts.
+fn payload_checksum(payload: &[u8], node_count: u64, edge_count: u64) -> u64 {
+    let mut lanes = ChecksumLanes::new(node_count, edge_count);
+    lanes.update(payload);
+    lanes.finish()
+}
+
+/// Incremental state of the payload checksum, so the streaming file
+/// loader can fold each buffer as it arrives. Feeding the payload in
+/// any chunking whose non-final pieces are multiples of 32 bytes yields
+/// the same digest as [`payload_checksum`] over the whole slice.
+struct ChecksumLanes {
+    lanes: [u64; 4],
+    /// Sub-block remainder; only the final `update` may leave one.
+    tail: [u8; 32],
+    tail_len: usize,
+}
+
+impl ChecksumLanes {
+    fn new(node_count: u64, edge_count: u64) -> Self {
+        let seed = mix64(node_count ^ mix64(edge_count ^ u64::from_le_bytes(STORE_MAGIC)));
+        ChecksumLanes {
+            lanes: [
+                seed,
+                seed.rotate_left(16),
+                seed.rotate_left(32),
+                seed.rotate_left(48),
+            ],
+            tail: [0u8; 32],
+            tail_len: 0,
+        }
+    }
+
+    fn update(&mut self, chunk: &[u8]) {
+        debug_assert_eq!(self.tail_len, 0, "only the final chunk may be partial");
+        let mut blocks = chunk.chunks_exact(32);
+        for b in &mut blocks {
+            for (k, lane) in self.lanes.iter_mut().enumerate() {
+                let word = u64::from_le_bytes(b[k * 8..k * 8 + 8].try_into().expect("8 bytes"));
+                *lane = mix64(*lane ^ word);
+            }
+        }
+        let rem = blocks.remainder();
+        self.tail[..rem.len()].copy_from_slice(rem);
+        self.tail_len = rem.len();
+    }
+
+    fn finish(self) -> u64 {
+        let [l0, l1, l2, l3] = self.lanes;
+        let mut h = mix64(l0 ^ mix64(l1 ^ mix64(l2 ^ l3)));
+        let rem = &self.tail[..self.tail_len];
+        let mut words = rem.chunks_exact(8);
+        for c in &mut words {
+            h = mix64(h ^ u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")));
+        }
+        let part = words.remainder();
+        if !part.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..part.len()].copy_from_slice(part);
+            h = mix64(h ^ u64::from_le_bytes(buf));
+        }
+        h
+    }
+}
+
+/// Serializes `graph` into the `.accg` byte format.
+///
+/// Infallible: every [`Graph`] is representable (dense ids already fit
+/// `u32` by construction).
+pub fn pack_graph(graph: &Graph) -> Vec<u8> {
+    let (offsets, targets, target_edges, _) = graph.csr_parts();
+    let n = graph.node_count() as u64;
+    let m = graph.edge_count() as u64;
+    let payload_len = offsets.len() * 8 + targets.len() * 4 + target_edges.len() * 4;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload_len);
+    out.extend_from_slice(&STORE_MAGIC);
+    out.extend_from_slice(&STORE_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&n.to_le_bytes());
+    out.extend_from_slice(&m.to_le_bytes());
+    out.extend_from_slice(&[0u8; 8]); // checksum backpatched below
+    for &o in offsets {
+        out.extend_from_slice(&(o as u64).to_le_bytes());
+    }
+    for &t in targets {
+        out.extend_from_slice(&t.as_u32().to_le_bytes());
+    }
+    for &e in target_edges {
+        out.extend_from_slice(&(e.index() as u32).to_le_bytes());
+    }
+    let sum = payload_checksum(&out[HEADER_LEN..], n, m);
+    out[32..40].copy_from_slice(&sum.to_le_bytes());
+    out
+}
+
+#[inline]
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+#[inline]
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Decodes and fully validates an `.accg` byte slice into a [`Graph`].
+///
+/// After the header, checksum and range checks, two passes over the
+/// adjacency re-derive the canonical edge list while proving every CSR
+/// invariant: iterating rows in node order with strictly ascending
+/// targets visits each edge's `(lo, hi)` occurrence in canonical order
+/// — those entries must carry sequential edge ids (pass 1) — and each
+/// `(hi, lo)` mirror must point back at an identical derived edge
+/// (pass 2; row ordering and self-loop checks live there too, and fan
+/// out across threads on large graphs). Any violation yields a typed
+/// [`StoreError`]; arbitrary bytes can never panic or produce a graph
+/// that differs from a [`GraphBuilder`](crate::GraphBuilder) build.
+///
+/// # Errors
+///
+/// Returns the [`StoreError`] variant describing the first defect found.
+pub fn load_graph_bytes(bytes: &[u8]) -> Result<Graph, StoreError> {
+    load_graph_impl(bytes, true)
+}
+
+/// Decodes an `.accg` byte slice, skipping the structural
+/// cross-consistency scan (pass 2 of [`load_graph_bytes`]).
+///
+/// The checksum and every bounds check still run, so accidental
+/// corruption is caught and the result can never panic or index out of
+/// bounds — but a *crafted* file that passes the checksum could yield a
+/// graph whose adjacency is unsorted, asymmetric, or disagrees with its
+/// edge ids. Use this for files you packed yourself (the steady-state
+/// reload path of benchmarks and experiment runners); use
+/// [`load_graph_bytes`] for untrusted input.
+///
+/// # Errors
+///
+/// Returns the [`StoreError`] variant describing the first defect found.
+pub fn load_graph_bytes_trusted(bytes: &[u8]) -> Result<Graph, StoreError> {
+    load_graph_impl(bytes, false)
+}
+
+/// Header checks shared by the slice and streaming loaders: magic,
+/// version, reserved word, count limits, and the exact total length the
+/// header implies versus `total_len`. Returns `(n, m, stored checksum)`.
+fn parse_header(header: &[u8; HEADER_LEN], total_len: u64) -> Result<(u64, u64, u64), StoreError> {
+    if header[..8] != STORE_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = read_u32(header, 8);
+    if version != STORE_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: STORE_VERSION,
+        });
+    }
+    if read_u32(header, 12) != 0 {
+        return Err(StoreError::Corrupt {
+            what: "reserved header field is not zero",
+        });
+    }
+    let n64 = read_u64(header, 16);
+    let m64 = read_u64(header, 24);
+    let stored = read_u64(header, 32);
+    if n64 > ID_LIMIT {
+        return Err(StoreError::TooLarge {
+            what: "node count",
+            value: n64,
+            limit: ID_LIMIT,
+        });
+    }
+    if m64 > ID_LIMIT {
+        return Err(StoreError::TooLarge {
+            what: "edge count",
+            value: m64,
+            limit: ID_LIMIT,
+        });
+    }
+    // No overflow: n, m ≤ 2³² − 1, so the sum stays far below 2⁶⁴.
+    let expected = HEADER_LEN as u64 + (n64 + 1) * 8 + m64 * 16;
+    if total_len < expected {
+        return Err(StoreError::Truncated {
+            expected,
+            actual: total_len,
+        });
+    }
+    if total_len > expected {
+        return Err(StoreError::Corrupt {
+            what: "trailing bytes after payload",
+        });
+    }
+    Ok((n64, m64, stored))
+}
+
+fn load_graph_impl(bytes: &[u8], verify: bool) -> Result<Graph, StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            expected: HEADER_LEN as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("header length");
+    let (n64, m64, stored) = parse_header(header, bytes.len() as u64)?;
+    let payload = &bytes[HEADER_LEN..];
+    let n = n64 as usize;
+    let m = m64 as usize;
+    let half_edges = 2 * m;
+    let targets_at = (n + 1) * 8;
+    let edge_ids_at = targets_at + half_edges * 4;
+
+    // Bulk-decode each array in a tight exact-size pass, then validate
+    // with separate slice scans. Keeping error branches out of the
+    // decode loops lets them run at memory bandwidth; the range checks
+    // become vectorizable max-reductions. The checksum and the two u32
+    // arrays are mutually independent, so they run on scoped threads —
+    // the loader's critical path is the widest single array, not the
+    // sum of all four passes.
+    let (computed, raw_targets, max_target, raw_edge_ids, max_edge_id, offsets64) =
+        std::thread::scope(|s| {
+            let checksum = s.spawn(|| payload_checksum(payload, n64, m64));
+            let targets = s.spawn(|| decode_u32_array(&payload[targets_at..edge_ids_at]));
+            let edge_ids = s.spawn(|| decode_u32_array(&payload[edge_ids_at..]));
+            // Offsets are decoded as `u64` on this thread so their
+            // checks run pre-truncation even where `usize` is narrower.
+            let offsets64: Vec<u64> = payload[..targets_at]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+                .collect();
+            let (raw_targets, max_target) = targets.join().expect("decode thread");
+            let (raw_edge_ids, max_edge_id) = edge_ids.join().expect("decode thread");
+            let computed = checksum.join().expect("checksum thread");
+            (
+                computed,
+                raw_targets,
+                max_target,
+                raw_edge_ids,
+                max_edge_id,
+                offsets64,
+            )
+        });
+    assemble_graph(
+        verify,
+        n64,
+        m64,
+        stored,
+        computed,
+        offsets64,
+        raw_targets,
+        max_target,
+        raw_edge_ids,
+        max_edge_id,
+    )
+}
+
+/// Validation-and-assembly tail shared by the slice and streaming
+/// loaders: checksum comparison, offset/bounds checks, the lossless
+/// narrowings, pass 1 (edge derivation) and — when `verify` — pass 2.
+#[allow(clippy::too_many_arguments)]
+fn assemble_graph(
+    verify: bool,
+    n64: u64,
+    m64: u64,
+    stored: u64,
+    computed: u64,
+    offsets64: Vec<u64>,
+    raw_targets: Vec<u32>,
+    max_target: u32,
+    raw_edge_ids: Vec<u32>,
+    max_edge_id: u32,
+) -> Result<Graph, StoreError> {
+    let n = n64 as usize;
+    let m = m64 as usize;
+    let half_edges = 2 * m;
+    if computed != stored {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    if offsets64[0] != 0 {
+        return Err(StoreError::Corrupt {
+            what: "first CSR offset is not zero",
+        });
+    }
+    if offsets64[n] != half_edges as u64 {
+        return Err(StoreError::Corrupt {
+            what: "final CSR offset does not equal 2·edge_count",
+        });
+    }
+    if offsets64.windows(2).any(|w| w[0] > w[1]) {
+        return Err(StoreError::Corrupt {
+            what: "CSR offsets decrease",
+        });
+    }
+    if !raw_targets.is_empty() && u64::from(max_target) >= n64 {
+        return Err(StoreError::Corrupt {
+            what: "neighbor id out of range",
+        });
+    }
+    if !raw_edge_ids.is_empty() && u64::from(max_edge_id) >= m64 {
+        return Err(StoreError::Corrupt {
+            what: "edge id out of range",
+        });
+    }
+    // Lossless narrowings: monotone offsets pinned at 0 and 2m bound
+    // every entry, and the id wrappers share the u32 representation (the
+    // in-place collects cost nothing).
+    let offsets: Vec<usize> = offsets64.into_iter().map(|v| v as usize).collect();
+    let targets: Vec<NodeId> = raw_targets.into_iter().map(NodeId::new).collect();
+    let target_edges: Vec<EdgeId> = raw_edge_ids.into_iter().map(EdgeId::new).collect();
+
+    // Pass 1 — canonical edge derivation (see the item docs): entries
+    // with `w > v`, visited in row order, must carry sequential edge
+    // ids. Runs sequentially because each push depends on the running
+    // edge count.
+    let mut edges: Vec<Edge> = Vec::with_capacity(m);
+    if verify {
+        for (v, pair) in offsets.windows(2).enumerate() {
+            let vid = NodeId::from(v);
+            let vu = vid.as_u32();
+            let row_targets = &targets[pair[0]..pair[1]];
+            let row_edges = &target_edges[pair[0]..pair[1]];
+            for (&w, &id) in row_targets.iter().zip(row_edges) {
+                if w.as_u32() > vu {
+                    if id.index() != edges.len() {
+                        return Err(StoreError::Corrupt {
+                            what: "edge ids out of canonical order",
+                        });
+                    }
+                    edges.push(Edge::new(vid, w));
+                }
+            }
+        }
+    } else {
+        // Trusted fast path: in any well-formed file rows are sorted,
+        // so the canonical entries form each row's suffix — binary
+        // search for it and skip the mirror prefix entirely. A crafted
+        // unsorted file lands a non-canonical entry in the suffix,
+        // which the `w > v` guard converts into a typed error, so even
+        // here nothing can panic or go out of bounds.
+        for (v, pair) in offsets.windows(2).enumerate() {
+            let vid = NodeId::from(v);
+            let vu = vid.as_u32();
+            let row_targets = &targets[pair[0]..pair[1]];
+            let row_edges = &target_edges[pair[0]..pair[1]];
+            let first = row_targets.partition_point(|w| w.as_u32() <= vu);
+            for (&w, &id) in row_targets[first..].iter().zip(&row_edges[first..]) {
+                if w.as_u32() <= vu || id.index() != edges.len() {
+                    return Err(StoreError::Corrupt {
+                        what: "edge ids out of canonical order",
+                    });
+                }
+                edges.push(Edge::new(vid, w));
+            }
+        }
+    }
+    if edges.len() != m {
+        return Err(StoreError::Corrupt {
+            what: "edge count disagrees with adjacency",
+        });
+    }
+
+    // Pass 2 — row validation (strict ordering, self-loops, mirror
+    // agreement) reads the finished edge list, so it fans out over
+    // near-equal-entry row chunks. A corrupt row fails in whichever
+    // chunk holds it; any failure rejects the file. The trusted path
+    // skips this pass: the checksum already catches accidental
+    // corruption, and every access above is bounds-checked.
+    if verify {
+        let workers = if half_edges >= PARALLEL_VALIDATE_MIN {
+            std::thread::available_parallelism().map_or(1, |p| p.get().min(8))
+        } else {
+            1
+        };
+        let chunks = balanced_row_chunks(&offsets, workers);
+        if let [rows] = chunks.as_slice() {
+            validate_rows(&offsets, &targets, &target_edges, &edges, rows.clone())?;
+        } else {
+            let results = std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|rows| {
+                        let rows = rows.clone();
+                        s.spawn(|| validate_rows(&offsets, &targets, &target_edges, &edges, rows))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("validate thread"))
+                    .collect::<Vec<_>>()
+            });
+            for r in results {
+                r?;
+            }
+        }
+    }
+    Ok(Graph::from_raw_csr(offsets, targets, target_edges, edges))
+}
+
+/// Adjacency-entry count below which pass-2 validation stays on the
+/// calling thread (thread spawns would outweigh the scan).
+const PARALLEL_VALIDATE_MIN: usize = 1 << 20;
+
+/// Decodes a little-endian `u32` array in one branch-free pass,
+/// returning the values and their maximum (0 when empty). The slice
+/// length must be a multiple of four. Eight-wide blocks with per-slot
+/// max accumulators let the whole pass — decode and reduction — run at
+/// memory bandwidth instead of re-reading the array for the max.
+fn decode_u32_array(bytes: &[u8]) -> (Vec<u32>, u32) {
+    let mut vals: Vec<u32> = Vec::with_capacity(bytes.len() / 4);
+    let max = decode_u32_append(bytes, &mut vals);
+    (vals, max)
+}
+
+/// Appends the little-endian `u32`s in `bytes` to `out`, returning the
+/// maximum appended value (0 when empty).
+fn decode_u32_append(bytes: &[u8], out: &mut Vec<u32>) -> u32 {
+    let mut maxes = [0u32; 8];
+    let mut blocks = bytes.chunks_exact(32);
+    for b in &mut blocks {
+        let mut w = [0u32; 8];
+        for (k, slot) in w.iter_mut().enumerate() {
+            *slot = u32::from_le_bytes(b[k * 4..k * 4 + 4].try_into().expect("4 bytes"));
+            maxes[k] = maxes[k].max(*slot);
+        }
+        out.extend_from_slice(&w);
+    }
+    let mut max = maxes.iter().copied().fold(0, u32::max);
+    for c in blocks.remainder().chunks_exact(4) {
+        let v = u32::from_le_bytes(c.try_into().expect("chunk is 4 bytes"));
+        max = max.max(v);
+        out.push(v);
+    }
+    max
+}
+
+/// Splits rows `0..n` into at most `pieces` contiguous ranges holding
+/// roughly equal numbers of adjacency entries (degree-balanced, so one
+/// hub-heavy range cannot straggle).
+fn balanced_row_chunks(offsets: &[usize], pieces: usize) -> Vec<std::ops::Range<usize>> {
+    let n = offsets.len() - 1;
+    let total = offsets[n];
+    let mut chunks = Vec::with_capacity(pieces);
+    let mut start = 0usize;
+    for k in 1..=pieces {
+        let end = if k == pieces {
+            n
+        } else {
+            let goal = (total as u128 * k as u128 / pieces as u128) as usize;
+            offsets.partition_point(|&o| o < goal).min(n).max(start)
+        };
+        if end > start || (k == pieces && chunks.is_empty()) {
+            chunks.push(start..end);
+            start = end;
+        }
+    }
+    chunks
+}
+
+/// Pass-2 row validation: strict target ordering, no self-loops, and
+/// every mirror entry (`w < v`) agreeing with its derived edge. Safe to
+/// run concurrently over disjoint row ranges — all inputs are shared
+/// read-only slices.
+fn validate_rows(
+    offsets: &[usize],
+    targets: &[NodeId],
+    target_edges: &[EdgeId],
+    edges: &[Edge],
+    rows: std::ops::Range<usize>,
+) -> Result<(), StoreError> {
+    for v in rows {
+        let vid = NodeId::from(v);
+        let vu = vid.as_u32();
+        let row_targets = &targets[offsets[v]..offsets[v + 1]];
+        let row_edges = &target_edges[offsets[v]..offsets[v + 1]];
+        // `prev_plus1` encodes the strict-order check without an Option
+        // (targets are < n ≤ u32::MAX, so the +1 cannot overflow).
+        let mut prev_plus1 = 0u32;
+        for (&w, &id) in row_targets.iter().zip(row_edges) {
+            let wu = w.as_u32();
+            if wu < prev_plus1 {
+                return Err(StoreError::Corrupt {
+                    what: "adjacency row not strictly sorted",
+                });
+            }
+            prev_plus1 = wu + 1;
+            if wu == vu {
+                return Err(StoreError::Corrupt {
+                    what: "self-loop in adjacency",
+                });
+            }
+            if wu < vu {
+                // Mirror entry: the canonical (lo, hi) occurrence lives
+                // in row `w` (< v) and was derived in pass 1.
+                match edges.get(id.index()) {
+                    Some(e) if *e == Edge::new(w, vid) => {}
+                    _ => {
+                        return Err(StoreError::Corrupt {
+                            what: "mirror adjacency entry disagrees with its edge id",
+                        })
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Packs `graph` and writes it to `path` (conventionally `*.accg`).
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on file-system failures.
+pub fn write_graph_file(path: impl AsRef<Path>, graph: &Graph) -> Result<(), StoreError> {
+    std::fs::write(path, pack_graph(graph))?;
+    Ok(())
+}
+
+/// Reads and fully validates a packed graph from `path`.
+///
+/// Streams the file through a fixed cache-sized buffer, folding the
+/// checksum and decoding the arrays per chunk, so the whole file is
+/// never materialized in memory — on bandwidth-bound machines this is
+/// markedly faster than read-then-decode.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on file-system failures and the other
+/// [`StoreError`] variants on malformed content.
+pub fn read_graph_file(path: impl AsRef<Path>) -> Result<Graph, StoreError> {
+    read_graph_impl(path.as_ref(), true)
+}
+
+/// Reads a packed graph from `path` via the trusted fast path
+/// ([`load_graph_bytes_trusted`]): checksum and bounds checks only, no
+/// structural cross-consistency scan. Streams like [`read_graph_file`].
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on file-system failures and the other
+/// [`StoreError`] variants on malformed content.
+pub fn read_graph_file_trusted(path: impl AsRef<Path>) -> Result<Graph, StoreError> {
+    read_graph_impl(path.as_ref(), false)
+}
+
+/// Streaming buffer length: multiple of 32 (checksum block) and of 8
+/// (entry alignment), small enough to stay cache-resident so decode
+/// reads come from cache rather than DRAM.
+const STREAM_BUF_LEN: usize = 1 << 22;
+
+fn read_graph_impl(path: &Path, verify: bool) -> Result<Graph, StoreError> {
+    use std::io::Read;
+
+    let mut file = std::fs::File::open(path)?;
+    let total_len = file.metadata()?.len();
+    if total_len < HEADER_LEN as u64 {
+        return Err(StoreError::Truncated {
+            expected: HEADER_LEN as u64,
+            actual: total_len,
+        });
+    }
+    let mut header = [0u8; HEADER_LEN];
+    file.read_exact(&mut header)?;
+    let (n64, m64, stored) = parse_header(&header, total_len)?;
+    let n = n64 as usize;
+    let m = m64 as usize;
+    let half_edges = 2 * m;
+    let targets_at = (n + 1) * 8;
+    let edge_ids_at = targets_at + half_edges * 4;
+    let payload_len = edge_ids_at + half_edges * 4;
+
+    // Every section boundary is a multiple of 8 ((n+1)·8 and 8m), and
+    // every non-final chunk is a multiple of the buffer length, so the
+    // per-section subranges below always land on entry boundaries.
+    let mut lanes = ChecksumLanes::new(n64, m64);
+    let mut offsets64: Vec<u64> = Vec::with_capacity(n + 1);
+    let mut raw_targets: Vec<u32> = Vec::with_capacity(half_edges);
+    let mut raw_edge_ids: Vec<u32> = Vec::with_capacity(half_edges);
+    let mut max_target = 0u32;
+    let mut max_edge_id = 0u32;
+    let mut buf = vec![0u8; STREAM_BUF_LEN.min(payload_len.max(8))];
+    let mut pos = 0usize;
+    while pos < payload_len {
+        let want = buf.len().min(payload_len - pos);
+        let chunk = &mut buf[..want];
+        file.read_exact(chunk)?;
+        lanes.update(chunk);
+        let mut s = 0usize;
+        while s < chunk.len() {
+            let at = pos + s;
+            if at < targets_at {
+                let take = (targets_at - at).min(chunk.len() - s);
+                for c in chunk[s..s + take].chunks_exact(8) {
+                    offsets64.push(u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")));
+                }
+                s += take;
+            } else if at < edge_ids_at {
+                let take = (edge_ids_at - at).min(chunk.len() - s);
+                max_target =
+                    max_target.max(decode_u32_append(&chunk[s..s + take], &mut raw_targets));
+                s += take;
+            } else {
+                let take = chunk.len() - s;
+                max_edge_id =
+                    max_edge_id.max(decode_u32_append(&chunk[s..s + take], &mut raw_edge_ids));
+                s += take;
+            }
+        }
+        pos += want;
+    }
+    let computed = lanes.finish();
+    assemble_graph(
+        verify,
+        n64,
+        m64,
+        stored,
+        computed,
+        offsets64,
+        raw_targets,
+        max_target,
+        raw_edge_ids,
+        max_edge_id,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_graph() -> Graph {
+        generators::barabasi_albert(200, 4, &mut StdRng::seed_from_u64(7)).unwrap()
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        for g in [
+            sample_graph(),
+            GraphBuilder::new(0).build(),
+            GraphBuilder::new(5).build(),
+            GraphBuilder::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3), (0, 3)]).unwrap(),
+        ] {
+            let bytes = pack_graph(&g);
+            let back = load_graph_bytes(&bytes).unwrap();
+            assert_eq!(g, back);
+            // Packing the reloaded graph reproduces the exact bytes.
+            assert_eq!(bytes, pack_graph(&back));
+        }
+    }
+
+    #[test]
+    fn trusted_path_round_trips_and_still_checksums() {
+        let g = sample_graph();
+        let bytes = pack_graph(&g);
+        assert_eq!(load_graph_bytes_trusted(&bytes).unwrap(), g);
+        // Bit flips are still rejected — the trusted path keeps the
+        // checksum and bounds checks, skipping only pass 2.
+        let mut flipped = bytes.clone();
+        flipped[HEADER_LEN + 5] ^= 0x10;
+        assert!(matches!(
+            load_graph_bytes_trusted(&flipped),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        let err = load_graph_bytes_trusted(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err, StoreError::Truncated { .. }));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join(format!("accg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.accg");
+        write_graph_file(&path, &g).unwrap();
+        let back = read_graph_file(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_file_loader_rejects_corruption() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join(format!("accg-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = pack_graph(&g);
+
+        let path = dir.join("trunc.accg");
+        std::fs::write(&path, &clean[..clean.len() - 5]).unwrap();
+        assert!(matches!(
+            read_graph_file(&path),
+            Err(StoreError::Truncated { .. })
+        ));
+        assert!(matches!(
+            read_graph_file_trusted(&path),
+            Err(StoreError::Truncated { .. })
+        ));
+
+        let path = dir.join("flip.accg");
+        let mut flipped = clean.clone();
+        flipped[HEADER_LEN + 21] ^= 0x04;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            read_graph_file(&path),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            read_graph_file_trusted(&path),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+
+        let path = dir.join("ok.accg");
+        std::fs::write(&path, &clean).unwrap();
+        assert_eq!(read_graph_file(&path).unwrap(), g);
+        assert_eq!(read_graph_file_trusted(&path).unwrap(), g);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let g = sample_graph();
+        let mut bytes = pack_graph(&g);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            load_graph_bytes(&bytes),
+            Err(StoreError::BadMagic)
+        ));
+        let mut bytes = pack_graph(&g);
+        bytes[8] = 99;
+        let sum = payload_checksum(&bytes[HEADER_LEN..], 200, g.edge_count() as u64);
+        bytes[32..40].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            load_graph_bytes(&bytes),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix_length() {
+        let bytes = pack_graph(&sample_graph());
+        for len in [
+            0,
+            7,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            HEADER_LEN + 9,
+            bytes.len() - 1,
+        ] {
+            let err = load_graph_bytes(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Truncated { .. }),
+                "prefix {len}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = pack_graph(&sample_graph());
+        bytes.push(0);
+        assert!(matches!(
+            load_graph_bytes(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_catches_payload_bitflips() {
+        let clean = pack_graph(&sample_graph());
+        for at in [HEADER_LEN, HEADER_LEN + 13, clean.len() - 1] {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x20;
+            assert!(
+                matches!(
+                    load_graph_bytes(&bytes),
+                    Err(StoreError::ChecksumMismatch { .. })
+                ),
+                "flip at {at} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_counts() {
+        let g = GraphBuilder::new(1).build();
+        let mut bytes = pack_graph(&g);
+        bytes[16..24].copy_from_slice(&(ID_LIMIT + 1).to_le_bytes());
+        assert!(matches!(
+            load_graph_bytes(&bytes),
+            Err(StoreError::TooLarge { .. })
+        ));
+    }
+
+    /// Re-checksums a tampered payload so the structural validators
+    /// (not the checksum) are what reject it.
+    fn reseal(bytes: &mut [u8]) {
+        let n = read_u64(bytes, 16);
+        let m = read_u64(bytes, 24);
+        let sum = payload_checksum(&bytes[HEADER_LEN..], n, m);
+        bytes[32..40].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    #[test]
+    fn structural_validation_rejects_resealed_corruption() {
+        let g = GraphBuilder::from_edges(3, [(0u32, 1u32), (1, 2)]).unwrap();
+        // Self-loop: first adjacency target of node 0 becomes 0.
+        let mut bytes = pack_graph(&g);
+        let targets_at = HEADER_LEN + 4 * 8;
+        bytes[targets_at..targets_at + 4].copy_from_slice(&0u32.to_le_bytes());
+        reseal(&mut bytes);
+        assert!(matches!(
+            load_graph_bytes(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Out-of-range neighbor id.
+        let mut bytes = pack_graph(&g);
+        bytes[targets_at..targets_at + 4].copy_from_slice(&7u32.to_le_bytes());
+        reseal(&mut bytes);
+        assert!(matches!(
+            load_graph_bytes(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Decreasing offsets.
+        let mut bytes = pack_graph(&g);
+        bytes[HEADER_LEN + 8..HEADER_LEN + 16].copy_from_slice(&4u64.to_le_bytes());
+        reseal(&mut bytes);
+        assert!(matches!(
+            load_graph_bytes(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Swapped edge ids break the canonical-order / mirror checks.
+        // Entries 1 and 2 are the two halves of node 1's row (ids 0
+        // and 1); swapping makes its mirror entry point forward.
+        let mut bytes = pack_graph(&g);
+        let ids_at = HEADER_LEN + 4 * 8 + 4 * 4 + 4;
+        let (a, b) = (read_u32(&bytes, ids_at), read_u32(&bytes, ids_at + 4));
+        assert_ne!(a, b);
+        bytes[ids_at..ids_at + 4].copy_from_slice(&b.to_le_bytes());
+        bytes[ids_at + 4..ids_at + 8].copy_from_slice(&a.to_le_bytes());
+        reseal(&mut bytes);
+        assert!(matches!(
+            load_graph_bytes(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(StoreError::BadMagic.to_string().contains("magic"));
+        let e = StoreError::Truncated {
+            expected: 100,
+            actual: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = StoreError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+        assert!(StoreError::from(io::Error::other("boom"))
+            .to_string()
+            .contains("boom"));
+    }
+}

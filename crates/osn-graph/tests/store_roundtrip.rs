@@ -1,0 +1,115 @@
+//! Property tests for the `.accg` CSR store: pack → load bit-identity
+//! across every scale-tier generator family, through the in-memory
+//! loaders and the streaming file loader alike.
+
+use osn_graph::generators::{self, RmatParams};
+use osn_graph::{store, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_graph(family: usize, seed: u64, n: usize, m: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match family {
+        0 => generators::barabasi_albert(n.max(m + 1), m, &mut rng).expect("ba"),
+        1 => generators::watts_strogatz(n.max(8), (2 * m).clamp(2, 6), 0.1, &mut rng).expect("ws"),
+        2 => {
+            let max_deg = (n / 2).clamp(3, 24);
+            generators::powerlaw_configuration(n, 2.5, 1, max_deg, &mut rng).expect("config")
+        }
+        _ => generators::rmat(
+            4 + (n % 3) as u32,
+            m.max(2),
+            RmatParams::classic(),
+            &mut rng,
+        )
+        .expect("rmat"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Pack → load is bit-identical for every family, on both the
+    /// fully-verified and the trusted loader, and re-packing the loaded
+    /// graph reproduces the byte image exactly (the format is a
+    /// function of the graph, nothing else).
+    #[test]
+    fn pack_load_round_trips_bit_identically(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        n in 16usize..240,
+        m in 1usize..5,
+    ) {
+        let g = sample_graph(family, seed, n, m);
+        let bytes = store::pack_graph(&g);
+        let verified = store::load_graph_bytes(&bytes).expect("verified load");
+        let trusted = store::load_graph_bytes_trusted(&bytes).expect("trusted load");
+        prop_assert_eq!(&verified, &g);
+        prop_assert_eq!(&trusted, &g);
+        prop_assert_eq!(store::pack_graph(&verified), bytes);
+    }
+
+    /// The streaming file loader agrees with the slice loaders on the
+    /// same random graphs.
+    #[test]
+    fn file_loaders_match_slice_loaders(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        n in 16usize..160,
+    ) {
+        let g = sample_graph(family, seed, n, 3);
+        let path = std::env::temp_dir().join(format!(
+            "accg_prop_{family}_{seed}_{n}_{}.accg",
+            std::process::id()
+        ));
+        store::write_graph_file(&path, &g).expect("write");
+        let verified = store::read_graph_file(&path).expect("verified file load");
+        let trusted = store::read_graph_file_trusted(&path).expect("trusted file load");
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(&verified, &g);
+        prop_assert_eq!(&trusted, &g);
+    }
+
+    /// Any single bit flip anywhere in the image is rejected by both
+    /// loaders — the interleaved checksum (or a header / structural
+    /// check) always catches it.
+    #[test]
+    fn single_bit_flips_are_always_rejected(
+        seed in 0u64..10_000,
+        byte_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        let g = sample_graph(0, seed, 48, 2);
+        let mut bytes = store::pack_graph(&g);
+        let i = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        bytes[i] ^= 1 << bit;
+        prop_assert!(store::load_graph_bytes(&bytes).is_err());
+        prop_assert!(store::load_graph_bytes_trusted(&bytes).is_err());
+    }
+
+    /// Every strict prefix of the image is rejected as truncated or
+    /// otherwise corrupt — by the slice loaders and the streaming file
+    /// loader alike.
+    #[test]
+    fn truncations_are_always_rejected(
+        seed in 0u64..10_000,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let g = sample_graph(0, seed, 48, 2);
+        let bytes = store::pack_graph(&g);
+        let len = ((bytes.len() - 1) as f64 * len_frac) as usize;
+        prop_assert!(store::load_graph_bytes(&bytes[..len]).is_err());
+        prop_assert!(store::load_graph_bytes_trusted(&bytes[..len]).is_err());
+        let path = std::env::temp_dir().join(format!(
+            "accg_trunc_{seed}_{len}_{}.accg",
+            std::process::id()
+        ));
+        std::fs::write(&path, &bytes[..len]).expect("write truncated");
+        let verified = store::read_graph_file(&path);
+        let trusted = store::read_graph_file_trusted(&path);
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(verified.is_err());
+        prop_assert!(trusted.is_err());
+    }
+}
