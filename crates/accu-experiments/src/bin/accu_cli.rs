@@ -5,7 +5,9 @@
 //!
 //! commands:
 //!   submit JOB [spec flags]   submit (idempotently) a job
-//!   status JOB                print the job's durable status
+//!   status [JOB] [--tail N]   job status; with no JOB, a daemon-wide
+//!                             summary (health, job table, journal tail)
+//!   health                    daemon health snapshot (pid, uptime, counts)
 //!   result JOB                print the finished job's result CSV
 //!   wait JOB [--limit-s S]    block until the job is terminal
 //!   watch JOB [--limit-s S]   stream progress lines until terminal
@@ -34,8 +36,9 @@ use accu_experiments::service::{ClientError, JobSpec, ServiceClient};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7411";
 
-const USAGE: &str = "usage: accu-cli <submit|status|result|wait|watch|cancel|ping|shutdown|run> \
-                     [JOB] [--addr ADDR] [--limit-s S] [spec flags; see --help]";
+const USAGE: &str = "usage: accu-cli \
+                     <submit|status|health|result|wait|watch|cancel|ping|shutdown|run> \
+                     [JOB] [--addr ADDR] [--limit-s S] [--tail N] [spec flags; see --help]";
 
 fn fail(detail: &dyn std::fmt::Display) -> ExitCode {
     eprintln!("accu-cli: {detail}");
@@ -48,6 +51,7 @@ struct Args {
     addr: String,
     job: Option<String>,
     limit: Duration,
+    tail: u64,
     spec: JobSpec,
 }
 
@@ -56,6 +60,7 @@ fn parse_args(words: &[String]) -> Result<Args, String> {
         addr: DEFAULT_ADDR.to_string(),
         job: None,
         limit: Duration::from_secs(600),
+        tail: 10,
         spec: JobSpec::default(),
     };
     let mut iter = words.iter();
@@ -72,6 +77,11 @@ fn parse_args(words: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--limit-s: {e}"))?;
                 parsed.limit = Duration::from_secs_f64(v.max(0.0));
+            }
+            "--tail" => {
+                parsed.tail = value("--tail")?
+                    .parse()
+                    .map_err(|e| format!("--tail: {e}"))?;
             }
             "--dataset" => parsed.spec.dataset = value("--dataset")?,
             "--scale" => {
@@ -159,10 +169,61 @@ fn main() -> ExitCode {
             Ok(())
         })(),
         "status" => (|| {
-            let job = require_job(&args).map_err(ClientError::Server)?;
-            let status = client.status(job)?;
-            print!("job {job}: {status}");
-            println!();
+            match args.job.as_deref() {
+                Some(job) => {
+                    let status = client.status(job)?;
+                    print!("job {job}: {status}");
+                    println!();
+                }
+                // No JOB: daemon-wide summary over the status RPC.
+                None => {
+                    let summary = client.service_status(args.tail)?;
+                    let h = &summary.health;
+                    println!(
+                        "daemon pid {} up {:.1}s: {} queued, {} running, \
+                         {} done, {} failed ({} jobs registered)",
+                        h.pid,
+                        h.uptime_ms as f64 / 1000.0,
+                        h.queued,
+                        h.running,
+                        h.done,
+                        h.failed,
+                        h.jobs
+                    );
+                    for row in &summary.jobs {
+                        let detail = if row.detail.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" — {}", row.detail)
+                        };
+                        println!(
+                            "  {:<24} {:<9} epoch {}{}",
+                            row.job, row.state, row.epoch, detail
+                        );
+                    }
+                    if !summary.journal_tail.is_empty() {
+                        println!("journal tail ({} lines):", summary.journal_tail.len());
+                        for line in &summary.journal_tail {
+                            println!("  {line}");
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })(),
+        "health" => (|| {
+            let h = client.health()?;
+            println!(
+                "pid {} up {:.1}s: {} queued, {} running, {} done, {} failed \
+                 ({} jobs registered)",
+                h.pid,
+                h.uptime_ms as f64 / 1000.0,
+                h.queued,
+                h.running,
+                h.done,
+                h.failed,
+                h.jobs
+            );
             Ok(())
         })(),
         "result" => (|| {

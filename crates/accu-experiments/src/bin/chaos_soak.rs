@@ -324,6 +324,75 @@ fn soak_client(addr: &str, chaos_seed: u64) -> ServiceClient {
         .with_seed(chaos_seed)
 }
 
+/// Journal reconstruction check shared by the daemon profiles: the
+/// registry journal, read back by job id alone, must tell the
+/// schedule's story — submit, then (for kill schedules) the abort, the
+/// adoption, and finally the publish — with per-writer sequence
+/// monotonicity intact and strictly increasing lease epochs across
+/// incarnations.
+fn journal_chain_ok(registry: &Path, expect_kill: bool) -> bool {
+    let path = registry.join("journal.jsonl");
+    let read = match accu_telemetry::read_journal(&path) {
+        Ok(read) => read,
+        Err(e) => {
+            eprintln!("  journal read failed ({}): {e}", path.display());
+            return false;
+        }
+    };
+    if let Err(violation) = read.check_seq_monotonic() {
+        eprintln!("  journal sequence violation: {violation}");
+        return false;
+    }
+    let events: Vec<&accu_telemetry::JournalEvent> = read.for_job("soak").collect();
+    let pos = |kind: &str| events.iter().position(|e| e.kind == kind);
+    let Some(submit) = pos("job.submit") else {
+        eprintln!("  journal records no job.submit for the soak job");
+        return false;
+    };
+    let Some(publish) = events.iter().rposition(|e| e.kind == "job.publish") else {
+        eprintln!("  journal records no job.publish for the soak job");
+        return false;
+    };
+    if expect_kill {
+        let Some(kill) = pos("chaos.kill") else {
+            eprintln!("  journal records no chaos.kill despite the armed kill channel");
+            return false;
+        };
+        let Some(adopt) = pos("job.adopt").or_else(|| pos("lease.takeover")) else {
+            eprintln!("  journal records no adoption (job.adopt/lease.takeover) after the kill");
+            return false;
+        };
+        if !(submit < kill && kill < adopt && adopt < publish) {
+            eprintln!(
+                "  journal order broken: submit@{submit} kill@{kill} adopt@{adopt} \
+                 publish@{publish}"
+            );
+            return false;
+        }
+    } else if publish < submit {
+        eprintln!("  journal order broken: publish@{publish} before submit@{submit}");
+        return false;
+    }
+    let mut last_epoch = 0u64;
+    for event in &events {
+        if event.kind == "lease.acquire" || event.kind == "lease.takeover" {
+            let Some(epoch) = event.corr.epoch else {
+                continue;
+            };
+            if epoch <= last_epoch {
+                eprintln!("  lease epochs not strictly increasing: {epoch} after {last_epoch}");
+                return false;
+            }
+            last_epoch = epoch;
+        }
+    }
+    if expect_kill && last_epoch < 2 {
+        eprintln!("  expected a post-adoption epoch >= 2, saw {last_epoch}");
+        return false;
+    }
+    true
+}
+
 /// Submits the soak job, waits for it, and byte-compares the daemon's
 /// result CSV against the batch reference — the shared back half of
 /// every daemon profile.
@@ -461,7 +530,7 @@ fn daemon_kill_profile(fig_seed: u64, chaos_seed: u64, dir: &Path, tag: usize) -
             return false;
         }
     };
-    daemon_job_matches(&daemon, &spec, &want, chaos_seed)
+    daemon_job_matches(&daemon, &spec, &want, chaos_seed) && journal_chain_ok(&registry, true)
 }
 
 /// Daemon torn profile: one in-process daemon whose chaos plan tears
@@ -478,6 +547,7 @@ fn daemon_torn_profile(fig_seed: u64, chaos_seed: u64, dir: &Path, tag: usize) -
             return false;
         }
     };
+    let registry = dir.join(format!("daemon_torn_{tag}"));
     let daemon = match Daemon::start(DaemonConfig {
         chaos: ChaosPlan::sample(&ChaosConfig {
             torn_write: 0.25,
@@ -487,7 +557,7 @@ fn daemon_torn_profile(fig_seed: u64, chaos_seed: u64, dir: &Path, tag: usize) -
         }),
         lease_ttl: Duration::from_millis(500),
         supervisor: soak_supervisor(),
-        ..DaemonConfig::new(dir.join(format!("daemon_torn_{tag}")))
+        ..DaemonConfig::new(&registry)
     }) {
         Ok(daemon) => daemon,
         Err(e) => {
@@ -495,7 +565,7 @@ fn daemon_torn_profile(fig_seed: u64, chaos_seed: u64, dir: &Path, tag: usize) -
             return false;
         }
     };
-    daemon_job_matches(&daemon, &spec, &want, chaos_seed)
+    daemon_job_matches(&daemon, &spec, &want, chaos_seed) && journal_chain_ok(&registry, false)
 }
 
 /// Daemon panic profile: every first chunk claim inside the service job
@@ -510,6 +580,7 @@ fn daemon_panic_profile(fig_seed: u64, chaos_seed: u64, dir: &Path, tag: usize) 
             return false;
         }
     };
+    let registry = dir.join(format!("daemon_panic_{tag}"));
     let daemon = match Daemon::start(DaemonConfig {
         chaos: ChaosPlan::sample(&ChaosConfig {
             worker_panic: 1.0,
@@ -517,7 +588,7 @@ fn daemon_panic_profile(fig_seed: u64, chaos_seed: u64, dir: &Path, tag: usize) 
             ..ChaosConfig::none()
         }),
         supervisor: soak_supervisor(),
-        ..DaemonConfig::new(dir.join(format!("daemon_panic_{tag}")))
+        ..DaemonConfig::new(&registry)
     }) {
         Ok(daemon) => daemon,
         Err(e) => {
@@ -525,7 +596,7 @@ fn daemon_panic_profile(fig_seed: u64, chaos_seed: u64, dir: &Path, tag: usize) 
             return false;
         }
     };
-    daemon_job_matches(&daemon, &spec, &want, chaos_seed)
+    daemon_job_matches(&daemon, &spec, &want, chaos_seed) && journal_chain_ok(&registry, false)
 }
 
 /// Child-mode body for the daemon-kill profile: serve the registry with

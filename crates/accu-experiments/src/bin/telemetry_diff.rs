@@ -4,6 +4,7 @@
 //! ```text
 //! telemetry_diff [--threshold F] <baseline.jsonl>... <candidate.jsonl>
 //! telemetry_diff --check-prometheus <scrape.txt>
+//! telemetry_diff --check-journal <journal.jsonl>
 //! ```
 //!
 //! All files but the last are baseline runs (repeated runs of the same
@@ -14,20 +15,25 @@
 //!
 //! `--check-prometheus` validates a saved metrics scrape against the
 //! text-format rules instead of diffing — the CI smoke job's helper.
+//! `--check-journal` validates a daemon event journal: every line must
+//! parse and each writer's sequence numbers must be strictly
+//! increasing; it prints a per-job event summary on success.
 //!
-//! Exit codes: 0 = ok, 1 = regression (or invalid scrape), 2 = usage
-//! or I/O error.
+//! Exit codes: 0 = ok, 1 = regression (or invalid scrape/journal),
+//! 2 = usage or I/O error.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use accu_experiments::analysis::{diff_runs, load_run, RunMetrics};
 use accu_telemetry::obs::validate_prometheus;
+use accu_telemetry::read_journal;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: telemetry_diff [--threshold F] <baseline.jsonl>... <candidate.jsonl>\n\
-         \x20      telemetry_diff --check-prometheus <scrape.txt>"
+         \x20      telemetry_diff --check-prometheus <scrape.txt>\n\
+         \x20      telemetry_diff --check-journal <journal.jsonl>"
     );
     ExitCode::from(2)
 }
@@ -58,6 +64,13 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 return check_prometheus(Path::new(&path));
+            }
+            "--check-journal" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("error: --check-journal needs a file");
+                    return usage();
+                };
+                return check_journal(Path::new(&path));
             }
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other:?}");
@@ -100,6 +113,54 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Validates an event journal: all lines parse (a torn tail is
+/// tolerated and reported), per-writer sequence numbers strictly
+/// increase, and prints a per-job event summary.
+fn check_journal(path: &Path) -> ExitCode {
+    if !path.exists() {
+        eprintln!("error: {}: no such file", path.display());
+        return ExitCode::from(2);
+    }
+    let read = match read_journal(path) {
+        Ok(read) => read,
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(violation) = read.check_seq_monotonic() {
+        eprintln!("{}: invalid journal: {violation}", path.display());
+        return ExitCode::from(1);
+    }
+    let mut jobs: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for event in &read.events {
+        if let Some(job) = event.corr.job_id.as_deref() {
+            *jobs.entry(job).or_insert(0) += 1;
+        }
+    }
+    println!(
+        "{}: valid journal ({} events, {} torn/foreign line(s) skipped, {} job(s))",
+        path.display(),
+        read.events.len(),
+        read.skipped_lines,
+        jobs.len()
+    );
+    for (job, count) in &jobs {
+        let kinds: Vec<&str> = read.for_job(job).map(|e| e.kind.as_str()).collect();
+        let chain = if kinds.len() > 8 {
+            format!(
+                "{} ... {}",
+                kinds[..4].join(" -> "),
+                kinds[kinds.len() - 4..].join(" -> ")
+            )
+        } else {
+            kinds.join(" -> ")
+        };
+        println!("  {job}: {count} event(s): {chain}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// Validates a saved Prometheus exposition; prints family/sample

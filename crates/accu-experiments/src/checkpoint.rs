@@ -36,7 +36,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use accu_core::{ChaosPlan, TraceAccumulator};
-use accu_telemetry::json_escape;
+use accu_telemetry::{json_escape, Corr, FlightRecorder, Journal, Severity};
 
 use crate::chaosfs::{atomic_write, ChaosFile, ChaosSite};
 use crate::runner::RunnerError;
@@ -61,6 +61,10 @@ pub struct Checkpoint {
     appends: u64,
     /// Abort the process after this many durable appends (chaos).
     kill_after: Option<u64>,
+    /// Journal + flight recorder + correlation IDs for crash forensics:
+    /// when the `kill_after` abort fires, the killed operation is
+    /// journaled and the flight ring is dumped beside the checkpoint.
+    obs: Option<(Journal, FlightRecorder, Corr)>,
 }
 
 impl Checkpoint {
@@ -86,6 +90,7 @@ impl Checkpoint {
             chaos: None,
             appends: 0,
             kill_after: None,
+            obs: None,
         })
     }
 
@@ -138,6 +143,7 @@ impl Checkpoint {
             chaos: None,
             appends: 0,
             kill_after: None,
+            obs: None,
         })
     }
 
@@ -180,6 +186,16 @@ impl Checkpoint {
     pub fn attach_chaos_site(&mut self, site: &ChaosSite) {
         self.chaos = Some(site.clone());
         self.kill_after = site.plan().kill_after_appends();
+    }
+
+    /// Attaches crash forensics: when the deterministic `kill-after`
+    /// abort fires, the killed append is journaled (kind `chaos.kill`,
+    /// with `corr` so the event joins the job's lifecycle chain) and
+    /// the flight ring is dumped to `flight.jsonl` beside the
+    /// checkpoint file — the dump's last event names the operation that
+    /// died.
+    pub fn attach_obs(&mut self, journal: Journal, flight: FlightRecorder, corr: Corr) {
+        self.obs = Some((journal, flight, corr));
     }
 
     /// Number of unparseable lines dropped at load time.
@@ -248,6 +264,23 @@ impl Checkpoint {
                 eprintln!(
                     "chaos: aborting after {kill_after} durable checkpoint append(s) (kill-after)"
                 );
+                if let Some((journal, flight, corr)) = &self.obs {
+                    journal.log(
+                        Severity::Error,
+                        "chaos.kill",
+                        &format!(
+                            "kill-after abort on checkpoint append {kill_after} ({})",
+                            self.path.display()
+                        ),
+                        corr,
+                    );
+                    let dump = self
+                        .path
+                        .parent()
+                        .unwrap_or_else(|| Path::new("."))
+                        .join("flight.jsonl");
+                    let _ = flight.dump(dump);
+                }
                 std::process::abort();
             }
         }

@@ -45,7 +45,8 @@ use accu_core::{
 };
 use accu_telemetry::obs::{NetworkStatus, Observer};
 use accu_telemetry::{
-    CounterHandle, GaugeHandle, HistogramHandle, Recorder, TraceTrack, TraceValue, Tracer,
+    Corr, CounterHandle, GaugeHandle, HistogramHandle, Journal, Recorder, Severity, TraceTrack,
+    TraceValue, Tracer,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -442,6 +443,14 @@ pub struct RunOptions<'a> {
     /// batched sampler, or footprint-based auto-selection. Every mode
     /// produces bit-identical results; this is a pure throughput knob.
     pub engine: EngineMode,
+    /// Correlated event journal for run-stage lifecycle events (engine
+    /// selection, network folds, quarantines, sheds, worker deaths).
+    /// Disabled by default: batch runs stay silent and pay nothing.
+    pub journal: Journal,
+    /// Correlation IDs stamped on every journal event this run emits.
+    /// The daemon supplies `job_id`/`epoch`/`attempt`; run stages add
+    /// `network` and `chunk` as they descend.
+    pub corr: Corr,
 }
 
 impl Default for RunOptions<'_> {
@@ -457,6 +466,8 @@ impl Default for RunOptions<'_> {
             supervisor: SupervisorConfig::default(),
             deadline: None,
             engine: EngineMode::Auto,
+            journal: Journal::disabled(),
+            corr: Corr::default(),
         }
     }
 }
@@ -851,6 +862,8 @@ fn run_policy_inner(
         supervisor,
         deadline,
         engine,
+        journal,
+        corr,
     } = opts;
     let cell = figure.cell_label(policy);
     let checkpoint_skipped_lines = checkpoint.as_ref().map_or(0, |c| c.skipped_lines());
@@ -912,6 +925,18 @@ fn run_policy_inner(
     recorder
         .counter(runner_metrics::WORKERS)
         .add(threads as u64);
+    journal.info(
+        "run.start",
+        &format!(
+            "run start: cell {cell}, {} network(s) × {} episode(s), \
+             {chunks} chunk(s)/network, engine lanes {lanes}, {threads} worker(s), \
+             {} resumed",
+            figure.network_samples,
+            figure.runs_per_network,
+            resumed.len()
+        ),
+        &corr,
+    );
     let slots: Vec<NetworkSlot> = (0..figure.network_samples)
         .map(|_| NetworkSlot::new(chunks))
         .collect();
@@ -947,6 +972,8 @@ fn run_policy_inner(
         ckpt_shared: &ckpt_shared,
         ckpt_error: &ckpt_error,
         run_started: Instant::now(),
+        journal: &journal,
+        corr: &corr,
     };
     let mut panicked: Option<(usize, String)> = None;
     let mut restarts = 0u32;
@@ -1107,6 +1134,15 @@ fn run_policy_inner(
     }
     quarantined.sort_by_key(|f| f.network);
     if let Some((worker, message)) = panicked {
+        journal.error(
+            "run.fail",
+            &format!(
+                "run aborted: worker {worker} panicked with the restart budget \
+                 exhausted ({message}); {} network(s) completed",
+                per_net.len()
+            ),
+            &corr,
+        );
         return Err(RunnerError::WorkerPanicked {
             worker,
             message,
@@ -1115,12 +1151,24 @@ fn run_policy_inner(
         });
     }
     if let Some(e) = ckpt_error.lock().expect("error mutex poisoned").take() {
+        journal.error("run.fail", &format!("checkpoint write failed: {e}"), &corr);
         return Err(RunnerError::Checkpoint(e));
     }
     // A panicked or checkpoint-failed run deliberately leaves the
     // stream without its run_end line: a truncated stream is the
     // diagnosable signature of an abnormal exit.
     observer.end_run(per_net.len(), quarantined.len());
+    journal.info(
+        "run.done",
+        &format!(
+            "run done: {} network(s) completed ({} resumed), {} quarantined, {} shed",
+            per_net.len(),
+            resumed_networks,
+            quarantined.len(),
+            shed.len()
+        ),
+        &corr,
+    );
     Ok(RunReport {
         accumulator: total,
         quarantined,
@@ -1324,6 +1372,9 @@ struct RunCtx<'env, 'ck> {
     ckpt_shared: &'env Mutex<Option<&'ck mut Checkpoint>>,
     ckpt_error: &'env Mutex<Option<std::io::Error>>,
     run_started: Instant,
+    journal: &'env Journal,
+    /// Base correlation IDs; stages clone and extend with network/chunk.
+    corr: &'env Corr,
 }
 
 /// One supervised worker: drains the chunk queue, marking each claim in
@@ -1374,6 +1425,11 @@ fn shed_network(ctx: &RunCtx<'_, '_>, net: usize) {
         .expect("results mutex poisoned")
         .push(net);
     ctx.recorder.counter(runner_metrics::SUPERVISOR_SHED).incr();
+    ctx.journal.warn(
+        "run.shed",
+        &format!("network {net} shed: soft deadline expired before it started"),
+        &ctx.corr.clone().network(net as u64),
+    );
     ctx.observer.network_done(net, NetworkStatus::Shed);
 }
 
@@ -1422,6 +1478,11 @@ fn abandon_network(ctx: &RunCtx<'_, '_>, net: usize, message: String) {
             .histogram(runner_metrics::NETWORK_NS)
             .record(started.elapsed().as_nanos() as u64);
     }
+    ctx.journal.warn(
+        "run.quarantine",
+        &format!("network {net} quarantined at stage supervisor: {message}"),
+        &ctx.corr.clone().network(net as u64),
+    );
     ctx.observer.network_done(
         net,
         NetworkStatus::Quarantined {
@@ -1736,6 +1797,14 @@ fn process_chunk(
                             ctx.recorder.counter(runner_metrics::QUARANTINED).incr();
                             tel.networks_inflight.sub(1);
                             tel.network_ns.record(started.elapsed().as_nanos() as u64);
+                            ctx.journal.warn(
+                                "run.quarantine",
+                                &format!(
+                                    "network {net} quarantined at stage {}: {}",
+                                    failure.stage, failure.message
+                                ),
+                                &ctx.corr.clone().network(net as u64),
+                            );
                             ctx.observer.network_done(
                                 net,
                                 NetworkStatus::Quarantined {
@@ -1879,6 +1948,21 @@ fn process_chunk(
     if track.is_enabled() {
         track.set_active(true);
     }
+    if ctx.journal.is_enabled() {
+        let message = match &episodes {
+            Ok(outcomes) => format!(
+                "chunk {chunk} of network {net} sampled ({} episode(s))",
+                outcomes.len()
+            ),
+            Err(_) => format!("chunk {chunk} of network {net} panicked in the episode loop"),
+        };
+        ctx.journal.log(
+            Severity::Debug,
+            "run.chunk",
+            &message,
+            &ctx.corr.clone().network(net as u64).chunk(chunk as u64),
+        );
+    }
     let mut progress = slot.progress.lock().expect("progress mutex poisoned");
     if progress.chunk_filled[chunk] {
         // A duplicate completion (stall speculation, or a requeue that
@@ -1922,6 +2006,11 @@ fn process_chunk(
     match failure {
         Some(message) => {
             ctx.recorder.counter(runner_metrics::QUARANTINED).incr();
+            ctx.journal.warn(
+                "run.quarantine",
+                &format!("network {net} quarantined at stage episodes: {message}"),
+                &ctx.corr.clone().network(net as u64),
+            );
             ctx.observer.network_done(
                 net,
                 NetworkStatus::Quarantined {
@@ -1960,6 +2049,15 @@ fn process_chunk(
             }
             drop(guard);
             drop(ckpt_span);
+            ctx.journal.info(
+                "run.network",
+                &format!(
+                    "network {net} folded: {} episode(s), mean benefit {:.4}",
+                    acc.runs(),
+                    acc.mean_total_benefit()
+                ),
+                &ctx.corr.clone().network(net as u64),
+            );
             ctx.observer.network_done(
                 net,
                 NetworkStatus::Ok {

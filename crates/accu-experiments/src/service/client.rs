@@ -18,7 +18,9 @@ use std::time::{Duration, Instant};
 
 use accu_core::RetryPolicy;
 
-use crate::service::protocol::{read_frame, write_frame, Request, Response};
+use crate::service::protocol::{
+    read_frame, write_frame, DaemonHealth, Request, Response, ServiceSummary,
+};
 use crate::service::registry::{JobState, JobStatus};
 use crate::service::spec::JobSpec;
 
@@ -220,6 +222,25 @@ impl ServiceClient {
             job: job.to_string(),
         })? {
             Response::Status { status, .. } => Ok(status),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the daemon's health snapshot (pid, uptime, job counts).
+    pub fn health(&self) -> Result<DaemonHealth, ClientError> {
+        match self.request(&Request::Health)? {
+            Response::Health(health) => Ok(health),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the daemon-wide summary: health, one row per registered
+    /// job, and the last `tail` journal lines.
+    pub fn service_status(&self, tail: u64) -> Result<ServiceSummary, ClientError> {
+        match self.request(&Request::ServiceStatus { tail })? {
+            Response::Summary(summary) => Ok(summary),
             Response::Err { message } => Err(ClientError::Server(message)),
             other => Err(unexpected(&other)),
         }

@@ -31,22 +31,24 @@
 //! durable registry writes — crashing *between* job-level state
 //! transitions rather than inside the run.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use accu_core::ChaosPlan;
 use accu_telemetry::obs::{BindError, Observer};
-use accu_telemetry::Recorder;
+use accu_telemetry::{install_panic_dump, Corr, FlightRecorder, Journal, Recorder, Severity};
 
 use crate::chaosfs::{ChaosFile, ChaosSite};
 use crate::checkpoint::Checkpoint;
 use crate::runner::{run_policy_with, RunOptions, RunnerError, SupervisorConfig};
-use crate::service::protocol::{read_frame, write_frame, Request, Response};
+use crate::service::protocol::{
+    read_frame, write_frame, DaemonHealth, JobRow, Request, Response, ServiceSummary,
+};
 use crate::service::registry::{JobState, JobStatus, Registry, RegistryError, SubmitOutcome};
 
 /// Idle time after which a connection handler gives up waiting for the
@@ -56,7 +58,16 @@ const CONN_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 /// Poll interval for watch streams and queue waits.
 const POLL: Duration = Duration::from_millis(20);
 
+/// Capacity of the always-on flight-recorder ring: enough journal tail
+/// to reconstruct several job lifecycles, small enough to be free.
+const FLIGHT_CAPACITY: usize = 256;
+
 /// Metric names emitted by the service daemon.
+///
+/// The `service.*` families are the original job-lifecycle counters;
+/// the `serve.*` families are the daemon-operational set added for the
+/// metrics endpoint (rendered as `accu_serve_*` by the Prometheus
+/// encoder).
 pub mod service_metrics {
     /// Counter: submissions accepted (all outcomes).
     pub const SUBMISSIONS: &str = "service.submissions";
@@ -72,6 +83,28 @@ pub mod service_metrics {
     pub const JOBS_QUEUED: &str = "service.jobs_queued";
     /// Gauge: jobs currently executing in this daemon.
     pub const JOBS_RUNNING: &str = "service.jobs_running";
+    /// Gauge: queue depth (`accu_serve_queue_depth`).
+    pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Gauge: jobs executing in this daemon (`accu_serve_inflight`).
+    pub const INFLIGHT: &str = "serve.inflight";
+    /// Gauge: oldest running-job lease heartbeat age in milliseconds,
+    /// updated every sweep (`accu_serve_lease_heartbeat_age_ms`).
+    pub const LEASE_HEARTBEAT_AGE_MS: &str = "serve.lease_heartbeat_age_ms";
+    /// Counter: submissions bounced by admission control
+    /// (`accu_serve_admission_rejections`).
+    pub const ADMISSION_REJECTIONS: &str = "serve.admission_rejections";
+    /// Counter: orphans adopted into this daemon's queue by the sweep
+    /// (`accu_serve_adoptions`).
+    pub const ADOPTIONS: &str = "serve.adoptions";
+    /// Counter: stale leases taken over by epoch fencing
+    /// (`accu_serve_takeovers`).
+    pub const TAKEOVERS: &str = "serve.takeovers";
+    /// Counter: executions fenced off before publication
+    /// (`accu_serve_fences`).
+    pub const FENCES: &str = "serve.fences";
+    /// Histogram-name prefix for per-verb wire latency: the verb name
+    /// plus `_ns` is appended (`accu_serve_rpc_submit_ns`, ...).
+    pub const RPC_NS_PREFIX: &str = "serve.rpc.";
 }
 
 /// Configuration for one daemon instance.
@@ -141,6 +174,18 @@ struct Shared {
     /// One site for the daemon's lifetime — a retried job must draw the
     /// *next* faults from the stream, not replay the first ones.
     ckpt_site: Option<ChaosSite>,
+    /// Correlated event journal at `<root>/journal.jsonl`, shared by
+    /// every daemon incarnation serving this registry.
+    journal: Journal,
+    /// Always-on ring of recent journal events, dumped on crash paths.
+    flight: FlightRecorder,
+    /// Daemon start time (drives the `health` verb's uptime).
+    started: Instant,
+    /// Execution attempts per job id within this daemon (the `attempt`
+    /// correlation field).
+    attempts: Mutex<HashMap<String, u64>>,
+    /// Once-per-job latches for the stale-lease-heartbeat alarm.
+    alarmed: Mutex<HashSet<String>>,
 }
 
 impl Shared {
@@ -152,11 +197,30 @@ impl Shared {
             return false;
         }
         q.push_back(id.to_string());
-        self.recorder
-            .gauge(service_metrics::JOBS_QUEUED)
-            .set(q.len() as i64);
+        self.set_queue_depth(q.len());
         self.queue_cv.notify_one();
         true
+    }
+
+    /// Updates both queue-depth gauges (legacy `service.*` and the
+    /// scrape-facing `serve.*` family).
+    fn set_queue_depth(&self, depth: usize) {
+        self.recorder
+            .gauge(service_metrics::JOBS_QUEUED)
+            .set(depth as i64);
+        self.recorder
+            .gauge(service_metrics::QUEUE_DEPTH)
+            .set(depth as i64);
+    }
+
+    /// Sets the stop flag exactly once, journaling the reason; repeat
+    /// calls are no-ops so `Drop` after an explicit stop stays silent.
+    fn request_stop(&self, why: &str) {
+        if !self.stop.swap(true, Ordering::Relaxed) {
+            self.journal
+                .info("daemon.stop", &format!("stopping: {why}"), &Corr::none());
+        }
+        self.queue_cv.notify_all();
     }
 }
 
@@ -193,11 +257,34 @@ impl Daemon {
             .map_err(|e| BindError::new(config.listen.clone(), e))?;
         registry.attach_chaos(&config.chaos);
         registry.set_kill_after_writes(config.kill_after_registry);
+        // Service-grade forensics: the journal appends durably to
+        // <root>/journal.jsonl (one file per registry, shared across
+        // incarnations), mirrored into the flight ring; the registry's
+        // kill channel and a process panic both dump the ring.
+        let flight = FlightRecorder::new(FLIGHT_CAPACITY);
+        let journal = Journal::append_to(registry.journal_path())
+            .map_err(|e| BindError::new(config.listen.clone(), e))?
+            .with_flight(flight.clone());
+        registry.attach_obs(journal.clone(), flight.clone());
+        install_panic_dump(&flight, config.registry.join("flight.jsonl"));
         let listener = TcpListener::bind(&config.listen)
             .map_err(|e| BindError::new(config.listen.clone(), e))?;
         let addr = listener
             .local_addr()
             .map_err(|e| BindError::new(config.listen.clone(), e))?;
+        journal.info(
+            "daemon.start",
+            &format!(
+                "daemon up: pid {}, listening on {addr}, registry {}, \
+                 {} worker(s), queue cap {}, lease TTL {}ms",
+                std::process::id(),
+                config.registry.display(),
+                config.max_jobs,
+                config.queue_cap,
+                ttl_ms
+            ),
+            &Corr::none(),
+        );
         let socket_site =
             (!config.chaos.is_trivial()).then(|| ChaosSite::new(config.chaos, "socket"));
         let ckpt_site =
@@ -215,6 +302,11 @@ impl Daemon {
             recorder: config.recorder,
             socket_site,
             ckpt_site,
+            journal,
+            flight,
+            started: Instant::now(),
+            attempts: Mutex::new(HashMap::new()),
+            alarmed: Mutex::new(HashSet::new()),
         });
 
         let mut threads = Vec::new();
@@ -260,8 +352,7 @@ impl Daemon {
 
     /// Requests a stop (also triggered by a `shutdown` request).
     pub fn stop(&self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
-        self.shared.queue_cv.notify_all();
+        self.shared.request_stop("stop requested");
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
     }
@@ -342,15 +433,40 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             }
             continue;
         }
+        // Per-verb wire latency, one histogram per verb so the scrape
+        // exposes `accu_serve_rpc_<verb>_ns` families.
+        let verb_started = Instant::now();
         let response = respond(shared, &request);
+        shared
+            .recorder
+            .histogram(format!(
+                "{}{}_ns",
+                service_metrics::RPC_NS_PREFIX,
+                verb_name(&request)
+            ))
+            .record(verb_started.elapsed().as_nanos() as u64);
         if send(&stream, shared, &response).is_err() {
             return;
         }
         if done {
-            shared.stop.store(true, Ordering::Relaxed);
-            shared.queue_cv.notify_all();
+            shared.request_stop("shutdown verb received");
             return;
         }
+    }
+}
+
+/// The metric label for a request verb.
+fn verb_name(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::Submit { .. } => "submit",
+        Request::Status { .. } => "status",
+        Request::Result { .. } => "result",
+        Request::Watch { .. } => "watch",
+        Request::Cancel { .. } => "cancel",
+        Request::Health => "health",
+        Request::ServiceStatus { .. } => "service_status",
+        Request::Shutdown => "shutdown",
     }
 }
 
@@ -360,6 +476,8 @@ fn respond(shared: &Shared, request: &Request) -> Response {
         Request::Ping | Request::Shutdown => Response::Pong {
             pid: std::process::id(),
         },
+        Request::Health => Response::Health(health_snapshot(shared)),
+        Request::ServiceStatus { tail } => Response::Summary(service_summary(shared, *tail)),
         Request::Submit { job, spec } => submit(shared, job, spec),
         Request::Status { job } => match shared.registry.read_status(job) {
             Ok(status) => Response::Status {
@@ -394,6 +512,63 @@ fn respond(shared: &Shared, request: &Request) -> Response {
     }
 }
 
+/// One pass over the registry for the `health` verb's vitals.
+fn health_snapshot(shared: &Shared) -> DaemonHealth {
+    let queued = shared.queue.lock().expect("queue lock").len();
+    let running = shared.running.lock().expect("running lock").len();
+    let mut health = DaemonHealth {
+        pid: std::process::id(),
+        uptime_ms: shared.started.elapsed().as_millis() as u64,
+        queued,
+        running,
+        ..DaemonHealth::default()
+    };
+    if let Ok(ids) = shared.registry.jobs() {
+        for id in ids {
+            health.jobs += 1;
+            match shared.registry.read_status(&id).map(|s| s.state) {
+                Ok(JobState::Done) => health.done += 1,
+                Ok(JobState::Failed) => health.failed += 1,
+                _ => {}
+            }
+        }
+    }
+    health
+}
+
+/// The daemon-wide status report: vitals, every registry job's phase,
+/// and the last `tail` journal lines.
+fn service_summary(shared: &Shared, tail: u64) -> ServiceSummary {
+    let mut jobs = Vec::new();
+    if let Ok(mut ids) = shared.registry.jobs() {
+        ids.sort();
+        for id in ids {
+            let Ok(status) = shared.registry.read_status(&id) else {
+                continue;
+            };
+            jobs.push(JobRow {
+                job: id,
+                state: status.state,
+                epoch: status.epoch,
+                detail: status.detail,
+            });
+        }
+    }
+    let journal_tail = if tail == 0 {
+        Vec::new()
+    } else {
+        let text = std::fs::read_to_string(shared.registry.journal_path()).unwrap_or_default();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let skip = lines.len().saturating_sub(tail as usize);
+        lines[skip..].iter().map(|l| (*l).to_string()).collect()
+    };
+    ServiceSummary {
+        health: health_snapshot(shared),
+        jobs,
+        journal_tail,
+    }
+}
+
 /// Idempotent submission with admission control. The capacity check
 /// happens *before* any registry mutation, so an `Overloaded` answer
 /// really means nothing was accepted (the sweeper will not resurrect a
@@ -411,6 +586,19 @@ fn submit(shared: &Shared, job: &str, spec: &crate::service::spec::JobSpec) -> R
     };
     if will_enqueue && queue.len() >= shared.queue_cap {
         shared.recorder.counter(service_metrics::OVERLOADED).incr();
+        shared
+            .recorder
+            .counter(service_metrics::ADMISSION_REJECTIONS)
+            .incr();
+        shared.journal.warn(
+            "job.reject",
+            &format!(
+                "admission control rejected submission: queue {} at cap {}",
+                queue.len(),
+                shared.queue_cap
+            ),
+            &Corr::job(job),
+        );
         return Response::Overloaded {
             running: shared.running.lock().expect("running lock").len(),
             queued: queue.len(),
@@ -421,6 +609,17 @@ fn submit(shared: &Shared, job: &str, spec: &crate::service::spec::JobSpec) -> R
     match shared.registry.submit(job, spec) {
         Ok(outcome) => {
             shared.recorder.counter(service_metrics::SUBMISSIONS).incr();
+            let outcome_name = match outcome {
+                SubmitOutcome::Created => "created",
+                SubmitOutcome::Cached => "cached",
+                SubmitOutcome::Attached => "attached",
+                SubmitOutcome::Requeued => "requeued",
+            };
+            shared.journal.info(
+                "job.submit",
+                &format!("submission accepted ({outcome_name})"),
+                &Corr::job(job),
+            );
             if matches!(outcome, SubmitOutcome::Created | SubmitOutcome::Requeued) {
                 shared.enqueue(job);
             }
@@ -458,10 +657,7 @@ fn cancel(shared: &Shared, job: &str) -> Response {
             {
                 let mut queue = shared.queue.lock().expect("queue lock");
                 queue.retain(|j| j != job);
-                shared
-                    .recorder
-                    .gauge(service_metrics::JOBS_QUEUED)
-                    .set(queue.len() as i64);
+                shared.set_queue_depth(queue.len());
             }
             let cancelled = JobStatus {
                 state: JobState::Cancelled,
@@ -469,10 +665,15 @@ fn cancel(shared: &Shared, job: &str) -> Response {
                 ..status
             };
             match shared.registry.write_status(job, &cancelled) {
-                Ok(()) => Response::Status {
-                    job: job.to_string(),
-                    status: cancelled,
-                },
+                Ok(()) => {
+                    shared
+                        .journal
+                        .info("job.cancel", "cancelled while queued", &Corr::job(job));
+                    Response::Status {
+                        job: job.to_string(),
+                        status: cancelled,
+                    }
+                }
                 Err(e) => Response::Err {
                     message: format!("cancel failed: {e}"),
                 },
@@ -557,10 +758,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     return;
                 }
                 if let Some(job) = queue.pop_front() {
-                    shared
-                        .recorder
-                        .gauge(service_metrics::JOBS_QUEUED)
-                        .set(queue.len() as i64);
+                    shared.set_queue_depth(queue.len());
                     break job;
                 }
                 let (q, _) = shared
@@ -586,22 +784,52 @@ fn run_one_job(shared: &Arc<Shared>, job: &str) {
     if status.state.is_terminal() {
         return;
     }
+    let attempt = {
+        let mut attempts = shared.attempts.lock().expect("attempts lock");
+        let n = attempts.entry(job.to_string()).or_insert(0);
+        *n += 1;
+        *n
+    };
     // Win the lease: fresh acquire on a free job, fenced takeover on a
     // stale one, retreat when someone else holds it live.
     let lease_file = shared.registry.lease(job);
     let ttl_ms = shared.lease_ttl.as_millis() as u64;
     let lease = match lease_file.read() {
-        Ok(None) => lease_file.acquire(status.epoch + 1).unwrap_or(None),
+        Ok(None) => {
+            let acquired = lease_file.acquire(status.epoch + 1).unwrap_or(None);
+            if let Some(lease) = &acquired {
+                shared.journal.info(
+                    "lease.acquire",
+                    &format!("lease acquired at epoch {}", lease.epoch),
+                    &Corr::job(job).epoch(lease.epoch).attempt(attempt),
+                );
+            }
+            acquired
+        }
         Ok(Some(current)) if current.is_stale(ttl_ms, now_ms()) => {
             let adopted = lease_file.takeover(&current).unwrap_or(None);
-            if adopted.is_some() {
+            if let Some(lease) = &adopted {
                 shared.recorder.counter(service_metrics::ADOPTED).incr();
+                shared.recorder.counter(service_metrics::TAKEOVERS).incr();
+                shared.journal.warn(
+                    "lease.takeover",
+                    &format!(
+                        "took over stale lease: previous holder pid {} epoch {} \
+                         (heartbeat age {}ms), fenced to epoch {}",
+                        current.pid,
+                        current.epoch,
+                        now_ms().saturating_sub(current.beat_ms),
+                        lease.epoch
+                    ),
+                    &Corr::job(job).epoch(lease.epoch).attempt(attempt),
+                );
             }
             adopted
         }
         _ => None,
     };
     let Some(lease) = lease else { return };
+    let corr = Corr::job(job).epoch(lease.epoch).attempt(attempt);
 
     shared
         .running
@@ -609,12 +837,20 @@ fn run_one_job(shared: &Arc<Shared>, job: &str) {
         .expect("running lock")
         .insert(job.to_string());
     shared.recorder.gauge(service_metrics::JOBS_RUNNING).add(1);
+    shared.recorder.gauge(service_metrics::INFLIGHT).add(1);
 
-    let outcome = execute(shared, job, &lease);
+    let outcome = execute(shared, job, &lease, &corr);
 
     let _ = lease_file.release(&lease);
+    shared.journal.log(
+        Severity::Debug,
+        "lease.release",
+        &format!("lease released at epoch {}", lease.epoch),
+        &corr,
+    );
     shared.running.lock().expect("running lock").remove(job);
     shared.recorder.gauge(service_metrics::JOBS_RUNNING).sub(1);
+    shared.recorder.gauge(service_metrics::INFLIGHT).sub(1);
     match outcome {
         ExecOutcome::Published => shared.recorder.counter(service_metrics::JOBS_DONE).incr(),
         ExecOutcome::Fenced => {} // the successor publishes
@@ -652,7 +888,12 @@ enum JobError {
 }
 
 /// Runs the job under `lease` and reports how the attempt ended.
-fn execute(shared: &Arc<Shared>, job: &str, lease: &crate::service::lease::Lease) -> ExecOutcome {
+fn execute(
+    shared: &Arc<Shared>,
+    job: &str,
+    lease: &crate::service::lease::Lease,
+    corr: &Corr,
+) -> ExecOutcome {
     let lease_file = shared.registry.lease(job);
     let running = JobStatus {
         state: JobState::Running,
@@ -664,6 +905,11 @@ fn execute(shared: &Arc<Shared>, job: &str, lease: &crate::service::lease::Lease
     if shared.registry.write_status(job, &running).is_err() {
         return ExecOutcome::Retry;
     }
+    shared.journal.info(
+        "job.run",
+        &format!("attempt started under epoch {}", lease.epoch),
+        corr,
+    );
 
     // Heartbeat: renew at TTL/4; a failed renewal (epoch moved) means
     // this worker has been fenced off and must discard its work.
@@ -695,7 +941,7 @@ fn execute(shared: &Arc<Shared>, job: &str, lease: &crate::service::lease::Lease
         })
     };
 
-    let result = run_job_body(shared, job);
+    let result = run_job_body(shared, job, corr);
 
     hb_done.store(true, Ordering::Relaxed);
     let _ = hb.join();
@@ -705,6 +951,15 @@ fn execute(shared: &Arc<Shared>, job: &str, lease: &crate::service::lease::Lease
     let still_owner = !hb_fenced.load(Ordering::Relaxed)
         && matches!(lease_file.read(), Ok(Some(current)) if current.epoch == lease.epoch);
     if !still_owner {
+        shared.recorder.counter(service_metrics::FENCES).incr();
+        shared.journal.warn(
+            "lease.fenced",
+            &format!(
+                "fenced off at epoch {}: a successor holds the lease, discarding work",
+                lease.epoch
+            ),
+            corr,
+        );
         return ExecOutcome::Fenced;
     }
 
@@ -718,13 +973,27 @@ fn execute(shared: &Arc<Shared>, job: &str, lease: &crate::service::lease::Lease
                 // before publication — the next owner republishes.
                 return ExecOutcome::Retry;
             }
+            shared.journal.info(
+                "job.publish",
+                &format!("result published at epoch {}", lease.epoch),
+                corr,
+            );
             ExecOutcome::Published
         }
         Err(JobError::Transient(message)) => {
             eprintln!("accu-serve: job {job} hit transient trouble, will retry: {message}");
+            shared.journal.warn(
+                "job.retry",
+                &format!("transient trouble, will retry: {message}"),
+                corr,
+            );
             ExecOutcome::Retry
         }
         Err(JobError::Fatal(message)) => {
+            shared
+                .journal
+                .error("job.fail", &format!("fatal failure: {message}"), corr);
+            let _ = shared.flight.dump(shared.registry.flight_path(job));
             let _ = shared.registry.write_status(
                 job,
                 &JobStatus {
@@ -744,7 +1013,11 @@ fn execute(shared: &Arc<Shared>, job: &str, lease: &crate::service::lease::Lease
 /// the hardened runner, render the CSV. Returns the result CSV and the
 /// `Done` status to publish (the caller stamps the epoch and decides
 /// whether publication is still allowed).
-fn run_job_body(shared: &Arc<Shared>, job: &str) -> Result<(String, JobStatus), JobError> {
+fn run_job_body(
+    shared: &Arc<Shared>,
+    job: &str,
+    corr: &Corr,
+) -> Result<(String, JobStatus), JobError> {
     let spec = shared.registry.read_spec(job).map_err(|e| match e {
         RegistryError::Io(e) => JobError::Transient(format!("spec read failed: {e}")),
         RegistryError::Rejected(m) => JobError::Fatal(m),
@@ -757,6 +1030,7 @@ fn run_job_body(shared: &Arc<Shared>, job: &str) -> Result<(String, JobStatus), 
         Some(site) => checkpoint.attach_chaos_site(site),
         None => checkpoint.attach_chaos(&shared.chaos),
     }
+    checkpoint.attach_obs(shared.journal.clone(), shared.flight.clone(), corr.clone());
     // Progress restarts from sequence 0 on every (re)execution: the
     // stream documents *this* attempt, and watch clients treat a seq
     // reset after reconnect as a new attempt.
@@ -772,6 +1046,8 @@ fn run_job_body(shared: &Arc<Shared>, job: &str) -> Result<(String, JobStatus), 
             max_workers: Some(2),
             chaos: shared.chaos,
             supervisor: shared.supervisor,
+            journal: shared.journal.clone(),
+            corr: corr.clone(),
             ..RunOptions::default()
         },
     )
@@ -822,9 +1098,17 @@ fn sweeper_loop(shared: &Arc<Shared>) {
     loop {
         if let Ok(orphans) = shared.registry.orphans() {
             for id in orphans {
-                shared.enqueue(&id);
+                if shared.enqueue(&id) {
+                    shared.recorder.counter(service_metrics::ADOPTIONS).incr();
+                    shared.journal.info(
+                        "job.adopt",
+                        "adoption sweep requeued leaseless non-terminal job",
+                        &Corr::job(&id),
+                    );
+                }
             }
         }
+        watch_lease_heartbeats(shared);
         if shared.stop.load(Ordering::Relaxed) {
             return;
         }
@@ -833,4 +1117,58 @@ fn sweeper_loop(shared: &Arc<Shared>) {
             return;
         }
     }
+}
+
+/// Stale-lease watchdog: a job whose on-disk status says `Running` but
+/// whose lease heartbeat is older than the TTL has lost its worker (or
+/// the worker is wedged). Publishes the worst heartbeat age as a gauge
+/// and raises a once-per-job `obs.alarm` journal event with a flight
+/// dump so the wedge is diagnosable after the fact.
+fn watch_lease_heartbeats(shared: &Arc<Shared>) {
+    use crate::service::lease::now_ms;
+
+    let ttl_ms = shared.lease_ttl.as_millis() as u64;
+    let Ok(jobs) = shared.registry.jobs() else {
+        return;
+    };
+    let mut worst_age: u64 = 0;
+    for job in jobs {
+        let Ok(status) = shared.registry.read_status(&job) else {
+            continue;
+        };
+        if status.state != JobState::Running {
+            continue;
+        }
+        let Ok(Some(lease)) = shared.registry.lease(&job).read() else {
+            continue;
+        };
+        let age = now_ms().saturating_sub(lease.beat_ms);
+        worst_age = worst_age.max(age);
+        if age > ttl_ms {
+            let first = shared
+                .alarmed
+                .lock()
+                .expect("alarmed lock")
+                .insert(job.clone());
+            if first {
+                shared.journal.error(
+                    "obs.alarm",
+                    &format!(
+                        "stale lease heartbeat: job still running but last beat {age}ms ago \
+                         (TTL {ttl_ms}ms) at epoch {}",
+                        lease.epoch
+                    ),
+                    &Corr::job(&job).epoch(lease.epoch),
+                );
+                let _ = shared.flight.dump(shared.registry.flight_path(&job));
+                eprintln!(
+                    "accu-serve: WATCHDOG job {job} lease heartbeat is {age}ms old (TTL {ttl_ms}ms)"
+                );
+            }
+        }
+    }
+    shared
+        .recorder
+        .gauge(service_metrics::LEASE_HEARTBEAT_AGE_MS)
+        .set(worst_age as i64);
 }

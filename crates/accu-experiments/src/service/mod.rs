@@ -47,6 +47,8 @@ pub mod spec;
 pub use client::{ClientError, ServiceClient};
 pub use daemon::{Daemon, DaemonConfig};
 pub use lease::{now_ms, Lease, LeaseFile};
-pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
+pub use protocol::{
+    read_frame, write_frame, DaemonHealth, JobRow, Request, Response, ServiceSummary, MAX_FRAME,
+};
 pub use registry::{JobState, JobStatus, Registry, RegistryError, SubmitOutcome};
 pub use spec::{result_csv, validate_job_id, JobSpec};

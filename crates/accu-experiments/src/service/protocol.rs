@@ -94,6 +94,13 @@ pub enum Request {
         /// Job id.
         job: String,
     },
+    /// Daemon health probe: pid, uptime, queue and registry counts.
+    Health,
+    /// Daemon-wide status: per-job phases plus the journal tail.
+    ServiceStatus {
+        /// Number of journal tail lines wanted (0 = none).
+        tail: u64,
+    },
     /// Ask the daemon to stop accepting and exit.
     Shutdown,
 }
@@ -120,6 +127,10 @@ impl Request {
             ),
             Request::Cancel { job } => {
                 format!("{{\"type\":\"cancel\",\"job\":\"{}\"}}", json_escape(job))
+            }
+            Request::Health => "{\"type\":\"health\"}".to_string(),
+            Request::ServiceStatus { tail } => {
+                format!("{{\"type\":\"service_status\",\"tail\":{tail}}}")
             }
             Request::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
         }
@@ -160,9 +171,85 @@ impl Request {
                 from: doc.get("from").and_then(Json::as_u64).unwrap_or(0),
             }),
             "cancel" => Ok(Request::Cancel { job: job(&doc)? }),
+            "health" => Ok(Request::Health),
+            "service_status" => Ok(Request::ServiceStatus {
+                tail: doc.get("tail").and_then(Json::as_u64).unwrap_or(0),
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type {other:?}")),
         }
+    }
+}
+
+/// Daemon health: one line of vitals, cheap enough to poll.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DaemonHealth {
+    /// Daemon process id.
+    pub pid: u32,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Jobs waiting in the in-memory queue.
+    pub queued: usize,
+    /// Jobs currently executing in this daemon.
+    pub running: usize,
+    /// Registry jobs in the `done` state.
+    pub done: usize,
+    /// Registry jobs in the `failed` state.
+    pub failed: usize,
+    /// Total jobs in the registry.
+    pub jobs: usize,
+}
+
+/// One row of the daemon-wide status report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRow {
+    /// Job id.
+    pub job: String,
+    /// Durable lifecycle state.
+    pub state: JobState,
+    /// Lease fencing epoch recorded on the status.
+    pub epoch: u64,
+    /// Human-readable phase detail from the status record.
+    pub detail: String,
+}
+
+/// The daemon-wide status report: registry summary plus journal tail.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceSummary {
+    /// Vitals (same shape as the `health` verb).
+    pub health: DaemonHealth,
+    /// Every registry job, in id order.
+    pub jobs: Vec<JobRow>,
+    /// The most recent journal lines (raw JSONL), oldest first.
+    pub journal_tail: Vec<String>,
+}
+
+impl DaemonHealth {
+    /// The field list shared by the `health` reply and the summary's
+    /// embedded vitals (no `"type"` key).
+    fn body_json(&self) -> String {
+        format!(
+            "\"pid\":{},\"uptime_ms\":{},\"queued\":{},\"running\":{},\
+             \"done\":{},\"failed\":{},\"jobs\":{}",
+            self.pid, self.uptime_ms, self.queued, self.running, self.done, self.failed, self.jobs
+        )
+    }
+
+    fn from_doc(doc: &Json) -> Result<DaemonHealth, String> {
+        let field = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("health missing {key}"))
+        };
+        Ok(DaemonHealth {
+            pid: field("pid")? as u32,
+            uptime_ms: field("uptime_ms")?,
+            queued: field("queued")? as usize,
+            running: field("running")? as usize,
+            done: field("done")? as usize,
+            failed: field("failed")? as usize,
+            jobs: field("jobs")? as usize,
+        })
     }
 }
 
@@ -213,6 +300,10 @@ pub enum Response {
         /// The terminal state.
         state: JobState,
     },
+    /// Health-probe reply.
+    Health(DaemonHealth),
+    /// Daemon-wide status reply.
+    Summary(ServiceSummary),
     /// Admission control rejected the submission; retry later.
     Overloaded {
         /// Jobs currently executing.
@@ -261,6 +352,36 @@ impl Response {
             ),
             Response::End { state } => {
                 format!("{{\"type\":\"end\",\"state\":\"{}\"}}", state.as_str())
+            }
+            Response::Health(health) => {
+                format!("{{\"type\":\"health\",{}}}", health.body_json())
+            }
+            Response::Summary(summary) => {
+                let jobs: Vec<String> = summary
+                    .jobs
+                    .iter()
+                    .map(|row| {
+                        format!(
+                            "{{\"job\":\"{}\",\"state\":\"{}\",\"epoch\":{},\"detail\":\"{}\"}}",
+                            json_escape(&row.job),
+                            row.state.as_str(),
+                            row.epoch,
+                            json_escape(&row.detail)
+                        )
+                    })
+                    .collect();
+                let tail: Vec<String> = summary
+                    .journal_tail
+                    .iter()
+                    .map(|line| format!("\"{}\"", json_escape(line)))
+                    .collect();
+                format!(
+                    "{{\"type\":\"service_status\",\"health\":{{{}}},\
+                     \"jobs\":[{}],\"tail\":[{}]}}",
+                    summary.health.body_json(),
+                    jobs.join(","),
+                    tail.join(",")
+                )
             }
             Response::Overloaded {
                 running,
@@ -325,6 +446,44 @@ impl Response {
             "end" => Ok(Response::End {
                 state: JobState::parse(&str_field("state")?)?,
             }),
+            "health" => Ok(Response::Health(DaemonHealth::from_doc(&doc)?)),
+            "service_status" => {
+                let health = DaemonHealth::from_doc(
+                    doc.get("health").ok_or("service_status missing health")?,
+                )?;
+                let mut jobs = Vec::new();
+                if let Some(Json::Arr(rows)) = doc.get("jobs") {
+                    for row in rows {
+                        let field = |key: &str| -> Result<String, String> {
+                            row.get(key)
+                                .and_then(Json::as_str)
+                                .map(str::to_string)
+                                .ok_or_else(|| format!("job row missing {key}"))
+                        };
+                        jobs.push(JobRow {
+                            job: field("job")?,
+                            state: JobState::parse(&field("state")?)?,
+                            epoch: row.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+                            detail: field("detail")?,
+                        });
+                    }
+                }
+                let mut journal_tail = Vec::new();
+                if let Some(Json::Arr(lines)) = doc.get("tail") {
+                    for line in lines {
+                        journal_tail.push(
+                            line.as_str()
+                                .ok_or("journal tail line is not a string")?
+                                .to_string(),
+                        );
+                    }
+                }
+                Ok(Response::Summary(ServiceSummary {
+                    health,
+                    jobs,
+                    journal_tail,
+                }))
+            }
             "overloaded" => Ok(Response::Overloaded {
                 running: u64_field("running")? as usize,
                 queued: u64_field("queued")? as usize,
@@ -422,6 +581,8 @@ mod tests {
             Request::Cancel {
                 job: "j".to_string(),
             },
+            Request::Health,
+            Request::ServiceStatus { tail: 20 },
             Request::Shutdown,
         ];
         for req in all {
@@ -465,6 +626,45 @@ mod tests {
                 queued: 16,
                 cap: 16,
             },
+            Response::Health(DaemonHealth {
+                pid: 101,
+                uptime_ms: 5_000,
+                queued: 1,
+                running: 2,
+                done: 3,
+                failed: 0,
+                jobs: 6,
+            }),
+            Response::Summary(ServiceSummary {
+                health: DaemonHealth {
+                    pid: 101,
+                    uptime_ms: 5_000,
+                    queued: 0,
+                    running: 1,
+                    done: 1,
+                    failed: 1,
+                    jobs: 3,
+                },
+                jobs: vec![
+                    JobRow {
+                        job: "fig2-a".to_string(),
+                        state: JobState::Done,
+                        epoch: 2,
+                        detail: "published".to_string(),
+                    },
+                    JobRow {
+                        job: "fig2-b".to_string(),
+                        state: JobState::Running,
+                        epoch: 1,
+                        detail: String::new(),
+                    },
+                ],
+                journal_tail: vec![
+                    "{\"type\":\"journal\",\"kind\":\"job.submit\"}".to_string(),
+                    "{\"type\":\"journal\",\"kind\":\"job.publish\"}".to_string(),
+                ],
+            }),
+            Response::Summary(ServiceSummary::default()),
             Response::Err {
                 message: "unknown job \"x\"".to_string(),
             },

@@ -28,7 +28,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use accu_core::ChaosPlan;
-use accu_telemetry::{json_escape, parse_json};
+use accu_telemetry::{json_escape, parse_json, Corr, FlightRecorder, Journal, Severity};
 
 use crate::chaosfs::{atomic_write, atomic_write_chaos, ChaosSite};
 use crate::service::lease::{now_ms, LeaseFile};
@@ -244,6 +244,10 @@ pub struct Registry {
     writes: AtomicU64,
     /// Abort the process after this many durable registry writes.
     kill_after_writes: Option<u64>,
+    /// Journal + flight recorder for crash forensics: the kill-channel
+    /// abort journals the killed write and dumps the flight ring into
+    /// the job dir the write was targeting.
+    obs: Option<(Journal, FlightRecorder)>,
 }
 
 impl Registry {
@@ -263,6 +267,7 @@ impl Registry {
             site: None,
             writes: AtomicU64::new(0),
             kill_after_writes: None,
+            obs: None,
         })
     }
 
@@ -278,6 +283,27 @@ impl Registry {
     /// `n` durable registry writes (chaos testing only).
     pub fn set_kill_after_writes(&mut self, n: Option<u64>) {
         self.kill_after_writes = n;
+    }
+
+    /// Attaches crash forensics: when the kill channel aborts the
+    /// process, the killed write is journaled (kind `chaos.kill`, with
+    /// the job id recovered from the target path) and the flight ring
+    /// is dumped to `flight.jsonl` inside the job dir being written.
+    pub fn attach_obs(&mut self, journal: Journal, flight: FlightRecorder) {
+        self.obs = Some((journal, flight));
+    }
+
+    /// The daemon-wide event journal, shared by every daemon
+    /// incarnation that serves this registry — one greppable file per
+    /// service, so adoption chains across restarts stay in one place.
+    pub fn journal_path(&self) -> PathBuf {
+        self.root.join("journal.jsonl")
+    }
+
+    /// The job's flight-recorder dump (present only after a crash path
+    /// fired in that job's context).
+    pub fn flight_path(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("flight.jsonl")
     }
 
     /// The registry root directory.
@@ -341,6 +367,28 @@ impl Registry {
                 eprintln!(
                     "chaos: aborting after {kill_after} durable registry write(s) (kill-after-registry)"
                 );
+                if let Some((journal, flight)) = &self.obs {
+                    // `path` is `<root>/jobs/<id>/<file>`: recover the
+                    // job id so the kill event joins the job's chain,
+                    // and leave the dump inside that job's directory.
+                    let job_dir = path.parent().unwrap_or_else(|| Path::new("."));
+                    let corr = job_dir
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .map(Corr::job)
+                        .unwrap_or_default();
+                    let file = path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .unwrap_or("<registry file>");
+                    journal.log(
+                        Severity::Error,
+                        "chaos.kill",
+                        &format!("kill-after-registry abort on durable write {done} ({file})"),
+                        &corr,
+                    );
+                    let _ = flight.dump(job_dir.join("flight.jsonl"));
+                }
                 std::process::abort();
             }
         }

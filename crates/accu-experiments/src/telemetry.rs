@@ -301,6 +301,8 @@ impl Telemetry {
             supervisor: SupervisorConfig::default(),
             deadline: self.deadline_at.map(Deadline::until),
             engine: EngineMode::Auto,
+            journal: accu_telemetry::Journal::disabled(),
+            corr: accu_telemetry::Corr::default(),
         }
     }
 

@@ -300,6 +300,120 @@ fn watch_streams_progress_lines_until_terminal() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The `health` and `service_status` verbs summarize the daemon over
+/// the wire: job counts, per-job rows, and a journal tail — and the
+/// on-disk journal reconstructs the job's life by id alone.
+#[test]
+fn health_and_status_verbs_summarize_the_daemon() {
+    let dir = temp_dir("obs_verbs");
+    let daemon = Daemon::start(DaemonConfig::new(&dir)).expect("daemon");
+    let client = client_for(&daemon);
+    client.submit("obs-1", &tiny_spec(9)).expect("submit");
+    let status = client
+        .wait_done("obs-1", Duration::from_secs(120))
+        .expect("finishes");
+    assert_eq!(status.state, JobState::Done);
+
+    let health = client.health().expect("health verb");
+    assert_eq!(health.pid, std::process::id());
+    assert_eq!(health.jobs, 1, "{health:?}");
+    assert_eq!(health.done, 1, "{health:?}");
+    assert_eq!(health.failed, 0, "{health:?}");
+
+    let summary = client.service_status(50).expect("service_status verb");
+    assert_eq!(summary.health.pid, health.pid);
+    assert_eq!(summary.jobs.len(), 1);
+    assert_eq!(summary.jobs[0].job, "obs-1");
+    assert_eq!(summary.jobs[0].state, JobState::Done);
+    assert!(
+        !summary.journal_tail.is_empty(),
+        "a finished job must leave journal lines"
+    );
+
+    // The journal on disk reconstructs the job's life by id alone.
+    let read = accu_telemetry::read_journal(dir.join("journal.jsonl")).expect("read journal");
+    read.check_seq_monotonic().expect("seq monotonic");
+    let kinds: Vec<&str> = read.for_job("obs-1").map(|e| e.kind.as_str()).collect();
+    for expected in ["job.submit", "lease.acquire", "job.run", "job.publish"] {
+        assert!(
+            kinds.contains(&expected),
+            "journal must record {expected}, got {kinds:?}"
+        );
+    }
+    let submit = kinds.iter().position(|k| *k == "job.submit").unwrap();
+    let publish = kinds.iter().rposition(|k| *k == "job.publish").unwrap();
+    assert!(submit < publish, "submit must precede publish: {kinds:?}");
+    drop(daemon);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A real `accu-serve` child armed with `--kill-after-registry` aborts
+/// mid-job and must leave a readable flight-recorder dump in the job
+/// dir whose final event is the journaled abort itself — the crash's
+/// last words, correlated to the job that died.
+#[test]
+fn kill_after_registry_abort_leaves_a_readable_flight_dump() {
+    use std::io::BufRead;
+
+    let dir = temp_dir("obs_dump");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_accu-serve"))
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--registry")
+        .arg(&dir)
+        // Writes 1–2 are the submitted spec + queued status; write 3 is
+        // the `running` status, so the abort lands with the job dir
+        // fully formed.
+        .arg("--kill-after-registry")
+        .arg("3")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn accu-serve");
+    // The daemon's first stdout line names its ephemeral address.
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut first_line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .expect("read listen line");
+    let addr = first_line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("listen line names the address")
+        .to_string();
+
+    let client = ServiceClient::connect(addr).with_seed(11);
+    // The abort can race the response frame; the submission only needs
+    // to land durably before the kill fires.
+    let _ = client.submit("dump-1", &tiny_spec(13));
+    let status = child.wait().expect("child exits");
+    assert!(
+        !status.success(),
+        "the armed kill must abort the daemon, got {status:?}"
+    );
+
+    let dump_path = dir.join("jobs").join("dump-1").join("flight.jsonl");
+    let dump = accu_telemetry::read_flight_dump(&dump_path).expect("readable flight dump");
+    let last = dump.events.last().expect("dump holds the final events");
+    assert_eq!(
+        last.kind, "chaos.kill",
+        "the dump's last event must be the abort itself: {last:?}"
+    );
+    assert_eq!(last.corr.job_id.as_deref(), Some("dump-1"), "{last:?}");
+    assert!(
+        last.message.contains("kill-after-registry"),
+        "the abort names its channel: {last:?}"
+    );
+    // The shared journal also recorded the abort durably.
+    let read = accu_telemetry::read_journal(dir.join("journal.jsonl")).expect("read journal");
+    read.check_seq_monotonic().expect("seq monotonic");
+    assert!(
+        read.for_job("dump-1").any(|e| e.kind == "chaos.kill"),
+        "journal must record the abort"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

@@ -52,6 +52,11 @@
 //! [`TraceTrack`]) with Chrome trace-event JSON export (Perfetto,
 //! `chrome://tracing`) and a compact JSONL causal log replayable by the
 //! `trace_explain` binary.
+//!
+//! The [`journal`] module carries both disciplines into the service
+//! layer: a durable, correlation-ID-stamped event journal ([`Journal`])
+//! plus an always-on crash [`FlightRecorder`] ring that dumps the most
+//! recent events atomically on panic or deliberate abort.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -59,6 +64,7 @@
 mod counter;
 mod gauge;
 mod histogram;
+pub mod journal;
 pub mod obs;
 mod recorder;
 mod snapshot;
@@ -67,6 +73,10 @@ pub mod trace;
 pub use counter::{Counter, CounterHandle};
 pub use gauge::{Gauge, GaugeHandle};
 pub use histogram::{Histogram, HistogramHandle, SpanGuard};
+pub use journal::{
+    install_panic_dump, read_flight_dump, read_journal, Corr, FlightDump, FlightRecorder, Journal,
+    JournalEvent, JournalRead, Severity,
+};
 pub use recorder::Recorder;
 pub use snapshot::{
     json_escape, CounterSnapshot, FieldValue, GaugeSnapshot, HistogramSnapshot, JsonlSink, Snapshot,

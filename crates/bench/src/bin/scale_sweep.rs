@@ -25,11 +25,15 @@
 //! scale_sweep [--nodes 100000,1000000] [--degree 8] [--budget 50]
 //!             [--episodes 4] [--lanes 4] [--seed 11] [--workers 1]
 //!             [--dir target/scale] [--out BENCH_scale.json]
+//!             [--telemetry FILE] [--metrics-addr ADDR]
 //!             [--assert-zero-alloc]
 //! ```
 //!
 //! `--assert-zero-alloc` (the CI gate) exits non-zero if any
-//! steady-state episode touches the heap.
+//! steady-state episode touches the heap. `--telemetry FILE` appends a
+//! `store.*` metric snapshot (per-tier pack/load timing histograms,
+//! node/edge counters) as JSONL; `--metrics-addr ADDR` exposes the same
+//! metrics for a Prometheus scrape while the sweep runs.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write;
@@ -42,8 +46,8 @@ use accu_core::{
     run_attack_episode, sim_metrics, AccuInstance, BatchScratch, FaultPlan, RetryPolicy,
 };
 use accu_datasets::{apply_protocol, ProtocolConfig};
-use accu_telemetry::obs::TRAJECTORY_SCHEMA;
-use accu_telemetry::Recorder;
+use accu_telemetry::obs::{MetricsServer, Observer, TRAJECTORY_SCHEMA};
+use accu_telemetry::{JsonlSink, Recorder};
 use osn_graph::{generators, store, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -96,6 +100,8 @@ struct SweepConfig {
     workers: usize,
     dir: PathBuf,
     out: String,
+    telemetry: Option<String>,
+    metrics_addr: Option<String>,
     assert_zero_alloc: bool,
 }
 
@@ -130,6 +136,8 @@ fn parse_flags() -> SweepConfig {
         workers: 1,
         dir: PathBuf::from("target").join("scale"),
         out: "BENCH_scale.json".to_string(),
+        telemetry: None,
+        metrics_addr: None,
         assert_zero_alloc: false,
     };
     let mut it = args.iter();
@@ -185,6 +193,8 @@ fn parse_flags() -> SweepConfig {
             }
             "--dir" => cfg.dir = PathBuf::from(take("--dir")),
             "--out" => cfg.out = take("--out"),
+            "--telemetry" => cfg.telemetry = Some(take("--telemetry")),
+            "--metrics-addr" => cfg.metrics_addr = Some(take("--metrics-addr")),
             "--assert-zero-alloc" => cfg.assert_zero_alloc = true,
             other => fail(&format!("unknown flag {other:?}")),
         }
@@ -237,7 +247,7 @@ fn run_batched_pass(
     (total, start.elapsed())
 }
 
-fn run_tier(cfg: &SweepConfig, nodes: usize) -> TierResult {
+fn run_tier(cfg: &SweepConfig, nodes: usize, store_rec: &Recorder) -> TierResult {
     println!("--- tier: {nodes} nodes (BA, m = {}) ---", cfg.degree);
 
     // Stage 1: build from scratch — the cost the store amortizes.
@@ -264,6 +274,19 @@ fn run_tier(cfg: &SweepConfig, nodes: usize) -> TierResult {
         .unwrap_or_else(|e| fail(&format!("reload failed: {e}")));
     let load = t2.elapsed();
     let edges = loaded.edge_count();
+    store_rec.counter("store.packs").incr();
+    store_rec.counter("store.loads").incr();
+    store_rec.counter("store.nodes").add(nodes as u64);
+    store_rec.counter("store.edges").add(edges as u64);
+    store_rec
+        .histogram("store.build_ns")
+        .record(build.as_nanos() as u64);
+    store_rec
+        .histogram("store.pack_ns")
+        .record(pack.as_nanos() as u64);
+    store_rec
+        .histogram("store.load_ns")
+        .record(load.as_nanos() as u64);
     println!(
         "  build {:.1} ms · pack {:.1} ms · reload {:.1} ms · {:.1}x amortization",
         build.as_secs_f64() * 1e3,
@@ -434,10 +457,26 @@ fn main() {
         cfg.lanes,
         host_cores(),
     );
+    // Store-facing telemetry is opt-in; with neither flag the recorder
+    // is a no-op and the sweep's hot paths are untouched.
+    let store_rec = if cfg.telemetry.is_some() || cfg.metrics_addr.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let _metrics = cfg.metrics_addr.as_ref().map(|addr| {
+        match MetricsServer::bind(addr, store_rec.clone(), "scale_sweep", Observer::disabled()) {
+            Ok(server) => {
+                eprintln!("scale_sweep metrics on http://{}/metrics", server.addr());
+                server
+            }
+            Err(e) => fail(&format!("metrics server: {e}")),
+        }
+    });
     let mut tiers = Vec::new();
     let mut alloc_violation = false;
     for &nodes in &cfg.nodes {
-        let tier = run_tier(&cfg, nodes);
+        let tier = run_tier(&cfg, nodes, &store_rec);
         let leaked = tier.allocs_per_episode > 0.0;
         alloc_violation |= leaked;
         append_trajectory(
@@ -463,6 +502,19 @@ fn main() {
     match std::fs::write(&cfg.out, &snapshot) {
         Ok(()) => println!("wrote {}", cfg.out),
         Err(e) => eprintln!("scale_sweep: cannot write {}: {e}", cfg.out),
+    }
+
+    if let Some(path) = &cfg.telemetry {
+        let result = JsonlSink::create(path).and_then(|mut sink| {
+            if let Some(snap) = store_rec.snapshot("scale_sweep/store") {
+                sink.write_snapshot(&snap)?;
+            }
+            sink.flush()
+        });
+        match result {
+            Ok(()) => println!("wrote telemetry {path}"),
+            Err(e) => fail(&format!("cannot write telemetry {path}: {e}")),
+        }
     }
 
     if cfg.assert_zero_alloc && alloc_violation {

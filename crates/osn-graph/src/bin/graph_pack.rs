@@ -16,10 +16,17 @@
 //!
 //! R-MAT node counts are rounded up to the next power of two. `--info`
 //! loads and re-validates an existing file and prints its stats.
+//!
+//! `--telemetry FILE` appends a `store.*` metric snapshot (pack/load/
+//! verify timing histograms plus node/edge counters) as JSONL, and
+//! `--metrics-addr ADDR` additionally exposes the same metrics for a
+//! Prometheus scrape while the pack runs.
 
 use std::process::exit;
 use std::time::Instant;
 
+use accu_telemetry::obs::{MetricsServer, Observer};
+use accu_telemetry::{JsonlSink, Recorder};
 use osn_graph::generators::{self, RmatParams};
 use osn_graph::{store, Graph};
 use rand::rngs::StdRng;
@@ -27,7 +34,8 @@ use rand::SeedableRng;
 
 const USAGE: &str = "usage: graph_pack --family <ba|ws|config|rmat> --nodes N \
                      [--degree M] [--beta B] [--gamma G] [--min-deg D] [--max-deg D] \
-                     [--edge-factor F] [--seed S] --out FILE\n       graph_pack --info FILE";
+                     [--edge-factor F] [--seed S] [--telemetry FILE] [--metrics-addr ADDR] \
+                     --out FILE\n       graph_pack --info FILE";
 
 fn fail(msg: &str) -> ! {
     eprintln!("graph_pack: {msg}\n{USAGE}");
@@ -77,6 +85,8 @@ fn main() {
     let mut edge_factor = 8usize;
     let mut seed = 42u64;
     let mut out = None::<String>;
+    let mut telemetry = None::<String>;
+    let mut metrics_addr = None::<String>;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -94,6 +104,8 @@ fn main() {
             "--edge-factor" => edge_factor = parse("--edge-factor", it.next()),
             "--seed" => seed = parse("--seed", it.next()),
             "--out" => out = Some(parse("--out", it.next())),
+            "--telemetry" => telemetry = Some(parse("--telemetry", it.next())),
+            "--metrics-addr" => metrics_addr = Some(parse("--metrics-addr", it.next())),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -104,6 +116,25 @@ fn main() {
     let family = family.unwrap_or_else(|| fail("--family is required"));
     let n = nodes.unwrap_or_else(|| fail("--nodes is required"));
     let out = out.unwrap_or_else(|| fail("--out is required"));
+
+    // Telemetry is opt-in; with neither flag the recorder is a no-op.
+    let recorder = if telemetry.is_some() || metrics_addr.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let _metrics = metrics_addr.map(|addr| {
+        match MetricsServer::bind(&addr, recorder.clone(), "graph_pack", Observer::disabled()) {
+            Ok(server) => {
+                eprintln!("graph_pack metrics on http://{}/metrics", server.addr());
+                server
+            }
+            Err(e) => {
+                eprintln!("graph_pack: metrics server: {e}");
+                exit(1);
+            }
+        }
+    });
 
     let mut rng = StdRng::seed_from_u64(seed);
     let t0 = Instant::now();
@@ -149,6 +180,36 @@ fn main() {
     if back != g || verified != g {
         eprintln!("graph_pack: reload does not match the generated graph");
         exit(1);
+    }
+
+    recorder.counter("store.packs").incr();
+    recorder.counter("store.loads").incr();
+    recorder.counter("store.verified_loads").incr();
+    recorder.counter("store.nodes").add(g.node_count() as u64);
+    recorder.counter("store.edges").add(g.edge_count() as u64);
+    recorder
+        .histogram("store.generate_ns")
+        .record(gen_t.as_nanos() as u64);
+    recorder
+        .histogram("store.pack_ns")
+        .record(pack_t.as_nanos() as u64);
+    recorder
+        .histogram("store.load_ns")
+        .record(load_t.as_nanos() as u64);
+    recorder
+        .histogram("store.verify_ns")
+        .record(verify_t.as_nanos() as u64);
+    if let Some(path) = telemetry {
+        let result = JsonlSink::create(&path).and_then(|mut sink| {
+            if let Some(snapshot) = recorder.snapshot(&format!("graph_pack/{family}")) {
+                sink.write_snapshot(&snapshot)?;
+            }
+            sink.flush()
+        });
+        if let Err(e) = result {
+            eprintln!("graph_pack: cannot write telemetry {path}: {e}");
+            exit(1);
+        }
     }
 
     println!("packed {family} graph to {out}");
